@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+scale selected by ``REPRO_SCALE`` (default ``smoke``; see
+``repro.experiments.scales``).  The rendered paper-format output is written
+to ``results/<experiment>.txt`` and echoed to the terminal, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the whole evaluation section in one pass.  Training results are
+cached under ``results/`` — figures sharing a sweep (6/7/8) train once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import result_cache_dir
+from repro.experiments.scales import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    directory = result_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+@pytest.fixture
+def report(artifact_dir):
+    """Write an experiment's rendered output to results/ and echo it."""
+
+    def write(experiment_id: str, text: str) -> None:
+        path = artifact_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return write
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Stitch all artifacts into results/REPORT.md after a bench run."""
+    from repro.experiments.export import write_report
+
+    try:
+        write_report()
+    except OSError:
+        pass  # read-only results dir: artifacts still exist individually

@@ -1,0 +1,78 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate (a) the curiosity scale η,
+(b) GAE vs Monte-Carlo advantages, and (c) the CNN trunk's layer norm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    ETA_VALUES,
+    run_eta_ablation,
+    run_layernorm_ablation,
+    run_returns_ablation,
+)
+from repro.utils import format_table
+
+
+def test_eta_ablation(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_eta_ablation(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    rows = [
+        [eta] + [result["arms"][str(eta)][m] for m in ("kappa", "xi", "rho", "intrinsic")]
+        for eta in result["etas"]
+    ]
+    report(
+        "ablation-eta",
+        format_table(
+            ["eta", "kappa", "xi", "rho", "intrinsic"],
+            rows,
+            title="Ablation: curiosity scale eta",
+        ),
+    )
+    # η = 0 must yield exactly zero intrinsic reward.
+    assert result["arms"]["0.0"]["intrinsic"] == 0.0
+    # Larger η yields more intrinsic reward during training.
+    assert result["arms"]["1.0"]["intrinsic"] > result["arms"]["0.1"]["intrinsic"]
+
+
+def test_returns_ablation(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_returns_ablation(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    rows = [
+        [arm] + [values[m] for m in ("kappa", "xi", "rho")]
+        for arm, values in result["arms"].items()
+    ]
+    report(
+        "ablation-returns",
+        format_table(
+            ["advantage estimator", "kappa", "xi", "rho"],
+            rows,
+            title="Ablation: GAE vs Monte-Carlo advantages",
+        ),
+    )
+    for values in result["arms"].values():
+        assert np.isfinite(values["rho"])
+
+
+def test_layernorm_ablation(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_layernorm_ablation(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    rows = [
+        [arm] + [values[m] for m in ("kappa", "xi", "rho")]
+        for arm, values in result["arms"].items()
+    ]
+    report(
+        "ablation-layernorm",
+        format_table(
+            ["trunk", "kappa", "xi", "rho"],
+            rows,
+            title="Ablation: layer normalization in the CNN trunk",
+        ),
+    )
+    for values in result["arms"].values():
+        assert 0.0 <= values["kappa"] <= 1.0

@@ -1,0 +1,29 @@
+"""Extension bench: synchronous vs asynchronous (V-trace / uncorrected).
+
+Quantifies Section V-A's architectural argument; not a paper figure.
+"""
+
+import numpy as np
+
+from repro.experiments.async_study import run_async_study
+from repro.utils import format_table
+
+
+def test_sync_vs_async(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_async_study(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    rows = [
+        [arm, values["kappa"], values["rho"], values["value_loss_tail"]]
+        for arm, values in result["arms"].items()
+    ]
+    report(
+        "async-study",
+        format_table(
+            ["arm", "kappa", "rho", "tail value loss"],
+            rows,
+            title=f"Sync vs async (actor lag {result['lag']} episodes)",
+        ),
+    )
+    for values in result["arms"].values():
+        assert np.isfinite(values["kappa"])

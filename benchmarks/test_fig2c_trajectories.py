@@ -1,0 +1,23 @@
+"""Fig. 2(c) — trajectories attained by trained workers.
+
+Paper reference: two drones partition the space, weaving between the four
+charging stations and covering distinct subareas.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2c import run_fig2c
+from repro.experiments.report import print_fig2c
+
+
+def test_fig2c_trajectories(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_fig2c(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    report("fig2c", print_fig2c(result))
+
+    trajectories = [np.asarray(path) for path in result["trajectories"]]
+    assert len(trajectories) == scale.num_workers
+    for path in trajectories:
+        # Paths stay inside the space.
+        assert np.all(path > 0.0) and np.all(path < scale.size)

@@ -1,0 +1,39 @@
+"""Fig. 5 — dense/sparse extrinsic reward with and without curiosity.
+
+Paper reference (W=2, P=300): "sparse + curiosity" is best everywhere
+(ρ = 0.48, +4.35% over dense-only and +77.8% over sparse-only); sparse
+reward *alone* fails; curiosity adds little on top of the dense reward
+beyond faster early training.
+"""
+
+import numpy as np
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import print_fig5
+
+
+def test_fig5_reward_mechanisms(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_fig5(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    report("fig5", print_fig5(result))
+
+    curves = result["curves"]
+    assert set(curves) == {
+        "sparse + curiosity",
+        "sparse only",
+        "dense + curiosity",
+        "dense only",
+    }
+
+    def late_mean(arm, metric):
+        series = curves[arm][metric]
+        tail = max(len(series) // 4, 1)
+        return float(np.mean(series[-tail:]))
+
+    # The paper's headline shape: curiosity rescues the sparse reward.
+    # At smoke scale noise is large, so assert the weak form — sparse +
+    # curiosity is not dominated by sparse-only.
+    assert late_mean("sparse + curiosity", "kappa") >= late_mean(
+        "sparse only", "kappa"
+    ) - 0.15

@@ -1,0 +1,30 @@
+"""Fig. 7(a-d) — average remaining data ratio ξ across the four sweeps.
+
+Paper reference shapes: ξ mirrors κ inversely — DRL-CEWS leaves the least
+data behind (ξ = 0.07 at P=100 vs Edics 0.43 and Greedy 0.74); ξ grows
+with P and shrinks with workers / budget / stations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.comparison import run_sweep
+from repro.experiments.report import print_comparison_figure
+
+PANELS = ("pois", "workers", "budget", "stations")
+
+
+@pytest.mark.parametrize("sweep", PANELS)
+def test_fig7_xi(benchmark, scale, report, sweep):
+    result = benchmark.pedantic(
+        lambda: run_sweep(sweep, scale=scale, seed=0), rounds=1, iterations=1
+    )
+    panel = "abcd"[PANELS.index(sweep)]
+    report(f"fig7{panel}", print_comparison_figure(result, "xi"))
+
+    for method, series in result["results"].items():
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series["xi"]), method
+        # ξ and κ move in opposite directions by construction.
+        correlation = np.corrcoef(series["xi"], series["kappa"])[0, 1]
+        if np.isfinite(correlation) and len(series["xi"]) > 2:
+            assert correlation < 0.5, method

@@ -1,0 +1,27 @@
+"""Fig. 8(a-d) — energy efficiency ρ across the four sweeps.
+
+Paper reference shapes: DRL-CEWS achieves the highest ρ everywhere (at
+P=500: 0.60, +24% over DPPO, +56% over Edics, +123% over D&C, +371% over
+Greedy); ρ peaks around W=4-5 and *decreases* for large worker counts
+(W=25 gives 0.12 vs 0.49 at W=5) because surplus workers burn energy
+searching for leftovers.
+"""
+
+import pytest
+
+from repro.experiments.comparison import run_sweep
+from repro.experiments.report import print_comparison_figure
+
+PANELS = ("pois", "workers", "budget", "stations")
+
+
+@pytest.mark.parametrize("sweep", PANELS)
+def test_fig8_rho(benchmark, scale, report, sweep):
+    result = benchmark.pedantic(
+        lambda: run_sweep(sweep, scale=scale, seed=0), rounds=1, iterations=1
+    )
+    panel = "abcd"[PANELS.index(sweep)]
+    report(f"fig8{panel}", print_comparison_figure(result, "rho"))
+
+    for method, series in result["results"].items():
+        assert all(v >= 0.0 for v in series["rho"]), method

@@ -1,0 +1,33 @@
+"""Fig. 9 — curiosity-value heat maps over training, DRL-CEWS vs DPPO.
+
+Paper reference: brightness (curiosity) decays as the policy stabilizes;
+DRL-CEWS's bright area is larger than DPPO's because the intrinsic reward
+drives exploration — including into the corner room.
+"""
+
+import numpy as np
+
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.report import print_fig9
+
+
+def visited_fraction(grid) -> float:
+    grid = np.asarray(grid)
+    return float((grid > 0).mean())
+
+
+def test_fig9_curiosity_heatmaps(benchmark, scale, report):
+    result = benchmark.pedantic(
+        lambda: run_fig9(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    report("fig9", print_fig9(result))
+
+    cews_grids = result["heatmaps"]["DRL-CEWS"]
+    dppo_grids = result["heatmaps"]["DPPO"]
+    assert len(cews_grids) == len(dppo_grids) == 5
+
+    # Shape: averaged over checkpoints, the curiosity-driven agent covers
+    # at least as much of the map as DPPO (weak form for smoke scale).
+    cews_coverage = np.mean([visited_fraction(g) for g in cews_grids])
+    dppo_coverage = np.mean([visited_fraction(g) for g in dppo_grids])
+    assert cews_coverage >= dppo_coverage - 0.1

@@ -1,0 +1,85 @@
+"""Microbenchmarks of the substrates (true repeated-timing benchmarks).
+
+These are not paper artifacts; they track the cost of the hot paths the
+training loop is built from: the CNN forward/backward, one environment
+step, one PPO minibatch update and one curiosity loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.agents import CEWSAgent, PPOConfig
+from repro.agents.ppo import ppo_loss
+from repro.curiosity import SpatialCuriosity, TransitionBatch
+from repro.env import Action, CrowdsensingEnv, smoke_config
+from repro.nn import functional as F
+
+
+@pytest.fixture(scope="module")
+def config():
+    return smoke_config(seed=3, horizon=40)
+
+
+def test_conv2d_forward(benchmark, rng):
+    x = nn.Tensor(rng.normal(size=(8, 3, 16, 16)))
+    w = nn.Tensor(rng.normal(size=(16, 3, 3, 3)))
+    b = nn.Tensor(rng.normal(size=16))
+    benchmark(lambda: F.conv2d(x, w, b, stride=1, padding=1))
+
+
+def test_conv2d_backward(benchmark, rng):
+    x = nn.Tensor(rng.normal(size=(8, 3, 16, 16)), requires_grad=True)
+    w = nn.Tensor(rng.normal(size=(16, 3, 3, 3)), requires_grad=True)
+
+    def run():
+        x.grad = None
+        w.grad = None
+        F.conv2d(x, w, stride=1, padding=1).sum().backward()
+
+    benchmark(run)
+
+
+def test_env_step(benchmark, config):
+    env = CrowdsensingEnv(config, reward_mode="sparse")
+    env.reset()
+    action = Action.stay(config.num_workers)
+
+    def run():
+        if env._needs_reset:
+            env.reset()
+        env.step(action)
+
+    benchmark(run)
+
+
+def test_policy_forward(benchmark, config, rng):
+    agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
+    states = rng.normal(size=(16, 3, config.grid, config.grid))
+    benchmark(lambda: agent.network.forward(states))
+
+
+def test_ppo_minibatch_loss_and_backward(benchmark, config, rng):
+    agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
+    env = CrowdsensingEnv(config, reward_mode="sparse", scenario=agent.scenario)
+    buffer, __ = agent.collect_episode(env, np.random.default_rng(0))
+    batch = next(iter(buffer.minibatches(16, np.random.default_rng(0))))
+
+    def run():
+        agent.network.zero_grad()
+        loss, __ = ppo_loss(agent.network, batch, agent.ppo)
+        loss.backward()
+
+    benchmark(run)
+
+
+def test_curiosity_loss(benchmark, config, rng):
+    agent = CEWSAgent(config, seed=0)
+    positions = rng.uniform(0.5, config.size - 0.5, size=(64, 2, 2))
+    moves = rng.integers(0, 9, size=(64, 2))
+    batch = TransitionBatch(
+        positions=positions,
+        next_positions=np.clip(positions + rng.normal(0, 0.5, positions.shape), 0.1, config.size - 0.1),
+        moves=moves,
+    )
+    benchmark(lambda: agent.curiosity.loss(batch).item())

@@ -1,0 +1,73 @@
+"""Head-to-head: all five methods of Section VII-B on one scenario.
+
+Trains the three learned methods (DRL-CEWS, DPPO, Edics) under identical
+budgets and evaluates them together with the scripted D&C and Greedy
+baselines, reproducing one column of the Figs. 6-8 comparison.
+
+Run:
+    python examples/compare_baselines.py [--episodes N] [--scale smoke|short]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.experiments import (
+    evaluate_method,
+    get_scale,
+    method_display_name,
+)
+from repro.experiments.training import ALL_METHODS
+from repro.utils import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("smoke", "short"), default="smoke")
+    parser.add_argument("--episodes", type=int, default=None,
+                        help="override the scale's training episodes")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    if args.episodes is not None:
+        scale = scale.with_overrides(episodes=args.episodes)
+    config = scale.scenario()
+    print(f"Scenario: {config.grid}x{config.grid}, P={config.num_pois}, "
+          f"W={config.num_workers}, stations={config.num_stations}, "
+          f"T={config.horizon}; training {scale.episodes} episodes per method\n")
+
+    rows = []
+    for method in ALL_METHODS:
+        start = time.perf_counter()
+        kwargs = {"episodes": args.episodes} if (
+            args.episodes is not None and method in ("cews", "dppo", "edics")
+        ) else {}
+        metrics = evaluate_method(method, config, scale, seed=args.seed, **kwargs)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                method_display_name(method),
+                metrics["kappa"],
+                metrics["xi"],
+                metrics["rho"],
+                f"{elapsed:.1f}s",
+            ]
+        )
+        print(f"  {method_display_name(method):10s} done in {elapsed:.1f}s")
+
+    print()
+    print(
+        format_table(
+            ["method", "kappa", "xi", "rho", "time"],
+            rows,
+            title="All methods, one scenario (paper order: DRL-CEWS should lead)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

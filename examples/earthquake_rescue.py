@@ -1,0 +1,100 @@
+"""Post-earthquake rescue: the paper's motivating scenario (Section VII-A).
+
+A crowdsensing space with a *hard-exploration corner room* — a walled
+subarea at the bottom-right, reachable only through a narrow passageway,
+holding a share of the sensors (audio life detectors behind collapsed
+buildings).  Lookahead baselines rarely discover the room; curiosity-driven
+exploration does.
+
+This example trains DRL-CEWS on such a map, then reports how much of the
+*corner-room data specifically* each method recovered, alongside the
+global metrics, and prints the ASCII map with the trained trajectories.
+
+Run:
+    python examples/earthquake_rescue.py [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    CrowdsensingEnv,
+    DnCAgent,
+    GreedyAgent,
+    PPOConfig,
+    TrainConfig,
+    build_trainer,
+    run_episode,
+)
+from repro.env import ScenarioConfig, corner_room_bounds
+from repro.experiments.visualize import render_trajectories
+
+
+def corner_room_recovery(env: CrowdsensingEnv) -> float:
+    """Fraction of the corner room's initial data that has been collected."""
+    row0, row1, col0, col1 = corner_room_bounds(env.config)
+    rows, cols = env.space.cell_of(env.pois.positions)
+    inside = (rows >= row0) & (rows < row1) & (cols >= col0) & (cols < col1)
+    if not np.any(inside):
+        return float("nan")
+    initial = env.pois.initial_values[inside].sum()
+    remaining = env.pois.values[inside].sum()
+    return float((initial - remaining) / initial)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    # A rescue map: pronounced corner room holding 25% of the sensors.
+    config = ScenarioConfig(
+        size=10.0,
+        grid=10,
+        num_workers=2,
+        num_pois=60,
+        num_stations=2,
+        horizon=60,
+        energy_budget=10.0,
+        corner_room=True,
+        corner_room_fraction=0.25,
+        seed=args.seed,
+    )
+    print("Post-earthquake rescue map "
+          f"({config.corner_room_fraction:.0%} of sensors in the corner room)")
+
+    trainer = build_trainer(
+        "cews",
+        config,
+        train=TrainConfig(num_employees=4, episodes=args.episodes, k_updates=4,
+                          seed=args.seed),
+        ppo=PPOConfig(batch_size=60, epochs=1, learning_rate=1e-3),
+    )
+    print(f"Training DRL-CEWS for {args.episodes} episodes ...")
+    trainer.train()
+    trainer.close()
+    cews = trainer.global_agent
+
+    rng = np.random.default_rng(args.seed)
+    print(f"\n{'method':10s} {'kappa':>7s} {'rho':>7s} {'corner-room recovery':>22s}")
+    results = {}
+    for agent, mode in ((cews, "sparse"), (GreedyAgent(), "dense"), (DnCAgent(), "dense")):
+        env = CrowdsensingEnv(config, reward_mode=mode, scenario=cews.scenario)
+        result = run_episode(agent, env, rng, greedy=False, record_trajectory=True)
+        recovery = corner_room_recovery(env)
+        results[agent.name] = result
+        print(f"{agent.name:10s} {result.metrics.kappa:7.3f} "
+              f"{result.metrics.rho:7.3f} {recovery:22.3f}")
+
+    print("\nDRL-CEWS trajectories (digits = workers, C = station, # = obstacle):")
+    steps = np.stack(results["DRL-CEWS"].trajectory)
+    paths = [steps[:, w] for w in range(config.num_workers)]
+    print(render_trajectories(cews.scenario, paths))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Heterogeneous fleets: per-worker sensing ranges (Definition 2's g^w).
+
+The paper's worker definition allows each worker its own sensing
+capability ("shooting range or facing direction of a camera").  This
+example builds a fleet of one wide-angle scout (g = 1.6) and one
+narrow-sensor collector (g = 0.5), compares it against a uniform fleet
+with the same *total* coverage area, and saves the hand-tuned scenario to
+JSON for reuse.
+
+Run:
+    python examples/heterogeneous_fleet.py [--episodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import CrowdsensingEnv, GreedyAgent, evaluate_policy
+from repro.env import ScenarioConfig, generate_scenario, load_scenario, save_scenario
+
+
+def equivalent_uniform_range(ranges) -> float:
+    """The single g giving the same total covered area as the mixed fleet."""
+    total_area = sum(math.pi * g * g for g in ranges)
+    return math.sqrt(total_area / (math.pi * len(ranges)))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--episodes", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=4)
+    args = parser.parse_args()
+
+    mixed_ranges = (1.6, 0.5)
+    uniform_range = equivalent_uniform_range(mixed_ranges)
+    base = dict(
+        size=10.0,
+        grid=10,
+        num_workers=2,
+        num_pois=70,
+        num_stations=2,
+        horizon=50,
+        energy_budget=10.0,
+        seed=args.seed,
+    )
+    fleets = {
+        f"mixed g={mixed_ranges}": ScenarioConfig(
+            worker_sensing_ranges=mixed_ranges, **base
+        ),
+        f"uniform g={uniform_range:.2f}": ScenarioConfig(
+            sensing_range=uniform_range, **base
+        ),
+    }
+
+    rng = np.random.default_rng(args.seed)
+    print(f"{'fleet':24s} {'kappa':>7s} {'xi':>7s} {'rho':>7s}")
+    for name, config in fleets.items():
+        env = CrowdsensingEnv(config, reward_mode="dense")
+        metrics = evaluate_policy(
+            GreedyAgent(), env, rng, episodes=args.episodes
+        )
+        print(f"{name:24s} {metrics.kappa:7.3f} {metrics.xi:7.3f} {metrics.rho:7.3f}")
+
+    # Persist the mixed-fleet world for later runs / hand editing.
+    mixed_config = fleets[f"mixed g={mixed_ranges}"]
+    scenario = generate_scenario(mixed_config)
+    path = Path(tempfile.gettempdir()) / "mixed_fleet_scenario.json"
+    save_scenario(scenario, path)
+    reloaded = load_scenario(path)
+    assert reloaded.config.worker_sensing_ranges == mixed_ranges
+    print(f"\nScenario saved to {path} and reloaded successfully "
+          f"(per-worker ranges preserved: {reloaded.config.worker_sensing_ranges}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `python setup.py develop` works in offline
+environments that lack the `wheel` package required by PEP 660 editable
+installs (`pip install -e .` falls back to this path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Curiosity-Driven Energy-Efficient Worker Scheduling "
+        "in Vehicular Crowdsourcing' (ICDE 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

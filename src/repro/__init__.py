@@ -1,0 +1,102 @@
+"""Reproduction of *Curiosity-Driven Energy-Efficient Worker Scheduling in
+Vehicular Crowdsourcing: A Deep Reinforcement Learning Approach* (Liu et
+al., ICDE 2020).
+
+The package is organized bottom-up:
+
+* :mod:`repro.nn` — a from-scratch numpy neural-network framework
+  (autograd, CNNs, Adam, distributions) standing in for PyTorch;
+* :mod:`repro.env` — the crowdsensing simulator: the OLDC MDP with PoIs,
+  obstacles, charging stations and the κ / ξ / ρ metrics;
+* :mod:`repro.curiosity` — the spatial curiosity model plus the ICM and
+  RND reference designs;
+* :mod:`repro.agents` — DRL-CEWS and the compared baselines (DPPO, Edics,
+  D&C, Greedy);
+* :mod:`repro.distributed` — the synchronous chief–employee training
+  architecture;
+* :mod:`repro.experiments` — runners regenerating every table and figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro import smoke_config, build_trainer, TrainConfig
+
+    trainer = build_trainer("cews", smoke_config())
+    history = trainer.train(episodes=50)
+    print(history.logs[-1].kappa)
+"""
+
+from .agents import (
+    CEWSAgent,
+    DnCAgent,
+    DPPOAgent,
+    EdicsAgent,
+    GreedyAgent,
+    PPOConfig,
+    PPOWorkerAgent,
+    RandomAgent,
+    evaluate_policy,
+    run_episode,
+)
+from .curiosity import (
+    ICMCuriosity,
+    NullCuriosity,
+    RNDCuriosity,
+    SpatialCuriosity,
+    TransitionBatch,
+)
+from .distributed import (
+    ChiefEmployeeTrainer,
+    TrainConfig,
+    TrainingHistory,
+    build_agent,
+    build_trainer,
+)
+from .env import (
+    Action,
+    CrowdsensingEnv,
+    Metrics,
+    ScenarioConfig,
+    compute_metrics,
+    generate_scenario,
+    paper_config,
+    smoke_config,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # simulator
+    "Action",
+    "CrowdsensingEnv",
+    "Metrics",
+    "ScenarioConfig",
+    "compute_metrics",
+    "generate_scenario",
+    "paper_config",
+    "smoke_config",
+    # agents
+    "CEWSAgent",
+    "DPPOAgent",
+    "EdicsAgent",
+    "DnCAgent",
+    "GreedyAgent",
+    "RandomAgent",
+    "PPOWorkerAgent",
+    "PPOConfig",
+    "evaluate_policy",
+    "run_episode",
+    # curiosity
+    "SpatialCuriosity",
+    "ICMCuriosity",
+    "RNDCuriosity",
+    "NullCuriosity",
+    "TransitionBatch",
+    # distributed
+    "ChiefEmployeeTrainer",
+    "TrainConfig",
+    "TrainingHistory",
+    "build_agent",
+    "build_trainer",
+]

@@ -1,0 +1,135 @@
+"""Top-level CLI: train, evaluate and report without writing code.
+
+Usage::
+
+    python -m repro train --method cews --scale smoke --episodes 50 \\
+        --checkpoint runs/cews.npz --history runs/cews.csv
+    python -m repro evaluate --method cews --scale smoke \\
+        --checkpoint runs/cews.npz --episodes 5
+    python -m repro report          # stitch results/*.txt into REPORT.md
+
+Figure/table regeneration lives under ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method", choices=("cews", "dppo", "edics"), default="cews"
+    )
+    parser.add_argument("--scale", choices=("smoke", "short", "paper"), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_trainer(args, episodes=None):
+    from .distributed import build_trainer
+    from .experiments.scales import get_scale
+    from .experiments.training import make_ppo_config, make_train_config
+
+    scale = get_scale(args.scale)
+    config = scale.scenario()
+    trainer = build_trainer(
+        args.method,
+        config,
+        train=make_train_config(scale, episodes=episodes, seed=args.seed),
+        ppo=make_ppo_config(scale),
+        seed=args.seed,
+    )
+    return trainer, scale, config
+
+
+def cmd_train(args) -> int:
+    from .distributed import save_checkpoint
+
+    trainer, scale, config = _build_trainer(args, episodes=args.episodes)
+    episodes = args.episodes if args.episodes is not None else scale.episodes
+    print(
+        f"training {args.method} on {config.grid}x{config.grid} "
+        f"(P={config.num_pois}, W={config.num_workers}) for {episodes} episodes"
+    )
+    try:
+        history = trainer.train()
+    finally:
+        trainer.close()
+    tail = max(len(history.logs) // 4, 1)
+    kappa = float(np.mean(history.curve("kappa")[-tail:]))
+    rho = float(np.mean(history.curve("rho")[-tail:]))
+    print(f"done in {history.total_wall_time:.1f}s; tail kappa={kappa:.3f} rho={rho:.3f}")
+    if args.history:
+        history.save_csv(args.history)
+        print(f"history -> {args.history}")
+    if args.checkpoint:
+        save_checkpoint(trainer, args.checkpoint)
+        print(f"checkpoint -> {args.checkpoint}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .distributed import load_checkpoint
+    from .experiments.training import evaluate_agent
+    from .experiments.scales import get_scale
+
+    trainer, scale, config = _build_trainer(args)
+    if args.checkpoint:
+        load_checkpoint(trainer, args.checkpoint)
+        print(f"loaded {args.checkpoint}")
+    agent = trainer.global_agent
+    scale = get_scale(args.scale).with_overrides(eval_episodes=args.episodes)
+    metrics = evaluate_agent(
+        agent,
+        config,
+        scale,
+        seed=args.seed,
+        reward_mode=getattr(agent, "reward_mode", "dense"),
+    )
+    trainer.close()
+    print(
+        f"kappa={metrics['kappa']:.3f} xi={metrics['xi']:.3f} "
+        f"rho={metrics['rho']:.3f} (mean of {args.episodes} episodes)"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.export import write_report
+
+    print(f"wrote {write_report()}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="DRL-CEWS reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train_parser = subparsers.add_parser("train", help="train one method")
+    _add_common(train_parser)
+    train_parser.add_argument("--episodes", type=int, default=None)
+    train_parser.add_argument("--checkpoint", default=None, help="save .npz here")
+    train_parser.add_argument("--history", default=None, help="save CSV logs here")
+    train_parser.set_defaults(func=cmd_train)
+
+    eval_parser = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
+    _add_common(eval_parser)
+    eval_parser.add_argument("--checkpoint", default=None, help="load .npz from here")
+    eval_parser.add_argument("--episodes", type=int, default=5)
+    eval_parser.set_defaults(func=cmd_evaluate)
+
+    report_parser = subparsers.add_parser(
+        "report", help="stitch results/*.txt into results/REPORT.md"
+    )
+    report_parser.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Agents: DRL-CEWS and every compared baseline (Section VII-B).
+
+* :class:`CEWSAgent` — the paper's method (PPO + spatial curiosity +
+  sparse reward);
+* :class:`DPPOAgent` — distributed PPO on the dense reward;
+* :class:`EdicsAgent` — multi-agent DRL, one PPO agent per worker;
+* :class:`DnCAgent` — two-step-lookahead prediction-based assignment;
+* :class:`GreedyAgent` — one-step-lookahead data maximization;
+* :class:`RandomAgent` — uniform-random floor (not in the paper, used by
+  tests).
+"""
+
+from .base import Agent, EpisodeResult, evaluate_policy, run_episode
+from .cews import CEWSAgent
+from .dnc import DnCAgent
+from .dppo import DPPOAgent
+from .edics import EdicsAgent, EdicsRollout
+from .greedy import GreedyAgent
+from .networks import CNNActorCritic, PolicyOutput
+from .policy import GradientPack, PPOWorkerAgent
+from .ppo import PPOConfig, PPOStats, ppo_loss
+from .random_agent import RandomAgent
+from .rollout import MiniBatch, RolloutBuffer, Transition, discounted_returns, gae_advantages
+
+__all__ = [
+    "Agent",
+    "EpisodeResult",
+    "evaluate_policy",
+    "run_episode",
+    "CEWSAgent",
+    "DnCAgent",
+    "DPPOAgent",
+    "EdicsAgent",
+    "EdicsRollout",
+    "GreedyAgent",
+    "RandomAgent",
+    "CNNActorCritic",
+    "PolicyOutput",
+    "GradientPack",
+    "PPOWorkerAgent",
+    "PPOConfig",
+    "PPOStats",
+    "ppo_loss",
+    "MiniBatch",
+    "RolloutBuffer",
+    "Transition",
+    "discounted_returns",
+    "gae_advantages",
+]

@@ -1,0 +1,115 @@
+"""Common agent interface and evaluation helpers.
+
+Every method compared in Section VII — DRL-CEWS, DPPO, Edics, Greedy and
+D&C — implements :class:`Agent`: given the environment's current situation
+it returns one joint :class:`~repro.env.actions.Action`.  The scripted
+baselines are stateless; the learned ones wrap networks.
+
+:func:`evaluate_policy` runs the paper's testing process (Section VI-D):
+roll the policy (greedy heads, no exploration) for one episode and report
+the final κ / ξ / ρ metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+import numpy as np
+
+from ..env.actions import Action
+from ..env.env import CrowdsensingEnv
+from ..env.metrics import Metrics
+
+__all__ = ["Agent", "EpisodeResult", "evaluate_policy", "run_episode"]
+
+
+class Agent(Protocol):
+    """The common decision interface of all compared methods."""
+
+    name: str
+
+    def act(
+        self, env: CrowdsensingEnv, rng: np.random.Generator, greedy: bool = False
+    ) -> Action:
+        """Choose the joint action for the environment's current state."""
+        ...
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one full episode."""
+
+    metrics: Metrics
+    extrinsic_reward: float
+    intrinsic_reward: float = 0.0
+    steps: int = 0
+    trajectory: Optional[List[np.ndarray]] = None
+    kappa_curve: List[float] = field(default_factory=list)
+
+    @property
+    def total_reward(self) -> float:
+        return self.extrinsic_reward + self.intrinsic_reward
+
+
+def run_episode(
+    agent: Agent,
+    env: CrowdsensingEnv,
+    rng: np.random.Generator,
+    greedy: bool = True,
+    record_trajectory: bool = False,
+    record_kappa: bool = False,
+) -> EpisodeResult:
+    """Roll ``agent`` for one episode on ``env`` and collect the outcome."""
+    env.reset()
+    trajectory: Optional[List[np.ndarray]] = [] if record_trajectory else None
+    if trajectory is not None:
+        trajectory.append(env.workers.positions.copy())
+    total_reward = 0.0
+    kappa_curve: List[float] = []
+    done = False
+    steps = 0
+    while not done:
+        action = agent.act(env, rng, greedy=greedy)
+        __, reward, done, info = env.step(action)
+        total_reward += reward
+        steps += 1
+        if trajectory is not None:
+            trajectory.append(info["positions"].copy())
+        if record_kappa:
+            kappa_curve.append(env.metrics().kappa)
+    return EpisodeResult(
+        metrics=env.metrics(),
+        extrinsic_reward=total_reward,
+        steps=steps,
+        trajectory=trajectory,
+        kappa_curve=kappa_curve,
+    )
+
+
+def evaluate_policy(
+    agent: Agent,
+    env: CrowdsensingEnv,
+    rng: Optional[np.random.Generator] = None,
+    episodes: int = 1,
+    greedy: bool = False,
+) -> Metrics:
+    """The paper's testing process: roll the trained policy, average metrics.
+
+    Actions are sampled from the policy distribution by default (the
+    paper's "use the trained policy network π to output actions");
+    ``greedy=True`` takes the argmax instead.
+    """
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1, got {episodes}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    snapshots = [
+        run_episode(agent, env, rng, greedy=greedy).metrics for __ in range(episodes)
+    ]
+    if episodes == 1:
+        return snapshots[0]
+    mean = {
+        key: float(np.mean([snap.as_dict()[key] for snap in snapshots]))
+        for key in snapshots[0].as_dict()
+    }
+    return Metrics(**mean)

@@ -1,0 +1,70 @@
+"""DRL-CEWS: the paper's proposed method (Section V).
+
+A :class:`~repro.agents.policy.PPOWorkerAgent` configured exactly as the
+paper selects in Sections VII-C/D/E:
+
+* CNN actor-critic with layer normalization (Fig. 1),
+* **sparse** extrinsic reward (Eqns. 18-19),
+* **spatial curiosity** intrinsic reward with the *shared embedding*
+  feature (the winner of the Fig. 4 feature-selection study), η = 0.3,
+* trained with PPO under the synchronous chief–employee architecture
+  (8 employees, batch size 250 per Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..curiosity.spatial import SpatialCuriosity
+from ..env.config import ScenarioConfig
+from ..env.generator import Scenario, generate_scenario
+from .policy import PPOWorkerAgent
+from .ppo import PPOConfig
+
+__all__ = ["CEWSAgent"]
+
+
+class CEWSAgent(PPOWorkerAgent):
+    """DRL-CEWS agent: PPO + spatial curiosity + sparse reward."""
+
+    #: reward mode the training environment should use for this agent
+    reward_mode = "sparse"
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        scenario: Optional[Scenario] = None,
+        ppo: Optional[PPOConfig] = None,
+        eta: float = 0.3,
+        feature: str = "embedding",
+        structure: str = "shared",
+        seed: int = 0,
+        feature_dim: int = 128,
+        layer_norm: bool = True,
+    ):
+        scenario = scenario if scenario is not None else generate_scenario(config)
+        if scenario.config != config:
+            raise ValueError("scenario was generated from a different config")
+        # feature_seed is tied to the scenario, not the agent seed: every
+        # employee's frozen feature table must match the global model's.
+        curiosity = SpatialCuriosity(
+            scenario.space,
+            feature=feature,
+            structure=structure,
+            num_workers=config.num_workers,
+            eta=eta,
+            seed=seed,
+            feature_seed=config.seed,
+        )
+        super().__init__(
+            config=config,
+            curiosity=curiosity,
+            ppo=ppo,
+            seed=seed,
+            feature_dim=feature_dim,
+            layer_norm=layer_norm,
+            name="DRL-CEWS",
+        )
+        self.scenario = scenario

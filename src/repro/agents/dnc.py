@@ -1,0 +1,105 @@
+"""D&C baseline — prediction-based task assignment (Lian et al., ICDE'17).
+
+Adapted to worker scheduling as the paper describes (Section VII-B):
+"we first derive all the possible positions for workers at time slot t+1
+and t+2, and calculate the expected collected data.  After, we choose the
+actions that can maximize the expected collected data for time t."
+
+I.e. a two-step lookahead: for every valid move at ``t+1`` the agent also
+evaluates the best follow-up move at ``t+2`` and picks the first move of
+the best two-step plan.  Like Greedy it claims data sequentially across
+workers and charges opportunistically when standing near a station with a
+low battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import Action, MOVE_OFFSETS, NUM_MOVES
+from ..env.env import CrowdsensingEnv
+from ..env.space import euclidean
+from .greedy import claim_collection, expected_collection
+
+__all__ = ["DnCAgent"]
+
+
+class DnCAgent:
+    """Two-step-lookahead expected-data maximization."""
+
+    name = "D&C"
+
+    def __init__(self, charge_threshold: float = 0.5):
+        if not 0.0 <= charge_threshold <= 1.0:
+            raise ValueError(
+                f"charge_threshold must be in [0, 1], got {charge_threshold}"
+            )
+        self.charge_threshold = charge_threshold
+
+    def _second_step_gain(
+        self,
+        env: CrowdsensingEnv,
+        position: np.ndarray,
+        available: np.ndarray,
+        sensing_range: float,
+    ) -> float:
+        """Best single-move gain from ``position`` given ``available`` data."""
+        config = env.config
+        targets = position + MOVE_OFFSETS * config.move_step
+        best = 0.0
+        for move in range(NUM_MOVES):
+            target = targets[move]
+            if env.space.is_blocked(target) or env.space.segment_blocked(
+                position, target, samples=4
+            ):
+                continue
+            gain = expected_collection(
+                env, target, available, sensing_range=sensing_range
+            )
+            if gain > best:
+                best = gain
+        return best
+
+    def act(
+        self, env: CrowdsensingEnv, rng: np.random.Generator, greedy: bool = True
+    ) -> Action:
+        """Plan this slot's joint action (``rng`` only breaks ties)."""
+        config = env.config
+        num_workers = env.num_workers
+        move_mask = env.valid_moves()
+        near_station = env.charge_possible()
+        available = env.pois.values.copy()
+
+        moves = np.zeros(num_workers, dtype=np.int64)
+        charges = np.zeros(num_workers, dtype=np.int64)
+        for w in range(num_workers):
+            battery_fraction = env.workers.energy[w] / env.workers.capacity
+            if near_station[w] and battery_fraction < self.charge_threshold:
+                charges[w] = 1
+                continue
+            sensing = env.sensing_range_of(w)
+            targets = env.workers.positions[w] + MOVE_OFFSETS * config.move_step
+            scores = np.full(NUM_MOVES, -np.inf)
+            for move in range(NUM_MOVES):
+                if not move_mask[w, move]:
+                    continue
+                first_gain = expected_collection(
+                    env, targets[move], available, sensing_range=sensing
+                )
+                # Evaluate the follow-up on a copy where the first step's
+                # data has been claimed.
+                follow_available = available.copy()
+                claim_collection(
+                    env, targets[move], follow_available, sensing_range=sensing
+                )
+                second_gain = self._second_step_gain(
+                    env, targets[move], follow_available, sensing
+                )
+                scores[move] = first_gain + second_gain
+            best = int(np.argmax(scores))
+            if scores[best] <= 0.0:
+                valid = np.nonzero(move_mask[w])[0]
+                best = int(rng.choice(valid))
+            moves[w] = best
+            claim_collection(env, targets[best], available, sensing_range=sensing)
+        return Action(charge=charges, move=moves)

@@ -1,0 +1,118 @@
+"""Greedy baseline (Section VII-B).
+
+"For each time slot t, the server first derives all the possible positions
+for worker w at time t+1, and then calculates the corresponding collected
+data.  After, the worker w travels to the specific position that maximizes
+the collected data while satisfying its current energy budget."
+
+Workers are processed in index order and each sees the data already claimed
+by earlier workers this slot (competitive, matching the environment's
+sequential collection).  A worker that happens to stand within charging
+range with a low battery charges — greedy can exploit a station it stumbles
+onto, but never *seeks* one, which is exactly the failure mode the paper
+observes ("workers are easily trapped in a small region ... and fail to
+find other charging stations").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import Action, MOVE_OFFSETS, NUM_MOVES
+from ..env.env import CrowdsensingEnv
+from ..env.space import euclidean
+
+__all__ = ["GreedyAgent", "expected_collection"]
+
+
+def expected_collection(
+    env: CrowdsensingEnv,
+    position: np.ndarray,
+    available: np.ndarray,
+    sensing_range: float | None = None,
+) -> float:
+    """Data a worker at ``position`` would collect given ``available`` values.
+
+    ``available`` is a working copy of the per-PoI remaining values for the
+    current planning pass (so that already-claimed data is not counted
+    twice).  ``sensing_range`` defaults to the scenario's global ``g``;
+    pass the worker's own ``g^w`` for heterogeneous fleets.
+    """
+    if sensing_range is None:
+        sensing_range = env.config.sensing_range
+    in_range = euclidean(env.pois.positions, position) <= sensing_range
+    if not np.any(in_range):
+        return 0.0
+    take = np.minimum(
+        env.config.collect_rate * env.pois.initial_values[in_range],
+        available[in_range],
+    )
+    return float(take.sum())
+
+
+def claim_collection(
+    env: CrowdsensingEnv,
+    position: np.ndarray,
+    available: np.ndarray,
+    sensing_range: float | None = None,
+) -> None:
+    """Deduct from ``available`` what a worker at ``position`` would collect."""
+    if sensing_range is None:
+        sensing_range = env.config.sensing_range
+    in_range = euclidean(env.pois.positions, position) <= sensing_range
+    if not np.any(in_range):
+        return
+    take = np.minimum(
+        env.config.collect_rate * env.pois.initial_values[in_range],
+        available[in_range],
+    )
+    available[in_range] -= take
+
+
+class GreedyAgent:
+    """One-step-lookahead data maximization."""
+
+    name = "Greedy"
+
+    def __init__(self, charge_threshold: float = 0.5):
+        """``charge_threshold``: charge opportunistically below this battery fraction."""
+        if not 0.0 <= charge_threshold <= 1.0:
+            raise ValueError(
+                f"charge_threshold must be in [0, 1], got {charge_threshold}"
+            )
+        self.charge_threshold = charge_threshold
+
+    def act(
+        self, env: CrowdsensingEnv, rng: np.random.Generator, greedy: bool = True
+    ) -> Action:
+        """Plan this slot's joint action (``rng`` only breaks ties)."""
+        config = env.config
+        num_workers = env.num_workers
+        move_mask = env.valid_moves()
+        near_station = env.charge_possible()
+        available = env.pois.values.copy()
+
+        moves = np.zeros(num_workers, dtype=np.int64)
+        charges = np.zeros(num_workers, dtype=np.int64)
+        for w in range(num_workers):
+            battery_fraction = env.workers.energy[w] / env.workers.capacity
+            if near_station[w] and battery_fraction < self.charge_threshold:
+                charges[w] = 1
+                continue
+            sensing = env.sensing_range_of(w)
+            targets = env.workers.positions[w] + MOVE_OFFSETS * config.move_step
+            gains = np.full(NUM_MOVES, -np.inf)
+            for move in range(NUM_MOVES):
+                if not move_mask[w, move]:
+                    continue
+                gains[move] = expected_collection(
+                    env, targets[move], available, sensing_range=sensing
+                )
+            best = int(np.argmax(gains))
+            # Tie-break toward a random valid move so stuck workers wander.
+            if gains[best] <= 0.0:
+                valid = np.nonzero(move_mask[w])[0]
+                best = int(rng.choice(valid))
+            moves[w] = best
+            claim_collection(env, targets[best], available, sensing_range=sensing)
+        return Action(charge=charges, move=moves)

@@ -1,0 +1,32 @@
+"""A uniform-random agent, used as a floor in tests and sanity checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import Action
+from ..env.env import CrowdsensingEnv
+
+__all__ = ["RandomAgent"]
+
+
+class RandomAgent:
+    """Picks a uniformly random valid move and charges with probability p."""
+
+    name = "Random"
+
+    def __init__(self, charge_probability: float = 0.1):
+        if not 0.0 <= charge_probability <= 1.0:
+            raise ValueError(
+                f"charge_probability must be in [0, 1], got {charge_probability}"
+            )
+        self.charge_probability = charge_probability
+
+    def act(
+        self, env: CrowdsensingEnv, rng: np.random.Generator, greedy: bool = False
+    ) -> Action:
+        """Sample a uniformly random valid joint action."""
+        mask = env.valid_moves()
+        moves = np.array([rng.choice(np.nonzero(row)[0]) for row in mask])
+        charges = (rng.random(env.num_workers) < self.charge_probability).astype(np.int64)
+        return Action(charge=charges, move=moves)

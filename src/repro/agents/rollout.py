@@ -1,0 +1,193 @@
+"""Experience storage and return/advantage computation.
+
+:class:`RolloutBuffer` is the replay buffer ``D`` of Algorithm 1: each
+slot's ``[s_t, u_t, v_t, r_t]`` record plus what PPO needs later (old log
+probabilities, values, validity masks) and what the curiosity model needs
+(worker positions before/after the move).
+
+Returns are the paper's ``G_t = r_t + γ r_{t+1} + ... + γ^{T-t} V(s_T)``
+(Eqn. 11); advantages can be either ``G_t − V(s_t)`` (Monte-Carlo) or the
+generalized advantage estimator (GAE), controlled by ``gae_lambda``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["Transition", "MiniBatch", "RolloutBuffer", "discounted_returns", "gae_advantages"]
+
+
+#: width of the per-worker feature vector stored with each transition
+WORKER_FEATURE_DIM = 3
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One time slot's record.
+
+    ``worker_features`` holds the per-worker ``[x/L, y/L, b/b0]`` vector
+    fed to the policy heads; ``None`` stores zeros (CNN-only operation).
+    """
+
+    state: np.ndarray
+    move_mask: np.ndarray
+    moves: np.ndarray
+    charges: np.ndarray
+    log_prob: float
+    value: float
+    reward: float
+    done: bool
+    positions: np.ndarray
+    next_positions: np.ndarray
+    next_state: np.ndarray
+    worker_features: Optional[np.ndarray] = None
+
+    def worker_features_or_zeros(self) -> np.ndarray:
+        """Stored features, or zeros for CNN-only transitions."""
+        if self.worker_features is not None:
+            return self.worker_features
+        return np.zeros((len(self.moves), WORKER_FEATURE_DIM))
+
+
+@dataclass(frozen=True)
+class MiniBatch:
+    """A sampled slice of the buffer, as dense arrays."""
+
+    states: np.ndarray          # (B, C, G, G)
+    move_masks: np.ndarray      # (B, W, M)
+    moves: np.ndarray           # (B, W)
+    charges: np.ndarray         # (B, W)
+    log_probs: np.ndarray       # (B,)
+    values: np.ndarray          # (B,)
+    returns: np.ndarray         # (B,)
+    advantages: np.ndarray      # (B,)
+    positions: np.ndarray       # (B, W, 2)
+    next_positions: np.ndarray  # (B, W, 2)
+    next_states: np.ndarray     # (B, C, G, G)
+    worker_features: np.ndarray  # (B, W, WORKER_FEATURE_DIM)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+
+def discounted_returns(
+    rewards: np.ndarray, dones: np.ndarray, gamma: float, bootstrap: float
+) -> np.ndarray:
+    """``G_t`` with a terminal bootstrap value (Eqn. 11's target)."""
+    returns = np.zeros_like(rewards, dtype=np.float64)
+    running = bootstrap
+    for t in range(len(rewards) - 1, -1, -1):
+        if dones[t]:
+            running = 0.0
+        running = rewards[t] + gamma * running
+        returns[t] = running
+    return returns
+
+
+def gae_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    gamma: float,
+    lam: float,
+    bootstrap: float,
+) -> np.ndarray:
+    """Generalized advantage estimation (Schulman et al. 2016)."""
+    advantages = np.zeros_like(rewards, dtype=np.float64)
+    gae = 0.0
+    next_value = bootstrap
+    for t in range(len(rewards) - 1, -1, -1):
+        if dones[t]:
+            next_value = 0.0
+            gae = 0.0
+        delta = rewards[t] + gamma * next_value - values[t]
+        gae = delta + gamma * lam * gae
+        advantages[t] = gae
+        next_value = values[t]
+    return advantages
+
+
+class RolloutBuffer:
+    """Replay buffer ``D`` of Algorithm 1, cleared each episode."""
+
+    def __init__(self, gamma: float = 0.99, gae_lambda: Optional[float] = 0.95):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        if gae_lambda is not None and not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError(f"gae_lambda must be in [0, 1], got {gae_lambda}")
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self._transitions: List[Transition] = []
+        self._returns: Optional[np.ndarray] = None
+        self._advantages: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+    def clear(self) -> None:
+        """Drop all stored transitions (start of a new episode)."""
+        self._transitions.clear()
+        self._returns = None
+        self._advantages = None
+
+    def add(self, transition: Transition) -> None:
+        """Append one transition (invalidates computed returns)."""
+        self._transitions.append(transition)
+        self._returns = None
+        self._advantages = None
+
+    # ------------------------------------------------------------------
+    def finalize(self, bootstrap_value: float = 0.0) -> None:
+        """Compute returns and advantages for everything stored so far."""
+        if not self._transitions:
+            raise RuntimeError("cannot finalize an empty rollout buffer")
+        rewards = np.array([tr.reward for tr in self._transitions])
+        values = np.array([tr.value for tr in self._transitions])
+        dones = np.array([tr.done for tr in self._transitions])
+        self._returns = discounted_returns(rewards, dones, self.gamma, bootstrap_value)
+        if self.gae_lambda is None:
+            self._advantages = self._returns - values
+        else:
+            self._advantages = gae_advantages(
+                rewards, values, dones, self.gamma, self.gae_lambda, bootstrap_value
+            )
+
+    def _gather(self, indices: np.ndarray) -> MiniBatch:
+        if self._returns is None or self._advantages is None:
+            raise RuntimeError("call finalize() before sampling")
+        picked = [self._transitions[i] for i in indices]
+        return MiniBatch(
+            states=np.stack([tr.state for tr in picked]),
+            move_masks=np.stack([tr.move_mask for tr in picked]),
+            moves=np.stack([tr.moves for tr in picked]),
+            charges=np.stack([tr.charges for tr in picked]),
+            log_probs=np.array([tr.log_prob for tr in picked]),
+            values=np.array([tr.value for tr in picked]),
+            returns=self._returns[indices],
+            advantages=self._advantages[indices],
+            positions=np.stack([tr.positions for tr in picked]),
+            next_positions=np.stack([tr.next_positions for tr in picked]),
+            next_states=np.stack([tr.next_state for tr in picked]),
+            worker_features=np.stack(
+                [tr.worker_features_or_zeros() for tr in picked]
+            ),
+        )
+
+    def minibatches(
+        self, batch_size: int, rng: np.random.Generator, epochs: int = 1
+    ) -> Iterator[MiniBatch]:
+        """Yield shuffled minibatches; ``epochs`` full passes over the data."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        count = len(self._transitions)
+        for __ in range(epochs):
+            order = rng.permutation(count)
+            for start in range(0, count, batch_size):
+                yield self._gather(order[start : start + batch_size])
+
+    def full_batch(self) -> MiniBatch:
+        """The whole buffer as one batch (used by tests and small updates)."""
+        return self._gather(np.arange(len(self._transitions)))

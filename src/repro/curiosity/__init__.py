@@ -1,0 +1,29 @@
+"""Intrinsic-reward (curiosity) models.
+
+The paper's spatial curiosity model (:class:`SpatialCuriosity`) plus the
+two reference designs it is evaluated against: the full ICM of Pathak et
+al. (:class:`ICMCuriosity`) and random network distillation
+(:class:`RNDCuriosity`).  :class:`NullCuriosity` is the "without
+curiosity" ablation arm.
+"""
+
+from .base import CuriosityModule, NullCuriosity, TransitionBatch
+from .features import DirectFeature, EmbeddingFeature, PositionFeature, make_feature
+from .icm import ICMCuriosity, StateEncoder
+from .rnd import RNDCuriosity
+from .spatial import ForwardModel, SpatialCuriosity
+
+__all__ = [
+    "CuriosityModule",
+    "NullCuriosity",
+    "TransitionBatch",
+    "DirectFeature",
+    "EmbeddingFeature",
+    "PositionFeature",
+    "make_feature",
+    "ICMCuriosity",
+    "StateEncoder",
+    "RNDCuriosity",
+    "ForwardModel",
+    "SpatialCuriosity",
+]

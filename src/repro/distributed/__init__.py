@@ -1,0 +1,30 @@
+"""Distributed training: the paper's synchronous chief–employee
+architecture, plus the asynchronous actor-learner (with V-trace
+correction) it is contrasted against in Section V-A."""
+
+from .async_trainer import AsyncActorLearner, AsyncConfig, AsyncHistory, AsyncLog
+from .checkpoint import load_checkpoint, save_checkpoint
+from .factories import TRAINABLE_METHODS, build_agent, build_async_trainer, build_trainer
+from .gradient_buffer import GradientBuffer
+from .trainer import ChiefEmployeeTrainer, EpisodeLog, TrainConfig, TrainingHistory
+from .vtrace import VTraceReturns, vtrace_targets
+
+__all__ = [
+    "GradientBuffer",
+    "ChiefEmployeeTrainer",
+    "EpisodeLog",
+    "TrainConfig",
+    "TrainingHistory",
+    "build_agent",
+    "build_trainer",
+    "build_async_trainer",
+    "TRAINABLE_METHODS",
+    "AsyncActorLearner",
+    "AsyncConfig",
+    "AsyncHistory",
+    "AsyncLog",
+    "VTraceReturns",
+    "vtrace_targets",
+    "save_checkpoint",
+    "load_checkpoint",
+]

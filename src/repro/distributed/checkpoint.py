@@ -1,0 +1,107 @@
+"""Training checkpoints: save and resume a chief–employee run.
+
+Section VI-D: "In a training process, the parameters in DNNs are
+periodically saved for testing."  A checkpoint captures everything needed
+to resume exactly — the global agent's parameters (policy + curiosity) and
+both Adam optimizers' moment state — as one ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .trainer import ChiefEmployeeTrainer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+PathLike = Union[str, os.PathLike]
+
+_NONE_SENTINEL = "__none__"
+
+
+def _pack_optimizer(prefix: str, state: Dict, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Flatten an Adam state dict into the npz array table + a manifest."""
+    manifest = {"step_count": state["step_count"], "m": [], "v": []}
+    for kind in ("m", "v"):
+        for i, moment in enumerate(state[kind]):
+            if moment is None:
+                manifest[kind].append(_NONE_SENTINEL)
+            else:
+                key = f"{prefix}.{kind}.{i}"
+                arrays[key] = moment
+                manifest[kind].append(key)
+    return manifest
+
+
+def _unpack_optimizer(manifest: Dict, archive) -> Dict:
+    state = {"step_count": manifest["step_count"], "m": [], "v": []}
+    for kind in ("m", "v"):
+        for key in manifest[kind]:
+            state[kind].append(None if key == _NONE_SENTINEL else archive[key])
+    return state
+
+
+def save_checkpoint(trainer: ChiefEmployeeTrainer, path: PathLike) -> None:
+    """Write the trainer's resumable state to ``path`` (.npz)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for key, value in trainer.global_agent.state_dict().items():
+        arrays[f"agent.{key}"] = value
+
+    manifest = {
+        "policy_optimizer": _pack_optimizer(
+            "opt.policy", trainer.policy_optimizer.state_dict(), arrays
+        ),
+    }
+    if trainer.curiosity_optimizer is not None:
+        manifest["curiosity_optimizer"] = _pack_optimizer(
+            "opt.curiosity", trainer.curiosity_optimizer.state_dict(), arrays
+        )
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(trainer: ChiefEmployeeTrainer, path: PathLike) -> None:
+    """Restore a trainer (global agent + optimizer state) in place.
+
+    The trainer must be structurally identical to the one that saved the
+    checkpoint (same method, scenario geometry and optimizer layout).
+    """
+    with np.load(path) as archive:
+        manifest = json.loads(bytes(archive["__manifest__"]).decode())
+        agent_state = {
+            key[len("agent."):]: archive[key].copy()
+            for key in archive.files
+            if key.startswith("agent.")
+        }
+        trainer.global_agent.load_state_dict(agent_state)
+        trainer.policy_optimizer.load_state_dict(
+            _unpack_optimizer(manifest["policy_optimizer"], archive)
+        )
+        has_curiosity_state = "curiosity_optimizer" in manifest
+        if trainer.curiosity_optimizer is not None:
+            if not has_curiosity_state:
+                raise ValueError(
+                    "checkpoint has no curiosity optimizer state but the "
+                    "trainer expects one"
+                )
+            trainer.curiosity_optimizer.load_state_dict(
+                _unpack_optimizer(manifest["curiosity_optimizer"], archive)
+            )
+        elif has_curiosity_state:
+            raise ValueError(
+                "checkpoint contains curiosity optimizer state but the "
+                "trainer has no curiosity optimizer"
+            )
+    # Employees re-sync from the restored global model on the next episode.
+    for employee in trainer.employees:
+        employee.sync(trainer.global_agent)

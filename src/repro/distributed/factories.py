@@ -1,0 +1,204 @@
+"""Convenience constructors wiring agents, environments and the trainer.
+
+The experiment harness builds many near-identical training setups (method
+x scenario x hyperparameters); these factories centralize that wiring so
+every table/figure runner stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..agents.cews import CEWSAgent
+from ..agents.dppo import DPPOAgent
+from ..agents.edics import EdicsAgent
+from ..agents.policy import PPOWorkerAgent
+from ..agents.ppo import PPOConfig
+from ..curiosity.base import NullCuriosity
+from ..curiosity.icm import ICMCuriosity
+from ..curiosity.rnd import RNDCuriosity
+from ..curiosity.spatial import SpatialCuriosity
+from ..env.config import ScenarioConfig
+from ..env.env import CrowdsensingEnv
+from ..env.generator import Scenario, generate_scenario
+from ..env.state import STATE_CHANNELS
+from .async_trainer import AsyncActorLearner, AsyncConfig
+from .trainer import ChiefEmployeeTrainer, TrainConfig
+
+__all__ = ["build_agent", "build_trainer", "build_async_trainer", "TRAINABLE_METHODS"]
+
+TRAINABLE_METHODS = ("cews", "dppo", "edics")
+
+
+def build_agent(
+    method: str,
+    config: ScenarioConfig,
+    scenario: Optional[Scenario] = None,
+    ppo: Optional[PPOConfig] = None,
+    seed: int = 0,
+    curiosity: Optional[str] = None,
+    reward: Optional[str] = None,
+    eta: float = 0.3,
+    feature: str = "embedding",
+    structure: str = "shared",
+):
+    """Build one trainable agent.
+
+    Parameters
+    ----------
+    method:
+        ``"cews"``, ``"dppo"`` or ``"edics"``.
+    curiosity:
+        Override the method's default curiosity: ``None`` (method default),
+        ``"spatial"``, ``"icm"``, ``"rnd"`` or ``"none"``.  Used by the
+        Fig. 4 / Fig. 5 ablations.
+    reward:
+        Override the training reward mode (``"sparse"`` / ``"dense"``);
+        stored on the agent as ``reward_mode``.
+    feature, structure:
+        Spatial-curiosity variants (Fig. 4): feature in
+        {"embedding", "direct"}, structure in {"shared", "independent"}.
+    """
+    if method not in TRAINABLE_METHODS:
+        raise ValueError(f"method must be one of {TRAINABLE_METHODS}, got {method!r}")
+    scenario = scenario if scenario is not None else generate_scenario(config)
+
+    if method == "edics":
+        agent = EdicsAgent(config, ppo=ppo, seed=seed)
+    elif method == "dppo":
+        agent = DPPOAgent(config, ppo=ppo, seed=seed)
+    else:
+        agent = CEWSAgent(
+            config,
+            scenario=scenario,
+            ppo=ppo,
+            eta=eta,
+            feature=feature,
+            structure=structure,
+            seed=seed,
+        )
+
+    if curiosity is not None and method != "edics":
+        if curiosity == "none":
+            agent.curiosity = NullCuriosity()
+        elif curiosity == "spatial":
+            agent.curiosity = SpatialCuriosity(
+                scenario.space,
+                feature=feature,
+                structure=structure,
+                num_workers=config.num_workers,
+                eta=eta,
+                seed=seed,
+                feature_seed=config.seed,
+            )
+        elif curiosity == "icm":
+            agent.curiosity = ICMCuriosity(
+                STATE_CHANNELS, config.grid, config.num_workers, eta=eta, seed=seed
+            )
+        elif curiosity == "rnd":
+            agent.curiosity = RNDCuriosity(
+                STATE_CHANNELS, config.grid, eta=eta, seed=seed,
+                target_seed=config.seed,
+            )
+        else:
+            raise ValueError(f"unknown curiosity override {curiosity!r}")
+        agent._needs_states = not isinstance(agent.curiosity, NullCuriosity)
+
+    if reward is not None:
+        if reward not in ("sparse", "dense"):
+            raise ValueError(f"reward must be 'sparse' or 'dense', got {reward!r}")
+        agent.reward_mode = reward
+    return agent
+
+
+def build_trainer(
+    method: str,
+    config: ScenarioConfig,
+    train: Optional[TrainConfig] = None,
+    ppo: Optional[PPOConfig] = None,
+    seed: int = 0,
+    **agent_kwargs,
+) -> ChiefEmployeeTrainer:
+    """Build a ready-to-run chief–employee trainer for ``method``.
+
+    The global agent and every employee share one generated scenario (the
+    same map); each employee gets its own environment instance over it.
+    Extra keyword arguments are forwarded to :func:`build_agent`.
+    """
+    train = train if train is not None else TrainConfig()
+    scenario = generate_scenario(config)
+
+    global_agent = build_agent(
+        method, config, scenario=scenario, ppo=ppo, seed=seed, **agent_kwargs
+    )
+    reward_mode = getattr(global_agent, "reward_mode", "dense")
+
+    def agent_factory(index: int):
+        return build_agent(
+            method,
+            config,
+            scenario=scenario,
+            ppo=ppo,
+            seed=seed + 1000 + index,
+            **agent_kwargs,
+        )
+
+    def env_factory(index: int) -> CrowdsensingEnv:
+        return CrowdsensingEnv(config, reward_mode=reward_mode, scenario=scenario)
+
+    eval_env = CrowdsensingEnv(config, reward_mode=reward_mode, scenario=scenario)
+    return ChiefEmployeeTrainer(
+        global_agent=global_agent,
+        agent_factory=agent_factory,
+        env_factory=env_factory,
+        config=train,
+        eval_env=eval_env,
+    )
+
+
+def build_async_trainer(
+    method: str,
+    config: ScenarioConfig,
+    async_config: Optional[AsyncConfig] = None,
+    ppo: Optional[PPOConfig] = None,
+    seed: int = 0,
+    **agent_kwargs,
+) -> AsyncActorLearner:
+    """Build the asynchronous actor-learner alternative for ``method``.
+
+    Mirrors :func:`build_trainer` but wires an :class:`AsyncActorLearner`
+    (Section V-A's rejected design, with optional V-trace correction).
+    ``edics`` is not supported — its per-worker networks have no single
+    learner-side joint policy to correct.
+    """
+    if method == "edics":
+        raise ValueError("the asynchronous trainer does not support 'edics'")
+    async_config = async_config if async_config is not None else AsyncConfig()
+    scenario = generate_scenario(config)
+
+    learner = build_agent(
+        method, config, scenario=scenario, ppo=ppo, seed=seed, **agent_kwargs
+    )
+    reward_mode = getattr(learner, "reward_mode", "dense")
+
+    def actor_factory(index: int):
+        return build_agent(
+            method,
+            config,
+            scenario=scenario,
+            ppo=ppo,
+            seed=seed + 2000 + index,
+            **agent_kwargs,
+        )
+
+    def env_factory(index: int) -> CrowdsensingEnv:
+        return CrowdsensingEnv(config, reward_mode=reward_mode, scenario=scenario)
+
+    return AsyncActorLearner(
+        learner_agent=learner,
+        actor_factory=actor_factory,
+        env_factory=env_factory,
+        config=async_config,
+    )

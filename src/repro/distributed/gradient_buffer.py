@@ -1,0 +1,76 @@
+"""Global gradient buffers (Fig. 1, center).
+
+Two of these sit between the employees and the chief: the **PPO gradient
+buffer** (policy, value and CNN gradients) and the **curiosity gradient
+buffer** (forward-model gradients).  Each "accepts the gradient sent by
+employee threads ..., sums them up, and sends them to chief".
+
+The buffer is thread-safe so the threaded driver's employees can push
+concurrently; the chief drains it once all contributions have arrived.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GradientBuffer"]
+
+
+class GradientBuffer:
+    """Thread-safe accumulator of aligned gradient lists."""
+
+    def __init__(self, num_params: int):
+        if num_params < 0:
+            raise ValueError(f"num_params cannot be negative, got {num_params}")
+        self.num_params = num_params
+        self._lock = threading.Lock()
+        self._sum: Optional[List[np.ndarray]] = None
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of employee contributions currently accumulated."""
+        with self._lock:
+            return self._count
+
+    def add(self, grads: Sequence[np.ndarray]) -> None:
+        """Add one employee's gradient list (summed elementwise)."""
+        if len(grads) != self.num_params:
+            raise ValueError(
+                f"expected {self.num_params} gradient arrays, got {len(grads)}"
+            )
+        with self._lock:
+            if self._sum is None:
+                self._sum = [np.array(g, dtype=np.float64, copy=True) for g in grads]
+            else:
+                for acc, grad in zip(self._sum, grads):
+                    if acc.shape != np.shape(grad):
+                        raise ValueError(
+                            f"gradient shape {np.shape(grad)} does not match "
+                            f"accumulated shape {acc.shape}"
+                        )
+                    acc += grad
+            self._count += 1
+
+    def drain(self) -> tuple[List[np.ndarray], int]:
+        """Return (summed gradients, contribution count) and clear.
+
+        Raises if the buffer is empty — the chief must never apply a
+        phantom update.
+        """
+        with self._lock:
+            if self._sum is None:
+                raise RuntimeError("drain() called on an empty gradient buffer")
+            summed, count = self._sum, self._count
+            self._sum = None
+            self._count = 0
+        return summed, count
+
+    def clear(self) -> None:
+        """Discard any accumulated gradients without applying them."""
+        with self._lock:
+            self._sum = None
+            self._count = 0

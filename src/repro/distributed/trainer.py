@@ -1,0 +1,376 @@
+"""Synchronous chief–employee training (Section V-A, Algorithms 1-2).
+
+One **chief** owns the global model and its optimizers.  ``M`` **employees**
+each own a structurally identical local model and a local environment.
+Every episode proceeds exactly as the pseudocode prescribes:
+
+1. employees copy the global parameters;
+2. each employee rolls one episode with its local policy into its replay
+   buffer ``D`` (exploration);
+3. for each of ``K`` update rounds, every employee samples a minibatch,
+   computes gradients w.r.t. its local model, and pushes them to the PPO /
+   curiosity gradient buffers; the chief waits for all ``M`` contributions,
+   sums them, applies one Adam step to the global model, clears the
+   buffers, and notifies the employees to re-copy parameters.
+
+The paper argues for this *synchronous* design over asynchronous A3C-style
+updates to avoid policy-lag.  The semantics are sequential-equivalent, so
+this module offers two drivers with identical results given a seed:
+
+* ``mode="sequential"`` — deterministic, single thread (default for tests);
+* ``mode="thread"`` — employees run in a thread pool (numpy releases the
+  GIL inside matmuls, so exploration and gradient computation overlap).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..agents.base import EpisodeResult
+from ..agents.policy import GradientPack
+from ..env.env import CrowdsensingEnv
+from ..env.metrics import Metrics
+from .gradient_buffer import GradientBuffer
+
+__all__ = ["TrainConfig", "EpisodeLog", "TrainingHistory", "ChiefEmployeeTrainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Knobs of the distributed training loop.
+
+    Attributes
+    ----------
+    num_employees:
+        ``M`` — parallel employee threads (paper default: 8).
+    episodes:
+        Training episodes (each employee contributes one rollout per
+        episode).
+    k_updates:
+        ``K`` — chief update rounds per episode (Algorithm 1, line 17).
+    mode:
+        ``"sequential"`` or ``"thread"``.
+    eval_every:
+        Evaluate the global policy greedily every this many episodes
+        (0 disables evaluation).
+    seed:
+        Master seed; employee RNGs derive from it.
+    """
+
+    num_employees: int = 8
+    episodes: int = 100
+    k_updates: int = 4
+    mode: str = "sequential"
+    eval_every: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_employees < 1:
+            raise ValueError(f"need at least one employee, got {self.num_employees}")
+        if self.episodes < 1:
+            raise ValueError(f"episodes must be >= 1, got {self.episodes}")
+        if self.k_updates < 1:
+            raise ValueError(f"k_updates must be >= 1, got {self.k_updates}")
+        if self.mode not in ("sequential", "thread"):
+            raise ValueError(f"mode must be 'sequential' or 'thread', got {self.mode!r}")
+        if self.eval_every < 0:
+            raise ValueError(f"eval_every cannot be negative, got {self.eval_every}")
+
+
+@dataclass
+class EpisodeLog:
+    """Per-episode training record (mean over employees)."""
+
+    episode: int
+    extrinsic_reward: float
+    intrinsic_reward: float
+    kappa: float
+    xi: float
+    rho: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    wall_time: float
+    eval_metrics: Optional[Metrics] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Everything a training run produced."""
+
+    logs: List[EpisodeLog] = field(default_factory=list)
+    total_wall_time: float = 0.0
+
+    def curve(self, key: str) -> List[float]:
+        """Per-episode series of one scalar field (e.g. ``"kappa"``)."""
+        return [getattr(log, key) for log in self.logs]
+
+    def eval_curve(self, key: str) -> List[tuple[int, float]]:
+        """(episode, value) pairs from the periodic greedy evaluations."""
+        return [
+            (log.episode, getattr(log.eval_metrics, key))
+            for log in self.logs
+            if log.eval_metrics is not None
+        ]
+
+    def final_eval(self) -> Optional[Metrics]:
+        """The most recent periodic evaluation, if any ran."""
+        for log in reversed(self.logs):
+            if log.eval_metrics is not None:
+                return log.eval_metrics
+        return None
+
+    _CSV_FIELDS = (
+        "episode",
+        "extrinsic_reward",
+        "intrinsic_reward",
+        "kappa",
+        "xi",
+        "rho",
+        "policy_loss",
+        "value_loss",
+        "entropy",
+        "wall_time",
+    )
+
+    def save_csv(self, path) -> None:
+        """Write the per-episode logs as CSV (for external plotting)."""
+        import csv
+        import os
+
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_FIELDS)
+            for log in self.logs:
+                writer.writerow([getattr(log, field) for field in self._CSV_FIELDS])
+
+    @classmethod
+    def load_csv(cls, path) -> "TrainingHistory":
+        """Read logs written by :meth:`save_csv` (eval columns excluded)."""
+        import csv
+
+        history = cls()
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                history.logs.append(
+                    EpisodeLog(
+                        episode=int(row["episode"]),
+                        extrinsic_reward=float(row["extrinsic_reward"]),
+                        intrinsic_reward=float(row["intrinsic_reward"]),
+                        kappa=float(row["kappa"]),
+                        xi=float(row["xi"]),
+                        rho=float(row["rho"]),
+                        policy_loss=float(row["policy_loss"]),
+                        value_loss=float(row["value_loss"]),
+                        entropy=float(row["entropy"]),
+                        wall_time=float(row["wall_time"]),
+                    )
+                )
+        return history
+
+
+class _Employee:
+    """One employee thread's local state."""
+
+    def __init__(self, agent, env: CrowdsensingEnv, rng: np.random.Generator):
+        self.agent = agent
+        self.env = env
+        self.rng = rng
+        self.rollout = None
+
+    def sync(self, global_agent) -> None:
+        self.agent.copy_parameters_from(global_agent)
+
+    def explore(self) -> EpisodeResult:
+        self.rollout, result = self.agent.collect_episode(self.env, self.rng)
+        return result
+
+    def one_minibatch(self, batch_size: int) -> GradientPack:
+        batch = next(iter(self.rollout.minibatches(batch_size, self.rng, epochs=1)))
+        return self.agent.compute_gradients(batch)
+
+
+class ChiefEmployeeTrainer:
+    """The chief: owns the global agent, optimizers and the training loop.
+
+    Parameters
+    ----------
+    global_agent:
+        The global model (a :class:`~repro.agents.policy.PPOWorkerAgent`,
+        :class:`~repro.agents.cews.CEWSAgent`, … or any agent implementing
+        the collect/compute-gradients protocol).
+    agent_factory:
+        ``f(employee_index) -> agent`` building a structurally identical
+        local agent for each employee.
+    env_factory:
+        ``f(employee_index) -> CrowdsensingEnv`` building each employee's
+        local environment (same scenario, per the paper's setup).
+    config:
+        Loop configuration.
+    eval_env:
+        Optional environment for the periodic greedy evaluations.
+    """
+
+    def __init__(
+        self,
+        global_agent,
+        agent_factory: Callable[[int], object],
+        env_factory: Callable[[int], CrowdsensingEnv],
+        config: Optional[TrainConfig] = None,
+        eval_env: Optional[CrowdsensingEnv] = None,
+    ):
+        self.config = config if config is not None else TrainConfig()
+        self.global_agent = global_agent
+        self.eval_env = eval_env
+
+        master = np.random.SeedSequence(self.config.seed)
+        child_seeds = master.spawn(self.config.num_employees + 1)
+        self.employees = [
+            _Employee(
+                agent=agent_factory(i),
+                env=env_factory(i),
+                rng=np.random.default_rng(child_seeds[i]),
+            )
+            for i in range(self.config.num_employees)
+        ]
+        self._eval_rng = np.random.default_rng(child_seeds[-1])
+
+        policy_params = global_agent.policy_parameters()
+        curiosity_params = global_agent.curiosity_parameters()
+        lr = global_agent.ppo.learning_rate
+        self.policy_optimizer = nn.Adam(policy_params, lr=lr)
+        self.curiosity_optimizer = (
+            nn.Adam(curiosity_params, lr=global_agent.ppo.effective_curiosity_lr)
+            if curiosity_params
+            else None
+        )
+        self.ppo_buffer = GradientBuffer(len(policy_params))
+        self.curiosity_buffer = GradientBuffer(len(curiosity_params))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if self.config.mode == "thread":
+            self._pool = ThreadPoolExecutor(max_workers=self.config.num_employees)
+
+    # ------------------------------------------------------------------
+    def _map(self, fn, items):
+        if self._pool is None:
+            return [fn(item) for item in items]
+        return list(self._pool.map(fn, items))
+
+    def _apply_policy_gradients(self) -> None:
+        grads, count = self.ppo_buffer.drain()
+        if count != self.config.num_employees:
+            raise RuntimeError(
+                f"chief expected {self.config.num_employees} PPO contributions, "
+                f"got {count}"
+            )
+        params = self.global_agent.policy_parameters()
+        max_norm = self.global_agent.ppo.max_grad_norm
+        for param, grad in zip(params, grads):
+            param.grad = grad
+        nn.clip_grad_norm(params, max_norm)
+        self.policy_optimizer.step()
+
+    def _apply_curiosity_gradients(self) -> None:
+        if self.curiosity_optimizer is None:
+            self.curiosity_buffer.clear()
+            return
+        grads, count = self.curiosity_buffer.drain()
+        if count != self.config.num_employees:
+            raise RuntimeError(
+                f"chief expected {self.config.num_employees} curiosity "
+                f"contributions, got {count}"
+            )
+        self.curiosity_optimizer.apply_gradients(grads)
+
+    # ------------------------------------------------------------------
+    def train(self, episodes: Optional[int] = None) -> TrainingHistory:
+        """Run the full synchronous loop; returns the training history."""
+        episodes = episodes if episodes is not None else self.config.episodes
+        history = TrainingHistory()
+        start = time.perf_counter()
+        batch_size = self.global_agent.ppo.batch_size
+
+        for episode in range(episodes):
+            episode_start = time.perf_counter()
+
+            # Employees copy the global parameters (Algorithm 1, line 22 /
+            # initial sync) and explore in parallel.
+            for employee in self.employees:
+                employee.sync(self.global_agent)
+            results: List[EpisodeResult] = self._map(
+                lambda e: e.explore(), self.employees
+            )
+
+            # K synchronous update rounds (Algorithm 1 lines 17-23 /
+            # Algorithm 2).
+            stats_accum = []
+            for __ in range(self.config.k_updates):
+                packs: List[GradientPack] = self._map(
+                    lambda e: e.one_minibatch(batch_size), self.employees
+                )
+                for pack in packs:
+                    self.ppo_buffer.add(pack.policy)
+                    if pack.curiosity:
+                        self.curiosity_buffer.add(pack.curiosity)
+                    stats_accum.append(pack.stats)
+                self._apply_policy_gradients()
+                if self.curiosity_buffer.count:
+                    self._apply_curiosity_gradients()
+                for employee in self.employees:
+                    employee.sync(self.global_agent)
+
+            eval_metrics = None
+            if (
+                self.config.eval_every
+                and self.eval_env is not None
+                and (episode + 1) % self.config.eval_every == 0
+            ):
+                from ..agents.base import evaluate_policy
+
+                eval_metrics = evaluate_policy(
+                    self.global_agent, self.eval_env, self._eval_rng
+                )
+
+            history.logs.append(
+                EpisodeLog(
+                    episode=episode,
+                    extrinsic_reward=float(
+                        np.mean([r.extrinsic_reward for r in results])
+                    ),
+                    intrinsic_reward=float(
+                        np.mean([r.intrinsic_reward for r in results])
+                    ),
+                    kappa=float(np.mean([r.metrics.kappa for r in results])),
+                    xi=float(np.mean([r.metrics.xi for r in results])),
+                    rho=float(np.mean([r.metrics.rho for r in results])),
+                    policy_loss=float(np.mean([s.policy_loss for s in stats_accum])),
+                    value_loss=float(np.mean([s.value_loss for s in stats_accum])),
+                    entropy=float(np.mean([s.entropy for s in stats_accum])),
+                    wall_time=time.perf_counter() - episode_start,
+                    eval_metrics=eval_metrics,
+                )
+            )
+        history.total_wall_time = time.perf_counter() - start
+        return history
+
+    def close(self) -> None:
+        """Shut down the thread pool (no-op for the sequential driver)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ChiefEmployeeTrainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,131 @@
+"""V-trace off-policy correction (Espeholt et al., IMPALA, 2018).
+
+Section V-A of the paper discusses why asynchronous actor-learner setups
+suffer *policy-lag* — the behaviour policy that generated a trajectory is
+older than the policy being updated — and cites V-trace as the correction
+IMPALA uses, before opting for a synchronous design.  This module
+implements V-trace so the repository can also run the asynchronous
+alternative (:mod:`repro.distributed.async_trainer`) and quantify the
+trade-off the authors describe.
+
+Given behaviour log-probs ``μ(a|s)`` and current-policy log-probs
+``π(a|s)`` along a trajectory, define truncated importance weights
+
+.. math::
+    ρ_t = \\min(\\barρ, π/μ), \\qquad c_t = \\min(\\bar c, π/μ)
+
+and the V-trace targets (computed backwards)
+
+.. math::
+    v_t = V(s_t) + δ_t + γ c_t (v_{t+1} - V(s_{t+1})),
+    \\qquad δ_t = ρ_t (r_t + γ V(s_{t+1}) - V(s_t))
+
+with policy-gradient advantages ``ρ_t (r_t + γ v_{t+1} - V(s_t))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["VTraceReturns", "vtrace_targets"]
+
+
+@dataclass(frozen=True)
+class VTraceReturns:
+    """Outputs of :func:`vtrace_targets`.
+
+    Attributes
+    ----------
+    vs:
+        (T,) value targets ``v_t`` for the critic regression.
+    advantages:
+        (T,) policy-gradient advantages ``ρ_t (r_t + γ v_{t+1} - V_t)``.
+    rhos:
+        (T,) the truncated importance weights actually used.
+    """
+
+    vs: np.ndarray
+    advantages: np.ndarray
+    rhos: np.ndarray
+
+
+def vtrace_targets(
+    behaviour_log_probs: np.ndarray,
+    target_log_probs: np.ndarray,
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    gamma: float,
+    bootstrap_value: float = 0.0,
+    clip_rho: float = 1.0,
+    clip_c: float = 1.0,
+) -> VTraceReturns:
+    """Compute V-trace value targets and advantages for one trajectory.
+
+    Parameters
+    ----------
+    behaviour_log_probs, target_log_probs:
+        (T,) log π_behaviour and log π_target of the taken actions.
+    rewards, values:
+        (T,) rewards and the current critic's value estimates ``V(s_t)``.
+    dones:
+        (T,) episode-termination flags; bootstrapping is cut at a done.
+    gamma:
+        Discount factor.
+    bootstrap_value:
+        ``V(s_T)`` for the step after the last, if the trajectory was
+        truncated rather than terminated.
+    clip_rho, clip_c:
+        The truncation levels ρ̄ and c̄ (IMPALA defaults: 1.0).
+    """
+    behaviour_log_probs = np.asarray(behaviour_log_probs, dtype=np.float64)
+    target_log_probs = np.asarray(target_log_probs, dtype=np.float64)
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=bool)
+    horizon = len(rewards)
+    for name, arr in (
+        ("behaviour_log_probs", behaviour_log_probs),
+        ("target_log_probs", target_log_probs),
+        ("values", values),
+        ("dones", dones),
+    ):
+        if len(arr) != horizon:
+            raise ValueError(f"{name} has length {len(arr)}, expected {horizon}")
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+    if clip_rho <= 0.0 or clip_c <= 0.0:
+        raise ValueError("clip_rho and clip_c must be positive")
+
+    with np.errstate(over="ignore"):
+        ratios = np.exp(target_log_probs - behaviour_log_probs)
+    rhos = np.minimum(clip_rho, ratios)
+    cs = np.minimum(clip_c, ratios)
+
+    # next_values[t] = V(s_{t+1}) with done cuts.
+    next_values = np.empty(horizon)
+    next_values[:-1] = values[1:]
+    next_values[-1] = bootstrap_value
+    next_values[dones] = 0.0
+
+    deltas = rhos * (rewards + gamma * next_values - values)
+
+    vs_minus_v = np.zeros(horizon)
+    acc = 0.0
+    for t in range(horizon - 1, -1, -1):
+        if dones[t]:
+            acc = 0.0
+        acc = deltas[t] + gamma * cs[t] * acc
+        vs_minus_v[t] = acc
+    vs = values + vs_minus_v
+
+    # vs_{t+1} for the advantage; done cuts again.
+    next_vs = np.empty(horizon)
+    next_vs[:-1] = vs[1:]
+    next_vs[-1] = bootstrap_value
+    next_vs[dones] = 0.0
+
+    advantages = rhos * (rewards + gamma * next_vs - values)
+    return VTraceReturns(vs=vs, advantages=advantages, rhos=rhos)

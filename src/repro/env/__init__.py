@@ -1,0 +1,62 @@
+"""The crowdsensing simulator: the OLDC MDP of the paper.
+
+Public surface: :class:`ScenarioConfig` / :func:`generate_scenario` build a
+world, :class:`CrowdsensingEnv` runs episodes over it, and
+:mod:`repro.env.metrics` evaluates κ / ξ / ρ.
+"""
+
+from .actions import MOVE_NAMES, MOVE_OFFSETS, NUM_MOVES, STAY, Action
+from .config import ScenarioConfig, paper_config, smoke_config
+from .entities import ChargingStations, PoiField, WorkerFleet
+from .env import CrowdsensingEnv
+from .generator import Scenario, build_obstacle_mask, corner_room_bounds, generate_scenario
+from .metrics import Metrics, compute_metrics, jain_fairness
+from .rewards import DenseReward, SparseRewardTracker, StepOutcome
+from .serialization import (
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+from .space import CrowdsensingSpace, euclidean
+from .state import OBSTACLE_CODE, STATE_CHANNELS, STATION_CODE, encode_state
+from .wrappers import EnvWrapper, EpisodeStats, FrameStack, NormalizeReward
+
+__all__ = [
+    "Action",
+    "MOVE_NAMES",
+    "MOVE_OFFSETS",
+    "NUM_MOVES",
+    "STAY",
+    "ScenarioConfig",
+    "paper_config",
+    "smoke_config",
+    "ChargingStations",
+    "PoiField",
+    "WorkerFleet",
+    "CrowdsensingEnv",
+    "Scenario",
+    "generate_scenario",
+    "build_obstacle_mask",
+    "corner_room_bounds",
+    "Metrics",
+    "compute_metrics",
+    "jain_fairness",
+    "DenseReward",
+    "SparseRewardTracker",
+    "StepOutcome",
+    "save_scenario",
+    "load_scenario",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "CrowdsensingSpace",
+    "euclidean",
+    "encode_state",
+    "OBSTACLE_CODE",
+    "STATION_CODE",
+    "STATE_CHANNELS",
+    "EnvWrapper",
+    "NormalizeReward",
+    "FrameStack",
+    "EpisodeStats",
+]

@@ -1,0 +1,151 @@
+"""Action space of the worker-scheduling MDP (Section V).
+
+The whole action is ``a_t = [u_t, v_t]``: per-worker binary charging
+decisions ``u_t`` and per-worker route-planning decisions ``v_t``.  Route
+planning is discretized into nine moves — stay plus the eight compass
+directions — whose Euclidean length never exceeds the worker's per-slot
+travel maximum (``√2 * move_step`` for diagonals).
+
+Validity rules (paper, Section V "Action"):
+
+(a) a move may not enter an obstacle or leave the crowdsensing space,
+(b) the worker's energy budget must not be exhausted,
+(c) the move length is bounded by the fixed per-slot maximum (guaranteed
+    by construction of the move set).
+
+Charging additionally requires the worker to be within ``charging_range``
+of some station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .entities import ChargingStations, WorkerFleet
+from .space import CrowdsensingSpace
+
+__all__ = [
+    "MOVE_OFFSETS",
+    "MOVE_NAMES",
+    "NUM_MOVES",
+    "STAY",
+    "Action",
+    "move_targets",
+    "valid_move_mask",
+    "can_charge",
+]
+
+#: Unit offsets of the nine route-planning moves, order: stay, N, NE, E,
+#: SE, S, SW, W, NW.  "North" is +y.
+MOVE_OFFSETS = np.array(
+    [
+        [0.0, 0.0],
+        [0.0, 1.0],
+        [1.0, 1.0],
+        [1.0, 0.0],
+        [1.0, -1.0],
+        [0.0, -1.0],
+        [-1.0, -1.0],
+        [-1.0, 0.0],
+        [-1.0, 1.0],
+    ]
+)
+
+MOVE_NAMES = ("stay", "N", "NE", "E", "SE", "S", "SW", "W", "NW")
+NUM_MOVES = len(MOVE_OFFSETS)
+STAY = 0
+
+
+@dataclass(frozen=True)
+class Action:
+    """One joint action for all workers.
+
+    Attributes
+    ----------
+    charge:
+        (W,) int array of ``u_t^w`` in {0, 1}.
+    move:
+        (W,) int array of ``v_t^w`` in [0, NUM_MOVES).
+    """
+
+    charge: np.ndarray
+    move: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "charge", np.asarray(self.charge, dtype=np.int64))
+        object.__setattr__(self, "move", np.asarray(self.move, dtype=np.int64))
+        if self.charge.shape != self.move.shape:
+            raise ValueError(
+                f"charge shape {self.charge.shape} != move shape {self.move.shape}"
+            )
+        if np.any((self.charge < 0) | (self.charge > 1)):
+            raise ValueError("charge decisions must be 0 or 1")
+        if np.any((self.move < 0) | (self.move >= NUM_MOVES)):
+            raise ValueError(f"move decisions must be in [0, {NUM_MOVES})")
+
+    @staticmethod
+    def stay(num_workers: int) -> "Action":
+        """The all-stay, no-charge action."""
+        zeros = np.zeros(num_workers, dtype=np.int64)
+        return Action(charge=zeros, move=zeros.copy())
+
+
+def move_targets(positions: np.ndarray, move_step: float) -> np.ndarray:
+    """Candidate next positions, shape (W, NUM_MOVES, 2)."""
+    positions = np.asarray(positions, dtype=np.float64)
+    return positions[:, None, :] + MOVE_OFFSETS[None, :, :] * move_step
+
+
+def valid_move_mask(
+    space: CrowdsensingSpace,
+    positions: np.ndarray,
+    energy: np.ndarray,
+    move_step: float,
+) -> np.ndarray:
+    """(W, NUM_MOVES) boolean mask of moves valid under the paper's rules.
+
+    Workers with exhausted energy can only stay (rule b); other moves are
+    masked when the target cell is blocked / outside or the straight path
+    crosses an obstacle (rule a).  "Stay" is always valid.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    num_workers = len(positions)
+    targets = move_targets(positions, move_step)
+
+    flat_targets = targets.reshape(-1, 2)
+    flat_starts = np.repeat(positions, NUM_MOVES, axis=0)
+    blocked = space.is_blocked(flat_targets) | space.segment_blocked(
+        flat_starts, flat_targets, samples=4
+    )
+    mask = ~blocked.reshape(num_workers, NUM_MOVES)
+
+    # No corner cutting: a diagonal move also requires both orthogonal
+    # intermediate cells to be free (a zero-width path grazing the corner
+    # between two obstacles is not traversable by a physical worker).
+    for move in range(NUM_MOVES):
+        dx, dy = MOVE_OFFSETS[move]
+        if dx == 0.0 or dy == 0.0:
+            continue
+        side_a = positions + np.array([dx, 0.0]) * move_step
+        side_b = positions + np.array([0.0, dy]) * move_step
+        mask[:, move] &= ~space.is_blocked(side_a) & ~space.is_blocked(side_b)
+
+    mask[:, STAY] = True
+
+    exhausted = np.asarray(energy) <= 1e-12
+    if np.any(exhausted):
+        mask[exhausted] = False
+        mask[exhausted, STAY] = True
+    return mask
+
+
+def can_charge(
+    stations: ChargingStations,
+    positions: np.ndarray,
+    charging_range: float,
+) -> np.ndarray:
+    """(W,) boolean mask: which workers may wait to be charged here."""
+    return stations.nearest_distance(positions) <= charging_range

@@ -1,0 +1,198 @@
+"""Scenario configuration for the crowdsensing simulator.
+
+:class:`ScenarioConfig` collects every knob of the environment in one
+immutable dataclass.  The defaults follow Section VII-A of the paper:
+
+* initial energy budget ``b0 = 40`` units,
+* sensing range ``g = 0.8``, charging range ``0.8``,
+* data collection rate ``λ = 0.2``,
+* energy cost ``α = 1.0`` per data unit, ``β = 0.1`` per distance unit,
+* sparse-reward bounds ``ε1 = 0.05`` and ``ε2 = 0.4``,
+* PoI initial values uniform in (0, 1), positions from a Gaussian mixture
+  plus a uniform component, and a hard-exploration corner room reachable
+  only through a narrow passageway.
+
+The paper leaves the space size, horizon and charging rate unspecified; we
+choose a 16x16-unit space discretized into 16x16 grid cells, a horizon of
+200 slots and a charge of 20 energy units (half a battery) per charging
+slot, and document these in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All parameters of one crowdsensing scenario.
+
+    Attributes
+    ----------
+    size:
+        Side length of the square crowdsensing space ``L`` (both ``L_x`` and
+        ``L_y``); positions live in ``(0, size)``.
+    grid:
+        Number of state-matrix cells per side.  Cell side is ``size/grid``.
+    num_workers:
+        ``W`` — number of intelligent workers (drones / driverless cars).
+    num_pois:
+        ``P`` — number of PoIs.
+    num_stations:
+        Number of charging stations.
+    horizon:
+        ``T`` — number of time slots per episode.
+    energy_budget:
+        ``b0`` — initial (and maximum) energy of every worker.
+    sensing_range:
+        ``g`` — maximum PoI-coverage distance of a worker (the default for
+        every worker).
+    worker_sensing_ranges:
+        Optional per-worker overrides of ``g^w`` (Definition 2 allows each
+        worker its own sensing capability, "e.g. shooting range or facing
+        direction of a camera").  A tuple of length ``num_workers``; None
+        gives every worker ``sensing_range``.
+    charging_range:
+        Maximum worker-to-station distance at which charging is valid.
+    collect_rate:
+        ``λ`` — fraction of a PoI's *initial* value collectable per slot.
+    alpha:
+        Energy consumed per unit of collected data.
+    beta:
+        Energy consumed per unit of traveled distance.
+    charge_per_slot:
+        Energy restored by one slot of charging (``σ`` when charging).
+    move_step:
+        Distance of one cardinal move; diagonal moves travel ``√2`` times
+        this.  The worker's per-slot travel maximum.
+    epsilon1:
+        Sparse-reward bound ``ε1``: a worker earns ``Υ¹ = 1`` each time its
+        personal collection ratio crosses another ``ε1`` increment.
+    epsilon2:
+        Sparse-reward bound ``ε2``: a worker earns ``Υ² = 1`` in a slot
+        where its charged energy ``σ_t / b0`` is at least ``ε2``.
+    obstacle_penalty:
+        ``τ`` — penalty for bumping into an obstacle or the boundary.
+    poi_clusters:
+        Number of Gaussian clusters for PoI placement (uneven distribution).
+    poi_uniform_fraction:
+        Fraction of PoIs placed uniformly at random instead of in clusters.
+    poi_cluster_std:
+        Standard deviation of each Gaussian cluster, in space units.
+    corner_room:
+        Whether to carve the paper's hard-exploration corner room (a walled
+        region at the bottom-right reachable only via a narrow passage) and
+        place a share of PoIs inside it.
+    corner_room_fraction:
+        Fraction of PoIs placed inside the corner room when it is enabled.
+    seed:
+        Scenario-generation seed; two configs with equal fields produce the
+        same map.
+    """
+
+    size: float = 16.0
+    grid: int = 16
+    num_workers: int = 2
+    num_pois: int = 300
+    num_stations: int = 4
+    horizon: int = 200
+    energy_budget: float = 40.0
+    sensing_range: float = 0.8
+    worker_sensing_ranges: Optional[Tuple[float, ...]] = None
+    charging_range: float = 0.8
+    collect_rate: float = 0.2
+    alpha: float = 1.0
+    beta: float = 0.1
+    charge_per_slot: float = 20.0
+    move_step: float = 1.0
+    epsilon1: float = 0.05
+    epsilon2: float = 0.4
+    obstacle_penalty: float = 0.5
+    poi_clusters: int = 4
+    poi_uniform_fraction: float = 0.25
+    poi_cluster_std: float = 1.6
+    corner_room: bool = True
+    corner_room_fraction: float = 0.12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+        if self.grid < 4:
+            raise ValueError(f"grid must be at least 4, got {self.grid}")
+        if self.num_workers < 1:
+            raise ValueError(f"need at least one worker, got {self.num_workers}")
+        if self.num_pois < 1:
+            raise ValueError(f"need at least one PoI, got {self.num_pois}")
+        if self.num_stations < 0:
+            raise ValueError(f"num_stations cannot be negative, got {self.num_stations}")
+        if self.horizon < 1:
+            raise ValueError(f"horizon must be at least 1, got {self.horizon}")
+        if self.energy_budget <= 0:
+            raise ValueError(f"energy_budget must be positive, got {self.energy_budget}")
+        if not 0.0 < self.collect_rate <= 1.0:
+            raise ValueError(f"collect_rate must be in (0, 1], got {self.collect_rate}")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta cannot be negative")
+        if not 0.0 < self.epsilon1 <= 1.0:
+            raise ValueError(f"epsilon1 must be in (0, 1], got {self.epsilon1}")
+        if not 0.0 < self.epsilon2 <= 1.0:
+            raise ValueError(f"epsilon2 must be in (0, 1], got {self.epsilon2}")
+        if not 0.0 <= self.poi_uniform_fraction <= 1.0:
+            raise ValueError(
+                f"poi_uniform_fraction must be in [0, 1], got {self.poi_uniform_fraction}"
+            )
+        if not 0.0 <= self.corner_room_fraction < 1.0:
+            raise ValueError(
+                f"corner_room_fraction must be in [0, 1), got {self.corner_room_fraction}"
+            )
+        if self.worker_sensing_ranges is not None:
+            ranges = tuple(float(g) for g in self.worker_sensing_ranges)
+            if len(ranges) != self.num_workers:
+                raise ValueError(
+                    f"worker_sensing_ranges has {len(ranges)} entries for "
+                    f"{self.num_workers} workers"
+                )
+            if any(g <= 0 for g in ranges):
+                raise ValueError("every sensing range must be positive")
+            object.__setattr__(self, "worker_sensing_ranges", ranges)
+
+    def sensing_ranges(self) -> Tuple[float, ...]:
+        """Per-worker ``g^w`` (the global default unless overridden)."""
+        if self.worker_sensing_ranges is not None:
+            return self.worker_sensing_ranges
+        return tuple([self.sensing_range] * self.num_workers)
+
+    @property
+    def cell_size(self) -> float:
+        """Side length of one grid cell in space units."""
+        return self.size / self.grid
+
+    def replace(self, **changes) -> "ScenarioConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+def paper_config(**overrides) -> ScenarioConfig:
+    """The paper's default setup (Section VII-A): W=2, P=300, 4 stations."""
+    return ScenarioConfig(**overrides)
+
+
+def smoke_config(**overrides) -> ScenarioConfig:
+    """A small, fast scenario for tests and benchmark shape-checks."""
+    base = dict(
+        size=8.0,
+        grid=8,
+        num_workers=2,
+        num_pois=40,
+        num_stations=2,
+        horizon=40,
+        energy_budget=12.0,
+        poi_clusters=2,
+        corner_room=True,
+        corner_room_fraction=0.15,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)

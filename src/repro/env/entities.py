@@ -1,0 +1,181 @@
+"""Entity state containers: workers, PoIs and charging stations.
+
+The simulator keeps entities in struct-of-arrays form (one numpy array per
+field) so that sensing, energy and metric computations vectorize over all
+workers / PoIs at once.  These classes are thin, explicit wrappers over
+those arrays with the invariants enforced at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["WorkerFleet", "PoiField", "ChargingStations"]
+
+
+@dataclass
+class WorkerFleet:
+    """State of all ``W`` intelligent workers (Definition 2).
+
+    Attributes
+    ----------
+    positions:
+        (W, 2) continuous coordinates.
+    energy:
+        (W,) current energy budgets ``b_t^w``.
+    capacity:
+        Scalar battery capacity ``b0`` (all workers share it, per paper).
+    collected:
+        (W,) cumulative collected data ``Q_t^w``.
+    consumed:
+        (W,) cumulative energy consumption ``E_t^w``.
+    charged_total:
+        (W,) cumulative charged energy.
+    """
+
+    positions: np.ndarray
+    energy: np.ndarray
+    capacity: float
+    collected: np.ndarray = field(default=None)  # type: ignore[assignment]
+    consumed: np.ndarray = field(default=None)  # type: ignore[assignment]
+    charged_total: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64).copy()
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError(f"positions must be (W, 2), got {self.positions.shape}")
+        count = len(self.positions)
+        self.energy = np.asarray(self.energy, dtype=np.float64).copy()
+        if self.energy.shape != (count,):
+            raise ValueError(f"energy must be ({count},), got {self.energy.shape}")
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if np.any(self.energy < 0) or np.any(self.energy > self.capacity + 1e-9):
+            raise ValueError("initial energy must lie in [0, capacity]")
+        for name in ("collected", "consumed", "charged_total"):
+            if getattr(self, name) is None:
+                setattr(self, name, np.zeros(count))
+            else:
+                arr = np.asarray(getattr(self, name), dtype=np.float64).copy()
+                if arr.shape != (count,):
+                    raise ValueError(f"{name} must be ({count},), got {arr.shape}")
+                setattr(self, name, arr)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Workers with strictly positive energy (can still move)."""
+        return self.energy > 1e-12
+
+    def copy(self) -> "WorkerFleet":
+        """Deep copy of all worker state."""
+        return WorkerFleet(
+            positions=self.positions.copy(),
+            energy=self.energy.copy(),
+            capacity=self.capacity,
+            collected=self.collected.copy(),
+            consumed=self.consumed.copy(),
+            charged_total=self.charged_total.copy(),
+        )
+
+
+@dataclass
+class PoiField:
+    """State of all ``P`` PoIs (Definition 3).
+
+    Attributes
+    ----------
+    positions:
+        (P, 2) continuous coordinates.
+    initial_values:
+        (P,) initial data values ``δ0^p`` in (0, 1].
+    values:
+        (P,) remaining data values ``δ_t^p``.
+    access_time:
+        (P,) integer counters ``h_t(p)`` — number of slots in which the PoI
+        has been sensed (third state channel, Section V).
+    """
+
+    positions: np.ndarray
+    initial_values: np.ndarray
+    values: np.ndarray = field(default=None)  # type: ignore[assignment]
+    access_time: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64).copy()
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError(f"positions must be (P, 2), got {self.positions.shape}")
+        count = len(self.positions)
+        self.initial_values = np.asarray(self.initial_values, dtype=np.float64).copy()
+        if self.initial_values.shape != (count,):
+            raise ValueError(
+                f"initial_values must be ({count},), got {self.initial_values.shape}"
+            )
+        if np.any(self.initial_values <= 0):
+            raise ValueError("all initial PoI values must be positive")
+        if self.values is None:
+            self.values = self.initial_values.copy()
+        else:
+            self.values = np.asarray(self.values, dtype=np.float64).copy()
+            if self.values.shape != (count,):
+                raise ValueError(f"values must be ({count},), got {self.values.shape}")
+        if self.access_time is None:
+            self.access_time = np.zeros(count, dtype=np.int64)
+        else:
+            self.access_time = np.asarray(self.access_time, dtype=np.int64).copy()
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @property
+    def total_initial(self) -> float:
+        """``Σ_p δ0^p`` — denominator of the collection ratio."""
+        return float(self.initial_values.sum())
+
+    @property
+    def remaining_fraction(self) -> np.ndarray:
+        """Per-PoI remaining ratio ``δ_t^p / δ0^p``."""
+        return self.values / self.initial_values
+
+    def copy(self) -> "PoiField":
+        """Deep copy of all PoI state."""
+        return PoiField(
+            positions=self.positions.copy(),
+            initial_values=self.initial_values.copy(),
+            values=self.values.copy(),
+            access_time=self.access_time.copy(),
+        )
+
+
+@dataclass
+class ChargingStations:
+    """Positions of the charging stations."""
+
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.float64).reshape(-1, 2).copy()
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def nearest_distance(self, points: np.ndarray) -> np.ndarray:
+        """Distance from each point (..., 2) to its closest station.
+
+        Returns ``+inf`` everywhere when there are no stations.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if len(self.positions) == 0:
+            return np.full(points.shape[:-1], np.inf)
+        deltas = points[..., None, :] - self.positions  # (..., S, 2)
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        return distances.min(axis=-1)
+
+    def copy(self) -> "ChargingStations":
+        """Deep copy of the station positions."""
+        return ChargingStations(self.positions.copy())

@@ -1,0 +1,201 @@
+"""Scenario generation: obstacle maps, PoI placement, stations, workers.
+
+Section VII-A of the paper generates sensor (PoI) positions "through a
+mixture of Gaussian distributions and a random distribution", places
+collapsed buildings as obstacles, and designs "a hard exploration subarea
+at the bottom right corner ... where drones should make efforts to go into
+that area through a narrow passageway".  This module reproduces that map
+family procedurally and deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .config import ScenarioConfig
+from .entities import ChargingStations, PoiField, WorkerFleet
+from .space import CrowdsensingSpace
+
+__all__ = ["Scenario", "generate_scenario", "build_obstacle_mask", "corner_room_bounds"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully generated, immutable initial world."""
+
+    config: ScenarioConfig
+    space: CrowdsensingSpace
+    pois: PoiField
+    stations: ChargingStations
+    workers: WorkerFleet
+
+    def fresh_world(self) -> Tuple[PoiField, WorkerFleet]:
+        """Copies of the mutable entity state for a new episode."""
+        return self.pois.copy(), self.workers.copy()
+
+
+def corner_room_bounds(config: ScenarioConfig) -> Tuple[int, int, int, int]:
+    """Grid bounds (row0, row1, col0, col1) of the corner-room interior.
+
+    The room occupies roughly the bottom-right quarter-of-a-quarter of the
+    map: a ``room x room`` cell region whose walls are obstacle cells except
+    for a one-cell passage in the middle of the left wall.
+    """
+    grid = config.grid
+    room = max(grid // 4, 3)
+    row1, col1 = grid, grid
+    row0, col0 = grid - room, grid - room
+    return row0, row1, col0, col1
+
+
+def build_obstacle_mask(config: ScenarioConfig, rng: np.random.Generator) -> np.ndarray:
+    """Obstacle occupancy grid: scattered collapsed buildings + corner room."""
+    grid = config.grid
+    mask = np.zeros((grid, grid), dtype=bool)
+
+    # Scattered rectangular "collapsed buildings": a few 1x1..2x2 blocks in
+    # the interior, away from the edges so the map stays connected.
+    num_blocks = max(grid // 4, 2)
+    for __ in range(num_blocks):
+        height = int(rng.integers(1, 3))
+        width = int(rng.integers(1, 3))
+        row = int(rng.integers(1, max(grid - height - 1, 2)))
+        col = int(rng.integers(1, max(grid - width - 1, 2)))
+        mask[row : row + height, col : col + width] = True
+
+    if config.corner_room:
+        row0, row1, col0, col1 = corner_room_bounds(config)
+        # Clear the interior first (a scattered block may overlap).
+        mask[row0:row1, col0:col1] = False
+        # Walls on the top and left sides (the other two sides are the map
+        # boundary), with a one-cell passage in the middle of the left wall.
+        mask[row0, col0:col1] = True
+        mask[row0:row1, col0] = True
+        passage_row = (row0 + row1) // 2
+        mask[passage_row, col0] = False
+
+    # The map must remain mostly free; bail out loudly if generation
+    # produced an unusable map (can only happen with tiny grids).
+    if mask.mean() > 0.5:
+        raise RuntimeError(
+            f"obstacle generation blocked {mask.mean():.0%} of the map; "
+            "increase the grid size"
+        )
+    return mask
+
+
+def _cluster_positions(
+    count: int,
+    config: ScenarioConfig,
+    space: CrowdsensingSpace,
+    rng: np.random.Generator,
+    exclude_region: Tuple[int, int, int, int] | None,
+) -> np.ndarray:
+    """Positions from a Gaussian mixture + uniform component, on free cells."""
+    if count == 0:
+        return np.zeros((0, 2))
+    num_uniform = int(round(count * config.poi_uniform_fraction))
+    num_clustered = count - num_uniform
+
+    centers = space.random_free_positions(max(config.poi_clusters, 1), rng, margin=0.5)
+    positions = []
+    attempts = 0
+    while len(positions) < num_clustered:
+        attempts += 1
+        if attempts > 200 * count:
+            raise RuntimeError("could not place clustered PoIs on free cells")
+        center = centers[rng.integers(0, len(centers))]
+        candidate = center + rng.normal(0.0, config.poi_cluster_std, size=2)
+        if space.is_blocked(candidate):
+            continue
+        if exclude_region is not None:
+            row, col = space.cell_of(candidate)
+            row0, row1, col0, col1 = exclude_region
+            if row0 <= row < row1 and col0 <= col < col1:
+                continue
+        positions.append(candidate)
+
+    if num_uniform:
+        uniform = space.random_free_positions(num_uniform, rng)
+        if exclude_region is not None:
+            row0, row1, col0, col1 = exclude_region
+            for i in range(len(uniform)):
+                row, col = space.cell_of(uniform[i])
+                while row0 <= row < row1 and col0 <= col < col1:
+                    uniform[i] = space.random_free_positions(1, rng)[0]
+                    row, col = space.cell_of(uniform[i])
+        positions.extend(uniform)
+    return np.asarray(positions)
+
+
+def _corner_room_positions(
+    count: int, config: ScenarioConfig, space: CrowdsensingSpace, rng: np.random.Generator
+) -> np.ndarray:
+    """Positions strictly inside the corner room's free interior."""
+    if count == 0:
+        return np.zeros((0, 2))
+    row0, row1, col0, col1 = corner_room_bounds(config)
+    interior = [
+        (row, col)
+        for row in range(row0 + 1, row1)
+        for col in range(col0 + 1, col1)
+        if not space.obstacles[row, col]
+    ]
+    if not interior:
+        raise RuntimeError("corner room has no free interior cells")
+    picks = rng.integers(0, len(interior), size=count)
+    cells = np.asarray(interior)[picks]
+    jitter = rng.random((count, 2)) * space.cell
+    x = cells[:, 1] * space.cell + jitter[:, 0]
+    y = cells[:, 0] * space.cell + jitter[:, 1]
+    return np.stack([x, y], axis=-1)
+
+
+def generate_scenario(config: ScenarioConfig) -> Scenario:
+    """Build the full initial world for ``config`` (deterministic in seed)."""
+    rng = np.random.default_rng(config.seed)
+    mask = build_obstacle_mask(config, rng)
+    space = CrowdsensingSpace(config.size, config.grid, mask)
+
+    exclude = corner_room_bounds(config) if config.corner_room else None
+    num_corner = (
+        int(round(config.num_pois * config.corner_room_fraction))
+        if config.corner_room
+        else 0
+    )
+    outside = _cluster_positions(
+        config.num_pois - num_corner, config, space, rng, exclude_region=exclude
+    )
+    inside = _corner_room_positions(num_corner, config, space, rng)
+    poi_positions = np.concatenate([outside, inside], axis=0)
+
+    # δ0^p ~ U(0.05, 1): the paper draws initial values randomly in (0, 1);
+    # we bound away from zero so ratios stay well-defined.
+    initial_values = rng.uniform(0.05, 1.0, size=config.num_pois)
+    pois = PoiField(positions=poi_positions, initial_values=initial_values)
+
+    # Charging stations on free cells outside the corner room.
+    station_positions = space.random_free_positions(config.num_stations, rng, margin=0.3)
+    if exclude is not None and config.num_stations > 0:
+        row0, row1, col0, col1 = exclude
+        for i in range(config.num_stations):
+            row, col = space.cell_of(station_positions[i])
+            while row0 <= row < row1 and col0 <= col < col1:
+                station_positions[i] = space.random_free_positions(1, rng, margin=0.3)[0]
+                row, col = space.cell_of(station_positions[i])
+    stations = ChargingStations(station_positions)
+
+    # Workers start at random free positions (paper: randomly initialized),
+    # snapped to cell centers so the discrete move set tiles the space.
+    worker_cells = space.random_free_positions(config.num_workers, rng)
+    rows, cols = space.cell_of(worker_cells)
+    worker_positions = space.cell_center(rows, cols)
+    workers = WorkerFleet(
+        positions=worker_positions,
+        energy=np.full(config.num_workers, config.energy_budget),
+        capacity=config.energy_budget,
+    )
+    return Scenario(config=config, space=space, pois=pois, stations=stations, workers=workers)

@@ -1,0 +1,116 @@
+"""Evaluation metrics of the OLDC problem (Section III-B).
+
+Three metrics summarize a policy's performance up to slot ``t``:
+
+* **average data collection ratio** ``κ_t`` (Definition 4, Eqn. 4): the
+  ratio of total collected data to total initial data.  Note the paper's
+  ``1/W Σ_w Q_t^w / Σ_p δ0^p`` divides the *fleet total* by W; we report
+  the fleet ratio ``Σ_w Q_t^w / Σ_p δ0^p`` (the form all of the paper's
+  plots use — κ approaches 1 when all data is collected regardless of W)
+  and keep the per-worker mean available as ``kappa_per_worker``.
+
+* **average remaining data ratio** ``ξ_t`` (Definition 5, Eqn. 5): the mean
+  over PoIs of the remaining fraction ``δ_t^p / δ0^p`` — the printed
+  equation's ``δ0/δ0`` is an obvious typo for this, since the text calls it
+  "the average remaining data ratio for all PoIs".  Low ξ means fair
+  geographic coverage.
+
+* **energy efficiency** ``ρ_t`` (Definition 6, Eqn. 6): Jain's fairness
+  index over per-PoI effective collection counts, multiplied by the mean
+  data-per-energy over workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .entities import PoiField, WorkerFleet
+
+__all__ = ["Metrics", "jain_fairness", "compute_metrics"]
+
+
+def jain_fairness(values: np.ndarray) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)`` in [1/n, 1].
+
+    Returns 0.0 for an all-zero vector (nothing collected yet — maximally
+    unfair in the metric's spirit and keeps ρ well-defined).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    square_sum = float((values ** 2).sum())
+    if square_sum <= 0.0:
+        return 0.0
+    return float(total * total / (values.size * square_sum))
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """A snapshot of the three OLDC metrics plus supporting detail."""
+
+    kappa: float
+    xi: float
+    rho: float
+    kappa_per_worker: float
+    fairness: float
+    data_per_energy: float
+    total_collected: float
+    total_consumed: float
+
+    def as_dict(self) -> dict:
+        """All fields as a plain dict (for logging / JSON)."""
+        return {
+            "kappa": self.kappa,
+            "xi": self.xi,
+            "rho": self.rho,
+            "kappa_per_worker": self.kappa_per_worker,
+            "fairness": self.fairness,
+            "data_per_energy": self.data_per_energy,
+            "total_collected": self.total_collected,
+            "total_consumed": self.total_consumed,
+        }
+
+
+def compute_metrics(workers: WorkerFleet, pois: PoiField, collect_rate: float) -> Metrics:
+    """Evaluate κ, ξ and ρ for the current world state.
+
+    Parameters
+    ----------
+    workers:
+        Fleet with cumulative ``collected`` (Q) and ``consumed`` (E).
+    pois:
+        PoI field with remaining and initial values.
+    collect_rate:
+        ``λ``, needed by the per-PoI collection counts inside ρ.
+    """
+    total_initial = pois.total_initial
+    total_collected = float(workers.collected.sum())
+    kappa = total_collected / total_initial if total_initial > 0 else 0.0
+    kappa_per_worker = kappa / max(len(workers), 1)
+
+    xi = float(pois.remaining_fraction.mean())
+
+    # Per-PoI effective collection counts (δ0 - δ_t) / (λ δ0).
+    counts = (pois.initial_values - pois.values) / (collect_rate * pois.initial_values)
+    fairness = jain_fairness(counts)
+
+    # Mean data-per-energy over workers; a worker that has consumed nothing
+    # contributes 0 (it has also collected nothing).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(workers.consumed > 1e-12, workers.collected / workers.consumed, 0.0)
+    data_per_energy = float(ratios.mean())
+    rho = fairness * data_per_energy
+
+    return Metrics(
+        kappa=kappa,
+        xi=xi,
+        rho=rho,
+        kappa_per_worker=kappa_per_worker,
+        fairness=fairness,
+        data_per_energy=data_per_energy,
+        total_collected=total_collected,
+        total_consumed=float(workers.consumed.sum()),
+    )

@@ -1,0 +1,126 @@
+"""Extrinsic reward mechanisms (Sections V-D and VII-B).
+
+Two extrinsic reward definitions appear in the paper:
+
+* the **sparse reward** of DRL-CEWS (Eqns. 18-19): per worker,
+  ``Υ¹ + Υ² - τ`` where ``Υ¹ = 1`` whenever the worker's personal data
+  collection ratio crosses another ``ε1`` increment, ``Υ² = 1`` whenever
+  the energy charged this slot is at least ``ε2`` of the battery, and
+  ``τ`` penalizes obstacle bumps; the fleet reward is the worker mean;
+
+* the **dense reward** used to train the Edics and DPPO baselines
+  (Eqn. 20): per slot, the mean over workers of
+  ``q_t/e_t + σ_t/b0 - τ``.
+
+Both are implemented as small stateful trackers so that an environment can
+emit either signal (or both, for the Fig. 5 ablation) from the same
+transition data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StepOutcome", "SparseRewardTracker", "DenseReward"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Per-worker facts about one transition, consumed by reward functions.
+
+    Attributes
+    ----------
+    collected:
+        (W,) data collected this slot, ``q_t^w``.
+    consumed:
+        (W,) energy consumed this slot, ``e_t^w``.
+    charged:
+        (W,) energy charged this slot, ``σ_t^w``.
+    bumped:
+        (W,) bool, True when the worker attempted an invalid move (obstacle
+        or boundary) this slot.
+    collected_cumulative:
+        (W,) cumulative collected data ``Q_t^w`` *after* this slot.
+    """
+
+    collected: np.ndarray
+    consumed: np.ndarray
+    charged: np.ndarray
+    bumped: np.ndarray
+    collected_cumulative: np.ndarray
+
+
+class SparseRewardTracker:
+    """Stateful sparse extrinsic reward of Eqns. (18)-(19).
+
+    Tracks, per worker, how many ``ε1`` collection milestones have already
+    been rewarded, so each increment pays exactly once.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        total_initial_data: float,
+        energy_budget: float,
+        epsilon1: float,
+        epsilon2: float,
+        obstacle_penalty: float,
+    ):
+        if total_initial_data <= 0:
+            raise ValueError("total_initial_data must be positive")
+        self.num_workers = num_workers
+        self.total_initial_data = total_initial_data
+        self.energy_budget = energy_budget
+        self.epsilon1 = epsilon1
+        self.epsilon2 = epsilon2
+        self.obstacle_penalty = obstacle_penalty
+        self._milestones = np.zeros(num_workers, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Forget paid milestones (start of a new episode)."""
+        self._milestones[:] = 0
+
+    def per_worker(self, outcome: StepOutcome) -> np.ndarray:
+        """(W,) sparse rewards ``r_t^{w,ext}`` for this transition."""
+        # Υ¹: collection-ratio milestones crossed this slot.
+        ratios = outcome.collected_cumulative / self.total_initial_data
+        reached = np.floor(ratios / self.epsilon1).astype(np.int64)
+        newly = reached - self._milestones
+        upsilon1 = (newly > 0).astype(np.float64)
+        self._milestones = np.maximum(self._milestones, reached)
+
+        # Υ²: a substantial charge this slot.
+        upsilon2 = (
+            outcome.charged / self.energy_budget >= self.epsilon2
+        ).astype(np.float64)
+
+        tau = self.obstacle_penalty * outcome.bumped.astype(np.float64)
+        return upsilon1 + upsilon2 - tau
+
+    def fleet(self, outcome: StepOutcome) -> float:
+        """Scalar fleet reward ``r_t^{ext}`` of Eqn. (19) (worker mean)."""
+        return float(self.per_worker(outcome).mean())
+
+
+class DenseReward:
+    """Stateless dense reward of Eqn. (20), used by Edics and DPPO."""
+
+    def __init__(self, energy_budget: float, obstacle_penalty: float):
+        self.energy_budget = energy_budget
+        self.obstacle_penalty = obstacle_penalty
+
+    def per_worker(self, outcome: StepOutcome) -> np.ndarray:
+        """(W,) dense rewards ``q/e + σ/b0 - τ``."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            data_term = np.where(
+                outcome.consumed > 1e-12, outcome.collected / outcome.consumed, 0.0
+            )
+        charge_term = outcome.charged / self.energy_budget
+        tau = self.obstacle_penalty * outcome.bumped.astype(np.float64)
+        return data_term + charge_term - tau
+
+    def fleet(self, outcome: StepOutcome) -> float:
+        """Scalar fleet reward (worker mean, matching Eqn. 20's 1/W Σ)."""
+        return float(self.per_worker(outcome).mean())

@@ -1,0 +1,129 @@
+"""Scenario serialization: save and load crowdsensing worlds as JSON.
+
+Generated scenarios are deterministic in their config seed, but users who
+hand-edit maps (move a station, carve a wall, reweight PoIs) need to
+persist the result.  The JSON layout is deliberately human-editable:
+
+.. code-block:: json
+
+    {
+      "config": { ...ScenarioConfig fields... },
+      "obstacles": [[0,0,1,...], ...],
+      "pois": {"positions": [[x,y],...], "initial_values": [...],
+               "values": [...], "access_time": [...]},
+      "stations": [[x,y], ...],
+      "workers": {"positions": [[x,y],...], "energy": [...]}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .config import ScenarioConfig
+from .entities import ChargingStations, PoiField, WorkerFleet
+from .generator import Scenario
+from .space import CrowdsensingSpace
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario", "load_scenario"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict:
+    """Serialize a scenario to plain JSON-compatible structures."""
+    config_dict = dataclasses.asdict(scenario.config)
+    if config_dict.get("worker_sensing_ranges") is not None:
+        config_dict["worker_sensing_ranges"] = list(
+            config_dict["worker_sensing_ranges"]
+        )
+    return {
+        "config": config_dict,
+        "obstacles": scenario.space.obstacles.astype(int).tolist(),
+        "pois": {
+            "positions": scenario.pois.positions.tolist(),
+            "initial_values": scenario.pois.initial_values.tolist(),
+            "values": scenario.pois.values.tolist(),
+            "access_time": scenario.pois.access_time.tolist(),
+        },
+        "stations": scenario.stations.positions.tolist(),
+        "workers": {
+            "positions": scenario.workers.positions.tolist(),
+            "energy": scenario.workers.energy.tolist(),
+        },
+    }
+
+
+def scenario_from_dict(payload: Dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Validates cross-references (entity counts against the config) so a
+    hand-edited file fails loudly rather than producing a skewed world.
+    """
+    config_dict = dict(payload["config"])
+    if config_dict.get("worker_sensing_ranges") is not None:
+        config_dict["worker_sensing_ranges"] = tuple(
+            config_dict["worker_sensing_ranges"]
+        )
+    config = ScenarioConfig(**config_dict)
+
+    obstacles = np.asarray(payload["obstacles"], dtype=bool)
+    space = CrowdsensingSpace(config.size, config.grid, obstacles)
+
+    pois_data = payload["pois"]
+    pois = PoiField(
+        positions=np.asarray(pois_data["positions"], dtype=np.float64),
+        initial_values=np.asarray(pois_data["initial_values"], dtype=np.float64),
+        values=np.asarray(pois_data.get("values", pois_data["initial_values"]), dtype=np.float64),
+        access_time=np.asarray(
+            pois_data.get("access_time", [0] * len(pois_data["positions"])),
+            dtype=np.int64,
+        ),
+    )
+    if len(pois) != config.num_pois:
+        raise ValueError(
+            f"file has {len(pois)} PoIs but config.num_pois is {config.num_pois}"
+        )
+
+    stations = ChargingStations(np.asarray(payload["stations"], dtype=np.float64))
+    if len(stations) != config.num_stations:
+        raise ValueError(
+            f"file has {len(stations)} stations but config.num_stations is "
+            f"{config.num_stations}"
+        )
+
+    workers_data = payload["workers"]
+    workers = WorkerFleet(
+        positions=np.asarray(workers_data["positions"], dtype=np.float64),
+        energy=np.asarray(workers_data["energy"], dtype=np.float64),
+        capacity=config.energy_budget,
+    )
+    if len(workers) != config.num_workers:
+        raise ValueError(
+            f"file has {len(workers)} workers but config.num_workers is "
+            f"{config.num_workers}"
+        )
+    if np.any(space.is_blocked(workers.positions)):
+        raise ValueError("a worker starts inside an obstacle or off the map")
+
+    return Scenario(config=config, space=space, pois=pois, stations=stations, workers=workers)
+
+
+def save_scenario(scenario: Scenario, path: PathLike) -> None:
+    """Write a scenario to ``path`` as JSON."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(scenario_to_dict(scenario), handle, indent=1)
+
+
+def load_scenario(path: PathLike) -> Scenario:
+    """Read a scenario previously written by :func:`save_scenario`."""
+    with open(path) as handle:
+        return scenario_from_dict(json.load(handle))

@@ -1,0 +1,143 @@
+"""Geometry of the crowdsensing space (Definition 1 of the paper).
+
+The space is a continuous 2-D square; the state matrix and the obstacle map
+discretize it into ``grid x grid`` cells.  This module holds the coordinate
+conversions and the obstacle grid with movement-validity queries used by
+both the environment and the lookahead baselines (Greedy, D&C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+__all__ = ["CrowdsensingSpace", "euclidean"]
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance ``d(i, j)`` between position arrays (...,2)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.sqrt(((a - b) ** 2).sum(axis=-1))
+
+
+class CrowdsensingSpace:
+    """A square 2-D metric space with an obstacle occupancy grid.
+
+    Parameters
+    ----------
+    size:
+        Side length of the space; valid positions satisfy
+        ``0 < x < size`` and ``0 < y < size``.
+    grid:
+        Number of cells per side in the discretization.
+    obstacle_mask:
+        Optional boolean (grid, grid) array, indexed ``[row, col]`` =
+        ``[y-cell, x-cell]``; True marks a blocked cell.
+    """
+
+    def __init__(
+        self,
+        size: float,
+        grid: int,
+        obstacle_mask: np.ndarray | None = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if grid < 1:
+            raise ValueError(f"grid must be positive, got {grid}")
+        self.size = float(size)
+        self.grid = int(grid)
+        self.cell = self.size / self.grid
+        if obstacle_mask is None:
+            obstacle_mask = np.zeros((grid, grid), dtype=bool)
+        obstacle_mask = np.asarray(obstacle_mask, dtype=bool)
+        if obstacle_mask.shape != (grid, grid):
+            raise ValueError(
+                f"obstacle mask shape {obstacle_mask.shape} does not match grid "
+                f"({grid}, {grid})"
+            )
+        self.obstacles = obstacle_mask
+
+    # ------------------------------------------------------------------
+    # Coordinate conversions
+    # ------------------------------------------------------------------
+    def contains(self, position: np.ndarray) -> np.ndarray:
+        """Whether position(s) lie strictly inside the space."""
+        position = np.asarray(position, dtype=np.float64)
+        x, y = position[..., 0], position[..., 1]
+        return (x > 0) & (x < self.size) & (y > 0) & (y < self.size)
+
+    def cell_of(self, position: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(row, col) cell indices for position(s), clipped into the grid."""
+        position = np.asarray(position, dtype=np.float64)
+        col = np.clip((position[..., 0] / self.cell).astype(np.int64), 0, self.grid - 1)
+        row = np.clip((position[..., 1] / self.cell).astype(np.int64), 0, self.grid - 1)
+        return row, col
+
+    def cell_center(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
+        """Continuous position of the center(s) of the given cell(s)."""
+        row = np.asarray(row)
+        col = np.asarray(col)
+        x = (col + 0.5) * self.cell
+        y = (row + 0.5) * self.cell
+        return np.stack([x, y], axis=-1)
+
+    def flat_index(self, position: np.ndarray) -> np.ndarray:
+        """Single integer cell id (row * grid + col) per position."""
+        row, col = self.cell_of(position)
+        return row * self.grid + col
+
+    # ------------------------------------------------------------------
+    # Obstacle queries
+    # ------------------------------------------------------------------
+    def is_blocked(self, position: np.ndarray) -> np.ndarray:
+        """Whether position(s) fall in an obstacle cell or off the map."""
+        position = np.asarray(position, dtype=np.float64)
+        inside = self.contains(position)
+        row, col = self.cell_of(position)
+        blocked = self.obstacles[row, col]
+        return ~inside | blocked
+
+    def segment_blocked(
+        self, start: np.ndarray, end: np.ndarray, samples: int = 8
+    ) -> np.ndarray:
+        """Whether the straight segment(s) start->end cross any obstacle.
+
+        The segment is sampled at ``samples`` interior points plus the
+        endpoint; with single-cell moves this exactly detects diagonal
+        corner cutting.
+        """
+        start = np.asarray(start, dtype=np.float64)
+        end = np.asarray(end, dtype=np.float64)
+        ts = np.linspace(0.0, 1.0, samples + 1)[1:]
+        blocked = np.zeros(start.shape[:-1], dtype=bool)
+        for t in ts:
+            point = start + t * (end - start)
+            blocked |= self.is_blocked(point)
+        return blocked
+
+    def free_cells(self) -> np.ndarray:
+        """(K, 2) array of (row, col) indices of all non-obstacle cells."""
+        rows, cols = np.nonzero(~self.obstacles)
+        return np.stack([rows, cols], axis=-1)
+
+    def random_free_positions(
+        self, count: int, rng: np.random.Generator, margin: float = 0.0
+    ) -> np.ndarray:
+        """Sample ``count`` continuous positions in free (non-obstacle) cells."""
+        cells = self.free_cells()
+        if len(cells) == 0:
+            raise RuntimeError("space has no free cells")
+        picks = rng.integers(0, len(cells), size=count)
+        rows, cols = cells[picks, 0], cells[picks, 1]
+        jitter_scale = max(self.cell - 2 * margin, 0.0)
+        jitter = rng.random((count, 2)) * jitter_scale + margin
+        x = cols * self.cell + jitter[:, 0]
+        y = rows * self.cell + jitter[:, 1]
+        return np.stack([x, y], axis=-1)
+
+    def obstacle_fraction(self) -> float:
+        """Fraction of grid cells that are blocked."""
+        return float(self.obstacles.mean())

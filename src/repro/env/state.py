@@ -1,0 +1,63 @@
+"""State-matrix encoding (Section V, "State").
+
+The observation is a 3-channel ``grid x grid`` matrix:
+
+* **channel 0** — worker energy: each worker's normalized budget
+  ``b_t^w / b0`` written at its current cell (summed if two workers share
+  a cell);
+* **channel 1** — environment map: remaining PoI data ``δ_t^p`` summed per
+  cell, charging stations marked with ``STATION_CODE`` and obstacles with
+  ``OBSTACLE_CODE`` (negative codes so they cannot be confused with data);
+* **channel 2** — PoI access time ``h_t(p)`` (number of slots the PoI has
+  been sensed), normalized by the horizon, so the server "is aware of the
+  coverage fairness among all PoIs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .entities import ChargingStations, PoiField, WorkerFleet
+from .space import CrowdsensingSpace
+
+__all__ = ["OBSTACLE_CODE", "STATION_CODE", "encode_state", "STATE_CHANNELS"]
+
+#: Channel-1 code marking an obstacle cell.
+OBSTACLE_CODE = -1.0
+#: Channel-1 code marking a charging-station cell.
+STATION_CODE = -0.5
+#: Number of channels in the state matrix.
+STATE_CHANNELS = 3
+
+
+def encode_state(
+    space: CrowdsensingSpace,
+    workers: WorkerFleet,
+    pois: PoiField,
+    stations: ChargingStations,
+    horizon: int,
+) -> np.ndarray:
+    """Build the (3, grid, grid) state matrix ``s_t``."""
+    grid = space.grid
+    state = np.zeros((STATE_CHANNELS, grid, grid))
+
+    # Channel 0: worker energy at worker cells.
+    rows, cols = space.cell_of(workers.positions)
+    np.add.at(state[0], (rows, cols), workers.energy / workers.capacity)
+
+    # Channel 1: PoI remaining values, then stations, then obstacles.  The
+    # markers are written after the data so a (rare) station or obstacle
+    # cell that also holds PoIs reads as the marker — the structural
+    # element dominates.
+    poi_rows, poi_cols = space.cell_of(pois.positions)
+    np.add.at(state[1], (poi_rows, poi_cols), pois.values)
+    if len(stations):
+        station_rows, station_cols = space.cell_of(stations.positions)
+        state[1][station_rows, station_cols] = STATION_CODE
+    state[1][space.obstacles] = OBSTACLE_CODE
+
+    # Channel 2: normalized access time, max-pooled per cell.
+    normalized_access = pois.access_time / max(horizon, 1)
+    np.maximum.at(state[2], (poi_rows, poi_cols), normalized_access)
+
+    return state

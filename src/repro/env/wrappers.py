@@ -1,0 +1,178 @@
+"""Environment wrappers: composable transforms around CrowdsensingEnv.
+
+Standard RL-library conveniences adapted to this simulator's interface
+(``reset() -> state``, ``step(action) -> (state, reward, done, info)``):
+
+* :class:`NormalizeReward` — divide rewards by a running estimate of the
+  return's standard deviation (PPO stabilizer for reward scales that vary
+  across scenarios);
+* :class:`FrameStack` — concatenate the last ``k`` state matrices along
+  the channel axis, giving the CNN short-term temporal context (e.g. PoI
+  depletion rates) without recurrence;
+* :class:`EpisodeStats` — accumulate per-episode reward/length/metric
+  summaries into ``.history`` for quick inspection.
+
+Wrappers forward unknown attributes to the wrapped environment, so agent
+code that queries ``valid_moves()`` / ``charge_possible()`` / ``workers``
+keeps working through any stack of wrappers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .actions import Action
+from .env import CrowdsensingEnv
+
+__all__ = ["EnvWrapper", "NormalizeReward", "FrameStack", "EpisodeStats"]
+
+
+class EnvWrapper:
+    """Base wrapper: forwards everything to the inner environment."""
+
+    def __init__(self, env):
+        self.env = env
+
+    def reset(self) -> np.ndarray:
+        """Reset the inner environment."""
+        return self.env.reset()
+
+    def step(self, action: Action) -> Tuple[np.ndarray, float, bool, Dict]:
+        """Step the inner environment."""
+        return self.env.step(action)
+
+    def __getattr__(self, name):
+        # Only called for attributes not found on the wrapper itself.
+        return getattr(self.env, name)
+
+    @property
+    def unwrapped(self) -> CrowdsensingEnv:
+        """The innermost environment under any wrapper stack."""
+        inner = self.env
+        while isinstance(inner, EnvWrapper):
+            inner = inner.env
+        return inner
+
+
+class _RunningMeanStd:
+    """Welford-style running mean/variance over scalars."""
+
+    def __init__(self, epsilon: float = 1e-4):
+        self.mean = 0.0
+        self.var = 1.0
+        self.count = epsilon
+
+    def update(self, value: float) -> None:
+        self.count += 1.0
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.var += (delta * (value - self.mean) - self.var) / self.count
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(max(self.var, 1e-12)))
+
+
+class NormalizeReward(EnvWrapper):
+    """Scale rewards by the running std of the discounted return.
+
+    The estimator follows the common PPO implementation: a per-step
+    discounted return accumulator feeds a running variance, and each raw
+    reward is divided by that std (mean is *not* subtracted — sign
+    matters for sparse rewards).  ``info['raw_reward']`` keeps the
+    original value.
+    """
+
+    def __init__(self, env, gamma: float = 0.99):
+        super().__init__(env)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.gamma = gamma
+        self._stats = _RunningMeanStd()
+        self._running_return = 0.0
+
+    def reset(self) -> np.ndarray:
+        self._running_return = 0.0
+        return self.env.reset()
+
+    def step(self, action: Action):
+        state, reward, done, info = self.env.step(action)
+        self._running_return = self._running_return * self.gamma + reward
+        self._stats.update(self._running_return)
+        info = dict(info)
+        info["raw_reward"] = reward
+        normalized = reward / self._stats.std
+        if done:
+            self._running_return = 0.0
+        return state, normalized, done, info
+
+
+class FrameStack(EnvWrapper):
+    """Stack the last ``k`` states along the channel axis.
+
+    The output state has ``k * C`` channels, oldest first; the first
+    observation of an episode is repeated to fill the stack.
+    """
+
+    def __init__(self, env, k: int = 2):
+        super().__init__(env)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._frames: List[np.ndarray] = []
+
+    @property
+    def state_shape(self) -> Tuple[int, int, int]:
+        channels, height, width = self.env.state_shape
+        return (self.k * channels, height, width)
+
+    def _stacked(self) -> np.ndarray:
+        return np.concatenate(self._frames, axis=0)
+
+    def reset(self) -> np.ndarray:
+        state = self.env.reset()
+        self._frames = [state] * self.k
+        return self._stacked()
+
+    def step(self, action: Action):
+        state, reward, done, info = self.env.step(action)
+        self._frames = self._frames[1:] + [state]
+        return self._stacked(), reward, done, info
+
+
+class EpisodeStats(EnvWrapper):
+    """Record per-episode totals into ``.history``.
+
+    Each completed episode appends a dict with ``reward`` (sum),
+    ``length``, and the final κ / ξ / ρ metrics.
+    """
+
+    def __init__(self, env):
+        super().__init__(env)
+        self.history: List[Dict[str, float]] = []
+        self._reward = 0.0
+        self._length = 0
+
+    def reset(self) -> np.ndarray:
+        self._reward = 0.0
+        self._length = 0
+        return self.env.reset()
+
+    def step(self, action: Action):
+        state, reward, done, info = self.env.step(action)
+        self._reward += reward
+        self._length += 1
+        if done:
+            metrics = self.unwrapped.metrics()
+            self.history.append(
+                {
+                    "reward": self._reward,
+                    "length": self._length,
+                    "kappa": metrics.kappa,
+                    "xi": metrics.xi,
+                    "rho": metrics.rho,
+                }
+            )
+        return state, reward, done, info

@@ -1,0 +1,87 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+See DESIGN.md's experiment index for the id <-> table/figure mapping, and
+run ``python -m repro.experiments list`` for the registry.
+"""
+
+from .ablations import run_eta_ablation, run_layernorm_ablation, run_returns_ablation
+from .async_study import run_async_study
+from .cache import cache_key, cached_run, load_cached, result_cache_dir, store_cached
+from .export import collect_artifacts, write_report
+from .comparison import figure_series, run_all_sweeps, run_sweep, sweep_values
+from .fig2c import run_fig2c
+from .fig3 import run_fig3
+from .fig4 import FEATURE_VARIANTS, run_fig4
+from .fig5 import REWARD_ARMS, run_fig5
+from .fig9 import run_fig9
+from .registry import EXPERIMENTS, Experiment, run_experiment
+from .scales import SCALES, Scale, current_scale, get_scale, scale_params
+from .significance import run_multi_seed, summarize_multi_seed, win_matrix
+from .table2 import run_table2
+from .training import (
+    ALL_METHODS,
+    LEARNED_METHODS,
+    SCRIPTED_METHODS,
+    evaluate_agent,
+    evaluate_method,
+    evaluate_scripted,
+    method_display_name,
+    train_method,
+)
+from .visualize import (
+    curiosity_heatmap,
+    policy_quiver,
+    render_heatmap,
+    render_trajectories,
+    trajectory_grid,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "SCALES",
+    "Scale",
+    "current_scale",
+    "get_scale",
+    "run_table2",
+    "run_fig2c",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig9",
+    "FEATURE_VARIANTS",
+    "REWARD_ARMS",
+    "run_sweep",
+    "run_all_sweeps",
+    "sweep_values",
+    "figure_series",
+    "ALL_METHODS",
+    "LEARNED_METHODS",
+    "SCRIPTED_METHODS",
+    "train_method",
+    "evaluate_agent",
+    "evaluate_method",
+    "evaluate_scripted",
+    "method_display_name",
+    "curiosity_heatmap",
+    "policy_quiver",
+    "render_heatmap",
+    "render_trajectories",
+    "trajectory_grid",
+    "cached_run",
+    "cache_key",
+    "load_cached",
+    "store_cached",
+    "result_cache_dir",
+    "scale_params",
+    "run_eta_ablation",
+    "run_layernorm_ablation",
+    "run_returns_ablation",
+    "run_async_study",
+    "run_multi_seed",
+    "summarize_multi_seed",
+    "win_matrix",
+    "collect_artifacts",
+    "write_report",
+]

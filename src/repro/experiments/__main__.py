@@ -1,0 +1,57 @@
+"""CLI: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table2 --scale smoke
+    python -m repro.experiments run-all --scale short --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+from .scales import SCALES, get_scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    all_parser.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    all_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(f"{experiment_id:12s} {EXPERIMENTS[experiment_id].description}")
+        return 0
+
+    scale = get_scale(args.scale)
+    if args.command == "run":
+        print(run_experiment(args.experiment, scale=scale, seed=args.seed))
+        return 0
+
+    for experiment_id in sorted(EXPERIMENTS):
+        print(f"==== {experiment_id} ====")
+        print(run_experiment(experiment_id, scale=scale, seed=args.seed))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

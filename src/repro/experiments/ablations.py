@@ -1,0 +1,136 @@
+"""Extra ablations beyond the paper's own studies.
+
+DESIGN.md calls out three design choices worth isolating:
+
+* ``eta`` — the curiosity scale η of Eqn. (17) (the paper fixes 0.3);
+* ``returns`` — GAE advantages vs the paper's Monte-Carlo ``G_t - V``;
+* ``layernorm`` — the CNN trunk's layer normalization on vs off (the
+  paper adds it "to make the updating process more stable").
+
+Each ablation trains DRL-CEWS variants on the default scenario and
+reports final training metrics per arm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..agents.cews import CEWSAgent
+from ..agents.ppo import PPOConfig
+from ..distributed.trainer import ChiefEmployeeTrainer
+from ..env.env import CrowdsensingEnv
+from ..env.generator import generate_scenario
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import make_train_config
+
+__all__ = ["run_eta_ablation", "run_returns_ablation", "run_layernorm_ablation"]
+
+ETA_VALUES = (0.0, 0.1, 0.3, 1.0)
+
+
+def _train_cews_variant(
+    config,
+    scale: Scale,
+    seed: int,
+    ppo: PPOConfig,
+    agent_kwargs: Dict,
+) -> Dict[str, float]:
+    """Train one CEWS variant under the chief–employee loop; summarize."""
+    scenario = generate_scenario(config)
+
+    def make_agent(agent_seed: int) -> CEWSAgent:
+        return CEWSAgent(
+            config, scenario=scenario, ppo=ppo, seed=agent_seed, **agent_kwargs
+        )
+
+    trainer = ChiefEmployeeTrainer(
+        global_agent=make_agent(seed),
+        agent_factory=lambda i: make_agent(seed + 1000 + i),
+        env_factory=lambda i: CrowdsensingEnv(
+            config, reward_mode="sparse", scenario=scenario
+        ),
+        config=make_train_config(scale, seed=seed),
+    )
+    try:
+        history = trainer.train()
+    finally:
+        trainer.close()
+    tail = max(len(history.logs) // 4, 1)
+    return {
+        "kappa": float(np.mean(history.curve("kappa")[-tail:])),
+        "xi": float(np.mean(history.curve("xi")[-tail:])),
+        "rho": float(np.mean(history.curve("rho")[-tail:])),
+        "intrinsic": float(np.mean(history.curve("intrinsic_reward")[-tail:])),
+    }
+
+
+def _ppo(scale: Scale, **overrides) -> PPOConfig:
+    base = dict(
+        batch_size=scale.batch_size,
+        epochs=1,
+        learning_rate=scale.learning_rate,
+        curiosity_learning_rate=5 * scale.learning_rate,
+    )
+    base.update(overrides)
+    return PPOConfig(**base)
+
+
+def run_eta_ablation(scale: Optional[Scale] = None, seed: int = 0) -> Dict:
+    """Sweep the curiosity scale η (0 disables curiosity entirely)."""
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed, "etas": list(ETA_VALUES)}
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        arms = {
+            str(eta): _train_cews_variant(
+                config, scale, seed, _ppo(scale), {"eta": eta}
+            )
+            for eta in ETA_VALUES
+        }
+        return {"scale": scale.name, "etas": list(ETA_VALUES), "arms": arms}
+
+    return cached_run("ablation-eta", params, compute)
+
+
+def run_returns_ablation(scale: Optional[Scale] = None, seed: int = 0) -> Dict:
+    """GAE(λ=0.95) vs Monte-Carlo advantages (the paper's Eqn. 11 target)."""
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed}
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        arms = {
+            "gae": _train_cews_variant(
+                config, scale, seed, _ppo(scale, gae_lambda=0.95), {}
+            ),
+            "monte-carlo": _train_cews_variant(
+                config, scale, seed, _ppo(scale, gae_lambda=None), {}
+            ),
+        }
+        return {"scale": scale.name, "arms": arms}
+
+    return cached_run("ablation-returns", params, compute)
+
+
+def run_layernorm_ablation(scale: Optional[Scale] = None, seed: int = 0) -> Dict:
+    """CNN trunk layer normalization on vs off."""
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed}
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        arms = {
+            "layernorm": _train_cews_variant(
+                config, scale, seed, _ppo(scale), {"layer_norm": True}
+            ),
+            "no-layernorm": _train_cews_variant(
+                config, scale, seed, _ppo(scale), {"layer_norm": False}
+            ),
+        }
+        return {"scale": scale.name, "arms": arms}
+
+    return cached_run("ablation-layernorm", params, compute)

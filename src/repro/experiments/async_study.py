@@ -1,0 +1,90 @@
+"""Synchronous vs asynchronous training — quantifying Section V-A's choice.
+
+The paper *argues* for the synchronous chief–employee architecture because
+asynchronous updates suffer policy-lag unless corrected (V-trace).  This
+study measures that argument: three arms with equal episode budgets,
+
+* ``sync`` — the paper's synchronous chief–employee loop,
+* ``async + vtrace`` — IMPALA-style actor-learner with V-trace,
+* ``async uncorrected`` — the same loop with no off-policy correction
+  (actors lag ``sync_every`` episodes behind the learner),
+
+reporting final training κ / ρ and the tail value-loss (an instability
+indicator — uncorrected lag inflates it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..distributed import AsyncConfig, build_async_trainer, build_trainer
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import make_ppo_config, make_train_config
+
+__all__ = ["run_async_study", "ASYNC_LAG"]
+
+#: actor parameter staleness (episodes between actor syncs) for the async arms
+ASYNC_LAG = 4
+
+
+def run_async_study(scale: Optional[Scale] = None, seed: int = 0) -> Dict:
+    """Train the three arms and summarize; cached on disk."""
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed, "lag": ASYNC_LAG}
+
+    def summarize(kappas, rhos, value_losses) -> Dict[str, float]:
+        tail = max(len(kappas) // 4, 1)
+        return {
+            "kappa": float(np.mean(kappas[-tail:])),
+            "rho": float(np.mean(rhos[-tail:])),
+            "value_loss_tail": float(np.mean(value_losses[-tail:])),
+        }
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        arms: Dict[str, Dict[str, float]] = {}
+
+        trainer = build_trainer(
+            "cews",
+            config,
+            train=make_train_config(scale, seed=seed),
+            ppo=make_ppo_config(scale),
+            seed=seed,
+        )
+        try:
+            history = trainer.train()
+        finally:
+            trainer.close()
+        arms["sync"] = summarize(
+            history.curve("kappa"), history.curve("rho"), history.curve("value_loss")
+        )
+
+        for name, correction in (
+            ("async + vtrace", "vtrace"),
+            ("async uncorrected", "none"),
+        ):
+            async_trainer = build_async_trainer(
+                "cews",
+                config,
+                async_config=AsyncConfig(
+                    num_actors=scale.num_employees,
+                    episodes=scale.episodes,
+                    sync_every=ASYNC_LAG,
+                    correction=correction,
+                    seed=seed,
+                ),
+                ppo=make_ppo_config(scale),
+                seed=seed,
+            )
+            history = async_trainer.train()
+            arms[name] = summarize(
+                history.curve("kappa"),
+                history.curve("rho"),
+                history.curve("value_loss"),
+            )
+        return {"scale": scale.name, "lag": ASYNC_LAG, "arms": arms}
+
+    return cached_run("async-study", params, compute)

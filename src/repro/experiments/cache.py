@@ -1,0 +1,95 @@
+"""On-disk result cache for experiment runners.
+
+Training a method is the expensive part of every experiment; several
+figures share the same trained policies (Figs. 6, 7 and 8 all evaluate one
+sweep).  Results are memoized as JSON under ``results/`` keyed by a stable
+hash of the experiment id and its parameters, so repeated benchmark runs
+and sibling figures reuse completed work.
+
+Set ``REPRO_NO_CACHE=1`` to bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "CACHE_VERSION",
+    "result_cache_dir",
+    "cache_key",
+    "load_cached",
+    "store_cached",
+    "cached_run",
+]
+
+#: Bump when training semantics change so stale cached results are not
+#: mistaken for current ones (the version is folded into every cache key).
+CACHE_VERSION = 2
+
+
+def result_cache_dir() -> Path:
+    """Cache directory: ``$REPRO_RESULTS_DIR`` or ``<repo>/results``."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "results"
+
+
+def cache_key(experiment: str, params: Dict[str, Any]) -> str:
+    """Stable key from the experiment id and a JSON-serializable param dict."""
+    salted = {"__cache_version__": CACHE_VERSION, **params}
+    canonical = json.dumps(salted, sort_keys=True, default=str)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+    return f"{experiment}-{digest}"
+
+
+def _cache_disabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "") not in ("", "0")
+
+
+def load_cached(key: str) -> Optional[Dict[str, Any]]:
+    """Read a cached result, or None on miss / disabled / corrupt file."""
+    if _cache_disabled():
+        return None
+    path = result_cache_dir() / f"{key}.json"
+    if not path.exists():
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (json.JSONDecodeError, OSError):
+        # A truncated cache file (e.g. an interrupted run) is treated as a
+        # miss; the runner will regenerate and overwrite it.
+        return None
+
+
+def store_cached(key: str, payload: Dict[str, Any]) -> None:
+    """Atomically write a result under ``key`` (no-op when disabled)."""
+    if _cache_disabled():
+        return
+    directory = result_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{key}.json"
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=1, default=float)
+    os.replace(tmp, path)
+
+
+def cached_run(
+    experiment: str,
+    params: Dict[str, Any],
+    compute: Callable[[], Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Return the cached result for (experiment, params) or compute+store it."""
+    key = cache_key(experiment, params)
+    cached = load_cached(key)
+    if cached is not None:
+        return cached
+    result = compute()
+    store_cached(key, result)
+    return result

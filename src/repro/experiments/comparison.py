@@ -1,0 +1,127 @@
+"""The Figs. 6-8 comparison sweeps.
+
+The paper compares DRL-CEWS with DPPO, Edics, D&C and Greedy while varying
+one scenario dimension at a time:
+
+* number of PoIs ``P`` (Figs. 6a / 7a / 8a),
+* number of workers ``W`` (6b / 7b / 8b),
+* energy budget ``b0`` (6c / 7c / 8c),
+* number of charging stations (6d / 7d / 8d),
+
+reporting κ (Fig. 6), ξ (Fig. 7) and ρ (Fig. 8) for each point.  All three
+figures come from one sweep, so the sweep result is computed once and
+cached; the per-figure runners select the metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import ALL_METHODS, evaluate_method, method_display_name
+
+__all__ = [
+    "SWEEPS",
+    "sweep_values",
+    "run_sweep",
+    "run_all_sweeps",
+    "figure_series",
+]
+
+#: Sweep dimension -> ScenarioConfig field it overrides.
+SWEEPS = {
+    "pois": "num_pois",
+    "workers": "num_workers",
+    "budget": "energy_budget",
+    "stations": "num_stations",
+}
+
+_SWEEP_VALUES = {
+    "smoke": {
+        "pois": [20, 40, 60],
+        "workers": [1, 2, 3],
+        "budget": [4.0, 8.0, 16.0],
+        "stations": [1, 2, 4],
+    },
+    "short": {
+        "pois": [40, 80, 160],
+        "workers": [1, 2, 4, 6],
+        "budget": [5.0, 10.0, 20.0],
+        "stations": [1, 2, 4, 6],
+    },
+    "paper": {
+        "pois": [100, 200, 300, 400, 500],
+        "workers": [1, 2, 5, 10, 25],
+        "budget": [20.0, 40.0, 60.0, 80.0],
+        "stations": [2, 4, 6, 8, 10],
+    },
+}
+
+
+def sweep_values(sweep: str, scale: Scale) -> List:
+    """The x-axis values of ``sweep`` at ``scale``."""
+    if sweep not in SWEEPS:
+        raise KeyError(f"unknown sweep {sweep!r}; choose from {sorted(SWEEPS)}")
+    return list(_SWEEP_VALUES[scale.name][sweep])
+
+
+def run_sweep(
+    sweep: str,
+    scale: Scale | None = None,
+    methods: Sequence[str] = ALL_METHODS,
+    seed: int = 0,
+) -> Dict:
+    """Evaluate ``methods`` across one sweep; cached on disk.
+
+    Returns ``{"sweep", "values", "results": {method: {metric: [..]}}}``
+    with one list entry per sweep value.
+    """
+    scale = scale if scale is not None else current_scale()
+    values = sweep_values(sweep, scale)
+    params = {
+        "sweep": sweep,
+        "scale": scale_params(scale),
+        "methods": list(methods),
+        "seed": seed,
+        "values": values,
+    }
+
+    def compute() -> Dict:
+        field = SWEEPS[sweep]
+        results: Dict[str, Dict[str, List[float]]] = {
+            method: {"kappa": [], "xi": [], "rho": []} for method in methods
+        }
+        for value in values:
+            config = scale.scenario(**{field: value})
+            for method in methods:
+                metrics = evaluate_method(method, config, scale, seed=seed)
+                for key in ("kappa", "xi", "rho"):
+                    results[method][key].append(metrics[key])
+        return {"sweep": sweep, "scale": scale.name, "values": values, "results": results}
+
+    return cached_run("comparison", params, compute)
+
+
+def run_all_sweeps(
+    scale: Scale | None = None,
+    methods: Sequence[str] = ALL_METHODS,
+    seed: int = 0,
+) -> Dict[str, Dict]:
+    """All four sweeps (the complete data behind Figs. 6-8)."""
+    scale = scale if scale is not None else current_scale()
+    return {
+        sweep: run_sweep(sweep, scale=scale, methods=methods, seed=seed)
+        for sweep in SWEEPS
+    }
+
+
+def figure_series(sweep_result: Dict, metric: str) -> List[tuple[str, List, List[float]]]:
+    """(display name, xs, ys) triples for one figure panel."""
+    if metric not in ("kappa", "xi", "rho"):
+        raise ValueError(f"metric must be kappa/xi/rho, got {metric!r}")
+    xs = sweep_result["values"]
+    return [
+        (method_display_name(method), xs, series[metric])
+        for method, series in sweep_result["results"].items()
+    ]

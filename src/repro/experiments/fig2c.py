@@ -1,0 +1,48 @@
+"""Fig. 2(c) — attained trajectories for 2 drones and 4 charging stations.
+
+Trains DRL-CEWS on the default scenario and records one evaluation
+episode's worker paths, returning them together with the map so they can
+be rendered (ASCII here; the paper plots them over the Unity scene).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..agents.base import run_episode
+from ..env.env import CrowdsensingEnv
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import train_method
+
+__all__ = ["run_fig2c"]
+
+
+def run_fig2c(scale: Scale | None = None, seed: int = 0) -> Dict:
+    """Worker trajectories of a trained DRL-CEWS policy.
+
+    Returns ``{"trajectories": [per-worker list of [x, y]], "stations":
+    [[x, y]...], "obstacles": grid-as-nested-list, "kappa": float}``.
+    """
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed}
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        agent, __ = train_method("cews", config, scale, seed=seed)
+        env = CrowdsensingEnv(config, reward_mode="sparse", scenario=agent.scenario)
+        rng = np.random.default_rng(seed + 5)
+        result = run_episode(agent, env, rng, greedy=False, record_trajectory=True)
+        steps = np.stack(result.trajectory)  # (T+1, W, 2)
+        trajectories = [steps[:, w].tolist() for w in range(config.num_workers)]
+        return {
+            "scale": scale.name,
+            "trajectories": trajectories,
+            "stations": env.stations.positions.tolist(),
+            "obstacles": env.space.obstacles.astype(int).tolist(),
+            "kappa": result.metrics.kappa,
+        }
+
+    return cached_run("fig2c", params, compute)

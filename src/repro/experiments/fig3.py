@@ -1,0 +1,40 @@
+"""Fig. 3 — training wall time versus number of employees.
+
+The paper fixes the batch size at 250 and shows how total training time
+grows with the employee count (45.5% longer at 16 employees than at 8 for
+only 1.7% more ρ).  We reuse the Table II grid: its cells already record
+per-cell wall time, so this runner just extracts the relevant row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .scales import Scale, current_scale
+from .table2 import batch_sizes, run_table2
+
+__all__ = ["run_fig3"]
+
+
+def run_fig3(scale: Scale | None = None, seed: int = 0, batch: int | None = None) -> Dict:
+    """Training time (and ρ) per employee count at one batch size.
+
+    ``batch`` defaults to the scale's analogue of the paper's 250 (the
+    second-largest batch in the grid).
+    """
+    scale = scale if scale is not None else current_scale()
+    table = run_table2(scale=scale, seed=seed)
+    available = batch_sizes(scale)
+    if batch is None:
+        batch = available[-2] if len(available) >= 2 else available[-1]
+    if batch not in available:
+        raise ValueError(f"batch {batch} not in the Table II grid {available}")
+    row = table["cells"][str(batch)]
+    employees: List[int] = table["employees"]
+    return {
+        "scale": scale.name,
+        "batch": batch,
+        "employees": employees,
+        "train_time": [row[str(count)]["train_time"] for count in employees],
+        "rho": [row[str(count)]["rho"] for count in employees],
+    }

@@ -1,0 +1,69 @@
+"""Fig. 4 — feature selection for the curiosity model (Section VII-D).
+
+Five curiosity designs are trained head-to-head (W=2, P=200 in the paper)
+and their learning curves of κ / ξ / ρ compared:
+
+* shared embedding feature   (the winner, adopted by DRL-CEWS),
+* shared direct feature,
+* independent embedding feature,
+* independent direct feature,
+* RND (state-of-the-art comparison).
+
+Each variant trains a full DRL-CEWS agent under the sparse reward with the
+given curiosity module; curves are the per-episode training metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import make_ppo_config, make_train_config, train_method
+
+__all__ = ["FEATURE_VARIANTS", "run_fig4"]
+
+#: variant name -> build_agent keyword overrides.  The first five are the
+#: paper's Fig. 4 arms; "ICM" (the full Pathak et al. module the spatial
+#: model specializes) is this repository's extra comparison point.
+FEATURE_VARIANTS: Dict[str, Dict] = {
+    "shared embedding": {"curiosity": "spatial", "feature": "embedding", "structure": "shared"},
+    "shared direct": {"curiosity": "spatial", "feature": "direct", "structure": "shared"},
+    "independent embedding": {"curiosity": "spatial", "feature": "embedding", "structure": "independent"},
+    "independent direct": {"curiosity": "spatial", "feature": "direct", "structure": "independent"},
+    "RND": {"curiosity": "rnd"},
+    "ICM": {"curiosity": "icm"},
+}
+
+_POIS = {"smoke": 30, "short": 60, "paper": 200}
+
+
+def run_fig4(scale: Scale | None = None, seed: int = 0) -> Dict:
+    """Learning curves for every curiosity variant.
+
+    Returns ``{"episodes": N, "curves": {variant: {metric: [per-episode]}}}``.
+    """
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed, "variants": sorted(FEATURE_VARIANTS)}
+
+    def compute() -> Dict:
+        # The paper uses W=2, P=200 for this study.
+        config = scale.scenario(num_pois=_POIS[scale.name])
+        curves: Dict[str, Dict[str, List[float]]] = {}
+        for variant, overrides in FEATURE_VARIANTS.items():
+            __, history = train_method(
+                "cews", config, scale, seed=seed, **overrides
+            )
+            curves[variant] = {
+                "kappa": history.curve("kappa"),
+                "xi": history.curve("xi"),
+                "rho": history.curve("rho"),
+                "intrinsic": history.curve("intrinsic_reward"),
+            }
+        return {
+            "scale": scale.name,
+            "episodes": scale.episodes,
+            "curves": curves,
+        }
+
+    return cached_run("fig4", params, compute)

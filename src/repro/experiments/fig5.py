@@ -1,0 +1,51 @@
+"""Fig. 5 — dense vs sparse extrinsic reward, with and without curiosity.
+
+The 2x2 ablation of Section VII-E (W=2, P=300 in the paper):
+
+* sparse reward + curiosity (DRL-CEWS itself — best everywhere),
+* sparse reward only (fails: DRL can't learn from sparse reward alone),
+* dense reward + curiosity (curiosity speeds early training, small final
+  gain),
+* dense reward only (good but below sparse+curiosity).
+
+Each arm trains the same PPO agent; only the reward mode and the curiosity
+module change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import train_method
+
+__all__ = ["REWARD_ARMS", "run_fig5"]
+
+#: arm name -> build_agent keyword overrides
+REWARD_ARMS: Dict[str, Dict] = {
+    "sparse + curiosity": {"reward": "sparse", "curiosity": "spatial"},
+    "sparse only": {"reward": "sparse", "curiosity": "none"},
+    "dense + curiosity": {"reward": "dense", "curiosity": "spatial"},
+    "dense only": {"reward": "dense", "curiosity": "none"},
+}
+
+
+def run_fig5(scale: Scale | None = None, seed: int = 0) -> Dict:
+    """Learning curves for the four reward/curiosity arms."""
+    scale = scale if scale is not None else current_scale()
+    params = {"scale": scale_params(scale), "seed": seed, "arms": sorted(REWARD_ARMS)}
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        curves: Dict[str, Dict[str, List[float]]] = {}
+        for arm, overrides in REWARD_ARMS.items():
+            __, history = train_method("cews", config, scale, seed=seed, **overrides)
+            curves[arm] = {
+                "kappa": history.curve("kappa"),
+                "xi": history.curve("xi"),
+                "rho": history.curve("rho"),
+            }
+        return {"scale": scale.name, "episodes": scale.episodes, "curves": curves}
+
+    return cached_run("fig5", params, compute)

@@ -1,0 +1,120 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Maps experiment ids to (runner, printer) pairs; the CLI and the benchmark
+suite both dispatch through here so DESIGN.md's experiment index, the CLI
+and ``benchmarks/`` stay in sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .comparison import run_sweep
+from .fig2c import run_fig2c
+from .fig3 import run_fig3
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig9 import run_fig9
+from .report import (
+    print_comparison_figure,
+    print_fig2c,
+    print_fig3,
+    print_fig4,
+    print_fig5,
+    print_fig9,
+    print_table2,
+)
+from .scales import Scale
+from .table2 import run_table2
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    id: str
+    description: str
+    run: Callable[..., Dict]
+    render: Callable[[Dict], str]
+
+
+def _comparison_entry(metric: str, sweep: str) -> Experiment:
+    figure = {"kappa": 6, "xi": 7, "rho": 8}[metric]
+    panel = {"pois": "a", "workers": "b", "budget": "c", "stations": "d"}[sweep]
+
+    def run(scale: Optional[Scale] = None, seed: int = 0) -> Dict:
+        return run_sweep(sweep, scale=scale, seed=seed)
+
+    def render(result: Dict) -> str:
+        return print_comparison_figure(result, metric)
+
+    return Experiment(
+        id=f"fig{figure}{panel}",
+        description=f"Fig. {figure}({panel}): {metric} vs {sweep} for all 5 methods",
+        run=run,
+        render=render,
+    )
+
+
+def _build_registry() -> Dict[str, Experiment]:
+    experiments = [
+        Experiment(
+            "table2",
+            "Table II: kappa/xi/rho over #employees x batch size",
+            run_table2,
+            print_table2,
+        ),
+        Experiment(
+            "fig3",
+            "Fig. 3: training wall time vs #employees",
+            run_fig3,
+            print_fig3,
+        ),
+        Experiment(
+            "fig4",
+            "Fig. 4: curiosity feature selection learning curves",
+            run_fig4,
+            print_fig4,
+        ),
+        Experiment(
+            "fig5",
+            "Fig. 5: dense/sparse reward with/without curiosity",
+            run_fig5,
+            print_fig5,
+        ),
+        Experiment(
+            "fig9",
+            "Fig. 9: curiosity heat maps, DRL-CEWS vs DPPO",
+            run_fig9,
+            print_fig9,
+        ),
+        Experiment(
+            "fig2c",
+            "Fig. 2(c): trajectories of trained workers",
+            run_fig2c,
+            print_fig2c,
+        ),
+    ]
+    for metric in ("kappa", "xi", "rho"):
+        for sweep in ("pois", "workers", "budget", "stations"):
+            experiments.append(_comparison_entry(metric, sweep))
+    return {experiment.id: experiment for experiment in experiments}
+
+
+EXPERIMENTS: Dict[str, Experiment] = _build_registry()
+
+
+def run_experiment(
+    experiment_id: str, scale: Optional[Scale] = None, seed: int = 0
+) -> str:
+    """Run one experiment end to end and return its rendered report."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    experiment = EXPERIMENTS[experiment_id]
+    result = experiment.run(scale=scale, seed=seed)
+    return experiment.render(result)

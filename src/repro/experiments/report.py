@@ -1,0 +1,149 @@
+"""Printers turning experiment results into the paper's rows and series.
+
+Each ``print_*`` function consumes the dict produced by the matching
+runner and returns the formatted text (also printed by the CLI and the
+benchmarks so the harness output can be read next to the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..utils.ascii_plot import ascii_line_chart
+from ..utils.tables import ascii_heatmap, format_series, format_table
+
+__all__ = [
+    "print_table2",
+    "print_fig3",
+    "print_fig4",
+    "print_fig5",
+    "print_comparison_figure",
+    "print_fig9",
+    "print_fig2c",
+]
+
+
+def print_table2(result: Dict) -> str:
+    """Table II layout: one κ/ξ/ρ row triple per batch size."""
+    employees = result["employees"]
+    headers = ["batch size", "metric"] + [str(count) for count in employees]
+    rows = []
+    for batch in result["batches"]:
+        cell_row = result["cells"][str(batch)]
+        for metric in ("kappa", "xi", "rho"):
+            rows.append(
+                [f"batch {batch}", metric]
+                + [cell_row[str(count)][metric] for count in employees]
+            )
+    return format_table(
+        headers, rows, title="Table II: impact of #employees x batch size"
+    )
+
+
+def print_fig3(result: Dict) -> str:
+    lines = [f"Fig. 3: training time vs #employees (batch {result['batch']})"]
+    lines.append(
+        format_series("train_time_s", result["employees"], result["train_time"])
+    )
+    lines.append(format_series("rho", result["employees"], result["rho"]))
+    return "\n".join(lines)
+
+
+def _curve_summary(curve, buckets: int = 5):
+    """Downsample a long curve into bucket means for compact printing."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if len(curve) <= buckets:
+        return list(range(len(curve))), curve.tolist()
+    edges = np.linspace(0, len(curve), buckets + 1).astype(int)
+    xs = [int(edges[i + 1]) for i in range(buckets)]
+    ys = [float(curve[edges[i]:edges[i + 1]].mean()) for i in range(buckets)]
+    return xs, ys
+
+
+def print_fig4(result: Dict) -> str:
+    lines = ["Fig. 4: curiosity feature selection (training-curve bucket means)"]
+    for metric in ("kappa", "xi", "rho"):
+        lines.append(f"-- {metric} --")
+        for variant, curves in result["curves"].items():
+            xs, ys = _curve_summary(curves[metric])
+            lines.append(format_series(variant, xs, ys))
+    lines.append(
+        ascii_line_chart(
+            {name: curves["kappa"] for name, curves in result["curves"].items()},
+            title="kappa learning curves",
+            y_label="kappa",
+        )
+    )
+    return "\n".join(lines)
+
+
+def print_fig5(result: Dict) -> str:
+    lines = ["Fig. 5: reward mechanisms x curiosity (training-curve bucket means)"]
+    for metric in ("kappa", "xi", "rho"):
+        lines.append(f"-- {metric} --")
+        for arm, curves in result["curves"].items():
+            xs, ys = _curve_summary(curves[metric])
+            lines.append(format_series(arm, xs, ys))
+    lines.append(
+        ascii_line_chart(
+            {name: curves["kappa"] for name, curves in result["curves"].items()},
+            title="kappa learning curves",
+            y_label="kappa",
+        )
+    )
+    return "\n".join(lines)
+
+
+_METRIC_FIGURE = {"kappa": "Fig. 6", "xi": "Fig. 7", "rho": "Fig. 8"}
+_PANEL = {"pois": "(a) no. of PoIs", "workers": "(b) no. of workers",
+          "budget": "(c) energy budget", "stations": "(d) no. of charging stations"}
+
+
+def print_comparison_figure(sweep_result: Dict, metric: str) -> str:
+    """One panel of Figs. 6-8: every method's series over the sweep."""
+    from .comparison import figure_series
+
+    figure = _METRIC_FIGURE[metric]
+    panel = _PANEL[sweep_result["sweep"]]
+    lines = [f"{figure}{panel}: {metric} vs {sweep_result['sweep']}"]
+    for name, xs, ys in figure_series(sweep_result, metric):
+        lines.append(format_series(name, xs, ys))
+    return "\n".join(lines)
+
+
+def print_fig9(result: Dict) -> str:
+    lines = ["Fig. 9: curiosity heat maps over training (bright = high curiosity)"]
+    for method, grids in result["heatmaps"].items():
+        for episode, grid in zip(result["checkpoints"], grids):
+            grid = np.asarray(grid)
+            coverage = float((grid > 0).mean())
+            lines.append(
+                ascii_heatmap(
+                    grid,
+                    title=(
+                        f"{method} @ episode {episode} "
+                        f"(visited {coverage:.0%} of cells, "
+                        f"mean curiosity {grid[grid > 0].mean() if (grid > 0).any() else 0.0:.4f})"
+                    ),
+                )
+            )
+    return "\n".join(lines)
+
+
+def print_fig2c(result: Dict) -> str:
+    from ..env.config import ScenarioConfig
+    from ..env.generator import generate_scenario
+    from .scales import get_scale
+    from .visualize import render_trajectories
+
+    scale = get_scale(result["scale"])
+    scenario = generate_scenario(scale.scenario())
+    trajectories = [np.asarray(path) for path in result["trajectories"]]
+    lines = [
+        f"Fig. 2(c): trajectories (digits = workers, C = station, # = obstacle); "
+        f"kappa {result['kappa']:.3f}",
+        render_trajectories(scenario, trajectories),
+    ]
+    return "\n".join(lines)

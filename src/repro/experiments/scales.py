@@ -1,0 +1,138 @@
+"""Experiment scale presets.
+
+The paper trains for 2,500 episodes on a 16x16-cell space with P up to 500
+— hours of work for a pure-numpy substrate.  Every experiment runner
+therefore takes a :class:`Scale` selecting how big to run:
+
+* ``smoke`` — minutes in total across the whole benchmark suite; shapes
+  (who wins, trends) are noisy but visible.  Default for ``pytest
+  benchmarks/``.
+* ``short`` — tens of minutes; the scale used for the numbers recorded in
+  EXPERIMENTS.md.
+* ``paper`` — the paper's published setup (16x16 space, P=300, 8
+  employees, batch 250, 2,500 episodes).  Run via the CLI when you have
+  the time budget.
+
+Select globally with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..env.config import ScenarioConfig
+
+__all__ = ["Scale", "SCALES", "current_scale", "get_scale", "scale_params"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One preset: scenario geometry plus training-loop sizes."""
+
+    name: str
+    grid: int
+    size: float
+    num_pois: int
+    num_workers: int
+    num_stations: int
+    horizon: int
+    energy_budget: float
+    episodes: int
+    num_employees: int
+    k_updates: int
+    batch_size: int
+    eval_episodes: int
+    learning_rate: float = 1e-3
+
+    def scenario(self, **overrides) -> ScenarioConfig:
+        """Base :class:`ScenarioConfig` for this scale."""
+        base = dict(
+            grid=self.grid,
+            size=self.size,
+            num_pois=self.num_pois,
+            num_workers=self.num_workers,
+            num_stations=self.num_stations,
+            horizon=self.horizon,
+            energy_budget=self.energy_budget,
+        )
+        base.update(overrides)
+        return ScenarioConfig(**base)
+
+    def with_overrides(self, **changes) -> "Scale":
+        """Copy of the scale with the given fields changed."""
+        return replace(self, **changes)
+
+
+SCALES = {
+    "smoke": Scale(
+        name="smoke",
+        grid=8,
+        size=8.0,
+        num_pois=40,
+        num_workers=2,
+        num_stations=2,
+        horizon=40,
+        energy_budget=8.0,
+        episodes=30,
+        num_employees=2,
+        k_updates=8,
+        batch_size=40,
+        eval_episodes=3,
+    ),
+    "short": Scale(
+        name="short",
+        grid=10,
+        size=10.0,
+        num_pois=80,
+        num_workers=2,
+        num_stations=3,
+        horizon=60,
+        energy_budget=10.0,
+        episodes=250,
+        num_employees=4,
+        k_updates=8,
+        batch_size=60,
+        eval_episodes=5,
+    ),
+    "paper": Scale(
+        name="paper",
+        grid=16,
+        size=16.0,
+        num_pois=300,
+        num_workers=2,
+        num_stations=4,
+        horizon=200,
+        energy_budget=40.0,
+        episodes=2500,
+        num_employees=8,
+        k_updates=4,
+        batch_size=250,
+        eval_episodes=10,
+        learning_rate=3e-4,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a preset by name ('smoke' / 'short' / 'paper')."""
+    if name not in SCALES:
+        raise KeyError(f"unknown scale {name!r}; choose from {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def current_scale(default: str = "smoke") -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``smoke``)."""
+    return get_scale(os.environ.get("REPRO_SCALE", default))
+
+
+def scale_params(scale: Scale) -> dict:
+    """The scale as a flat dict — the full fingerprint for cache keys.
+
+    Keying caches by every field (not just the preset name) means a scale
+    customized via :meth:`Scale.with_overrides` never collides with the
+    preset it was derived from.
+    """
+    import dataclasses
+
+    return dataclasses.asdict(scale)

@@ -1,0 +1,90 @@
+"""Multi-seed evaluation: means, deviations and pairwise win rates.
+
+Single-seed comparisons of stochastic learners are fragile; this module
+repeats train-and-evaluate over independent seeds and summarizes each
+method's κ / ξ / ρ as mean ± standard deviation, plus a pairwise win
+matrix (how often method A's ρ beats method B's across seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..env.config import ScenarioConfig
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import ALL_METHODS, evaluate_method, method_display_name
+
+__all__ = ["run_multi_seed", "summarize_multi_seed", "win_matrix"]
+
+
+def run_multi_seed(
+    methods: Sequence[str] = ALL_METHODS,
+    scale: Scale | None = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    config: ScenarioConfig | None = None,
+) -> Dict:
+    """Evaluate ``methods`` across ``seeds`` on one scenario; cached.
+
+    Each seed re-trains learned methods from scratch (scenario map fixed
+    by the config; only initialization and exploration randomness vary).
+    """
+    scale = scale if scale is not None else current_scale()
+    config = config if config is not None else scale.scenario()
+    params = {
+        "scale": scale_params(scale),
+        "methods": list(methods),
+        "seeds": list(seeds),
+        "config_seed": config.seed,
+        "pois": config.num_pois,
+        "workers": config.num_workers,
+    }
+
+    def compute() -> Dict:
+        per_seed: Dict[str, List[Dict[str, float]]] = {m: [] for m in methods}
+        for seed in seeds:
+            for method in methods:
+                per_seed[method].append(
+                    evaluate_method(method, config, scale, seed=seed)
+                )
+        return {"scale": scale.name, "seeds": list(seeds), "per_seed": per_seed}
+
+    return cached_run("multi-seed", params, compute)
+
+
+def summarize_multi_seed(result: Dict) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-method ``{metric: {"mean", "std"}}`` from a multi-seed result."""
+    summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for method, snapshots in result["per_seed"].items():
+        summary[method] = {}
+        for metric in ("kappa", "xi", "rho"):
+            values = np.array([snap[metric] for snap in snapshots])
+            summary[method][metric] = {
+                "mean": float(values.mean()),
+                "std": float(values.std()),
+            }
+    return summary
+
+
+def win_matrix(result: Dict, metric: str = "rho") -> Dict[str, Dict[str, float]]:
+    """``matrix[a][b]`` = fraction of seeds where a's metric beats b's."""
+    if metric not in ("kappa", "xi", "rho"):
+        raise ValueError(f"metric must be kappa/xi/rho, got {metric!r}")
+    methods = list(result["per_seed"])
+    matrix: Dict[str, Dict[str, float]] = {}
+    for a in methods:
+        matrix[a] = {}
+        a_values = [snap[metric] for snap in result["per_seed"][a]]
+        for b in methods:
+            if a == b:
+                continue
+            b_values = [snap[metric] for snap in result["per_seed"][b]]
+            # For ξ lower is better; for κ and ρ higher is better.
+            if metric == "xi":
+                wins = sum(av < bv for av, bv in zip(a_values, b_values))
+            else:
+                wins = sum(av > bv for av, bv in zip(a_values, b_values))
+            matrix[a][b] = wins / len(a_values)
+    return matrix

@@ -1,0 +1,84 @@
+"""Table II — impact of the two DNN hyperparameters.
+
+The paper sweeps the number of employees {1, 2, 4, 8, 16} against the
+update batch size {50, 125, 250, 500} and reports κ / ξ / ρ of the trained
+DRL-CEWS policy for every cell, concluding that 8 employees with batch 250
+is the sweet spot.  This runner reproduces the grid (scaled value lists at
+the smaller presets) and also records training wall time per cell, which
+doubles as the data for Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .cache import cached_run
+from .scales import Scale, current_scale, scale_params
+from .training import evaluate_agent, train_method
+
+__all__ = ["employee_counts", "batch_sizes", "run_table2"]
+
+_EMPLOYEES = {
+    "smoke": [1, 2, 4],
+    "short": [1, 2, 4, 8],
+    "paper": [1, 2, 4, 8, 16],
+}
+_BATCHES = {
+    "smoke": [20, 40, 80],
+    "short": [30, 60, 120],
+    "paper": [50, 125, 250, 500],
+}
+
+
+def employee_counts(scale: Scale) -> List[int]:
+    return list(_EMPLOYEES[scale.name])
+
+
+def batch_sizes(scale: Scale) -> List[int]:
+    return list(_BATCHES[scale.name])
+
+
+def run_table2(scale: Scale | None = None, seed: int = 0) -> Dict:
+    """The full hyperparameter grid.
+
+    Returns ``{"employees", "batches", "cells": {batch: {employees:
+    {kappa, xi, rho, train_time}}}}`` (string keys, JSON-friendly).
+    """
+    scale = scale if scale is not None else current_scale()
+    employees = employee_counts(scale)
+    batches = batch_sizes(scale)
+    params = {
+        "scale": scale_params(scale),
+        "seed": seed,
+        "employees": employees,
+        "batches": batches,
+    }
+
+    def compute() -> Dict:
+        config = scale.scenario()
+        cells: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for batch in batches:
+            row: Dict[str, Dict[str, float]] = {}
+            for count in employees:
+                agent, history = train_method(
+                    "cews",
+                    config,
+                    scale,
+                    seed=seed,
+                    num_employees=count,
+                    batch_size=batch,
+                )
+                metrics = evaluate_agent(
+                    agent, config, scale, seed=seed, reward_mode="sparse"
+                )
+                metrics["train_time"] = history.total_wall_time
+                row[str(count)] = metrics
+            cells[str(batch)] = row
+        return {
+            "scale": scale.name,
+            "employees": employees,
+            "batches": batches,
+            "cells": cells,
+        }
+
+    return cached_run("table2", params, compute)

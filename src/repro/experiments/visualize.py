@@ -1,0 +1,138 @@
+"""Visualization helpers: curiosity heat maps and trajectory maps.
+
+These produce plain numpy grids plus ASCII renderings so the Fig. 9 and
+Fig. 2(c) reproductions work in any terminal without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..curiosity.base import TransitionBatch
+from ..curiosity.spatial import SpatialCuriosity
+from ..env.env import CrowdsensingEnv
+from ..env.generator import Scenario
+from ..env.space import CrowdsensingSpace
+from ..utils.tables import ascii_heatmap
+
+__all__ = [
+    "curiosity_heatmap",
+    "policy_quiver",
+    "render_heatmap",
+    "trajectory_grid",
+    "render_trajectories",
+]
+
+
+def curiosity_heatmap(
+    curiosity: SpatialCuriosity,
+    space: CrowdsensingSpace,
+    positions: np.ndarray,
+    moves: np.ndarray,
+    next_positions: np.ndarray,
+) -> np.ndarray:
+    """Mean raw curiosity value per visited grid cell.
+
+    ``positions`` / ``next_positions`` are (T, W, 2) step records and
+    ``moves`` (T, W); the result is a (grid, grid) array where each visited
+    cell holds the mean forward-model error of the visits and unvisited
+    cells hold zero — the paper's "curiosity value for a worker at its
+    passed location".
+    """
+    batch = TransitionBatch(
+        positions=positions, next_positions=next_positions, moves=moves
+    )
+    errors = curiosity.raw_errors(batch)  # (T, W)
+    total = np.zeros((space.grid, space.grid))
+    counts = np.zeros((space.grid, space.grid))
+    for w in range(positions.shape[1]):
+        rows, cols = space.cell_of(positions[:, w])
+        np.add.at(total, (rows, cols), errors[:, w])
+        np.add.at(counts, (rows, cols), 1.0)
+    with np.errstate(invalid="ignore"):
+        mean = np.where(counts > 0, total / np.maximum(counts, 1.0), 0.0)
+    return mean
+
+
+def render_heatmap(grid: np.ndarray, title: str = "") -> str:
+    """ASCII heat map (bright = high curiosity)."""
+    return ascii_heatmap(grid, title=title)
+
+
+def trajectory_grid(
+    scenario: Scenario, trajectories: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Integer map: -1 obstacles, -2 stations, 0 empty, w+1 = worker w's path.
+
+    ``trajectories`` is one (T, 2) position array per worker.
+    """
+    space = scenario.space
+    grid = np.zeros((space.grid, space.grid), dtype=np.int64)
+    grid[space.obstacles] = -1
+    if len(scenario.stations):
+        rows, cols = space.cell_of(scenario.stations.positions)
+        grid[rows, cols] = -2
+    for w, path in enumerate(trajectories):
+        rows, cols = space.cell_of(np.asarray(path))
+        grid[rows, cols] = w + 1
+    return grid
+
+
+_TRAJECTORY_GLYPHS = {-2: "C", -1: "#", 0: "."}
+
+
+def render_trajectories(scenario: Scenario, trajectories: Sequence[np.ndarray]) -> str:
+    """ASCII map of worker paths (digits), obstacles (#) and stations (C).
+
+    Row 0 (y = 0) is printed at the bottom, matching the coordinate system.
+    """
+    grid = trajectory_grid(scenario, trajectories)
+    lines = []
+    for row in grid[::-1]:
+        lines.append(
+            "".join(
+                _TRAJECTORY_GLYPHS.get(int(cell), str(int(cell) % 10)) for cell in row
+            )
+        )
+    return "\n".join(lines)
+
+
+_ARROWS = {
+    "stay": "o", "N": "^", "NE": "/", "E": ">", "SE": "\\",
+    "S": "v", "SW": "/", "W": "<", "NW": "\\",
+}
+
+
+def policy_quiver(agent, env: CrowdsensingEnv, worker: int = 0) -> str:
+    """ASCII vector field of the policy's greedy move at every free cell.
+
+    The chosen ``worker`` is teleported to each free cell in turn (other
+    workers stay put) and the policy's argmax route decision is drawn:
+    ``^ v < >`` for cardinal moves, ``/ \\`` for diagonals, ``o`` for
+    stay, ``#`` for obstacles.  A cheap way to *see* what a trained policy
+    wants to do across the map.
+    """
+    from ..env.actions import MOVE_NAMES
+
+    space = env.space
+    if env._needs_reset:
+        env.reset()
+    original = env.workers.positions[worker].copy()
+    rng = np.random.default_rng(0)
+    grid_chars = [["#" if space.obstacles[r, c] else " " for c in range(space.grid)]
+                  for r in range(space.grid)]
+    try:
+        for row in range(space.grid):
+            for col in range(space.grid):
+                if space.obstacles[row, col]:
+                    continue
+                env.workers.positions[worker] = space.cell_center(
+                    np.asarray(row), np.asarray(col)
+                )
+                action = agent.act(env, rng, greedy=True)
+                grid_chars[row][col] = _ARROWS[MOVE_NAMES[action.move[worker]]]
+    finally:
+        env.workers.positions[worker] = original
+    return "\n".join("".join(line) for line in grid_chars[::-1])

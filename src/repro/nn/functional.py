@@ -1,0 +1,322 @@
+"""Differentiable neural-network operations built on :class:`repro.nn.Tensor`.
+
+These are the functional counterparts of the layers in
+:mod:`repro.nn.modules`: convolution, pooling, normalization, activations
+and the standard losses used by the paper's PPO and curiosity models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, ensure_tensor, where
+
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "linear",
+    "softplus",
+    "layer_norm",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "smooth_l1_loss",
+    "cross_entropy",
+    "entropy_from_logits",
+    "one_hot",
+    "dropout",
+]
+
+
+# ---------------------------------------------------------------------------
+# im2col machinery for convolution
+# ---------------------------------------------------------------------------
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int], kernel: int, stride: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays that gather (C*K*K, out_h*out_w) patches per sample."""
+    __, channels, height, width = x_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation over a (N, C, H, W) input.
+
+    ``weight`` has shape (out_channels, in_channels, K, K).  Implemented with
+    im2col so the heavy lifting is a single matmul in both directions.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D (N, C, H, W) input, got {x.shape}")
+    out_channels, in_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels but weight expects {in_channels}"
+        )
+
+    x_padded = x.pad2d(padding)
+    batch, __, height, width = x_padded.shape
+    if height < kernel or width < kernel:
+        raise ValueError(
+            f"spatial size {(height, width)} smaller than kernel {kernel}"
+        )
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+
+    k_idx, i_idx, j_idx = _im2col_indices(x_padded.shape, kernel, stride)
+    x_data = x_padded.data
+
+    # cols: (N, C*K*K, out_h*out_w)
+    cols = x_data[:, k_idx, i_idx, j_idx]
+    w_flat = weight.data.reshape(out_channels, -1)
+
+    out_data = np.einsum("ok,nkp->nop", w_flat, cols)
+    out_data = out_data.reshape(batch, out_channels, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x_padded, weight) if bias is None else (x_padded, weight, bias)
+
+    def backward(grad: np.ndarray):
+        # grad: (N, O, out_h, out_w) -> (N, O, P)
+        grad_flat = grad.reshape(batch, out_channels, -1)
+        grad_w = np.einsum("nop,nkp->ok", grad_flat, cols).reshape(weight.shape)
+        grad_cols = np.einsum("ok,nop->nkp", w_flat, grad_flat)
+        grad_x = np.zeros_like(x_data)
+        # Scatter-add each column patch back into the input.
+        np.add.at(
+            grad_x,
+            (slice(None), k_idx, i_idx, j_idx),
+            grad_cols,
+        )
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad.sum(axis=(0, 2, 3))
+        return grad_x, grad_w, grad_b
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows of a 4-D input."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    k_idx, i_idx, j_idx = _im2col_indices(x.shape, kernel, stride)
+
+    cols = x.data[:, k_idx, i_idx, j_idx]  # (N, C*K*K, P)
+    cols = cols.reshape(batch, channels, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_cols = np.zeros(
+            (batch, channels, kernel * kernel, out_h * out_w), dtype=grad.dtype
+        )
+        np.put_along_axis(
+            grad_cols,
+            argmax[:, :, None, :],
+            grad.reshape(batch, channels, 1, -1),
+            axis=2,
+        )
+        grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
+        grad_x = np.zeros_like(x.data)
+        np.add.at(grad_x, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        return (grad_x,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over windows of a 4-D input."""
+    stride = stride or kernel
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    k_idx, i_idx, j_idx = _im2col_indices(x.shape, kernel, stride)
+    window = kernel * kernel
+
+    cols = x.data[:, k_idx, i_idx, j_idx]
+    cols = cols.reshape(batch, channels, window, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
+
+    def backward(grad: np.ndarray):
+        grad_cols = np.repeat(
+            grad.reshape(batch, channels, 1, -1) / window, window, axis=2
+        )
+        grad_cols = grad_cols.reshape(batch, channels * window, -1)
+        grad_x = np.zeros_like(x.data)
+        np.add.at(grad_x, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        return (grad_x,)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------------
+# Dense / normalization / activations
+# ---------------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch weight layout)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def layer_norm(
+    x: Tensor,
+    weight: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mu) / (var + eps).sqrt()
+    if weight is not None:
+        normalized = normalized * weight
+    if bias is not None:
+        normalized = normalized + bias
+    return normalized
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` with the exact gradient ``sigmoid(x)``.
+
+    Computed via ``logaddexp`` for stability; a primitive op (rather than a
+    ``maximum``-based composition) so the gradient is smooth at 0, where
+    freshly initialized policy logits live.
+    """
+    data = np.logaddexp(0.0, x.data)
+    # exp may overflow to inf for very negative inputs; 1/(1+inf) = 0 is
+    # exactly the right limit, so only the warning needs suppressing.
+    with np.errstate(over="ignore"):
+        sig = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray):
+        return (grad * sig,)
+
+    return Tensor._make(data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error; the target is detached from the graph."""
+    target = ensure_tensor(target).detach()
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def smooth_l1_loss(prediction: Tensor, target: Tensor, beta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``beta``, linear outside."""
+    target = ensure_tensor(target).detach()
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear_part = abs_diff - 0.5 * beta
+    return where(abs_diff.data < beta, quadratic, linear_part).mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy from raw logits against integer class targets."""
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(logp.shape[0])
+    picked = logp[rows, targets]
+    return -picked.mean()
+
+
+def entropy_from_logits(logits: Tensor, axis: int = -1) -> Tensor:
+    """Shannon entropy of the categorical distribution given by ``logits``."""
+    logp = log_softmax(logits, axis=axis)
+    p = softmax(logits, axis=axis)
+    return -(p * logp).sum(axis=axis)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer array along a new trailing axis."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if num_classes < 1:
+        raise ValueError(f"num_classes must be >= 1, got {num_classes}")
+    if np.any(indices < 0) or np.any(indices >= num_classes):
+        raise IndexError(
+            f"indices out of range [0, {num_classes}): "
+            f"min={indices.min()}, max={indices.max()}"
+        )
+    out = np.zeros(indices.shape + (num_classes,))
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def dropout(
+    x: Tensor, p: float, rng: np.random.Generator, training: bool = True
+) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p``.
+
+    Surviving elements are scaled by ``1/(1-p)`` so the expectation is
+    unchanged; a no-op when ``training`` is False or ``p == 0``.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray):
+        return (grad * keep,)
+
+    return Tensor._make(x.data * keep, (x,), backward)

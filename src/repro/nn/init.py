@@ -1,0 +1,86 @@
+"""Weight initializers for :mod:`repro.nn`.
+
+Each initializer takes a shape and a ``numpy.random.Generator`` and returns
+a plain array; modules wrap the result in a parameter tensor.  Keeping
+initialization explicit about its RNG makes every network in the
+reproduction seedable end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "orthogonal",
+    "zeros",
+    "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional weight shapes."""
+    if len(shape) < 2:
+        raise ValueError(f"fan computation requires >= 2 dims, got {shape}")
+    receptive_field = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive_field
+    fan_out = shape[0] * receptive_field
+    return fan_in, fan_out
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1
+) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, std: float = 0.01
+) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, a: float = math.sqrt(5)
+) -> np.ndarray:
+    """He/Kaiming uniform matching PyTorch's default Linear/Conv init."""
+    fan_in, __ = fan_in_and_fan_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Orthogonal init (the standard choice for PPO policy/value heads)."""
+    if len(shape) < 2:
+        raise ValueError(f"orthogonal init requires >= 2 dims, got {shape}")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Make the decomposition unique and uniformly distributed.
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)

@@ -1,0 +1,387 @@
+"""Neural-network layers for :mod:`repro.nn`.
+
+The module system mirrors the familiar PyTorch design at a much smaller
+scale: a :class:`Module` owns named parameters and child modules, exposes
+``parameters()`` / ``state_dict()`` / ``load_state_dict()``, and is invoked
+by calling it.  Every layer takes an explicit ``rng`` so that entire agents
+are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "LayerNorm",
+    "ChannelLayerNorm",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Dropout",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration is automatic via ``__setattr__``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, in registration order."""
+        return [param for __, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted-path, parameter) pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Discard gradients of every parameter."""
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # State-dict protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter array, keyed by dotted path."""
+        return OrderedDict(
+            (name, param.data.copy()) for name, param in self.named_parameters()
+        )
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+        mismatches — silent partial loads hide bugs.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    def copy_from(self, other: "Module") -> None:
+        """In-place parameter copy from a structurally identical module."""
+        for (name_a, param_a), (name_b, param_b) in zip(
+            self.named_parameters(), other.named_parameters()
+        ):
+            if name_a != name_b or param_a.data.shape != param_b.data.shape:
+                raise ValueError(
+                    f"module structures differ: {name_a}{param_a.shape} vs "
+                    f"{name_b}{param_b.shape}"
+                )
+            param_a.data[...] = param_b.data
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output (subclasses implement this)."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with Kaiming-uniform default init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+        weight_init: str = "kaiming",
+        gain: float = 1.0,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        shape = (out_features, in_features)
+        if weight_init == "kaiming":
+            weight = init.kaiming_uniform(shape, rng)
+        elif weight_init == "xavier":
+            weight = init.xavier_uniform(shape, rng, gain=gain)
+        elif weight_init == "orthogonal":
+            weight = init.orthogonal(shape, rng, gain=gain)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(weight, name="weight")
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over (N, C, H, W) inputs with square kernels."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng), name="weight")
+        if bias:
+            fan_in = in_channels * kernel_size * kernel_size
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_channels), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_size(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output size for a given input size."""
+        out_h = (height + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (width + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return out_h, out_w
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable affine."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape), name="weight")
+        self.bias = Parameter(np.zeros(normalized_shape), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class ChannelLayerNorm(Module):
+    """Layer norm for (N, C, H, W) maps, normalizing over (C, H, W).
+
+    This matches "layer normalization after each CNN layer" in the paper's
+    model (Fig. 1): each sample's whole feature map is normalized.
+    """
+
+    def __init__(self, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        self.num_channels = num_channels
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_channels), name="weight")
+        self.bias = Parameter(np.zeros(num_channels), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"ChannelLayerNorm expects 4-D input, got {x.shape}")
+        batch = x.shape[0]
+        flat = x.reshape(batch, -1)
+        mu = flat.mean(axis=-1, keepdims=True)
+        var = flat.var(axis=-1, keepdims=True)
+        normalized = (flat - mu) / (var + self.eps).sqrt()
+        normalized = normalized.reshape(*x.shape)
+        scale = self.weight.reshape(1, self.num_channels, 1, 1)
+        shift = self.bias.reshape(1, self.num_channels, 1, 1)
+        return normalized * scale + shift
+
+    def __repr__(self) -> str:
+        return f"ChannelLayerNorm({self.num_channels})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used by the spatial curiosity model's *static embedding feature*
+    extractor; when ``frozen=True`` the table never receives gradients,
+    matching the paper's randomly-initialized static embedding (Sec. VII-D).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        frozen: bool = False,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        table = init.normal((num_embeddings, embedding_dim), rng, std=1.0)
+        self.weight = Parameter(table, name="weight")
+        if frozen:
+            self.weight.requires_grad = False
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if np.any(indices < 0) or np.any(indices >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self._layers)
+        return f"Sequential({inner})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"
+
+
+class Dropout(Module):
+    """Inverted-dropout layer with an explicit train/eval switch.
+
+    Modules are mode-less by default in this framework; Dropout carries its
+    own ``training`` flag (set ``layer.training = False`` for evaluation)
+    and an explicit RNG for reproducibility.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.training = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero elements (train mode) or pass through (eval)."""
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

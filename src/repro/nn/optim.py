@@ -1,0 +1,233 @@
+"""Optimizers and gradient utilities for :mod:`repro.nn`.
+
+The chief thread of the paper's chief–employee architecture applies summed
+employee gradients with Adam (Section VI).  Both optimizers here operate on
+explicit parameter lists so the chief can own the only optimizer state
+while employees merely compute gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .modules import Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "flatten_gradients",
+    "unflatten_vector",
+]
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Discard gradients of every managed parameter."""
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        """Apply one update from the current gradients."""
+        raise NotImplementedError
+
+    def apply_gradients(self, grads: Sequence[Optional[np.ndarray]]) -> None:
+        """Install externally computed gradients, then step.
+
+        This is the chief-side entry point: employees ship gradient lists
+        (aligned with ``parameters()`` order) and the chief applies them to
+        the global model.
+        """
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        for param, grad in zip(self.params, grads):
+            param.grad = None if grad is None else np.asarray(grad)
+        self.step()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """One (momentum-)SGD update."""
+        for i, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.momentum > 0.0:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(param.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + update
+                update = self._velocity[i]
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """One bias-corrected Adam update."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for i, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            if self._m[i] is None:
+                self._m[i] = np.zeros_like(param.data)
+                self._v[i] = np.zeros_like(param.data)
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Optimizer state for checkpointing alongside model weights."""
+        return {
+            "step_count": self._step_count,
+            "m": [None if m is None else m.copy() for m in self._m],
+            "v": [None if v is None else v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore moment state saved by :meth:`state_dict`."""
+        self._step_count = int(state["step_count"])
+        self._m = [None if m is None else np.asarray(m).copy() for m in state["m"]]
+        self._v = [None if v is None else np.asarray(v).copy() for v in state["v"]]
+
+
+def global_grad_norm(params: Iterable[Parameter]) -> float:
+    """L2 norm of all gradients viewed as one vector."""
+    total = 0.0
+    for param in params:
+        if param.grad is not None:
+            total += float(np.sum(param.grad * param.grad))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the pre-clip norm, as PyTorch does, so callers can log it.
+    """
+    params = list(params)
+    norm = global_grad_norm(params)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in params:
+            if param.grad is not None:
+                param.grad *= scale
+    return norm
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Tieleman & Hinton) — the optimizer of the A3C lineage the
+    chief-employee architecture descends from; provided as an alternative
+    to Adam for the chief."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self._square_avg: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            if self._square_avg[i] is None:
+                self._square_avg[i] = np.zeros_like(param.data)
+            self._square_avg[i] = (
+                self.alpha * self._square_avg[i] + (1.0 - self.alpha) * grad * grad
+            )
+            param.data -= self.lr * grad / (np.sqrt(self._square_avg[i]) + self.eps)
+
+
+def flatten_gradients(params: Iterable[Parameter]) -> np.ndarray:
+    """Concatenate all gradients into one flat vector (zeros where None).
+
+    Useful for shipping gradients across processes or analyzing them; the
+    inverse is :func:`unflatten_vector`.
+    """
+    pieces = []
+    for param in params:
+        if param.grad is None:
+            pieces.append(np.zeros(param.size))
+        else:
+            pieces.append(param.grad.reshape(-1))
+    if not pieces:
+        return np.zeros(0)
+    return np.concatenate(pieces)
+
+
+def unflatten_vector(
+    vector: np.ndarray, params: Iterable[Parameter]
+) -> List[np.ndarray]:
+    """Split a flat vector back into arrays shaped like each parameter."""
+    vector = np.asarray(vector)
+    params = list(params)
+    total = sum(p.size for p in params)
+    if vector.size != total:
+        raise ValueError(
+            f"vector has {vector.size} elements but parameters total {total}"
+        )
+    out: List[np.ndarray] = []
+    offset = 0
+    for param in params:
+        out.append(vector[offset : offset + param.size].reshape(param.data.shape))
+        offset += param.size
+    return out

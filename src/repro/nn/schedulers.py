@@ -1,0 +1,92 @@
+"""Learning-rate schedulers.
+
+PPO implementations commonly anneal the learning rate linearly over
+training; the chief can wrap its Adam optimizer in one of these to do the
+same.  A scheduler mutates ``optimizer.lr`` in place when stepped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "LinearDecay", "StepDecay", "CosineDecay"]
+
+
+class Scheduler:
+    """Base class: tracks steps and updates ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.steps = 0
+
+    def step(self) -> float:
+        """Advance one step and return the new learning rate."""
+        self.steps += 1
+        lr = self.compute_lr(self.steps)
+        if lr <= 0:
+            raise ValueError(f"scheduler produced non-positive lr {lr}")
+        self.optimizer.lr = lr
+        return lr
+
+    def compute_lr(self, steps: int) -> float:
+        """The learning rate after ``steps`` scheduler steps."""
+        raise NotImplementedError
+
+
+class LinearDecay(Scheduler):
+    """Linear anneal from the base rate to ``final_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, final_lr: float = 1e-6):
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        if final_lr <= 0:
+            raise ValueError(f"final_lr must be positive, got {final_lr}")
+        self.total_steps = total_steps
+        self.final_lr = final_lr
+
+    def compute_lr(self, steps: int) -> float:
+        """Linear interpolation toward ``final_lr``."""
+        fraction = min(steps / self.total_steps, 1.0)
+        return self.base_lr + fraction * (self.final_lr - self.base_lr)
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``every`` steps."""
+
+    def __init__(self, optimizer: Optimizer, every: int, gamma: float = 0.5):
+        super().__init__(optimizer)
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.every = every
+        self.gamma = gamma
+
+    def compute_lr(self, steps: int) -> float:
+        """Geometric decay every ``every`` steps."""
+        return self.base_lr * self.gamma ** (steps // self.every)
+
+
+class CosineDecay(Scheduler):
+    """Cosine anneal from the base rate to ``final_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, final_lr: float = 1e-6):
+        super().__init__(optimizer)
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        if final_lr <= 0:
+            raise ValueError(f"final_lr must be positive, got {final_lr}")
+        self.total_steps = total_steps
+        self.final_lr = final_lr
+
+    def compute_lr(self, steps: int) -> float:
+        """Half-cosine interpolation toward ``final_lr``."""
+        import math
+
+        fraction = min(steps / self.total_steps, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * fraction))
+        return self.final_lr + (self.base_lr - self.final_lr) * cosine

@@ -1,0 +1,41 @@
+"""Model checkpointing for :mod:`repro.nn`.
+
+Checkpoints are ``.npz`` archives of the module's state dict.  The paper's
+training process "periodically saves the parameters in DNNs for testing"
+(Section VI-D); these helpers implement that save/restore cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_module", "load_module", "load_state_dict_file"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Write ``module``'s parameters to an ``.npz`` archive at ``path``."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    # Dotted parameter paths are legal npz keys as-is.
+    np.savez(path, **state)
+
+
+def load_state_dict_file(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_module`."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def load_module(module: Module, path: PathLike) -> Module:
+    """Restore ``module``'s parameters in place from ``path`` and return it."""
+    module.load_state_dict(load_state_dict_file(path))
+    return module

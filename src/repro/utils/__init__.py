@@ -1,0 +1,15 @@
+"""Shared utilities: seeding and plain-text rendering."""
+
+from .ascii_plot import ascii_line_chart, sparkline
+from .seeding import rng_from, spawn_rngs
+from .tables import ascii_heatmap, format_series, format_table
+
+__all__ = [
+    "rng_from",
+    "spawn_rngs",
+    "ascii_heatmap",
+    "format_series",
+    "format_table",
+    "ascii_line_chart",
+    "sparkline",
+]

@@ -1,0 +1,107 @@
+"""ASCII line charts for terminal-only environments.
+
+The reproduction runs in environments without a plotting stack, so
+learning curves (Figs. 4-5) and sweep series (Figs. 6-8) can be rendered
+as monospace charts: multiple named series, automatic y-scaling, one glyph
+per series, and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_line_chart", "sparkline"]
+
+_GLYPHS = "ox+*#@%&"
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _downsample(ys: np.ndarray, width: int) -> np.ndarray:
+    """Mean-pool a series to at most ``width`` points."""
+    if len(ys) <= width:
+        return ys
+    edges = np.linspace(0, len(ys), width + 1).astype(int)
+    return np.array([ys[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+
+
+def ascii_line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series as one monospace chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of name -> y-values.  Series of different lengths are each
+        mean-pooled onto the chart width, so curves with different episode
+        counts remain comparable per-fraction-of-training.
+    width, height:
+        Plot area size in characters (axes excluded).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 3:
+        raise ValueError(f"chart too small: {width}x{height}")
+
+    sampled = {
+        name: _downsample(np.asarray(ys, dtype=np.float64), width)
+        for name, ys in series.items()
+        if len(ys) > 0
+    }
+    if not sampled:
+        raise ValueError("all series are empty")
+
+    low = min(float(ys.min()) for ys in sampled.values())
+    high = max(float(ys.max()) for ys in sampled.values())
+    if high == low:
+        high = low + 1.0
+
+    canvas = [[" "] * width for __ in range(height)]
+    for index, (name, ys) in enumerate(sampled.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        xs = np.linspace(0, width - 1, len(ys)).astype(int)
+        rows = ((ys - low) / (high - low) * (height - 1)).round().astype(int)
+        for x, row in zip(xs, rows):
+            canvas[height - 1 - row][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{high:.3g}"
+    bottom_label = f"{low:.3g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(sampled)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def sparkline(ys: Sequence[float], width: int = 40) -> str:
+    """A one-line unicode sparkline of a series."""
+    ys = np.asarray(ys, dtype=np.float64)
+    if ys.size == 0:
+        return ""
+    ys = _downsample(ys, width)
+    low, high = float(ys.min()), float(ys.max())
+    if high == low:
+        return _SPARK_LEVELS[0] * len(ys)
+    levels = ((ys - low) / (high - low) * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[level] for level in levels)

@@ -1,0 +1,29 @@
+"""Seed management helpers.
+
+Every stochastic component in the reproduction takes an explicit
+``numpy.random.Generator``; these helpers derive independent child
+generators from one master seed so whole experiments are replayable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["spawn_rngs", "rng_from"]
+
+
+def rng_from(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed, generator or None into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` statistically independent generators from one seed."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,80 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers print them in the same rows/series layout so a reader can put the
+bench output next to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "ascii_heatmap"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], precision: int = 3
+) -> str:
+    """One figure series as ``name: (x, y) (x, y) ...``."""
+    points = " ".join(
+        f"({x}, {y:.{precision}f})" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {points}"
+
+
+#: Shade ramp used by :func:`ascii_heatmap`, dark to bright.
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(grid, title: str = "") -> str:
+    """Render a 2-D array as an ASCII heat map (row 0 at the bottom).
+
+    Used to print the Fig. 9 curiosity visualizations in terminals.
+    """
+    import numpy as np
+
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D array, got shape {grid.shape}")
+    low, high = float(grid.min()), float(grid.max())
+    span = high - low
+    lines = []
+    if title:
+        lines.append(title)
+    for row in grid[::-1]:
+        if span <= 0:
+            indices = [0] * len(row)
+        else:
+            indices = (
+                ((row - low) / span) * (len(_SHADES) - 1)
+            ).astype(int).tolist()
+        lines.append("".join(_SHADES[i] for i in indices))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Tests for the agent-side episode helpers (run_episode, EpisodeResult)."""
+
+import numpy as np
+import pytest
+
+from repro.agents import EpisodeResult, RandomAgent, run_episode
+from repro.env import CrowdsensingEnv
+
+
+class TestRunEpisode:
+    def test_basic_rollout(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(RandomAgent(), env, rng)
+        assert result.steps == tiny_config.horizon
+        assert result.trajectory is None
+        assert result.kappa_curve == []
+
+    def test_record_trajectory_includes_start(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(RandomAgent(), env, rng, record_trajectory=True)
+        assert len(result.trajectory) == tiny_config.horizon + 1
+        assert result.trajectory[0].shape == (tiny_config.num_workers, 2)
+
+    def test_record_kappa_curve_monotone(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(RandomAgent(), env, rng, record_kappa=True)
+        curve = result.kappa_curve
+        assert len(curve) == tiny_config.horizon
+        # Collected data never decreases.
+        assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_resets_environment_first(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        run_episode(RandomAgent(), env, rng)
+        # Second run starts cleanly even though the env just finished.
+        result = run_episode(RandomAgent(), env, rng)
+        assert result.steps == tiny_config.horizon
+
+
+class TestEpisodeResult:
+    def test_total_reward(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(RandomAgent(), env, rng)
+        assert result.total_reward == result.extrinsic_reward
+        result.intrinsic_reward = 2.5
+        assert result.total_reward == pytest.approx(result.extrinsic_reward + 2.5)

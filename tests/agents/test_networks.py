@@ -1,0 +1,153 @@
+"""Tests for the CNN actor-critic network."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.agents import CNNActorCritic
+from repro.agents.networks import MASKED_LOGIT
+from repro.env.actions import NUM_MOVES
+
+
+@pytest.fixture
+def network(rng):
+    return CNNActorCritic(
+        channels=3, grid=8, num_workers=2, feature_dim=32,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestShapes:
+    def test_output_shapes(self, network, rng):
+        states = rng.normal(size=(4, 3, 8, 8))
+        out = network.forward(states)
+        assert out.move_logits.shape == (4, 2, NUM_MOVES)
+        assert out.charge_logits.shape == (4, 2)
+        assert out.value.shape == (4,)
+
+    def test_single_state_auto_batched(self, network, rng):
+        out = network.forward(rng.normal(size=(3, 8, 8)))
+        assert out.move_logits.shape == (1, 2, NUM_MOVES)
+
+    def test_features_dim(self, network, rng):
+        phi = network.features(nn.Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert phi.shape == (2, 32)
+
+    def test_layer_norm_toggle(self, rng):
+        plain = CNNActorCritic(3, 8, 2, rng=np.random.default_rng(0), layer_norm=False)
+        assert not hasattr(plain, "norm1")
+        out = plain.forward(rng.normal(size=(1, 3, 8, 8)))
+        assert out.value.shape == (1,)
+
+    def test_odd_grid_size(self, rng):
+        network = CNNActorCritic(3, 7, 1, rng=np.random.default_rng(0))
+        out = network.forward(rng.normal(size=(1, 3, 7, 7)))
+        assert out.move_logits.shape == (1, 1, NUM_MOVES)
+
+
+class TestMasking:
+    def test_invalid_moves_get_masked_logit(self, network, rng):
+        states = rng.normal(size=(1, 3, 8, 8))
+        mask = np.ones((1, 2, NUM_MOVES), dtype=bool)
+        mask[0, 0, 3] = False
+        out = network.forward(states, move_mask=mask)
+        assert out.move_logits.data[0, 0, 3] <= MASKED_LOGIT / 2
+        assert out.move_logits.data[0, 1, 3] > MASKED_LOGIT / 2
+
+    def test_masked_moves_never_sampled(self, network, rng):
+        states = rng.normal(size=(1, 3, 8, 8))
+        mask = np.zeros((1, 2, NUM_MOVES), dtype=bool)
+        mask[:, :, 0] = True
+        mask[:, :, 5] = True
+        out = network.forward(states, move_mask=mask)
+        dist = out.move_distribution()
+        samples = np.concatenate([dist.sample(rng).ravel() for __ in range(50)])
+        assert set(samples.tolist()) <= {0, 5}
+
+    def test_2d_mask_auto_batched(self, network, rng):
+        mask = np.ones((2, NUM_MOVES), dtype=bool)
+        out = network.forward(rng.normal(size=(3, 8, 8)), move_mask=mask)
+        assert out.move_logits.shape == (1, 2, NUM_MOVES)
+
+    def test_bad_mask_shape_rejected(self, network, rng):
+        with pytest.raises(ValueError, match="move_mask"):
+            network.forward(
+                rng.normal(size=(1, 3, 8, 8)),
+                move_mask=np.ones((1, 3, NUM_MOVES), dtype=bool),
+            )
+
+
+class TestPolicyOutput:
+    def test_log_prob_factorizes(self, network, rng):
+        states = rng.normal(size=(2, 3, 8, 8))
+        out = network.forward(states)
+        moves = rng.integers(0, NUM_MOVES, size=(2, 2))
+        charges = rng.integers(0, 2, size=(2, 2))
+        joint = out.log_prob(moves, charges).data
+        move_lp = out.move_distribution().log_prob(moves).data.sum(axis=-1)
+        charge_lp = (
+            out.charge_distribution().log_prob(charges.astype(float)).data.sum(axis=-1)
+        )
+        np.testing.assert_allclose(joint, move_lp + charge_lp)
+
+    def test_entropy_positive_at_init(self, network, rng):
+        out = network.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert np.all(out.entropy().data > 0)
+
+    def test_log_prob_differentiable(self, network, rng):
+        out = network.forward(rng.normal(size=(1, 3, 8, 8)))
+        moves = np.zeros((1, 2), dtype=int)
+        charges = np.zeros((1, 2), dtype=int)
+        out.log_prob(moves, charges).sum().backward()
+        assert network.move_head.weight.grad is not None
+        assert network.charge_head.weight.grad is not None
+
+    def test_charge_bias_starts_low(self, network):
+        """Untrained charge probability should be well below 0.5."""
+        probs = 1 / (1 + np.exp(-network.charge_head.bias.data))
+        assert np.all(probs < 0.2)
+
+    def test_value_head_gradient(self, network, rng):
+        out = network.forward(rng.normal(size=(2, 3, 8, 8)))
+        (out.value * out.value).sum().backward()
+        assert network.value_head.weight.grad is not None
+
+
+class TestWorkerFeatures:
+    def test_features_change_output(self, network, rng):
+        states = rng.normal(size=(1, 3, 8, 8))
+        plain = network.forward(states)
+        featured = network.forward(
+            states, worker_features=rng.normal(size=(1, 2, 3))
+        )
+        assert not np.array_equal(
+            plain.move_logits.data, featured.move_logits.data
+        )
+
+    def test_zero_features_match_default(self, network, rng):
+        states = rng.normal(size=(1, 3, 8, 8))
+        plain = network.forward(states)
+        zeroed = network.forward(states, worker_features=np.zeros((1, 2, 3)))
+        np.testing.assert_array_equal(plain.move_logits.data, zeroed.move_logits.data)
+        np.testing.assert_array_equal(plain.value.data, zeroed.value.data)
+
+    def test_2d_features_auto_batched(self, network, rng):
+        out = network.forward(
+            rng.normal(size=(3, 8, 8)), worker_features=np.zeros((2, 3))
+        )
+        assert out.value.shape == (1,)
+
+    def test_bad_feature_shape_rejected(self, network, rng):
+        with pytest.raises(ValueError, match="worker_features"):
+            network.forward(
+                rng.normal(size=(1, 3, 8, 8)),
+                worker_features=np.zeros((1, 3, 3)),
+            )
+
+    def test_gradients_flow_from_features(self, network, rng):
+        states = rng.normal(size=(2, 3, 8, 8))
+        out = network.forward(
+            states, worker_features=rng.normal(size=(2, 2, 3))
+        )
+        out.value.sum().backward()
+        assert network.head_trunk.weight.grad is not None

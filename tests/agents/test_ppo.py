@@ -1,0 +1,151 @@
+"""Tests for the PPO loss (Eqns. 11-12)."""
+
+import numpy as np
+import pytest
+
+from repro.agents import CNNActorCritic, MiniBatch, PPOConfig
+from repro.agents.ppo import ppo_loss
+from repro.env.actions import NUM_MOVES
+
+
+def make_batch(rng, network, size=6, advantages=None, log_prob_shift=0.0):
+    states = rng.normal(size=(size, 3, 8, 8))
+    masks = np.ones((size, 2, NUM_MOVES), dtype=bool)
+    moves = rng.integers(0, NUM_MOVES, size=(size, 2))
+    charges = rng.integers(0, 2, size=(size, 2))
+    out = network.forward(states, move_mask=masks)
+    log_probs = out.log_prob(moves, charges).data + log_prob_shift
+    values = out.value.data.copy()
+    returns = values + rng.normal(size=size)
+    if advantages is None:
+        advantages = returns - values
+    return MiniBatch(
+        states=states,
+        move_masks=masks,
+        moves=moves,
+        charges=charges,
+        log_probs=log_probs,
+        values=values,
+        returns=returns,
+        advantages=np.asarray(advantages, dtype=float),
+        positions=rng.uniform(0, 8, size=(size, 2, 2)),
+        next_positions=rng.uniform(0, 8, size=(size, 2, 2)),
+        next_states=rng.normal(size=(size, 3, 8, 8)),
+        worker_features=np.zeros((size, 2, 3)),
+    )
+
+
+@pytest.fixture
+def network():
+    return CNNActorCritic(3, 8, 2, feature_dim=16, rng=np.random.default_rng(0))
+
+
+class TestPPOConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("clip_epsilon", 0.0),
+            ("clip_epsilon", 1.0),
+            ("epochs", 0),
+            ("batch_size", 0),
+            ("learning_rate", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            PPOConfig(**{field: value})
+
+    def test_defaults_match_paper(self):
+        config = PPOConfig()
+        assert config.clip_epsilon == 0.2
+        assert config.batch_size == 250
+
+
+class TestPPOLoss:
+    def test_loss_is_finite_scalar(self, network, rng):
+        batch = make_batch(rng, network)
+        loss, stats = ppo_loss(network, batch, PPOConfig(batch_size=6))
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+        assert np.isfinite(stats.value_loss)
+
+    def test_zero_kl_at_collection_policy(self, network, rng):
+        """With unchanged policy, ratio = 1 and approx_kl ~ 0."""
+        batch = make_batch(rng, network)
+        __, stats = ppo_loss(network, batch, PPOConfig())
+        assert stats.approx_kl == pytest.approx(0.0, abs=1e-9)
+        assert stats.clip_fraction == 0.0
+
+    def test_policy_gradient_direction(self, network, rng):
+        """Positive advantage on an action raises its probability."""
+        batch = make_batch(rng, network, size=1, advantages=[1.0])
+        config = PPOConfig(
+            normalize_advantages=False, value_coef=0.0, entropy_coef=0.0
+        )
+        before = network.forward(batch.states, move_mask=batch.move_masks).log_prob(
+            batch.moves, batch.charges
+        ).item()
+        loss, __ = ppo_loss(network, batch, config)
+        network.zero_grad()
+        loss.backward()
+        for param in network.parameters():
+            if param.grad is not None:
+                param.data -= 0.01 * param.grad
+        after = network.forward(batch.states, move_mask=batch.move_masks).log_prob(
+            batch.moves, batch.charges
+        ).item()
+        assert after > before
+
+    def test_clipping_kills_gradient_when_ratio_too_high(self, network, rng):
+        """If the new policy is already far above the old (ratio >> 1+eps)
+        with positive advantage, the clipped objective's gradient vanishes."""
+        # Shift stored log-probs down so ratio = exp(+shift) is large.
+        batch = make_batch(rng, network, size=4, advantages=[1.0] * 4,
+                           log_prob_shift=-2.0)
+        config = PPOConfig(
+            normalize_advantages=False, value_coef=0.0, entropy_coef=0.0
+        )
+        loss, stats = ppo_loss(network, batch, config)
+        network.zero_grad()
+        loss.backward()
+        grads = [p.grad for p in network.parameters() if p.grad is not None]
+        total = sum(np.abs(g).sum() for g in grads)
+        assert stats.clip_fraction == 1.0
+        assert total == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_clipping_means_gradient_flows(self, network, rng):
+        batch = make_batch(rng, network, size=4, advantages=[1.0] * 4)
+        config = PPOConfig(
+            normalize_advantages=False, value_coef=0.0, entropy_coef=0.0
+        )
+        loss, __ = ppo_loss(network, batch, config)
+        network.zero_grad()
+        loss.backward()
+        total = sum(
+            np.abs(p.grad).sum()
+            for p in network.parameters()
+            if p.grad is not None
+        )
+        assert total > 0
+
+    def test_value_loss_is_squared_error(self, network, rng):
+        batch = make_batch(rng, network)
+        __, stats = ppo_loss(network, batch, PPOConfig())
+        expected = np.mean((batch.values - batch.returns) ** 2)
+        assert stats.value_loss == pytest.approx(expected, rel=1e-6)
+
+    def test_advantage_normalization_changes_loss(self, network, rng):
+        batch = make_batch(rng, network, advantages=[5.0, -3.0, 2.0, 0.5, 1.0, -2.0])
+        loss_norm, __ = ppo_loss(
+            network, batch, PPOConfig(normalize_advantages=True, entropy_coef=0.0)
+        )
+        loss_raw, __ = ppo_loss(
+            network, batch, PPOConfig(normalize_advantages=False, entropy_coef=0.0)
+        )
+        assert loss_norm.item() != pytest.approx(loss_raw.item())
+
+    def test_entropy_bonus_lowers_loss(self, network, rng):
+        batch = make_batch(rng, network)
+        low, __ = ppo_loss(network, batch, PPOConfig(entropy_coef=0.0))
+        high, __ = ppo_loss(network, batch, PPOConfig(entropy_coef=0.1))
+        assert high.item() < low.item()

@@ -1,0 +1,157 @@
+"""Tests for the rollout buffer and return/advantage computation."""
+
+import numpy as np
+import pytest
+
+from repro.agents import RolloutBuffer, Transition, discounted_returns, gae_advantages
+
+
+def make_transition(reward=1.0, value=0.5, done=False):
+    return Transition(
+        state=np.zeros((3, 4, 4)),
+        move_mask=np.ones((2, 9), dtype=bool),
+        moves=np.zeros(2, dtype=int),
+        charges=np.zeros(2, dtype=int),
+        log_prob=-1.0,
+        value=value,
+        reward=reward,
+        done=done,
+        positions=np.zeros((2, 2)),
+        next_positions=np.ones((2, 2)),
+        next_state=np.zeros((3, 4, 4)),
+    )
+
+
+class TestDiscountedReturns:
+    def test_undiscounted_sum(self):
+        returns = discounted_returns(
+            np.array([1.0, 1.0, 1.0]), np.array([False, False, True]), 1.0, 0.0
+        )
+        np.testing.assert_allclose(returns, [3.0, 2.0, 1.0])
+
+    def test_gamma_discounting(self):
+        returns = discounted_returns(
+            np.array([1.0, 1.0]), np.array([False, True]), 0.5, 0.0
+        )
+        np.testing.assert_allclose(returns, [1.5, 1.0])
+
+    def test_bootstrap_when_not_done(self):
+        returns = discounted_returns(
+            np.array([1.0]), np.array([False]), 0.9, 10.0
+        )
+        np.testing.assert_allclose(returns, [1.0 + 0.9 * 10.0])
+
+    def test_done_blocks_bootstrap(self):
+        returns = discounted_returns(np.array([1.0]), np.array([True]), 0.9, 10.0)
+        np.testing.assert_allclose(returns, [1.0])
+
+    def test_episode_boundary_resets(self):
+        rewards = np.array([1.0, 1.0, 1.0, 1.0])
+        dones = np.array([False, True, False, True])
+        returns = discounted_returns(rewards, dones, 1.0, 0.0)
+        np.testing.assert_allclose(returns, [2.0, 1.0, 2.0, 1.0])
+
+
+class TestGAE:
+    def test_lambda_one_equals_mc_advantage(self):
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.array([0.5, 0.5, 0.5])
+        dones = np.array([False, False, True])
+        gae = gae_advantages(rewards, values, dones, 0.99, 1.0, 0.0)
+        returns = discounted_returns(rewards, dones, 0.99, 0.0)
+        np.testing.assert_allclose(gae, returns - values)
+
+    def test_lambda_zero_is_td_error(self):
+        rewards = np.array([1.0, 2.0])
+        values = np.array([0.5, 1.5])
+        dones = np.array([False, True])
+        gae = gae_advantages(rewards, values, dones, 0.9, 0.0, 0.0)
+        np.testing.assert_allclose(
+            gae, [1.0 + 0.9 * 1.5 - 0.5, 2.0 - 1.5]
+        )
+
+    def test_done_resets_accumulator(self):
+        rewards = np.array([1.0, 1.0])
+        values = np.array([0.0, 0.0])
+        dones = np.array([True, True])
+        gae = gae_advantages(rewards, values, dones, 0.9, 0.95, 5.0)
+        np.testing.assert_allclose(gae, [1.0, 1.0])
+
+
+class TestRolloutBuffer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(gamma=0.0)
+        with pytest.raises(ValueError):
+            RolloutBuffer(gae_lambda=1.5)
+
+    def test_finalize_empty_raises(self):
+        with pytest.raises(RuntimeError, match="empty"):
+            RolloutBuffer().finalize()
+
+    def test_sample_before_finalize_raises(self):
+        buffer = RolloutBuffer()
+        buffer.add(make_transition())
+        with pytest.raises(RuntimeError, match="finalize"):
+            buffer.full_batch()
+
+    def test_full_batch_contents(self):
+        buffer = RolloutBuffer(gamma=1.0, gae_lambda=None)
+        for reward in (1.0, 2.0, 3.0):
+            buffer.add(make_transition(reward=reward, done=reward == 3.0))
+        buffer.finalize()
+        batch = buffer.full_batch()
+        assert len(batch) == 3
+        np.testing.assert_allclose(batch.returns, [6.0, 5.0, 3.0])
+        np.testing.assert_allclose(batch.advantages, batch.returns - 0.5)
+        assert batch.states.shape == (3, 3, 4, 4)
+        assert batch.positions.shape == (3, 2, 2)
+
+    def test_mc_advantages_when_lambda_none(self):
+        buffer = RolloutBuffer(gamma=0.9, gae_lambda=None)
+        buffer.add(make_transition(reward=1.0, value=0.3, done=True))
+        buffer.finalize()
+        batch = buffer.full_batch()
+        np.testing.assert_allclose(batch.advantages, [0.7])
+
+    def test_minibatches_cover_everything_once_per_epoch(self, rng):
+        buffer = RolloutBuffer()
+        for i in range(10):
+            buffer.add(make_transition(reward=float(i), done=i == 9))
+        buffer.finalize()
+        seen = []
+        for batch in buffer.minibatches(3, rng, epochs=2):
+            assert len(batch) <= 3
+            seen.extend(batch.states[:, 0, 0, 0].tolist())
+        assert len(seen) == 20
+
+    def test_minibatch_size_validation(self, rng):
+        buffer = RolloutBuffer()
+        buffer.add(make_transition(done=True))
+        buffer.finalize()
+        with pytest.raises(ValueError):
+            list(buffer.minibatches(0, rng))
+
+    def test_clear_resets(self):
+        buffer = RolloutBuffer()
+        buffer.add(make_transition(done=True))
+        buffer.finalize()
+        buffer.clear()
+        assert len(buffer) == 0
+        with pytest.raises(RuntimeError):
+            buffer.full_batch()
+
+    def test_add_after_finalize_invalidates(self):
+        buffer = RolloutBuffer()
+        buffer.add(make_transition(done=True))
+        buffer.finalize()
+        buffer.add(make_transition(done=True))
+        with pytest.raises(RuntimeError, match="finalize"):
+            buffer.full_batch()
+
+    def test_bootstrap_value_flows_into_returns(self):
+        buffer = RolloutBuffer(gamma=0.5, gae_lambda=None)
+        buffer.add(make_transition(reward=1.0, done=False))
+        buffer.finalize(bootstrap_value=4.0)
+        batch = buffer.full_batch()
+        np.testing.assert_allclose(batch.returns, [3.0])

@@ -1,0 +1,73 @@
+"""Property-based invariants of return/advantage computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.agents import discounted_returns, gae_advantages
+
+reward_arrays = arrays(
+    np.float64, st.integers(1, 12), elements=st.floats(-5.0, 5.0, allow_nan=False)
+)
+
+
+def terminal_dones(length: int) -> np.ndarray:
+    dones = np.zeros(length, dtype=bool)
+    dones[-1] = True
+    return dones
+
+
+@settings(max_examples=40, deadline=None)
+@given(reward_arrays, st.floats(0.1, 1.0))
+def test_returns_satisfy_bellman_recursion(rewards, gamma):
+    dones = terminal_dones(len(rewards))
+    returns = discounted_returns(rewards, dones, gamma, 0.0)
+    for t in range(len(rewards) - 1):
+        assert returns[t] == pytest.approx(rewards[t] + gamma * returns[t + 1])
+    assert returns[-1] == pytest.approx(rewards[-1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(reward_arrays, st.floats(0.1, 1.0), st.floats(0.5, 3.0))
+def test_returns_are_linear_in_rewards(rewards, gamma, scale):
+    dones = terminal_dones(len(rewards))
+    base = discounted_returns(rewards, dones, gamma, 0.0)
+    scaled = discounted_returns(rewards * scale, dones, gamma, 0.0)
+    np.testing.assert_allclose(scaled, base * scale, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reward_arrays, st.floats(0.1, 0.99))
+def test_nonnegative_rewards_give_monotone_returns_in_gamma(rewards, gamma):
+    rewards = np.abs(rewards)
+    dones = terminal_dones(len(rewards))
+    low = discounted_returns(rewards, dones, gamma, 0.0)
+    high = discounted_returns(rewards, dones, min(gamma + 0.01, 1.0), 0.0)
+    assert np.all(high >= low - 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    reward_arrays,
+    st.floats(0.1, 1.0),
+    st.floats(0.0, 1.0),
+)
+def test_gae_zero_for_perfect_value_function(rewards, gamma, lam):
+    """If V(s_t) equals the true return, every TD error — hence every GAE
+    advantage — is zero."""
+    dones = terminal_dones(len(rewards))
+    values = discounted_returns(rewards, dones, gamma, 0.0)
+    advantages = gae_advantages(rewards, values, dones, gamma, lam, 0.0)
+    np.testing.assert_allclose(advantages, 0.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(reward_arrays, st.floats(0.1, 1.0))
+def test_gae_lambda_one_equals_mc_advantage(rewards, gamma):
+    dones = terminal_dones(len(rewards))
+    values = np.linspace(-1, 1, len(rewards))
+    gae = gae_advantages(rewards, values, dones, gamma, 1.0, 0.0)
+    mc = discounted_returns(rewards, dones, gamma, 0.0) - values
+    np.testing.assert_allclose(gae, mc, atol=1e-9)

@@ -1,0 +1,192 @@
+"""Tests for the scripted baselines: Greedy, D&C, Random."""
+
+import numpy as np
+import pytest
+
+from repro.agents import DnCAgent, GreedyAgent, RandomAgent, evaluate_policy, run_episode
+from repro.env import Action, CrowdsensingEnv, ScenarioConfig, generate_scenario
+from repro.env.actions import MOVE_NAMES
+
+
+def line_world(num_pois=1, **overrides):
+    """Obstacle-free 8x8 world for hand-placed scenarios."""
+    base = dict(
+        size=8.0,
+        grid=8,
+        num_workers=1,
+        num_pois=num_pois,
+        num_stations=1,
+        horizon=10,
+        energy_budget=10.0,
+        corner_room=False,
+        seed=21,
+    )
+    base.update(overrides)
+    config = ScenarioConfig(**base)
+    return config, generate_scenario(config)
+
+
+class TestGreedy:
+    def test_moves_toward_adjacent_data(self, rng):
+        config, scenario = line_world()
+        # Worker at a known cell; PoI one cell east.
+        scenario.workers.positions[0] = np.array([3.5, 3.5])
+        scenario.pois.positions[0] = np.array([4.5, 3.5])
+        scenario.pois.initial_values[0] = 1.0
+        scenario.pois.values[0] = 1.0
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        action = GreedyAgent().act(env, rng)
+        assert MOVE_NAMES[action.move[0]] == "E"
+
+    def test_charges_when_low_and_near_station(self, rng):
+        config, scenario = line_world()
+        scenario.workers.positions[0] = scenario.stations.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        env.workers.energy[0] = 1.0  # 10% battery
+        action = GreedyAgent(charge_threshold=0.5).act(env, rng)
+        assert action.charge[0] == 1
+
+    def test_does_not_charge_when_full(self, rng):
+        config, scenario = line_world()
+        scenario.workers.positions[0] = scenario.stations.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        action = GreedyAgent(charge_threshold=0.5).act(env, rng)
+        assert action.charge[0] == 0
+
+    def test_wanders_when_no_data_visible(self, rng):
+        config, scenario = line_world()
+        scenario.pois.positions[0] = np.array([7.5, 7.5])
+        scenario.workers.positions[0] = np.array([0.5, 0.5])
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        action = GreedyAgent().act(env, rng)
+        # Some valid move is chosen (possibly stay) without error.
+        assert 0 <= action.move[0] < 9
+
+    def test_actions_valid_through_episode(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(GreedyAgent(), env, rng)
+        assert result.steps == tiny_config.horizon
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            GreedyAgent(charge_threshold=1.5)
+
+    def test_workers_claim_sequentially(self, rng):
+        """Two workers adjacent to the same small PoI: the second should
+        not chase data the first has already claimed this slot."""
+        config, scenario = line_world(num_pois=2, num_workers=2)
+        scenario.workers.positions[0] = np.array([3.5, 3.5])
+        scenario.workers.positions[1] = np.array([3.5, 3.5])
+        # PoI A east (tiny remaining value), PoI B west (full).
+        scenario.pois.positions[0] = np.array([4.5, 3.5])
+        scenario.pois.positions[1] = np.array([2.5, 3.5])
+        scenario.pois.initial_values[:] = [1.0, 0.4]
+        scenario.pois.values[:] = [0.2, 0.4]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        action = GreedyAgent().act(env, rng)
+        # Worker 0 takes the bigger prize east (min(0.2, 0.2)=0.2 vs west
+        # min(0.08,0.4)=0.08 -> east). Worker 1 sees east exhausted and
+        # goes west.
+        assert MOVE_NAMES[action.move[0]] == "E"
+        assert MOVE_NAMES[action.move[1]] == "W"
+
+
+class TestDnC:
+    def test_two_step_lookahead_beats_one_step_trap(self, rng):
+        """A small immediate prize one way, a large 2-step prize the other:
+        Greedy goes for the immediate, D&C for the larger total."""
+        config, scenario = line_world(num_pois=3)
+        scenario.workers.positions[0] = np.array([3.5, 3.5])
+        # Immediate small PoI to the west.
+        scenario.pois.positions[0] = np.array([2.5, 3.5])
+        scenario.pois.initial_values[0] = 0.1
+        scenario.pois.values[0] = 0.1
+        # Two big PoIs: one at distance 1 east and one at distance 2 east.
+        scenario.pois.positions[1] = np.array([4.7, 3.5])
+        scenario.pois.positions[2] = np.array([5.5, 3.5])
+        scenario.pois.initial_values[1:] = 1.0
+        scenario.pois.values[1:] = 1.0
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        dnc_action = DnCAgent().act(env, rng)
+        assert MOVE_NAMES[dnc_action.move[0]] == "E"
+
+    def test_charges_when_low(self, rng):
+        config, scenario = line_world()
+        scenario.workers.positions[0] = scenario.stations.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        env.workers.energy[0] = 1.0
+        action = DnCAgent().act(env, rng)
+        assert action.charge[0] == 1
+
+    def test_full_episode_runs(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        result = run_episode(DnCAgent(), env, rng)
+        assert result.steps == tiny_config.horizon
+
+    def test_dnc_at_least_matches_greedy_on_average(self, rng):
+        """Across seeds, two-step lookahead should collect at least as
+        much as one-step (allowing small noise)."""
+        greedy_scores, dnc_scores = [], []
+        for seed in range(3):
+            config = ScenarioConfig(
+                size=8.0, grid=8, num_workers=1, num_pois=20, num_stations=1,
+                horizon=20, energy_budget=10.0, corner_room=False, seed=seed,
+            )
+            for agent, scores in ((GreedyAgent(), greedy_scores), (DnCAgent(), dnc_scores)):
+                env = CrowdsensingEnv(config, reward_mode="dense")
+                scores.append(
+                    run_episode(agent, env, np.random.default_rng(seed)).metrics.kappa
+                )
+        assert np.mean(dnc_scores) >= np.mean(greedy_scores) - 0.05
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DnCAgent(charge_threshold=-0.1)
+
+
+class TestRandom:
+    def test_only_valid_moves(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        env.reset()
+        agent = RandomAgent()
+        for __ in range(10):
+            mask = env.valid_moves()
+            action = agent.act(env, rng)
+            for w in range(env.num_workers):
+                assert mask[w, action.move[w]]
+            env.step(action)
+
+    def test_charge_probability_zero(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        env.reset()
+        agent = RandomAgent(charge_probability=0.0)
+        for __ in range(5):
+            assert agent.act(env, rng).charge.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomAgent(charge_probability=2.0)
+
+
+class TestEvaluatePolicy:
+    def test_single_episode(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        metrics = evaluate_policy(GreedyAgent(), env, rng)
+        assert 0.0 <= metrics.kappa <= 1.0
+
+    def test_multi_episode_mean(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        metrics = evaluate_policy(RandomAgent(), env, rng, episodes=3)
+        assert 0.0 <= metrics.kappa <= 1.0
+
+    def test_episodes_validation(self, tiny_config, rng):
+        env = CrowdsensingEnv(tiny_config, reward_mode="dense")
+        with pytest.raises(ValueError):
+            evaluate_policy(GreedyAgent(), env, rng, episodes=0)

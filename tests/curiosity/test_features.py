@@ -1,0 +1,85 @@
+"""Tests for the position feature extractors."""
+
+import numpy as np
+import pytest
+
+from repro.curiosity import DirectFeature, EmbeddingFeature, make_feature
+from repro.env import CrowdsensingSpace
+
+
+@pytest.fixture
+def space():
+    return CrowdsensingSpace(8.0, 8)
+
+
+class TestDirectFeature:
+    def test_scales_into_unit_square(self, space, rng):
+        feature = DirectFeature(space)
+        positions = rng.uniform(0.0, 8.0, size=(20, 2))
+        out = feature(positions)
+        assert out.shape == (20, 2)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_dim(self, space):
+        assert DirectFeature(space).dim == 2
+
+    def test_linear_in_position(self, space):
+        feature = DirectFeature(space)
+        np.testing.assert_allclose(feature(np.array([[4.0, 2.0]])), [[0.5, 0.25]])
+
+    def test_single_position_reshaped(self, space):
+        out = DirectFeature(space)(np.array([1.0, 1.0]))
+        assert out.shape == (1, 2)
+
+
+class TestEmbeddingFeature:
+    def test_shape_and_dim(self, space, rng):
+        feature = EmbeddingFeature(space, dim=8, seed=0)
+        out = feature(rng.uniform(0.5, 7.5, size=(10, 2)))
+        assert out.shape == (10, 8)
+        assert feature.dim == 8
+
+    def test_same_cell_same_feature(self, space):
+        feature = EmbeddingFeature(space, seed=0)
+        a = feature(np.array([[1.1, 1.1]]))
+        b = feature(np.array([[1.9, 1.9]]))  # same cell (cell size 1.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_cells_differ(self, space):
+        feature = EmbeddingFeature(space, seed=0)
+        a = feature(np.array([[1.5, 1.5]]))
+        b = feature(np.array([[2.5, 1.5]]))
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_in_seed(self, space):
+        a = EmbeddingFeature(space, seed=3)(np.array([[1.5, 1.5]]))
+        b = EmbeddingFeature(space, seed=3)(np.array([[1.5, 1.5]]))
+        np.testing.assert_array_equal(a, b)
+        c = EmbeddingFeature(space, seed=4)(np.array([[1.5, 1.5]]))
+        assert not np.array_equal(a, c)
+
+    def test_expected_squared_norm_near_one(self, space):
+        feature = EmbeddingFeature(space, dim=8, seed=0)
+        cells = np.array(
+            [[x + 0.5, y + 0.5] for x in range(8) for y in range(8)]
+        )
+        norms = (feature(cells) ** 2).sum(axis=1)
+        assert norms.mean() == pytest.approx(1.0, rel=0.4)
+
+    def test_rejects_bad_dim(self, space):
+        with pytest.raises(ValueError):
+            EmbeddingFeature(space, dim=0)
+
+
+class TestFactory:
+    def test_make_direct(self, space):
+        assert isinstance(make_feature("direct", space), DirectFeature)
+
+    def test_make_embedding(self, space):
+        feature = make_feature("embedding", space, seed=1, dim=4)
+        assert isinstance(feature, EmbeddingFeature)
+        assert feature.dim == 4
+
+    def test_unknown_kind(self, space):
+        with pytest.raises(ValueError, match="unknown feature"):
+            make_feature("fourier", space)

@@ -1,0 +1,157 @@
+"""Tests for the ICM and RND reference curiosity models."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.curiosity import ICMCuriosity, NullCuriosity, RNDCuriosity, TransitionBatch
+from repro.env.actions import MOVE_OFFSETS
+
+
+def state_batch(rng, batch=8, workers=2, channels=3, grid=8):
+    positions = rng.uniform(0.5, 7.5, size=(batch, workers, 2))
+    moves = rng.integers(0, 9, size=(batch, workers))
+    return TransitionBatch(
+        positions=positions,
+        next_positions=np.clip(positions + MOVE_OFFSETS[moves], 0.1, 7.9),
+        moves=moves,
+        states=rng.normal(size=(batch, channels, grid, grid)),
+        next_states=rng.normal(size=(batch, channels, grid, grid)),
+    )
+
+
+class TestICM:
+    def test_reward_shape(self, rng):
+        icm = ICMCuriosity(3, 8, num_workers=2, seed=0)
+        rewards = icm.intrinsic_reward(state_batch(rng))
+        assert rewards.shape == (8,)
+        assert np.all(rewards >= 0)
+
+    def test_needs_states(self, rng):
+        icm = ICMCuriosity(3, 8, num_workers=2)
+        batch = state_batch(rng)
+        stateless = TransitionBatch(
+            positions=batch.positions,
+            next_positions=batch.next_positions,
+            moves=batch.moves,
+        )
+        with pytest.raises(ValueError, match="states"):
+            icm.intrinsic_reward(stateless)
+
+    def test_loss_combines_forward_and_inverse(self, rng):
+        icm = ICMCuriosity(3, 8, num_workers=2, forward_weight=0.2, seed=0)
+        loss = icm.loss(state_batch(rng))
+        assert loss.item() > 0
+
+    def test_training_reduces_loss(self, rng):
+        icm = ICMCuriosity(3, 8, num_workers=2, seed=0)
+        batch = state_batch(rng)
+        optimizer = nn.Adam(icm.parameters(), lr=1e-3)
+        initial = icm.loss(batch).item()
+        for __ in range(40):
+            optimizer.zero_grad()
+            icm.loss(batch).backward()
+            optimizer.step()
+        assert icm.loss(batch).item() < initial
+
+    def test_bad_forward_weight(self):
+        with pytest.raises(ValueError, match="forward_weight"):
+            ICMCuriosity(3, 8, num_workers=2, forward_weight=1.0)
+
+    def test_state_dict_round_trip(self, rng):
+        a = ICMCuriosity(3, 8, num_workers=2, seed=0)
+        b = ICMCuriosity(3, 8, num_workers=2, seed=9)
+        b.load_state_dict(a.state_dict())
+        batch = state_batch(rng)
+        np.testing.assert_allclose(
+            a.intrinsic_reward(batch), b.intrinsic_reward(batch)
+        )
+
+
+class TestRND:
+    def test_reward_shape_and_sign(self, rng):
+        rnd = RNDCuriosity(3, 8, seed=0)
+        rewards = rnd.intrinsic_reward(state_batch(rng))
+        assert rewards.shape == (8,)
+        assert np.all(rewards >= 0)
+
+    def test_needs_next_states(self, rng):
+        rnd = RNDCuriosity(3, 8)
+        batch = state_batch(rng)
+        stateless = TransitionBatch(
+            positions=batch.positions,
+            next_positions=batch.next_positions,
+            moves=batch.moves,
+        )
+        with pytest.raises(ValueError, match="next_states"):
+            rnd.intrinsic_reward(stateless)
+
+    def test_target_is_frozen(self, rng):
+        rnd = RNDCuriosity(3, 8, seed=0)
+        target_before = {
+            k: v.copy() for k, v in rnd.target.state_dict().items()
+        }
+        batch = state_batch(rng)
+        optimizer = nn.Adam(rnd.parameters(), lr=1e-3)
+        for __ in range(10):
+            optimizer.zero_grad()
+            rnd.loss(batch).backward()
+            optimizer.step()
+        for key, value in rnd.target.state_dict().items():
+            np.testing.assert_array_equal(value, target_before[key])
+
+    def test_only_predictor_parameters_trainable(self):
+        rnd = RNDCuriosity(3, 8)
+        predictor_ids = {id(p) for p in rnd.predictor.parameters()}
+        assert all(id(p) in predictor_ids for p in rnd.parameters())
+
+    def test_training_reduces_error_on_seen_states(self, rng):
+        rnd = RNDCuriosity(3, 8, seed=0)
+        batch = state_batch(rng)
+        optimizer = nn.Adam(rnd.parameters(), lr=1e-3)
+        initial = rnd.intrinsic_reward(batch).mean()
+        for __ in range(60):
+            optimizer.zero_grad()
+            rnd.loss(batch).backward()
+            optimizer.step()
+        assert rnd.intrinsic_reward(batch).mean() < initial
+
+    def test_target_seed_fixes_target_across_predictor_seeds(self, rng):
+        a = RNDCuriosity(3, 8, seed=1, target_seed=7)
+        b = RNDCuriosity(3, 8, seed=2, target_seed=7)
+        for (ka, va), (kb, vb) in zip(
+            a.target.state_dict().items(), b.target.state_dict().items()
+        ):
+            np.testing.assert_array_equal(va, vb)
+
+    def test_state_dict_round_trip(self, rng):
+        a = RNDCuriosity(3, 8, seed=0)
+        b = RNDCuriosity(3, 8, seed=0)
+        # Perturb b's predictor, then restore from a.
+        for p in b.predictor.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        batch = state_batch(rng)
+        np.testing.assert_allclose(
+            a.intrinsic_reward(batch), b.intrinsic_reward(batch)
+        )
+
+
+class TestNullCuriosity:
+    def test_zero_everything(self, rng):
+        null = NullCuriosity()
+        batch = state_batch(rng)
+        np.testing.assert_array_equal(null.intrinsic_reward(batch), np.zeros(8))
+        assert null.loss(batch).item() == 0.0
+        assert null.parameters() == []
+        assert null.state_dict() == {}
+
+    def test_per_worker_broadcast(self, rng):
+        null = NullCuriosity()
+        values = null.per_worker_curiosity(state_batch(rng))
+        assert values.shape == (8, 2)
+        np.testing.assert_array_equal(values, 0.0)
+
+    def test_load_nonempty_state_rejected(self):
+        with pytest.raises(ValueError):
+            NullCuriosity().load_state_dict({"w": np.zeros(1)})

@@ -1,0 +1,195 @@
+"""Tests for the spatial curiosity model (the paper's contribution)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.curiosity import SpatialCuriosity, TransitionBatch
+from repro.env import CrowdsensingSpace
+from repro.env.actions import MOVE_OFFSETS
+
+
+@pytest.fixture
+def space():
+    return CrowdsensingSpace(8.0, 8)
+
+
+def random_batch(rng, batch=16, workers=2, size=8.0):
+    positions = rng.uniform(0.5, size - 0.5, size=(batch, workers, 2))
+    moves = rng.integers(0, 9, size=(batch, workers))
+    next_positions = np.clip(
+        positions + MOVE_OFFSETS[moves], 0.1, size - 0.1
+    )
+    return TransitionBatch(
+        positions=positions, next_positions=next_positions, moves=moves
+    )
+
+
+class TestTransitionBatch:
+    def test_shapes_validated(self, rng):
+        with pytest.raises(ValueError, match="positions"):
+            TransitionBatch(
+                positions=np.zeros((4, 2)),
+                next_positions=np.zeros((4, 2)),
+                moves=np.zeros((4,), dtype=int),
+            )
+
+    def test_mismatched_next_positions(self):
+        with pytest.raises(ValueError, match="next_positions"):
+            TransitionBatch(
+                positions=np.zeros((4, 2, 2)),
+                next_positions=np.zeros((3, 2, 2)),
+                moves=np.zeros((4, 2), dtype=int),
+            )
+
+    def test_moves_shape(self):
+        with pytest.raises(ValueError, match="moves"):
+            TransitionBatch(
+                positions=np.zeros((4, 2, 2)),
+                next_positions=np.zeros((4, 2, 2)),
+                moves=np.zeros((4, 3), dtype=int),
+            )
+
+    def test_single_wraps_batch_of_one(self):
+        batch = TransitionBatch.single(
+            positions=np.zeros((2, 2)),
+            moves=np.zeros(2, dtype=int),
+            next_positions=np.ones((2, 2)),
+            state=np.zeros((3, 4, 4)),
+        )
+        assert len(batch) == 1
+        assert batch.num_workers == 2
+        assert batch.states.shape == (1, 3, 4, 4)
+
+
+class TestSpatialCuriosity:
+    def test_intrinsic_reward_shape_and_scale(self, space, rng):
+        curiosity = SpatialCuriosity(space, eta=0.3, num_workers=2)
+        batch = random_batch(rng)
+        rewards = curiosity.intrinsic_reward(batch)
+        assert rewards.shape == (16,)
+        assert np.all(rewards >= 0)
+
+    def test_eta_scales_linearly(self, space, rng):
+        batch = random_batch(rng)
+        small = SpatialCuriosity(space, eta=0.1, num_workers=2, seed=0)
+        large = SpatialCuriosity(space, eta=0.2, num_workers=2, seed=0)
+        np.testing.assert_allclose(
+            large.intrinsic_reward(batch), 2 * small.intrinsic_reward(batch)
+        )
+
+    def test_eta_zero_gives_zero_reward_but_nonzero_loss(self, space, rng):
+        curiosity = SpatialCuriosity(space, eta=0.0, num_workers=2)
+        batch = random_batch(rng)
+        np.testing.assert_array_equal(curiosity.intrinsic_reward(batch), 0.0)
+        assert curiosity.loss(batch).item() > 0.0
+
+    def test_negative_eta_rejected(self, space):
+        with pytest.raises(ValueError, match="eta"):
+            SpatialCuriosity(space, eta=-0.1)
+
+    def test_bad_structure_rejected(self, space):
+        with pytest.raises(ValueError, match="structure"):
+            SpatialCuriosity(space, structure="mixed")
+
+    def test_training_reduces_loss(self, space, rng):
+        curiosity = SpatialCuriosity(space, num_workers=2, seed=0)
+        batch = random_batch(rng)
+        optimizer = nn.Adam(curiosity.parameters(), lr=1e-2)
+        initial = curiosity.loss(batch).item()
+        for __ in range(60):
+            optimizer.zero_grad()
+            curiosity.loss(batch).backward()
+            optimizer.step()
+        assert curiosity.loss(batch).item() < 0.1 * initial
+
+    def test_visited_transitions_lose_novelty(self, space, rng):
+        """After training on region A, region B stays more novel."""
+        curiosity = SpatialCuriosity(space, num_workers=1, seed=0)
+        region_a = random_batch(rng, batch=32, workers=1, size=4.0)  # lower-left
+        optimizer = nn.Adam(curiosity.parameters(), lr=1e-2)
+        for __ in range(80):
+            optimizer.zero_grad()
+            curiosity.loss(region_a).backward()
+            optimizer.step()
+        rewards_a = curiosity.intrinsic_reward(region_a).mean()
+        region_b_positions = rng.uniform(5.0, 7.5, size=(32, 1, 2))
+        moves = rng.integers(0, 9, size=(32, 1))
+        region_b = TransitionBatch(
+            positions=region_b_positions,
+            next_positions=np.clip(region_b_positions + MOVE_OFFSETS[moves], 0.1, 7.9),
+            moves=moves,
+        )
+        rewards_b = curiosity.intrinsic_reward(region_b).mean()
+        assert rewards_b > 2 * rewards_a
+
+    def test_per_worker_curiosity_shape(self, space, rng):
+        curiosity = SpatialCuriosity(space, num_workers=2)
+        values = curiosity.per_worker_curiosity(random_batch(rng))
+        assert values.shape == (16, 2)
+
+    def test_raw_errors_eta_independent(self, space, rng):
+        batch = random_batch(rng)
+        a = SpatialCuriosity(space, eta=0.0, num_workers=2, seed=0)
+        b = SpatialCuriosity(space, eta=0.9, num_workers=2, seed=0)
+        np.testing.assert_allclose(a.raw_errors(batch), b.raw_errors(batch))
+
+
+class TestStructures:
+    def test_shared_has_one_model(self, space):
+        shared = SpatialCuriosity(space, structure="shared", num_workers=5)
+        independent = SpatialCuriosity(space, structure="independent", num_workers=5)
+        assert len(independent.parameters()) == 5 * len(shared.parameters())
+
+    def test_shared_params_independent_of_worker_count(self, space):
+        a = SpatialCuriosity(space, structure="shared", num_workers=2)
+        b = SpatialCuriosity(space, structure="shared", num_workers=10)
+        assert sum(p.size for p in a.parameters()) == sum(
+            p.size for p in b.parameters()
+        )
+
+    def test_independent_rejects_wrong_worker_count(self, space, rng):
+        curiosity = SpatialCuriosity(space, structure="independent", num_workers=3)
+        with pytest.raises(ValueError, match="workers"):
+            curiosity.intrinsic_reward(random_batch(rng, workers=2))
+
+    def test_direct_feature_variant(self, space, rng):
+        curiosity = SpatialCuriosity(space, feature="direct", num_workers=2)
+        rewards = curiosity.intrinsic_reward(random_batch(rng))
+        assert rewards.shape == (16,)
+
+
+class TestSync:
+    def test_state_dict_round_trip(self, space, rng):
+        # feature_seed fixes the frozen target table; state_dict carries
+        # the trainable forward model.
+        a = SpatialCuriosity(space, num_workers=2, seed=0, feature_seed=7)
+        b = SpatialCuriosity(space, num_workers=2, seed=99, feature_seed=7)
+        b.load_state_dict(a.state_dict())
+        batch = random_batch(rng)
+        np.testing.assert_allclose(a.loss(batch).item(), b.loss(batch).item())
+
+    def test_copy_from(self, space, rng):
+        a = SpatialCuriosity(space, num_workers=2, seed=0, feature_seed=7)
+        b = SpatialCuriosity(space, num_workers=2, seed=99, feature_seed=7)
+        b.copy_from(a)
+        batch = random_batch(rng)
+        np.testing.assert_allclose(
+            a.intrinsic_reward(batch), b.intrinsic_reward(batch)
+        )
+
+    def test_copy_from_structure_mismatch(self, space):
+        a = SpatialCuriosity(space, structure="shared", num_workers=2)
+        b = SpatialCuriosity(space, structure="independent", num_workers=2)
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+    def test_feature_seed_shared_across_agent_seeds(self, space, rng):
+        """Different agent seeds with one feature_seed predict one target."""
+        a = SpatialCuriosity(space, num_workers=2, seed=1, feature_seed=42)
+        b = SpatialCuriosity(space, num_workers=2, seed=2, feature_seed=42)
+        batch = random_batch(rng)
+        # Copy a's forward model into b: losses must then match exactly,
+        # which only holds if the frozen feature tables are identical.
+        b.copy_from(a)
+        np.testing.assert_allclose(a.loss(batch).item(), b.loss(batch).item())

@@ -1,0 +1,132 @@
+"""Tests for the asynchronous actor-learner trainer."""
+
+import numpy as np
+import pytest
+
+from repro.agents import PPOConfig
+from repro.distributed import AsyncConfig, build_async_trainer
+from repro.env import smoke_config
+
+
+@pytest.fixture
+def config():
+    return smoke_config(seed=5, horizon=8, num_pois=12)
+
+
+@pytest.fixture
+def ppo():
+    return PPOConfig(batch_size=8, epochs=1, learning_rate=1e-3)
+
+
+class TestAsyncConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_actors", 0),
+            ("episodes", 0),
+            ("sync_every", 0),
+            ("correction", "retrace"),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            AsyncConfig(**{field: value})
+
+
+class TestAsyncLoop:
+    def test_history_and_round_robin(self, config, ppo):
+        trainer = build_async_trainer(
+            "cews",
+            config,
+            async_config=AsyncConfig(num_actors=2, episodes=4, sync_every=2, seed=0),
+            ppo=ppo,
+        )
+        history = trainer.train()
+        assert len(history.logs) == 4
+        assert [log.actor for log in history.logs] == [0, 1, 0, 1]
+        assert all(np.isfinite(log.value_loss) for log in history.logs)
+
+    def test_lag_grows_between_syncs(self, config, ppo):
+        trainer = build_async_trainer(
+            "dppo",
+            config,
+            async_config=AsyncConfig(num_actors=1, episodes=6, sync_every=3, seed=0),
+            ppo=ppo,
+        )
+        history = trainer.train()
+        lags = [log.lag for log in history.logs]
+        # Sync at episodes 0 and 3: lag pattern 0,1,2,0,1,2.
+        assert lags == [0, 1, 2, 0, 1, 2]
+
+    def test_sync_every_one_keeps_lag_zero(self, config, ppo):
+        trainer = build_async_trainer(
+            "dppo",
+            config,
+            async_config=AsyncConfig(num_actors=1, episodes=3, sync_every=1, seed=0),
+            ppo=ppo,
+        )
+        history = trainer.train()
+        assert all(log.lag == 0 for log in history.logs)
+
+    def test_learner_parameters_change(self, config, ppo):
+        trainer = build_async_trainer(
+            "dppo",
+            config,
+            async_config=AsyncConfig(num_actors=1, episodes=2, seed=0),
+            ppo=ppo,
+        )
+        before = {
+            k: v.copy() for k, v in trainer.learner.network.state_dict().items()
+        }
+        trainer.train()
+        changed = any(
+            not np.array_equal(v, before[k])
+            for k, v in trainer.learner.network.state_dict().items()
+        )
+        assert changed
+
+    def test_vtrace_rhos_logged(self, config, ppo):
+        trainer = build_async_trainer(
+            "dppo",
+            config,
+            async_config=AsyncConfig(
+                num_actors=2, episodes=4, sync_every=4, correction="vtrace", seed=0
+            ),
+            ppo=ppo,
+        )
+        history = trainer.train()
+        rhos = history.curve("rho_mean")
+        assert all(0.0 < rho <= 1.0 + 1e-9 for rho in rhos)
+
+    def test_no_correction_has_unit_rho(self, config, ppo):
+        trainer = build_async_trainer(
+            "dppo",
+            config,
+            async_config=AsyncConfig(
+                num_actors=1, episodes=2, correction="none", seed=0
+            ),
+            ppo=ppo,
+        )
+        history = trainer.train()
+        assert all(log.rho_mean == 1.0 for log in history.logs)
+
+    def test_curiosity_trains_in_async_mode(self, config, ppo):
+        trainer = build_async_trainer(
+            "cews",
+            config,
+            async_config=AsyncConfig(num_actors=1, episodes=2, seed=0),
+            ppo=ppo,
+        )
+        before = {
+            k: v.copy() for k, v in trainer.learner.curiosity.state_dict().items()
+        }
+        trainer.train()
+        changed = any(
+            not np.array_equal(v, before[k])
+            for k, v in trainer.learner.curiosity.state_dict().items()
+        )
+        assert changed
+
+    def test_edics_rejected(self, config, ppo):
+        with pytest.raises(ValueError, match="edics"):
+            build_async_trainer("edics", config, ppo=ppo)

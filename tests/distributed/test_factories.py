@@ -1,0 +1,105 @@
+"""Tests for the agent/trainer factories."""
+
+import numpy as np
+import pytest
+
+from repro.agents import CEWSAgent, DPPOAgent, EdicsAgent, PPOConfig
+from repro.curiosity import ICMCuriosity, NullCuriosity, RNDCuriosity, SpatialCuriosity
+from repro.distributed import build_agent, build_trainer, TrainConfig
+from repro.env import smoke_config
+
+
+@pytest.fixture
+def config():
+    return smoke_config(seed=5, horizon=8, num_pois=12)
+
+
+class TestBuildAgent:
+    def test_method_dispatch(self, config):
+        assert isinstance(build_agent("cews", config), CEWSAgent)
+        assert isinstance(build_agent("dppo", config), DPPOAgent)
+        assert isinstance(build_agent("edics", config), EdicsAgent)
+
+    def test_unknown_method(self, config):
+        with pytest.raises(ValueError, match="method"):
+            build_agent("sarsa", config)
+
+    @pytest.mark.parametrize(
+        "curiosity,expected",
+        [
+            ("none", NullCuriosity),
+            ("spatial", SpatialCuriosity),
+            ("icm", ICMCuriosity),
+            ("rnd", RNDCuriosity),
+        ],
+    )
+    def test_curiosity_overrides(self, config, curiosity, expected):
+        agent = build_agent("cews", config, curiosity=curiosity)
+        assert isinstance(agent.curiosity, expected)
+
+    def test_unknown_curiosity(self, config):
+        with pytest.raises(ValueError, match="curiosity"):
+            build_agent("cews", config, curiosity="novelty")
+
+    def test_reward_override(self, config):
+        agent = build_agent("dppo", config, reward="sparse")
+        assert agent.reward_mode == "sparse"
+
+    def test_bad_reward_override(self, config):
+        with pytest.raises(ValueError, match="reward"):
+            build_agent("dppo", config, reward="shaped")
+
+    def test_spatial_variants(self, config):
+        agent = build_agent(
+            "cews", config, feature="direct", structure="independent"
+        )
+        assert agent.curiosity.feature_kind == "direct"
+        assert agent.curiosity.structure == "independent"
+
+    def test_frozen_feature_shared_across_seeds(self, config):
+        """Agents with different seeds share one frozen embedding table."""
+        a = build_agent("cews", config, seed=1)
+        b = build_agent("cews", config, seed=2)
+        np.testing.assert_array_equal(
+            a.curiosity._feature._table.weight.data,
+            b.curiosity._feature._table.weight.data,
+        )
+
+    def test_rnd_target_shared_across_seeds(self, config):
+        a = build_agent("cews", config, curiosity="rnd", seed=1)
+        b = build_agent("cews", config, curiosity="rnd", seed=2)
+        for (ka, va), (kb, vb) in zip(
+            a.curiosity.target.state_dict().items(),
+            b.curiosity.target.state_dict().items(),
+        ):
+            np.testing.assert_array_equal(va, vb)
+
+
+class TestBuildTrainer:
+    def test_trainer_wiring(self, config):
+        trainer = build_trainer(
+            "cews",
+            config,
+            train=TrainConfig(num_employees=2, episodes=1, k_updates=1),
+            ppo=PPOConfig(batch_size=8, epochs=1),
+        )
+        assert len(trainer.employees) == 2
+        assert trainer.eval_env is not None
+        # Employee envs share the global scenario (same map).
+        np.testing.assert_array_equal(
+            trainer.employees[0].env.scenario.pois.positions,
+            trainer.global_agent.scenario.pois.positions,
+        )
+        trainer.close()
+
+    def test_env_reward_mode_matches_method(self, config):
+        cews = build_trainer(
+            "cews", config, train=TrainConfig(num_employees=1, episodes=1)
+        )
+        assert cews.employees[0].env.reward_mode == "sparse"
+        cews.close()
+        dppo = build_trainer(
+            "dppo", config, train=TrainConfig(num_employees=1, episodes=1)
+        )
+        assert dppo.employees[0].env.reward_mode == "dense"
+        dppo.close()

@@ -1,0 +1,72 @@
+"""Tests for the thread-safe gradient buffer."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.distributed import GradientBuffer
+
+
+class TestBasics:
+    def test_sum_of_contributions(self):
+        buffer = GradientBuffer(2)
+        buffer.add([np.ones(3), np.full(2, 2.0)])
+        buffer.add([np.ones(3) * 2, np.full(2, 3.0)])
+        grads, count = buffer.drain()
+        assert count == 2
+        np.testing.assert_array_equal(grads[0], np.full(3, 3.0))
+        np.testing.assert_array_equal(grads[1], np.full(2, 5.0))
+
+    def test_drain_clears(self):
+        buffer = GradientBuffer(1)
+        buffer.add([np.ones(1)])
+        buffer.drain()
+        assert buffer.count == 0
+        with pytest.raises(RuntimeError, match="empty"):
+            buffer.drain()
+
+    def test_add_wrong_count_rejected(self):
+        buffer = GradientBuffer(2)
+        with pytest.raises(ValueError, match="expected 2"):
+            buffer.add([np.ones(1)])
+
+    def test_add_wrong_shape_rejected(self):
+        buffer = GradientBuffer(1)
+        buffer.add([np.ones(3)])
+        with pytest.raises(ValueError, match="shape"):
+            buffer.add([np.ones(4)])
+
+    def test_clear(self):
+        buffer = GradientBuffer(1)
+        buffer.add([np.ones(1)])
+        buffer.clear()
+        assert buffer.count == 0
+
+    def test_negative_num_params_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBuffer(-1)
+
+    def test_contributions_are_copied(self):
+        buffer = GradientBuffer(1)
+        grad = np.ones(2)
+        buffer.add([grad])
+        grad[:] = 100.0
+        summed, __ = buffer.drain()
+        np.testing.assert_array_equal(summed[0], np.ones(2))
+
+
+class TestThreadSafety:
+    def test_concurrent_adds_all_counted(self):
+        buffer = GradientBuffer(1)
+        threads = [
+            threading.Thread(target=lambda: buffer.add([np.ones(4)]))
+            for __ in range(32)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        grads, count = buffer.drain()
+        assert count == 32
+        np.testing.assert_array_equal(grads[0], np.full(4, 32.0))

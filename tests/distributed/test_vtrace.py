@@ -1,0 +1,180 @@
+"""Tests for the V-trace off-policy correction."""
+
+import numpy as np
+import pytest
+
+from repro.agents.rollout import discounted_returns
+from repro.distributed import vtrace_targets
+
+
+def on_policy_inputs(horizon=6, gamma=0.9, seed=0):
+    rng = np.random.default_rng(seed)
+    log_probs = rng.normal(-1.0, 0.3, size=horizon)
+    rewards = rng.normal(size=horizon)
+    values = rng.normal(size=horizon)
+    dones = np.zeros(horizon, dtype=bool)
+    dones[-1] = True
+    return log_probs, rewards, values, dones, gamma
+
+
+class TestOnPolicyReduction:
+    def test_on_policy_targets_equal_discounted_returns(self):
+        """With π = μ and no truncation active, v_t reduces to the
+        Monte-Carlo return (λ=1 TD(λ) with full importance weights)."""
+        log_probs, rewards, values, dones, gamma = on_policy_inputs()
+        trace = vtrace_targets(
+            behaviour_log_probs=log_probs,
+            target_log_probs=log_probs,
+            rewards=rewards,
+            values=values,
+            dones=dones,
+            gamma=gamma,
+        )
+        expected = discounted_returns(rewards, dones, gamma, 0.0)
+        np.testing.assert_allclose(trace.vs, expected, atol=1e-10)
+
+    def test_on_policy_rhos_are_one(self):
+        log_probs, rewards, values, dones, gamma = on_policy_inputs()
+        trace = vtrace_targets(
+            log_probs, log_probs, rewards, values, dones, gamma
+        )
+        np.testing.assert_allclose(trace.rhos, 1.0)
+
+    def test_on_policy_advantage_is_td_against_vs(self):
+        log_probs, rewards, values, dones, gamma = on_policy_inputs()
+        trace = vtrace_targets(
+            log_probs, log_probs, rewards, values, dones, gamma
+        )
+        next_vs = np.append(trace.vs[1:], 0.0)
+        next_vs[dones] = 0.0
+        expected = rewards + gamma * next_vs - values
+        np.testing.assert_allclose(trace.advantages, expected, atol=1e-10)
+
+
+class TestOffPolicyBehaviour:
+    def test_rhos_truncated(self):
+        behaviour = np.array([-2.0, -2.0])
+        target = np.array([0.0, -4.0])  # ratios e^2 and e^-2
+        trace = vtrace_targets(
+            behaviour,
+            target,
+            rewards=np.zeros(2),
+            values=np.zeros(2),
+            dones=np.array([False, True]),
+            gamma=0.9,
+            clip_rho=1.0,
+        )
+        assert trace.rhos[0] == pytest.approx(1.0)  # truncated from e^2
+        assert trace.rhos[1] == pytest.approx(np.exp(-2.0))
+
+    def test_zero_weight_trajectory_keeps_targets_at_values(self):
+        """If the target policy never takes these actions (ratio ~ 0),
+        v_t collapses to V(s_t) — no correction-free bootstrapping."""
+        behaviour = np.zeros(4)
+        target = np.full(4, -50.0)
+        values = np.array([1.0, -2.0, 0.5, 3.0])
+        trace = vtrace_targets(
+            behaviour,
+            target,
+            rewards=np.ones(4),
+            values=values,
+            dones=np.array([False, False, False, True]),
+            gamma=0.9,
+        )
+        np.testing.assert_allclose(trace.vs, values, atol=1e-15)
+        np.testing.assert_allclose(trace.advantages, 0.0, atol=1e-15)
+
+    def test_done_cuts_bootstrap(self):
+        log_probs = np.zeros(3)
+        rewards = np.array([1.0, 1.0, 1.0])
+        values = np.zeros(3)
+        dones = np.array([True, True, True])
+        trace = vtrace_targets(
+            log_probs, log_probs, rewards, values, dones, gamma=0.9
+        )
+        np.testing.assert_allclose(trace.vs, [1.0, 1.0, 1.0])
+
+    def test_bootstrap_value_used_when_truncated(self):
+        log_probs = np.zeros(1)
+        trace = vtrace_targets(
+            log_probs,
+            log_probs,
+            rewards=np.array([1.0]),
+            values=np.array([0.0]),
+            dones=np.array([False]),
+            gamma=0.5,
+            bootstrap_value=4.0,
+        )
+        np.testing.assert_allclose(trace.vs, [3.0])
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            vtrace_targets(
+                np.zeros(3), np.zeros(2), np.zeros(2), np.zeros(2),
+                np.zeros(2, dtype=bool), 0.9,
+            )
+
+    def test_bad_gamma(self):
+        z = np.zeros(2)
+        with pytest.raises(ValueError, match="gamma"):
+            vtrace_targets(z, z, z, z, np.zeros(2, dtype=bool), 0.0)
+
+    def test_bad_clips(self):
+        z = np.zeros(2)
+        with pytest.raises(ValueError, match="clip"):
+            vtrace_targets(z, z, z, z, np.zeros(2, dtype=bool), 0.9, clip_rho=0.0)
+
+
+class TestVTraceProperties:
+    """Hypothesis invariants of the V-trace computation."""
+
+    def test_property_on_policy_equivalence(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from hypothesis.extra.numpy import arrays
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            arrays(np.float64, 8, elements=st.floats(-3, 0, allow_nan=False)),
+            arrays(np.float64, 8, elements=st.floats(-2, 2, allow_nan=False)),
+            arrays(np.float64, 8, elements=st.floats(-2, 2, allow_nan=False)),
+            st.floats(0.5, 1.0),
+        )
+        def check(log_probs, rewards, values, gamma):
+            dones = np.zeros(8, dtype=bool)
+            dones[-1] = True
+            trace = vtrace_targets(
+                log_probs, log_probs, rewards, values, dones, gamma
+            )
+            expected = discounted_returns(rewards, dones, gamma, 0.0)
+            np.testing.assert_allclose(trace.vs, expected, atol=1e-8)
+
+        check()
+
+    def test_property_rhos_bounded_by_clip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from hypothesis.extra.numpy import arrays
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            arrays(np.float64, 6, elements=st.floats(-4, 0, allow_nan=False)),
+            arrays(np.float64, 6, elements=st.floats(-4, 0, allow_nan=False)),
+            st.floats(0.2, 2.0),
+        )
+        def check(behaviour, target, clip_rho):
+            trace = vtrace_targets(
+                behaviour,
+                target,
+                rewards=np.zeros(6),
+                values=np.zeros(6),
+                dones=np.array([False] * 5 + [True]),
+                gamma=0.9,
+                clip_rho=clip_rho,
+            )
+            assert np.all(trace.rhos <= clip_rho + 1e-12)
+            assert np.all(trace.rhos >= 0)
+
+        check()

@@ -1,0 +1,132 @@
+"""Tests for the action space and validity rules."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    Action,
+    ChargingStations,
+    CrowdsensingSpace,
+    MOVE_NAMES,
+    MOVE_OFFSETS,
+    NUM_MOVES,
+    STAY,
+)
+from repro.env.actions import can_charge, move_targets, valid_move_mask
+
+
+class TestMoveSet:
+    def test_nine_moves(self):
+        assert NUM_MOVES == 9
+        assert len(MOVE_NAMES) == 9
+
+    def test_stay_is_zero_offset(self):
+        np.testing.assert_array_equal(MOVE_OFFSETS[STAY], [0.0, 0.0])
+
+    def test_max_travel_distance_is_sqrt2(self):
+        lengths = np.linalg.norm(MOVE_OFFSETS, axis=1)
+        assert lengths.max() == pytest.approx(np.sqrt(2))
+
+    def test_all_offsets_distinct(self):
+        assert len({tuple(o) for o in MOVE_OFFSETS.tolist()}) == 9
+
+    def test_move_targets_shape(self):
+        targets = move_targets(np.zeros((3, 2)), move_step=1.0)
+        assert targets.shape == (3, NUM_MOVES, 2)
+        np.testing.assert_array_equal(targets[0], MOVE_OFFSETS)
+
+    def test_move_targets_scaled(self):
+        targets = move_targets(np.zeros((1, 2)), move_step=0.5)
+        np.testing.assert_array_equal(targets[0], MOVE_OFFSETS * 0.5)
+
+
+class TestAction:
+    def test_valid_action(self):
+        action = Action(charge=np.array([0, 1]), move=np.array([0, 8]))
+        assert action.charge.dtype == np.int64
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            Action(charge=np.zeros(2, int), move=np.zeros(3, int))
+
+    def test_rejects_bad_charge(self):
+        with pytest.raises(ValueError, match="charge"):
+            Action(charge=np.array([2]), move=np.array([0]))
+
+    def test_rejects_bad_move(self):
+        with pytest.raises(ValueError, match="move"):
+            Action(charge=np.array([0]), move=np.array([9]))
+
+    def test_stay_helper(self):
+        action = Action.stay(3)
+        np.testing.assert_array_equal(action.move, [0, 0, 0])
+        np.testing.assert_array_equal(action.charge, [0, 0, 0])
+
+
+class TestValidMoveMask:
+    def make_space(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True  # obstacle at cell (row 1, col 1)
+        return CrowdsensingSpace(4.0, 4, mask)
+
+    def test_stay_always_valid(self):
+        space = self.make_space()
+        positions = np.array([[0.5, 0.5]])
+        mask = valid_move_mask(space, positions, np.array([5.0]), move_step=1.0)
+        assert mask[0, STAY]
+
+    def test_boundary_moves_invalid(self):
+        space = self.make_space()
+        positions = np.array([[0.5, 0.5]])  # bottom-left corner cell
+        mask = valid_move_mask(space, positions, np.array([5.0]), move_step=1.0)
+        names_valid = {MOVE_NAMES[i] for i in np.nonzero(mask[0])[0]}
+        # South/west moves leave the space.
+        assert "S" not in names_valid
+        assert "W" not in names_valid
+        assert "SW" not in names_valid
+        assert "N" in names_valid
+        assert "E" in names_valid
+
+    def test_obstacle_target_invalid(self):
+        space = self.make_space()
+        positions = np.array([[1.5, 0.5]])  # just south of the obstacle
+        mask = valid_move_mask(space, positions, np.array([5.0]), move_step=1.0)
+        north = MOVE_NAMES.index("N")
+        assert not mask[0, north]
+
+    def test_diagonal_cannot_cut_obstacle_corner(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 0] = True
+        mask[0, 1] = True
+        space = CrowdsensingSpace(4.0, 4, mask)
+        positions = np.array([[0.5, 0.5]])  # NE diagonal passes between them
+        valid = valid_move_mask(space, positions, np.array([5.0]), move_step=1.0)
+        ne = MOVE_NAMES.index("NE")
+        assert not valid[0, ne]
+
+    def test_exhausted_worker_can_only_stay(self):
+        space = self.make_space()
+        positions = np.array([[2.5, 2.5]])
+        mask = valid_move_mask(space, positions, np.array([0.0]), move_step=1.0)
+        assert mask[0, STAY]
+        assert mask[0].sum() == 1
+
+    def test_multiple_workers_independent(self):
+        space = self.make_space()
+        positions = np.array([[2.5, 2.5], [0.5, 0.5]])
+        mask = valid_move_mask(space, positions, np.array([5.0, 0.0]), move_step=1.0)
+        assert mask[0].sum() > 1
+        assert mask[1].sum() == 1
+
+
+class TestCanCharge:
+    def test_within_range(self):
+        stations = ChargingStations(np.array([[2.0, 2.0]]))
+        positions = np.array([[2.5, 2.0], [3.5, 2.0]])
+        np.testing.assert_array_equal(
+            can_charge(stations, positions, charging_range=0.8), [True, False]
+        )
+
+    def test_no_stations(self):
+        stations = ChargingStations(np.zeros((0, 2)))
+        assert not can_charge(stations, np.array([[1.0, 1.0]]), 0.8).any()

@@ -1,0 +1,86 @@
+"""Tests for scenario configuration validation and presets."""
+
+import pytest
+
+from repro.env import ScenarioConfig, paper_config, smoke_config
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("size", 0.0),
+            ("size", -1.0),
+            ("grid", 3),
+            ("num_workers", 0),
+            ("num_pois", 0),
+            ("num_stations", -1),
+            ("horizon", 0),
+            ("energy_budget", 0.0),
+            ("collect_rate", 0.0),
+            ("collect_rate", 1.5),
+            ("alpha", -0.1),
+            ("beta", -0.1),
+            ("epsilon1", 0.0),
+            ("epsilon1", 1.5),
+            ("epsilon2", 0.0),
+            ("poi_uniform_fraction", 1.1),
+            ("corner_room_fraction", 1.0),
+        ],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**{field: value})
+
+    def test_defaults_are_paper_section_7a(self):
+        config = ScenarioConfig()
+        assert config.energy_budget == 40.0
+        assert config.sensing_range == 0.8
+        assert config.charging_range == 0.8
+        assert config.collect_rate == 0.2
+        assert config.alpha == 1.0
+        assert config.beta == 0.1
+        assert config.epsilon1 == 0.05
+        assert config.epsilon2 == 0.4
+        assert config.num_workers == 2
+        assert config.num_pois == 300
+        assert config.num_stations == 4
+
+
+class TestHelpers:
+    def test_cell_size(self):
+        config = ScenarioConfig(size=16.0, grid=8)
+        assert config.cell_size == 2.0
+
+    def test_replace_returns_new(self):
+        config = ScenarioConfig()
+        changed = config.replace(num_pois=100)
+        assert changed.num_pois == 100
+        assert config.num_pois == 300
+        assert changed is not config
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig().replace(num_pois=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ScenarioConfig().num_pois = 5
+
+    def test_paper_config_overrides(self):
+        config = paper_config(num_workers=5)
+        assert config.num_workers == 5
+        assert config.num_pois == 300
+
+    def test_smoke_config_is_small(self):
+        config = smoke_config()
+        assert config.grid <= 10
+        assert config.num_pois <= 60
+
+    def test_smoke_config_overrides(self):
+        config = smoke_config(horizon=7)
+        assert config.horizon == 7
+
+    def test_equal_configs_compare_equal(self):
+        assert ScenarioConfig() == ScenarioConfig()
+        assert ScenarioConfig(seed=1) != ScenarioConfig(seed=2)

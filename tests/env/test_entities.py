@@ -1,0 +1,117 @@
+"""Tests for the entity state containers."""
+
+import numpy as np
+import pytest
+
+from repro.env import ChargingStations, PoiField, WorkerFleet
+
+
+def make_fleet(count=2, energy=10.0, capacity=10.0):
+    return WorkerFleet(
+        positions=np.tile([1.0, 1.0], (count, 1)),
+        energy=np.full(count, energy),
+        capacity=capacity,
+    )
+
+
+class TestWorkerFleet:
+    def test_counters_default_to_zero(self):
+        fleet = make_fleet(3)
+        assert len(fleet) == 3
+        np.testing.assert_array_equal(fleet.collected, np.zeros(3))
+        np.testing.assert_array_equal(fleet.consumed, np.zeros(3))
+        np.testing.assert_array_equal(fleet.charged_total, np.zeros(3))
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ValueError, match="positions"):
+            WorkerFleet(positions=np.zeros(4), energy=np.zeros(2), capacity=1.0)
+
+    def test_rejects_energy_shape_mismatch(self):
+        with pytest.raises(ValueError, match="energy"):
+            WorkerFleet(positions=np.zeros((2, 2)), energy=np.zeros(3), capacity=1.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make_fleet(capacity=0.0)
+
+    def test_rejects_energy_above_capacity(self):
+        with pytest.raises(ValueError, match="energy"):
+            make_fleet(energy=11.0, capacity=10.0)
+
+    def test_alive_mask(self):
+        fleet = make_fleet(2)
+        fleet.energy[1] = 0.0
+        np.testing.assert_array_equal(fleet.alive, [True, False])
+
+    def test_copy_is_deep(self):
+        fleet = make_fleet(2)
+        clone = fleet.copy()
+        clone.energy[0] = 0.0
+        clone.positions[0, 0] = 99.0
+        assert fleet.energy[0] == 10.0
+        assert fleet.positions[0, 0] == 1.0
+
+    def test_input_arrays_not_aliased(self):
+        positions = np.ones((2, 2))
+        fleet = WorkerFleet(positions=positions, energy=np.full(2, 5.0), capacity=5.0)
+        positions[0, 0] = 99.0
+        assert fleet.positions[0, 0] == 1.0
+
+
+class TestPoiField:
+    def make(self, count=3):
+        return PoiField(
+            positions=np.arange(count * 2, dtype=float).reshape(count, 2),
+            initial_values=np.full(count, 0.5),
+        )
+
+    def test_values_default_to_initial(self):
+        field = self.make()
+        np.testing.assert_array_equal(field.values, field.initial_values)
+        np.testing.assert_array_equal(field.access_time, np.zeros(3, dtype=np.int64))
+
+    def test_rejects_nonpositive_initial_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            PoiField(positions=np.zeros((1, 2)), initial_values=np.zeros(1))
+
+    def test_total_initial(self):
+        assert self.make(4).total_initial == pytest.approx(2.0)
+
+    def test_remaining_fraction(self):
+        field = self.make()
+        field.values[0] = 0.25
+        np.testing.assert_allclose(field.remaining_fraction, [0.5, 1.0, 1.0])
+
+    def test_copy_independent(self):
+        field = self.make()
+        clone = field.copy()
+        clone.values[0] = 0.0
+        clone.access_time[0] = 5
+        assert field.values[0] == 0.5
+        assert field.access_time[0] == 0
+
+    def test_len(self):
+        assert len(self.make(7)) == 7
+
+
+class TestChargingStations:
+    def test_nearest_distance(self):
+        stations = ChargingStations(np.array([[0.0, 0.0], [10.0, 0.0]]))
+        points = np.array([[1.0, 0.0], [9.0, 0.0]])
+        np.testing.assert_allclose(stations.nearest_distance(points), [1.0, 1.0])
+
+    def test_empty_stations_inf(self):
+        stations = ChargingStations(np.zeros((0, 2)))
+        assert len(stations) == 0
+        dist = stations.nearest_distance(np.array([[1.0, 1.0]]))
+        assert np.all(np.isinf(dist))
+
+    def test_single_point_query(self):
+        stations = ChargingStations(np.array([[3.0, 4.0]]))
+        assert stations.nearest_distance(np.array([0.0, 0.0])) == pytest.approx(5.0)
+
+    def test_copy(self):
+        stations = ChargingStations(np.array([[1.0, 1.0]]))
+        clone = stations.copy()
+        clone.positions[0, 0] = 9.0
+        assert stations.positions[0, 0] == 1.0

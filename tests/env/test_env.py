@@ -1,0 +1,356 @@
+"""Integration tests for the CrowdsensingEnv step semantics."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    Action,
+    CrowdsensingEnv,
+    MOVE_NAMES,
+    ScenarioConfig,
+    generate_scenario,
+    smoke_config,
+)
+
+
+def obstacle_free_config(**overrides):
+    base = dict(
+        size=8.0,
+        grid=8,
+        num_workers=1,
+        num_pois=5,
+        num_stations=1,
+        horizon=10,
+        energy_budget=10.0,
+        corner_room=False,
+        seed=11,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def move_index(name):
+    return MOVE_NAMES.index(name)
+
+
+class TestLifecycle:
+    def test_step_before_reset_raises(self, tiny_config):
+        env = CrowdsensingEnv(tiny_config)
+        with pytest.raises(RuntimeError, match="reset"):
+            env.step(Action.stay(tiny_config.num_workers))
+
+    def test_reset_returns_state(self, tiny_env):
+        state = tiny_env.reset()
+        assert state.shape == tiny_env.state_shape
+
+    def test_done_after_horizon(self, tiny_env):
+        tiny_env.reset()
+        done = False
+        for t in range(tiny_env.config.horizon):
+            __, __, done, __ = tiny_env.step(Action.stay(tiny_env.num_workers))
+        assert done
+        with pytest.raises(RuntimeError):
+            tiny_env.step(Action.stay(tiny_env.num_workers))
+
+    def test_reset_restores_world(self, tiny_env):
+        tiny_env.reset()
+        initial_values = tiny_env.pois.values.copy()
+        rng = np.random.default_rng(0)
+        for __ in range(5):
+            mask = tiny_env.valid_moves()
+            moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+            tiny_env.step(Action(charge=np.zeros(2, int), move=moves))
+        tiny_env.reset()
+        np.testing.assert_array_equal(tiny_env.pois.values, initial_values)
+        assert tiny_env.t == 0
+
+    def test_wrong_worker_count_rejected(self, tiny_env):
+        tiny_env.reset()
+        with pytest.raises(ValueError, match="workers"):
+            tiny_env.step(Action.stay(5))
+
+    def test_invalid_reward_mode(self, tiny_config):
+        with pytest.raises(ValueError, match="reward_mode"):
+            CrowdsensingEnv(tiny_config, reward_mode="bogus")
+
+    def test_scenario_config_mismatch(self, tiny_config):
+        other = generate_scenario(tiny_config.replace(seed=99))
+        with pytest.raises(ValueError, match="different config"):
+            CrowdsensingEnv(tiny_config, scenario=other)
+
+
+class TestMovement:
+    def test_valid_move_changes_position(self):
+        env = CrowdsensingEnv(obstacle_free_config())
+        env.reset()
+        start = env.workers.positions[0].copy()
+        mask = env.valid_moves()
+        choice = next(
+            i for i in range(1, 9) if mask[0, i]
+        )
+        __, __, __, info = env.step(Action(charge=np.zeros(1, int), move=np.array([choice])))
+        moved = np.linalg.norm(info["positions"][0] - start)
+        assert moved == pytest.approx(
+            np.linalg.norm(env.config.move_step * np.array([1, 1]))
+            if MOVE_NAMES[choice] in ("NE", "SE", "SW", "NW")
+            else env.config.move_step
+        )
+
+    def test_invalid_move_bumps_and_stays(self):
+        env = CrowdsensingEnv(obstacle_free_config())
+        env.reset()
+        mask = env.valid_moves()
+        invalid = [i for i in range(9) if not mask[0, i]]
+        if not invalid:
+            # Move the worker to a corner first: walk west until blocked.
+            west = move_index("W")
+            for __ in range(10):
+                env.step(Action(charge=np.zeros(1, int), move=np.array([west])))
+                if not env.valid_moves()[0, west]:
+                    break
+            invalid = [west]
+        start = env.workers.positions[0].copy()
+        __, __, __, info = env.step(
+            Action(charge=np.zeros(1, int), move=np.array([invalid[0]]))
+        )
+        assert info["bumped"][0]
+        np.testing.assert_array_equal(info["positions"][0], start)
+
+    def test_bump_incurs_sparse_penalty(self):
+        config = obstacle_free_config()
+        env = CrowdsensingEnv(config, reward_mode="sparse")
+        env.reset()
+        west = move_index("W")
+        reward = 0.0
+        for __ in range(10):
+            __, reward, __, info = env.step(
+                Action(charge=np.zeros(1, int), move=np.array([west]))
+            )
+            if info["bumped"][0]:
+                break
+        assert info["bumped"][0]
+        assert reward <= -config.obstacle_penalty + 1e-9
+
+
+class TestCollection:
+    def make_env_with_poi_under_worker(self):
+        config = obstacle_free_config(num_pois=1)
+        scenario = generate_scenario(config)
+        # Move the PoI onto the worker's cell.
+        scenario.pois.positions[0] = scenario.workers.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        return env, config
+
+    def test_collects_lambda_delta0_per_slot(self):
+        env, config = self.make_env_with_poi_under_worker()
+        env.reset()
+        delta0 = env.pois.initial_values[0]
+        __, __, __, info = env.step(Action.stay(1))
+        expected = config.collect_rate * delta0
+        assert info["outcome"].collected[0] == pytest.approx(expected)
+        assert env.pois.values[0] == pytest.approx(delta0 - expected)
+
+    def test_collection_capped_at_remaining(self):
+        env, config = self.make_env_with_poi_under_worker()
+        env.reset()
+        env.pois.values[0] = 1e-4
+        __, __, __, info = env.step(Action.stay(1))
+        assert info["outcome"].collected[0] == pytest.approx(1e-4)
+        assert env.pois.values[0] == pytest.approx(0.0)
+
+    def test_access_time_increments_when_sensed(self):
+        env, __ = self.make_env_with_poi_under_worker()
+        env.reset()
+        env.step(Action.stay(1))
+        assert env.pois.access_time[0] == 1
+        env.step(Action.stay(1))
+        assert env.pois.access_time[0] == 2
+
+    def test_workers_compete_for_same_poi(self):
+        config = obstacle_free_config(num_workers=2, num_pois=1)
+        scenario = generate_scenario(config)
+        scenario.pois.positions[0] = scenario.workers.positions[0]
+        scenario.workers.positions[1] = scenario.workers.positions[0]
+        scenario.pois.initial_values[0] = 1.0
+        scenario.pois.values[0] = 0.25  # less than 2 * lambda * delta0 = 0.4
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        __, __, __, info = env.step(Action.stay(2))
+        collected = info["outcome"].collected
+        # Worker 0 takes its full rate (0.2), worker 1 gets the remainder.
+        assert collected[0] == pytest.approx(0.2)
+        assert collected[1] == pytest.approx(0.05)
+        assert env.pois.values[0] == pytest.approx(0.0)
+
+
+class TestEnergy:
+    def test_travel_cost(self):
+        env = CrowdsensingEnv(obstacle_free_config(num_pois=1, seed=12))
+        env.reset()
+        env.pois.values[:] = 0.0  # no collection cost
+        before = env.workers.energy[0]
+        mask = env.valid_moves()
+        cardinal = next(i for i in (1, 3, 5, 7) if mask[0, i])
+        env.step(Action(charge=np.zeros(1, int), move=np.array([cardinal])))
+        cost = env.config.beta * env.config.move_step
+        assert env.workers.energy[0] == pytest.approx(before - cost)
+
+    def test_collection_cost_alpha(self):
+        config = obstacle_free_config(num_pois=1)
+        scenario = generate_scenario(config)
+        scenario.pois.positions[0] = scenario.workers.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        before = env.workers.energy[0]
+        __, __, __, info = env.step(Action.stay(1))
+        q = info["outcome"].collected[0]
+        assert env.workers.energy[0] == pytest.approx(before - config.alpha * q)
+
+    def test_energy_never_negative(self):
+        config = obstacle_free_config(energy_budget=0.05)
+        env = CrowdsensingEnv(config)
+        env.reset()
+        rng = np.random.default_rng(0)
+        for __ in range(config.horizon):
+            mask = env.valid_moves()
+            moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+            env.step(Action(charge=np.zeros(1, int), move=moves))
+        assert np.all(env.workers.energy >= 0.0)
+
+    def test_drained_worker_cannot_move(self):
+        config = obstacle_free_config()
+        env = CrowdsensingEnv(config)
+        env.reset()
+        env.workers.energy[0] = 0.0
+        mask = env.valid_moves()
+        assert mask[0].sum() == 1  # only stay
+
+
+class TestCharging:
+    def make_env_at_station(self, energy=2.0):
+        config = obstacle_free_config()
+        scenario = generate_scenario(config)
+        scenario.workers.positions[0] = scenario.stations.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        env.workers.energy[0] = energy
+        return env, config
+
+    def test_charging_at_station(self):
+        env, config = self.make_env_at_station(energy=2.0)
+        __, __, __, info = env.step(Action(charge=np.ones(1, int), move=np.array([3])))
+        assert info["charging"][0]
+        expected = min(config.charge_per_slot, config.energy_budget - 2.0)
+        assert info["outcome"].charged[0] == pytest.approx(expected)
+        # Charging worker stays in place.
+        np.testing.assert_array_equal(
+            info["positions"][0], info["previous_positions"][0]
+        )
+
+    def test_charge_capped_at_remaining_room(self):
+        env, config = self.make_env_at_station(energy=config_nearly_full_energy())
+        __, __, __, info = env.step(Action(charge=np.ones(1, int), move=np.array([0])))
+        room = config.energy_budget - config_nearly_full_energy()
+        assert info["outcome"].charged[0] == pytest.approx(room)
+        assert env.workers.energy[0] == pytest.approx(config.energy_budget)
+
+    def test_charging_worker_does_not_collect(self):
+        config = obstacle_free_config(num_pois=1)
+        scenario = generate_scenario(config)
+        scenario.workers.positions[0] = scenario.stations.positions[0]
+        scenario.pois.positions[0] = scenario.workers.positions[0]
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        env.workers.energy[0] = 1.0
+        __, __, __, info = env.step(Action(charge=np.ones(1, int), move=np.array([0])))
+        assert info["outcome"].collected[0] == 0.0
+
+    def test_charge_away_from_station_ignored(self):
+        config = obstacle_free_config()
+        scenario = generate_scenario(config)
+        # Put the worker far from every station.
+        station = scenario.stations.positions[0]
+        far = np.array([station[0] + 4.0, station[1]]) % (config.size - 1) + 0.5
+        scenario.workers.positions[0] = far
+        env = CrowdsensingEnv(config, scenario=scenario)
+        env.reset()
+        if env.charge_possible()[0]:
+            pytest.skip("random placement happened to be near a station")
+        __, __, __, info = env.step(Action(charge=np.ones(1, int), move=np.array([0])))
+        assert not info["charging"][0]
+        assert info["outcome"].charged[0] == 0.0
+
+    def test_dead_worker_can_be_recharged(self):
+        env, config = self.make_env_at_station(energy=0.0)
+        __, __, __, info = env.step(Action(charge=np.ones(1, int), move=np.array([0])))
+        assert info["outcome"].charged[0] > 0
+        assert env.workers.energy[0] > 0
+
+
+def config_nearly_full_energy() -> float:
+    """Energy one unit below the obstacle-free config's budget."""
+    return obstacle_free_config().energy_budget - 1.0
+
+
+class TestRewardsAndInfo:
+    def test_dense_and_sparse_modes_differ(self):
+        config = obstacle_free_config(num_pois=8, horizon=8)
+        rng = np.random.default_rng(1)
+        totals = {}
+        for mode in ("sparse", "dense"):
+            env = CrowdsensingEnv(config, reward_mode=mode)
+            env.reset()
+            rng_local = np.random.default_rng(1)
+            total = 0.0
+            for __ in range(config.horizon):
+                mask = env.valid_moves()
+                moves = np.array([rng_local.choice(np.nonzero(m)[0]) for m in mask])
+                __, r, __, __ = env.step(Action(charge=np.zeros(1, int), move=moves))
+                total += r
+            totals[mode] = total
+        assert totals["sparse"] != pytest.approx(totals["dense"])
+
+    def test_info_contents(self, tiny_env):
+        tiny_env.reset()
+        __, __, __, info = tiny_env.step(Action.stay(tiny_env.num_workers))
+        for key in (
+            "outcome",
+            "reward_per_worker",
+            "positions",
+            "previous_positions",
+            "moves",
+            "charging",
+            "bumped",
+            "t",
+        ):
+            assert key in info
+        assert info["t"] == 1
+        assert info["reward_per_worker"].shape == (tiny_env.num_workers,)
+
+    def test_reward_is_mean_of_per_worker(self, tiny_env):
+        tiny_env.reset()
+        __, reward, __, info = tiny_env.step(Action.stay(tiny_env.num_workers))
+        assert reward == pytest.approx(float(info["reward_per_worker"].mean()))
+
+    def test_deterministic_given_actions(self, tiny_config):
+        results = []
+        for __ in range(2):
+            env = CrowdsensingEnv(tiny_config)
+            env.reset()
+            rng = np.random.default_rng(3)
+            rewards = []
+            for __ in range(tiny_config.horizon):
+                mask = env.valid_moves()
+                moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+                charge = (rng.random(tiny_config.num_workers) < 0.3).astype(int)
+                __, r, __, __ = env.step(Action(charge=charge, move=moves))
+                rewards.append(r)
+            results.append((rewards, env.metrics().kappa))
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == results[1][1]
+
+    def test_metrics_snapshot_available_anytime(self, tiny_env):
+        tiny_env.reset()
+        metrics = tiny_env.metrics()
+        assert metrics.kappa == 0.0
+        assert metrics.xi == pytest.approx(1.0)

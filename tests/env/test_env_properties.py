@@ -1,0 +1,115 @@
+"""Property-based invariants of the environment under random play."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env import Action, CrowdsensingEnv, ScenarioConfig
+
+
+def play_random_episode(config: ScenarioConfig, action_seed: int):
+    env = CrowdsensingEnv(config, reward_mode="dense")
+    env.reset()
+    rng = np.random.default_rng(action_seed)
+    done = False
+    while not done:
+        mask = env.valid_moves()
+        moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+        charge = (rng.random(config.num_workers) < 0.3).astype(int)
+        __, __, done, __ = env.step(Action(charge=charge, move=moves))
+    return env
+
+
+configs = st.builds(
+    ScenarioConfig,
+    size=st.just(6.0),
+    grid=st.just(6),
+    num_workers=st.integers(1, 3),
+    num_pois=st.integers(3, 15),
+    num_stations=st.integers(0, 2),
+    horizon=st.integers(3, 15),
+    energy_budget=st.floats(1.0, 20.0),
+    seed=st.integers(0, 5),
+    corner_room=st.booleans(),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_poi_values_bounded(config, action_seed):
+    """0 <= δ_t <= δ_0 always."""
+    env = play_random_episode(config, action_seed)
+    assert np.all(env.pois.values >= -1e-12)
+    assert np.all(env.pois.values <= env.pois.initial_values + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_data_conservation(config, action_seed):
+    """Collected data equals depleted PoI data exactly."""
+    env = play_random_episode(config, action_seed)
+    collected = env.workers.collected.sum()
+    depleted = (env.pois.initial_values - env.pois.values).sum()
+    assert collected == pytest.approx(depleted, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_energy_balance(config, action_seed):
+    """b_T = b_0 - E_T + charged, and 0 <= b_T <= capacity."""
+    env = play_random_episode(config, action_seed)
+    workers = env.workers
+    expected = (
+        config.energy_budget - workers.consumed + workers.charged_total
+    )
+    np.testing.assert_allclose(workers.energy, expected, atol=1e-9)
+    assert np.all(workers.energy >= -1e-12)
+    assert np.all(workers.energy <= workers.capacity + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_workers_never_inside_obstacles(config, action_seed):
+    env = play_random_episode(config, action_seed)
+    assert not np.any(env.space.is_blocked(env.workers.positions))
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_metrics_in_valid_ranges(config, action_seed):
+    env = play_random_episode(config, action_seed)
+    metrics = env.metrics()
+    assert 0.0 <= metrics.kappa <= 1.0 + 1e-9
+    assert 0.0 <= metrics.xi <= 1.0 + 1e-9
+    assert metrics.rho >= 0.0
+    assert 0.0 <= metrics.fairness <= 1.0 + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(configs)
+def test_state_encoding_finite_and_shaped(config):
+    env = CrowdsensingEnv(config)
+    state = env.reset()
+    assert state.shape == (3, config.grid, config.grid)
+    assert np.all(np.isfinite(state))
+    # Energy channel bounded by worker count (all workers in one cell, full).
+    assert state[0].max() <= config.num_workers + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(configs, st.integers(0, 3))
+def test_access_time_monotonic(config, action_seed):
+    env = CrowdsensingEnv(config, reward_mode="dense")
+    env.reset()
+    rng = np.random.default_rng(action_seed)
+    previous = env.pois.access_time.copy()
+    done = False
+    while not done:
+        mask = env.valid_moves()
+        moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+        __, __, done, __ = env.step(
+            Action(charge=np.zeros(config.num_workers, int), move=moves)
+        )
+        assert np.all(env.pois.access_time >= previous)
+        previous = env.pois.access_time.copy()

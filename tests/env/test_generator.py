@@ -1,0 +1,115 @@
+"""Tests for scenario generation (map, PoIs, stations, workers)."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    ScenarioConfig,
+    build_obstacle_mask,
+    corner_room_bounds,
+    generate_scenario,
+    smoke_config,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = smoke_config(seed=7)
+        a = generate_scenario(config)
+        b = generate_scenario(config)
+        np.testing.assert_array_equal(a.pois.positions, b.pois.positions)
+        np.testing.assert_array_equal(a.pois.initial_values, b.pois.initial_values)
+        np.testing.assert_array_equal(a.stations.positions, b.stations.positions)
+        np.testing.assert_array_equal(a.workers.positions, b.workers.positions)
+        np.testing.assert_array_equal(a.space.obstacles, b.space.obstacles)
+
+    def test_different_seed_different_world(self):
+        a = generate_scenario(smoke_config(seed=1))
+        b = generate_scenario(smoke_config(seed=2))
+        assert not np.array_equal(a.pois.positions, b.pois.positions)
+
+
+class TestObstacleMask:
+    def test_corner_room_structure(self):
+        config = ScenarioConfig(grid=16, seed=0)
+        rng = np.random.default_rng(0)
+        mask = build_obstacle_mask(config, rng)
+        row0, row1, col0, col1 = corner_room_bounds(config)
+        # Top wall and left wall mostly blocked, with exactly one passage
+        # in the left wall.
+        assert mask[row0, col0:col1].all()
+        left_wall = mask[row0:row1, col0]
+        assert left_wall.sum() == len(left_wall) - 1  # one passage cell
+        # Interior is free.
+        assert not mask[row0 + 1 : row1, col0 + 1 : col1].any()
+
+    def test_map_mostly_free(self):
+        config = smoke_config(seed=0)
+        mask = build_obstacle_mask(config, np.random.default_rng(0))
+        assert mask.mean() < 0.5
+
+    def test_corner_room_disabled(self):
+        config = smoke_config(seed=0, corner_room=False)
+        scenario = generate_scenario(config)
+        # No guarantee on specific cells, just a valid scenario.
+        assert scenario.space.obstacles.shape == (config.grid, config.grid)
+
+
+class TestEntityPlacement:
+    def test_poi_count_and_values(self):
+        config = smoke_config(seed=4, num_pois=30)
+        scenario = generate_scenario(config)
+        assert len(scenario.pois) == 30
+        assert np.all(scenario.pois.initial_values > 0)
+        assert np.all(scenario.pois.initial_values <= 1.0)
+
+    def test_pois_not_in_obstacles(self):
+        scenario = generate_scenario(smoke_config(seed=5))
+        blocked = scenario.space.is_blocked(scenario.pois.positions)
+        assert not np.any(blocked)
+
+    def test_corner_room_holds_requested_fraction(self):
+        config = ScenarioConfig(grid=16, num_pois=100, corner_room_fraction=0.2, seed=1)
+        scenario = generate_scenario(config)
+        row0, row1, col0, col1 = corner_room_bounds(config)
+        rows, cols = scenario.space.cell_of(scenario.pois.positions)
+        inside = (
+            (rows >= row0) & (rows < row1) & (cols >= col0) & (cols < col1)
+        ).sum()
+        assert inside == 20
+
+    def test_stations_outside_corner_room(self):
+        config = ScenarioConfig(grid=16, num_stations=6, seed=2)
+        scenario = generate_scenario(config)
+        row0, row1, col0, col1 = corner_room_bounds(config)
+        rows, cols = scenario.space.cell_of(scenario.stations.positions)
+        inside = (rows >= row0) & (rows < row1) & (cols >= col0) & (cols < col1)
+        assert not np.any(inside)
+
+    def test_workers_at_cell_centers(self):
+        scenario = generate_scenario(smoke_config(seed=6))
+        cell = scenario.space.cell
+        frac = (scenario.workers.positions / cell) % 1.0
+        np.testing.assert_allclose(frac, 0.5)
+
+    def test_workers_full_energy(self):
+        config = smoke_config(seed=6)
+        scenario = generate_scenario(config)
+        np.testing.assert_array_equal(
+            scenario.workers.energy, np.full(config.num_workers, config.energy_budget)
+        )
+
+    def test_zero_stations_allowed(self):
+        scenario = generate_scenario(smoke_config(seed=1, num_stations=0))
+        assert len(scenario.stations) == 0
+
+
+class TestFreshWorld:
+    def test_fresh_world_returns_copies(self):
+        scenario = generate_scenario(smoke_config(seed=0))
+        pois, workers = scenario.fresh_world()
+        pois.values[:] = 0.0
+        workers.energy[:] = 0.0
+        pois2, workers2 = scenario.fresh_world()
+        assert np.all(pois2.values > 0)
+        assert np.all(workers2.energy > 0)

@@ -1,0 +1,127 @@
+"""Tests for the κ / ξ / ρ metrics and Jain's fairness index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env import PoiField, WorkerFleet, compute_metrics, jain_fairness
+
+
+def make_world(collected, consumed, initial, remaining, capacity=40.0):
+    count = len(collected)
+    workers = WorkerFleet(
+        positions=np.zeros((count, 2)) + 1.0,
+        energy=np.full(count, capacity),
+        capacity=capacity,
+        collected=np.asarray(collected, dtype=float),
+        consumed=np.asarray(consumed, dtype=float),
+    )
+    pois = PoiField(
+        positions=np.zeros((len(initial), 2)) + 1.0,
+        initial_values=np.asarray(initial, dtype=float),
+        values=np.asarray(remaining, dtype=float),
+    )
+    return workers, pois
+
+
+class TestJainFairness:
+    def test_equal_values_are_fair(self):
+        assert jain_fairness(np.full(10, 3.0)) == pytest.approx(1.0)
+
+    def test_single_nonzero_is_1_over_n(self):
+        values = np.zeros(4)
+        values[0] = 5.0
+        assert jain_fairness(values) == pytest.approx(0.25)
+
+    def test_all_zero_returns_zero(self):
+        assert jain_fairness(np.zeros(5)) == 0.0
+
+    def test_empty_returns_zero(self):
+        assert jain_fairness(np.array([])) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=20)
+    )
+    def test_bounds_property(self, values):
+        index = jain_fairness(np.array(values))
+        assert 0.0 <= index <= 1.0 + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.01, 100.0, allow_nan=False), min_size=2, max_size=20),
+        st.floats(0.1, 10.0, allow_nan=False),
+    )
+    def test_scale_invariance(self, values, scale):
+        arr = np.array(values)
+        assert jain_fairness(arr) == pytest.approx(jain_fairness(arr * scale))
+
+
+class TestKappa:
+    def test_full_collection_is_one(self):
+        workers, pois = make_world([5.0, 5.0], [5.0, 5.0], [5.0, 5.0], [0.0, 0.0])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.kappa == pytest.approx(1.0)
+
+    def test_half_collection(self):
+        workers, pois = make_world([2.0, 3.0], [4.0, 4.0], [10.0], [5.0])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.kappa == pytest.approx(0.5)
+
+    def test_kappa_per_worker_divides_by_w(self):
+        workers, pois = make_world([2.0, 3.0], [4.0, 4.0], [10.0], [5.0])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.kappa_per_worker == pytest.approx(0.25)
+
+
+class TestXi:
+    def test_untouched_pois_give_one(self):
+        workers, pois = make_world([0.0], [0.0], [1.0, 0.5], [1.0, 0.5])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.xi == pytest.approx(1.0)
+
+    def test_xi_is_mean_of_per_poi_ratios(self):
+        workers, pois = make_world([0.75], [1.0], [1.0, 0.5], [0.5, 0.25])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.xi == pytest.approx(0.5)
+
+
+class TestRho:
+    def test_fair_collection_rho_is_data_per_energy(self):
+        # Both PoIs collected the same number of times -> fairness 1.
+        workers, pois = make_world([4.0], [8.0], [1.0, 1.0], [0.6, 0.6])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.fairness == pytest.approx(1.0)
+        assert metrics.rho == pytest.approx(0.5)
+
+    def test_unfair_collection_discounts_rho(self):
+        # Only the first PoI was ever collected -> fairness 1/2.
+        workers, pois = make_world([0.4], [1.0], [1.0, 1.0], [0.6, 1.0])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.fairness == pytest.approx(0.5)
+        assert metrics.rho == pytest.approx(0.5 * 0.4)
+
+    def test_zero_consumption_is_zero_not_nan(self):
+        workers, pois = make_world([0.0], [0.0], [1.0], [1.0])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        assert metrics.rho == 0.0
+        assert not np.isnan(metrics.data_per_energy)
+
+    def test_mixed_worker_ratios_averaged(self):
+        workers, pois = make_world(
+            [2.0, 0.0], [4.0, 0.0], [1.0, 1.0], [0.6, 0.6]
+        )
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        # Worker 0: 0.5, worker 1 consumed nothing: 0. Mean 0.25.
+        assert metrics.data_per_energy == pytest.approx(0.25)
+
+
+class TestMetricsContainer:
+    def test_as_dict_keys(self):
+        workers, pois = make_world([1.0], [2.0], [1.0], [0.8])
+        metrics = compute_metrics(workers, pois, collect_rate=0.2)
+        d = metrics.as_dict()
+        assert {"kappa", "xi", "rho", "fairness", "data_per_energy"} <= set(d)
+        assert d["total_collected"] == pytest.approx(1.0)
+        assert d["total_consumed"] == pytest.approx(2.0)

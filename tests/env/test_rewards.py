@@ -1,0 +1,145 @@
+"""Tests for the sparse (Eqns. 18-19) and dense (Eqn. 20) rewards."""
+
+import numpy as np
+import pytest
+
+from repro.env import DenseReward, SparseRewardTracker, StepOutcome
+
+
+def outcome(
+    collected=(0.0, 0.0),
+    consumed=(0.0, 0.0),
+    charged=(0.0, 0.0),
+    bumped=(False, False),
+    cumulative=(0.0, 0.0),
+):
+    return StepOutcome(
+        collected=np.asarray(collected, dtype=float),
+        consumed=np.asarray(consumed, dtype=float),
+        charged=np.asarray(charged, dtype=float),
+        bumped=np.asarray(bumped, dtype=bool),
+        collected_cumulative=np.asarray(cumulative, dtype=float),
+    )
+
+
+def make_tracker(**overrides):
+    defaults = dict(
+        num_workers=2,
+        total_initial_data=100.0,
+        energy_budget=40.0,
+        epsilon1=0.05,
+        epsilon2=0.4,
+        obstacle_penalty=0.5,
+    )
+    defaults.update(overrides)
+    return SparseRewardTracker(**defaults)
+
+
+class TestSparseMilestones:
+    def test_first_milestone_pays_once(self):
+        tracker = make_tracker()
+        # Worker 0 reaches 5% of 100 = 5.0 collected.
+        r1 = tracker.per_worker(outcome(cumulative=(5.0, 0.0)))
+        np.testing.assert_array_equal(r1, [1.0, 0.0])
+        # Same cumulative value again: no new milestone.
+        r2 = tracker.per_worker(outcome(cumulative=(5.0, 0.0)))
+        np.testing.assert_array_equal(r2, [0.0, 0.0])
+
+    def test_skipping_multiple_milestones_pays_once_per_slot(self):
+        # Υ¹ is 1 "whenever κ increases ε1" — a binary event per slot.
+        tracker = make_tracker()
+        r = tracker.per_worker(outcome(cumulative=(20.0, 0.0)))
+        np.testing.assert_array_equal(r, [1.0, 0.0])
+
+    def test_below_threshold_no_reward(self):
+        tracker = make_tracker()
+        r = tracker.per_worker(outcome(cumulative=(4.9, 0.0)))
+        np.testing.assert_array_equal(r, [0.0, 0.0])
+
+    def test_per_worker_milestones_independent(self):
+        tracker = make_tracker()
+        tracker.per_worker(outcome(cumulative=(5.0, 0.0)))
+        r = tracker.per_worker(outcome(cumulative=(5.0, 5.0)))
+        np.testing.assert_array_equal(r, [0.0, 1.0])
+
+    def test_reset_clears_milestones(self):
+        tracker = make_tracker()
+        tracker.per_worker(outcome(cumulative=(5.0, 0.0)))
+        tracker.reset()
+        r = tracker.per_worker(outcome(cumulative=(5.0, 0.0)))
+        np.testing.assert_array_equal(r, [1.0, 0.0])
+
+
+class TestSparseCharging:
+    def test_substantial_charge_rewarded(self):
+        tracker = make_tracker()
+        # 40% of 40 = 16 energy units.
+        r = tracker.per_worker(outcome(charged=(16.0, 15.9)))
+        np.testing.assert_array_equal(r, [1.0, 0.0])
+
+    def test_charge_reward_repeats(self):
+        # Υ² is per-slot, not once-per-episode.
+        tracker = make_tracker()
+        tracker.per_worker(outcome(charged=(20.0, 0.0)))
+        r = tracker.per_worker(outcome(charged=(20.0, 0.0)))
+        np.testing.assert_array_equal(r, [1.0, 0.0])
+
+
+class TestSparsePenalty:
+    def test_bump_penalty(self):
+        tracker = make_tracker()
+        r = tracker.per_worker(outcome(bumped=(True, False)))
+        np.testing.assert_array_equal(r, [-0.5, 0.0])
+
+    def test_combined_terms(self):
+        tracker = make_tracker()
+        r = tracker.per_worker(
+            outcome(cumulative=(6.0, 0.0), charged=(16.0, 0.0), bumped=(True, True))
+        )
+        np.testing.assert_allclose(r, [1.0 + 1.0 - 0.5, -0.5])
+
+    def test_fleet_reward_is_mean(self):
+        tracker = make_tracker()
+        fleet = tracker.fleet(outcome(cumulative=(6.0, 0.0)))
+        assert fleet == pytest.approx(0.5)
+
+
+class TestSparseValidation:
+    def test_rejects_zero_total_data(self):
+        with pytest.raises(ValueError):
+            make_tracker(total_initial_data=0.0)
+
+
+class TestDenseReward:
+    def make(self):
+        return DenseReward(energy_budget=40.0, obstacle_penalty=0.5)
+
+    def test_formula(self):
+        dense = self.make()
+        r = dense.per_worker(
+            outcome(collected=(2.0, 0.0), consumed=(4.0, 0.0), charged=(8.0, 0.0))
+        )
+        np.testing.assert_allclose(r, [2.0 / 4.0 + 8.0 / 40.0, 0.0])
+
+    def test_zero_consumption_safe(self):
+        dense = self.make()
+        r = dense.per_worker(outcome(collected=(0.0, 0.0), consumed=(0.0, 0.0)))
+        assert np.all(np.isfinite(r))
+        np.testing.assert_array_equal(r, [0.0, 0.0])
+
+    def test_bump_penalty(self):
+        dense = self.make()
+        r = dense.per_worker(outcome(bumped=(True, False)))
+        np.testing.assert_allclose(r, [-0.5, 0.0])
+
+    def test_fleet_is_mean(self):
+        dense = self.make()
+        fleet = dense.fleet(
+            outcome(collected=(2.0, 0.0), consumed=(2.0, 1.0), bumped=(False, True))
+        )
+        assert fleet == pytest.approx((1.0 - 0.5) / 2)
+
+    def test_stateless_across_calls(self):
+        dense = self.make()
+        o = outcome(collected=(1.0, 1.0), consumed=(2.0, 2.0))
+        np.testing.assert_array_equal(dense.per_worker(o), dense.per_worker(o))

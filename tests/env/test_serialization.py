@@ -1,0 +1,117 @@
+"""Tests for scenario JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    Action,
+    CrowdsensingEnv,
+    generate_scenario,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    smoke_config,
+)
+
+
+@pytest.fixture
+def scenario():
+    return generate_scenario(smoke_config(seed=9))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_exact(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.config == scenario.config
+        np.testing.assert_array_equal(rebuilt.space.obstacles, scenario.space.obstacles)
+        np.testing.assert_array_equal(rebuilt.pois.positions, scenario.pois.positions)
+        np.testing.assert_array_equal(
+            rebuilt.pois.initial_values, scenario.pois.initial_values
+        )
+        np.testing.assert_array_equal(
+            rebuilt.stations.positions, scenario.stations.positions
+        )
+        np.testing.assert_array_equal(
+            rebuilt.workers.positions, scenario.workers.positions
+        )
+
+    def test_file_round_trip(self, scenario, tmp_path):
+        path = tmp_path / "maps" / "world.json"
+        save_scenario(scenario, path)
+        rebuilt = load_scenario(path)
+        assert rebuilt.config == scenario.config
+
+    def test_json_is_human_editable(self, scenario, tmp_path):
+        path = tmp_path / "world.json"
+        save_scenario(scenario, path)
+        payload = json.loads(path.read_text())
+        assert "config" in payload and "pois" in payload
+
+    def test_heterogeneous_ranges_survive(self, tmp_path):
+        config = smoke_config(seed=1, worker_sensing_ranges=(0.5, 1.5))
+        scenario = generate_scenario(config)
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        assert rebuilt.config.worker_sensing_ranges == (0.5, 1.5)
+
+    def test_loaded_scenario_playable_identically(self, scenario):
+        rebuilt = scenario_from_dict(scenario_to_dict(scenario))
+        outcomes = []
+        for world in (scenario, rebuilt):
+            env = CrowdsensingEnv(world.config, scenario=world)
+            env.reset()
+            rng = np.random.default_rng(0)
+            total = 0.0
+            for __ in range(10):
+                mask = env.valid_moves()
+                moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+                __, r, __, __ = env.step(
+                    Action(charge=np.zeros(env.num_workers, int), move=moves)
+                )
+                total += r
+            outcomes.append(total)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestValidation:
+    def test_poi_count_mismatch(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["pois"]["positions"] = payload["pois"]["positions"][:-1]
+        payload["pois"]["initial_values"] = payload["pois"]["initial_values"][:-1]
+        payload["pois"]["values"] = payload["pois"]["values"][:-1]
+        payload["pois"]["access_time"] = payload["pois"]["access_time"][:-1]
+        with pytest.raises(ValueError, match="PoIs"):
+            scenario_from_dict(payload)
+
+    def test_station_count_mismatch(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["stations"] = payload["stations"][:-1]
+        with pytest.raises(ValueError, match="stations"):
+            scenario_from_dict(payload)
+
+    def test_worker_count_mismatch(self, scenario):
+        payload = scenario_to_dict(scenario)
+        payload["workers"]["positions"] = payload["workers"]["positions"][:1]
+        payload["workers"]["energy"] = payload["workers"]["energy"][:1]
+        with pytest.raises(ValueError, match="workers"):
+            scenario_from_dict(payload)
+
+    def test_worker_in_obstacle_rejected(self, scenario):
+        payload = scenario_to_dict(scenario)
+        rows, cols = np.nonzero(np.asarray(payload["obstacles"]))
+        cell = scenario.space.cell
+        payload["workers"]["positions"][0] = [
+            (cols[0] + 0.5) * cell,
+            (rows[0] + 0.5) * cell,
+        ]
+        with pytest.raises(ValueError, match="obstacle"):
+            scenario_from_dict(payload)
+
+    def test_default_values_filled(self, scenario):
+        payload = scenario_to_dict(scenario)
+        del payload["pois"]["values"]
+        del payload["pois"]["access_time"]
+        rebuilt = scenario_from_dict(payload)
+        np.testing.assert_array_equal(rebuilt.pois.values, rebuilt.pois.initial_values)

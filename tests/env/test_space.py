@@ -1,0 +1,129 @@
+"""Tests for the crowdsensing space geometry and obstacle grid."""
+
+import numpy as np
+import pytest
+
+from repro.env import CrowdsensingSpace, euclidean
+
+
+def make_space_with_wall():
+    """4x4 space with an obstacle wall at column 2 (cells [*, 2])."""
+    mask = np.zeros((4, 4), dtype=bool)
+    mask[:, 2] = True
+    return CrowdsensingSpace(4.0, 4, mask)
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_vectorized(self):
+        a = np.zeros((3, 2))
+        b = np.tile([1.0, 0.0], (3, 1))
+        np.testing.assert_array_equal(euclidean(a, b), np.ones(3))
+
+    def test_zero_distance(self):
+        p = np.array([1.5, 2.5])
+        assert euclidean(p, p) == 0.0
+
+
+class TestConstruction:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            CrowdsensingSpace(0.0, 4)
+
+    def test_rejects_mask_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mask"):
+            CrowdsensingSpace(4.0, 4, np.zeros((3, 3), dtype=bool))
+
+    def test_default_mask_is_free(self):
+        space = CrowdsensingSpace(4.0, 4)
+        assert space.obstacle_fraction() == 0.0
+
+
+class TestCoordinates:
+    def test_contains_boundary_is_open(self):
+        space = CrowdsensingSpace(4.0, 4)
+        assert not space.contains(np.array([0.0, 2.0]))
+        assert not space.contains(np.array([4.0, 2.0]))
+        assert space.contains(np.array([0.1, 3.9]))
+
+    def test_cell_of(self):
+        space = CrowdsensingSpace(4.0, 4)
+        row, col = space.cell_of(np.array([2.5, 0.5]))
+        assert (row, col) == (0, 2)
+
+    def test_cell_of_clips_outside(self):
+        space = CrowdsensingSpace(4.0, 4)
+        row, col = space.cell_of(np.array([9.0, -1.0]))
+        assert (row, col) == (0, 3)
+
+    def test_cell_center_round_trip(self):
+        space = CrowdsensingSpace(8.0, 8)
+        center = space.cell_center(np.array(3), np.array(5))
+        row, col = space.cell_of(center)
+        assert (row, col) == (3, 5)
+
+    def test_flat_index(self):
+        space = CrowdsensingSpace(4.0, 4)
+        idx = space.flat_index(np.array([2.5, 1.5]))  # col 2, row 1
+        assert idx == 1 * 4 + 2
+
+
+class TestObstacles:
+    def test_is_blocked_in_obstacle(self):
+        space = make_space_with_wall()
+        assert space.is_blocked(np.array([2.5, 1.5]))  # inside wall column
+        assert not space.is_blocked(np.array([1.5, 1.5]))
+
+    def test_outside_is_blocked(self):
+        space = make_space_with_wall()
+        assert space.is_blocked(np.array([-0.5, 1.0]))
+        assert space.is_blocked(np.array([1.0, 5.0]))
+
+    def test_segment_blocked_crossing_wall(self):
+        space = make_space_with_wall()
+        start = np.array([1.5, 1.5])
+        end = np.array([3.5, 1.5])  # crosses column 2
+        assert space.segment_blocked(start, end)
+
+    def test_segment_free(self):
+        space = make_space_with_wall()
+        start = np.array([0.5, 0.5])
+        end = np.array([1.5, 3.5])
+        assert not space.segment_blocked(start, end)
+
+    def test_segment_blocked_vectorized(self):
+        space = make_space_with_wall()
+        starts = np.array([[1.5, 1.5], [0.5, 0.5]])
+        ends = np.array([[3.5, 1.5], [1.5, 0.5]])
+        blocked = space.segment_blocked(starts, ends)
+        np.testing.assert_array_equal(blocked, [True, False])
+
+    def test_free_cells_excludes_obstacles(self):
+        space = make_space_with_wall()
+        free = space.free_cells()
+        assert len(free) == 12
+        assert not any(col == 2 for __, col in free)
+
+    def test_random_free_positions_avoid_obstacles(self, rng):
+        space = make_space_with_wall()
+        positions = space.random_free_positions(50, rng)
+        assert not np.any(space.is_blocked(positions))
+
+    def test_random_free_positions_margin(self, rng):
+        space = CrowdsensingSpace(4.0, 4)
+        positions = space.random_free_positions(100, rng, margin=0.4)
+        # With margin 0.4 in cell size 1.0, fractional parts are in [.4, .6].
+        frac = positions % 1.0
+        assert np.all(frac >= 0.4 - 1e-9)
+        assert np.all(frac <= 0.6 + 1e-9)
+
+    def test_random_free_positions_all_blocked_raises(self, rng):
+        mask = np.ones((4, 4), dtype=bool)
+        space = CrowdsensingSpace(4.0, 4, mask)
+        with pytest.raises(RuntimeError, match="free"):
+            space.random_free_positions(1, rng)
+
+    def test_obstacle_fraction(self):
+        assert make_space_with_wall().obstacle_fraction() == 0.25

@@ -1,0 +1,85 @@
+"""Tests for the 3-channel state encoding."""
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    ChargingStations,
+    CrowdsensingSpace,
+    OBSTACLE_CODE,
+    PoiField,
+    STATE_CHANNELS,
+    STATION_CODE,
+    WorkerFleet,
+    encode_state,
+)
+
+
+@pytest.fixture
+def world():
+    mask = np.zeros((4, 4), dtype=bool)
+    mask[3, 3] = True
+    space = CrowdsensingSpace(4.0, 4, mask)
+    workers = WorkerFleet(
+        positions=np.array([[0.5, 0.5], [2.5, 1.5]]),
+        energy=np.array([10.0, 5.0]),
+        capacity=10.0,
+    )
+    pois = PoiField(
+        positions=np.array([[1.5, 2.5], [1.6, 2.6], [0.5, 3.5]]),
+        initial_values=np.array([0.5, 0.3, 0.8]),
+    )
+    stations = ChargingStations(np.array([[3.5, 0.5]]))
+    return space, workers, pois, stations
+
+
+class TestStateEncoding:
+    def test_shape(self, world):
+        state = encode_state(*world, horizon=10)
+        assert state.shape == (STATE_CHANNELS, 4, 4)
+
+    def test_worker_channel_normalized_energy(self, world):
+        state = encode_state(*world, horizon=10)
+        # Worker 0 at cell (row 0, col 0) with full battery.
+        assert state[0, 0, 0] == pytest.approx(1.0)
+        # Worker 1 at cell (row 1, col 2) with half battery.
+        assert state[0, 1, 2] == pytest.approx(0.5)
+        assert state[0].sum() == pytest.approx(1.5)
+
+    def test_workers_sharing_cell_sum(self, world):
+        space, workers, pois, stations = world
+        workers.positions[1] = workers.positions[0]
+        state = encode_state(space, workers, pois, stations, horizon=10)
+        assert state[0, 0, 0] == pytest.approx(1.5)
+
+    def test_poi_values_summed_per_cell(self, world):
+        state = encode_state(*world, horizon=10)
+        # Two PoIs share cell (row 2, col 1): 0.5 + 0.3.
+        assert state[1, 2, 1] == pytest.approx(0.8)
+        assert state[1, 3, 0] == pytest.approx(0.8)
+
+    def test_station_and_obstacle_codes(self, world):
+        state = encode_state(*world, horizon=10)
+        assert state[1, 0, 3] == STATION_CODE
+        assert state[1, 3, 3] == OBSTACLE_CODE
+
+    def test_access_time_channel(self, world):
+        space, workers, pois, stations = world
+        pois.access_time[:] = [5, 2, 0]
+        state = encode_state(space, workers, pois, stations, horizon=10)
+        # Max-pooled per cell, normalized by horizon.
+        assert state[2, 2, 1] == pytest.approx(0.5)
+        assert state[2, 3, 0] == pytest.approx(0.0)
+
+    def test_depleted_poi_leaves_zero(self, world):
+        space, workers, pois, stations = world
+        pois.values[:] = 0.0
+        state = encode_state(space, workers, pois, stations, horizon=10)
+        assert state[1, 2, 1] == pytest.approx(0.0)
+
+    def test_no_stations(self, world):
+        space, workers, pois, __ = world
+        state = encode_state(
+            space, workers, pois, ChargingStations(np.zeros((0, 2))), horizon=10
+        )
+        assert not np.any(state[1] == STATION_CODE)

@@ -1,0 +1,111 @@
+"""Tests for the environment wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.env import Action, CrowdsensingEnv
+from repro.env.wrappers import EpisodeStats, EnvWrapper, FrameStack, NormalizeReward
+
+
+def random_episode(env, seed=0):
+    env.reset()
+    rng = np.random.default_rng(seed)
+    rewards = []
+    done = False
+    while not done:
+        mask = env.valid_moves()
+        moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+        __, reward, done, info = env.step(
+            Action(charge=np.zeros(env.num_workers, int), move=moves)
+        )
+        rewards.append(reward)
+    return rewards
+
+
+class TestEnvWrapper:
+    def test_attribute_forwarding(self, tiny_config):
+        env = EnvWrapper(CrowdsensingEnv(tiny_config))
+        env.reset()
+        assert env.num_workers == tiny_config.num_workers
+        assert env.valid_moves().shape == (tiny_config.num_workers, 9)
+        assert env.workers.energy.shape == (tiny_config.num_workers,)
+
+    def test_unwrapped_through_stack(self, tiny_config):
+        base = CrowdsensingEnv(tiny_config)
+        stacked = EpisodeStats(FrameStack(NormalizeReward(base), k=2))
+        assert stacked.unwrapped is base
+
+
+class TestNormalizeReward:
+    def test_rewards_rescaled_and_raw_kept(self, tiny_config):
+        env = NormalizeReward(CrowdsensingEnv(tiny_config, reward_mode="dense"))
+        env.reset()
+        rng = np.random.default_rng(0)
+        mask = env.valid_moves()
+        moves = np.array([rng.choice(np.nonzero(m)[0]) for m in mask])
+        __, reward, __, info = env.step(
+            Action(charge=np.zeros(env.num_workers, int), move=moves)
+        )
+        assert "raw_reward" in info
+        assert np.isfinite(reward)
+
+    def test_scale_stabilizes_large_rewards(self, tiny_config):
+        """After enough steps, normalized rewards have ~unit-return scale."""
+        env = NormalizeReward(CrowdsensingEnv(tiny_config, reward_mode="dense"))
+        all_rewards = []
+        for seed in range(4):
+            all_rewards.extend(random_episode(env, seed))
+        tail = np.array(all_rewards[len(all_rewards) // 2 :])
+        assert np.abs(tail).max() < 50.0
+
+    def test_gamma_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            NormalizeReward(CrowdsensingEnv(tiny_config), gamma=0.0)
+
+
+class TestFrameStack:
+    def test_state_shape(self, tiny_config):
+        env = FrameStack(CrowdsensingEnv(tiny_config), k=3)
+        state = env.reset()
+        assert state.shape == (9, tiny_config.grid, tiny_config.grid)
+        assert env.state_shape == (9, tiny_config.grid, tiny_config.grid)
+
+    def test_first_frame_repeated(self, tiny_config):
+        env = FrameStack(CrowdsensingEnv(tiny_config), k=2)
+        state = env.reset()
+        np.testing.assert_array_equal(state[:3], state[3:])
+
+    def test_frames_shift(self, tiny_config):
+        env = FrameStack(CrowdsensingEnv(tiny_config), k=2)
+        first = env.reset()
+        next_state, __, __, __ = env.step(Action.stay(env.num_workers))
+        # Oldest slot of the new stack is the newest slot of the old one.
+        np.testing.assert_array_equal(next_state[:3], first[3:])
+
+    def test_k_validation(self, tiny_config):
+        with pytest.raises(ValueError):
+            FrameStack(CrowdsensingEnv(tiny_config), k=0)
+
+
+class TestEpisodeStats:
+    def test_history_recorded(self, tiny_config):
+        env = EpisodeStats(CrowdsensingEnv(tiny_config, reward_mode="dense"))
+        rewards = random_episode(env, seed=1)
+        assert len(env.history) == 1
+        entry = env.history[0]
+        assert entry["length"] == tiny_config.horizon
+        assert entry["reward"] == pytest.approx(sum(rewards))
+        assert 0.0 <= entry["kappa"] <= 1.0
+
+    def test_multiple_episodes_accumulate(self, tiny_config):
+        env = EpisodeStats(CrowdsensingEnv(tiny_config, reward_mode="dense"))
+        random_episode(env, seed=1)
+        random_episode(env, seed=2)
+        assert len(env.history) == 2
+
+    def test_works_through_stack(self, tiny_config):
+        env = EpisodeStats(
+            NormalizeReward(CrowdsensingEnv(tiny_config, reward_mode="dense"))
+        )
+        random_episode(env, seed=3)
+        assert len(env.history) == 1

@@ -1,0 +1,76 @@
+"""Tests for the ASCII line chart and sparkline renderers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ascii_line_chart, sparkline
+from repro.utils.ascii_plot import _downsample
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        ys = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(_downsample(ys, 10), ys)
+
+    def test_long_series_pooled(self):
+        ys = np.arange(100.0)
+        out = _downsample(ys, 10)
+        assert len(out) == 10
+        assert out[0] == pytest.approx(np.arange(10).mean())
+
+    def test_mean_preserved(self):
+        ys = np.random.default_rng(0).normal(size=100)
+        out = _downsample(ys, 10)
+        assert out.mean() == pytest.approx(ys.mean(), abs=1e-9)
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = ascii_line_chart(
+            {"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o up" in chart and "x down" in chart
+        # Rising series' glyph appears in the top row at the right edge.
+        assert "o" in lines[1]
+
+    def test_series_lengths_can_differ(self):
+        chart = ascii_line_chart(
+            {"short": [1.0, 2.0], "long": list(range(100))}, width=30, height=4
+        )
+        assert "short" in chart and "long" in chart
+
+    def test_constant_series_handled(self):
+        chart = ascii_line_chart({"flat": [5.0] * 10}, width=20, height=4)
+        assert "flat" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = ascii_line_chart({"s": [0.0, 10.0]}, width=10, height=4)
+        assert "10" in chart and "0" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_line_chart({})
+        with pytest.raises(ValueError, match="small"):
+            ascii_line_chart({"s": [1.0]}, width=2, height=2)
+        with pytest.raises(ValueError, match="empty"):
+            ascii_line_chart({"s": []})
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_constant(self):
+        assert set(sparkline([2.0, 2.0, 2.0])) == {"▁"}
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampled_width(self):
+        assert len(sparkline(list(range(200)), width=40)) == 40

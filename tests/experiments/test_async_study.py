@@ -1,0 +1,26 @@
+"""Tests for the sync-vs-async study runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.async_study import run_async_study
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+def test_three_arms_reported(tiny_scale):
+    result = run_async_study(scale=tiny_scale, seed=0)
+    assert set(result["arms"]) == {"sync", "async + vtrace", "async uncorrected"}
+    for arm, values in result["arms"].items():
+        assert {"kappa", "rho", "value_loss_tail"} <= set(values)
+        assert np.isfinite(values["kappa"]), arm
+        assert values["value_loss_tail"] >= 0.0
+
+
+def test_cached_between_calls(tiny_scale):
+    first = run_async_study(scale=tiny_scale, seed=0)
+    second = run_async_study(scale=tiny_scale, seed=0)
+    assert first == second

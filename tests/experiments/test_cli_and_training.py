@@ -1,0 +1,118 @@
+"""Tests for the experiments CLI, training helpers and ablation runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.ablations import (
+    run_eta_ablation,
+    run_layernorm_ablation,
+    run_returns_ablation,
+)
+from repro.experiments.training import (
+    ALL_METHODS,
+    LEARNED_METHODS,
+    SCRIPTED_METHODS,
+    evaluate_method,
+    evaluate_scripted,
+    make_ppo_config,
+    make_train_config,
+    method_display_name,
+    train_method,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestTrainingHelpers:
+    def test_method_lists_consistent(self):
+        assert set(LEARNED_METHODS) == {"cews", "dppo", "edics"}
+        assert set(ALL_METHODS) == set(LEARNED_METHODS) | {"dnc", "greedy"}
+
+    def test_display_names(self):
+        assert method_display_name("cews") == "DRL-CEWS"
+        assert method_display_name("dnc") == "D&C"
+        assert method_display_name("unknown") == "unknown"
+
+    def test_make_ppo_config_from_scale(self, tiny_scale):
+        ppo = make_ppo_config(tiny_scale)
+        assert ppo.batch_size == tiny_scale.batch_size
+        assert ppo.learning_rate == tiny_scale.learning_rate
+        assert ppo.effective_curiosity_lr == 5 * tiny_scale.learning_rate
+
+    def test_make_ppo_config_batch_override(self, tiny_scale):
+        assert make_ppo_config(tiny_scale, batch_size=7).batch_size == 7
+
+    def test_make_train_config(self, tiny_scale):
+        train = make_train_config(tiny_scale, num_employees=3, episodes=9, seed=4)
+        assert train.num_employees == 3
+        assert train.episodes == 9
+        assert train.seed == 4
+        assert train.k_updates == tiny_scale.k_updates
+
+    def test_train_method_returns_agent_and_history(self, tiny_scale):
+        config = tiny_scale.scenario()
+        agent, history = train_method("cews", config, tiny_scale, seed=0)
+        assert agent.name == "DRL-CEWS"
+        assert len(history.logs) == tiny_scale.episodes
+
+    def test_evaluate_method_learned(self, tiny_scale):
+        config = tiny_scale.scenario()
+        metrics = evaluate_method("dppo", config, tiny_scale, seed=0)
+        assert set(metrics) == {"kappa", "xi", "rho"}
+
+    def test_evaluate_method_scripted(self, tiny_scale):
+        config = tiny_scale.scenario()
+        metrics = evaluate_method("greedy", config, tiny_scale, seed=0)
+        assert 0.0 <= metrics["kappa"] <= 1.0
+
+    def test_evaluate_method_unknown(self, tiny_scale):
+        with pytest.raises(ValueError, match="unknown method"):
+            evaluate_method("alphazero", tiny_scale.scenario(), tiny_scale)
+
+    def test_evaluate_scripted_unknown(self, tiny_scale):
+        with pytest.raises(ValueError, match="unknown scripted"):
+            evaluate_scripted("dijkstra", tiny_scale.scenario(), tiny_scale)
+
+    def test_evaluate_scripted_random(self, tiny_scale):
+        metrics = evaluate_scripted("random", tiny_scale.scenario(), tiny_scale)
+        assert np.isfinite(metrics["rho"])
+
+
+class TestAblationRunners:
+    def test_eta_ablation(self, tiny_scale):
+        result = run_eta_ablation(scale=tiny_scale, seed=0)
+        assert set(result["arms"]) == {"0.0", "0.1", "0.3", "1.0"}
+        assert result["arms"]["0.0"]["intrinsic"] == 0.0
+
+    def test_returns_ablation(self, tiny_scale):
+        result = run_returns_ablation(scale=tiny_scale, seed=0)
+        assert set(result["arms"]) == {"gae", "monte-carlo"}
+
+    def test_layernorm_ablation(self, tiny_scale):
+        result = run_layernorm_ablation(scale=tiny_scale, seed=0)
+        assert set(result["arms"]) == {"layernorm", "no-layernorm"}
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig9" in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "fig99"])
+
+    def test_run_smoke_experiment(self, capsys, monkeypatch, tmp_path, tiny_scale):
+        # Patch the registry's scale lookup to the tiny test scale so the
+        # CLI path runs in seconds.
+        import repro.experiments.__main__ as cli
+
+        monkeypatch.setattr(cli, "get_scale", lambda name: tiny_scale)
+        assert cli_main(["run", "fig2c", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2(c)" in out

@@ -1,0 +1,42 @@
+"""Tests for the artifact report aggregator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.export import ARTIFACT_ORDER, collect_artifacts, write_report
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    (tmp_path / "fig3.txt").write_text("fig3 body")
+    (tmp_path / "table2.txt").write_text("table2 body")
+    (tmp_path / "unrelated.log").write_text("noise")
+    return tmp_path
+
+
+def test_collect_in_paper_order(artifact_dir):
+    found = collect_artifacts(artifact_dir)
+    assert [p.stem for p in found] == ["table2", "fig3"]
+
+
+def test_write_report_contents(artifact_dir):
+    output = write_report(artifact_dir)
+    text = output.read_text()
+    assert output.name == "REPORT.md"
+    assert "table2 body" in text and "fig3 body" in text
+    assert "Table II" in text and "Fig. 3" in text
+    assert "unrelated" not in text
+    # Paper order: table2 before fig3.
+    assert text.index("table2 body") < text.index("fig3 body")
+
+
+def test_empty_directory(tmp_path):
+    output = write_report(tmp_path)
+    assert "no artifacts found" in output.read_text()
+
+
+def test_every_registered_experiment_has_an_order_slot():
+    from repro.experiments import EXPERIMENTS
+
+    assert set(EXPERIMENTS) <= set(ARTIFACT_ORDER)

@@ -1,0 +1,33 @@
+"""Tests for the report printers' formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import _curve_summary
+
+
+class TestCurveSummary:
+    def test_short_curve_passthrough(self):
+        xs, ys = _curve_summary([1.0, 2.0, 3.0], buckets=5)
+        assert xs == [0, 1, 2]
+        assert ys == [1.0, 2.0, 3.0]
+
+    def test_long_curve_bucketed(self):
+        curve = list(range(100))
+        xs, ys = _curve_summary(curve, buckets=5)
+        assert len(xs) == len(ys) == 5
+        assert xs[-1] == 100
+        # Bucket means of an arithmetic sequence are increasing.
+        assert ys == sorted(ys)
+        assert ys[0] == pytest.approx(np.mean(range(20)))
+
+    def test_uneven_division(self):
+        curve = list(range(7))
+        xs, ys = _curve_summary(curve, buckets=3)
+        assert len(ys) == 3
+        # All points are covered exactly once.
+        total = sum(
+            y * (b - a)
+            for y, a, b in zip(ys, [0] + xs[:-1], xs)
+        )
+        assert total == pytest.approx(sum(curve))

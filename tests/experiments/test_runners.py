@@ -1,0 +1,153 @@
+"""End-to-end tests of the experiment runners at a miniature scale.
+
+Each runner must produce the structure its figure/table needs; the actual
+numbers are checked only for basic sanity (ranges, finiteness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    FEATURE_VARIANTS,
+    REWARD_ARMS,
+    figure_series,
+    run_fig2c,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig9,
+    run_sweep,
+    run_table2,
+    sweep_values,
+)
+from repro.experiments.report import (
+    print_comparison_figure,
+    print_fig2c,
+    print_fig3,
+    print_fig4,
+    print_fig5,
+    print_fig9,
+    print_table2,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table2", "fig3", "fig4", "fig5", "fig9", "fig2c"}
+        for metric_figure in ("6", "7", "8"):
+            for panel in "abcd":
+                expected.add(f"fig{metric_figure}{panel}")
+        assert set(EXPERIMENTS) == expected
+
+    def test_descriptions_non_empty(self):
+        assert all(e.description for e in EXPERIMENTS.values())
+
+
+class TestComparisonSweep:
+    def test_sweep_structure(self, tiny_scale):
+        result = run_sweep(
+            "stations", scale=tiny_scale, methods=("greedy", "dnc"), seed=0
+        )
+        values = sweep_values("stations", tiny_scale)
+        assert result["values"] == values
+        for method in ("greedy", "dnc"):
+            for metric in ("kappa", "xi", "rho"):
+                series = result["results"][method][metric]
+                assert len(series) == len(values)
+                assert all(np.isfinite(v) for v in series)
+
+    def test_unknown_sweep(self, tiny_scale):
+        with pytest.raises(KeyError):
+            sweep_values("speed", tiny_scale)
+
+    def test_figure_series_selects_metric(self, tiny_scale):
+        result = run_sweep("stations", scale=tiny_scale, methods=("greedy",))
+        series = figure_series(result, "kappa")
+        assert series[0][0] == "Greedy"
+        assert series[0][2] == result["results"]["greedy"]["kappa"]
+        with pytest.raises(ValueError):
+            figure_series(result, "speed")
+
+    def test_sweep_with_learned_method(self, tiny_scale):
+        result = run_sweep("budget", scale=tiny_scale, methods=("cews",), seed=0)
+        assert len(result["results"]["cews"]["rho"]) == len(
+            sweep_values("budget", tiny_scale)
+        )
+
+    def test_print_comparison(self, tiny_scale):
+        result = run_sweep("pois", scale=tiny_scale, methods=("greedy",))
+        text = print_comparison_figure(result, "kappa")
+        assert "Fig. 6" in text and "Greedy" in text
+
+
+class TestTable2AndFig3:
+    def test_table2_structure(self, tiny_scale):
+        result = run_table2(scale=tiny_scale, seed=0)
+        assert result["employees"] == [1, 2, 4]
+        assert result["batches"] == [20, 40, 80]
+        cell = result["cells"]["20"]["1"]
+        assert {"kappa", "xi", "rho", "train_time"} <= set(cell)
+        assert cell["train_time"] > 0
+
+    def test_fig3_extracts_row(self, tiny_scale):
+        fig3 = run_fig3(scale=tiny_scale, seed=0)
+        assert fig3["employees"] == [1, 2, 4]
+        assert len(fig3["train_time"]) == 3
+        assert fig3["batch"] in (20, 40, 80)
+
+    def test_fig3_bad_batch(self, tiny_scale):
+        with pytest.raises(ValueError, match="batch"):
+            run_fig3(scale=tiny_scale, seed=0, batch=999)
+
+    def test_printers(self, tiny_scale):
+        table = run_table2(scale=tiny_scale, seed=0)
+        text = print_table2(table)
+        assert "Table II" in text and "kappa" in text
+        fig3 = run_fig3(scale=tiny_scale, seed=0)
+        assert "Fig. 3" in print_fig3(fig3)
+
+
+class TestFig4AndFig5:
+    def test_fig4_all_variants(self, tiny_scale):
+        result = run_fig4(scale=tiny_scale, seed=0)
+        assert set(result["curves"]) == set(FEATURE_VARIANTS)
+        for curves in result["curves"].values():
+            assert len(curves["kappa"]) == tiny_scale.episodes
+            assert len(curves["intrinsic"]) == tiny_scale.episodes
+        assert "Fig. 4" in print_fig4(result)
+
+    def test_fig5_all_arms(self, tiny_scale):
+        result = run_fig5(scale=tiny_scale, seed=0)
+        assert set(result["curves"]) == set(REWARD_ARMS)
+        for curves in result["curves"].values():
+            assert len(curves["rho"]) == tiny_scale.episodes
+        assert "Fig. 5" in print_fig5(result)
+
+
+class TestFig9AndFig2c:
+    def test_fig9_structure(self, tiny_scale):
+        result = run_fig9(scale=tiny_scale, seed=0)
+        assert set(result["heatmaps"]) == {"DRL-CEWS", "DPPO"}
+        assert len(result["checkpoints"]) == 5
+        for grids in result["heatmaps"].values():
+            assert len(grids) == 5
+            grid = np.asarray(grids[0])
+            assert grid.shape == (tiny_scale.grid, tiny_scale.grid)
+            assert np.all(grid >= 0)
+        assert "Fig. 9" in print_fig9(result)
+
+    def test_fig2c_structure(self, tiny_scale):
+        result = run_fig2c(scale=tiny_scale, seed=0)
+        assert len(result["trajectories"]) == tiny_scale.num_workers
+        horizon_plus_start = tiny_scale.horizon + 1
+        assert all(
+            len(path) == horizon_plus_start for path in result["trajectories"]
+        )
+        assert 0.0 <= result["kappa"] <= 1.0
+        assert "Fig. 2(c)" in print_fig2c(result)

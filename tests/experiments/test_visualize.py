@@ -1,0 +1,128 @@
+"""Tests for heat map and trajectory visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.curiosity import SpatialCuriosity
+from repro.env import generate_scenario, smoke_config
+from repro.experiments import (
+    curiosity_heatmap,
+    render_heatmap,
+    render_trajectories,
+    trajectory_grid,
+)
+from repro.utils import ascii_heatmap, format_series, format_table
+
+
+@pytest.fixture
+def scenario():
+    return generate_scenario(smoke_config(seed=2))
+
+
+class TestCuriosityHeatmap:
+    def test_only_visited_cells_nonzero(self, scenario, rng):
+        curiosity = SpatialCuriosity(scenario.space, num_workers=1)
+        positions = np.array([[[1.5, 1.5]], [[2.5, 1.5]]])
+        moves = np.array([[3], [3]])
+        next_positions = np.array([[[2.5, 1.5]], [[3.5, 1.5]]])
+        grid = curiosity_heatmap(
+            curiosity, scenario.space, positions, moves, next_positions
+        )
+        assert grid.shape == (scenario.space.grid,) * 2
+        nonzero = np.nonzero(grid)
+        visited = {(1, 1), (1, 2)}  # (row, col) of the two start cells
+        assert set(zip(*nonzero)) == visited
+
+    def test_repeat_visits_averaged(self, scenario):
+        curiosity = SpatialCuriosity(scenario.space, num_workers=1)
+        positions = np.array([[[1.5, 1.5]], [[1.5, 1.5]]])
+        moves = np.array([[3], [5]])
+        next_positions = np.array([[[2.5, 1.5]], [[1.5, 0.5]]])
+        grid = curiosity_heatmap(
+            curiosity, scenario.space, positions, moves, next_positions
+        )
+        batch_values = curiosity.raw_errors(
+            __import__("repro.curiosity", fromlist=["TransitionBatch"]).TransitionBatch(
+                positions=positions, next_positions=next_positions, moves=moves
+            )
+        )
+        assert grid[1, 1] == pytest.approx(batch_values.mean())
+
+
+class TestTrajectoryRendering:
+    def test_trajectory_grid_codes(self, scenario):
+        path = np.array([[0.5, 0.5], [1.5, 0.5]])
+        grid = trajectory_grid(scenario, [path])
+        assert grid[0, 0] == 1 and grid[0, 1] == 1
+        assert np.any(grid == -1)  # obstacles present
+        assert np.any(grid == -2)  # stations present
+
+    def test_render_trajectories_glyphs(self, scenario):
+        path = np.array([[0.5, 0.5]])
+        text = render_trajectories(scenario, [path])
+        lines = text.splitlines()
+        assert len(lines) == scenario.space.grid
+        assert "1" in text and "#" in text and "C" in text
+
+    def test_two_workers_distinct_digits(self, scenario):
+        a = np.array([[0.5, 0.5]])
+        b = np.array([[4.5, 4.5]])
+        text = render_trajectories(scenario, [a, b])
+        assert "1" in text and "2" in text
+
+
+class TestAsciiHelpers:
+    def test_ascii_heatmap_shading(self):
+        grid = np.array([[0.0, 1.0], [0.5, 0.0]])
+        text = ascii_heatmap(grid)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # Brightest cell uses the densest glyph.
+        assert "@" in lines[1]  # row 0 printed last (bottom)
+
+    def test_ascii_heatmap_constant_grid(self):
+        text = ascii_heatmap(np.zeros((2, 2)))
+        assert set("".join(text.splitlines())) == {" "}
+
+    def test_ascii_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(4))
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1.5, "x"], [2.25, "yy"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in text and "2.250" in text
+
+    def test_format_series(self):
+        text = format_series("m", [1, 2], [0.1, 0.25])
+        assert text == "m: (1, 0.100) (2, 0.250)"
+
+
+class TestPolicyQuiver:
+    def test_quiver_renders_all_cells(self, scenario):
+        from repro.agents import GreedyAgent
+        from repro.env import CrowdsensingEnv
+        from repro.experiments import policy_quiver
+
+        env = CrowdsensingEnv(scenario.config, scenario=scenario)
+        env.reset()
+        text = policy_quiver(GreedyAgent(charge_threshold=0.0), env)
+        lines = text.splitlines()
+        assert len(lines) == scenario.space.grid
+        glyphs = set("".join(lines))
+        assert "#" in glyphs  # obstacles drawn
+        assert glyphs & set("^v<>o/\\")  # moves drawn
+
+    def test_worker_position_restored(self, scenario):
+        from repro.agents import RandomAgent
+        from repro.env import CrowdsensingEnv
+        from repro.experiments import policy_quiver
+
+        env = CrowdsensingEnv(scenario.config, scenario=scenario)
+        env.reset()
+        before = env.workers.positions.copy()
+        policy_quiver(RandomAgent(), env)
+        import numpy as np
+
+        np.testing.assert_array_equal(env.workers.positions, before)

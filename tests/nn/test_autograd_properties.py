@@ -1,0 +1,144 @@
+"""Property-based tests for the autograd core (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import _unbroadcast
+from tests.conftest import finite_difference_grad
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-3.0, 3.0, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_sum_gradient_is_ones(arr):
+    t = nn.Tensor(arr, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(arr))
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_arrays)
+def test_linearity_of_grad(arr):
+    """grad of (a*x).sum() is a for any constant a."""
+    t = nn.Tensor(arr, requires_grad=True)
+    (t * 2.5).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(arr, 2.5))
+
+
+@settings(max_examples=30, deadline=None)
+@given(finite_arrays)
+def test_tanh_gradcheck(arr):
+    t = nn.Tensor(arr.copy(), requires_grad=True)
+    t.tanh().sum().backward()
+    numeric = finite_difference_grad(
+        lambda x: nn.Tensor(x).tanh().sum().item(), arr.copy()
+    )
+    np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+        elements=st.floats(-5.0, 5.0, allow_nan=False),
+    )
+)
+def test_softmax_always_a_distribution(arr):
+    out = F.softmax(nn.Tensor(arr)).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+        elements=st.floats(-5.0, 5.0, allow_nan=False),
+    )
+)
+def test_entropy_bounded_by_log_n(arr):
+    entropy = F.entropy_from_logits(nn.Tensor(arr)).data
+    assert np.all(entropy >= -1e-9)
+    assert np.all(entropy <= np.log(arr.shape[-1]) + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+        elements=st.floats(-2.0, 2.0, allow_nan=False),
+    ),
+    st.sampled_from([(0,), (1,), (2,), None]),
+)
+def test_sum_then_grad_shape_matches(arr, axis):
+    t = nn.Tensor(arr, requires_grad=True)
+    out = t.sum(axis=axis[0] if axis else None)
+    out.sum().backward() if out.size > 1 else out.backward()
+    assert t.grad.shape == arr.shape
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    st.tuples(st.integers(1, 4), st.integers(1, 4)),
+)
+def test_unbroadcast_inverts_broadcast(big_shape, small_shape):
+    """For any broadcastable pair, unbroadcast returns the small shape."""
+    small = np.ones(small_shape)
+    try:
+        broadcast = np.broadcast_shapes(big_shape, small_shape)
+    except ValueError:
+        return  # not broadcastable; nothing to test
+    grad = np.ones(broadcast)
+    out = _unbroadcast(grad, small_shape)
+    assert out.shape == small_shape
+    # Total mass is conserved: each small element receives one contribution
+    # per broadcast copy.
+    assert out.sum() == np.prod(broadcast)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(2, 4), st.integers(2, 4)),
+        elements=st.floats(-2.0, 2.0, allow_nan=False),
+    )
+)
+def test_matmul_grad_matches_finite_difference(arr):
+    other = np.linspace(-1, 1, arr.shape[1] * 3).reshape(arr.shape[1], 3)
+
+    def loss(x):
+        return ((nn.Tensor(x) @ nn.Tensor(other)) ** 2).sum().item()
+
+    t = nn.Tensor(arr.copy(), requires_grad=True)
+    ((t @ nn.Tensor(other)) ** 2).sum().backward()
+    numeric = finite_difference_grad(loss, arr.copy())
+    np.testing.assert_allclose(t.grad, numeric, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 3), st.integers(2, 6)),
+        elements=st.floats(-4.0, 4.0, allow_nan=False),
+    )
+)
+def test_layer_norm_output_statistics(arr):
+    out = F.layer_norm(nn.Tensor(arr)).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+    # Variance is bounded by 1 (eps shrinks it slightly below for constant rows).
+    assert np.all(out.var(axis=-1) <= 1.0 + 1e-8)

@@ -1,0 +1,125 @@
+"""Tests for the Categorical and Bernoulli policy distributions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestCategorical:
+    def test_probs_sum_to_one(self, rng):
+        dist = nn.Categorical(nn.Tensor(rng.normal(size=(6, 4))))
+        np.testing.assert_allclose(dist.probs().sum(axis=-1), 1.0)
+
+    def test_sampling_matches_probs(self, rng):
+        logits = nn.Tensor(np.log(np.array([[0.7, 0.2, 0.1]])))
+        dist = nn.Categorical(logits)
+        samples = np.array([dist.sample(rng)[0] for __ in range(4000)])
+        freqs = np.bincount(samples, minlength=3) / len(samples)
+        np.testing.assert_allclose(freqs, [0.7, 0.2, 0.1], atol=0.03)
+
+    def test_mode(self):
+        dist = nn.Categorical(nn.Tensor([[0.0, 5.0, 1.0]]))
+        assert dist.mode()[0] == 1
+
+    def test_log_prob_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        dist = nn.Categorical(nn.Tensor(logits))
+        actions = np.array([0, 2, 1, 1])
+        logp = dist.log_prob(actions).data
+        manual = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        np.testing.assert_allclose(logp, manual[np.arange(4), actions])
+
+    def test_log_prob_gradient_direction(self):
+        # Increasing the log-prob of an action should raise its logit.
+        logits = nn.Tensor(np.zeros((1, 3)), requires_grad=True)
+        dist = nn.Categorical(logits)
+        dist.log_prob(np.array([1])).sum().backward()
+        assert logits.grad[0, 1] > 0
+        assert logits.grad[0, 0] < 0
+
+    def test_log_prob_shape_mismatch(self, rng):
+        dist = nn.Categorical(nn.Tensor(rng.normal(size=(4, 3))))
+        with pytest.raises(ValueError, match="shape"):
+            dist.log_prob(np.zeros((5,), dtype=int))
+
+    def test_multi_axis_batch(self, rng):
+        logits = rng.normal(size=(2, 3, 5))
+        dist = nn.Categorical(nn.Tensor(logits))
+        actions = rng.integers(0, 5, size=(2, 3))
+        assert dist.log_prob(actions).shape == (2, 3)
+        assert dist.sample(rng).shape == (2, 3)
+        assert dist.entropy().shape == (2, 3)
+
+    def test_entropy_bounds(self, rng):
+        uniform = nn.Categorical(nn.Tensor(np.zeros((1, 4))))
+        assert uniform.entropy().data[0] == pytest.approx(np.log(4))
+        peaked = nn.Categorical(nn.Tensor([[100.0, 0.0, 0.0, 0.0]]))
+        assert peaked.entropy().data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_kl_divergence_self_is_zero(self, rng):
+        logits = nn.Tensor(rng.normal(size=(3, 4)))
+        dist = nn.Categorical(logits)
+        np.testing.assert_allclose(dist.kl_divergence(dist).data, 0.0, atol=1e-12)
+
+    def test_kl_divergence_nonnegative(self, rng):
+        p = nn.Categorical(nn.Tensor(rng.normal(size=(5, 4))))
+        q = nn.Categorical(nn.Tensor(rng.normal(size=(5, 4))))
+        assert np.all(p.kl_divergence(q).data >= -1e-12)
+
+    def test_masked_logits_never_sampled(self, rng):
+        logits = np.zeros((1, 4))
+        logits[0, 2] = -1e9
+        dist = nn.Categorical(nn.Tensor(logits))
+        samples = [dist.sample(rng)[0] for __ in range(500)]
+        assert 2 not in samples
+
+
+class TestBernoulli:
+    def test_probs_are_sigmoid(self, rng):
+        logits = rng.normal(size=5)
+        dist = nn.Bernoulli(nn.Tensor(logits))
+        np.testing.assert_allclose(dist.probs(), 1 / (1 + np.exp(-logits)))
+
+    def test_sampling_frequency(self, rng):
+        dist = nn.Bernoulli(nn.Tensor(np.full(4000, np.log(3.0))))  # p = 0.75
+        samples = dist.sample(rng)
+        assert samples.mean() == pytest.approx(0.75, abs=0.03)
+
+    def test_mode(self):
+        dist = nn.Bernoulli(nn.Tensor([-1.0, 1.0]))
+        np.testing.assert_array_equal(dist.mode(), [0, 1])
+
+    def test_log_prob_matches_manual(self, rng):
+        logits = rng.normal(size=6)
+        dist = nn.Bernoulli(nn.Tensor(logits))
+        outcomes = (rng.random(6) < 0.5).astype(np.float64)
+        p = 1 / (1 + np.exp(-logits))
+        manual = outcomes * np.log(p) + (1 - outcomes) * np.log(1 - p)
+        np.testing.assert_allclose(dist.log_prob(outcomes).data, manual, atol=1e-10)
+
+    def test_log_prob_stable_for_extreme_logits(self):
+        dist = nn.Bernoulli(nn.Tensor([60.0, -60.0]))
+        logp = dist.log_prob(np.array([1.0, 0.0])).data
+        assert np.all(np.isfinite(logp))
+        np.testing.assert_allclose(logp, 0.0, atol=1e-10)
+
+    def test_log_prob_shape_mismatch(self):
+        dist = nn.Bernoulli(nn.Tensor(np.zeros(3)))
+        with pytest.raises(ValueError, match="shape"):
+            dist.log_prob(np.zeros(4))
+
+    def test_entropy_max_at_half(self):
+        dist = nn.Bernoulli(nn.Tensor([0.0]))
+        assert dist.entropy().data[0] == pytest.approx(np.log(2))
+
+    def test_entropy_near_zero_when_certain(self):
+        dist = nn.Bernoulli(nn.Tensor([50.0]))
+        assert dist.entropy().data[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_log_prob_gradient(self):
+        logits = nn.Tensor(np.zeros(2), requires_grad=True)
+        dist = nn.Bernoulli(logits)
+        dist.log_prob(np.array([1.0, 0.0])).sum().backward()
+        # d/dz log p(1) = 1 - sigmoid(z) = 0.5; d/dz log p(0) = -sigmoid(z).
+        np.testing.assert_allclose(logits.grad, [0.5, -0.5])

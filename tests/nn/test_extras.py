@@ -1,0 +1,173 @@
+"""Tests for the nn extras: schedulers, RMSprop, dropout, one-hot, flatten."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.modules import Parameter
+
+
+def make_param(values):
+    return Parameter(np.asarray(values, dtype=np.float64))
+
+
+class TestSchedulers:
+    def make_opt(self):
+        return nn.SGD([make_param([1.0])], lr=1.0)
+
+    def test_linear_decay_endpoints(self):
+        opt = self.make_opt()
+        sched = nn.LinearDecay(opt, total_steps=10, final_lr=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0 - 0.09)
+        for __ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_decay(self):
+        opt = self.make_opt()
+        sched = nn.StepDecay(opt, every=2, gamma=0.5)
+        lrs = [sched.step() for __ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_decay_monotone_to_final(self):
+        opt = self.make_opt()
+        sched = nn.CosineDecay(opt, total_steps=8, final_lr=0.01)
+        lrs = [sched.step() for __ in range(8)]
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [
+            (nn.LinearDecay, {"total_steps": 0}),
+            (nn.LinearDecay, {"total_steps": 5, "final_lr": 0.0}),
+            (nn.StepDecay, {"every": 0}),
+            (nn.StepDecay, {"every": 1, "gamma": 0.0}),
+            (nn.CosineDecay, {"total_steps": 0}),
+        ],
+    )
+    def test_validation(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(self.make_opt(), **kwargs)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = nn.RMSprop([p], lr=0.05)
+        for __ in range(300):
+            p.grad = 2 * (p.data - 1.0)
+            opt.step()
+        np.testing.assert_allclose(p.data, [1.0], atol=1e-2)
+
+    def test_skips_none_grads(self):
+        p = make_param([1.0])
+        nn.RMSprop([p]).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            nn.RMSprop([make_param([1.0])], alpha=1.0)
+
+
+class TestFlattenGradients:
+    def test_round_trip(self):
+        a = make_param(np.ones((2, 3)))
+        b = make_param(np.ones(4))
+        a.grad = np.full((2, 3), 2.0)
+        b.grad = np.full(4, 3.0)
+        flat = nn.flatten_gradients([a, b])
+        assert flat.shape == (10,)
+        back = nn.unflatten_vector(flat, [a, b])
+        np.testing.assert_array_equal(back[0], a.grad)
+        np.testing.assert_array_equal(back[1], b.grad)
+
+    def test_none_grads_become_zeros(self):
+        a = make_param(np.ones(3))
+        flat = nn.flatten_gradients([a])
+        np.testing.assert_array_equal(flat, np.zeros(3))
+
+    def test_unflatten_size_mismatch(self):
+        a = make_param(np.ones(3))
+        with pytest.raises(ValueError, match="elements"):
+            nn.unflatten_vector(np.zeros(4), [a])
+
+    def test_empty(self):
+        assert nn.flatten_gradients([]).shape == (0,)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_multidim(self):
+        out = F.one_hot(np.array([[0, 1], [1, 0]]), 2)
+        assert out.shape == (2, 2, 2)
+        np.testing.assert_array_equal(out.sum(axis=-1), np.ones((2, 2)))
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_bad_num_classes(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0]), 0)
+
+
+class TestDropout:
+    def test_preserves_expectation(self, rng):
+        x = nn.Tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.4, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zero_fraction(self, rng):
+        x = nn.Tensor(np.ones(10_000))
+        out = F.dropout(x, p=0.3, rng=rng)
+        zero_fraction = (out.data == 0).mean()
+        assert zero_fraction == pytest.approx(0.3, abs=0.02)
+
+    def test_eval_mode_identity(self, rng):
+        x = nn.Tensor(np.ones(5))
+        assert F.dropout(x, p=0.5, rng=rng, training=False) is x
+
+    def test_p_zero_identity(self, rng):
+        x = nn.Tensor(np.ones(5))
+        assert F.dropout(x, p=0.0, rng=rng) is x
+
+    def test_gradient_masked_identically(self, rng):
+        x = nn.Tensor(np.ones(100), requires_grad=True)
+        out = F.dropout(x, p=0.5, rng=rng)
+        out.sum().backward()
+        # Gradient is the same mask/scale applied in forward.
+        np.testing.assert_array_equal(x.grad, out.data)
+
+    def test_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(nn.Tensor([1.0]), p=1.0, rng=rng)
+
+
+class TestDropoutModule:
+    def test_train_mode_drops(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        out = layer(nn.Tensor(np.ones(10_000)))
+        assert (out.data == 0).mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_eval_mode_passthrough(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.training = False
+        x = nn.Tensor(np.ones(100))
+        assert layer(x) is x
+
+    def test_in_sequential(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.Dropout(0.2, rng=rng), nn.Linear(8, 2, rng=rng)
+        )
+        out = model(nn.Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)

@@ -1,0 +1,219 @@
+"""Tests for functional ops: convolution, pooling, norms, losses."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro import nn
+from repro.nn import functional as F
+from tests.conftest import finite_difference_grad
+
+
+def reference_conv2d(x, w, b, stride=1, padding=0):
+    """Direct (slow) cross-correlation for checking the im2col version."""
+    batch, in_c, h, wdt = x.shape
+    out_c, __, k, __ = w.shape
+    if padding:
+        x = np.pad(x, [(0, 0), (0, 0), (padding, padding), (padding, padding)])
+        h, wdt = h + 2 * padding, wdt + 2 * padding
+    out_h = (h - k) // stride + 1
+    out_w = (wdt - k) // stride + 1
+    out = np.zeros((batch, out_c, out_h, out_w))
+    for n in range(batch):
+        for o in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[n, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[n, o, i, j] = (patch * w[o]).sum()
+            if b is not None:
+                out[n, o] += b[o]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(nn.Tensor(x), nn.Tensor(w), nn.Tensor(b), stride=stride, padding=padding)
+        expected = reference_conv2d(x, w, b, stride=stride, padding=padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_matches_scipy_single_channel(self, rng):
+        x = rng.normal(size=(1, 1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = F.conv2d(nn.Tensor(x), nn.Tensor(w))
+        expected = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out.data[0, 0], expected, atol=1e-10)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(nn.Tensor(x), nn.Tensor(w))
+        np.testing.assert_allclose(out.data, reference_conv2d(x, w, None), atol=1e-10)
+
+    def test_input_gradcheck(self, gradcheck, rng):
+        w = nn.Tensor(rng.normal(size=(2, 2, 3, 3)))
+        b = nn.Tensor(rng.normal(size=2))
+        gradcheck(
+            lambda t: (F.conv2d(t, w, b, stride=2, padding=1) ** 2).sum(),
+            rng.normal(size=(2, 2, 5, 5)),
+            atol=1e-5,
+        )
+
+    def test_weight_gradcheck(self, rng):
+        x = rng.normal(size=(2, 2, 5, 5))
+        w0 = rng.normal(size=(2, 2, 3, 3))
+
+        def loss(w):
+            return (
+                F.conv2d(nn.Tensor(x), nn.Tensor(w), stride=1, padding=1) ** 2
+            ).sum().item()
+
+        wt = nn.Tensor(w0.copy(), requires_grad=True)
+        (F.conv2d(nn.Tensor(x), wt, stride=1, padding=1) ** 2).sum().backward()
+        numeric = finite_difference_grad(loss, w0.copy())
+        np.testing.assert_allclose(wt.grad, numeric, atol=1e-5)
+
+    def test_bias_gradient(self, rng):
+        x = rng.normal(size=(2, 1, 3, 3))
+        w = nn.Tensor(rng.normal(size=(2, 1, 3, 3)))
+        b = nn.Tensor(np.zeros(2), requires_grad=True)
+        F.conv2d(nn.Tensor(x), w, b).sum().backward()
+        # Each bias unit contributes once per (batch, spatial) output.
+        np.testing.assert_allclose(b.grad, [2.0, 2.0])
+
+    def test_rejects_wrong_dims(self, rng):
+        with pytest.raises(ValueError, match="4-D"):
+            F.conv2d(nn.Tensor(np.zeros((3, 4, 4))), nn.Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(
+                nn.Tensor(np.zeros((1, 2, 4, 4))), nn.Tensor(np.zeros((1, 3, 3, 3)))
+            )
+
+    def test_rejects_rect_kernel(self):
+        with pytest.raises(ValueError, match="square"):
+            F.conv2d(
+                nn.Tensor(np.zeros((1, 1, 4, 4))), nn.Tensor(np.zeros((1, 1, 3, 2)))
+            )
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ValueError, match="smaller"):
+            F.conv2d(
+                nn.Tensor(np.zeros((1, 1, 2, 2))), nn.Tensor(np.zeros((1, 1, 3, 3)))
+            )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(nn.Tensor(x), 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_grad_goes_to_argmax(self):
+        x = nn.Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_array_equal(x.grad[0, 0], expected)
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(nn.Tensor(x), 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avg_pool_gradcheck(self, gradcheck, rng):
+        gradcheck(lambda t: (F.avg_pool2d(t, 2) ** 2).sum(), rng.normal(size=(1, 2, 4, 4)))
+
+    def test_strided_max_pool(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = F.max_pool2d(nn.Tensor(x), 3, stride=2)
+        assert out.shape == (1, 1, 2, 2)
+        assert out.data[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+
+class TestNormsAndActivations:
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.normal(2.0, 3.0, size=(4, 8))
+        out = F.layer_norm(nn.Tensor(x))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_affine(self, rng):
+        x = rng.normal(size=(2, 4))
+        w = nn.Tensor(np.full(4, 2.0))
+        b = nn.Tensor(np.full(4, 1.0))
+        out = F.layer_norm(nn.Tensor(x), w, b)
+        plain = F.layer_norm(nn.Tensor(x))
+        np.testing.assert_allclose(out.data, plain.data * 2.0 + 1.0)
+
+    def test_layer_norm_gradcheck(self, gradcheck, rng):
+        gradcheck(lambda t: (F.layer_norm(t) ** 2).sum(), rng.normal(size=(3, 5)))
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(nn.Tensor(rng.normal(size=(5, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_huge_logits(self):
+        out = F.softmax(nn.Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(nn.Tensor(x)).data,
+            np.log(F.softmax(nn.Tensor(x)).data),
+            atol=1e-10,
+        )
+
+    def test_activation_wrappers(self, rng):
+        x = rng.normal(size=(3,))
+        np.testing.assert_array_equal(F.relu(nn.Tensor(x)).data, np.maximum(x, 0))
+        np.testing.assert_allclose(F.tanh(nn.Tensor(x)).data, np.tanh(x))
+        np.testing.assert_allclose(
+            F.sigmoid(nn.Tensor(x)).data, 1 / (1 + np.exp(-x))
+        )
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = F.mse_loss(nn.Tensor([1.0, 3.0]), nn.Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_mse_target_detached(self):
+        target = nn.Tensor([1.0], requires_grad=True)
+        pred = nn.Tensor([2.0], requires_grad=True)
+        F.mse_loss(pred, target).backward()
+        assert pred.grad is not None
+        assert target.grad is None
+
+    def test_smooth_l1_quadratic_and_linear_regions(self):
+        small = F.smooth_l1_loss(nn.Tensor([0.5]), nn.Tensor([0.0]))
+        assert small.item() == pytest.approx(0.125)
+        large = F.smooth_l1_loss(nn.Tensor([3.0]), nn.Tensor([0.0]))
+        assert large.item() == pytest.approx(2.5)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss = F.cross_entropy(nn.Tensor(logits), targets)
+        logp = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(manual)
+
+    def test_cross_entropy_gradcheck(self, gradcheck, rng):
+        targets = np.array([1, 0, 2])
+        gradcheck(
+            lambda t: F.cross_entropy(t, targets), rng.normal(size=(3, 4))
+        )
+
+    def test_entropy_from_logits_uniform_is_log_n(self):
+        out = F.entropy_from_logits(nn.Tensor(np.zeros((1, 8))))
+        assert out.data[0] == pytest.approx(np.log(8))
+
+    def test_entropy_nonnegative(self, rng):
+        out = F.entropy_from_logits(nn.Tensor(rng.normal(size=(10, 5)) * 5))
+        assert np.all(out.data >= 0)

@@ -1,0 +1,192 @@
+"""Tests for the module/layer system."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestModuleRegistration:
+    def test_parameters_collected_in_order(self, rng):
+        lin = nn.Linear(3, 2, rng=rng)
+        names = [name for name, __ in lin.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_names(self, rng):
+        seq = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+        names = [name for name, __ in seq.named_parameters()]
+        assert names == ["layer0.weight", "layer0.bias", "layer2.weight", "layer2.bias"]
+
+    def test_num_parameters(self, rng):
+        lin = nn.Linear(3, 2, rng=rng)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears_all(self, rng):
+        lin = nn.Linear(3, 2, rng=rng)
+        lin(nn.Tensor(np.ones((1, 3)))).sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None and lin.bias.grad is None
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(1)
+
+
+class TestStateDict:
+    def test_round_trip(self, rng):
+        a = nn.Linear(3, 2, rng=rng)
+        b = nn.Linear(3, 2, rng=np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        lin = nn.Linear(2, 2, rng=rng)
+        state = lin.state_dict()
+        state["weight"][...] = 0.0
+        assert not np.all(lin.weight.data == 0.0)
+
+    def test_missing_key_raises(self, rng):
+        lin = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError, match="missing"):
+            lin.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_shape_mismatch_raises(self, rng):
+        lin = nn.Linear(2, 2, rng=rng)
+        state = lin.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape"):
+            lin.load_state_dict(state)
+
+    def test_copy_from(self, rng):
+        a = nn.Linear(3, 2, rng=rng)
+        b = nn.Linear(3, 2, rng=np.random.default_rng(1))
+        b.copy_from(a)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_copy_from_structural_mismatch(self, rng):
+        a = nn.Linear(3, 2, rng=rng)
+        b = nn.Linear(2, 3, rng=rng)
+        with pytest.raises(ValueError, match="differ"):
+            b.copy_from(a)
+
+
+class TestLinear:
+    def test_output_shape_and_value(self, rng):
+        lin = nn.Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = lin(nn.Tensor(x))
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(out.data, x @ lin.weight.data.T + lin.bias.data)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 3, rng=rng, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    @pytest.mark.parametrize("init_name", ["kaiming", "xavier", "orthogonal"])
+    def test_init_kinds(self, rng, init_name):
+        lin = nn.Linear(8, 8, rng=rng, weight_init=init_name)
+        assert lin.weight.data.std() > 0
+
+    def test_orthogonal_init_is_orthogonal(self, rng):
+        lin = nn.Linear(6, 6, rng=rng, weight_init="orthogonal", gain=1.0)
+        product = lin.weight.data @ lin.weight.data.T
+        np.testing.assert_allclose(product, np.eye(6), atol=1e-10)
+
+    def test_unknown_init_rejected(self, rng):
+        with pytest.raises(ValueError, match="weight_init"):
+            nn.Linear(2, 2, rng=rng, weight_init="nope")
+
+
+class TestConv2dModule:
+    def test_shapes(self, rng):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = conv(nn.Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_output_size_helper(self, rng):
+        conv = nn.Conv2d(1, 1, kernel_size=3, stride=2, padding=1, rng=rng)
+        assert conv.output_size(8, 8) == (4, 4)
+        assert conv.output_size(7, 9) == (4, 5)
+
+    def test_gradients_flow_to_weights(self, rng):
+        conv = nn.Conv2d(1, 2, kernel_size=3, rng=rng)
+        conv(nn.Tensor(rng.normal(size=(1, 1, 5, 5)))).sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.bias.grad is not None
+
+
+class TestNorms:
+    def test_layer_norm_learnable(self, rng):
+        ln = nn.LayerNorm(4)
+        out = ln(nn.Tensor(rng.normal(size=(2, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        out.sum().backward()
+        assert ln.weight.grad is not None
+
+    def test_channel_layer_norm_normalizes_whole_map(self, rng):
+        cln = nn.ChannelLayerNorm(3)
+        x = rng.normal(5.0, 2.0, size=(2, 3, 4, 4))
+        out = cln(nn.Tensor(x))
+        flattened = out.data.reshape(2, -1)
+        np.testing.assert_allclose(flattened.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(flattened.std(axis=1), 1.0, atol=1e-3)
+
+    def test_channel_layer_norm_rejects_non_4d(self):
+        with pytest.raises(ValueError, match="4-D"):
+            nn.ChannelLayerNorm(2)(nn.Tensor(np.zeros((2, 2))))
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[0], out.data[1])
+
+    def test_out_of_range_raises(self, rng):
+        emb = nn.Embedding(5, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_frozen_embedding_gets_no_grad(self, rng):
+        emb = nn.Embedding(5, 2, rng=rng, frozen=True)
+        out = emb(np.array([0, 1]))
+        assert not out.requires_grad
+
+    def test_trainable_embedding_gets_grad(self, rng):
+        emb = nn.Embedding(5, 2, rng=rng)
+        emb(np.array([0, 0])).sum().backward()
+        np.testing.assert_array_equal(emb.weight.grad[0], [2.0, 2.0])
+        np.testing.assert_array_equal(emb.weight.grad[2], [0.0, 0.0])
+
+
+class TestSequentialAndWrappers:
+    def test_sequential_applies_in_order(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.ReLU())
+        out = seq(nn.Tensor(np.ones((1, 2))))
+        assert np.all(out.data >= 0)
+
+    def test_sequential_len_iter(self, rng):
+        seq = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(seq) == 2
+        assert all(isinstance(layer, nn.Module) for layer in seq)
+
+    def test_flatten(self, rng):
+        out = nn.Flatten()(nn.Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_activation_modules(self, rng):
+        x = nn.Tensor(np.array([-1.0, 1.0]))
+        assert np.all(nn.ReLU()(x).data == [0.0, 1.0])
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh(x.data))
+        np.testing.assert_allclose(nn.Sigmoid()(x).data, 1 / (1 + np.exp(-x.data)))
+
+    def test_reprs(self, rng):
+        assert "Linear" in repr(nn.Linear(2, 2, rng=rng))
+        assert "Conv2d" in repr(nn.Conv2d(1, 1, 3, rng=rng))
+        assert "Sequential" in repr(nn.Sequential(nn.ReLU()))

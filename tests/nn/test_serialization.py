@@ -1,0 +1,63 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_save_load_round_trip(tmp_path, rng):
+    model = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.ReLU(), nn.Linear(4, 2, rng=rng))
+    path = tmp_path / "model.npz"
+    nn.save_module(model, path)
+
+    other = nn.Sequential(
+        nn.Linear(3, 4, rng=np.random.default_rng(9)),
+        nn.ReLU(),
+        nn.Linear(4, 2, rng=np.random.default_rng(10)),
+    )
+    nn.load_module(other, path)
+    x = nn.Tensor(rng.normal(size=(2, 3)))
+    np.testing.assert_array_equal(model(x).data, other(x).data)
+
+
+def test_save_creates_parent_dirs(tmp_path, rng):
+    path = tmp_path / "deep" / "nested" / "model.npz"
+    nn.save_module(nn.Linear(2, 2, rng=rng), path)
+    assert path.exists()
+
+
+def test_load_state_dict_file_contents(tmp_path, rng):
+    lin = nn.Linear(2, 2, rng=rng)
+    path = tmp_path / "lin.npz"
+    nn.save_module(lin, path)
+    state = nn.load_state_dict_file(path)
+    assert set(state) == {"weight", "bias"}
+    np.testing.assert_array_equal(state["weight"], lin.weight.data)
+
+
+def test_load_into_wrong_architecture_fails(tmp_path, rng):
+    nn.save_module(nn.Linear(2, 2, rng=rng), tmp_path / "m.npz")
+    wrong = nn.Linear(3, 3, rng=rng)
+    with pytest.raises(ValueError, match="shape"):
+        nn.load_module(wrong, tmp_path / "m.npz")
+
+
+def test_agent_state_dict_round_trip(tmp_path, tiny_config):
+    """Full agent checkpoints (network + curiosity) restore exactly."""
+    from repro.agents import CEWSAgent
+    from repro.env import CrowdsensingEnv
+
+    agent = CEWSAgent(tiny_config, seed=1)
+    state = agent.state_dict()
+
+    clone = CEWSAgent(tiny_config, seed=2)
+    clone.load_state_dict(state)
+    env = CrowdsensingEnv(tiny_config, reward_mode="sparse", scenario=agent.scenario)
+    env.reset()
+    rng_a = np.random.default_rng(0)
+    rng_b = np.random.default_rng(0)
+    action_a = agent.act(env, rng_a)
+    action_b = clone.act(env, rng_b)
+    np.testing.assert_array_equal(action_a.move, action_b.move)
+    np.testing.assert_array_equal(action_a.charge, action_b.charge)

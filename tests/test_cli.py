@@ -1,0 +1,63 @@
+"""Tests for the top-level ``python -m repro`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTrainCommand:
+    def test_train_writes_artifacts(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+        checkpoint = tmp_path / "ckpt.npz"
+        history = tmp_path / "hist.csv"
+        code = main(
+            [
+                "train",
+                "--method",
+                "dppo",
+                "--scale",
+                "smoke",
+                "--episodes",
+                "2",
+                "--checkpoint",
+                str(checkpoint),
+                "--history",
+                str(history),
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+        assert history.exists()
+        out = capsys.readouterr().out
+        assert "tail kappa=" in out
+
+    def test_evaluate_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ckpt.npz"
+        main(
+            [
+                "train", "--method", "cews", "--scale", "smoke",
+                "--episodes", "1", "--checkpoint", str(checkpoint),
+            ]
+        )
+        code = main(
+            [
+                "evaluate", "--method", "cews", "--scale", "smoke",
+                "--checkpoint", str(checkpoint), "--episodes", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kappa=" in out
+
+    def test_report_command(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        (tmp_path / "fig3.txt").write_text("body")
+        assert main(["report"]) == 0
+        assert (tmp_path / "REPORT.md").exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["deploy"])

@@ -1,0 +1,87 @@
+"""Smoke tests of the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackages_importable(self):
+        import repro.agents
+        import repro.curiosity
+        import repro.distributed
+        import repro.env
+        import repro.experiments
+        import repro.nn
+        import repro.utils
+
+        for module in (
+            repro.agents,
+            repro.curiosity,
+            repro.distributed,
+            repro.env,
+            repro.nn,
+            repro.utils,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestQuickstartFlow:
+    """The README quickstart must work exactly as documented."""
+
+    def test_readme_quickstart(self):
+        trainer = repro.build_trainer(
+            "cews",
+            repro.smoke_config(horizon=8, num_pois=10),
+            train=repro.TrainConfig(num_employees=2, episodes=2, k_updates=1),
+            ppo=repro.PPOConfig(batch_size=8, epochs=1),
+        )
+        history = trainer.train()
+        trainer.close()
+        assert np.isfinite(history.logs[-1].kappa)
+
+    def test_evaluate_scripted_agent(self):
+        config = repro.smoke_config(horizon=8, num_pois=10)
+        env = repro.CrowdsensingEnv(config, reward_mode="dense")
+        metrics = repro.evaluate_policy(
+            repro.GreedyAgent(), env, np.random.default_rng(0)
+        )
+        assert 0.0 <= metrics.kappa <= 1.0
+
+
+class TestSeedingUtils:
+    def test_spawn_rngs_independent(self):
+        from repro.utils import spawn_rngs
+
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_rngs_deterministic(self):
+        from repro.utils import spawn_rngs
+
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_validation(self):
+        from repro.utils import spawn_rngs
+
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+    def test_rng_from(self):
+        from repro.utils import rng_from
+
+        gen = np.random.default_rng(0)
+        assert rng_from(gen) is gen
+        assert isinstance(rng_from(5), np.random.Generator)
+        assert isinstance(rng_from(None), np.random.Generator)
