@@ -28,16 +28,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_trainer(args, episodes=None):
+    import dataclasses
+
     from .distributed import build_trainer
     from .experiments.scales import get_scale
     from .experiments.training import make_ppo_config, make_train_config
 
     scale = get_scale(args.scale)
     config = scale.scenario()
+    train = make_train_config(
+        scale, episodes=episodes, seed=args.seed, mode=getattr(args, "mode", "sequential")
+    )
+    overrides = {
+        name: getattr(args, name)
+        for name in (
+            "quorum_fraction",
+            "employee_timeout",
+            "max_retries",
+            "quarantine_max_norm",
+        )
+        if getattr(args, name, None) is not None
+    }
+    if overrides:
+        train = dataclasses.replace(train, **overrides)
     trainer = build_trainer(
         args.method,
         config,
-        train=make_train_config(scale, episodes=episodes, seed=args.seed),
+        train=train,
         ppo=make_ppo_config(scale),
         seed=args.seed,
     )
@@ -46,6 +63,7 @@ def _build_trainer(args, episodes=None):
 
 def cmd_train(args) -> int:
     from .distributed import save_checkpoint
+    from .experiments.training import resume_or_start
 
     trainer, scale, config = _build_trainer(args, episodes=args.episodes)
     episodes = args.episodes if args.episodes is not None else scale.episodes
@@ -54,13 +72,37 @@ def cmd_train(args) -> int:
         f"(P={config.num_pois}, W={config.num_workers}) for {episodes} episodes"
     )
     try:
-        history = trainer.train()
+        if args.checkpoint_dir:
+            # Crash-safe mode: auto-resume from the newest valid rolling
+            # checkpoint and keep checkpointing as we go.
+            history = resume_or_start(
+                trainer,
+                args.checkpoint_dir,
+                episodes,
+                save_every=args.save_every,
+                keep_last=args.keep_last,
+            )
+            if not history.logs:
+                print(
+                    f"checkpoints in {args.checkpoint_dir} already cover "
+                    f"{episodes} episodes; nothing to do"
+                )
+            elif history.logs[0].episode > 0:
+                print(f"resumed from episode {history.logs[0].episode}")
+        else:
+            history = trainer.train()
     finally:
         trainer.close()
-    tail = max(len(history.logs) // 4, 1)
-    kappa = float(np.mean(history.curve("kappa")[-tail:]))
-    rho = float(np.mean(history.curve("rho")[-tail:]))
-    print(f"done in {history.total_wall_time:.1f}s; tail kappa={kappa:.3f} rho={rho:.3f}")
+    if history.logs:
+        tail = max(len(history.logs) // 4, 1)
+        kappa = float(np.mean(history.curve("kappa")[-tail:]))
+        rho = float(np.mean(history.curve("rho")[-tail:]))
+        print(
+            f"done in {history.total_wall_time:.1f}s; "
+            f"tail kappa={kappa:.3f} rho={rho:.3f}"
+        )
+    if not trainer.health.healthy:
+        print(f"health: {trainer.health.summary()}")
     if args.history:
         history.save_csv(args.history)
         print(f"history -> {args.history}")
@@ -114,6 +156,54 @@ def main(argv=None) -> int:
     train_parser.add_argument("--episodes", type=int, default=None)
     train_parser.add_argument("--checkpoint", default=None, help="save .npz here")
     train_parser.add_argument("--history", default=None, help="save CSV logs here")
+    train_parser.add_argument(
+        "--mode",
+        choices=("sequential", "thread"),
+        default="sequential",
+        help="employee driver (thread overlaps exploration and gradients)",
+    )
+    train_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="rolling crash-safe checkpoints here; auto-resumes if present",
+    )
+    train_parser.add_argument(
+        "--save-every",
+        type=int,
+        default=1,
+        help="episodes between rolling checkpoints (with --checkpoint-dir)",
+    )
+    train_parser.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        help="rolling checkpoints retained (with --checkpoint-dir)",
+    )
+    train_parser.add_argument(
+        "--quorum-fraction",
+        type=float,
+        default=None,
+        help="fraction of employees whose gradients suffice per round "
+        "(default 1.0 = strict barrier)",
+    )
+    train_parser.add_argument(
+        "--employee-timeout",
+        type=float,
+        default=None,
+        help="per-task straggler timeout in seconds (0 disables)",
+    )
+    train_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per crashed/timed-out employee task",
+    )
+    train_parser.add_argument(
+        "--quarantine-max-norm",
+        type=float,
+        default=None,
+        help="quarantine gradient contributions above this L2 norm (0 disables)",
+    )
     train_parser.set_defaults(func=cmd_train)
 
     eval_parser = subparsers.add_parser("evaluate", help="evaluate a checkpoint")

@@ -1,20 +1,52 @@
 """Distributed training: the paper's synchronous chief–employee
 architecture, plus the asynchronous actor-learner (with V-trace
-correction) it is contrasted against in Section V-A."""
+correction) it is contrasted against in Section V-A.
+
+Fault tolerance (crash/straggler recovery, gradient quarantine,
+crash-safe checkpointing and deterministic fault injection) lives in
+:mod:`.faults`, :mod:`.gradient_buffer`, :mod:`.checkpoint` and the
+trainer's resilient barrier."""
 
 from .async_trainer import AsyncActorLearner, AsyncConfig, AsyncHistory, AsyncLog
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from .factories import TRAINABLE_METHODS, build_agent, build_async_trainer, build_trainer
-from .gradient_buffer import GradientBuffer
-from .trainer import ChiefEmployeeTrainer, EpisodeLog, TrainConfig, TrainingHistory
+from .faults import (
+    CheckpointFault,
+    CorruptionFault,
+    CrashFault,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    InjectedCheckpointInterrupt,
+    InjectedCrash,
+    StragglerFault,
+)
+from .gradient_buffer import GradientBuffer, GradientRejected
+from .trainer import (
+    ChiefEmployeeTrainer,
+    EmployeeHealth,
+    EpisodeLog,
+    TrainConfig,
+    TrainerHealth,
+    TrainingHistory,
+)
 from .vtrace import VTraceReturns, vtrace_targets
 
 __all__ = [
     "GradientBuffer",
+    "GradientRejected",
     "ChiefEmployeeTrainer",
     "EpisodeLog",
     "TrainConfig",
     "TrainingHistory",
+    "EmployeeHealth",
+    "TrainerHealth",
     "build_agent",
     "build_trainer",
     "build_async_trainer",
@@ -27,4 +59,16 @@ __all__ = [
     "vtrace_targets",
     "save_checkpoint",
     "load_checkpoint",
+    "verify_checkpoint",
+    "CheckpointCorruptError",
+    "CheckpointManager",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "CrashFault",
+    "StragglerFault",
+    "CorruptionFault",
+    "CheckpointFault",
+    "InjectedCrash",
+    "InjectedCheckpointInterrupt",
 ]

@@ -23,6 +23,13 @@ measured: an IMPALA-style actor-learner where
 The update is sequential-deterministic (single process): "asynchrony" here
 *is* the policy lag, which is the semantics that matters; thread carriers
 add nondeterminism but no new behaviour.
+
+Like the synchronous trainer, the learner **quarantines** poisoned
+updates: if any policy or curiosity gradient turns non-finite after the
+backward pass (or a :class:`~repro.distributed.faults.FaultInjector`
+corrupts it), the optimizer step is skipped, the rejection is tallied in
+:attr:`AsyncActorLearner.health`, and training continues on the next
+trajectory instead of diverging.
 """
 
 from __future__ import annotations
@@ -36,11 +43,21 @@ from .. import nn
 from ..agents.base import EpisodeResult
 from ..agents.rollout import MiniBatch
 from ..env.env import CrowdsensingEnv
+from .faults import FaultInjector
+from .trainer import TrainerHealth
 from .vtrace import vtrace_targets
 
 __all__ = ["AsyncConfig", "AsyncLog", "AsyncHistory", "AsyncActorLearner"]
 
 CORRECTIONS = ("none", "vtrace")
+
+
+def _grads_finite(params) -> bool:
+    """True iff every present gradient is fully finite."""
+    for param in params:
+        if param.grad is not None and not np.all(np.isfinite(param.grad)):
+            return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -104,6 +121,8 @@ class AsyncLog:
     rho_mean: float
     value_loss: float
     policy_loss: float
+    rejected: bool = False
+    """True when this update's gradients were quarantined (step skipped)."""
 
 
 @dataclass
@@ -128,6 +147,10 @@ class AsyncActorLearner:
         ``f(actor_index) -> CrowdsensingEnv``.
     config:
         Loop configuration.
+    fault_injector:
+        Optional :class:`~repro.distributed.faults.FaultInjector`; its
+        corruption events (keyed by actor index / episode, round 0) poison
+        the learner's gradients so the quarantine path is testable.
     """
 
     def __init__(
@@ -136,9 +159,12 @@ class AsyncActorLearner:
         actor_factory: Callable[[int], object],
         env_factory: Callable[[int], CrowdsensingEnv],
         config: Optional[AsyncConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.config = config if config is not None else AsyncConfig()
         self.learner = learner_agent
+        self.fault_injector = fault_injector
+        self.health = TrainerHealth()
         master = np.random.SeedSequence(self.config.seed)
         seeds = master.spawn(self.config.num_actors)
         self.actors = [actor_factory(i) for i in range(self.config.num_actors)]
@@ -232,9 +258,25 @@ class AsyncActorLearner:
             for param in params:
                 param.grad = None
             loss.backward()
-            nn.clip_grad_norm(params, self.learner.ppo.max_grad_norm)
-            self.optimizer.step()
-            self._update_count += 1
+            if self.fault_injector is not None:
+                self.fault_injector.corrupt_arrays(
+                    actor_index,
+                    episode,
+                    0,
+                    [p.grad for p in params if p.grad is not None],
+                    "policy",
+                )
+            rejected = not _grads_finite(params)
+            if rejected:
+                # Quarantine: a poisoned step would corrupt the Adam
+                # moments of every parameter it touches.  Skip it.
+                self.health.employee(actor_index).rejected_policy_gradients += 1
+                for param in params:
+                    param.grad = None
+            else:
+                nn.clip_grad_norm(params, self.learner.ppo.max_grad_norm)
+                self.optimizer.step()
+                self._update_count += 1
 
             # The curiosity model (if any) trains on the same trajectory.
             if self.curiosity_optimizer is not None:
@@ -247,10 +289,26 @@ class AsyncActorLearner:
                     states=batch.states,
                     next_states=batch.next_states,
                 )
-                for param in self.learner.curiosity_parameters():
+                curiosity_params = self.learner.curiosity_parameters()
+                for param in curiosity_params:
                     param.grad = None
                 self.learner.curiosity.loss(curiosity_batch).backward()
-                self.curiosity_optimizer.step()
+                if self.fault_injector is not None:
+                    self.fault_injector.corrupt_arrays(
+                        actor_index,
+                        episode,
+                        0,
+                        [p.grad for p in curiosity_params if p.grad is not None],
+                        "curiosity",
+                    )
+                if _grads_finite(curiosity_params):
+                    self.curiosity_optimizer.step()
+                else:
+                    self.health.employee(
+                        actor_index
+                    ).rejected_curiosity_gradients += 1
+                    for param in curiosity_params:
+                        param.grad = None
 
             history.logs.append(
                 AsyncLog(
@@ -263,6 +321,7 @@ class AsyncActorLearner:
                     rho_mean=rho_mean,
                     value_loss=float(value_loss.item()),
                     policy_loss=float(policy_loss.item()),
+                    rejected=rejected,
                 )
             )
         return history

@@ -1,26 +1,63 @@
-"""Training checkpoints: save and resume a chief–employee run.
+"""Training checkpoints: crash-safe save and resume of a chief–employee run.
 
 Section VI-D: "In a training process, the parameters in DNNs are
 periodically saved for testing."  A checkpoint captures everything needed
-to resume exactly — the global agent's parameters (policy + curiosity) and
-both Adam optimizers' moment state — as one ``.npz`` archive.
+to resume *bitwise exactly* — the global agent's parameters (policy +
+curiosity), both Adam optimizers' moment state, the global episode
+counter, and every RNG state (employees + eval) — as one ``.npz`` archive.
+
+Crash safety
+------------
+``np.savez`` writes in place, so a crash mid-write used to leave a
+truncated, unloadable archive *and* destroy the previous good checkpoint
+at the same path.  Saves are now atomic: the archive is written to a
+``<path>.tmp`` sibling, fsynced, and moved over the target with
+``os.replace`` (atomic on POSIX).  A kill at any instant leaves either the
+old complete file or the new complete file — never a hybrid.  Writing
+through an explicit file handle also stops ``np.savez`` from silently
+appending ``.npz`` to suffix-less paths, so ``load_checkpoint`` always
+round-trips the exact path given to ``save_checkpoint``.
+
+Every archive embeds a SHA-256 checksum over its array payload; loads
+verify it and raise :class:`CheckpointCorruptError` on mismatch, so a
+corrupted file is detected instead of silently resuming from garbage.
+
+:class:`CheckpointManager` adds a rolling ``keep_last=N`` scheme with an
+atomically-updated ``latest`` pointer and checksum-validated fallback:
+``restore_latest`` walks back through older checkpoints until one loads
+cleanly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Dict, Union
+import re
+import zipfile
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .faults import FaultInjector
 from .trainer import ChiefEmployeeTrainer
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CheckpointCorruptError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "verify_checkpoint",
+    "CheckpointManager",
+]
 
 PathLike = Union[str, os.PathLike]
 
 _NONE_SENTINEL = "__none__"
+_CKPT_PATTERN = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+class CheckpointCorruptError(RuntimeError):
+    """The checkpoint failed checksum / structural validation on load."""
 
 
 def _pack_optimizer(prefix: str, state: Dict, arrays: Dict[str, np.ndarray]) -> Dict:
@@ -45,8 +82,39 @@ def _unpack_optimizer(manifest: Dict, archive) -> Dict:
     return state
 
 
-def save_checkpoint(trainer: ChiefEmployeeTrainer, path: PathLike) -> None:
-    """Write the trainer's resumable state to ``path`` (.npz)."""
+def _payload_checksum(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every non-manifest array (name, dtype, shape, bytes)."""
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == "__manifest__":
+            continue
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _rng_states(trainer: ChiefEmployeeTrainer) -> Dict:
+    return {
+        "employees": [e.rng.bit_generator.state for e in trainer.employees],
+        "eval": trainer._eval_rng.bit_generator.state,
+    }
+
+
+def save_checkpoint(
+    trainer: ChiefEmployeeTrainer,
+    path: PathLike,
+    fault_injector: Optional[FaultInjector] = None,
+) -> str:
+    """Atomically write the trainer's resumable state to ``path`` (.npz).
+
+    Returns the exact path written.  ``fault_injector`` (tests only) may
+    interrupt the write between the temp file and the atomic rename; the
+    previous checkpoint at ``path`` is untouched in that case.
+    """
+    path = os.fspath(path)
     arrays: Dict[str, np.ndarray] = {}
     for key, value in trainer.global_agent.state_dict().items():
         arrays[f"agent.{key}"] = value
@@ -55,53 +123,252 @@ def save_checkpoint(trainer: ChiefEmployeeTrainer, path: PathLike) -> None:
         "policy_optimizer": _pack_optimizer(
             "opt.policy", trainer.policy_optimizer.state_dict(), arrays
         ),
+        "episodes_completed": trainer.episodes_completed,
+        "rng": _rng_states(trainer),
     }
     if trainer.curiosity_optimizer is not None:
         manifest["curiosity_optimizer"] = _pack_optimizer(
             "opt.curiosity", trainer.curiosity_optimizer.state_dict(), arrays
         )
+    manifest["checksum"] = _payload_checksum(arrays)
     arrays["__manifest__"] = np.frombuffer(
         json.dumps(manifest).encode(), dtype=np.uint8
     )
 
-    directory = os.path.dirname(os.fspath(path))
+    directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    np.savez(path, **arrays)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            # An explicit handle keeps np.savez from appending '.npz'.
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if fault_injector is not None:
+            fault_injector.on_checkpoint_write(tmp_path)
+        os.replace(tmp_path, path)  # atomic on POSIX
+    except BaseException:
+        # Leave no stray temp file behind on any failure path; the
+        # previous checkpoint at ``path`` stays valid either way.
+        if os.path.exists(tmp_path):
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+        raise
+    return path
 
 
-def load_checkpoint(trainer: ChiefEmployeeTrainer, path: PathLike) -> None:
-    """Restore a trainer (global agent + optimizer state) in place.
+def _resolve_load_path(path: PathLike) -> str:
+    """The exact path, with a legacy '.npz'-appended fallback."""
+    path = os.fspath(path)
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        return path + ".npz"  # archives written by the pre-atomic np.savez
+    return path
+
+
+def load_checkpoint(
+    trainer: ChiefEmployeeTrainer,
+    path: PathLike,
+    verify: bool = True,
+) -> Optional[int]:
+    """Restore a trainer (agent, optimizers, RNGs, episode counter) in place.
 
     The trainer must be structurally identical to the one that saved the
     checkpoint (same method, scenario geometry and optimizer layout).
+    Returns the checkpoint's completed-episode count (``None`` for legacy
+    archives without one).  Raises :class:`CheckpointCorruptError` when
+    ``verify`` is on and the archive fails checksum or structural checks.
     """
-    with np.load(path) as archive:
-        manifest = json.loads(bytes(archive["__manifest__"]).decode())
-        agent_state = {
-            key[len("agent."):]: archive[key].copy()
-            for key in archive.files
-            if key.startswith("agent.")
-        }
-        trainer.global_agent.load_state_dict(agent_state)
-        trainer.policy_optimizer.load_state_dict(
-            _unpack_optimizer(manifest["policy_optimizer"], archive)
-        )
-        has_curiosity_state = "curiosity_optimizer" in manifest
-        if trainer.curiosity_optimizer is not None:
-            if not has_curiosity_state:
-                raise ValueError(
-                    "checkpoint has no curiosity optimizer state but the "
-                    "trainer expects one"
-                )
-            trainer.curiosity_optimizer.load_state_dict(
-                _unpack_optimizer(manifest["curiosity_optimizer"], archive)
+    path = _resolve_load_path(path)
+    try:
+        archive_ctx = np.load(path)
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise CheckpointCorruptError(f"unreadable checkpoint {path!r}: {error}")
+    with archive_ctx as archive:
+        try:
+            manifest = json.loads(bytes(archive["__manifest__"]).decode())
+            arrays = {key: archive[key] for key in archive.files}
+        except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} has no readable manifest: {error}"
             )
-        elif has_curiosity_state:
+    if verify and "checksum" in manifest:
+        del arrays["__manifest__"]
+        actual = _payload_checksum(arrays)
+        if actual != manifest["checksum"]:
+            raise CheckpointCorruptError(
+                f"checkpoint {path!r} failed checksum validation "
+                f"(expected {manifest['checksum'][:12]}…, got {actual[:12]}…)"
+            )
+        arrays["__manifest__"] = None  # keep key space consistent
+
+    agent_state = {
+        key[len("agent."):]: value.copy()
+        for key, value in arrays.items()
+        if key.startswith("agent.")
+    }
+    trainer.global_agent.load_state_dict(agent_state)
+    trainer.policy_optimizer.load_state_dict(
+        _unpack_optimizer(manifest["policy_optimizer"], arrays)
+    )
+    has_curiosity_state = "curiosity_optimizer" in manifest
+    if trainer.curiosity_optimizer is not None:
+        if not has_curiosity_state:
             raise ValueError(
-                "checkpoint contains curiosity optimizer state but the "
-                "trainer has no curiosity optimizer"
+                "checkpoint has no curiosity optimizer state but the "
+                "trainer expects one"
             )
+        trainer.curiosity_optimizer.load_state_dict(
+            _unpack_optimizer(manifest["curiosity_optimizer"], arrays)
+        )
+    elif has_curiosity_state:
+        raise ValueError(
+            "checkpoint contains curiosity optimizer state but the "
+            "trainer has no curiosity optimizer"
+        )
+
+    # RNG + episode-counter restore (new archives only): this is what makes
+    # a resumed run bitwise-identical to an uninterrupted one.
+    rng = manifest.get("rng")
+    if rng is not None:
+        states = rng.get("employees", [])
+        if len(states) != len(trainer.employees):
+            raise ValueError(
+                f"checkpoint has {len(states)} employee RNG states but the "
+                f"trainer has {len(trainer.employees)} employees"
+            )
+        for employee, state in zip(trainer.employees, states):
+            employee.rng.bit_generator.state = state
+        trainer._eval_rng.bit_generator.state = rng["eval"]
+    episodes_completed = manifest.get("episodes_completed")
+    if episodes_completed is not None:
+        trainer._episodes_done = int(episodes_completed)
+
     # Employees re-sync from the restored global model on the next episode.
     for employee in trainer.employees:
         employee.sync(trainer.global_agent)
+    return episodes_completed
+
+
+def verify_checkpoint(path: PathLike) -> bool:
+    """True iff ``path`` is a readable checkpoint with a valid checksum."""
+    path = _resolve_load_path(path)
+    try:
+        with np.load(path) as archive:
+            manifest = json.loads(bytes(archive["__manifest__"]).decode())
+            arrays = {
+                key: archive[key] for key in archive.files if key != "__manifest__"
+            }
+    except (KeyError, ValueError, OSError, zipfile.BadZipFile):
+        return False
+    if "checksum" not in manifest:
+        return True  # legacy archive: structurally readable is the best bar
+    return _payload_checksum(arrays) == manifest["checksum"]
+
+
+class CheckpointManager:
+    """Rolling, crash-safe checkpoint directory.
+
+    Layout::
+
+        <directory>/ckpt-00000012.npz   # one archive per saved episode
+        <directory>/latest              # pointer file (atomic replace)
+
+    ``keep_last`` bounds disk usage; ``restore_latest`` follows the pointer
+    and falls back through older archives whenever validation fails, so a
+    corrupted or half-written newest checkpoint never blocks recovery.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        keep_last: int = 3,
+        fault_injector: Optional[FaultInjector] = None,
+    ):
+        if keep_last < 1:
+            raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+        self.directory = os.fspath(directory)
+        self.keep_last = keep_last
+        self.fault_injector = fault_injector
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------
+    def _path_for(self, episode: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{episode:08d}.npz")
+
+    @property
+    def latest_pointer(self) -> str:
+        return os.path.join(self.directory, "latest")
+
+    def checkpoints(self) -> List[str]:
+        """All checkpoint paths, oldest first."""
+        entries = []
+        for name in os.listdir(self.directory):
+            match = _CKPT_PATTERN.match(name)
+            if match:
+                entries.append((int(match.group(1)), name))
+        return [os.path.join(self.directory, name) for __, name in sorted(entries)]
+
+    def latest(self) -> Optional[str]:
+        """The pointer target if valid, else the newest archive on disk."""
+        try:
+            with open(self.latest_pointer) as handle:
+                name = handle.read().strip()
+            candidate = os.path.join(self.directory, name)
+            if name and os.path.exists(candidate):
+                return candidate
+        except OSError:
+            pass
+        paths = self.checkpoints()
+        return paths[-1] if paths else None
+
+    # -- write path -----------------------------------------------------
+    def save(self, trainer: ChiefEmployeeTrainer, episode: Optional[int] = None) -> str:
+        """Checkpoint ``trainer``, advance the pointer, prune old archives."""
+        episode = episode if episode is not None else trainer.episodes_completed
+        path = save_checkpoint(trainer, self._path_for(episode), self.fault_injector)
+        tmp_pointer = self.latest_pointer + ".tmp"
+        with open(tmp_pointer, "w") as handle:
+            handle.write(os.path.basename(path))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_pointer, self.latest_pointer)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        paths = self.checkpoints()
+        for path in paths[: max(len(paths) - self.keep_last, 0)]:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- read path ------------------------------------------------------
+    def restore_latest(self, trainer: ChiefEmployeeTrainer) -> Optional[int]:
+        """Restore the newest *valid* checkpoint; returns its episode count.
+
+        Walks from the pointer target backwards through older archives,
+        skipping any that fail checksum/structural validation.  Returns
+        ``None`` (trainer untouched) when nothing valid exists.
+        """
+        candidates: List[str] = []
+        pointed = self.latest()
+        if pointed is not None:
+            candidates.append(pointed)
+        for path in reversed(self.checkpoints()):
+            if path not in candidates:
+                candidates.append(path)
+        for path in candidates:
+            try:
+                episodes = load_checkpoint(trainer, path, verify=True)
+            except (CheckpointCorruptError, KeyError):
+                continue
+            if episodes is None:
+                match = _CKPT_PATTERN.match(os.path.basename(path))
+                episodes = int(match.group(1)) if match else 0
+                trainer._episodes_done = episodes
+            return episodes
+        return None

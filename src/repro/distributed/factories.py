@@ -25,6 +25,7 @@ from ..env.env import CrowdsensingEnv
 from ..env.generator import Scenario, generate_scenario
 from ..env.state import STATE_CHANNELS
 from .async_trainer import AsyncActorLearner, AsyncConfig
+from .faults import FaultInjector
 from .trainer import ChiefEmployeeTrainer, TrainConfig
 
 __all__ = ["build_agent", "build_trainer", "build_async_trainer", "TRAINABLE_METHODS"]
@@ -119,13 +120,16 @@ def build_trainer(
     train: Optional[TrainConfig] = None,
     ppo: Optional[PPOConfig] = None,
     seed: int = 0,
+    fault_injector: Optional[FaultInjector] = None,
     **agent_kwargs,
 ) -> ChiefEmployeeTrainer:
     """Build a ready-to-run chief–employee trainer for ``method``.
 
     The global agent and every employee share one generated scenario (the
     same map); each employee gets its own environment instance over it.
-    Extra keyword arguments are forwarded to :func:`build_agent`.
+    ``fault_injector`` (tests / chaos drills) threads a deterministic
+    fault schedule into the trainer's barrier.  Extra keyword arguments
+    are forwarded to :func:`build_agent`.
     """
     train = train if train is not None else TrainConfig()
     scenario = generate_scenario(config)
@@ -155,6 +159,7 @@ def build_trainer(
         env_factory=env_factory,
         config=train,
         eval_env=eval_env,
+        fault_injector=fault_injector,
     )
 
 
@@ -164,6 +169,7 @@ def build_async_trainer(
     async_config: Optional[AsyncConfig] = None,
     ppo: Optional[PPOConfig] = None,
     seed: int = 0,
+    fault_injector: Optional[FaultInjector] = None,
     **agent_kwargs,
 ) -> AsyncActorLearner:
     """Build the asynchronous actor-learner alternative for ``method``.
@@ -201,4 +207,5 @@ def build_async_trainer(
         actor_factory=actor_factory,
         env_factory=env_factory,
         config=async_config,
+        fault_injector=fault_injector,
     )

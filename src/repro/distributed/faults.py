@@ -1,0 +1,332 @@
+"""Deterministic fault injection for the chief–employee trainer.
+
+Production-scale distributed RL treats employee failure as routine: an
+actor crashes mid-rollout, a straggler holds the synchronous barrier
+hostage, a numerically unstable minibatch ships a NaN gradient, or the
+process dies halfway through a checkpoint write.  None of those paths can
+be trusted unless they are *testable*, so this module provides a seeded,
+fully deterministic fault harness:
+
+* :class:`FaultPlan` — an immutable schedule of fault events (crashes,
+  straggler delays, gradient corruption, checkpoint-write interruptions),
+  either hand-written for targeted tests or generated from a seed via
+  :meth:`FaultPlan.random` for randomized fault matrices;
+* :class:`FaultInjector` — the runtime object the trainer / checkpoint
+  writer consults at each hook point.  It fires each event at most its
+  configured number of ``times`` (so transient faults recover on retry)
+  and records everything it fired for post-mortem assertions.
+
+The injector is strictly passive: with an empty plan every hook is a
+no-op, which is what keeps the fault-free path bitwise identical to the
+un-instrumented trainer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultError",
+    "InjectedCrash",
+    "InjectedCheckpointInterrupt",
+    "CrashFault",
+    "StragglerFault",
+    "CorruptionFault",
+    "CheckpointFault",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+EXPLORE_ROUND = -1
+"""Round index used for the exploration phase (before the K update rounds)."""
+
+CORRUPTION_MODES = ("nan", "inf", "explode")
+
+
+class FaultError(Exception):
+    """Base class of every injected failure."""
+
+
+class InjectedCrash(FaultError):
+    """An employee 'process' died (raised inside its task)."""
+
+
+class InjectedCheckpointInterrupt(FaultError):
+    """The checkpoint writer was killed mid-write (before the atomic rename)."""
+
+
+# ----------------------------------------------------------------------
+# Fault specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashFault:
+    """Employee ``employee`` raises :class:`InjectedCrash` in ``episode``.
+
+    ``round`` selects the phase: :data:`EXPLORE_ROUND` (default) crashes the
+    rollout, ``k >= 0`` crashes the k-th gradient round.  ``times`` bounds
+    how many attempts fail — ``times=1`` is a transient crash that succeeds
+    on the first retry; a large value is a hard failure for the episode.
+    """
+
+    employee: int
+    episode: int
+    round: int = EXPLORE_ROUND
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Employee ``employee`` sleeps ``delay`` seconds before its task."""
+
+    employee: int
+    episode: int
+    delay: float
+    round: int = EXPLORE_ROUND
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class CorruptionFault:
+    """Corrupt one gradient contribution before it reaches the buffer.
+
+    ``mode``: ``"nan"`` / ``"inf"`` poison the first gradient array;
+    ``"explode"`` multiplies every array by ``1e12`` (caught by the
+    norm-quarantine, not the finiteness check).  ``buffer`` selects the
+    PPO (``"policy"``) or curiosity gradient list.
+    """
+
+    employee: int
+    episode: int
+    round: int = 0
+    mode: str = "nan"
+    buffer: str = "policy"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"mode must be one of {CORRUPTION_MODES}, got {self.mode!r}"
+            )
+        if self.buffer not in ("policy", "curiosity"):
+            raise ValueError(
+                f"buffer must be 'policy' or 'curiosity', got {self.buffer!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CheckpointFault:
+    """Interrupt the ``save_index``-th checkpoint write (0-based).
+
+    ``truncate`` additionally truncates the temporary file first, simulating
+    a partial write; the atomic-rename scheme must leave the previous
+    checkpoint untouched either way.
+    """
+
+    save_index: int
+    truncate: bool = True
+
+
+FaultSpec = object  # CrashFault | StragglerFault | CorruptionFault | CheckpointFault
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, fully deterministic schedule of fault events."""
+
+    events: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        allowed = (CrashFault, StragglerFault, CorruptionFault, CheckpointFault)
+        for event in self.events:
+            if not isinstance(event, allowed):
+                raise TypeError(f"unknown fault spec {event!r}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def of_type(self, kind) -> List[FaultSpec]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_employees: int,
+        episodes: int,
+        k_updates: int = 1,
+        crash_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        straggler_delay: float = 0.05,
+        corrupt_rate: float = 0.0,
+        corruption_mode: str = "nan",
+        checkpoint_interrupts: Sequence[int] = (),
+    ) -> "FaultPlan":
+        """Generate a randomized (but seed-deterministic) fault matrix.
+
+        Each (employee, episode) cell independently draws a crash and a
+        straggler event for the exploration phase, and each
+        (employee, episode, round) cell draws a corruption event.  The same
+        seed always yields the same plan.
+        """
+        rng = np.random.default_rng(seed)
+        events: List[FaultSpec] = []
+        for episode in range(episodes):
+            for employee in range(num_employees):
+                if crash_rate and rng.random() < crash_rate:
+                    events.append(CrashFault(employee, episode))
+                if straggler_rate and rng.random() < straggler_rate:
+                    events.append(
+                        StragglerFault(employee, episode, delay=straggler_delay)
+                    )
+                for round_index in range(k_updates):
+                    if corrupt_rate and rng.random() < corrupt_rate:
+                        events.append(
+                            CorruptionFault(
+                                employee,
+                                episode,
+                                round=round_index,
+                                mode=corruption_mode,
+                            )
+                        )
+        for save_index in checkpoint_interrupts:
+            events.append(CheckpointFault(int(save_index)))
+        return cls(events=tuple(events))
+
+
+# ----------------------------------------------------------------------
+# The injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Runtime driver of a :class:`FaultPlan`.
+
+    Thread-safe: the threaded trainer calls the hooks from worker threads.
+    Every fired event is appended to :attr:`fired` (a list of
+    ``(spec, context)`` tuples) for post-mortem assertions.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, sleep=time.sleep):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fire_counts: Dict[int, int] = {}
+        self._save_index = 0
+        self.fired: List[Tuple[FaultSpec, str]] = []
+
+    # -- internals ------------------------------------------------------
+    def _should_fire(self, event) -> bool:
+        """Atomically consume one firing of ``event`` if any remain."""
+        key = id(event)
+        with self._lock:
+            count = self._fire_counts.get(key, 0)
+            if count >= getattr(event, "times", 1):
+                return False
+            self._fire_counts[key] = count + 1
+            return True
+
+    def _record(self, event, context: str) -> None:
+        with self._lock:
+            self.fired.append((event, context))
+
+    def fired_of(self, kind) -> List[FaultSpec]:
+        """All fired events of one spec type (for test assertions)."""
+        with self._lock:
+            return [event for event, __ in self.fired if isinstance(event, kind)]
+
+    # -- trainer hooks --------------------------------------------------
+    def before_task(self, employee: int, episode: int, round: int) -> None:
+        """Called before an employee task; may sleep and/or raise.
+
+        Stragglers fire before crashes so a single (employee, episode,
+        round) cell can model a slow-then-dead worker.
+        """
+        for event in self.plan.events:
+            if (
+                isinstance(event, StragglerFault)
+                and event.employee == employee
+                and event.episode == episode
+                and event.round == round
+                and self._should_fire(event)
+            ):
+                self._record(event, f"straggle e{employee} ep{episode} r{round}")
+                self._sleep(event.delay)
+        for event in self.plan.events:
+            if (
+                isinstance(event, CrashFault)
+                and event.employee == employee
+                and event.episode == episode
+                and event.round == round
+                and self._should_fire(event)
+            ):
+                self._record(event, f"crash e{employee} ep{episode} r{round}")
+                raise InjectedCrash(
+                    f"injected crash: employee {employee}, episode {episode}, "
+                    f"round {round}"
+                )
+
+    def corrupt_arrays(
+        self,
+        employee: int,
+        episode: int,
+        round: int,
+        arrays: Sequence[np.ndarray],
+        buffer: str = "policy",
+    ) -> None:
+        """Corrupt a gradient list in place per any matching CorruptionFault."""
+        if not arrays:
+            return
+        for event in self.plan.events:
+            if (
+                isinstance(event, CorruptionFault)
+                and event.employee == employee
+                and event.episode == episode
+                and event.round == round
+                and event.buffer == buffer
+                and self._should_fire(event)
+            ):
+                self._record(
+                    event, f"corrupt({event.mode}) e{employee} ep{episode} r{round}"
+                )
+                if event.mode == "nan":
+                    arrays[0][...] = np.nan
+                elif event.mode == "inf":
+                    arrays[0][...] = np.inf
+                else:  # explode
+                    for array in arrays:
+                        array *= 1e12
+
+    # -- checkpoint hook ------------------------------------------------
+    def on_checkpoint_write(self, tmp_path: str) -> None:
+        """Called after the temp file is written, before the atomic rename.
+
+        Raises :class:`InjectedCheckpointInterrupt` if this save is
+        scheduled to die; optionally truncates the temp file first to
+        simulate a partial write.
+        """
+        with self._lock:
+            save_index = self._save_index
+            self._save_index += 1
+        for event in self.plan.events:
+            if (
+                isinstance(event, CheckpointFault)
+                and event.save_index == save_index
+                and self._should_fire(event)
+            ):
+                self._record(event, f"ckpt-interrupt save#{save_index}")
+                if event.truncate:
+                    try:
+                        with open(tmp_path, "r+b") as handle:
+                            handle.truncate(max(handle.seek(0, 2) // 2, 1))
+                    except OSError:
+                        pass
+                raise InjectedCheckpointInterrupt(
+                    f"injected checkpoint interrupt at save #{save_index}"
+                )

@@ -7,28 +7,70 @@ employee threads ..., sums them up, and sends them to chief".
 
 The buffer is thread-safe so the threaded driver's employees can push
 concurrently; the chief drains it once all contributions have arrived.
+
+Beyond the paper's happy path, the buffer is the natural **quarantine
+point** for poisoned updates: a single NaN/Inf array summed into the
+global gradient silently destroys the Adam state of every parameter it
+touches.  ``add`` therefore validates each contribution *before* any of
+it reaches the running sum — non-finite values are always rejected, and
+an optional ``max_norm`` rejects norm-exploded contributions.  Rejections
+raise :class:`GradientRejected` and are tallied per employee in
+:attr:`GradientBuffer.rejections` so the trainer's health report can
+attribute blame.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["GradientBuffer"]
+__all__ = ["GradientBuffer", "GradientRejected"]
+
+
+class GradientRejected(ValueError):
+    """A gradient contribution failed quarantine and was not accumulated."""
 
 
 class GradientBuffer:
-    """Thread-safe accumulator of aligned gradient lists."""
+    """Thread-safe accumulator of aligned gradient lists.
 
-    def __init__(self, num_params: int):
+    Parameters
+    ----------
+    num_params:
+        Length of every contributed gradient list.
+    shapes:
+        Optional authoritative per-parameter shapes.  When given, every
+        contribution (including the first) is validated against them and a
+        mismatch names the offending parameter index.  Without it the first
+        accepted contribution's shapes become authoritative.
+    max_norm:
+        If ``> 0``, reject contributions whose global L2 norm exceeds this
+        threshold (norm-explosion quarantine).  ``0`` disables the check.
+    """
+
+    def __init__(
+        self,
+        num_params: int,
+        shapes: Optional[Sequence[Tuple[int, ...]]] = None,
+        max_norm: float = 0.0,
+    ):
         if num_params < 0:
             raise ValueError(f"num_params cannot be negative, got {num_params}")
+        if shapes is not None and len(shapes) != num_params:
+            raise ValueError(
+                f"shapes has {len(shapes)} entries but num_params={num_params}"
+            )
+        if max_norm < 0:
+            raise ValueError(f"max_norm cannot be negative, got {max_norm}")
         self.num_params = num_params
+        self.max_norm = float(max_norm)
+        self._shapes = tuple(tuple(s) for s in shapes) if shapes is not None else None
         self._lock = threading.Lock()
         self._sum: Optional[List[np.ndarray]] = None
         self._count = 0
+        self._rejections: Dict[int, int] = {}
 
     @property
     def count(self) -> int:
@@ -36,22 +78,69 @@ class GradientBuffer:
         with self._lock:
             return self._count
 
-    def add(self, grads: Sequence[np.ndarray]) -> None:
-        """Add one employee's gradient list (summed elementwise)."""
+    @property
+    def rejections(self) -> Dict[int, int]:
+        """Per-employee quarantine-rejection counts (-1 = anonymous)."""
+        with self._lock:
+            return dict(self._rejections)
+
+    # ------------------------------------------------------------------
+    def _validate(self, grads: Sequence[np.ndarray]) -> None:
+        """Raise before anything touches the sum; the buffer stays intact."""
         if len(grads) != self.num_params:
             raise ValueError(
                 f"expected {self.num_params} gradient arrays, got {len(grads)}"
             )
+        expected = self._shapes
+        if expected is None and self._sum is not None:
+            expected = tuple(acc.shape for acc in self._sum)
+        for index, grad in enumerate(grads):
+            shape = np.shape(grad)
+            if expected is not None and shape != expected[index]:
+                raise ValueError(
+                    f"gradient shape mismatch at parameter index {index}: "
+                    f"got {shape}, expected {expected[index]}"
+                )
+        # Quarantine checks (never mutate state; caller may retry/skip).
+        for index, grad in enumerate(grads):
+            if not np.all(np.isfinite(grad)):
+                raise GradientRejected(
+                    f"non-finite gradient at parameter index {index} "
+                    f"(quarantined before accumulation)"
+                )
+        if self.max_norm > 0.0:
+            total = 0.0
+            for grad in grads:
+                total += float(np.sum(np.asarray(grad, dtype=np.float64) ** 2))
+            norm = float(np.sqrt(total))
+            if norm > self.max_norm:
+                raise GradientRejected(
+                    f"gradient norm {norm:.3e} exceeds quarantine threshold "
+                    f"{self.max_norm:.3e}"
+                )
+
+    def add(self, grads: Sequence[np.ndarray], employee: int = -1) -> None:
+        """Add one employee's gradient list (summed elementwise).
+
+        Raises
+        ------
+        ValueError
+            On a count or per-parameter shape mismatch (names the index).
+        GradientRejected
+            When the contribution fails quarantine (non-finite values or
+            norm explosion).  The rejection is tallied against
+            ``employee`` and the accumulated sum is left untouched.
+        """
         with self._lock:
+            try:
+                self._validate(grads)
+            except GradientRejected:
+                self._rejections[employee] = self._rejections.get(employee, 0) + 1
+                raise
             if self._sum is None:
                 self._sum = [np.array(g, dtype=np.float64, copy=True) for g in grads]
             else:
                 for acc, grad in zip(self._sum, grads):
-                    if acc.shape != np.shape(grad):
-                        raise ValueError(
-                            f"gradient shape {np.shape(grad)} does not match "
-                            f"accumulated shape {acc.shape}"
-                        )
                     acc += grad
             self._count += 1
 
@@ -74,3 +163,8 @@ class GradientBuffer:
         with self._lock:
             self._sum = None
             self._count = 0
+
+    def clear_rejections(self) -> None:
+        """Reset the per-employee rejection tallies."""
+        with self._lock:
+            self._rejections = {}

@@ -20,14 +20,45 @@ this module offers two drivers with identical results given a seed:
 * ``mode="sequential"`` — deterministic, single thread (default for tests);
 * ``mode="thread"`` — employees run in a thread pool (numpy releases the
   GIL inside matmuls, so exploration and gradient computation overlap).
+
+Fault tolerance
+---------------
+The paper's barrier assumes every employee returns a gradient every round;
+a single crashed or slow worker would stall it forever, and one NaN
+contribution would silently poison the global Adam step.  This trainer
+therefore layers a **resilient barrier** on top of the synchronous
+semantics:
+
+* per-employee task timeout (``employee_timeout``) with bounded retry and
+  exponential backoff (``max_retries`` / ``retry_backoff``);
+* a **degraded-quorum mode**: the chief proceeds once
+  ``quorum_fraction * M`` contributions arrive, rescaling the summed
+  gradient by ``M / count`` so the step magnitude matches the full-barrier
+  expectation.  With the default ``quorum_fraction=1.0`` and no faults the
+  scale factor is exactly 1 and the histories stay bitwise identical to
+  the plain synchronous loop;
+* **gradient quarantine** at the buffer (non-finite / norm-exploded
+  contributions are rejected before touching the sum; see
+  :mod:`repro.distributed.gradient_buffer`);
+* a :class:`TrainerHealth` report tracking per-employee crashes, timeouts,
+  quarantined gradients, restarts and consecutive failures.  A failed
+  employee is *restarted* at the next episode boundary by the ordinary
+  re-sync from the global model (its local parameters can never diverge,
+  so a fresh copy is a full restart).
+
+Deterministic fault injection (for tests and chaos drills) is wired via
+:class:`repro.distributed.faults.FaultInjector`.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from threading import Lock
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,9 +67,17 @@ from ..agents.base import EpisodeResult
 from ..agents.policy import GradientPack
 from ..env.env import CrowdsensingEnv
 from ..env.metrics import Metrics
-from .gradient_buffer import GradientBuffer
+from .faults import EXPLORE_ROUND, FaultInjector, InjectedCrash
+from .gradient_buffer import GradientBuffer, GradientRejected
 
-__all__ = ["TrainConfig", "EpisodeLog", "TrainingHistory", "ChiefEmployeeTrainer"]
+__all__ = [
+    "TrainConfig",
+    "EpisodeLog",
+    "TrainingHistory",
+    "EmployeeHealth",
+    "TrainerHealth",
+    "ChiefEmployeeTrainer",
+]
 
 
 @dataclass(frozen=True)
@@ -61,6 +100,26 @@ class TrainConfig:
         (0 disables evaluation).
     seed:
         Master seed; employee RNGs derive from it.
+    quorum_fraction:
+        Fraction of ``M`` gradient contributions the chief requires before
+        applying an update.  ``1.0`` (default) is the paper's strict
+        barrier; lower values enable degraded-quorum progress under
+        employee failures, with the summed gradient rescaled by
+        ``M / count`` so the step magnitude is unbiased.
+    employee_timeout:
+        Per-task straggler timeout in seconds (``0`` disables).  In thread
+        mode the chief stops waiting for a late worker; in sequential mode
+        the result of an over-budget task is discarded after the fact.
+    max_retries:
+        How many times a crashed or timed-out employee task is retried
+        within the same barrier before the employee is marked failed for
+        the episode.
+    retry_backoff:
+        Base of the exponential backoff between retries, in seconds
+        (sleep is ``retry_backoff * 2**(attempt-1)``; ``0`` disables).
+    quarantine_max_norm:
+        If ``> 0``, gradient contributions whose global L2 norm exceeds
+        this are quarantined (non-finite values are always quarantined).
     """
 
     num_employees: int = 8
@@ -69,6 +128,11 @@ class TrainConfig:
     mode: str = "sequential"
     eval_every: int = 0
     seed: int = 0
+    quorum_fraction: float = 1.0
+    employee_timeout: float = 0.0
+    max_retries: int = 1
+    retry_backoff: float = 0.0
+    quarantine_max_norm: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_employees < 1:
@@ -81,11 +145,35 @@ class TrainConfig:
             raise ValueError(f"mode must be 'sequential' or 'thread', got {self.mode!r}")
         if self.eval_every < 0:
             raise ValueError(f"eval_every cannot be negative, got {self.eval_every}")
+        if not (0.0 < self.quorum_fraction <= 1.0):
+            raise ValueError(
+                f"quorum_fraction must be in (0, 1], got {self.quorum_fraction}"
+            )
+        if self.employee_timeout < 0:
+            raise ValueError(
+                f"employee_timeout cannot be negative, got {self.employee_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(
+                f"retry_backoff cannot be negative, got {self.retry_backoff}"
+            )
+        if self.quarantine_max_norm < 0:
+            raise ValueError(
+                f"quarantine_max_norm cannot be negative, "
+                f"got {self.quarantine_max_norm}"
+            )
+
+    @property
+    def quorum_size(self) -> int:
+        """Minimum contributions the chief accepts per update round."""
+        return max(1, math.ceil(self.quorum_fraction * self.num_employees))
 
 
 @dataclass
 class EpisodeLog:
-    """Per-episode training record (mean over employees)."""
+    """Per-episode training record (mean over contributing employees)."""
 
     episode: int
     extrinsic_reward: float
@@ -125,6 +213,12 @@ class TrainingHistory:
             if log.eval_metrics is not None:
                 return log.eval_metrics
         return None
+
+    def extend(self, other: "TrainingHistory") -> "TrainingHistory":
+        """Append another history's logs (e.g. after a resumed run)."""
+        self.logs.extend(other.logs)
+        self.total_wall_time += other.total_wall_time
+        return self
 
     _CSV_FIELDS = (
         "episode",
@@ -179,6 +273,80 @@ class TrainingHistory:
         return history
 
 
+# ----------------------------------------------------------------------
+# Health reporting
+# ----------------------------------------------------------------------
+@dataclass
+class EmployeeHealth:
+    """Fault counters for one employee."""
+
+    crashes: int = 0
+    timeouts: int = 0
+    rejected_policy_gradients: int = 0
+    rejected_curiosity_gradients: int = 0
+    restarts: int = 0
+    consecutive_failures: int = 0
+
+    @property
+    def rejected_gradients(self) -> int:
+        """Total quarantined contributions (policy + curiosity)."""
+        return self.rejected_policy_gradients + self.rejected_curiosity_gradients
+
+
+@dataclass
+class TrainerHealth:
+    """Aggregated fault-tolerance report of one trainer."""
+
+    employees: Dict[int, EmployeeHealth] = field(default_factory=dict)
+    degraded_rounds: int = 0
+    degraded_episodes: int = 0
+    curiosity_skipped_rounds: int = 0
+
+    def employee(self, index: int) -> EmployeeHealth:
+        """The (auto-created) per-employee counter block."""
+        if index not in self.employees:
+            self.employees[index] = EmployeeHealth()
+        return self.employees[index]
+
+    @property
+    def total_crashes(self) -> int:
+        return sum(e.crashes for e in self.employees.values())
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(e.timeouts for e in self.employees.values())
+
+    @property
+    def total_rejected_gradients(self) -> int:
+        return sum(e.rejected_gradients for e in self.employees.values())
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(e.restarts for e in self.employees.values())
+
+    @property
+    def healthy(self) -> bool:
+        """True when no fault of any kind has been observed."""
+        return (
+            self.total_crashes == 0
+            and self.total_timeouts == 0
+            and self.total_rejected_gradients == 0
+            and self.degraded_rounds == 0
+        )
+
+    def summary(self) -> Dict[str, int]:
+        """Flat counters for logging/CLI output."""
+        return {
+            "crashes": self.total_crashes,
+            "timeouts": self.total_timeouts,
+            "rejected_gradients": self.total_rejected_gradients,
+            "restarts": self.total_restarts,
+            "degraded_rounds": self.degraded_rounds,
+            "degraded_episodes": self.degraded_episodes,
+            "curiosity_skipped_rounds": self.curiosity_skipped_rounds,
+        }
+
+
 class _Employee:
     """One employee thread's local state."""
 
@@ -187,9 +355,14 @@ class _Employee:
         self.env = env
         self.rng = rng
         self.rollout = None
+        # Serializes this employee's work so an abandoned (timed-out) task
+        # can never race a retry or the next episode's sync on the shared
+        # agent / env / rng state.
+        self.lock = Lock()
 
     def sync(self, global_agent) -> None:
-        self.agent.copy_parameters_from(global_agent)
+        with self.lock:
+            self.agent.copy_parameters_from(global_agent)
 
     def explore(self) -> EpisodeResult:
         self.rollout, result = self.agent.collect_episode(self.env, self.rng)
@@ -219,6 +392,10 @@ class ChiefEmployeeTrainer:
         Loop configuration.
     eval_env:
         Optional environment for the periodic greedy evaluations.
+    fault_injector:
+        Optional :class:`~repro.distributed.faults.FaultInjector` driving
+        deterministic crash/straggler/corruption events (tests and chaos
+        drills); ``None`` leaves every fault path dormant.
     """
 
     def __init__(
@@ -228,10 +405,13 @@ class ChiefEmployeeTrainer:
         env_factory: Callable[[int], CrowdsensingEnv],
         config: Optional[TrainConfig] = None,
         eval_env: Optional[CrowdsensingEnv] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.config = config if config is not None else TrainConfig()
         self.global_agent = global_agent
         self.eval_env = eval_env
+        self.fault_injector = fault_injector
+        self.health = TrainerHealth()
 
         master = np.random.SeedSequence(self.config.seed)
         child_seeds = master.spawn(self.config.num_employees + 1)
@@ -244,6 +424,8 @@ class ChiefEmployeeTrainer:
             for i in range(self.config.num_employees)
         ]
         self._eval_rng = np.random.default_rng(child_seeds[-1])
+        self._episodes_done = 0
+        self._pending_restart: Set[int] = set()
 
         policy_params = global_agent.policy_parameters()
         curiosity_params = global_agent.curiosity_parameters()
@@ -254,25 +436,124 @@ class ChiefEmployeeTrainer:
             if curiosity_params
             else None
         )
-        self.ppo_buffer = GradientBuffer(len(policy_params))
-        self.curiosity_buffer = GradientBuffer(len(curiosity_params))
+        self.ppo_buffer = GradientBuffer(
+            len(policy_params),
+            shapes=[p.data.shape for p in policy_params],
+            max_norm=self.config.quarantine_max_norm,
+        )
+        self.curiosity_buffer = GradientBuffer(
+            len(curiosity_params),
+            shapes=[p.data.shape for p in curiosity_params],
+            max_norm=self.config.quarantine_max_norm,
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
         if self.config.mode == "thread":
             self._pool = ThreadPoolExecutor(max_workers=self.config.num_employees)
 
     # ------------------------------------------------------------------
-    def _map(self, fn, items):
-        if self._pool is None:
-            return [fn(item) for item in items]
-        return list(self._pool.map(fn, items))
+    @property
+    def episodes_completed(self) -> int:
+        """Global episode counter (advances across ``train`` calls)."""
+        return self._episodes_done
 
-    def _apply_policy_gradients(self) -> None:
-        grads, count = self.ppo_buffer.drain()
-        if count != self.config.num_employees:
+    # ------------------------------------------------------------------
+    # Resilient barrier
+    # ------------------------------------------------------------------
+    def _guarded_task(self, index: int, episode: int, round_index: int, fn):
+        employee = self.employees[index]
+        with employee.lock:
+            if self.fault_injector is not None:
+                self.fault_injector.before_task(index, episode, round_index)
+            return fn(employee)
+
+    def _run_phase(
+        self,
+        fn: Callable[[_Employee], object],
+        candidates: Sequence[int],
+        episode: int,
+        round_index: int,
+    ) -> Tuple[Dict[int, object], Set[int]]:
+        """Run one barrier phase over ``candidates`` with retry + timeout.
+
+        Returns ``(results, failed)`` where ``results`` maps employee index
+        to the task's return value and ``failed`` holds employees that
+        exhausted every retry.  Only injected crashes and straggler
+        timeouts are absorbed; genuine exceptions propagate unchanged.
+        """
+        config = self.config
+        results: Dict[int, object] = {}
+        pending = list(candidates)
+        carried: Dict[int, object] = {}  # still-running futures of stragglers
+        attempt = 0
+        while pending and attempt <= config.max_retries:
+            if attempt and config.retry_backoff > 0:
+                time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
+            failures: List[int] = []
+            if self._pool is not None:
+                futures = {
+                    index: carried.pop(index)
+                    if index in carried
+                    else self._pool.submit(
+                        self._guarded_task, index, episode, round_index, fn
+                    )
+                    for index in pending
+                }
+                timeout = config.employee_timeout if config.employee_timeout > 0 else None
+                for index in sorted(futures):
+                    try:
+                        results[index] = futures[index].result(timeout=timeout)
+                    except FuturesTimeoutError:
+                        # Straggler: keep the future — the retry waits for
+                        # the same task instead of racing a duplicate.
+                        self.health.employee(index).timeouts += 1
+                        carried[index] = futures[index]
+                        failures.append(index)
+                    except InjectedCrash:
+                        self.health.employee(index).crashes += 1
+                        failures.append(index)
+            else:
+                for index in pending:
+                    task_start = time.perf_counter()
+                    try:
+                        outcome = self._guarded_task(index, episode, round_index, fn)
+                    except InjectedCrash:
+                        self.health.employee(index).crashes += 1
+                        failures.append(index)
+                        continue
+                    elapsed = time.perf_counter() - task_start
+                    if config.employee_timeout > 0 and elapsed > config.employee_timeout:
+                        # Sequential driver cannot preempt: the over-budget
+                        # result is discarded after the fact.
+                        self.health.employee(index).timeouts += 1
+                        failures.append(index)
+                    else:
+                        results[index] = outcome
+            pending = failures
+            attempt += 1
+        return results, set(pending)
+
+    def _require_quorum(self, count: int, what: str, episode: int) -> None:
+        required = self.config.quorum_size
+        if count < required:
             raise RuntimeError(
-                f"chief expected {self.config.num_employees} PPO contributions, "
-                f"got {count}"
+                f"episode {episode}: only {count}/{self.config.num_employees} "
+                f"employees completed {what}; quorum requires {required} "
+                f"(quorum_fraction={self.config.quorum_fraction})"
             )
+
+    # ------------------------------------------------------------------
+    # Gradient application
+    # ------------------------------------------------------------------
+    def _apply_policy_gradients(self, episode: int) -> None:
+        grads, count = self.ppo_buffer.drain()
+        num_employees = self.config.num_employees
+        self._require_quorum(count, "a PPO gradient round", episode)
+        if count != num_employees:
+            # Degraded quorum: unbias the partial sum so the expected step
+            # matches the full-barrier sum of M contributions.
+            scale = num_employees / count
+            grads = [grad * scale for grad in grads]
+            self.health.degraded_rounds += 1
         params = self.global_agent.policy_parameters()
         max_norm = self.global_agent.ppo.max_grad_norm
         for param, grad in zip(params, grads):
@@ -280,86 +561,148 @@ class ChiefEmployeeTrainer:
         nn.clip_grad_norm(params, max_norm)
         self.policy_optimizer.step()
 
-    def _apply_curiosity_gradients(self) -> None:
+    def _apply_curiosity_gradients(self, episode: int) -> None:
         if self.curiosity_optimizer is None:
             self.curiosity_buffer.clear()
             return
+        if self.curiosity_buffer.count == 0:
+            return
         grads, count = self.curiosity_buffer.drain()
-        if count != self.config.num_employees:
-            raise RuntimeError(
-                f"chief expected {self.config.num_employees} curiosity "
-                f"contributions, got {count}"
-            )
+        num_employees = self.config.num_employees
+        if count < self.config.quorum_size:
+            # The curiosity model is auxiliary: below quorum we skip the
+            # round rather than stall the whole barrier.
+            self.health.curiosity_skipped_rounds += 1
+            return
+        if count != num_employees:
+            scale = num_employees / count
+            grads = [grad * scale for grad in grads]
         self.curiosity_optimizer.apply_gradients(grads)
 
     # ------------------------------------------------------------------
-    def train(self, episodes: Optional[int] = None) -> TrainingHistory:
-        """Run the full synchronous loop; returns the training history."""
+    # One episode of the synchronous loop
+    # ------------------------------------------------------------------
+    def _train_one_episode(self, episode: int, batch_size: int) -> EpisodeLog:
+        episode_start = time.perf_counter()
+        all_indices = list(range(self.config.num_employees))
+
+        # Employees copy the global parameters (Algorithm 1, line 22 /
+        # initial sync).  For employees that failed last episode this very
+        # re-sync *is* the restart: their entire mutable state is the
+        # parameter copy plus a fresh rollout.
+        for index in sorted(self._pending_restart):
+            self.health.employee(index).restarts += 1
+        self._pending_restart.clear()
+        for employee in self.employees:
+            employee.sync(self.global_agent)
+
+        # Exploration phase (parallel in thread mode).
+        explore_results, failed = self._run_phase(
+            lambda e: e.explore(), all_indices, episode, EXPLORE_ROUND
+        )
+        active = sorted(explore_results)
+        self._require_quorum(len(active), "exploration", episode)
+        results: List[EpisodeResult] = [explore_results[i] for i in active]
+
+        # K synchronous update rounds (Algorithm 1 lines 17-23 /
+        # Algorithm 2).
+        stats_accum = []
+        for round_index in range(self.config.k_updates):
+            packs, round_failed = self._run_phase(
+                lambda e: e.one_minibatch(batch_size), active, episode, round_index
+            )
+            if round_failed:
+                failed |= round_failed
+                active = [i for i in active if i not in round_failed]
+            for index in sorted(packs):
+                pack: GradientPack = packs[index]
+                if self.fault_injector is not None:
+                    self.fault_injector.corrupt_arrays(
+                        index, episode, round_index, pack.policy, "policy"
+                    )
+                    self.fault_injector.corrupt_arrays(
+                        index, episode, round_index, pack.curiosity, "curiosity"
+                    )
+                accepted = True
+                try:
+                    self.ppo_buffer.add(pack.policy, employee=index)
+                except GradientRejected:
+                    self.health.employee(index).rejected_policy_gradients += 1
+                    accepted = False
+                if pack.curiosity:
+                    try:
+                        self.curiosity_buffer.add(pack.curiosity, employee=index)
+                    except GradientRejected:
+                        self.health.employee(index).rejected_curiosity_gradients += 1
+                if accepted:
+                    stats_accum.append(pack.stats)
+            self._apply_policy_gradients(episode)
+            self._apply_curiosity_gradients(episode)
+            for employee in self.employees:
+                employee.sync(self.global_agent)
+
+        # Failure bookkeeping: contributors reset their streak, everyone
+        # else extends it and is restarted at the next episode boundary.
+        if failed:
+            self.health.degraded_episodes += 1
+        for index in all_indices:
+            if index in failed:
+                self.health.employee(index).consecutive_failures += 1
+                self._pending_restart.add(index)
+            elif index in self.health.employees:
+                self.health.employees[index].consecutive_failures = 0
+
+        eval_metrics = None
+        if (
+            self.config.eval_every
+            and self.eval_env is not None
+            and (episode + 1) % self.config.eval_every == 0
+        ):
+            from ..agents.base import evaluate_policy
+
+            eval_metrics = evaluate_policy(
+                self.global_agent, self.eval_env, self._eval_rng
+            )
+
+        return EpisodeLog(
+            episode=episode,
+            extrinsic_reward=float(np.mean([r.extrinsic_reward for r in results])),
+            intrinsic_reward=float(np.mean([r.intrinsic_reward for r in results])),
+            kappa=float(np.mean([r.metrics.kappa for r in results])),
+            xi=float(np.mean([r.metrics.xi for r in results])),
+            rho=float(np.mean([r.metrics.rho for r in results])),
+            policy_loss=float(np.mean([s.policy_loss for s in stats_accum])),
+            value_loss=float(np.mean([s.value_loss for s in stats_accum])),
+            entropy=float(np.mean([s.entropy for s in stats_accum])),
+            wall_time=time.perf_counter() - episode_start,
+            eval_metrics=eval_metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        episodes: Optional[int] = None,
+        on_episode_end: Optional[Callable[["ChiefEmployeeTrainer", int], None]] = None,
+    ) -> TrainingHistory:
+        """Run the full synchronous loop; returns the training history.
+
+        ``on_episode_end(trainer, episode)`` is invoked after each episode
+        (used by the checkpointing driver in
+        :func:`repro.experiments.training.resume_or_start`); the global
+        episode counter advances across successive ``train`` calls so a
+        restored trainer continues numbering where the checkpoint left off.
+        """
         episodes = episodes if episodes is not None else self.config.episodes
         history = TrainingHistory()
         start = time.perf_counter()
         batch_size = self.global_agent.ppo.batch_size
 
-        for episode in range(episodes):
-            episode_start = time.perf_counter()
-
-            # Employees copy the global parameters (Algorithm 1, line 22 /
-            # initial sync) and explore in parallel.
-            for employee in self.employees:
-                employee.sync(self.global_agent)
-            results: List[EpisodeResult] = self._map(
-                lambda e: e.explore(), self.employees
-            )
-
-            # K synchronous update rounds (Algorithm 1 lines 17-23 /
-            # Algorithm 2).
-            stats_accum = []
-            for __ in range(self.config.k_updates):
-                packs: List[GradientPack] = self._map(
-                    lambda e: e.one_minibatch(batch_size), self.employees
-                )
-                for pack in packs:
-                    self.ppo_buffer.add(pack.policy)
-                    if pack.curiosity:
-                        self.curiosity_buffer.add(pack.curiosity)
-                    stats_accum.append(pack.stats)
-                self._apply_policy_gradients()
-                if self.curiosity_buffer.count:
-                    self._apply_curiosity_gradients()
-                for employee in self.employees:
-                    employee.sync(self.global_agent)
-
-            eval_metrics = None
-            if (
-                self.config.eval_every
-                and self.eval_env is not None
-                and (episode + 1) % self.config.eval_every == 0
-            ):
-                from ..agents.base import evaluate_policy
-
-                eval_metrics = evaluate_policy(
-                    self.global_agent, self.eval_env, self._eval_rng
-                )
-
-            history.logs.append(
-                EpisodeLog(
-                    episode=episode,
-                    extrinsic_reward=float(
-                        np.mean([r.extrinsic_reward for r in results])
-                    ),
-                    intrinsic_reward=float(
-                        np.mean([r.intrinsic_reward for r in results])
-                    ),
-                    kappa=float(np.mean([r.metrics.kappa for r in results])),
-                    xi=float(np.mean([r.metrics.xi for r in results])),
-                    rho=float(np.mean([r.metrics.rho for r in results])),
-                    policy_loss=float(np.mean([s.policy_loss for s in stats_accum])),
-                    value_loss=float(np.mean([s.value_loss for s in stats_accum])),
-                    entropy=float(np.mean([s.entropy for s in stats_accum])),
-                    wall_time=time.perf_counter() - episode_start,
-                    eval_metrics=eval_metrics,
-                )
-            )
+        for __ in range(episodes):
+            episode = self._episodes_done
+            history.logs.append(self._train_one_episode(episode, batch_size))
+            self._episodes_done += 1
+            if on_episode_end is not None:
+                on_episode_end(self, episode)
         history.total_wall_time = time.perf_counter() - start
         return history
 

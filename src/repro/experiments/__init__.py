@@ -26,6 +26,7 @@ from .training import (
     evaluate_method,
     evaluate_scripted,
     method_display_name,
+    resume_or_start,
     train_method,
 )
 from .visualize import (
@@ -60,6 +61,7 @@ __all__ = [
     "LEARNED_METHODS",
     "SCRIPTED_METHODS",
     "train_method",
+    "resume_or_start",
     "evaluate_agent",
     "evaluate_method",
     "evaluate_scripted",

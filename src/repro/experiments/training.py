@@ -13,7 +13,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..agents import DnCAgent, GreedyAgent, PPOConfig, RandomAgent, run_episode
-from ..distributed import TrainConfig, TrainingHistory, build_trainer
+from ..distributed import (
+    CheckpointManager,
+    ChiefEmployeeTrainer,
+    TrainConfig,
+    TrainingHistory,
+    build_trainer,
+)
 from ..env.config import ScenarioConfig
 from ..env.env import CrowdsensingEnv
 from .scales import Scale
@@ -26,6 +32,7 @@ __all__ = [
     "make_ppo_config",
     "make_train_config",
     "train_method",
+    "resume_or_start",
     "evaluate_agent",
     "evaluate_method",
     "evaluate_scripted",
@@ -108,6 +115,46 @@ def train_method(
     finally:
         trainer.close()
     return trainer.global_agent, history
+
+
+def resume_or_start(
+    trainer: ChiefEmployeeTrainer,
+    checkpoint_dir,
+    episodes: int,
+    save_every: int = 1,
+    keep_last: int = 3,
+    fault_injector=None,
+) -> TrainingHistory:
+    """Train ``trainer`` to ``episodes`` total with crash-safe auto-recovery.
+
+    On entry the newest *valid* rolling checkpoint under ``checkpoint_dir``
+    (if any) is restored — agent parameters, optimizer moments, RNG states
+    and the global episode counter — so a process killed mid-run resumes
+    bitwise-identically to an uninterrupted one.  During training a
+    checkpoint is written every ``save_every`` episodes (atomic write,
+    ``keep_last`` rolling archives, ``latest`` pointer).
+
+    Returns the history of the episodes run by *this* call (empty when the
+    checkpoint already covers ``episodes``).  ``fault_injector`` threads
+    checkpoint-interrupt faults into the writer (tests only).
+    """
+    if episodes < 1:
+        raise ValueError(f"episodes must be >= 1, got {episodes}")
+    if save_every < 1:
+        raise ValueError(f"save_every must be >= 1, got {save_every}")
+    manager = CheckpointManager(
+        checkpoint_dir, keep_last=keep_last, fault_injector=fault_injector
+    )
+    manager.restore_latest(trainer)
+    remaining = episodes - trainer.episodes_completed
+    if remaining <= 0:
+        return TrainingHistory()
+
+    def checkpoint_callback(t: ChiefEmployeeTrainer, episode: int) -> None:
+        if (episode + 1) % save_every == 0 or episode + 1 == episodes:
+            manager.save(t, episode + 1)
+
+    return trainer.train(remaining, on_episode_end=checkpoint_callback)
 
 
 def evaluate_agent(

@@ -1,11 +1,26 @@
-"""Tests for trainer checkpoint save/resume."""
+"""Tests for trainer checkpoint save/resume and crash safety."""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.agents import PPOConfig
-from repro.distributed import TrainConfig, build_trainer, load_checkpoint, save_checkpoint
+from repro.distributed import (
+    CheckpointCorruptError,
+    CheckpointFault,
+    CheckpointManager,
+    FaultInjector,
+    FaultPlan,
+    InjectedCheckpointInterrupt,
+    TrainConfig,
+    build_trainer,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from repro.env import smoke_config
+from repro.experiments.training import resume_or_start
 
 
 @pytest.fixture
@@ -108,3 +123,233 @@ class TestCheckpointRoundTrip:
         with pytest.raises((ValueError, KeyError)):
             load_checkpoint(dppo, path)
         dppo.close()
+
+    def test_rng_and_episode_counter_restored(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        trainer.train(2)
+        states_before = [e.rng.bit_generator.state for e in trainer.employees]
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        trainer.train(1)  # advances every RNG and the counter
+        episodes = load_checkpoint(trainer, path)
+        assert episodes == 2
+        assert trainer.episodes_completed == 2
+        for employee, state in zip(trainer.employees, states_before):
+            assert employee.rng.bit_generator.state == state
+        trainer.close()
+
+
+class TestAtomicityAndChecksum:
+    def test_suffixless_path_round_trips(self, config, ppo, tmp_path):
+        """np.savez's silent '.npz' suffix must not leak into our paths."""
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        path = tmp_path / "ckpt"  # no suffix
+        written = save_checkpoint(trainer, path)
+        assert written == str(path)
+        assert path.exists()
+        assert not (tmp_path / "ckpt.npz").exists()
+        load_checkpoint(trainer, path)  # exact same path loads
+        trainer.close()
+
+    def test_interrupt_preserves_previous_checkpoint(self, config, ppo, tmp_path):
+        """A kill mid-write must leave the old archive fully valid."""
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        reference = {k: v.copy() for k, v in trainer.global_agent.state_dict().items()}
+
+        trainer.train(1)
+        injector = FaultInjector(FaultPlan(events=(CheckpointFault(save_index=0),)))
+        with pytest.raises(InjectedCheckpointInterrupt):
+            save_checkpoint(trainer, path, fault_injector=injector)
+        # No temp litter, old archive intact and still loads cleanly.
+        assert not os.path.exists(str(path) + ".tmp")
+        assert verify_checkpoint(path)
+        load_checkpoint(trainer, path)
+        for key, value in trainer.global_agent.state_dict().items():
+            np.testing.assert_array_equal(value, reference[key])
+        trainer.close()
+
+    def test_checksum_detects_corruption(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        assert verify_checkpoint(path)
+
+        # Flip bytes in the middle of the archive payload.
+        raw = bytearray(path.read_bytes())
+        mid = len(raw) // 2
+        for i in range(mid, mid + 64):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(trainer, path)
+        trainer.close()
+
+    def test_truncated_archive_detected(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        assert not verify_checkpoint(path)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(trainer, path)
+        trainer.close()
+
+
+@pytest.mark.faults
+class TestCheckpointManager:
+    def test_rolling_keep_last_and_latest_pointer(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        manager = CheckpointManager(tmp_path / "ckpts", keep_last=2)
+        for __ in range(4):
+            trainer.train(1)
+            manager.save(trainer)
+        paths = manager.checkpoints()
+        assert [os.path.basename(p) for p in paths] == [
+            "ckpt-00000003.npz",
+            "ckpt-00000004.npz",
+        ]
+        assert manager.latest() == paths[-1]
+        trainer.close()
+
+    def test_restore_latest_round_trip(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        manager = CheckpointManager(tmp_path / "ckpts")
+        trainer.train(2)
+        manager.save(trainer)
+        reference = {k: v.copy() for k, v in trainer.global_agent.state_dict().items()}
+        trainer.train(1)
+        episodes = manager.restore_latest(trainer)
+        assert episodes == 2
+        for key, value in trainer.global_agent.state_dict().items():
+            np.testing.assert_array_equal(value, reference[key])
+        trainer.close()
+
+    def test_restore_latest_empty_dir(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        manager = CheckpointManager(tmp_path / "ckpts")
+        assert manager.restore_latest(trainer) is None
+        trainer.close()
+
+    def test_restore_falls_back_past_corrupt_newest(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo)
+        manager = CheckpointManager(tmp_path / "ckpts", keep_last=3)
+        trainer.train(1)
+        manager.save(trainer)
+        good = {k: v.copy() for k, v in trainer.global_agent.state_dict().items()}
+        trainer.train(1)
+        newest = manager.save(trainer)
+
+        # Corrupt the newest archive in place.
+        raw = bytearray(open(newest, "rb").read())
+        mid = len(raw) // 2
+        for i in range(mid, mid + 64):
+            raw[i] ^= 0xFF
+        open(newest, "wb").write(bytes(raw))
+
+        episodes = manager.restore_latest(trainer)
+        assert episodes == 1  # fell back to the previous valid checkpoint
+        for key, value in trainer.global_agent.state_dict().items():
+            np.testing.assert_array_equal(value, good[key])
+        trainer.close()
+
+    def test_interrupted_save_leaves_manager_recoverable(self, config, ppo, tmp_path):
+        injector = FaultInjector(FaultPlan(events=(CheckpointFault(save_index=1),)))
+        trainer = make_trainer(config, ppo)
+        manager = CheckpointManager(
+            tmp_path / "ckpts", keep_last=3, fault_injector=injector
+        )
+        trainer.train(1)
+        manager.save(trainer)  # save #0 fine
+        trainer.train(1)
+        with pytest.raises(InjectedCheckpointInterrupt):
+            manager.save(trainer)  # save #1 killed mid-write
+        # The directory still restores the last valid archive.
+        episodes = manager.restore_latest(trainer)
+        assert episodes == 1
+        trainer.close()
+
+
+@pytest.mark.faults
+class TestKillAndResume:
+    """A killed-and-resumed run must bitwise match an uninterrupted one."""
+
+    EPISODES = 4
+
+    @staticmethod
+    def _curves(history):
+        return (
+            history.curve("kappa"),
+            history.curve("policy_loss"),
+            history.curve("extrinsic_reward"),
+            history.curve("intrinsic_reward"),
+        )
+
+    def _uninterrupted(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo, seed=11)
+        history = resume_or_start(
+            trainer, tmp_path / "ref", self.EPISODES, save_every=1
+        )
+        trainer.close()
+        return history
+
+    def test_resume_after_kill_interrupt_is_bitwise_identical(
+        self, config, ppo, tmp_path
+    ):
+        reference = self._uninterrupted(config, ppo, tmp_path)
+
+        # First run: killed by an injected checkpoint interrupt at save #2
+        # (i.e. after episodes 0 and 1 checkpointed cleanly).
+        injector = FaultInjector(FaultPlan(events=(CheckpointFault(save_index=2),)))
+        first = make_trainer(config, ppo, seed=11)
+        with pytest.raises(InjectedCheckpointInterrupt):
+            resume_or_start(
+                first,
+                tmp_path / "run",
+                self.EPISODES,
+                save_every=1,
+                fault_injector=injector,
+            )
+        first.close()
+
+        # Second run: a fresh process resumes from the last valid rolling
+        # checkpoint and finishes the remaining episodes.
+        resumed = make_trainer(config, ppo, seed=11)
+        tail = resume_or_start(resumed, tmp_path / "run", self.EPISODES, save_every=1)
+        resumed.close()
+
+        assert [log.episode for log in tail.logs] == [2, 3]
+        ref_tail = self._curves(reference)
+        got_tail = self._curves(tail)
+        for ref_curve, got_curve in zip(ref_tail, got_tail):
+            assert ref_curve[2:] == got_curve
+
+        # And the final model parameters agree bitwise with the straight run.
+        straight = make_trainer(config, ppo, seed=11)
+        resume_or_start(straight, tmp_path / "ref", self.EPISODES)  # no-op resume
+        final = make_trainer(config, ppo, seed=11)
+        resume_or_start(final, tmp_path / "run", self.EPISODES)  # no-op resume
+        for key, value in final.global_agent.state_dict().items():
+            np.testing.assert_array_equal(
+                value, straight.global_agent.state_dict()[key]
+            )
+        straight.close()
+        final.close()
+
+    def test_resume_covers_completed_run(self, config, ppo, tmp_path):
+        trainer = make_trainer(config, ppo, seed=11)
+        resume_or_start(trainer, tmp_path / "done", 2, save_every=1)
+        trainer.close()
+        again = make_trainer(config, ppo, seed=11)
+        history = resume_or_start(again, tmp_path / "done", 2, save_every=1)
+        assert history.logs == []
+        assert again.episodes_completed == 2
+        again.close()

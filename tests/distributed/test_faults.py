@@ -1,0 +1,157 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    CheckpointFault,
+    CorruptionFault,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    InjectedCheckpointInterrupt,
+    InjectedCrash,
+    StragglerFault,
+)
+from repro.distributed.faults import EXPLORE_ROUND
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert plan.of_type(CrashFault) == []
+
+    def test_rejects_unknown_specs(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not a fault",))
+
+    def test_corruption_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            CorruptionFault(0, 0, mode="garbage")
+        with pytest.raises(ValueError, match="buffer"):
+            CorruptionFault(0, 0, buffer="unknown")
+
+    def test_random_plan_is_seed_deterministic(self):
+        kwargs = dict(
+            num_employees=4,
+            episodes=10,
+            k_updates=2,
+            crash_rate=0.3,
+            straggler_rate=0.3,
+            corrupt_rate=0.3,
+            checkpoint_interrupts=(1, 3),
+        )
+        first = FaultPlan.random(seed=7, **kwargs)
+        second = FaultPlan.random(seed=7, **kwargs)
+        other = FaultPlan.random(seed=8, **kwargs)
+        assert first.events == second.events
+        assert first.events != other.events
+        assert len(first.of_type(CheckpointFault)) == 2
+
+    def test_random_plan_zero_rates_is_empty(self):
+        plan = FaultPlan.random(seed=0, num_employees=4, episodes=10)
+        assert plan.empty
+
+
+class TestInjectorCrash:
+    def test_crash_fires_on_matching_cell_only(self):
+        plan = FaultPlan(events=(CrashFault(employee=1, episode=2),))
+        injector = FaultInjector(plan)
+        injector.before_task(0, 2, EXPLORE_ROUND)  # different employee
+        injector.before_task(1, 1, EXPLORE_ROUND)  # different episode
+        injector.before_task(1, 2, 0)  # different round
+        with pytest.raises(InjectedCrash):
+            injector.before_task(1, 2, EXPLORE_ROUND)
+        assert len(injector.fired_of(CrashFault)) == 1
+
+    def test_transient_crash_succeeds_on_retry(self):
+        plan = FaultPlan(events=(CrashFault(0, 0, times=1),))
+        injector = FaultInjector(plan)
+        with pytest.raises(InjectedCrash):
+            injector.before_task(0, 0, EXPLORE_ROUND)
+        injector.before_task(0, 0, EXPLORE_ROUND)  # retry passes
+
+    def test_hard_crash_fires_repeatedly(self):
+        plan = FaultPlan(events=(CrashFault(0, 0, times=3),))
+        injector = FaultInjector(plan)
+        for __ in range(3):
+            with pytest.raises(InjectedCrash):
+                injector.before_task(0, 0, EXPLORE_ROUND)
+        injector.before_task(0, 0, EXPLORE_ROUND)
+
+
+class TestInjectorStraggle:
+    def test_straggler_sleeps_injected_delay(self):
+        slept = []
+        plan = FaultPlan(events=(StragglerFault(0, 0, delay=0.25),))
+        injector = FaultInjector(plan, sleep=slept.append)
+        injector.before_task(0, 0, EXPLORE_ROUND)
+        assert slept == [0.25]
+        injector.before_task(0, 0, EXPLORE_ROUND)  # times=1: no second sleep
+        assert slept == [0.25]
+
+    def test_straggle_then_crash_same_cell(self):
+        slept = []
+        plan = FaultPlan(
+            events=(StragglerFault(0, 0, delay=0.1), CrashFault(0, 0))
+        )
+        injector = FaultInjector(plan, sleep=slept.append)
+        with pytest.raises(InjectedCrash):
+            injector.before_task(0, 0, EXPLORE_ROUND)
+        assert slept == [0.1]
+
+
+class TestInjectorCorrupt:
+    def test_nan_corruption_mutates_first_array(self):
+        plan = FaultPlan(events=(CorruptionFault(0, 0, round=1, mode="nan"),))
+        injector = FaultInjector(plan)
+        arrays = [np.ones(3), np.ones(2)]
+        injector.corrupt_arrays(0, 0, 1, arrays, "policy")
+        assert np.isnan(arrays[0]).all()
+        np.testing.assert_array_equal(arrays[1], np.ones(2))
+
+    def test_explode_corruption_scales_all_arrays(self):
+        plan = FaultPlan(events=(CorruptionFault(0, 0, round=0, mode="explode"),))
+        injector = FaultInjector(plan)
+        arrays = [np.ones(3), np.ones(2)]
+        injector.corrupt_arrays(0, 0, 0, arrays, "policy")
+        np.testing.assert_array_equal(arrays[0], np.full(3, 1e12))
+
+    def test_buffer_selector_respected(self):
+        plan = FaultPlan(events=(CorruptionFault(0, 0, round=0, buffer="curiosity"),))
+        injector = FaultInjector(plan)
+        arrays = [np.ones(3)]
+        injector.corrupt_arrays(0, 0, 0, arrays, "policy")
+        np.testing.assert_array_equal(arrays[0], np.ones(3))
+        injector.corrupt_arrays(0, 0, 0, arrays, "curiosity")
+        assert np.isnan(arrays[0]).all()
+
+    def test_no_match_no_mutation(self):
+        injector = FaultInjector(FaultPlan())
+        arrays = [np.ones(3)]
+        injector.corrupt_arrays(0, 0, 0, arrays, "policy")
+        np.testing.assert_array_equal(arrays[0], np.ones(3))
+
+
+class TestInjectorCheckpointInterrupt:
+    def test_interrupt_fires_on_scheduled_save_index(self, tmp_path):
+        plan = FaultPlan(events=(CheckpointFault(save_index=1, truncate=False),))
+        injector = FaultInjector(plan)
+        target = tmp_path / "t.tmp"
+        target.write_bytes(b"x" * 100)
+        injector.on_checkpoint_write(str(target))  # save #0: fine
+        with pytest.raises(InjectedCheckpointInterrupt):
+            injector.on_checkpoint_write(str(target))  # save #1 dies
+        injector.on_checkpoint_write(str(target))  # save #2: fine
+
+    def test_interrupt_truncates_partial_write(self, tmp_path):
+        plan = FaultPlan(events=(CheckpointFault(save_index=0, truncate=True),))
+        injector = FaultInjector(plan)
+        target = tmp_path / "t.tmp"
+        target.write_bytes(b"x" * 100)
+        with pytest.raises(InjectedCheckpointInterrupt):
+            injector.on_checkpoint_write(str(target))
+        assert target.stat().st_size < 100

@@ -5,7 +5,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.distributed import GradientBuffer
+from repro.distributed import GradientBuffer, GradientRejected
 
 
 class TestBasics:
@@ -54,6 +54,80 @@ class TestBasics:
         grad[:] = 100.0
         summed, __ = buffer.drain()
         np.testing.assert_array_equal(summed[0], np.ones(2))
+
+
+class TestShapeValidation:
+    def test_mismatch_names_parameter_index(self):
+        buffer = GradientBuffer(3)
+        buffer.add([np.ones(2), np.ones((2, 2)), np.ones(4)])
+        with pytest.raises(ValueError, match="parameter index 1"):
+            buffer.add([np.ones(2), np.ones((3, 2)), np.ones(4)])
+        # The failed add never touched the sum.
+        grads, count = buffer.drain()
+        assert count == 1
+        np.testing.assert_array_equal(grads[2], np.ones(4))
+
+    def test_authoritative_shapes_validate_first_add(self):
+        buffer = GradientBuffer(2, shapes=[(3,), (2, 2)])
+        with pytest.raises(ValueError, match="parameter index 0"):
+            buffer.add([np.ones(4), np.ones((2, 2))])
+        buffer.add([np.ones(3), np.ones((2, 2))])
+        assert buffer.count == 1
+
+    def test_shapes_length_must_match(self):
+        with pytest.raises(ValueError, match="shapes"):
+            GradientBuffer(2, shapes=[(3,)])
+
+
+class TestQuarantine:
+    def test_nan_rejected_and_tallied(self):
+        buffer = GradientBuffer(2)
+        buffer.add([np.ones(3), np.ones(2)], employee=0)
+        bad = [np.ones(3), np.array([1.0, np.nan])]
+        with pytest.raises(GradientRejected, match="parameter index 1"):
+            buffer.add(bad, employee=1)
+        assert buffer.rejections == {1: 1}
+        # The accepted sum is intact.
+        grads, count = buffer.drain()
+        assert count == 1
+        np.testing.assert_array_equal(grads[0], np.ones(3))
+
+    def test_inf_rejected(self):
+        buffer = GradientBuffer(1)
+        with pytest.raises(GradientRejected):
+            buffer.add([np.array([np.inf])], employee=3)
+        assert buffer.rejections == {3: 1}
+        assert buffer.count == 0
+
+    def test_norm_explosion_rejected(self):
+        buffer = GradientBuffer(1, max_norm=10.0)
+        buffer.add([np.ones(4)])  # norm 2: fine
+        with pytest.raises(GradientRejected, match="norm"):
+            buffer.add([np.full(4, 1e12)])
+        grads, count = buffer.drain()
+        assert count == 1
+
+    def test_max_norm_disabled_by_default(self):
+        buffer = GradientBuffer(1)
+        buffer.add([np.full(4, 1e12)])  # huge but finite: accepted
+        assert buffer.count == 1
+
+    def test_rejections_anonymous_by_default(self):
+        buffer = GradientBuffer(1)
+        with pytest.raises(GradientRejected):
+            buffer.add([np.array([np.nan])])
+        assert buffer.rejections == {-1: 1}
+
+    def test_clear_rejections(self):
+        buffer = GradientBuffer(1)
+        with pytest.raises(GradientRejected):
+            buffer.add([np.array([np.nan])], employee=0)
+        buffer.clear_rejections()
+        assert buffer.rejections == {}
+
+    def test_negative_max_norm_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBuffer(1, max_norm=-1.0)
 
 
 class TestThreadSafety:

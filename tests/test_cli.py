@@ -52,6 +52,32 @@ class TestTrainCommand:
         out = capsys.readouterr().out
         assert "kappa=" in out
 
+    def test_train_checkpoint_dir_resumes(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        args = [
+            "train", "--method", "dppo", "--scale", "smoke",
+            "--episodes", "2", "--checkpoint-dir", str(ckpt_dir),
+            "--save-every", "1", "--keep-last", "2", "--seed", "1",
+        ]
+        assert main(args) == 0
+        assert (ckpt_dir / "latest").exists()
+        assert any(ckpt_dir.glob("ckpt-*.npz"))
+        # Re-running with the same target is a checkpoint-covered no-op.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "already cover" in out
+
+    def test_train_fault_tolerance_flags_accepted(self, tmp_path):
+        code = main(
+            [
+                "train", "--method", "dppo", "--scale", "smoke",
+                "--episodes", "1", "--mode", "thread",
+                "--quorum-fraction", "0.5", "--employee-timeout", "30",
+                "--max-retries", "2", "--quarantine-max-norm", "1e9",
+            ]
+        )
+        assert code == 0
+
     def test_report_command(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         (tmp_path / "fig3.txt").write_text("body")
