@@ -7,7 +7,10 @@ Usage::
     python -m repro evaluate --method cews --scale smoke \\
         --checkpoint runs/cews.npz --episodes 5
     python -m repro report          # stitch results/*.txt into REPORT.md
+    python -m repro lint            # reprolint static-analysis gate
 
+``--sanitize`` (or ``REPRO_SANITIZE=1``) runs training/evaluation under
+the runtime autograd sanitizer (NaN/dtype checks at every op boundary).
 Figure/table regeneration lives under ``python -m repro.experiments``.
 """
 
@@ -25,6 +28,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scale", choices=("smoke", "short", "paper"), default="smoke")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the runtime autograd sanitizer (NaN/dtype checks at "
+        "every op boundary; also enabled by REPRO_SANITIZE=1)",
+    )
+
+
+def _maybe_sanitizer(args):
+    """An enabled Sanitizer when requested by flag or env var, else None."""
+    from .analysis import sanitizer as sanitizer_mod
+
+    if getattr(args, "sanitize", False) or sanitizer_mod.env_enabled():
+        return sanitizer_mod.Sanitizer().enable()
+    return None
 
 
 def _build_trainer(args, episodes=None):
@@ -62,9 +80,23 @@ def _build_trainer(args, episodes=None):
 
 
 def cmd_train(args) -> int:
+    from .analysis import SanitizerError
     from .distributed import save_checkpoint
     from .experiments.training import resume_or_start
 
+    sanitizer = _maybe_sanitizer(args)
+    try:
+        return _run_train(args, save_checkpoint, resume_or_start)
+    except SanitizerError as error:
+        print(f"sanitizer caught: {error}")
+        return 1
+    finally:
+        if sanitizer is not None:
+            sanitizer.disable()
+            print(sanitizer.summary())
+
+
+def _run_train(args, save_checkpoint, resume_or_start) -> int:
     trainer, scale, config = _build_trainer(args, episodes=args.episodes)
     episodes = args.episodes if args.episodes is not None else scale.episodes
     print(
@@ -113,10 +145,24 @@ def cmd_train(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    from .analysis import SanitizerError
     from .distributed import load_checkpoint
     from .experiments.training import evaluate_agent
     from .experiments.scales import get_scale
 
+    sanitizer = _maybe_sanitizer(args)
+    try:
+        return _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale)
+    except SanitizerError as error:
+        print(f"sanitizer caught: {error}")
+        return 1
+    finally:
+        if sanitizer is not None:
+            sanitizer.disable()
+            print(sanitizer.summary())
+
+
+def _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale) -> int:
     trainer, scale, config = _build_trainer(args)
     if args.checkpoint:
         load_checkpoint(trainer, args.checkpoint)
@@ -143,6 +189,12 @@ def cmd_report(args) -> int:
 
     print(f"wrote {write_report()}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis import cli as lint_cli
+
+    return lint_cli.run(args)
 
 
 def main(argv=None) -> int:
@@ -216,6 +268,14 @@ def main(argv=None) -> int:
         "report", help="stitch results/*.txt into results/REPORT.md"
     )
     report_parser.set_defaults(func=cmd_report)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the reprolint static-analysis gate"
+    )
+    from .analysis.cli import build_parser as build_lint_parser
+
+    build_lint_parser(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,58 @@
+"""Static analysis and runtime sanitizers for the reproduction.
+
+Two halves, one goal — make the invariants the reproduction's claims
+rest on (bitwise determinism, float64 discipline, autograd integrity,
+lock discipline) *enforced* instead of conventional:
+
+* **reprolint** (:mod:`repro.analysis.rules` / :mod:`.engine` /
+  :mod:`.reporters` / :mod:`.cli`) — an AST linter with per-rule codes
+  (RPL001…RPL008), ``# reprolint: disable=RPLxxx`` suppressions, and
+  text/JSON reporters.  Run it with ``python -m repro lint``.
+* **runtime sanitizer** (:mod:`repro.analysis.sanitizer`) — NaN/Inf and
+  dtype checks at every autograd op boundary with op+module provenance,
+  plus a backward-graph leak detector.  Toggled by ``--sanitize`` on the
+  CLI or ``REPRO_SANITIZE=1``; zero overhead when off.
+"""
+
+from .engine import (
+    DEFAULT_EXCLUDED_DIRS,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from .findings import Finding
+from .reporters import render_json, render_text, summarize
+from .rules import RULES, ModuleContext, Rule, rule_table
+from .sanitizer import (
+    Sanitizer,
+    SanitizerError,
+    SanitizerFinding,
+    env_enabled,
+    is_enabled,
+)
+
+__all__ = [
+    # lint
+    "Finding",
+    "Rule",
+    "RULES",
+    "ModuleContext",
+    "rule_table",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "parse_suppressions",
+    "DEFAULT_EXCLUDED_DIRS",
+    "render_text",
+    "render_json",
+    "summarize",
+    # sanitizer
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerFinding",
+    "env_enabled",
+    "is_enabled",
+]

@@ -1,0 +1,101 @@
+"""`python -m repro lint` — the reprolint command-line front end.
+
+Exit codes: 0 (clean), 1 (findings), 2 (usage/IO error).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .engine import DEFAULT_EXCLUDED_DIRS, lint_paths
+from .reporters import render_json, render_text
+from .rules import rule_table
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def build_parser(parser: Optional[argparse.ArgumentParser] = None) -> argparse.ArgumentParser:
+    """The lint argument parser (embeddable as a ``repro`` subcommand)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="python -m repro lint",
+            description="reprolint: enforce the reproduction's correctness invariants",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is what CI consumes)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--exclude-dir",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=f"directory names to skip (default: {', '.join(DEFAULT_EXCLUDED_DIRS)})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _split_codes(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [code.strip().upper() for code in value.split(",") if code.strip()]
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    if args.list_rules:
+        for code, name, description in rule_table():
+            print(f"{code}  {name:24s} {description}")
+        return 0
+    excluded = (
+        tuple(args.exclude_dir) if args.exclude_dir else DEFAULT_EXCLUDED_DIRS
+    )
+    try:
+        findings = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+            excluded_dirs=excluded,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"reprolint: error: {error}")
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,682 @@
+"""The ``reprolint`` rule set: this repo's correctness invariants as code.
+
+Every rule enforces an invariant the reproduction's claims rest on
+(bitwise determinism, float64 dtype discipline, autograd integrity, lock
+discipline in the distributed trainer).  Rules are registered in
+:data:`RULES` keyed by code, and each one is a pure function from a
+:class:`ModuleContext` to an iterable of
+:class:`~repro.analysis.findings.Finding`.
+
+Suppression syntax (handled by :mod:`repro.analysis.engine`)::
+
+    something_bad()  # reprolint: disable=RPL001
+    # reprolint: disable=RPL003,RPL005   (standalone: applies to next line)
+
+The rules
+---------
+========  ======================  ==============================================
+code      name                    invariant
+========  ======================  ==============================================
+RPL001    no-global-rng           only seeded ``np.random.Generator`` objects
+RPL002    no-dtype-narrowing      float64 discipline outside ``repro.nn``
+RPL003    no-tensor-mutation      ``.data``/``.grad`` writes only in whitelisted
+                                  optimizer / serialization / chief modules
+RPL004    no-mutable-default      no mutable default arguments
+RPL005    lock-discipline         lock-guarded attributes only touched under
+                                  ``with self._lock`` (intra-class dataflow)
+RPL006    no-wall-clock           no ``time.sleep``/wall-clock in deterministic
+                                  paths (fault injector & backoff whitelisted)
+RPL007    no-swallowed-exception  no bare ``except:`` / silent ``except: pass``
+RPL008    no-module-seed          test files seed via fixtures, not at import
+========  ======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = ["Rule", "RULES", "ModuleContext", "rule", "rule_table"]
+
+
+# ----------------------------------------------------------------------
+# Context and registry
+# ----------------------------------------------------------------------
+class ModuleContext:
+    """Everything a rule may look at for one module."""
+
+    def __init__(self, tree: ast.Module, path: str, source: str):
+        self.tree = tree
+        self.path = posixpath.normpath(path.replace("\\", "/"))
+        self.source = source
+
+    @property
+    def basename(self) -> str:
+        return posixpath.basename(self.path)
+
+    @property
+    def is_test(self) -> bool:
+        """Pytest-convention test modules (and conftest) get test-rule scope."""
+        name = self.basename
+        return (
+            name.startswith("test_")
+            or name.endswith("_test.py")
+            or name == "conftest.py"
+        )
+
+    def path_matches(self, patterns: Sequence[str]) -> bool:
+        """True when any pattern is a substring of the normalized path."""
+        return any(pattern in self.path for pattern in patterns)
+
+    # Import facts, computed lazily and cached.
+    _imports: Optional[Set[str]] = None
+
+    def imports(self) -> Set[str]:
+        """Top-level module names imported anywhere in the file."""
+        if self._imports is None:
+            found: Set[str] = set()
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        found.add(alias.name.split(".")[0])
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    found.add(node.module.split(".")[0])
+            self._imports = found
+        return self._imports
+
+
+RuleChecker = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    description: str
+    checker: RuleChecker
+
+    def run(self, context: ModuleContext) -> List[Finding]:
+        return list(self.checker(context))
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, description: str):
+    """Class decorator-style registrar for rule checker functions."""
+
+    def register(checker: RuleChecker) -> RuleChecker:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, description=description, checker=checker)
+        return checker
+
+    return register
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """(code, name, description) rows for ``--list-rules`` output."""
+    return [(r.code, r.name, r.description) for r in sorted(RULES.values(), key=lambda r: r.code)]
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for nested Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _finding(context: ModuleContext, code: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        code=code,
+        rule=RULES[code].name if code in RULES else "",
+        path=context.path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+_NUMPY_ALIASES = ("np", "numpy")
+
+# Seeded-RNG construction surface that *is* allowed on np.random.
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+# ----------------------------------------------------------------------
+# RPL001 — no global RNG state
+# ----------------------------------------------------------------------
+@rule(
+    "RPL001",
+    "no-global-rng",
+    "use seeded np.random.Generator objects; never global np.random.* or "
+    "the stdlib random module (breaks bitwise determinism claims)",
+)
+def check_global_rng(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test:
+        return
+    uses_stdlib_random = "random" in context.imports()
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in _NUMPY_ALIASES
+                and parts[1] == "random"
+                and parts[2] not in _ALLOWED_NP_RANDOM
+            ):
+                yield _finding(
+                    context,
+                    "RPL001",
+                    node,
+                    f"global numpy RNG call `{dotted}`: pass a seeded "
+                    f"np.random.Generator instead",
+                )
+            elif len(parts) == 2 and parts[0] == "random" and uses_stdlib_random:
+                yield _finding(
+                    context,
+                    "RPL001",
+                    node,
+                    f"stdlib `{dotted}` uses hidden global state: pass a "
+                    f"seeded np.random.Generator instead",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "random":
+                yield _finding(
+                    context,
+                    "RPL001",
+                    node,
+                    "importing from the stdlib random module: use seeded "
+                    "np.random.Generator objects",
+                )
+            elif node.module in ("numpy.random", "np.random"):
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_NP_RANDOM:
+                        yield _finding(
+                            context,
+                            "RPL001",
+                            node,
+                            f"importing global-state `numpy.random.{alias.name}`: "
+                            f"use seeded np.random.Generator objects",
+                        )
+
+
+# ----------------------------------------------------------------------
+# RPL002 — no dtype narrowing outside repro.nn
+# ----------------------------------------------------------------------
+_NARROW_FLOAT_NAMES = {"float32", "float16", "half", "single"}
+_RPL002_EXEMPT = ("repro/nn/",)
+
+
+def _is_narrow_float(node: ast.AST) -> Optional[str]:
+    """The narrowing dtype spelled by ``node`` (np.float32, "float16", …)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in _NARROW_FLOAT_NAMES:
+            return node.value
+    dotted = _dotted(node)
+    if dotted is not None:
+        parts = dotted.split(".")
+        if parts[-1] in _NARROW_FLOAT_NAMES and (
+            len(parts) == 1 or parts[0] in _NUMPY_ALIASES
+        ):
+            return dotted
+    return None
+
+
+@rule(
+    "RPL002",
+    "no-dtype-narrowing",
+    "repro.nn is float64 end to end; narrowing to float32/float16 outside "
+    "nn internals silently degrades gradient checks",
+)
+def check_dtype_narrowing(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or context.path_matches(_RPL002_EXEMPT):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        # x.astype(np.float32) / x.astype("float16")
+        if isinstance(func, ast.Attribute) and func.attr == "astype" and node.args:
+            narrow = _is_narrow_float(node.args[0])
+            if narrow:
+                yield _finding(
+                    context,
+                    "RPL002",
+                    node,
+                    f"dtype narrowing `.astype({narrow})`: the framework's "
+                    f"dtype discipline is float64",
+                )
+        # np.float32(x) constructor
+        dotted = _dotted(func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in _NUMPY_ALIASES
+                and parts[1] in _NARROW_FLOAT_NAMES
+            ):
+                yield _finding(
+                    context,
+                    "RPL002",
+                    node,
+                    f"`{dotted}(...)` constructs a narrowed scalar/array: "
+                    f"the framework's dtype discipline is float64",
+                )
+        # dtype=np.float32 keyword on any call
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                narrow = _is_narrow_float(keyword.value)
+                if narrow:
+                    yield _finding(
+                        context,
+                        "RPL002",
+                        keyword.value,
+                        f"`dtype={narrow}` narrows below float64",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RPL003 — no tensor .data/.grad mutation outside whitelisted modules
+# ----------------------------------------------------------------------
+# Modules allowed to write parameter/tensor state in place: the nn
+# framework itself plus the chief-side gradient-application paths.
+_RPL003_ALLOWED = (
+    "repro/nn/",
+    "repro/distributed/trainer.py",
+    "repro/distributed/async_trainer.py",
+    "repro/agents/policy.py",
+    "repro/agents/edics.py",
+)
+_TENSOR_SLOTS = {"data", "grad"}
+
+
+def _mutated_tensor_attr(target: ast.AST) -> Optional[ast.AST]:
+    """The ``x.data`` / ``x.grad`` node mutated by this assignment target."""
+    if isinstance(target, ast.Attribute) and target.attr in _TENSOR_SLOTS:
+        return target
+    if isinstance(target, ast.Subscript):
+        value = target.value
+        if isinstance(value, ast.Attribute) and value.attr in _TENSOR_SLOTS:
+            return value
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            hit = _mutated_tensor_attr(element)
+            if hit is not None:
+                return hit
+    return None
+
+
+@rule(
+    "RPL003",
+    "no-tensor-mutation",
+    "in-place writes to Tensor .data/.grad outside whitelisted "
+    "optim/serialization/chief modules bypass the autograd tape",
+)
+def check_tensor_mutation(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or context.path_matches(_RPL003_ALLOWED):
+        return
+    for node in ast.walk(context.tree):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            hit = _mutated_tensor_attr(target)
+            if hit is not None:
+                name = _dotted(hit) or f"<expr>.{hit.attr}"  # type: ignore[attr-defined]
+                yield _finding(
+                    context,
+                    "RPL003",
+                    node,
+                    f"in-place mutation of `{name}` outside the optimizer/"
+                    f"serialization whitelist bypasses the autograd tape",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPL004 — no mutable default arguments
+# ----------------------------------------------------------------------
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        return dotted in _MUTABLE_FACTORIES
+    return False
+
+
+@rule(
+    "RPL004",
+    "no-mutable-default",
+    "mutable default arguments alias state across calls (classic source "
+    "of cross-episode contamination)",
+)
+def check_mutable_defaults(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield _finding(
+                    context,
+                    "RPL004",
+                    default,
+                    f"mutable default argument in `{node.name}()`: use None "
+                    f"and construct inside the body",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPL005 — lock discipline (intra-class dataflow)
+# ----------------------------------------------------------------------
+_LOCK_FACTORIES = {"Lock", "RLock", "threading.Lock", "threading.RLock"}
+_INIT_METHODS = {"__init__", "__post_init__", "__new__", "__enter__", "__exit__"}
+
+
+class _AttrAccess:
+    __slots__ = ("method", "attr", "node", "under_lock", "is_call")
+
+    def __init__(self, method: str, attr: str, node: ast.AST, under_lock: bool, is_call: bool):
+        self.method = method
+        self.attr = attr
+        self.node = node
+        self.under_lock = under_lock
+        self.is_call = is_call
+
+
+def _class_lock_names(cls: ast.ClassDef) -> Set[str]:
+    """Attributes assigned a threading.Lock()/RLock() anywhere in the class."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            dotted = _dotted(node.value.func)
+            if dotted in _LOCK_FACTORIES:
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+    return locks
+
+
+def _is_self_lock_with(item: ast.withitem, locks: Set[str]) -> bool:
+    expr = item.context_expr
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in locks
+    )
+
+
+def _collect_accesses(
+    method: ast.FunctionDef, locks: Set[str]
+) -> List[_AttrAccess]:
+    """Every ``self.<attr>`` access in ``method`` with its lock context."""
+    accesses: List[_AttrAccess] = []
+    call_funcs = {
+        id(node.func) for node in ast.walk(method) if isinstance(node, ast.Call)
+    }
+
+    def visit(node: ast.AST, under: bool) -> None:
+        if isinstance(node, ast.With) and any(
+            _is_self_lock_with(item, locks) for item in node.items
+        ):
+            for child in ast.iter_child_nodes(node):
+                visit(child, True)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr not in locks
+        ):
+            accesses.append(
+                _AttrAccess(
+                    method=method.name,
+                    attr=node.attr,
+                    node=node,
+                    under_lock=under,
+                    is_call=id(node) in call_funcs,
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            visit(child, under)
+
+    for stmt in method.body:
+        visit(stmt, False)
+    return accesses
+
+
+@rule(
+    "RPL005",
+    "lock-discipline",
+    "attributes guarded by `with self._lock` somewhere in a class must be "
+    "guarded everywhere (shared chief/employee state must not race)",
+)
+def check_lock_discipline(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test:
+        return
+    for cls in ast.walk(context.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _class_lock_names(cls)
+        if not locks:
+            continue
+        methods = [n for n in cls.body if isinstance(n, ast.FunctionDef)]
+        accesses: List[_AttrAccess] = []
+        for method in methods:
+            accesses.extend(_collect_accesses(method, locks))
+
+        method_names = {m.name for m in methods}
+        # Fixpoint: a method is "lock-held" when every intra-class call
+        # site of it sits under the lock (directly or inside another
+        # lock-held method).  Its body then counts as a locked region.
+        lock_held: Set[str] = set()
+        while True:
+            changed = False
+            for name in method_names - lock_held:
+                sites = [a for a in accesses if a.is_call and a.attr == name]
+                if sites and all(
+                    a.under_lock or a.method in lock_held for a in sites
+                ):
+                    lock_held.add(name)
+                    changed = True
+            if not changed:
+                break
+
+        def effectively_locked(access: _AttrAccess) -> bool:
+            return access.under_lock or access.method in lock_held
+
+        guarded = {
+            a.attr
+            for a in accesses
+            if effectively_locked(a) and not a.is_call and a.attr not in method_names
+        }
+        for access in accesses:
+            if (
+                access.attr in guarded
+                and not access.is_call
+                and not effectively_locked(access)
+                and access.method not in _INIT_METHODS
+            ):
+                yield _finding(
+                    context,
+                    "RPL005",
+                    access.node,
+                    f"`self.{access.attr}` is lock-guarded elsewhere in "
+                    f"`{cls.name}` but accessed without the lock in "
+                    f"`{access.method}()`",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPL006 — no wall-clock calls in deterministic paths
+# ----------------------------------------------------------------------
+_WALL_CLOCK_CALLS = {
+    "time.sleep",
+    "time.time",
+    "time.monotonic",
+    "time.time_ns",
+    "time.monotonic_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.now",
+    "datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+# path pattern -> calls additionally allowed there.  The fault injector
+# *is* the subsystem that sleeps on purpose; the trainer's retry backoff
+# is an explicitly non-deterministic recovery path.
+_RPL006_WHITELIST = {
+    "repro/distributed/faults.py": _WALL_CLOCK_CALLS,
+    "repro/distributed/trainer.py": {"time.sleep"},
+}
+
+
+@rule(
+    "RPL006",
+    "no-wall-clock",
+    "wall-clock reads/sleeps in deterministic code paths break "
+    "kill-and-resume bitwise equivalence (perf_counter for reporting is fine)",
+)
+def check_wall_clock(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test:
+        return
+    allowed: Set[str] = set()
+    for pattern, calls in _RPL006_WHITELIST.items():
+        if pattern in context.path:
+            allowed |= set(calls)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _WALL_CLOCK_CALLS and dotted not in allowed:
+            yield _finding(
+                context,
+                "RPL006",
+                node,
+                f"wall-clock call `{dotted}` in a deterministic code path",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL007 — no swallowed exceptions
+# ----------------------------------------------------------------------
+@rule(
+    "RPL007",
+    "no-swallowed-exception",
+    "bare `except:` / silent `except: pass` hides gradient and fault "
+    "errors the sanitizer and quarantine rely on surfacing",
+)
+def check_swallowed_exceptions(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield _finding(
+                context,
+                "RPL007",
+                node,
+                "bare `except:` swallows every error (including "
+                "KeyboardInterrupt); name the exception type",
+            )
+            continue
+        broad = _dotted(node.type) in ("Exception", "BaseException")
+        body_is_silent = all(isinstance(stmt, ast.Pass) for stmt in node.body)
+        if broad and body_is_silent:
+            yield _finding(
+                context,
+                "RPL007",
+                node,
+                "`except Exception: pass` silently swallows errors; handle "
+                "or re-raise",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL008 — no module-level seeding in test files
+# ----------------------------------------------------------------------
+_MODULE_SEED_CALLS = {
+    "np.random.seed",
+    "numpy.random.seed",
+    "random.seed",
+}
+_MODULE_RNG_FACTORIES = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+    "random.Random",
+}
+
+
+@rule(
+    "RPL008",
+    "no-module-seed",
+    "tests must get RNGs from fixtures; module-level seeds leak state "
+    "across the whole test session and depend on collection order",
+)
+def check_module_seed(context: ModuleContext) -> Iterator[Finding]:
+    if not context.is_test:
+        return
+    for node in context.tree.body:
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            dotted = _dotted(node.value.func)
+            if dotted in _MODULE_SEED_CALLS:
+                yield _finding(
+                    context,
+                    "RPL008",
+                    node,
+                    f"module-level `{dotted}(...)` in a test file: seed via "
+                    f"a fixture instead",
+                )
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if isinstance(value, ast.Call):
+                dotted = _dotted(value.func)
+                if dotted in _MODULE_RNG_FACTORIES:
+                    yield _finding(
+                        context,
+                        "RPL008",
+                        node,
+                        f"module-level RNG `{dotted}(...)` shared across "
+                        f"tests: construct it inside a fixture",
+                    )

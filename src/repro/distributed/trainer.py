@@ -365,12 +365,16 @@ class _Employee:
             self.agent.copy_parameters_from(global_agent)
 
     def explore(self) -> EpisodeResult:
-        self.rollout, result = self.agent.collect_episode(self.env, self.rng)
+        # Lock discipline (RPL005): the chief's _guarded_task holds
+        # self.lock for the full task, so this access is externally
+        # serialized — the intra-class checker cannot see the caller.
+        self.rollout, result = self.agent.collect_episode(self.env, self.rng)  # reprolint: disable=RPL005
         return result
 
     def one_minibatch(self, batch_size: int) -> GradientPack:
         batch = next(iter(self.rollout.minibatches(batch_size, self.rng, epochs=1)))
-        return self.agent.compute_gradients(batch)
+        # Lock held by the caller via _guarded_task (see explore()).
+        return self.agent.compute_gradients(batch)  # reprolint: disable=RPL005
 
 
 class ChiefEmployeeTrainer:

@@ -80,7 +80,9 @@ def write_report(
     lines = [
         "# Reproduced evaluation artifacts",
         "",
-        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} from "
+        # Report banner timestamp: presentation only, never feeds any
+        # deterministic computation.
+        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} from "  # reprolint: disable=RPL006
         f"`{directory}`.  Regenerate any artifact with "
         "`pytest benchmarks/ --benchmark-only` or "
         "`python -m repro.experiments run <id>`.",

@@ -72,7 +72,17 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    # __weakref__ lets the analysis sanitizer's leak detector observe graph
+    # nodes without keeping them alive (repro.analysis.sanitizer).
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "__weakref__",
+    )
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)

@@ -1,0 +1,16 @@
+"""Known-bad fixture for RPL001: global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def roll_badly():
+    np.random.seed(0)  # RPL001: global numpy seed
+    noise = np.random.rand(4)  # RPL001: global numpy draw
+    coin = random.random()  # RPL001: stdlib global state
+    return noise, coin
+
+
+def roll_well(rng: np.random.Generator):
+    return rng.random(4)  # fine: seeded Generator object

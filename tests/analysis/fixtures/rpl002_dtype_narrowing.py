@@ -1,0 +1,14 @@
+"""Known-bad fixture for RPL002: dtype narrowing below float64."""
+
+import numpy as np
+
+
+def narrow(x: np.ndarray) -> np.ndarray:
+    halved = x.astype(np.float32)  # RPL002: astype narrowing
+    scalar = np.float16(0.5)  # RPL002: narrowed constructor
+    fresh = np.zeros(3, dtype="float32")  # RPL002: dtype= keyword
+    return halved + scalar + fresh
+
+
+def keep_double(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float64)  # fine: the framework's dtype

@@ -1,0 +1,11 @@
+"""Known-bad fixture for RPL003: in-place tensor state mutation."""
+
+
+def poke(param, update):
+    param.data -= 0.1 * update  # RPL003: optimizer-style write
+    param.data[...] = 0.0  # RPL003: wholesale overwrite
+    param.grad = update  # RPL003: grad installation
+
+
+def read_only(param):
+    return param.data.sum()  # fine: reads never invalidate the tape

@@ -1,0 +1,22 @@
+"""Known-bad fixture for RPL004: mutable default arguments."""
+
+
+def accumulate(value, bucket=[]):  # RPL004: list literal default
+    bucket.append(value)
+    return bucket
+
+
+def tally(key, counts={}):  # RPL004: dict literal default
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(item, seen=set()):  # RPL004: set constructor default
+    seen.add(item)
+    return seen
+
+
+def safe(value, bucket=None):  # fine: None sentinel
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket

@@ -1,0 +1,24 @@
+"""Known-bad fixture for RPL005: lock-guarded attribute raced."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # fine: construction is single-threaded
+
+    def increment(self):
+        with self._lock:
+            self._count += 1  # establishes: _count is lock-guarded
+
+    def peek(self):
+        return self._count  # RPL005: unguarded read of guarded state
+
+    def _bump_locked(self):
+        self._count += 1  # fine: only ever called under the lock
+
+    def double_increment(self):
+        with self._lock:
+            self._bump_locked()
+            self._bump_locked()

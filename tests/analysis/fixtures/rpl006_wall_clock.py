@@ -1,0 +1,15 @@
+"""Known-bad fixture for RPL006: wall-clock in a deterministic path."""
+
+import time
+
+
+def settle(state):
+    time.sleep(0.5)  # RPL006: sleep in a deterministic path
+    stamp = time.time()  # RPL006: wall-clock read
+    return state, stamp
+
+
+def measure(fn):
+    start = time.perf_counter()  # fine: duration measurement only
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,22 @@
+"""Known-bad fixture for RPL007: swallowed exceptions."""
+
+
+def forward(x):
+    try:
+        return x.log()
+    except:  # RPL007: bare except
+        return None
+
+
+def backward(loss):
+    try:
+        loss.backward()
+    except Exception:  # RPL007: broad and silent
+        pass
+
+
+def tolerable(x):
+    try:
+        return float(x)
+    except ValueError:  # fine: typed and handled
+        return 0.0

@@ -1,0 +1,15 @@
+"""Known-bad fixture for RPL008: module-level seeding in a test file.
+
+The ``test_*.py`` name makes the linter treat it as a test module; the
+``collect_ignore`` in ``tests/analysis/conftest.py`` keeps pytest from
+ever importing it — the linter reads it as text only.
+"""
+
+import numpy as np
+
+np.random.seed(1234)  # RPL008: module-level global seed
+RNG = np.random.default_rng(7)  # RPL008: module-level shared RNG
+
+
+def test_uses_shared_rng():
+    assert RNG.random() >= 0.0

@@ -15,7 +15,28 @@ class TestExports:
         assert repro.__version__
 
     def test_subpackages_importable(self):
+        for module in self._subpackages():
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_all_is_complete(self):
+        """Every public (non-underscore, non-module) name appears in __all__."""
+        import types
+
+        for module in self._subpackages():
+            public = {
+                name
+                for name, value in vars(module).items()
+                if not name.startswith("_") and not isinstance(value, types.ModuleType)
+            }
+            missing = public - set(module.__all__)
+            assert not missing, f"{module.__name__}: missing from __all__: {sorted(missing)}"
+            assert len(module.__all__) == len(set(module.__all__)), module.__name__
+
+    @staticmethod
+    def _subpackages():
         import repro.agents
+        import repro.analysis
         import repro.curiosity
         import repro.distributed
         import repro.env
@@ -23,16 +44,16 @@ class TestExports:
         import repro.nn
         import repro.utils
 
-        for module in (
+        return (
             repro.agents,
+            repro.analysis,
             repro.curiosity,
             repro.distributed,
             repro.env,
+            repro.experiments,
             repro.nn,
             repro.utils,
-        ):
-            for name in module.__all__:
-                assert hasattr(module, name), f"{module.__name__}.{name}"
+        )
 
 
 class TestQuickstartFlow:
