@@ -1,4 +1,4 @@
-"""Top-level CLI: train, evaluate and report without writing code.
+"""Top-level CLI: train, evaluate, report, lint, trace and profile.
 
 Usage::
 
@@ -8,15 +8,33 @@ Usage::
         --checkpoint runs/cews.npz --episodes 5
     python -m repro report          # stitch results/*.txt into REPORT.md
     python -m repro lint            # reprolint static-analysis gate
+    python -m repro trace summary runs/trace   # aggregate a JSONL trace
+    python -m repro profile --episodes 2       # per-op autograd hot spots
 
-``--sanitize`` (or ``REPRO_SANITIZE=1``) runs training/evaluation under
-the runtime autograd sanitizer (NaN/dtype checks at every op boundary).
-Figure/table regeneration lives under ``python -m repro.experiments``.
+Observability toggles:
+
+* ``--sanitize`` (or ``REPRO_SANITIZE=1``) runs training/evaluation under
+  the runtime autograd sanitizer (NaN/dtype checks at every op boundary);
+* ``--trace-dir DIR`` (or ``REPRO_TRACE=1`` with optional
+  ``REPRO_TRACE_DIR``) records structured spans/events to
+  ``DIR/trace.jsonl``;
+* ``--profile`` wraps the run in the per-op autograd profiler and prints
+  the hot-spot table at the end (also ``REPRO_PROFILE=1``);
+* ``--dashboard N`` renders the ASCII live dashboard every N episodes.
+
+All of these only *read* clocks and values, so toggling them never
+changes training results.  Figure/table regeneration lives under
+``python -m repro.experiments``.
+
+The subcommand registry below is the single source of truth for
+``python -m repro --help``: every subcommand appears there with a
+one-line description, and unknown subcommands exit with status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -34,6 +52,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run under the runtime autograd sanitizer (NaN/dtype checks at "
         "every op boundary; also enabled by REPRO_SANITIZE=1)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="record structured spans/events to <dir>/trace.jsonl "
+        "(also enabled by REPRO_TRACE=1, directory from REPRO_TRACE_DIR)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile per-op autograd wall time/FLOPs and print the "
+        "hot-spot table at the end (also enabled by REPRO_PROFILE=1)",
+    )
 
 
 def _maybe_sanitizer(args):
@@ -43,6 +73,60 @@ def _maybe_sanitizer(args):
     if getattr(args, "sanitize", False) or sanitizer_mod.env_enabled():
         return sanitizer_mod.Sanitizer().enable()
     return None
+
+
+def _maybe_tracer(args):
+    """An installed Tracer when requested by flag or env var, else None."""
+    from .obs import trace as trace_mod
+
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None and trace_mod.trace_env_enabled():
+        trace_dir = os.environ.get("REPRO_TRACE_DIR", "runs/trace")
+    if trace_dir is None:
+        return None
+    return trace_mod.Tracer(trace_mod.trace_path_for(trace_dir)).install()
+
+
+def _maybe_profiler(args):
+    """An enabled OpProfiler when requested by flag or env var, else None."""
+    from .obs import profiler as profiler_mod
+
+    if getattr(args, "profile", False) or profiler_mod.profile_env_enabled():
+        return profiler_mod.OpProfiler().enable()
+    return None
+
+
+class _Observability:
+    """Enable/disable the requested observability layers around a command.
+
+    The sanitizer and the profiler both patch ``Tensor.backward``, so
+    they are enabled sanitizer-first and disabled strictly LIFO —
+    each restores exactly the callable it saw.
+    """
+
+    def __init__(self, args):
+        self._args = args
+        self.sanitizer = None
+        self.tracer = None
+        self.profiler = None
+
+    def __enter__(self) -> "_Observability":
+        self.sanitizer = _maybe_sanitizer(self._args)
+        self.tracer = _maybe_tracer(self._args)
+        self.profiler = _maybe_profiler(self._args)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.profiler is not None:
+            self.profiler.disable()
+            print(self.profiler.render_table())
+            print(self.profiler.summary())
+        if self.tracer is not None:
+            self.tracer.uninstall()
+            print(self.tracer.summary())
+        if self.sanitizer is not None:
+            self.sanitizer.disable()
+            print(self.sanitizer.summary())
 
 
 def _build_trainer(args, episodes=None):
@@ -79,21 +163,20 @@ def _build_trainer(args, episodes=None):
     return trainer, scale, config
 
 
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 def cmd_train(args) -> int:
     from .analysis import SanitizerError
     from .distributed import save_checkpoint
     from .experiments.training import resume_or_start
 
-    sanitizer = _maybe_sanitizer(args)
-    try:
-        return _run_train(args, save_checkpoint, resume_or_start)
-    except SanitizerError as error:
-        print(f"sanitizer caught: {error}")
-        return 1
-    finally:
-        if sanitizer is not None:
-            sanitizer.disable()
-            print(sanitizer.summary())
+    with _Observability(args):
+        try:
+            return _run_train(args, save_checkpoint, resume_or_start)
+        except SanitizerError as error:
+            print(f"sanitizer caught: {error}")
+            return 1
 
 
 def _run_train(args, save_checkpoint, resume_or_start) -> int:
@@ -103,6 +186,16 @@ def _run_train(args, save_checkpoint, resume_or_start) -> int:
         f"training {args.method} on {config.grid}x{config.grid} "
         f"(P={config.num_pois}, W={config.num_workers}) for {episodes} episodes"
     )
+    on_end = None
+    if getattr(args, "dashboard", None):
+        from .obs import Dashboard
+
+        dashboard = Dashboard(every=args.dashboard)
+
+        def on_end(t, episode: int) -> None:
+            if t.last_episode_log is not None:
+                dashboard.on_episode_end(t.last_episode_log)
+
     try:
         if args.checkpoint_dir:
             # Crash-safe mode: auto-resume from the newest valid rolling
@@ -113,6 +206,7 @@ def _run_train(args, save_checkpoint, resume_or_start) -> int:
                 episodes,
                 save_every=args.save_every,
                 keep_last=args.keep_last,
+                on_episode_end=on_end,
             )
             if not history.logs:
                 print(
@@ -122,7 +216,7 @@ def _run_train(args, save_checkpoint, resume_or_start) -> int:
             elif history.logs[0].episode > 0:
                 print(f"resumed from episode {history.logs[0].episode}")
         else:
-            history = trainer.train()
+            history = trainer.train(on_episode_end=on_end)
     finally:
         trainer.close()
     if history.logs:
@@ -147,19 +241,15 @@ def _run_train(args, save_checkpoint, resume_or_start) -> int:
 def cmd_evaluate(args) -> int:
     from .analysis import SanitizerError
     from .distributed import load_checkpoint
-    from .experiments.training import evaluate_agent
     from .experiments.scales import get_scale
+    from .experiments.training import evaluate_agent
 
-    sanitizer = _maybe_sanitizer(args)
-    try:
-        return _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale)
-    except SanitizerError as error:
-        print(f"sanitizer caught: {error}")
-        return 1
-    finally:
-        if sanitizer is not None:
-            sanitizer.disable()
-            print(sanitizer.summary())
+    with _Observability(args):
+        try:
+            return _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale)
+        except SanitizerError as error:
+            print(f"sanitizer caught: {error}")
+            return 1
 
 
 def _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale) -> int:
@@ -197,86 +287,198 @@ def cmd_lint(args) -> int:
     return lint_cli.run(args)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro", description="DRL-CEWS reproduction CLI"
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
+def cmd_trace(args) -> int:
+    import json
 
-    train_parser = subparsers.add_parser("train", help="train one method")
-    _add_common(train_parser)
-    train_parser.add_argument("--episodes", type=int, default=None)
-    train_parser.add_argument("--checkpoint", default=None, help="save .npz here")
-    train_parser.add_argument("--history", default=None, help="save CSV logs here")
-    train_parser.add_argument(
+    from .obs import trace as trace_mod
+
+    try:
+        records = trace_mod.read_trace(args.path)
+    except FileNotFoundError:
+        print(f"no trace file at {args.path!r}")
+        return 1
+    except trace_mod.TraceError as error:
+        print(f"invalid trace: {error}")
+        return 1
+    if args.action == "cat":
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    summary = trace_mod.summarize_trace(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(trace_mod.render_trace_summary(summary))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import OpProfiler
+
+    profiler = OpProfiler().enable()
+    try:
+        trainer, scale, config = _build_trainer(args, episodes=args.episodes)
+        print(
+            f"profiling {args.method} on {config.grid}x{config.grid} "
+            f"for {args.episodes} episode(s)"
+        )
+        try:
+            trainer.train()
+        finally:
+            trainer.close()
+    finally:
+        profiler.disable()
+    print(profiler.render_table(limit=args.limit))
+    print(profiler.summary())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand registry — single source of truth for `--help`
+# ----------------------------------------------------------------------
+def _configure_train(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument("--episodes", type=int, default=None)
+    parser.add_argument("--checkpoint", default=None, help="save .npz here")
+    parser.add_argument("--history", default=None, help="save CSV logs here")
+    parser.add_argument(
         "--mode",
         choices=("sequential", "thread"),
         default="sequential",
         help="employee driver (thread overlaps exploration and gradients)",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help="rolling crash-safe checkpoints here; auto-resumes if present",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--save-every",
         type=int,
         default=1,
         help="episodes between rolling checkpoints (with --checkpoint-dir)",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--keep-last",
         type=int,
         default=3,
         help="rolling checkpoints retained (with --checkpoint-dir)",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--quorum-fraction",
         type=float,
         default=None,
         help="fraction of employees whose gradients suffice per round "
         "(default 1.0 = strict barrier)",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--employee-timeout",
         type=float,
         default=None,
         help="per-task straggler timeout in seconds (0 disables)",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=None,
         help="retries per crashed/timed-out employee task",
     )
-    train_parser.add_argument(
+    parser.add_argument(
         "--quarantine-max-norm",
         type=float,
         default=None,
         help="quarantine gradient contributions above this L2 norm (0 disables)",
     )
-    train_parser.set_defaults(func=cmd_train)
-
-    eval_parser = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
-    _add_common(eval_parser)
-    eval_parser.add_argument("--checkpoint", default=None, help="load .npz from here")
-    eval_parser.add_argument("--episodes", type=int, default=5)
-    eval_parser.set_defaults(func=cmd_evaluate)
-
-    report_parser = subparsers.add_parser(
-        "report", help="stitch results/*.txt into results/REPORT.md"
+    parser.add_argument(
+        "--dashboard",
+        type=int,
+        nargs="?",
+        const=1,
+        default=None,
+        metavar="N",
+        help="render the ASCII live dashboard every N episodes (default 1)",
     )
-    report_parser.set_defaults(func=cmd_report)
+    parser.set_defaults(func=cmd_train)
 
-    lint_parser = subparsers.add_parser(
-        "lint", help="run the reprolint static-analysis gate"
-    )
+
+def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument("--checkpoint", default=None, help="load .npz from here")
+    parser.add_argument("--episodes", type=int, default=5)
+    parser.set_defaults(func=cmd_evaluate)
+
+
+def _configure_report(parser: argparse.ArgumentParser) -> None:
+    parser.set_defaults(func=cmd_report)
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
     from .analysis.cli import build_parser as build_lint_parser
 
-    build_lint_parser(lint_parser)
-    lint_parser.set_defaults(func=cmd_lint)
+    build_lint_parser(parser)
+    parser.set_defaults(func=cmd_lint)
 
+
+def _configure_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "action",
+        choices=("summary", "cat"),
+        help="'summary' aggregates per-span/per-employee timings; "
+        "'cat' prints the validated records one JSON object per line",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="runs/trace",
+        help="trace file or --trace-dir directory (default: runs/trace)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    parser.set_defaults(func=cmd_trace)
+
+
+def _configure_profile(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method", choices=("cews", "dppo", "edics"), default="cews"
+    )
+    parser.add_argument("--scale", choices=("smoke", "short", "paper"), default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--episodes", type=int, default=1, help="episodes to run under the profiler"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=15, help="rows in the hot-spot table"
+    )
+    parser.set_defaults(func=cmd_profile)
+
+
+#: (name, one-line description, configure) — every subcommand registers
+#: here so ``--help`` enumerates them all consistently.
+COMMANDS = (
+    ("train", "train one method with the chief-employee loop", _configure_train),
+    ("evaluate", "evaluate a trained checkpoint (mean kappa/xi/rho)", _configure_evaluate),
+    ("report", "stitch results/*.txt into results/REPORT.md", _configure_report),
+    ("lint", "run the reprolint static-analysis gate", _configure_lint),
+    ("trace", "summarize or dump a JSONL trace file", _configure_trace),
+    ("profile", "run a short training under the per-op autograd profiler", _configure_profile),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="DRL-CEWS reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(
+        dest="command",
+        required=True,
+        metavar="{" + ",".join(name for name, __, __ in COMMANDS) + "}",
+    )
+    for name, description, configure in COMMANDS:
+        configure(subparsers.add_parser(name, help=description, description=description))
+
+    # argparse raises SystemExit(2) for unknown subcommands; `parse_args`
+    # keeps that contract (usage + exit 2, never a traceback).
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -23,6 +23,7 @@ from ..env.actions import Action, NUM_MOVES
 from ..env.config import ScenarioConfig
 from ..env.env import CrowdsensingEnv
 from ..env.state import STATE_CHANNELS
+from ..obs.trace import span as trace_span
 from .base import EpisodeResult
 from .networks import CNNActorCritic
 from .ppo import PPOConfig, PPOStats, ppo_loss
@@ -155,7 +156,8 @@ class PPOWorkerAgent:
         """
         if buffer is None:
             buffer = RolloutBuffer(gamma=self.ppo.gamma, gae_lambda=self.ppo.gae_lambda)
-        state = env.reset()
+        with trace_span("env.reset"):
+            state = env.reset()
         trajectory = [env.workers.positions.copy()] if record_trajectory else None
         extrinsic_total = 0.0
         intrinsic_total = 0.0
@@ -163,10 +165,12 @@ class PPOWorkerAgent:
         steps = 0
         while not done:
             positions_before = env.workers.positions.copy()
-            action, log_prob, value, move_mask, worker_features = self.act_full(
-                env, rng, greedy=False
-            )
-            next_state, extrinsic, done, info = env.step(action)
+            with trace_span("policy.act", step=steps):
+                action, log_prob, value, move_mask, worker_features = self.act_full(
+                    env, rng, greedy=False
+                )
+            with trace_span("env.step", step=steps):
+                next_state, extrinsic, done, info = env.step(action)
 
             transition_batch = TransitionBatch.single(
                 positions=positions_before,
@@ -175,7 +179,8 @@ class PPOWorkerAgent:
                 state=state if self._needs_states else None,
                 next_state=next_state if self._needs_states else None,
             )
-            intrinsic = float(self.curiosity.intrinsic_reward(transition_batch)[0])
+            with trace_span("curiosity.intrinsic", step=steps):
+                intrinsic = float(self.curiosity.intrinsic_reward(transition_batch)[0])
             reward = extrinsic + intrinsic
             extrinsic_total += extrinsic
             intrinsic_total += intrinsic
@@ -222,8 +227,9 @@ class PPOWorkerAgent:
         """
         for param in self.network.parameters():
             param.grad = None
-        loss, stats = ppo_loss(self.network, batch, self.ppo)
-        loss.backward()
+        with trace_span("ppo.update"):
+            loss, stats = ppo_loss(self.network, batch, self.ppo)
+            loss.backward()
         policy_grads = [
             np.zeros_like(p.data) if p.grad is None else p.grad.copy()
             for p in self.network.parameters()
@@ -241,7 +247,8 @@ class PPOWorkerAgent:
                 states=batch.states if self._needs_states else None,
                 next_states=batch.next_states if self._needs_states else None,
             )
-            self.curiosity.loss(curiosity_batch).backward()
+            with trace_span("curiosity.update"):
+                self.curiosity.loss(curiosity_batch).backward()
             curiosity_grads = [
                 np.zeros_like(p.data) if p.grad is None else p.grad.copy()
                 for p in curiosity_params

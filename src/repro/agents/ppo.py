@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import nn
+from ..obs.trace import span as trace_span
 from .networks import CNNActorCritic
 from .rollout import MiniBatch
 
@@ -112,11 +113,12 @@ def ppo_loss(
     Returns the scalar loss tensor (ready for ``backward()``) and detached
     diagnostics.
     """
-    output = network.forward(
-        batch.states,
-        move_mask=batch.move_masks,
-        worker_features=batch.worker_features,
-    )
+    with trace_span("ppo.forward", batch=len(batch.returns)):
+        output = network.forward(
+            batch.states,
+            move_mask=batch.move_masks,
+            worker_features=batch.worker_features,
+        )
 
     advantages = batch.advantages.copy()
     if config.normalize_advantages and len(advantages) > 1:

@@ -28,6 +28,9 @@ RPL006    no-wall-clock           no ``time.sleep``/wall-clock in deterministic
                                   paths (fault injector & backoff whitelisted)
 RPL007    no-swallowed-exception  no bare ``except:`` / silent ``except: pass``
 RPL008    no-module-seed          test files seed via fixtures, not at import
+RPL009    no-bare-print           library code reports via ``repro.obs`` logging
+                                  / metrics, not ``print()`` (CLI + reporting
+                                  entry points whitelisted)
 ========  ======================  ==============================================
 """
 
@@ -568,6 +571,9 @@ _WALL_CLOCK_CALLS = {
 _RPL006_WHITELIST = {
     "repro/distributed/faults.py": _WALL_CLOCK_CALLS,
     "repro/distributed/trainer.py": {"time.sleep"},
+    # Tracing records wall-clock span timestamps by design; spans never feed
+    # back into the training computation, so determinism is unaffected.
+    "repro/obs/": {"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns"},
 }
 
 
@@ -680,3 +686,42 @@ def check_module_seed(context: ModuleContext) -> Iterator[Finding]:
                         f"module-level RNG `{dotted}(...)` shared across "
                         f"tests: construct it inside a fixture",
                     )
+
+
+# ----------------------------------------------------------------------
+# RPL009 — no bare print() in library code
+# ----------------------------------------------------------------------
+# CLI entry points and the lint reporters talk to a terminal by design;
+# everything else must go through ``repro.obs`` (structured logging,
+# metrics, tracing) so output is capturable, filterable and silent by
+# default when the package is used as a library.
+_RPL009_WHITELIST = (
+    "__main__.py",
+    "repro/analysis/cli.py",
+    "repro/analysis/reporters.py",
+)
+
+
+@rule(
+    "RPL009",
+    "no-bare-print",
+    "library code must report through `repro.obs` logging/metrics, not "
+    "`print()`; stdout writes from library modules pollute captured "
+    "output and cannot be filtered by severity",
+)
+def check_bare_print(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or context.path_matches(_RPL009_WHITELIST):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield _finding(
+                context,
+                "RPL009",
+                node,
+                "bare `print()` in library code; use "
+                "`repro.obs.get_logger(__name__)` (or a metrics/trace "
+                "event) instead",
+            )

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .. import nn
+from ..obs.trace import span as trace_span
 from ..env.actions import NUM_MOVES
 from ..env.space import CrowdsensingSpace
 from .base import CuriosityModule, TransitionBatch
@@ -142,14 +143,19 @@ class SpatialCuriosity(CuriosityModule):
                 f"structure was built for {len(self._models)}"
             )
         errors = []
-        for w in range(batch.num_workers):
-            model = self._model_for(w)
-            current = self._feature(batch.positions[:, w])
-            target = self._feature(batch.next_positions[:, w])
-            predicted = model(nn.Tensor(current), batch.moves[:, w])
-            diff = predicted - nn.Tensor(target)
-            per_sample = (diff * diff).sum(axis=1)
-            errors.append(per_sample.data.copy() if detach else per_sample)
+        with trace_span(
+            "curiosity.forward_model",
+            workers=batch.num_workers,
+            detach=detach,
+        ):
+            for w in range(batch.num_workers):
+                model = self._model_for(w)
+                current = self._feature(batch.positions[:, w])
+                target = self._feature(batch.next_positions[:, w])
+                predicted = model(nn.Tensor(current), batch.moves[:, w])
+                diff = predicted - nn.Tensor(target)
+                per_sample = (diff * diff).sum(axis=1)
+                errors.append(per_sample.data.copy() if detach else per_sample)
         return errors
 
     # ------------------------------------------------------------------

@@ -43,9 +43,15 @@ from .. import nn
 from ..agents.base import EpisodeResult
 from ..agents.rollout import MiniBatch
 from ..env.env import CrowdsensingEnv
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import event as trace_event
+from ..obs.trace import span as trace_span
 from .faults import FaultInjector
 from .trainer import TrainerHealth
 from .vtrace import vtrace_targets
+
+_LOG = get_logger(__name__)
 
 __all__ = ["AsyncConfig", "AsyncLog", "AsyncHistory", "AsyncActorLearner"]
 
@@ -205,19 +211,23 @@ class AsyncActorLearner:
             self._episodes_per_actor[actor_index] += 1
             lag = self._update_count - self._updates_at_sync[actor_index]
 
-            buffer, result = actor.collect_episode(env, rng)
+            with trace_span(
+                "actor.rollout", actor=actor_index, episode=episode, lag=lag
+            ):
+                buffer, result = actor.collect_episode(env, rng)
             batch = buffer.full_batch()  # ordered trajectory
             rewards = np.array([tr.reward for tr in buffer._transitions])
             dones = np.array([tr.done for tr in buffer._transitions])
 
             # Learner-side forward pass with *current* parameters.
-            output = self.learner.network.forward(
-                batch.states,
-                move_mask=batch.move_masks,
-                worker_features=batch.worker_features,
-            )
-            target_log_probs = output.log_prob(batch.moves, batch.charges)
-            values = output.value
+            with trace_span("learner.forward", actor=actor_index, episode=episode):
+                output = self.learner.network.forward(
+                    batch.states,
+                    move_mask=batch.move_masks,
+                    worker_features=batch.worker_features,
+                )
+                target_log_probs = output.log_prob(batch.moves, batch.charges)
+                values = output.value
 
             if config.correction == "vtrace":
                 trace = vtrace_targets(
@@ -257,7 +267,8 @@ class AsyncActorLearner:
             params = self.learner.policy_parameters()
             for param in params:
                 param.grad = None
-            loss.backward()
+            with trace_span("learner.update", actor=actor_index, episode=episode):
+                loss.backward()
             if self.fault_injector is not None:
                 self.fault_injector.corrupt_arrays(
                     actor_index,
@@ -271,6 +282,23 @@ class AsyncActorLearner:
                 # Quarantine: a poisoned step would corrupt the Adam
                 # moments of every parameter it touches.  Skip it.
                 self.health.employee(actor_index).rejected_policy_gradients += 1
+                get_registry().counter(
+                    "repro_gradients_rejected_total",
+                    "Gradient contributions quarantined by the chief",
+                    labelnames=("kind", "employee"),
+                ).labels(kind="policy", employee=actor_index).inc()
+                trace_event(
+                    "fault.quarantine",
+                    employee=actor_index,
+                    episode=episode,
+                    round=0,
+                    kind="policy",
+                )
+                _LOG.warning(
+                    "quarantined policy gradient from actor %d (episode %d)",
+                    actor_index,
+                    episode,
+                )
                 for param in params:
                     param.grad = None
             else:
@@ -307,6 +335,23 @@ class AsyncActorLearner:
                     self.health.employee(
                         actor_index
                     ).rejected_curiosity_gradients += 1
+                    get_registry().counter(
+                        "repro_gradients_rejected_total",
+                        "Gradient contributions quarantined by the chief",
+                        labelnames=("kind", "employee"),
+                    ).labels(kind="curiosity", employee=actor_index).inc()
+                    trace_event(
+                        "fault.quarantine",
+                        employee=actor_index,
+                        episode=episode,
+                        round=0,
+                        kind="curiosity",
+                    )
+                    _LOG.warning(
+                        "quarantined curiosity gradient from actor %d (episode %d)",
+                        actor_index,
+                        episode,
+                    )
                     for param in curiosity_params:
                         param.grad = None
 

@@ -39,8 +39,12 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from ..obs.log import get_logger
+from ..obs.trace import span as trace_span
 from .faults import FaultInjector
 from .trainer import ChiefEmployeeTrainer
+
+_LOG = get_logger(__name__)
 
 __all__ = [
     "CheckpointCorruptError",
@@ -140,14 +144,15 @@ def save_checkpoint(
         os.makedirs(directory, exist_ok=True)
     tmp_path = path + ".tmp"
     try:
-        with open(tmp_path, "wb") as handle:
-            # An explicit handle keeps np.savez from appending '.npz'.
-            np.savez(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        if fault_injector is not None:
-            fault_injector.on_checkpoint_write(tmp_path)
-        os.replace(tmp_path, path)  # atomic on POSIX
+        with trace_span("checkpoint.save", path=os.path.basename(path)):
+            with open(tmp_path, "wb") as handle:
+                # An explicit handle keeps np.savez from appending '.npz'.
+                np.savez(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if fault_injector is not None:
+                fault_injector.on_checkpoint_write(tmp_path)
+            os.replace(tmp_path, path)  # atomic on POSIX
     except BaseException:
         # Leave no stray temp file behind on any failure path; the
         # previous checkpoint at ``path`` stays valid either way.
@@ -182,18 +187,19 @@ def load_checkpoint(
     ``verify`` is on and the archive fails checksum or structural checks.
     """
     path = _resolve_load_path(path)
-    try:
-        archive_ctx = np.load(path)
-    except (zipfile.BadZipFile, OSError, ValueError) as error:
-        raise CheckpointCorruptError(f"unreadable checkpoint {path!r}: {error}")
-    with archive_ctx as archive:
+    with trace_span("checkpoint.restore", path=os.path.basename(path)):
         try:
-            manifest = json.loads(bytes(archive["__manifest__"]).decode())
-            arrays = {key: archive[key] for key in archive.files}
-        except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
-            raise CheckpointCorruptError(
-                f"checkpoint {path!r} has no readable manifest: {error}"
-            )
+            archive_ctx = np.load(path)
+        except (zipfile.BadZipFile, OSError, ValueError) as error:
+            raise CheckpointCorruptError(f"unreadable checkpoint {path!r}: {error}")
+        with archive_ctx as archive:
+            try:
+                manifest = json.loads(bytes(archive["__manifest__"]).decode())
+                arrays = {key: archive[key] for key in archive.files}
+            except (KeyError, ValueError, zipfile.BadZipFile, OSError) as error:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path!r} has no readable manifest: {error}"
+                )
     if verify and "checksum" in manifest:
         del arrays["__manifest__"]
         actual = _payload_checksum(arrays)
@@ -364,7 +370,10 @@ class CheckpointManager:
         for path in candidates:
             try:
                 episodes = load_checkpoint(trainer, path, verify=True)
-            except (CheckpointCorruptError, KeyError):
+            except (CheckpointCorruptError, KeyError) as error:
+                _LOG.warning(
+                    "skipping invalid checkpoint %s: %s", os.path.basename(path), error
+                )
                 continue
             if episodes is None:
                 match = _CKPT_PATTERN.match(os.path.basename(path))

@@ -67,8 +67,14 @@ from ..agents.base import EpisodeResult
 from ..agents.policy import GradientPack
 from ..env.env import CrowdsensingEnv
 from ..env.metrics import Metrics
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import event as trace_event
+from ..obs.trace import span as trace_span
 from .faults import EXPLORE_ROUND, FaultInjector, InjectedCrash
 from .gradient_buffer import GradientBuffer, GradientRejected
+
+_LOG = get_logger(__name__)
 
 __all__ = [
     "TrainConfig",
@@ -247,6 +253,32 @@ class TrainingHistory:
             for log in self.logs:
                 writer.writerow([getattr(log, field) for field in self._CSV_FIELDS])
 
+    def publish_to(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Re-emit the per-episode logs through a metrics registry.
+
+        The last episode's scalars land in ``repro_episode_*`` gauges and
+        the episode count in ``repro_history_episodes``, so the registry
+        snapshot is one consistent view of what the history recorded.
+        """
+        registry = registry if registry is not None else get_registry()
+        registry.gauge(
+            "repro_history_episodes", "Episodes recorded in the training history"
+        ).set(len(self.logs))
+        registry.gauge(
+            "repro_history_wall_seconds", "Total wall time of the training run"
+        ).set(self.total_wall_time)
+        if not self.logs:
+            return
+        last = self.logs[-1]
+        for key, name, help_text in (
+            ("extrinsic_reward", "repro_episode_reward", "Mean extrinsic reward"),
+            ("intrinsic_reward", "repro_episode_intrinsic_reward", "Mean intrinsic reward"),
+            ("kappa", "repro_episode_collection_ratio", "Collection ratio kappa"),
+            ("xi", "repro_episode_fairness", "Fairness xi"),
+            ("rho", "repro_episode_energy_efficiency", "Energy efficiency rho"),
+        ):
+            registry.gauge(name, help_text).set(float(getattr(last, key)))
+
     @classmethod
     def load_csv(cls, path) -> "TrainingHistory":
         """Read logs written by :meth:`save_csv` (eval columns excluded)."""
@@ -346,6 +378,93 @@ class TrainerHealth:
             "curiosity_skipped_rounds": self.curiosity_skipped_rounds,
         }
 
+    def publish_to(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Re-emit the fault counters through a metrics registry.
+
+        Gauges are *set* (not incremented), so re-publishing after every
+        episode keeps the registry an idempotent view of this report:
+        ``repro_health_<counter>`` for the aggregate summary and
+        ``repro_health_employee_<counter>{employee=...}`` per employee.
+        """
+        registry = registry if registry is not None else get_registry()
+        for key, value in self.summary().items():
+            registry.gauge(
+                f"repro_health_{key}", f"TrainerHealth aggregate counter {key!r}"
+            ).set(value)
+        per_employee = registry.gauge(
+            "repro_health_employee_rejected_gradients",
+            "Quarantined gradient contributions per employee",
+            labelnames=("employee",),
+        )
+        per_crashes = registry.gauge(
+            "repro_health_employee_crashes",
+            "Crashes per employee",
+            labelnames=("employee",),
+        )
+        per_restarts = registry.gauge(
+            "repro_health_employee_restarts",
+            "Restarts per employee",
+            labelnames=("employee",),
+        )
+        for index, employee in sorted(self.employees.items()):
+            per_employee.labels(employee=index).set(employee.rejected_gradients)
+            per_crashes.labels(employee=index).set(employee.crashes)
+            per_restarts.labels(employee=index).set(employee.restarts)
+
+
+def _trainer_metrics(registry: Optional[MetricsRegistry] = None) -> Dict[str, object]:
+    """Get-or-create the live trainer metrics in ``registry``.
+
+    These stay hot during training (locked adds only — no clock reads
+    happen inside the registry; durations are measured by the trainer
+    with ``time.perf_counter``), so a metrics snapshot at any point
+    reflects the run so far.
+    """
+    registry = registry if registry is not None else get_registry()
+    return {
+        "rejected": registry.counter(
+            "repro_gradients_rejected_total",
+            "Gradient contributions quarantined by the chief",
+            labelnames=("kind", "employee"),
+        ),
+        "crashes": registry.counter(
+            "repro_employee_crashes_total",
+            "Employee task crashes absorbed by the resilient barrier",
+            labelnames=("employee",),
+        ),
+        "timeouts": registry.counter(
+            "repro_employee_timeouts_total",
+            "Employee straggler timeouts absorbed by the resilient barrier",
+            labelnames=("employee",),
+        ),
+        "restarts": registry.counter(
+            "repro_employee_restarts_total",
+            "Employee restarts at episode boundaries",
+            labelnames=("employee",),
+        ),
+        "degraded": registry.counter(
+            "repro_degraded_rounds_total",
+            "Update rounds applied below the full employee barrier",
+        ),
+        "episodes": registry.counter(
+            "repro_episodes_total", "Training episodes completed"
+        ),
+        "phase_seconds": registry.histogram(
+            "repro_phase_seconds",
+            "Wall time of one barrier phase (explore or one gradient round)",
+            labelnames=("phase",),
+        ),
+        "barrier_wait": registry.histogram(
+            "repro_barrier_wait_seconds",
+            "Chief wait time collecting employee results at the barrier",
+            labelnames=("phase",),
+        ),
+        "intrinsic": registry.gauge(
+            "repro_intrinsic_reward",
+            "Mean per-episode intrinsic (curiosity) reward",
+        ),
+    }
+
 
 class _Employee:
     """One employee thread's local state."""
@@ -430,6 +549,9 @@ class ChiefEmployeeTrainer:
         self._eval_rng = np.random.default_rng(child_seeds[-1])
         self._episodes_done = 0
         self._pending_restart: Set[int] = set()
+        #: The most recent episode's log (for on_episode_end consumers
+        #: such as the ASCII dashboard).
+        self.last_episode_log: Optional[EpisodeLog] = None
 
         policy_params = global_agent.policy_parameters()
         curiosity_params = global_agent.curiosity_parameters()
@@ -453,6 +575,7 @@ class ChiefEmployeeTrainer:
         self._pool: Optional[ThreadPoolExecutor] = None
         if self.config.mode == "thread":
             self._pool = ThreadPoolExecutor(max_workers=self.config.num_employees)
+        self._metrics = _trainer_metrics()
 
     # ------------------------------------------------------------------
     @property
@@ -463,12 +586,49 @@ class ChiefEmployeeTrainer:
     # ------------------------------------------------------------------
     # Resilient barrier
     # ------------------------------------------------------------------
-    def _guarded_task(self, index: int, episode: int, round_index: int, fn):
+    def _guarded_task(
+        self, index: int, episode: int, round_index: int, fn, phase: str = "task"
+    ):
         employee = self.employees[index]
         with employee.lock:
             if self.fault_injector is not None:
                 self.fault_injector.before_task(index, episode, round_index)
-            return fn(employee)
+            with trace_span(
+                f"employee.{phase}", employee=index, episode=episode, round=round_index
+            ):
+                return fn(employee)
+
+    def _note_crash(self, index: int, episode: int, round_index: int, phase: str) -> None:
+        self.health.employee(index).crashes += 1
+        self._metrics["crashes"].labels(employee=index).inc()
+        trace_event(
+            "fault.crash", employee=index, episode=episode, round=round_index, phase=phase
+        )
+        _LOG.warning(
+            "employee %d crashed during %s (episode %d, round %d)",
+            index,
+            phase,
+            episode,
+            round_index,
+        )
+
+    def _note_timeout(self, index: int, episode: int, round_index: int, phase: str) -> None:
+        self.health.employee(index).timeouts += 1
+        self._metrics["timeouts"].labels(employee=index).inc()
+        trace_event(
+            "fault.timeout",
+            employee=index,
+            episode=episode,
+            round=round_index,
+            phase=phase,
+        )
+        _LOG.warning(
+            "employee %d timed out during %s (episode %d, round %d)",
+            index,
+            phase,
+            episode,
+            round_index,
+        )
 
     def _run_phase(
         self,
@@ -476,6 +636,7 @@ class ChiefEmployeeTrainer:
         candidates: Sequence[int],
         episode: int,
         round_index: int,
+        phase: str = "task",
     ) -> Tuple[Dict[int, object], Set[int]]:
         """Run one barrier phase over ``candidates`` with retry + timeout.
 
@@ -489,6 +650,7 @@ class ChiefEmployeeTrainer:
         pending = list(candidates)
         carried: Dict[int, object] = {}  # still-running futures of stragglers
         attempt = 0
+        phase_start = time.perf_counter()
         while pending and attempt <= config.max_retries:
             if attempt and config.retry_backoff > 0:
                 time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
@@ -498,43 +660,76 @@ class ChiefEmployeeTrainer:
                     index: carried.pop(index)
                     if index in carried
                     else self._pool.submit(
-                        self._guarded_task, index, episode, round_index, fn
+                        self._guarded_task, index, episode, round_index, fn, phase
                     )
                     for index in pending
                 }
                 timeout = config.employee_timeout if config.employee_timeout > 0 else None
+                wait_start = time.perf_counter()
                 for index in sorted(futures):
                     try:
                         results[index] = futures[index].result(timeout=timeout)
                     except FuturesTimeoutError:
                         # Straggler: keep the future — the retry waits for
                         # the same task instead of racing a duplicate.
-                        self.health.employee(index).timeouts += 1
+                        self._note_timeout(index, episode, round_index, phase)
                         carried[index] = futures[index]
                         failures.append(index)
                     except InjectedCrash:
-                        self.health.employee(index).crashes += 1
+                        self._note_crash(index, episode, round_index, phase)
                         failures.append(index)
+                self._metrics["barrier_wait"].labels(phase=phase).observe(
+                    time.perf_counter() - wait_start
+                )
             else:
                 for index in pending:
                     task_start = time.perf_counter()
                     try:
-                        outcome = self._guarded_task(index, episode, round_index, fn)
+                        outcome = self._guarded_task(
+                            index, episode, round_index, fn, phase
+                        )
                     except InjectedCrash:
-                        self.health.employee(index).crashes += 1
+                        self._note_crash(index, episode, round_index, phase)
                         failures.append(index)
                         continue
                     elapsed = time.perf_counter() - task_start
                     if config.employee_timeout > 0 and elapsed > config.employee_timeout:
                         # Sequential driver cannot preempt: the over-budget
                         # result is discarded after the fact.
-                        self.health.employee(index).timeouts += 1
+                        self._note_timeout(index, episode, round_index, phase)
                         failures.append(index)
                     else:
                         results[index] = outcome
             pending = failures
             attempt += 1
+        self._metrics["phase_seconds"].labels(phase=phase).observe(
+            time.perf_counter() - phase_start
+        )
         return results, set(pending)
+
+    def _note_quarantine(
+        self, index: int, episode: int, round_index: int, kind: str
+    ) -> None:
+        health = self.health.employee(index)
+        if kind == "policy":
+            health.rejected_policy_gradients += 1
+        else:
+            health.rejected_curiosity_gradients += 1
+        self._metrics["rejected"].labels(kind=kind, employee=index).inc()
+        trace_event(
+            "fault.quarantine",
+            employee=index,
+            episode=episode,
+            round=round_index,
+            kind=kind,
+        )
+        _LOG.warning(
+            "quarantined %s gradient from employee %d (episode %d, round %d)",
+            kind,
+            index,
+            episode,
+            round_index,
+        )
 
     def _require_quorum(self, count: int, what: str, episode: int) -> None:
         required = self.config.quorum_size
@@ -549,21 +744,26 @@ class ChiefEmployeeTrainer:
     # Gradient application
     # ------------------------------------------------------------------
     def _apply_policy_gradients(self, episode: int) -> None:
-        grads, count = self.ppo_buffer.drain()
-        num_employees = self.config.num_employees
-        self._require_quorum(count, "a PPO gradient round", episode)
-        if count != num_employees:
-            # Degraded quorum: unbias the partial sum so the expected step
-            # matches the full-barrier sum of M contributions.
-            scale = num_employees / count
-            grads = [grad * scale for grad in grads]
-            self.health.degraded_rounds += 1
-        params = self.global_agent.policy_parameters()
-        max_norm = self.global_agent.ppo.max_grad_norm
-        for param, grad in zip(params, grads):
-            param.grad = grad
-        nn.clip_grad_norm(params, max_norm)
-        self.policy_optimizer.step()
+        with trace_span("chief.apply_gradients", kind="policy", episode=episode):
+            grads, count = self.ppo_buffer.drain()
+            num_employees = self.config.num_employees
+            self._require_quorum(count, "a PPO gradient round", episode)
+            if count != num_employees:
+                # Degraded quorum: unbias the partial sum so the expected step
+                # matches the full-barrier sum of M contributions.
+                scale = num_employees / count
+                grads = [grad * scale for grad in grads]
+                self.health.degraded_rounds += 1
+                self._metrics["degraded"].inc()
+                trace_event(
+                    "barrier.degraded", episode=episode, count=count, of=num_employees
+                )
+            params = self.global_agent.policy_parameters()
+            max_norm = self.global_agent.ppo.max_grad_norm
+            for param, grad in zip(params, grads):
+                param.grad = grad
+            nn.clip_grad_norm(params, max_norm)
+            self.policy_optimizer.step()
 
     def _apply_curiosity_gradients(self, episode: int) -> None:
         if self.curiosity_optimizer is None:
@@ -571,17 +771,18 @@ class ChiefEmployeeTrainer:
             return
         if self.curiosity_buffer.count == 0:
             return
-        grads, count = self.curiosity_buffer.drain()
-        num_employees = self.config.num_employees
-        if count < self.config.quorum_size:
-            # The curiosity model is auxiliary: below quorum we skip the
-            # round rather than stall the whole barrier.
-            self.health.curiosity_skipped_rounds += 1
-            return
-        if count != num_employees:
-            scale = num_employees / count
-            grads = [grad * scale for grad in grads]
-        self.curiosity_optimizer.apply_gradients(grads)
+        with trace_span("chief.apply_gradients", kind="curiosity", episode=episode):
+            grads, count = self.curiosity_buffer.drain()
+            num_employees = self.config.num_employees
+            if count < self.config.quorum_size:
+                # The curiosity model is auxiliary: below quorum we skip the
+                # round rather than stall the whole barrier.
+                self.health.curiosity_skipped_rounds += 1
+                return
+            if count != num_employees:
+                scale = num_employees / count
+                grads = [grad * scale for grad in grads]
+            self.curiosity_optimizer.apply_gradients(grads)
 
     # ------------------------------------------------------------------
     # One episode of the synchronous loop
@@ -596,14 +797,29 @@ class ChiefEmployeeTrainer:
         # parameter copy plus a fresh rollout.
         for index in sorted(self._pending_restart):
             self.health.employee(index).restarts += 1
+            self._metrics["restarts"].labels(employee=index).inc()
+            trace_event("fault.restart", employee=index, episode=episode)
+            _LOG.warning(
+                "employee %d restarted at episode %d boundary "
+                "(consecutive failures: %d)",
+                index,
+                episode,
+                self.health.employee(index).consecutive_failures,
+            )
         self._pending_restart.clear()
-        for employee in self.employees:
-            employee.sync(self.global_agent)
+        with trace_span("phase.sync", episode=episode):
+            for employee in self.employees:
+                employee.sync(self.global_agent)
 
         # Exploration phase (parallel in thread mode).
-        explore_results, failed = self._run_phase(
-            lambda e: e.explore(), all_indices, episode, EXPLORE_ROUND
-        )
+        with trace_span("phase.explore", episode=episode):
+            explore_results, failed = self._run_phase(
+                lambda e: e.explore(),
+                all_indices,
+                episode,
+                EXPLORE_ROUND,
+                phase="explore",
+            )
         active = sorted(explore_results)
         self._require_quorum(len(active), "exploration", episode)
         results: List[EpisodeResult] = [explore_results[i] for i in active]
@@ -612,9 +828,14 @@ class ChiefEmployeeTrainer:
         # Algorithm 2).
         stats_accum = []
         for round_index in range(self.config.k_updates):
-            packs, round_failed = self._run_phase(
-                lambda e: e.one_minibatch(batch_size), active, episode, round_index
-            )
+            with trace_span("phase.gradients", episode=episode, round=round_index):
+                packs, round_failed = self._run_phase(
+                    lambda e: e.one_minibatch(batch_size),
+                    active,
+                    episode,
+                    round_index,
+                    phase="gradients",
+                )
             if round_failed:
                 failed |= round_failed
                 active = [i for i in active if i not in round_failed]
@@ -631,19 +852,20 @@ class ChiefEmployeeTrainer:
                 try:
                     self.ppo_buffer.add(pack.policy, employee=index)
                 except GradientRejected:
-                    self.health.employee(index).rejected_policy_gradients += 1
+                    self._note_quarantine(index, episode, round_index, "policy")
                     accepted = False
                 if pack.curiosity:
                     try:
                         self.curiosity_buffer.add(pack.curiosity, employee=index)
                     except GradientRejected:
-                        self.health.employee(index).rejected_curiosity_gradients += 1
+                        self._note_quarantine(index, episode, round_index, "curiosity")
                 if accepted:
                     stats_accum.append(pack.stats)
             self._apply_policy_gradients(episode)
             self._apply_curiosity_gradients(episode)
-            for employee in self.employees:
-                employee.sync(self.global_agent)
+            with trace_span("phase.sync", episode=episode, round=round_index):
+                for employee in self.employees:
+                    employee.sync(self.global_agent)
 
         # Failure bookkeeping: contributors reset their streak, everyone
         # else extends it and is restarted at the next episode boundary.
@@ -664,9 +886,10 @@ class ChiefEmployeeTrainer:
         ):
             from ..agents.base import evaluate_policy
 
-            eval_metrics = evaluate_policy(
-                self.global_agent, self.eval_env, self._eval_rng
-            )
+            with trace_span("phase.eval", episode=episode):
+                eval_metrics = evaluate_policy(
+                    self.global_agent, self.eval_env, self._eval_rng
+                )
 
         return EpisodeLog(
             episode=episode,
@@ -703,11 +926,18 @@ class ChiefEmployeeTrainer:
 
         for __ in range(episodes):
             episode = self._episodes_done
-            history.logs.append(self._train_one_episode(episode, batch_size))
+            with trace_span("episode", episode=episode):
+                log = self._train_one_episode(episode, batch_size)
+            history.logs.append(log)
+            self.last_episode_log = log
             self._episodes_done += 1
+            self._metrics["episodes"].inc()
+            self._metrics["intrinsic"].set(log.intrinsic_reward)
             if on_episode_end is not None:
                 on_episode_end(self, episode)
         history.total_wall_time = time.perf_counter() - start
+        history.publish_to()
+        self.health.publish_to()
         return history
 
     def close(self) -> None:

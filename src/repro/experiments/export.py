@@ -104,4 +104,7 @@ def write_report(
 
 
 if __name__ == "__main__":
-    print(f"wrote {write_report()}")
+    from ..obs.log import configure_logging, get_logger
+
+    configure_logging(level="INFO")
+    get_logger(__name__).info("wrote %s", write_report())

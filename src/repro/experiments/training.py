@@ -124,6 +124,7 @@ def resume_or_start(
     save_every: int = 1,
     keep_last: int = 3,
     fault_injector=None,
+    on_episode_end=None,
 ) -> TrainingHistory:
     """Train ``trainer`` to ``episodes`` total with crash-safe auto-recovery.
 
@@ -137,6 +138,8 @@ def resume_or_start(
     Returns the history of the episodes run by *this* call (empty when the
     checkpoint already covers ``episodes``).  ``fault_injector`` threads
     checkpoint-interrupt faults into the writer (tests only).
+    ``on_episode_end(trainer, episode)`` is invoked after each episode's
+    checkpoint bookkeeping (e.g. the CLI's ASCII dashboard).
     """
     if episodes < 1:
         raise ValueError(f"episodes must be >= 1, got {episodes}")
@@ -153,6 +156,8 @@ def resume_or_start(
     def checkpoint_callback(t: ChiefEmployeeTrainer, episode: int) -> None:
         if (episode + 1) % save_every == 0 or episode + 1 == episodes:
             manager.save(t, episode + 1)
+        if on_episode_end is not None:
+            on_episode_end(t, episode)
 
     return trainer.train(remaining, on_episode_end=checkpoint_callback)
 

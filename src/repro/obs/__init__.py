@@ -1,0 +1,94 @@
+"""Observability for the chief–employee training stack.
+
+Three pillars, one package:
+
+* **tracing** (:mod:`repro.obs.trace`) — a :class:`Tracer` with nested
+  ``span("explore", employee=i)`` context managers that record
+  wall-clock durations to an in-memory ring buffer and an append-only,
+  schema-versioned JSONL file.  Installed via ``--trace-dir`` /
+  ``REPRO_TRACE=1``; the module-level :func:`span`/:func:`event`
+  helpers are no-ops when no tracer is installed.  Read back with
+  :func:`read_trace` / :func:`summarize_trace` or
+  ``python -m repro trace summary``.
+* **metrics** (:mod:`repro.obs.metrics`) — a process-local
+  :class:`MetricsRegistry` of counters/gauges/histograms with labeled
+  series, exported as JSON or Prometheus text.  Always on: increments
+  are deterministic locked adds, no clocks are read inside.
+* **autograd profiler** (:mod:`repro.obs.profiler`) — per-op wall
+  time/calls/FLOPs/bytes via the sanitizer's patch-on-enable /
+  restore-on-disable contract; ``python -m repro profile`` renders the
+  hot-spot table.  Zero overhead and bitwise-identical results when
+  off.
+
+Plus :func:`get_logger`/:func:`configure_logging` (stdlib ``logging``
+integration) and the ASCII live :class:`Dashboard` (``--dashboard``).
+"""
+
+from .dashboard import Dashboard
+from .log import JsonFormatter, ROOT_LOGGER_NAME, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .profiler import OpProfiler, OpStats, get_profiler, profile_env_enabled
+from .trace import (
+    TRACE_FILENAME,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    SpanNode,
+    TraceError,
+    Tracer,
+    build_span_tree,
+    event,
+    get_tracer,
+    read_trace,
+    render_trace_summary,
+    span,
+    summarize_trace,
+    trace_env_enabled,
+    trace_path_for,
+)
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "Span",
+    "SpanNode",
+    "TraceError",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_FILENAME",
+    "span",
+    "event",
+    "get_tracer",
+    "trace_env_enabled",
+    "trace_path_for",
+    "read_trace",
+    "build_span_tree",
+    "summarize_trace",
+    "render_trace_summary",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    # profiler
+    "OpProfiler",
+    "OpStats",
+    "get_profiler",
+    "profile_env_enabled",
+    # logging
+    "get_logger",
+    "configure_logging",
+    "JsonFormatter",
+    "ROOT_LOGGER_NAME",
+    # dashboard
+    "Dashboard",
+]

@@ -1,0 +1,102 @@
+"""Standard-library ``logging`` integration for the reproduction.
+
+Two entry points:
+
+* :func:`get_logger` returns a child of the ``repro`` logger hierarchy
+  (``get_logger("repro.distributed.trainer")`` or simply
+  ``get_logger(__name__)``).  Modules call this at import time and log
+  freely; until :func:`configure_logging` is called, a
+  :class:`logging.NullHandler` swallows everything, so library users
+  who never opt in see no output and pay (almost) nothing.
+* :func:`configure_logging` is the single opt-in configuration point:
+  it attaches one stream handler to the ``repro`` root logger with
+  either a plain human-readable formatter or a JSON-lines formatter.
+  Calling it again reconfigures (idempotent — never stacks handlers).
+
+The JSON formatter serialises ``record.created`` (a timestamp captured
+by the stdlib logging machinery itself), so no code in this module
+reads a clock directly — consistent with the lint rules.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Optional, Union
+
+__all__ = [
+    "get_logger",
+    "configure_logging",
+    "JsonFormatter",
+    "ROOT_LOGGER_NAME",
+]
+
+#: Every repro logger lives under this root.
+ROOT_LOGGER_NAME = "repro"
+
+_PLAIN_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, msg (+ exception)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def _root() -> logging.Logger:
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if not logger.handlers:
+        # Library default: silent unless the app opts in.
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the root ``repro`` logger;
+    ``get_logger(__name__)`` keeps names already under ``repro``
+    untouched and prefixes anything else with ``repro.``.
+    """
+    _root()
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    json: bool = False,  # noqa: A002 - mirrors the issue's spec
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Opt in to log output on the ``repro`` hierarchy.
+
+    Replaces any handler previously attached by this function (or the
+    default NullHandler), so repeated calls reconfigure instead of
+    duplicating lines.  Returns the configured root logger.
+    """
+    logger = _root()
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler.setFormatter(JsonFormatter() if json else logging.Formatter(_PLAIN_FORMAT))
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

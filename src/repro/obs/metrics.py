@@ -1,0 +1,399 @@
+"""Process-local metrics: counters, gauges and histograms with labels.
+
+A :class:`MetricsRegistry` owns named metrics; each metric owns labeled
+series (``counter.labels(employee="3").inc()``).  Snapshots export to a
+plain JSON-able dict and to the Prometheus text exposition format, so a
+training run can be scraped or archived without any external dependency.
+
+The registry is deliberately *dumb and deterministic*: increments are a
+locked float add, no clocks are read, and nothing here can perturb a
+training run — the trainer keeps its metrics hot at all times (unlike
+tracing/profiling, which follow the enable/disable patching contract).
+Durations fed into histograms are measured by the *caller* with
+``time.perf_counter`` (the reporting-only clock the lint rules allow).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds-flavoured, Prometheus style).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared machinery of the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, object] = {}
+
+    def _key(self, labels: Dict[str, object]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def labels(self, **labels) -> "_Metric":
+        """A bound child carrying fixed label values."""
+        key = self._key(labels)
+        return _Bound(self, key)
+
+    def _labelled_name(self, key: LabelValues, suffix: str = "") -> str:
+        if not self.labelnames:
+            return f"{self.name}{suffix}"
+        pairs = ",".join(
+            f'{label}="{_escape(value)}"'
+            for label, value in zip(self.labelnames, key)
+        )
+        return f"{self.name}{suffix}{{{pairs}}}"
+
+    # Overridden by subclasses -----------------------------------------
+    def _default(self) -> object:
+        raise NotImplementedError
+
+    def _get(self, key: LabelValues) -> object:
+        with self._lock:
+            if key not in self._series:
+                self._series[key] = self._default()
+            return self._series[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        raise NotImplementedError
+
+
+class _Bound:
+    """A metric bound to one label-value tuple."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: _Metric, key: LabelValues):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._inc(self._key, amount)  # type: ignore[attr-defined]
+
+    def set(self, value: float) -> None:
+        self._metric._set(self._key, value)  # type: ignore[attr-defined]
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)  # type: ignore[attr-defined]
+
+    @property
+    def value(self) -> float:
+        return self._metric._value(self._key)  # type: ignore[attr-defined]
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (``_total`` by convention)."""
+
+    kind = "counter"
+
+    def _default(self) -> float:
+        return 0.0
+
+    def _inc(self, key: LabelValues, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease ({amount})")
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def _value(self, key: LabelValues) -> float:
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series."""
+        self._inc(self._key({}), amount)
+
+    @property
+    def value(self) -> float:
+        return self._value(self._key({}))
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "series": {
+                    self._labelled_name(key): value
+                    for key, value in sorted(self._series.items())
+                },
+            }
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for key, value in sorted(self._series.items()):
+                lines.append(
+                    f"{self._labelled_name(key)} {_format_value(float(value))}"
+                )
+        return lines
+
+
+class Gauge(Counter):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _inc(self, key: LabelValues, amount: float) -> None:
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def _set(self, key: LabelValues, value: float) -> None:
+        with self._lock:
+            self._series[key] = float(value)
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled series."""
+        self._set(self._key({}), value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._inc(self._key({}), -amount)
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * num_buckets  # cumulative at render time, raw here
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Bucketed distribution (e.g. ``barrier_wait_seconds``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help=help, labelnames=labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be non-empty and increasing: {buckets}")
+        self.buckets = bounds
+
+    def _default(self) -> _HistogramState:
+        return _HistogramState(len(self.buckets))
+
+    def _observe(self, key: LabelValues, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = self._default()
+                self._series[key] = state
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.counts[index] += 1
+                    break
+            state.sum += value
+            state.count += 1
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled series."""
+        self._observe(self._key({}), value)
+
+    def _value(self, key: LabelValues) -> float:
+        with self._lock:
+            state = self._series.get(key)
+            return float(state.sum) if state is not None else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            series = {}
+            for key, state in sorted(self._series.items()):
+                series[self._labelled_name(key)] = {
+                    "count": state.count,
+                    "sum": state.sum,
+                    "buckets": {
+                        _format_value(bound): count
+                        for bound, count in zip(self.buckets, state.counts)
+                    },
+                }
+            return {"kind": self.kind, "help": self.help, "series": series}
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for key, state in sorted(self._series.items()):
+                cumulative = 0
+                for bound, count in zip(self.buckets, state.counts):
+                    cumulative += count
+                    label_key = key + (_format_value(bound),)
+                    pairs = ",".join(
+                        f'{label}="{_escape(value)}"'
+                        for label, value in zip(
+                            self.labelnames + ("le",), label_key
+                        )
+                    )
+                    lines.append(f"{self.name}_bucket{{{pairs}}} {cumulative}")
+                inf_key = key + ("+Inf",)
+                pairs = ",".join(
+                    f'{label}="{_escape(value)}"'
+                    for label, value in zip(self.labelnames + ("le",), inf_key)
+                )
+                lines.append(f"{self.name}_bucket{{{pairs}}} {state.count}")
+                lines.append(
+                    f"{self._labelled_name(key, '_sum')} {_format_value(state.sum)}"
+                )
+                lines.append(f"{self._labelled_name(key, '_count')} {state.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with consistent typing."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help=help, labelnames=labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help=help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as one JSON-able dict."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            metrics = [metric for __, metric in sorted(self._metrics.items())]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Default process-local registry
+# ----------------------------------------------------------------------
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry; returns the previous one (tests)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous

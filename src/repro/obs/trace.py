@@ -1,0 +1,518 @@
+"""Structured tracing: nested spans, an in-memory ring buffer, JSONL files.
+
+A :class:`Tracer` records **spans** (named, attributed wall-clock
+intervals — ``span("phase.explore", employee=3)``) and **events**
+(instant, zero-duration marks — ``event("fault.quarantine", ...)``).
+Completed records land in two places:
+
+* an in-memory **ring buffer** (``deque(maxlen=ring_size)``) for live
+  consumers such as the ASCII dashboard;
+* an append-only **JSONL trace file** — one schema-versioned JSON object
+  per line, written and flushed atomically (a single ``write()`` call
+  per record under the tracer lock), so a crashed run leaves a readable
+  prefix.
+
+Span nesting is tracked per thread: a span opened inside another span on
+the same thread records that span as its parent, which is exactly the
+chief/employee structure (an ``employee.explore`` span opened inside the
+worker thread nests the ``env.step`` spans of that rollout).
+
+Like the sanitizer and the autograd profiler, tracing follows the
+*enable/disable* contract: instrumentation points throughout the stack
+call the module-level :func:`span` / :func:`event` helpers, which are
+cheap no-ops while no tracer is installed — and because span bodies only
+*read* clocks, an instrumented run is bitwise-identical to an
+uninstrumented one (see DESIGN.md, "Observability").
+
+Toggles: ``python -m repro train --trace-dir DIR`` or ``REPRO_TRACE=1``
+(optionally with ``REPRO_TRACE_DIR``).
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..utils.tables import format_table
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_FILENAME",
+    "TraceError",
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "span",
+    "event",
+    "get_tracer",
+    "trace_env_enabled",
+    "trace_path_for",
+    "read_trace",
+    "build_span_tree",
+    "summarize_trace",
+    "render_trace_summary",
+]
+
+#: Version stamp written into every record; bump on breaking layout changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: File name used inside a ``--trace-dir`` directory.
+TRACE_FILENAME = "trace.jsonl"
+
+_RECORD_TYPES = ("header", "span", "event")
+
+
+class TraceError(ValueError):
+    """Raised when a trace file violates the JSONL schema."""
+
+
+def trace_env_enabled(environ=None) -> bool:
+    """True when ``REPRO_TRACE`` requests tracing (1/true/yes/on)."""
+    environ = os.environ if environ is None else environ
+    return str(environ.get("REPRO_TRACE", "")).strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def trace_path_for(trace_dir: str) -> str:
+    """The trace file path inside ``trace_dir`` (created if missing)."""
+    os.makedirs(trace_dir, exist_ok=True)
+    return os.path.join(trace_dir, TRACE_FILENAME)
+
+
+class Span:
+    """One open span; context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "_start_ts", "_start_pc")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self._start_ts = 0.0
+        self._start_pc = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start_ts = time.time()
+        self._start_pc = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._start_pc
+        stack = self.tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self.tracer._emit(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "type": "span",
+                "name": self.name,
+                "ts": self._start_ts,
+                "dur": duration,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "attrs": self.attrs,
+            }
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Record spans and events to a ring buffer and an optional JSONL file.
+
+    Parameters
+    ----------
+    path:
+        JSONL trace file (append-only; a header record is written on
+        install).  ``None`` keeps records in memory only.
+    ring_size:
+        Entries retained by the in-memory ring buffer.
+    """
+
+    def __init__(self, path: Optional[str] = None, ring_size: int = 4096):
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.path = os.fspath(path) if path is not None else None
+        self.ring: "deque[Dict[str, object]]" = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._handle: Optional[io.TextIOBase] = None
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._installed = False
+        self.records_emitted = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _emit(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self.ring.append(record)
+            self.records_emitted += 1
+            if self._handle is not None:
+                # One write() + flush per record: an interrupted run leaves
+                # at most one torn trailing line, never interleaved records.
+                self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+                self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """A context manager timing one named span."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record one instant (zero-duration) event."""
+        stack = self._stack()
+        self._emit(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "type": "event",
+                "name": name,
+                "ts": time.time(),
+                "dur": 0.0,
+                "id": next(self._ids),
+                "parent": stack[-1] if stack else None,
+                "attrs": attrs,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Install / remove (module-level singleton)
+    # ------------------------------------------------------------------
+    def install(self) -> "Tracer":
+        """Make this the process-wide active tracer; opens the trace file."""
+        global _ACTIVE
+        if self._installed:
+            return self
+        if _ACTIVE is not None:
+            raise RuntimeError("another Tracer is already installed")
+        if self.path is not None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            handle = open(self.path, "a", encoding="utf-8")
+            with self._lock:
+                self._handle = handle
+        self._emit(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "type": "header",
+                "name": "trace",
+                "ts": time.time(),
+                "dur": 0.0,
+                "id": 0,
+                "parent": None,
+                "attrs": {"pid": os.getpid()},
+            }
+        )
+        self._installed = True
+        _ACTIVE = self
+        return self
+
+    def uninstall(self) -> "Tracer":
+        """Detach and close the trace file (records stay in the ring)."""
+        global _ACTIVE
+        if not self._installed:
+            return self
+        self._installed = False
+        if _ACTIVE is self:
+            _ACTIVE = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+        return self
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def __enter__(self) -> "Tracer":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def summary(self) -> str:
+        """One-line CLI summary."""
+        where = self.path if self.path is not None else "<memory>"
+        with self._lock:
+            emitted = self.records_emitted
+        return f"tracer: {emitted} record(s) -> {where}"
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers (the instrumentation surface)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, if any."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Span context manager on the active tracer (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Instant event on the active tracer (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+# ----------------------------------------------------------------------
+# Reading trace files back
+# ----------------------------------------------------------------------
+_REQUIRED_FIELDS = ("schema", "type", "name", "ts", "dur", "id", "attrs")
+
+
+def _validate(record: object, lineno: int) -> Dict[str, object]:
+    if not isinstance(record, dict):
+        raise TraceError(f"line {lineno}: record is not a JSON object")
+    missing = [key for key in _REQUIRED_FIELDS if key not in record]
+    if missing:
+        raise TraceError(f"line {lineno}: missing field(s) {missing}")
+    if record["schema"] != TRACE_SCHEMA_VERSION:
+        raise TraceError(
+            f"line {lineno}: schema {record['schema']!r} != {TRACE_SCHEMA_VERSION}"
+        )
+    if record["type"] not in _RECORD_TYPES:
+        raise TraceError(f"line {lineno}: unknown record type {record['type']!r}")
+    if not isinstance(record["attrs"], dict):
+        raise TraceError(f"line {lineno}: attrs must be an object")
+    return record
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse and validate a JSONL trace file (dir paths resolve to its file).
+
+    A torn trailing line (from a killed process) is tolerated; any other
+    malformed line raises :class:`TraceError`.
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, TRACE_FILENAME)
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn trailing line from an interrupted writer
+            raise TraceError(f"line {lineno}: invalid JSON") from None
+        records.append(_validate(payload, lineno))
+    return records
+
+
+@dataclass
+class SpanNode:
+    """One span (or event) in a reconstructed trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    ts: float
+    dur: float
+    kind: str = "span"
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_tree(records: Sequence[Dict[str, object]]) -> List[SpanNode]:
+    """Reconstruct the span forest (roots sorted by start time).
+
+    Spans are emitted at *end* time, so children appear before their
+    parents in the file; the tree is linked by ``parent`` id.  Events are
+    attached as zero-duration leaves.  Orphans (parent span still open
+    when the file stopped) become roots.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    for record in records:
+        if record["type"] == "header":
+            continue
+        node = SpanNode(
+            name=str(record["name"]),
+            span_id=int(record["id"]),
+            parent_id=None if record.get("parent") is None else int(record["parent"]),
+            ts=float(record["ts"]),
+            dur=float(record["dur"]),
+            kind=str(record["type"]),
+            attrs=dict(record["attrs"]),
+        )
+        nodes[node.span_id] = node
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.parent_id) if node.parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: (child.ts, child.span_id))
+    roots.sort(key=lambda node: (node.ts, node.span_id))
+    return roots
+
+
+@dataclass
+class _Agg:
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        self.max = max(self.max, duration)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def summarize_trace(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate a trace: per-name, per-phase and per-employee timings.
+
+    Returns a plain dict so callers can render or JSON-dump it:
+    ``{"spans": n, "events": n, "by_name": {...}, "by_employee": {...},
+    "event_counts": {...}}``.
+    """
+    by_name: Dict[str, _Agg] = {}
+    by_employee: Dict[Tuple[str, int], _Agg] = {}
+    event_counts: Dict[str, int] = {}
+    spans = events = 0
+    for record in records:
+        name = str(record["name"])
+        if record["type"] == "span":
+            spans += 1
+            duration = float(record["dur"])
+            by_name.setdefault(name, _Agg()).add(duration)
+            employee = record["attrs"].get("employee")
+            if employee is not None:
+                key = (name, int(employee))
+                by_employee.setdefault(key, _Agg()).add(duration)
+        elif record["type"] == "event":
+            events += 1
+            event_counts[name] = event_counts.get(name, 0) + 1
+    return {
+        "spans": spans,
+        "events": events,
+        "by_name": {
+            name: {
+                "count": agg.count,
+                "total": agg.total,
+                "mean": agg.mean,
+                "max": agg.max,
+            }
+            for name, agg in sorted(by_name.items())
+        },
+        "by_employee": {
+            f"{name}[{employee}]": {
+                "count": agg.count,
+                "total": agg.total,
+                "mean": agg.mean,
+                "max": agg.max,
+            }
+            for (name, employee), agg in sorted(by_employee.items())
+        },
+        "event_counts": dict(sorted(event_counts.items())),
+    }
+
+
+def render_trace_summary(summary: Dict[str, object]) -> str:
+    """Human-readable tables for :func:`summarize_trace` output."""
+    lines: List[str] = [
+        f"trace: {summary['spans']} span(s), {summary['events']} event(s)"
+    ]
+    by_name = summary["by_name"]
+    if by_name:
+        rows = [
+            [name, agg["count"], agg["total"], agg["mean"], agg["max"]]
+            for name, agg in sorted(
+                by_name.items(), key=lambda item: -item[1]["total"]
+            )
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["span", "count", "total s", "mean s", "max s"],
+                rows,
+                title="per-span timings",
+                precision=4,
+            )
+        )
+    by_employee = summary["by_employee"]
+    if by_employee:
+        rows = [
+            [name, agg["count"], agg["total"], agg["mean"]]
+            for name, agg in sorted(by_employee.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["span[employee]", "count", "total s", "mean s"],
+                rows,
+                title="per-employee timings",
+                precision=4,
+            )
+        )
+    event_counts = summary["event_counts"]
+    if event_counts:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["event", "count"],
+                [[name, count] for name, count in event_counts.items()],
+                title="events",
+            )
+        )
+    return "\n".join(lines)

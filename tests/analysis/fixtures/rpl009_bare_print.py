@@ -1,0 +1,15 @@
+"""Known-bad fixture for RPL009: bare print() in library code."""
+
+
+def train_step(loss):
+    print("loss:", loss)  # RPL009: stdout from library code
+    return loss
+
+
+def report_progress(episode, kappa):
+    if episode % 10 == 0:
+        print(f"episode {episode}: kappa={kappa:.3f}")  # RPL009
+
+
+def tolerable(logger, episode):
+    logger.info("episode %d done", episode)  # fine: structured logging

@@ -30,12 +30,13 @@ FIXTURE_EXPECTATIONS = {
     "rpl006_wall_clock.py": ("RPL006", 2),
     "rpl007_swallowed_exception.py": ("RPL007", 2),
     os.path.join("rpl008_module_seed", "test_module_seed.py"): ("RPL008", 2),
+    "rpl009_bare_print.py": ("RPL009", 2),
 }
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
-        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)]
 
     def test_rule_table_rows(self):
         rows = rule_table()
@@ -140,6 +141,16 @@ class TestPathScoping:
         source = "import numpy as np\ndef seed():\n    np.random.seed(0)\n"
         assert lint_source(source, "tests/test_foo.py") == []
         assert [f.code for f in lint_source(source, "src/repro/foo.py")] == ["RPL001"]
+
+    def test_rpl009_whitelists_cli_and_reporting_modules(self):
+        source = "print('hello')\n"
+        assert lint_source(source, "src/repro/__main__.py") == []
+        assert lint_source(source, "src/repro/analysis/cli.py") == []
+        assert lint_source(source, "src/repro/analysis/reporters.py") == []
+        assert lint_source(source, "tests/test_foo.py") == []
+        assert [f.code for f in lint_source(source, "src/repro/env/env.py")] == [
+            "RPL009"
+        ]
 
     def test_rpl008_only_fires_in_test_files(self):
         source = "import numpy as np\nnp.random.seed(0)\n"

@@ -1,0 +1,76 @@
+"""ASCII dashboard: rendering cadence, curves, phase timings."""
+
+import io
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs import Dashboard, MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+def fake_log(episode, reward=1.0, kappa=0.5, rho=0.1):
+    return SimpleNamespace(
+        episode=episode,
+        extrinsic_reward=reward,
+        intrinsic_reward=0.02,
+        kappa=kappa,
+        xi=0.4,
+        rho=rho,
+        policy_loss=-0.1,
+        value_loss=0.3,
+        entropy=1.2,
+    )
+
+
+class TestDashboard:
+    def test_render_empty(self):
+        assert "no episodes" in Dashboard(registry=MetricsRegistry()).render()
+
+    def test_single_episode_snapshot(self):
+        dash = Dashboard(registry=MetricsRegistry())
+        dash._logs.append(fake_log(0))
+        out = dash.render()
+        assert "episode 0" in out
+        assert "kappa 0.500" in out
+        assert "reward" in out
+
+    def test_curves_appear_after_two_episodes(self):
+        dash = Dashboard(registry=MetricsRegistry())
+        dash._logs.extend([fake_log(0, kappa=0.2), fake_log(1, kappa=0.8)])
+        out = dash.render()
+        assert "collection ratio / energy efficiency" in out
+
+    def test_every_controls_cadence(self):
+        stream = io.StringIO()
+        dash = Dashboard(every=2, stream=stream, registry=MetricsRegistry())
+        dash.on_episode_end(fake_log(0))
+        assert stream.getvalue() == ""
+        dash.on_episode_end(fake_log(1))
+        assert "episode 1" in stream.getvalue()
+
+    def test_every_validation(self):
+        with pytest.raises(ValueError, match="every"):
+            Dashboard(every=0)
+
+    def test_phase_lines_from_registry(self):
+        registry = MetricsRegistry()
+        phases = registry.histogram(
+            "repro_phase_seconds", "phase wall time", labelnames=("phase",)
+        )
+        phases.labels(phase="explore").observe(0.25)
+        phases.labels(phase="gradients").observe(0.05)
+        dash = Dashboard(registry=registry)
+        dash._logs.append(fake_log(0))
+        out = dash.render()
+        assert "phase wall time:" in out
+        assert "explore" in out
+        assert "gradients" in out
+
+    def test_writes_go_to_stream_not_stdout(self, capsys):
+        stream = io.StringIO()
+        dash = Dashboard(stream=stream, registry=MetricsRegistry())
+        dash.on_episode_end(fake_log(0))
+        assert capsys.readouterr().out == ""
+        assert stream.getvalue()

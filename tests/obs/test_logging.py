@@ -1,0 +1,97 @@
+"""Stdlib logging integration: hierarchy, configuration, JSON lines."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import JsonFormatter, ROOT_LOGGER_NAME, configure_logging, get_logger
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    """Reset the repro root logger after each test."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    handlers, level, propagate = list(root.handlers), root.level, root.propagate
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in handlers:
+        root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = propagate
+
+
+class TestGetLogger:
+    def test_names_are_prefixed_into_the_hierarchy(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+        assert get_logger("repro.distributed.trainer").name == "repro.distributed.trainer"
+        assert get_logger("mymodule").name == "repro.mymodule"
+
+    def test_silent_by_default(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        get_logger("anything")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestConfigureLogging:
+    def test_plain_output(self):
+        stream = io.StringIO()
+        configure_logging(level="INFO", stream=stream)
+        get_logger("unit").info("hello %d", 7)
+        line = stream.getvalue()
+        assert "hello 7" in line
+        assert "repro.unit" in line
+        assert "INFO" in line
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level="WARNING", stream=stream)
+        get_logger("unit").info("quiet")
+        get_logger("unit").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        configure_logging(stream=stream)
+        get_logger("unit").warning("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="DEBUG", json=True, stream=stream)
+        get_logger("unit").debug("payload %s", "x")
+        record = json.loads(stream.getvalue().strip())
+        assert record["msg"] == "payload x"
+        assert record["level"] == "DEBUG"
+        assert record["logger"] == "repro.unit"
+        assert record["ts"] > 0
+
+    def test_json_formatter_exception(self):
+        formatter = JsonFormatter()
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            record = logging.LogRecord(
+                "repro.unit", logging.ERROR, __file__, 1, "failed", (), True
+            )
+            import sys
+
+            record.exc_info = sys.exc_info()
+        payload = json.loads(formatter.format(record))
+        assert "RuntimeError: boom" in payload["exc"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="SHOUTY")
+
+    def test_numeric_level_accepted(self):
+        stream = io.StringIO()
+        logger = configure_logging(level=logging.ERROR, stream=stream)
+        assert logger.level == logging.ERROR

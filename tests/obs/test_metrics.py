@@ -1,0 +1,192 @@
+"""Metrics registry: counters/gauges/histograms, labels, exporters."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+pytestmark = pytest.mark.obs
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "metrics.prom")
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """The fixed registry the Prometheus golden file was rendered from."""
+    registry = MetricsRegistry()
+    rejected = registry.counter(
+        "repro_gradients_rejected_total",
+        "Gradient contributions quarantined by the chief",
+        labelnames=("kind", "employee"),
+    )
+    rejected.labels(kind="policy", employee=0).inc()
+    rejected.labels(kind="policy", employee=0).inc()
+    rejected.labels(kind="curiosity", employee=2).inc(3)
+    intrinsic = registry.gauge(
+        "repro_intrinsic_reward", "Mean intrinsic reward of the last episode"
+    )
+    intrinsic.set(0.25)
+    waits = registry.histogram(
+        "repro_barrier_wait_seconds",
+        "Chief time spent waiting on the employee barrier",
+        labelnames=("phase",),
+        buckets=(0.1, 1.0),
+    )
+    for value in (0.05, 0.5, 5.0):
+        waits.labels(phase="explore").observe(value)
+    return registry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("repro_things_total", "things")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        counter = Counter("repro_things_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("repro_things_total", labelnames=("kind",))
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc(2)
+        snapshot = counter.snapshot()
+        assert snapshot["series"] == {
+            'repro_things_total{kind="a"}': 1.0,
+            'repro_things_total{kind="b"}': 2.0,
+        }
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("repro_things_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.labels(flavour="a")
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.labels()
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("0bad")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("repro_ok_total", labelnames=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_level")
+        gauge.set(10.0)
+        gauge.dec(3.0)
+        gauge.inc(0.5)
+        assert gauge.value == 7.5
+
+    def test_labelled_set(self):
+        gauge = Gauge("repro_level", labelnames=("phase",))
+        gauge.labels(phase="explore").set(-1.5)
+        assert gauge.labels(phase="explore").value == -1.5
+
+
+class TestHistogram:
+    def test_bucketing_and_snapshot(self):
+        histogram = Histogram("repro_wait_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()["series"]["repro_wait_seconds"]
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == pytest.approx(5.55)
+        assert snapshot["buckets"] == {"0.1": 1, "1": 1}  # 5.0 only in +Inf
+
+    def test_cumulative_prometheus_buckets(self):
+        histogram = Histogram("repro_wait_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = "\n".join(histogram.render())
+        assert 'repro_wait_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_wait_seconds_bucket{le="1"} 2' in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_wait_seconds_count 3" in text
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("repro_x", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("repro_x", buckets=())
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_a_total")
+        assert registry.counter("repro_a_total") is first
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_a_total")
+        # Gauge subclasses Counter: the exact-type check must still fire.
+        registry.gauge("repro_b")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_b")
+
+    def test_names_and_get(self):
+        registry = build_reference_registry()
+        assert registry.names() == [
+            "repro_barrier_wait_seconds",
+            "repro_gradients_rejected_total",
+            "repro_intrinsic_reward",
+        ]
+        assert registry.get("repro_intrinsic_reward").value == 0.25
+        assert registry.get("missing") is None
+
+    def test_json_snapshot_round_trips(self):
+        payload = json.loads(build_reference_registry().to_json())
+        rejected = payload["repro_gradients_rejected_total"]
+        assert rejected["kind"] == "counter"
+        assert (
+            rejected["series"]['repro_gradients_rejected_total{kind="policy",employee="0"}']
+            == 2.0
+        )
+
+    def test_reset(self):
+        registry = build_reference_registry()
+        registry.reset()
+        assert registry.names() == []
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+
+class TestPrometheusGolden:
+    def test_render_matches_golden_file(self):
+        rendered = build_reference_registry().render_prometheus()
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert rendered == handle.read()
+
+    def test_render_is_deterministic(self):
+        assert (
+            build_reference_registry().render_prometheus()
+            == build_reference_registry().render_prometheus()
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

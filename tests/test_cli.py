@@ -1,5 +1,7 @@
 """Tests for the top-level ``python -m repro`` CLI."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -85,5 +87,87 @@ class TestTrainCommand:
         assert (tmp_path / "REPORT.md").exists()
 
     def test_unknown_command_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main(["deploy"])
+        assert excinfo.value.code == 2
+
+    def test_help_lists_all_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("train", "evaluate", "report", "lint", "trace", "profile"):
+            assert command in out
+
+
+class TestObservabilityCommands:
+    def test_train_with_trace_dir_and_summary(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        assert (
+            main(
+                [
+                    "train", "--method", "dppo", "--scale", "smoke",
+                    "--episodes", "1", "--seed", "1",
+                    "--trace-dir", str(trace_dir),
+                ]
+            )
+            == 0
+        )
+        assert (trace_dir / "trace.jsonl").exists()
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "phase.explore" in out
+        assert "employee.explore" in out
+
+    def test_trace_cat_emits_json_lines(self, tmp_path, capsys):
+        trace_dir = tmp_path / "trace"
+        main(
+            [
+                "train", "--method", "dppo", "--scale", "smoke",
+                "--episodes", "1", "--seed", "1", "--trace-dir", str(trace_dir),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "cat", str(trace_dir)]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["schema"] == 1
+
+    def test_trace_missing_path_fails_gracefully(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope")]) == 1
+        assert "no trace file" in capsys.readouterr().out
+
+    def test_profile_flag_on_train(self, capsys):
+        assert (
+            main(
+                [
+                    "train", "--method", "dppo", "--scale", "smoke",
+                    "--episodes", "1", "--seed", "1", "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "self %" in out  # hot-spot table header
+
+    def test_profile_subcommand(self, capsys):
+        assert main(["profile", "--method", "dppo", "--episodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "profiler:" in out
+        assert "backward" in out
+
+    def test_dashboard_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "train", "--method", "dppo", "--scale", "smoke",
+                    "--episodes", "2", "--seed", "1", "--dashboard",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "episode" in out

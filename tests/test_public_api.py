@@ -42,6 +42,7 @@ class TestExports:
         import repro.env
         import repro.experiments
         import repro.nn
+        import repro.obs
         import repro.utils
 
         return (
@@ -52,6 +53,7 @@ class TestExports:
             repro.env,
             repro.experiments,
             repro.nn,
+            repro.obs,
             repro.utils,
         )
 
