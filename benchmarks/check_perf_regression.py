@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark run against the committed baseline.
+
+Usage (what the CI ``perf`` job runs)::
+
+    pytest benchmarks/test_substrate_micro.py --benchmark-only \
+        --benchmark-json=bench.json -q
+    python benchmarks/check_perf_regression.py bench.json
+
+A benchmark regresses when its fresh mean exceeds ``threshold`` times the
+baseline mean (default 1.5x — generous on purpose: shared CI runners are
+noisy, and the point of the gate is catching the order-of-magnitude
+regressions that re-introduce per-call index construction or tape
+allocation, not 10% jitter).  Benchmarks present on only one side are
+reported but never fail the run, so adding a microbenchmark does not
+require regenerating the baseline in the same change.
+
+Exit status: 0 when every shared benchmark is within threshold, 1
+otherwise.  Regenerate the baseline (same flags as above, then copy the
+relevant stats) only alongside a change whose slowdown is understood and
+accepted; the file also records the pre-PR-4 means so the optimization
+trajectory stays auditable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_4.json"
+
+
+def load_baseline(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    if "benchmarks" not in payload or not isinstance(payload["benchmarks"], dict):
+        raise SystemExit(f"{path}: not a baseline file (missing 'benchmarks' map)")
+    return payload["benchmarks"]
+
+
+def load_current(path: Path) -> dict:
+    """Means from a raw ``--benchmark-json`` dump, keyed by test name."""
+    payload = json.loads(path.read_text())
+    benches = payload.get("benchmarks")
+    if not isinstance(benches, list):
+        raise SystemExit(f"{path}: not a pytest-benchmark JSON dump")
+    return {b["name"]: float(b["stats"]["mean"]) for b in benches}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="fail when current mean > threshold * baseline mean (default 1.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    current = load_current(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf check: no shared benchmarks between baseline and run", file=sys.stderr)
+        return 1
+
+    failures = []
+    width = max(len(name) for name in shared)
+    print(f"perf check vs {args.baseline.name} (threshold {args.threshold:g}x)")
+    for name in shared:
+        base_mean = float(baseline[name]["mean_s"])
+        cur_mean = current[name]
+        ratio = cur_mean / base_mean
+        flag = "OK" if ratio <= args.threshold else "REGRESSED"
+        if flag != "OK":
+            failures.append(name)
+        print(
+            f"  {name:<{width}}  baseline {base_mean * 1e3:8.3f}ms"
+            f"  current {cur_mean * 1e3:8.3f}ms  x{ratio:5.2f}  {flag}"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  (not in baseline — informational only)")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"  {name:<{width}}  (in baseline but not measured this run)")
+
+    if failures:
+        print(
+            f"perf check: {len(failures)} benchmark(s) regressed beyond "
+            f"{args.threshold:g}x: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf check: {len(shared)} benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

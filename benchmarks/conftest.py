@@ -40,19 +40,31 @@ def artifact_dir() -> Path:
 
 
 @pytest.fixture
-def report(artifact_dir):
+def report(artifact_dir, request):
     """Write an experiment's rendered output to results/ and echo it."""
 
     def write(experiment_id: str, text: str) -> None:
         path = artifact_dir / f"{experiment_id}.txt"
         path.write_text(text + "\n")
+        # Flag the session so sessionfinish knows a paper artifact changed.
+        request.config._repro_artifacts_written = True
         print(f"\n{text}\n[written to {path}]")
 
     return write
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Stitch all artifacts into results/REPORT.md after a bench run."""
+    """Stitch all artifacts into results/REPORT.md after a bench run.
+
+    Only runs when the session actually (re)generated a paper artifact
+    through the ``report`` fixture.  Microbenchmark-only invocations — e.g.
+    ``pytest benchmarks/test_substrate_micro.py --benchmark-json=...`` as
+    used by the CI perf job — must leave ``results/REPORT.md`` untouched so
+    the working tree stays clean and the emitted JSON is the run's only
+    output.
+    """
+    if not getattr(session.config, "_repro_artifacts_written", False):
+        return
     from repro.experiments.export import write_report
 
     try:

@@ -15,6 +15,8 @@ from repro.curiosity import SpatialCuriosity, TransitionBatch
 from repro.env import Action, CrowdsensingEnv, smoke_config
 from repro.nn import functional as F
 
+pytestmark = pytest.mark.perf
+
 
 @pytest.fixture(scope="module")
 def config():
@@ -26,6 +28,20 @@ def test_conv2d_forward(benchmark, rng):
     w = nn.Tensor(rng.normal(size=(16, 3, 3, 3)))
     b = nn.Tensor(rng.normal(size=16))
     benchmark(lambda: F.conv2d(x, w, b, stride=1, padding=1))
+
+
+def test_conv2d_forward_cached_plan(benchmark, rng):
+    """Strided conv2d (the CNN's downsampling shape class) with a hot plan.
+
+    The first call populates the kernel-plan cache; the benchmark then
+    measures steady-state forwards, which is what the training loop sees —
+    one plan per (shape, kernel, stride) for the whole run.
+    """
+    x = nn.Tensor(rng.normal(size=(8, 8, 16, 16)))
+    w = nn.Tensor(rng.normal(size=(16, 8, 3, 3)))
+    b = nn.Tensor(rng.normal(size=16))
+    F.conv2d(x, w, b, stride=2, padding=1)  # warm the plan cache
+    benchmark(lambda: F.conv2d(x, w, b, stride=2, padding=1))
 
 
 def test_conv2d_backward(benchmark, rng):
@@ -53,10 +69,56 @@ def test_env_step(benchmark, config):
     benchmark(run)
 
 
+def test_env_step_active_sensing(benchmark, config, rng):
+    """One env slot with workers actually moving and collecting.
+
+    ``test_env_step`` measures the all-stay slot (move validation and
+    bookkeeping only); this one drives random moves so the vectorized
+    worker-PoI distance matrix and the competitive collection loop are on
+    the measured path.
+    """
+    env = CrowdsensingEnv(config, reward_mode="sparse")
+    env.reset()
+    action_rng = np.random.default_rng(7)
+    actions = [
+        Action(
+            charge=action_rng.integers(0, 2, config.num_workers),
+            move=action_rng.integers(0, 9, config.num_workers),
+        )
+        for _ in range(64)
+    ]
+    index = {"i": 0}
+
+    def run():
+        if env._needs_reset:
+            env.reset()
+        index["i"] = (index["i"] + 1) % len(actions)
+        env.step(actions[index["i"]])
+
+    benchmark(run)
+
+
 def test_policy_forward(benchmark, config, rng):
     agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
     states = rng.normal(size=(16, 3, config.grid, config.grid))
     benchmark(lambda: agent.network.forward(states))
+
+
+def test_policy_forward_no_grad(benchmark, config, rng):
+    """The rollout-path forward: same batch, autograd tape elided.
+
+    This is what every acting step pays after the ``no_grad`` wiring —
+    compare against ``test_policy_forward`` (the taped training-path
+    forward) for the tape's share of the cost.
+    """
+    agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
+    states = rng.normal(size=(16, 3, config.grid, config.grid))
+
+    def run():
+        with nn.no_grad():
+            agent.network.forward(states)
+
+    benchmark(run)
 
 
 def test_ppo_minibatch_loss_and_backward(benchmark, config, rng):

@@ -117,28 +117,32 @@ class EdicsAgent:
             ],
             axis=1,
         )
-        for w, network in enumerate(self.networks):
-            aug = _with_identity_channel(state, env.workers.positions[w], env.space)
-            aug_states.append(aug)
-            output = network.forward(
-                aug,
-                move_mask=move_mask[None, w : w + 1],
-                worker_features=worker_features[None, w : w + 1],
-            )
-            move_dist = output.move_distribution()
-            charge_dist = output.charge_distribution()
-            if greedy:
-                move = move_dist.mode()[0, 0]
-                charge = charge_dist.mode()[0, 0]
-            else:
-                move = move_dist.sample(rng)[0, 0]
-                charge = charge_dist.sample(rng)[0, 0]
-            moves[w] = move
-            charges[w] = charge
-            log_probs[w] = float(
-                output.log_prob(np.array([[move]]), np.array([[charge]])).item()
-            )
-            values[w] = float(output.value.item())
+        # Acting never backpropagates (the PPO update recomputes its own
+        # forward passes), so elide the autograd tape for every per-worker
+        # decision forward.
+        with nn.no_grad():
+            for w, network in enumerate(self.networks):
+                aug = _with_identity_channel(state, env.workers.positions[w], env.space)
+                aug_states.append(aug)
+                output = network.forward(
+                    aug,
+                    move_mask=move_mask[None, w : w + 1],
+                    worker_features=worker_features[None, w : w + 1],
+                )
+                move_dist = output.move_distribution()
+                charge_dist = output.charge_distribution()
+                if greedy:
+                    move = move_dist.mode()[0, 0]
+                    charge = charge_dist.mode()[0, 0]
+                else:
+                    move = move_dist.sample(rng)[0, 0]
+                    charge = charge_dist.sample(rng)[0, 0]
+                moves[w] = move
+                charges[w] = charge
+                log_probs[w] = float(
+                    output.log_prob(np.array([[move]]), np.array([[charge]])).item()
+                )
+                values[w] = float(output.value.item())
         action = Action(charge=charges, move=moves)
         return action, log_probs, values, aug_states, move_mask, worker_features
 

@@ -109,28 +109,42 @@ class PPOWorkerAgent:
         )
 
     def act_full(
-        self, env: CrowdsensingEnv, rng: np.random.Generator, greedy: bool = False
+        self,
+        env: CrowdsensingEnv,
+        rng: np.random.Generator,
+        greedy: bool = False,
+        state: Optional[np.ndarray] = None,
     ) -> Tuple[Action, float, float, np.ndarray, np.ndarray]:
         """Choose an action; returns (action, log_prob, value, move_mask,
-        worker_features)."""
-        state = env._state()
+        worker_features).
+
+        ``state`` lets rollout loops pass the state matrix they already hold
+        (from ``reset()``/``step()``) instead of re-encoding it — the encoder
+        is deterministic, so the result is unchanged.  The forward pass runs
+        under :class:`repro.nn.no_grad`: acting never backpropagates (PPO
+        recomputes the forward on minibatches during the update), so taping
+        every rollout op is pure overhead.
+        """
+        if state is None:
+            state = env._state()
         move_mask = env.valid_moves()
         worker_features = self.worker_features_of(env)
-        output = self.network.forward(
-            state, move_mask=move_mask[None], worker_features=worker_features[None]
-        )
-        move_dist = output.move_distribution()
-        charge_dist = output.charge_distribution()
-        if greedy:
-            moves = move_dist.mode()[0]
-            charges = charge_dist.mode()[0]
-        else:
-            moves = move_dist.sample(rng)[0]
-            charges = charge_dist.sample(rng)[0]
-        log_prob = float(
-            output.log_prob(moves[None], charges[None]).item()
-        )
-        value = float(output.value.item())
+        with nn.no_grad():
+            output = self.network.forward(
+                state, move_mask=move_mask[None], worker_features=worker_features[None]
+            )
+            move_dist = output.move_distribution()
+            charge_dist = output.charge_distribution()
+            if greedy:
+                moves = move_dist.mode()[0]
+                charges = charge_dist.mode()[0]
+            else:
+                moves = move_dist.sample(rng)[0]
+                charges = charge_dist.sample(rng)[0]
+            log_prob = float(
+                output.log_prob(moves[None], charges[None]).item()
+            )
+            value = float(output.value.item())
         return (
             Action(charge=charges, move=moves),
             log_prob,
@@ -167,7 +181,7 @@ class PPOWorkerAgent:
             positions_before = env.workers.positions.copy()
             with trace_span("policy.act", step=steps):
                 action, log_prob, value, move_mask, worker_features = self.act_full(
-                    env, rng, greedy=False
+                    env, rng, greedy=False, state=state
                 )
             with trace_span("env.step", step=steps):
                 next_state, extrinsic, done, info = env.step(action)

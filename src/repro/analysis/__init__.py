@@ -6,7 +6,7 @@ lock discipline) *enforced* instead of conventional:
 
 * **reprolint** (:mod:`repro.analysis.rules` / :mod:`.engine` /
   :mod:`.reporters` / :mod:`.cli`) — an AST linter with per-rule codes
-  (RPL001…RPL009), ``# reprolint: disable=RPLxxx`` suppressions, and
+  (RPL001…RPL010), ``# reprolint: disable=RPLxxx`` suppressions, and
   text/JSON reporters.  Run it with ``python -m repro lint``.
 * **runtime sanitizer** (:mod:`repro.analysis.sanitizer`) — NaN/Inf and
   dtype checks at every autograd op boundary with op+module provenance,

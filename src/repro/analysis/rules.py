@@ -31,6 +31,11 @@ RPL008    no-module-seed          test files seed via fixtures, not at import
 RPL009    no-bare-print           library code reports via ``repro.obs`` logging
                                   / metrics, not ``print()`` (CLI + reporting
                                   entry points whitelisted)
+RPL010    no-percall-index-alloc  ``repro.nn`` hot ops must not build index
+                                  arrays (``np.arange``/``np.repeat``/
+                                  ``np.tile``) or scatter with ``np.add.at``
+                                  per call — use a cached kernel plan
+                                  (plan-construction code is exempt)
 ========  ======================  ==============================================
 """
 
@@ -725,3 +730,84 @@ def check_bare_print(context: ModuleContext) -> Iterator[Finding]:
                 "`repro.obs.get_logger(__name__)` (or a metrics/trace "
                 "event) instead",
             )
+
+
+# ----------------------------------------------------------------------
+# RPL010 — no per-call index allocation in repro.nn hot ops
+# ----------------------------------------------------------------------
+# PR 4 replaced the per-call im2col/col2im index machinery with cached
+# kernel plans precisely because ``np.arange``/``np.repeat``/``np.tile``
+# gather indices and ``np.add.at`` scatters dominated the conv/pool hot
+# paths (and ``np.add.at``'s index-order accumulation is easy to get
+# bitwise-wrong when "optimized" ad hoc).  This rule keeps the regression
+# from creeping back: inside ``repro/nn/`` modules, index-array builders
+# may only appear in plan-construction code — functions whose name starts
+# with ``_plan`` or an ``__init__`` (run once per shape, cached) — and
+# ``np.add.at`` may not appear at all.  Genuine exceptions (e.g. the
+# generic duplicate-index ``Tensor.__getitem__`` backward, which is
+# correctness machinery rather than a planned hot op) carry an explicit
+# ``# reprolint: disable=RPL010`` at the call site.
+_RPL010_PATHS = ("repro/nn/",)
+_RPL010_INDEX_BUILDERS = {"arange", "repeat", "tile"}
+_RPL010_PLAN_PREFIXES = ("_plan",)
+
+
+def _rpl010_call_kind(node: ast.Call) -> Optional[str]:
+    """"scatter" for np.add.at, "builder" for np.arange/repeat/tile."""
+    dotted = _dotted(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[0] not in _NUMPY_ALIASES:
+        return None
+    if parts[1:] == ["add", "at"]:
+        return "scatter"
+    if len(parts) == 2 and parts[1] in _RPL010_INDEX_BUILDERS:
+        return "builder"
+    return None
+
+
+@rule(
+    "RPL010",
+    "no-percall-index-alloc",
+    "repro.nn hot ops must gather/scatter through cached kernel plans; "
+    "per-call np.arange/np.repeat/np.tile index construction and "
+    "np.add.at scatters are the exact regressions PR 4 removed "
+    "(plan-construction functions are exempt)",
+)
+def check_percall_index_alloc(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or not context.path_matches(_RPL010_PATHS):
+        return
+
+    def visit(node: ast.AST, in_plan_scope: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_plan_scope = in_plan_scope or (
+                node.name == "__init__"
+                or node.name.startswith(_RPL010_PLAN_PREFIXES)
+            )
+        if isinstance(node, ast.Call):
+            kind = _rpl010_call_kind(node)
+            if kind == "scatter":
+                yield _finding(
+                    context,
+                    "RPL010",
+                    node,
+                    "`np.add.at` scatter in a repro.nn hot path: use the "
+                    "kernel plan's order-preserving strided scatter_add "
+                    "(np.add.at's buffered accumulation was the dominant "
+                    "col2im cost)",
+                )
+            elif kind == "builder" and not in_plan_scope:
+                dotted = _dotted(node.func)
+                yield _finding(
+                    context,
+                    "RPL010",
+                    node,
+                    f"per-call `{dotted}` index construction in a repro.nn "
+                    f"hot op: build indices once in a cached kernel plan "
+                    f"(_plan*/__init__ construction code is exempt)",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, in_plan_scope)
+
+    yield from visit(context.tree, False)

@@ -23,6 +23,7 @@ forward model trains.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -143,11 +144,14 @@ class SpatialCuriosity(CuriosityModule):
                 f"structure was built for {len(self._models)}"
             )
         errors = []
+        # Detached callers (intrinsic rewards during rollouts) never
+        # backpropagate, so skip taping the forward pass entirely.
+        grad_ctx = contextlib.nullcontext() if not detach else nn.no_grad()
         with trace_span(
             "curiosity.forward_model",
             workers=batch.num_workers,
             detach=detach,
-        ):
+        ), grad_ctx:
             for w in range(batch.num_workers):
                 model = self._model_for(w)
                 current = self._feature(batch.positions[:, w])

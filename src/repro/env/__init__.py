@@ -19,7 +19,13 @@ from .serialization import (
     scenario_to_dict,
 )
 from .space import CrowdsensingSpace, euclidean
-from .state import OBSTACLE_CODE, STATE_CHANNELS, STATION_CODE, encode_state
+from .state import (
+    OBSTACLE_CODE,
+    STATE_CHANNELS,
+    STATION_CODE,
+    StateEncoder,
+    encode_state,
+)
 from .wrappers import EnvWrapper, EpisodeStats, FrameStack, NormalizeReward
 
 __all__ = [
@@ -52,6 +58,7 @@ __all__ = [
     "CrowdsensingSpace",
     "euclidean",
     "encode_state",
+    "StateEncoder",
     "OBSTACLE_CODE",
     "STATION_CODE",
     "STATE_CHANNELS",

@@ -36,7 +36,7 @@ from .generator import Scenario, generate_scenario
 from .metrics import Metrics, compute_metrics
 from .rewards import DenseReward, SparseRewardTracker, StepOutcome
 from .space import CrowdsensingSpace, euclidean
-from .state import STATE_CHANNELS, encode_state
+from .state import STATE_CHANNELS, StateEncoder
 
 __all__ = ["CrowdsensingEnv"]
 
@@ -93,6 +93,7 @@ class CrowdsensingEnv:
 
         self.workers: WorkerFleet
         self.pois: PoiField
+        self._encoder: Optional[StateEncoder] = None
         self.t = 0
         self._needs_reset = True
         self._sensing_ranges = np.asarray(config.sensing_ranges())
@@ -118,6 +119,11 @@ class CrowdsensingEnv:
         self.t = 0
         self._sparse.reset()
         self._needs_reset = False
+        # PoIs and stations are static for the episode: resolve their state
+        # cells once here instead of on every step's encode.
+        self._encoder = StateEncoder(
+            self.space, self.pois, self.stations, self.config.horizon
+        )
         return self._state()
 
     def step(self, action: Action) -> Tuple[np.ndarray, float, bool, Dict]:
@@ -152,22 +158,28 @@ class CrowdsensingEnv:
         workers.positions = new_positions
 
         # --- 4. Data collection (sequential, competitive) ------------------------
+        # The worker-PoI distance matrix and the per-PoI collection caps are
+        # computed once, vectorized over all workers; only the competitive
+        # depletion (worker order matters when ranges overlap) stays in the
+        # loop.  ``euclidean`` broadcasts to (W, P) with the same per-element
+        # arithmetic as the old per-worker calls, so ``in_range`` — and the
+        # subset sums below it — are bit-for-bit unchanged.
         collected = np.zeros(self.num_workers)
         sensed_any = np.zeros(len(self.pois), dtype=bool)
+        in_range_all = (
+            euclidean(self.pois.positions[None, :, :], new_positions[:, None, :])
+            <= self._sensing_ranges[:, None]
+        )
+        collect_caps = config.collect_rate * self.pois.initial_values
+        poi_values = self.pois.values
         for w in range(self.num_workers):
             if charging[w] or workers.energy[w] <= 1e-12:
                 continue
-            in_range = (
-                euclidean(self.pois.positions, new_positions[w])
-                <= self._sensing_ranges[w]
-            )
+            in_range = in_range_all[w]
             if not np.any(in_range):
                 continue
-            take = np.minimum(
-                config.collect_rate * self.pois.initial_values[in_range],
-                self.pois.values[in_range],
-            )
-            self.pois.values[in_range] -= take
+            take = np.minimum(collect_caps[in_range], poi_values[in_range])
+            poi_values[in_range] -= take
             collected[w] = float(take.sum())
             sensed_any |= in_range
         self.pois.access_time[sensed_any] += 1
@@ -245,6 +257,4 @@ class CrowdsensingEnv:
         return compute_metrics(self.workers, self.pois, self.config.collect_rate)
 
     def _state(self) -> np.ndarray:
-        return encode_state(
-            self.space, self.workers, self.pois, self.stations, self.config.horizon
-        )
+        return self._encoder.encode(self.workers, self.pois)

@@ -14,6 +14,19 @@ import numpy as np
 
 __all__ = ["CrowdsensingSpace", "euclidean"]
 
+#: Memoized ``linspace(0, 1, samples + 1)[1:]`` sample fractions used by
+#: :meth:`CrowdsensingSpace.segment_blocked`; tiny, but rebuilt on every
+#: move-validation call otherwise.
+_SEGMENT_TS: dict = {}
+
+
+def _segment_ts(samples: int) -> np.ndarray:
+    ts = _SEGMENT_TS.get(samples)
+    if ts is None:
+        ts = np.linspace(0.0, 1.0, samples + 1)[1:]
+        _SEGMENT_TS[samples] = ts
+    return ts
+
 
 def euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Euclidean distance ``d(i, j)`` between position arrays (...,2)."""
@@ -70,10 +83,19 @@ class CrowdsensingSpace:
         return (x > 0) & (x < self.size) & (y > 0) & (y < self.size)
 
     def cell_of(self, position: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """(row, col) cell indices for position(s), clipped into the grid."""
+        """(row, col) cell indices for position(s), clipped into the grid.
+
+        Uses ``minimum``/``maximum`` instead of :func:`np.clip`: the clip
+        wrapper materializes fresh ``finfo``/``iinfo`` objects on every call,
+        which dominates this hot path (called per move candidate per step);
+        the two-step form is exact for integers, so results are unchanged.
+        """
         position = np.asarray(position, dtype=np.float64)
-        col = np.clip((position[..., 0] / self.cell).astype(np.int64), 0, self.grid - 1)
-        row = np.clip((position[..., 1] / self.cell).astype(np.int64), 0, self.grid - 1)
+        hi = self.grid - 1
+        col = (position[..., 0] / self.cell).astype(np.int64)
+        row = (position[..., 1] / self.cell).astype(np.int64)
+        col = np.minimum(np.maximum(col, 0), hi)
+        row = np.minimum(np.maximum(row, 0), hi)
         return row, col
 
     def cell_center(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
@@ -108,15 +130,20 @@ class CrowdsensingSpace:
         The segment is sampled at ``samples`` interior points plus the
         endpoint; with single-cell moves this exactly detects diagonal
         corner cutting.
+
+        All sample points are tested in a single vectorized
+        :meth:`is_blocked` query (one coordinate conversion and one
+        obstacle gather) instead of one query per sample; each point is
+        still ``start + t * (end - start)``, so the per-point arithmetic —
+        and therefore the result — is unchanged.
         """
         start = np.asarray(start, dtype=np.float64)
         end = np.asarray(end, dtype=np.float64)
-        ts = np.linspace(0.0, 1.0, samples + 1)[1:]
-        blocked = np.zeros(start.shape[:-1], dtype=bool)
-        for t in ts:
-            point = start + t * (end - start)
-            blocked |= self.is_blocked(point)
-        return blocked
+        ts = _segment_ts(samples)
+        # (samples, ..., 2) stack of every sample point along every segment.
+        delta = end - start
+        points = start[None, ...] + ts.reshape((samples,) + (1,) * start.ndim) * delta[None, ...]
+        return self.is_blocked(points).any(axis=0)
 
     def free_cells(self) -> np.ndarray:
         """(K, 2) array of (row, col) indices of all non-obstacle cells."""

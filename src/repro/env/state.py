@@ -20,7 +20,13 @@ import numpy as np
 from .entities import ChargingStations, PoiField, WorkerFleet
 from .space import CrowdsensingSpace
 
-__all__ = ["OBSTACLE_CODE", "STATION_CODE", "encode_state", "STATE_CHANNELS"]
+__all__ = [
+    "OBSTACLE_CODE",
+    "STATION_CODE",
+    "encode_state",
+    "StateEncoder",
+    "STATE_CHANNELS",
+]
 
 #: Channel-1 code marking an obstacle cell.
 OBSTACLE_CODE = -1.0
@@ -61,3 +67,59 @@ def encode_state(
     np.maximum.at(state[2], (poi_rows, poi_cols), normalized_access)
 
     return state
+
+
+class StateEncoder:
+    """Amortized :func:`encode_state` for one scenario.
+
+    PoI and station positions never move within a scenario, so their cell
+    indices — recomputed by :func:`encode_state` on every call, three
+    coordinate conversions per env step — are resolved once here and
+    reused.  Only the worker cells (positions change every slot) are
+    recomputed per call.  The per-cell accumulation runs the exact ufunc
+    sequence of :func:`encode_state` (``add.at`` in the same index order,
+    then marker overwrites, then ``maximum.at``), so the emitted state is
+    bit-for-bit identical; a parity test asserts this.
+
+    The returned matrix is always freshly allocated: states escape into
+    rollout buffers (PPO trains on them after the episode ends), so an
+    encoder-owned reusable output buffer would alias every stored
+    transition.  What *is* reused is everything static about the scenario:
+    the index arrays and the obstacle mask.
+    """
+
+    def __init__(
+        self,
+        space: CrowdsensingSpace,
+        pois: PoiField,
+        stations: ChargingStations,
+        horizon: int,
+    ):
+        self.space = space
+        self.grid = space.grid
+        self.horizon_norm = max(horizon, 1)
+        self.poi_cells = space.cell_of(pois.positions)
+        self.station_cells = (
+            space.cell_of(stations.positions) if len(stations) else None
+        )
+        self.obstacles = space.obstacles
+
+    def encode(self, workers: WorkerFleet, pois: PoiField) -> np.ndarray:
+        """Build the (3, grid, grid) state matrix ``s_t``."""
+        grid = self.grid
+        state = np.zeros((STATE_CHANNELS, grid, grid))
+
+        rows, cols = self.space.cell_of(workers.positions)
+        np.add.at(state[0], (rows, cols), workers.energy / workers.capacity)
+
+        poi_rows, poi_cols = self.poi_cells
+        np.add.at(state[1], (poi_rows, poi_cols), pois.values)
+        if self.station_cells is not None:
+            station_rows, station_cols = self.station_cells
+            state[1][station_rows, station_cols] = STATION_CODE
+        state[1][self.obstacles] = OBSTACLE_CODE
+
+        normalized_access = pois.access_time / self.horizon_norm
+        np.maximum.at(state[2], (poi_rows, poi_cols), normalized_access)
+
+        return state

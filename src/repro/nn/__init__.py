@@ -38,7 +38,17 @@ from .optim import (
 )
 from .schedulers import CosineDecay, LinearDecay, Scheduler, StepDecay
 from .serialization import load_module, load_state_dict_file, save_module
-from .tensor import Tensor, concat, ensure_tensor, ones, stack, where, zeros
+from .tensor import (
+    Tensor,
+    concat,
+    ensure_tensor,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    where,
+    zeros,
+)
 
 __all__ = [
     "Tensor",
@@ -48,6 +58,8 @@ __all__ = [
     "zeros",
     "ones",
     "ensure_tensor",
+    "no_grad",
+    "is_grad_enabled",
     "functional",
     "init",
     "Module",

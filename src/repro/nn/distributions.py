@@ -17,6 +17,24 @@ from .tensor import Tensor
 
 __all__ = ["Categorical", "Bernoulli"]
 
+# Row-index arrays for the log_prob gather, cached per batch length.  The
+# PPO update calls log_prob once per minibatch per epoch with a handful of
+# distinct batch sizes, so rebuilding np.arange every call is pure waste.
+# The arrays are only ever read (used as a fancy index), never written.
+_ROW_INDEX_CACHE: dict = {}
+_ROW_INDEX_CACHE_MAX = 64
+
+
+def _plan_rows(n: int) -> np.ndarray:
+    """Memoized ``np.arange(n)`` (int64) for gather row indices."""
+    rows = _ROW_INDEX_CACHE.get(n)
+    if rows is None:
+        if len(_ROW_INDEX_CACHE) >= _ROW_INDEX_CACHE_MAX:
+            _ROW_INDEX_CACHE.clear()
+        rows = np.arange(n)
+        _ROW_INDEX_CACHE[n] = rows
+    return rows
+
 
 class Categorical:
     """Categorical distribution over the last axis of ``logits``.
@@ -57,7 +75,7 @@ class Categorical:
                 f"{self.logits.shape[:-1]}"
             )
         flat_logp = self._log_probs.reshape(-1, self.num_actions)
-        rows = np.arange(flat_logp.shape[0])
+        rows = _plan_rows(flat_logp.shape[0])
         picked = flat_logp[rows, actions.reshape(-1)]
         return picked.reshape(actions.shape) if actions.shape else picked
 

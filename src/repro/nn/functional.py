@@ -11,7 +11,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, ensure_tensor, where
+from .tensor import Tensor, _unbroadcast, ensure_tensor, where
 
 __all__ = [
     "conv2d",
@@ -20,6 +20,7 @@ __all__ = [
     "linear",
     "softplus",
     "layer_norm",
+    "channel_layer_norm",
     "relu",
     "tanh",
     "sigmoid",
@@ -35,26 +36,118 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------------
-# im2col machinery for convolution
+# im2col machinery for convolution: cached kernel plans
 # ---------------------------------------------------------------------------
-def _im2col_indices(
+class _KernelPlan:
+    """Everything shape-dependent about one (C, H, W, K, stride) im2col.
+
+    Historically every ``conv2d``/``max_pool2d``/``avg_pool2d`` call built
+    three fancy-index arrays (``np.repeat``/``np.tile``/``np.arange``) and
+    scattered gradients back with ``np.add.at`` — both dominated the op's
+    runtime at the paper's 8×8-grid scale.  A plan replaces them with:
+
+    * :meth:`gather` — a zero-copy ``sliding_window_view`` over the padded
+      input, strided, then transposed into the same ``(N, C*K*K, P)``
+      column layout (row ``c*K² + ki*K + kj``, column ``oh*out_w + ow``)
+      the index gather produced.  One subtlety makes this *layout*- and
+      not just *value*-faithful: numpy's mixed slice/advanced indexing
+      materializes the advanced dims first, so the legacy ``cols`` was a
+      non-contiguous ``(N, R, P)`` view over an ``(R, P, N)`` buffer —
+      and ``np.einsum``'s inner-loop specialization (hence its
+      floating-point accumulation order) depends on the operand strides.
+      ``gather`` therefore copies into an ``(R, P, N)`` base and returns
+      the same ``moveaxis`` view, so the downstream einsums are
+      bit-for-bit unchanged;
+    * :meth:`scatter_add` — col2im as ``K²`` strided-slice ``+=`` ops,
+      one per kernel offset, iterated in ``(ki, kj)`` row-major order.
+      ``np.add.at`` accumulates duplicate targets in index order, which
+      for the im2col index arrays is exactly ``(ki, kj)`` row-major per
+      output cell — so the per-cell floating-point accumulation order
+      (and therefore every gradient bit) is preserved.
+
+    Plans are immutable and cached per shape key; construction allocates
+    only a tuple of slice pairs.
+    """
+
+    __slots__ = ("channels", "kernel", "stride", "out_h", "out_w", "offsets")
+
+    def __init__(self, channels: int, height: int, width: int, kernel: int, stride: int):
+        self.channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.out_h = (height - kernel) // stride + 1
+        self.out_w = (width - kernel) // stride + 1
+        self.offsets = tuple(
+            (
+                ki,
+                kj,
+                slice(ki, ki + stride * self.out_h, stride),
+                slice(kj, kj + stride * self.out_w, stride),
+            )
+            for ki in range(kernel)
+            for kj in range(kernel)
+        )
+
+    def gather(self, x_data: np.ndarray) -> np.ndarray:
+        """im2col: (N, C, H, W) -> (N, C*K*K, out_h*out_w) columns.
+
+        Returns the legacy layout: an ``(R, P, N)``-contiguous buffer
+        viewed as ``(N, R, P)``, matching what fancy indexing produced
+        (see the class docstring for why the strides matter).
+        """
+        kernel = self.kernel
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x_data, (kernel, kernel), axis=(2, 3)
+        )[:, :, :: self.stride, :: self.stride]
+        # (N, C, oh, ow, ki, kj) -> (C, ki, kj, oh, ow, N); .copy() is the
+        # single copy in the whole gather (an explicit copy, not reshape's
+        # implicit one, so degenerate 1x1-output shapes cannot silently
+        # stay zero-copy views with alien strides).
+        base = windows.transpose(1, 4, 5, 2, 3, 0).copy().reshape(
+            self.channels * kernel * kernel,
+            self.out_h * self.out_w,
+            x_data.shape[0],
+        )
+        return np.moveaxis(base, 2, 0)
+
+    def scatter_add(self, grad_cols: np.ndarray, x_data: np.ndarray) -> np.ndarray:
+        """col2im: accumulate (N, C*K*K, P) columns back onto the input grid."""
+        grad_x = np.zeros_like(x_data)
+        windows = grad_cols.reshape(
+            grad_cols.shape[0],
+            self.channels,
+            self.kernel,
+            self.kernel,
+            self.out_h,
+            self.out_w,
+        )
+        for ki, kj, rows, cols in self.offsets:
+            grad_x[:, :, rows, cols] += windows[:, :, ki, kj]
+        return grad_x
+
+
+_PLAN_CACHE: dict = {}
+_PLAN_CACHE_MAX = 256  # plans are tiny; the cap only guards pathological sweeps
+
+
+def _plan_for(
     x_shape: Tuple[int, int, int, int], kernel: int, stride: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Index arrays that gather (C*K*K, out_h*out_w) patches per sample."""
+) -> _KernelPlan:
+    """Memoized :class:`_KernelPlan` for a padded-input shape.
+
+    Keyed on everything the plan depends on (the batch size is not part
+    of the plan).  Reads/writes on the dict are atomic under the GIL, so
+    concurrent employee threads at worst build a duplicate plan.
+    """
     __, channels, height, width = x_shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-
-    i0 = np.repeat(np.arange(kernel), kernel)
-    i0 = np.tile(i0, channels)
-    i1 = stride * np.repeat(np.arange(out_h), out_w)
-    j0 = np.tile(np.arange(kernel), kernel * channels)
-    j1 = stride * np.tile(np.arange(out_w), out_h)
-
-    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
-    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
-    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
-    return k, i, j
+    key = (channels, height, width, kernel, stride)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        plan = _KernelPlan(channels, height, width, kernel, stride)
+        _PLAN_CACHE[key] = plan
+    return plan
 
 
 def conv2d(
@@ -85,14 +178,12 @@ def conv2d(
         raise ValueError(
             f"spatial size {(height, width)} smaller than kernel {kernel}"
         )
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-
-    k_idx, i_idx, j_idx = _im2col_indices(x_padded.shape, kernel, stride)
+    plan = _plan_for(x_padded.shape, kernel, stride)
+    out_h, out_w = plan.out_h, plan.out_w
     x_data = x_padded.data
 
-    # cols: (N, C*K*K, out_h*out_w)
-    cols = x_data[:, k_idx, i_idx, j_idx]
+    # cols: (N, C*K*K, out_h*out_w), gathered via the cached plan.
+    cols = plan.gather(x_data)
     w_flat = weight.data.reshape(out_channels, -1)
 
     out_data = np.einsum("ok,nkp->nop", w_flat, cols)
@@ -107,13 +198,8 @@ def conv2d(
         grad_flat = grad.reshape(batch, out_channels, -1)
         grad_w = np.einsum("nop,nkp->ok", grad_flat, cols).reshape(weight.shape)
         grad_cols = np.einsum("ok,nop->nkp", w_flat, grad_flat)
-        grad_x = np.zeros_like(x_data)
-        # Scatter-add each column patch back into the input.
-        np.add.at(
-            grad_x,
-            (slice(None), k_idx, i_idx, j_idx),
-            grad_cols,
-        )
+        # col2im via order-preserving strided adds (see _KernelPlan).
+        grad_x = plan.scatter_add(grad_cols, x_data)
         if bias is None:
             return grad_x, grad_w
         grad_b = grad.sum(axis=(0, 2, 3))
@@ -126,11 +212,10 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     """Max pooling over non-overlapping (or strided) windows of a 4-D input."""
     stride = stride or kernel
     batch, channels, height, width = x.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    k_idx, i_idx, j_idx = _im2col_indices(x.shape, kernel, stride)
+    plan = _plan_for(x.shape, kernel, stride)
+    out_h, out_w = plan.out_h, plan.out_w
 
-    cols = x.data[:, k_idx, i_idx, j_idx]  # (N, C*K*K, P)
+    cols = plan.gather(x.data)  # (N, C*K*K, P)
     cols = cols.reshape(batch, channels, kernel * kernel, out_h * out_w)
     argmax = cols.argmax(axis=2)
     out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).squeeze(2)
@@ -147,9 +232,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
             axis=2,
         )
         grad_cols = grad_cols.reshape(batch, channels * kernel * kernel, -1)
-        grad_x = np.zeros_like(x.data)
-        np.add.at(grad_x, (slice(None), k_idx, i_idx, j_idx), grad_cols)
-        return (grad_x,)
+        return (plan.scatter_add(grad_cols, x.data),)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -158,22 +241,22 @@ def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     """Average pooling over windows of a 4-D input."""
     stride = stride or kernel
     batch, channels, height, width = x.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    k_idx, i_idx, j_idx = _im2col_indices(x.shape, kernel, stride)
+    plan = _plan_for(x.shape, kernel, stride)
+    out_h, out_w = plan.out_h, plan.out_w
     window = kernel * kernel
 
-    cols = x.data[:, k_idx, i_idx, j_idx]
+    cols = plan.gather(x.data)
     cols = cols.reshape(batch, channels, window, out_h * out_w)
     out_data = cols.mean(axis=2).reshape(batch, channels, out_h, out_w)
 
     def backward(grad: np.ndarray):
-        grad_cols = np.repeat(
-            grad.reshape(batch, channels, 1, -1) / window, window, axis=2
-        )
-        grad_cols = grad_cols.reshape(batch, channels * window, -1)
+        # Every window slot receives grad/K²; instead of materializing the
+        # K²-fold np.repeat the old col2im needed, add the scaled grad once
+        # per kernel offset — identical per-cell accumulation order.
+        scaled = grad / window
         grad_x = np.zeros_like(x.data)
-        np.add.at(grad_x, (slice(None), k_idx, i_idx, j_idx), grad_cols)
+        for __, __, rows, cols_ in plan.offsets:
+            grad_x[:, :, rows, cols_] += scaled
         return (grad_x,)
 
     return Tensor._make(out_data, (x,), backward)
@@ -207,6 +290,79 @@ def layer_norm(
     return normalized
 
 
+def channel_layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Fused layer norm over (C, H, W) of an (N, C, H, W) map.
+
+    Fuses the twelve-node composition ``ChannelLayerNorm.forward``
+    historically built on the tape — flatten, mean, var (which recomputes
+    the mean), center, divide, un-flatten, per-channel affine — into one
+    tape node with raw numpy inside.  At the paper's 8×8-grid scale those
+    twelve nodes were almost entirely per-op Python/tape overhead: the
+    arrays are small, so the composition cost ~35%% of a taped policy
+    forward while doing ~10 flops per element.
+
+    The contract is the same as the fused softmax family's: *bitwise*
+    equivalence, forward and backward.  Forward replays the composed
+    graph's exact numpy op sequence (the variance path's duplicate mean
+    and the ``flat - mu`` recomputation share bits with the primary ones,
+    so each is computed once).  Backward replays every composed op's
+    gradient — including ``sq = c * c`` contributing twice through the
+    tape's staging dict — and folds the four contributions to the
+    flattened input in the tape's reverse-topological staging order
+    ``((g_fm + g_s1) + g_c) + g_s2``, which is what the composed graph's
+    ``grads[id(flat)] = grads[id(flat)] + contribution`` updates produce.
+    FP addition commutes (only associativity fails), so the order within
+    each pairwise add is immaterial; the *grouping* is not.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"channel_layer_norm expects 4-D input, got {x.shape}")
+    batch, channels = x.shape[0], x.shape[1]
+    flat = x.data.reshape(batch, -1)
+    n = flat.shape[-1]
+    inv = 1.0 / n
+    mu = flat.sum(axis=-1, keepdims=True) * inv
+    c = flat - mu
+    sq = c * c
+    var = sq.sum(axis=-1, keepdims=True) * inv
+    sd = np.sqrt(var + eps)
+    nrm = c / sd
+    w_r = weight.data.reshape(1, channels, 1, 1)
+    nr = nrm.reshape(x.shape)
+    data = nr * w_r + bias.data.reshape(1, channels, 1, 1)
+
+    def backward(grad: np.ndarray):
+        # out = prod + b_r; b_r = bias.reshape(1, C, 1, 1)
+        g_bias = _unbroadcast(grad, (1, channels, 1, 1)).reshape(bias.shape)
+        # prod = nr * w_r; w_r = weight.reshape(1, C, 1, 1)
+        g_nr = grad * w_r
+        g_weight = _unbroadcast(grad * nr, (1, channels, 1, 1)).reshape(weight.shape)
+        # nr = nrm.reshape(x.shape)
+        g_nrm = g_nr.reshape(batch, n)
+        # nrm = fm / sd  (fm shares bits with c)
+        g_fm = g_nrm / sd
+        g_sd = _unbroadcast(-g_nrm * c / (sd ** 2), sd.shape)
+        # sd = ve.sqrt(); ve = var + eps (scalar add: gradient passes through)
+        g_var = g_sd * 0.5 / sd
+        # var = s3 * (1/n); s3 = sq.sum(keepdims)
+        g_sq = np.broadcast_to(g_var * np.asarray(inv), sq.shape).copy()
+        # sq = c * c: the tape stages two identical contributions and adds
+        # them pairwise (not 2*t — the grouping is part of the contract).
+        t1 = g_sq * c
+        t2 = g_sq * c
+        g_c = t1 + t2
+        # c = flat - mu2; mu2 = s2 * (1/n); s2 = flat.sum(keepdims)
+        g_mu2 = _unbroadcast(-g_c, mu.shape)
+        contrib_s2 = np.broadcast_to(g_mu2 * np.asarray(inv), flat.shape).copy()
+        # fm = flat - mu; mu = s1 * (1/n); s1 = flat.sum(keepdims)
+        g_mu = _unbroadcast(-g_fm, mu.shape)
+        contrib_s1 = np.broadcast_to(g_mu * np.asarray(inv), flat.shape).copy()
+        # Tape staging order for the flattened input's four children.
+        g_flat = ((g_fm + contrib_s1) + g_c) + contrib_s2
+        return (g_flat.reshape(x.shape), g_weight, g_bias)
+
+    return Tensor._make(data, (x, weight, bias), backward)
+
+
 def softplus(x: Tensor) -> Tensor:
     """``log(1 + exp(x))`` with the exact gradient ``sigmoid(x)``.
 
@@ -238,17 +394,61 @@ def sigmoid(x: Tensor) -> Tensor:
     return x.sigmoid()
 
 
+def _shifted_exp(
+    x_data: np.ndarray, axis: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One max-shifted exponential pass shared by the softmax family.
+
+    Returns ``(shifted, e, s)`` with ``shifted = x - max(x)``,
+    ``e = exp(shifted)`` and ``s = Σe`` — computed exactly as the
+    historical tensor-op compositions did — so ``softmax``,
+    ``log_softmax`` and ``entropy_from_logits`` each run a single pass
+    over the logits instead of re-deriving the shift per call.
+    """
+    shifted = x_data - x_data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return shifted, e, e.sum(axis=axis, keepdims=True)
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    exp = shifted.exp()
-    return exp / exp.sum(axis=axis, keepdims=True)
+    """Numerically stable softmax along ``axis`` (fused primitive).
+
+    The backward closure replays, operation for operation, the gradient
+    the old ``exp / exp.sum()`` tensor composition produced — same
+    intermediate arrays, same accumulation order — so fusing is bitwise
+    invisible to training.
+    """
+    __, e, s = _shifted_exp(x.data, axis)
+    out_data = e / s
+
+    def backward(grad: np.ndarray):
+        # Composition replay: div pushes grad/s into e and the quotient
+        # term into s; s's sum-backward broadcasts back over e; exp scales
+        # by e.  Staged additions happen in exactly this order.
+        a = grad / s
+        v = (-grad * e) / (s ** 2)
+        c = np.broadcast_to(v.sum(axis=axis, keepdims=True), e.shape).copy()
+        return ((a + c) * e,)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
-    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+    """Numerically stable log-softmax along ``axis`` (fused primitive).
+
+    Shares the shifted-exp pass with :func:`softmax` and uses the
+    closed-form backward ``grad + softmax(x) * Σ(-grad)`` sequenced to
+    match the historical ``shifted - log(Σ exp)`` composition bitwise.
+    """
+    shifted, e, s = _shifted_exp(x.data, axis)
+    out_data = shifted - np.log(s)
+
+    def backward(grad: np.ndarray):
+        gl = (-grad).sum(axis=axis, keepdims=True)
+        t = np.broadcast_to(gl / s, e.shape).copy()
+        return (grad + t * e,)
+
+    return Tensor._make(out_data, (x,), backward)
 
 
 # ---------------------------------------------------------------------------
@@ -275,16 +475,53 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
     """Mean cross-entropy from raw logits against integer class targets."""
     targets = np.asarray(targets, dtype=np.int64)
     logp = log_softmax(logits, axis=-1)
-    rows = np.arange(logp.shape[0])
+    # Not a planned hot op: cross_entropy only backs the ICM baseline's
+    # inverse-model loss (one small (B, 9) batch per update), never the
+    # conv/pool paths, so a per-call row index is fine here.
+    rows = np.arange(logp.shape[0])  # reprolint: disable=RPL010
     picked = logp[rows, targets]
     return -picked.mean()
 
 
 def entropy_from_logits(logits: Tensor, axis: int = -1) -> Tensor:
-    """Shannon entropy of the categorical distribution given by ``logits``."""
-    logp = log_softmax(logits, axis=axis)
-    p = softmax(logits, axis=axis)
-    return -(p * logp).sum(axis=axis)
+    """Shannon entropy of the categorical distribution given by ``logits``.
+
+    Fused: the historical ``-(softmax * log_softmax).sum()`` composition
+    ran the max/exp/sum reduction four times per call; this primitive
+    runs it once and shares ``e``/``s`` between both factors.  The
+    backward replays the composed graph's gradient bit for bit.  The
+    old tape attached *two* children to ``logits`` (the softmax shift
+    and the log-softmax shift) whose contributions were staged as
+    separate floating-point additions — and when the PPO loss also
+    consumes the same logits through ``log_prob``, that grouping is
+    visible in the final bits: ``(c_lp + c_soft) + c_logsoft`` is not
+    ``c_lp + (c_soft + c_logsoft)``.  Registering ``logits`` as a parent
+    twice and returning the branch gradients separately reproduces the
+    exact staging order of the composition.
+    """
+    shifted, e, s = _shifted_exp(logits.data, axis)
+    logp = shifted - np.log(s)
+    p = e / s
+    out_data = -(p * logp).sum(axis=axis)
+
+    def backward(grad: np.ndarray):
+        gmul = np.broadcast_to(
+            np.expand_dims(-grad, axis=axis), p.shape
+        ).copy()
+        a_p = gmul * logp  # grad into the softmax factor
+        g_logp = gmul * p  # grad into the log-softmax factor
+        # softmax branch (staged first by the composed tape).
+        a2 = a_p / s
+        v2 = (-a_p * e) / (s ** 2)
+        c2 = np.broadcast_to(v2.sum(axis=axis, keepdims=True), e.shape).copy()
+        gx2 = (a2 + c2) * e
+        # log-softmax branch (staged second).
+        gl1 = (-g_logp).sum(axis=axis, keepdims=True)
+        t1 = np.broadcast_to(gl1 / s, e.shape).copy()
+        gx1 = g_logp + t1 * e
+        return (gx2, gx1)
+
+    return Tensor._make(out_data, (logits, logits), backward)
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:

@@ -250,17 +250,10 @@ class ChannelLayerNorm(Module):
         self.bias = Parameter(np.zeros(num_channels), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        if x.ndim != 4:
-            raise ValueError(f"ChannelLayerNorm expects 4-D input, got {x.shape}")
-        batch = x.shape[0]
-        flat = x.reshape(batch, -1)
-        mu = flat.mean(axis=-1, keepdims=True)
-        var = flat.var(axis=-1, keepdims=True)
-        normalized = (flat - mu) / (var + self.eps).sqrt()
-        normalized = normalized.reshape(*x.shape)
-        scale = self.weight.reshape(1, self.num_channels, 1, 1)
-        shift = self.bias.reshape(1, self.num_channels, 1, 1)
-        return normalized * scale + shift
+        # Fused primitive; bitwise-identical (forward and backward) to the
+        # historical flatten/mean/var/center/divide/affine composition —
+        # see repro.nn.functional.channel_layer_norm for the replay notes.
+        return F.channel_layer_norm(x, self.weight, self.bias, eps=self.eps)
 
     def __repr__(self) -> str:
         return f"ChannelLayerNorm({self.num_channels})"

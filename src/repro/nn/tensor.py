@@ -21,6 +21,7 @@ need first-order gradients.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -28,6 +29,54 @@ import numpy as np
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float64
+
+
+class _GradMode(threading.local):
+    """Per-thread autograd switch (employees explore on worker threads)."""
+
+    def __init__(self):
+        self.enabled = True
+
+
+_GRAD_MODE = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Whether ops record the tape on the current thread."""
+    return _GRAD_MODE.enabled
+
+
+class no_grad:
+    """Context manager that disables tape construction on this thread.
+
+    Inside the block :meth:`Tensor._make` short-circuits: op outputs are
+    created with ``requires_grad=False`` and no ``_parents`` tuple or
+    backward closure is attached, so inference-only forwards (rollout
+    ``act()``, evaluation, detached curiosity rewards) allocate no graph
+    at all.  Forward *values* are unchanged — only the tape is elided.
+
+    The switch is consulted *inside* the original ``_make`` body, so the
+    sanitizer / tracer / profiler monkey-patch contract (wrappers around
+    ``Tensor._make`` that call through to the saved original) composes
+    unchanged: instrumented wrappers still see every op output, and a
+    ``no_grad`` forward stays bitwise-identical whether or not they are
+    installed.
+
+    Re-entrant and usable as a decorator-free plain context manager::
+
+        with nn.no_grad():
+            action = agent.act(env, rng)
+    """
+
+    __slots__ = ("_previous",)
+
+    def __enter__(self) -> "no_grad":
+        self._previous = _GRAD_MODE.enabled
+        _GRAD_MODE.enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GRAD_MODE.enabled = self._previous
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
@@ -147,12 +196,24 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create an op output tensor, wiring the tape if any parent needs grad."""
+        """Create an op output tensor, wiring the tape if any parent needs grad.
+
+        Under :class:`no_grad` the tape is elided entirely — no parents
+        tuple, no backward closure, ``requires_grad=False`` — which is
+        what makes inference-mode forwards allocation-free on the graph
+        side.  The check lives *here* (not in the ops) so every wrapped
+        ``_make`` installed by the sanitizer/tracer/profiler inherits it.
+        """
         out = Tensor(data)
-        if any(p.requires_grad for p in parents):
-            out.requires_grad = True
-            out._parents = tuple(parents)
-            out._backward = backward
+        if _GRAD_MODE.enabled:
+            # Plain loop instead of any(generator): this is the hottest
+            # call in the framework and the generator allocation shows up.
+            for p in parents:
+                if p.requires_grad:
+                    out.requires_grad = True
+                    out._parents = tuple(parents)
+                    out._backward = backward
+                    break
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -560,7 +621,11 @@ class Tensor:
 
         def backward(grad: np.ndarray):
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            # Generic gather backward: `index` may repeat elements, and
+            # np.add.at is the only scatter that accumulates duplicates.
+            # This is correctness machinery for arbitrary __getitem__,
+            # not a planned conv/pool hot path (those use _KernelPlan).
+            np.add.at(full, index, grad)  # reprolint: disable=RPL010
             return (full,)
 
         return Tensor._make(data, (self,), backward)
@@ -569,8 +634,15 @@ class Tensor:
         """Zero-pad the trailing two (spatial) dimensions symmetrically."""
         if padding == 0:
             return self
-        pad_width = [(0, 0)] * (self.ndim - 2) + [(padding, padding)] * 2
-        data = np.pad(self.data, pad_width)
+        # Zero-fill + interior slice assignment instead of np.pad: same
+        # bytes, a fraction of the overhead (np.pad builds per-axis pad
+        # tuples and round-trips through a generic n-d path every call).
+        shape = self.shape[:-2] + (
+            self.shape[-2] + 2 * padding,
+            self.shape[-1] + 2 * padding,
+        )
+        data = np.zeros(shape, dtype=self.data.dtype)
+        data[..., padding:-padding, padding:-padding] = self.data
 
         def backward(grad: np.ndarray):
             slices = tuple(

@@ -94,6 +94,7 @@ _FUNCTIONAL_OPS = (
     "linear",
     "softplus",
     "layer_norm",
+    "channel_layer_norm",
     "softmax",
     "log_softmax",
     "mse_loss",
@@ -104,16 +105,16 @@ _FUNCTIONAL_OPS = (
 )
 
 #: Composite ops built from other profiled ops: their FLOPs are counted
-#: by the leaves they call, so they report 0 themselves.
+#: by the leaves they call, so they report 0 themselves.  The softmax
+#: family is *not* listed — those are now fused primitives (one tape node,
+#: raw numpy inside), so their work is no longer visible to any leaf op
+#: and must be estimated here directly.
 _COMPOSITE_OPS = {
     "linear",
     "layer_norm",
-    "softmax",
-    "log_softmax",
     "mse_loss",
     "smooth_l1_loss",
     "cross_entropy",
-    "entropy_from_logits",
 }
 
 
@@ -158,6 +159,16 @@ def _estimate_flops(name: str, args: Tuple, out: object) -> int:
         return int(out_size) * kernel * kernel
     if name in ("tanh", "sigmoid", "exp", "log", "sqrt", "softplus"):
         return 4 * int(out_size)  # transcendental ~ a few flops each
+    if name in ("softmax", "log_softmax"):
+        # Fused primitive: shift + exp + sum + normalize per element.
+        return 6 * int(out_size)
+    if name == "channel_layer_norm":
+        # Fused primitive: mean + variance + normalize + affine per element.
+        return 10 * int(out_size)
+    if name == "entropy_from_logits":
+        # Fused primitive over the (pre-reduction) logits.
+        logits = args[0]
+        return 8 * int(logits.size) if isinstance(logits, Tensor) else 0
     # Elementwise / reduction default: one flop per output element over
     # the larger of input/output.
     in_size = args[0].size if args and isinstance(args[0], Tensor) else 0

@@ -1,0 +1,40 @@
+"""Known-bad fixture for RPL010: per-call index allocation in nn hot ops.
+
+The directory layout puts this file under a ``repro/nn/`` subpath so the
+path-scoped rule treats it as framework code.  It re-creates the exact
+pre-PR-4 im2col/col2im shape: fancy-index gather arrays rebuilt on every
+forward and an ``np.add.at`` scatter on every backward.
+"""
+
+import numpy as np
+
+
+def im2col(x, kernel, out_h, out_w):
+    rows = np.arange(kernel)  # RPL010: per-call index construction
+    i = np.repeat(rows, kernel)  # RPL010: per-call index construction
+    j = np.tile(rows, kernel)  # RPL010: per-call index construction
+    return x[:, :, i[:, None] + out_h, j[:, None] + out_w]
+
+
+def col2im_backward(grad_cols, indices, x_shape):
+    grad_x = np.zeros(x_shape)
+    np.add.at(grad_x, indices, grad_cols)  # RPL010: per-call scatter
+    return grad_x
+
+
+class _KernelPlan:
+    def __init__(self, height, kernel):
+        # Fine: plan construction runs once per shape and is cached.
+        self.offsets = np.arange(height - kernel + 1)
+
+
+def _plan_for(kernel):
+    # Fine: plan builders are the designated home for index arrays.
+    return np.tile(np.arange(kernel), kernel)
+
+
+def suppressed_generic_scatter(full, index, grad):
+    # Fine when justified: duplicate-index accumulation has no strided
+    # equivalent, so the generic gather backward opts out explicitly.
+    np.add.at(full, index, grad)  # reprolint: disable=RPL010
+    return full

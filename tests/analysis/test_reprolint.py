@@ -31,12 +31,13 @@ FIXTURE_EXPECTATIONS = {
     "rpl007_swallowed_exception.py": ("RPL007", 2),
     os.path.join("rpl008_module_seed", "test_module_seed.py"): ("RPL008", 2),
     "rpl009_bare_print.py": ("RPL009", 2),
+    os.path.join("rpl010_index_alloc", "repro", "nn", "hot_ops.py"): ("RPL010", 4),
 }
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
-        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)]
+    def test_all_ten_rules_registered(self):
+        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)] + ["RPL010"]
 
     def test_rule_table_rows(self):
         rows = rule_table()
@@ -151,6 +152,45 @@ class TestPathScoping:
         assert [f.code for f in lint_source(source, "src/repro/env/env.py")] == [
             "RPL009"
         ]
+
+    def test_rpl010_scoped_to_nn_modules(self):
+        # np.add.at is legitimate outside the nn framework (the state
+        # encoder's density channels genuinely need duplicate
+        # accumulation), so the rule only patrols repro/nn/.
+        source = "import numpy as np\nnp.add.at(grid, cells, 1.0)\n"
+        assert lint_source(source, "src/repro/env/state.py") == []
+        assert [f.code for f in lint_source(source, "src/repro/nn/functional.py")] == [
+            "RPL010"
+        ]
+
+    def test_rpl010_builders_flagged_per_call_but_not_in_plans(self):
+        hot = (
+            "import numpy as np\n"
+            "def conv2d(x, k):\n"
+            "    i = np.arange(k)\n"
+            "    return np.repeat(i, k)\n"
+        )
+        plan = (
+            "import numpy as np\n"
+            "def _plan_for(k):\n"
+            "    return np.tile(np.arange(k), k)\n"
+            "class _KernelPlan:\n"
+            "    def __init__(self, k):\n"
+            "        self.idx = np.arange(k)\n"
+        )
+        assert [f.code for f in lint_source(hot, "src/repro/nn/functional.py")] == [
+            "RPL010",
+            "RPL010",
+        ]
+        assert lint_source(plan, "src/repro/nn/functional.py") == []
+
+    def test_rpl010_suppressible_at_call_site(self):
+        source = (
+            "import numpy as np\n"
+            "def backward(full, index, grad):\n"
+            "    np.add.at(full, index, grad)  # reprolint: disable=RPL010\n"
+        )
+        assert lint_source(source, "src/repro/nn/tensor.py") == []
 
     def test_rpl008_only_fires_in_test_files(self):
         source = "import numpy as np\nnp.random.seed(0)\n"

@@ -1,0 +1,242 @@
+"""Episode-level bitwise parity for the vectorized environment step.
+
+PR 4 vectorized three env hot paths — move validation (one batched
+obstacle query), data collection (a worker-PoI distance matrix hoisted out
+of the competitive loop) and state encoding (cached PoI/station cells).
+The optimization contract is *bitwise* equivalence, not approximate: the
+same scenario driven by the same action sequence must produce identical
+states, rewards and info arrays to the seed implementation, which this
+module re-creates verbatim as ``reference_step``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import CrowdsensingEnv, smoke_config
+from repro.env.actions import (
+    MOVE_OFFSETS,
+    NUM_MOVES,
+    STAY,
+    Action,
+    can_charge,
+    move_targets,
+)
+from repro.env.rewards import StepOutcome
+from repro.env.space import euclidean
+from repro.env.state import StateEncoder, encode_state
+
+
+# ---------------------------------------------------------------------------
+# The seed implementation, re-created as the parity oracle
+# ---------------------------------------------------------------------------
+def legacy_segment_blocked(space, start, end, samples=8):
+    start = np.asarray(start, dtype=np.float64)
+    end = np.asarray(end, dtype=np.float64)
+    ts = np.linspace(0.0, 1.0, samples + 1)[1:]
+    blocked = np.zeros(start.shape[:-1], dtype=bool)
+    for t in ts:
+        point = start + t * (end - start)
+        blocked |= space.is_blocked(point)
+    return blocked
+
+
+def legacy_valid_move_mask(space, positions, energy, move_step):
+    positions = np.asarray(positions, dtype=np.float64)
+    num_workers = len(positions)
+    targets = move_targets(positions, move_step)
+
+    flat_targets = targets.reshape(-1, 2)
+    flat_starts = np.repeat(positions, NUM_MOVES, axis=0)
+    blocked = space.is_blocked(flat_targets) | legacy_segment_blocked(
+        space, flat_starts, flat_targets, samples=4
+    )
+    mask = ~blocked.reshape(num_workers, NUM_MOVES)
+
+    for move in range(NUM_MOVES):
+        dx, dy = MOVE_OFFSETS[move]
+        if dx == 0.0 or dy == 0.0:
+            continue
+        side_a = positions + np.array([dx, 0.0]) * move_step
+        side_b = positions + np.array([0.0, dy]) * move_step
+        mask[:, move] &= ~space.is_blocked(side_a) & ~space.is_blocked(side_b)
+
+    mask[:, STAY] = True
+
+    exhausted = np.asarray(energy) <= 1e-12
+    if np.any(exhausted):
+        mask[exhausted] = False
+        mask[exhausted, STAY] = True
+    return mask
+
+
+def reference_step(env, action):
+    """The seed ``CrowdsensingEnv.step`` body, byte for byte."""
+    config = env.config
+    workers = env.workers
+    old_positions = workers.positions.copy()
+
+    move_mask = legacy_valid_move_mask(
+        env.space, workers.positions, workers.energy, config.move_step
+    )
+    chosen = action.move.copy()
+    bumped = ~move_mask[np.arange(env.num_workers), chosen]
+    chosen[bumped] = STAY
+
+    near_station = can_charge(env.stations, workers.positions, config.charging_range)
+    charging = (action.charge == 1) & near_station
+    chosen[charging] = STAY
+
+    offsets = MOVE_OFFSETS[chosen] * config.move_step
+    new_positions = workers.positions + offsets
+    distances = euclidean(workers.positions, new_positions)
+    workers.positions = new_positions
+
+    collected = np.zeros(env.num_workers)
+    sensed_any = np.zeros(len(env.pois), dtype=bool)
+    for w in range(env.num_workers):
+        if charging[w] or workers.energy[w] <= 1e-12:
+            continue
+        in_range = (
+            euclidean(env.pois.positions, new_positions[w]) <= env._sensing_ranges[w]
+        )
+        if not np.any(in_range):
+            continue
+        take = np.minimum(
+            config.collect_rate * env.pois.initial_values[in_range],
+            env.pois.values[in_range],
+        )
+        env.pois.values[in_range] -= take
+        collected[w] = float(take.sum())
+        sensed_any |= in_range
+    env.pois.access_time[sensed_any] += 1
+
+    consumed = config.beta * distances + config.alpha * collected
+    overdraw = consumed > workers.energy
+    if np.any(overdraw):
+        consumed = np.minimum(consumed, workers.energy)
+    workers.energy = workers.energy - consumed
+
+    charged = np.zeros(env.num_workers)
+    if np.any(charging):
+        room = workers.capacity - workers.energy
+        charged[charging] = np.minimum(config.charge_per_slot, room[charging])
+        workers.energy = workers.energy + charged
+
+    workers.collected += collected
+    workers.consumed += consumed
+    workers.charged_total += charged
+
+    outcome = StepOutcome(
+        collected=collected,
+        consumed=consumed,
+        charged=charged,
+        bumped=bumped,
+        collected_cumulative=workers.collected.copy(),
+    )
+    if env.reward_mode == "sparse":
+        reward_per_worker = env._sparse.per_worker(outcome)
+    else:
+        reward_per_worker = env._dense.per_worker(outcome)
+    reward = float(reward_per_worker.mean())
+
+    env.t += 1
+    done = env.t >= config.horizon
+    if done:
+        env._needs_reset = True
+
+    state = encode_state(env.space, env.workers, env.pois, env.stations, config.horizon)
+    info = {
+        "reward_per_worker": reward_per_worker,
+        "positions": new_positions.copy(),
+        "previous_positions": old_positions,
+        "moves": chosen.copy(),
+        "charging": charging.copy(),
+        "bumped": bumped.copy(),
+        "t": env.t,
+    }
+    return state, reward, done, info
+
+
+def random_actions(rng, num_workers, steps):
+    return [
+        Action(
+            charge=rng.integers(0, 2, num_workers),
+            move=rng.integers(0, NUM_MOVES, num_workers),
+        )
+        for _ in range(steps)
+    ]
+
+
+_INFO_ARRAYS = (
+    "reward_per_worker",
+    "positions",
+    "previous_positions",
+    "moves",
+    "charging",
+    "bumped",
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("reward_mode", ["sparse", "dense"])
+def test_episode_bitwise_parity_with_seed_implementation(seed, reward_mode):
+    config = smoke_config(seed=seed, horizon=25)
+    fast = CrowdsensingEnv(config, reward_mode=reward_mode)
+    ref = CrowdsensingEnv(config, reward_mode=reward_mode)
+
+    state_fast = fast.reset()
+    state_ref = ref.reset()
+    assert state_fast.tobytes() == state_ref.tobytes()
+
+    actions = random_actions(np.random.default_rng(seed + 100), config.num_workers,
+                             config.horizon)
+    for step_idx, action in enumerate(actions):
+        s_fast, r_fast, d_fast, i_fast = fast.step(action)
+        s_ref, r_ref, d_ref, i_ref = reference_step(ref, action)
+        assert s_fast.tobytes() == s_ref.tobytes(), f"state diverged at t={step_idx}"
+        assert r_fast == r_ref, f"reward diverged at t={step_idx}"
+        assert d_fast == d_ref
+        for key in _INFO_ARRAYS:
+            assert i_fast[key].tobytes() == i_ref[key].tobytes(), (
+                f"info[{key!r}] diverged at t={step_idx}"
+            )
+        # Internal world state must also track exactly.
+        assert fast.workers.energy.tobytes() == ref.workers.energy.tobytes()
+        assert fast.pois.values.tobytes() == ref.pois.values.tobytes()
+        assert np.array_equal(fast.pois.access_time, ref.pois.access_time)
+
+    metrics_fast = fast.metrics()
+    metrics_ref = ref.metrics()
+    assert metrics_fast == metrics_ref
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_state_encoder_matches_encode_state(seed):
+    config = smoke_config(seed=seed, horizon=10)
+    env = CrowdsensingEnv(config)
+    env.reset()
+    encoder = StateEncoder(env.space, env.pois, env.stations, config.horizon)
+    rng = np.random.default_rng(seed)
+    for action in random_actions(rng, config.num_workers, 10):
+        env.step(action)
+        cached = encoder.encode(env.workers, env.pois)
+        reference = encode_state(
+            env.space, env.workers, env.pois, env.stations, config.horizon
+        )
+        assert cached.tobytes() == reference.tobytes()
+
+
+def test_valid_move_mask_matches_legacy_on_random_positions():
+    config = smoke_config(seed=9)
+    env = CrowdsensingEnv(config)
+    env.reset()
+    rng = np.random.default_rng(17)
+    from repro.env.actions import valid_move_mask
+
+    for _ in range(25):
+        positions = rng.uniform(-0.5, config.size + 0.5, size=(config.num_workers, 2))
+        energy = rng.uniform(0.0, 1.0, size=config.num_workers)
+        energy[rng.random(config.num_workers) < 0.2] = 0.0
+        new = valid_move_mask(env.space, positions, energy, config.move_step)
+        old = legacy_valid_move_mask(env.space, positions, energy, config.move_step)
+        assert np.array_equal(new, old)

@@ -1,0 +1,94 @@
+"""Unit tests for benchmarks/check_perf_regression.py (the CI perf gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "check_perf_regression.py"
+BASELINE = REPO_ROOT / "benchmarks" / "BENCH_4.json"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_perf_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_baseline(path: Path, means: dict) -> Path:
+    payload = {
+        "schema": 1,
+        "benchmarks": {name: {"mean_s": mean} for name, mean in means.items()},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def write_current(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_within_threshold_passes(tmp_path, checker, capsys):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3, "test_b": 2e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_a": 1.4e-3, "test_b": 2e-3})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "2 benchmark(s) within threshold" in out
+
+
+def test_regression_fails(tmp_path, checker, capsys):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_a": 1.6e-3})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "test_a" in captured.err
+
+
+def test_threshold_flag_loosens_gate(tmp_path, checker):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_a": 1.6e-3})
+    assert checker.main([str(cur), "--baseline", str(base), "--threshold", "2.0"]) == 0
+
+
+def test_unshared_benchmarks_are_informational(tmp_path, checker, capsys):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3, "test_gone": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_a": 1e-3, "test_new": 9.0})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "test_new" in out and "informational" in out
+    assert "test_gone" in out and "not measured" in out
+
+
+def test_no_shared_benchmarks_is_an_error(tmp_path, checker):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_b": 1e-3})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 1
+
+
+def test_committed_baseline_parses_and_covers_the_micro_suite(checker):
+    benches = checker.load_baseline(BASELINE)
+    expected = {
+        "test_conv2d_forward",
+        "test_conv2d_forward_cached_plan",
+        "test_conv2d_backward",
+        "test_env_step",
+        "test_env_step_active_sensing",
+        "test_policy_forward",
+        "test_policy_forward_no_grad",
+        "test_ppo_minibatch_loss_and_backward",
+        "test_curiosity_loss",
+    }
+    assert expected <= set(benches)
+    for name in expected:
+        assert benches[name]["mean_s"] > 0
