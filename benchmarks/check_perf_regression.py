@@ -16,10 +16,14 @@ reported but never fail the run, so adding a microbenchmark does not
 require regenerating the baseline in the same change.
 
 Exit status: 0 when every shared benchmark is within threshold, 1
-otherwise.  Regenerate the baseline (same flags as above, then copy the
-relevant stats) only alongside a change whose slowdown is understood and
-accepted; the file also records the pre-PR-4 means so the optimization
-trajectory stays auditable.
+otherwise.  A fresh run made up *entirely* of new benchmarks (nothing
+shared with the baseline) passes — that is what the first run of a new
+bench file looks like — but an empty run is still an error.  Pass
+``--update`` to fold the fresh means into the baseline file (new
+benchmarks are added, existing ``mean_s`` entries are refreshed, extra
+per-benchmark fields are preserved); do that only alongside a change
+whose slowdown is understood and accepted.  The baseline also records
+the pre-PR-4 means so the optimization trajectory stays auditable.
 """
 
 from __future__ import annotations
@@ -48,6 +52,20 @@ def load_current(path: Path) -> dict:
     return {b["name"]: float(b["stats"]["mean"]) for b in benches}
 
 
+def update_baseline(path: Path, current: dict) -> None:
+    """Fold fresh means into the baseline file (added or refreshed).
+
+    New benchmarks gain a minimal ``{"mean_s": ...}`` entry; existing
+    entries keep their extra fields (median, rounds, pre-PR-4 columns)
+    and only have ``mean_s`` replaced.
+    """
+    payload = json.loads(path.read_text())
+    benches = payload.setdefault("benchmarks", {})
+    for name, mean in sorted(current.items()):
+        benches.setdefault(name, {})["mean_s"] = mean
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
@@ -59,18 +77,38 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=1.5,
         help="fail when current mean > threshold * baseline mean (default 1.5)",
     )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the fresh means into the baseline file and exit 0 "
+        "(use only alongside an understood, accepted slowdown)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_baseline(args.baseline)
     current = load_current(args.current)
 
-    shared = sorted(set(baseline) & set(current))
-    if not shared:
-        print("perf check: no shared benchmarks between baseline and run", file=sys.stderr)
+    if not current:
+        print(
+            f"perf check: {args.current} contains no benchmarks — "
+            "did the bench run fail?",
+            file=sys.stderr,
+        )
         return 1
 
+    if args.update:
+        update_baseline(args.baseline, current)
+        print(
+            f"perf check: wrote {len(current)} benchmark mean(s) into "
+            f"{args.baseline.name}"
+        )
+        return 0
+
+    shared = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    gone = sorted(set(baseline) - set(current))
+
     failures = []
-    width = max(len(name) for name in shared)
+    width = max(len(name) for name in set(current) | set(baseline))
     print(f"perf check vs {args.baseline.name} (threshold {args.threshold:g}x)")
     for name in shared:
         base_mean = float(baseline[name]["mean_s"])
@@ -83,18 +121,30 @@ def main(argv=None) -> int:
             f"  {name:<{width}}  baseline {base_mean * 1e3:8.3f}ms"
             f"  current {cur_mean * 1e3:8.3f}ms  x{ratio:5.2f}  {flag}"
         )
-    for name in sorted(set(current) - set(baseline)):
-        print(f"  {name:<{width}}  (not in baseline — informational only)")
-    for name in sorted(set(baseline) - set(current)):
+    for name in new:
+        print(
+            f"  {name:<{width}}  current {current[name] * 1e3:8.3f}ms"
+            "  new (no baseline)"
+        )
+    for name in gone:
         print(f"  {name:<{width}}  (in baseline but not measured this run)")
 
     if failures:
         print(
             f"perf check: {len(failures)} benchmark(s) regressed beyond "
-            f"{args.threshold:g}x: {', '.join(failures)}",
+            f"{args.threshold:g}x: {', '.join(failures)}\n"
+            "If the slowdown is understood and accepted, regenerate the "
+            "baseline with the same pytest flags and re-run this script "
+            f"with --update --baseline {args.baseline.name}.",
             file=sys.stderr,
         )
         return 1
+    if not shared:
+        print(
+            f"perf check: all {len(new)} benchmark(s) are new (no baseline); "
+            "record them with --update once their numbers settle"
+        )
+        return 0
     print(f"perf check: {len(shared)} benchmark(s) within threshold")
     return 0
 

@@ -139,7 +139,11 @@ def _build_trainer(args, episodes=None):
     scale = get_scale(args.scale)
     config = scale.scenario()
     train = make_train_config(
-        scale, episodes=episodes, seed=args.seed, mode=getattr(args, "mode", "sequential")
+        scale,
+        episodes=episodes,
+        seed=args.seed,
+        mode=getattr(args, "mode", "sequential"),
+        backend=getattr(args, "backend", None),
     )
     overrides = {
         name: getattr(args, name)
@@ -343,9 +347,21 @@ def _configure_train(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--history", default=None, help="save CSV logs here")
     parser.add_argument(
         "--mode",
-        choices=("sequential", "thread"),
+        choices=("sequential", "thread", "process"),
         default="sequential",
-        help="employee driver (thread overlaps exploration and gradients)",
+        help="legacy spelling of --backend (kept for compatibility)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "employee execution backend: serial (one thread, default), "
+            "thread (thread pool; GIL-bound), process (one worker process "
+            "per employee with shared-memory tensor transport). "
+            "Overrides --mode; results are bitwise-identical across all "
+            "three for a given seed."
+        ),
     )
     parser.add_argument(
         "--checkpoint-dir",

@@ -36,6 +36,11 @@ RPL010    no-percall-index-alloc  ``repro.nn`` hot ops must not build index
                                   ``np.tile``) or scatter with ``np.add.at``
                                   per call — use a cached kernel plan
                                   (plan-construction code is exempt)
+RPL011    no-fork-unsafe-state    ``repro.distributed`` worker entrypoints run
+                                  post-fork and must receive every seed/config
+                                  explicitly: no ``global`` statements, no
+                                  reads of mutable module-level state, no
+                                  unseeded ``default_rng()``
 ========  ======================  ==============================================
 """
 
@@ -320,6 +325,7 @@ _RPL003_ALLOWED = (
     "repro/nn/",
     "repro/distributed/trainer.py",
     "repro/distributed/async_trainer.py",
+    "repro/distributed/procpool.py",
     "repro/agents/policy.py",
     "repro/agents/edics.py",
 )
@@ -811,3 +817,147 @@ def check_percall_index_alloc(context: ModuleContext) -> Iterator[Finding]:
             yield from visit(child, in_plan_scope)
 
     yield from visit(context.tree, False)
+
+
+# ----------------------------------------------------------------------
+# RPL011 — no fork-unsafe state in distributed worker entrypoints
+# ----------------------------------------------------------------------
+# The process backend (PR 5) forks employee workers; a forked child gets
+# a snapshot of the parent's module state at fork time.  Any worker code
+# that *reads* mutable module-level state or draws OS entropy therefore
+# depends on *when* the fork happened — exactly the nondeterminism the
+# bitwise-identical-across-backends contract forbids.  Worker entrypoints
+# (functions named ``*_worker_main`` or passed as ``target=`` to a
+# ``*Process(...)`` constructor) in ``repro/distributed/`` must receive
+# every seed and config through their arguments: no ``global``
+# statements, no reads of lowercase module-level assignments (ALL_CAPS
+# constants, imports, defs and classes are fine), and no argument-less
+# ``default_rng()`` (which seeds from OS entropy, differing per fork).
+_RPL011_PATHS = ("repro/distributed/",)
+
+
+def _rpl011_module_mutables(tree: ast.Module) -> Set[str]:
+    """Lowercase names assigned at module level (mutable state, not
+    constants/imports/defs)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    name = leaf.id
+                    if not name.isupper() and not (
+                        name.startswith("__") and name.endswith("__")
+                    ):
+                        names.add(name)
+    return names
+
+
+def _rpl011_entrypoints(tree: ast.Module) -> List[ast.FunctionDef]:
+    """Worker entrypoints: ``*_worker_main`` defs plus ``target=`` refs."""
+    target_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            callee = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else ""
+            )
+            if callee.endswith("Process"):
+                for keyword in node.keywords:
+                    if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                        target_names.add(keyword.value.id)
+    found: List[ast.FunctionDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and (
+            node.name.endswith("_worker_main") or node.name in target_names
+        ):
+            found.append(node)
+    return found
+
+
+def _rpl011_local_bindings(fn: ast.FunctionDef) -> Set[str]:
+    """Every name bound inside the entrypoint (args, stores, handlers)."""
+    bound: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+            args = node.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                bound.add(arg.arg)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+    return bound
+
+
+@rule(
+    "RPL011",
+    "no-fork-unsafe-state",
+    "repro.distributed worker entrypoints run post-fork and must receive "
+    "seeds/configs explicitly through their arguments — no global "
+    "statements, no reads of mutable module-level state, no unseeded "
+    "default_rng() (fork-time snapshots and OS entropy break the "
+    "bitwise-identical-across-backends contract)",
+)
+def check_fork_unsafe_state(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or not context.path_matches(_RPL011_PATHS):
+        return
+    entrypoints = _rpl011_entrypoints(context.tree)
+    if not entrypoints:
+        return
+    mutables = _rpl011_module_mutables(context.tree)
+    for fn in entrypoints:
+        local = _rpl011_local_bindings(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                yield _finding(
+                    context,
+                    "RPL011",
+                    node,
+                    f"worker entrypoint `{fn.name}` uses `global "
+                    f"{', '.join(node.names)}`: post-fork module state is a "
+                    f"fork-time snapshot — pass the state in explicitly",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if (
+                    dotted is not None
+                    and dotted.split(".")[-1] == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield _finding(
+                        context,
+                        "RPL011",
+                        node,
+                        f"unseeded `default_rng()` in worker entrypoint "
+                        f"`{fn.name}`: OS-entropy seeding differs per fork — "
+                        f"seed from the worker's spec instead",
+                    )
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in mutables
+                and node.id not in local
+            ):
+                yield _finding(
+                    context,
+                    "RPL011",
+                    node,
+                    f"worker entrypoint `{fn.name}` reads module-level "
+                    f"`{node.id}`: a forked child sees a fork-time snapshot "
+                    f"— receive it through the entrypoint's arguments",
+                )

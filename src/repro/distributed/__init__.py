@@ -28,6 +28,8 @@ from .faults import (
     StragglerFault,
 )
 from .gradient_buffer import GradientBuffer, GradientRejected
+from .procpool import ProcessEmployeePool, WorkerDied, WorkerSpec
+from .shm import SHM_PREFIX, SlabLayout, SlabStale, TensorSlab
 from .trainer import (
     ChiefEmployeeTrainer,
     EmployeeHealth,
@@ -71,4 +73,11 @@ __all__ = [
     "CheckpointFault",
     "InjectedCrash",
     "InjectedCheckpointInterrupt",
+    "ProcessEmployeePool",
+    "WorkerDied",
+    "WorkerSpec",
+    "TensorSlab",
+    "SlabLayout",
+    "SlabStale",
+    "SHM_PREFIX",
 ]

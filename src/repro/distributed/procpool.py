@@ -1,0 +1,613 @@
+"""Process-backed employee pool: true multi-core chief–employee training.
+
+Why processes
+-------------
+The paper's synchronous chief–employee architecture (Section V-A, Fig. 1)
+exists to parallelize employee exploration and gradient computation, and
+DPPO-style distributed PPO gets its wall-clock wins from workers
+computing gradients concurrently.  Our autograd substrate is numpy-on-
+Python: the per-op Python dispatch holds the GIL, so the
+``ThreadPoolExecutor`` backend overlaps only the slices of time numpy
+spends inside C kernels — on small CEWS networks that is a minority of
+the step, and the "distributed" trainer runs at roughly serial speed.
+This module gives each :class:`~repro.distributed.trainer._Employee` its
+own **worker process**, so M employees genuinely occupy M cores.
+
+Protocol
+--------
+Each worker is driven over a duplex pipe by a four-command protocol::
+
+    SYNC      chief -> worker   read weights slab (seq-stamped), optionally
+                                re-seed the worker RNG; ack'd
+    EXPLORE   chief -> worker   roll one episode into the local buffer;
+                                reply carries the EpisodeResult + RNG state
+    MINIBATCH chief -> worker   sample one minibatch, compute gradients,
+                                write them to the gradients slab; reply
+                                carries PPOStats + RNG state
+    SHUTDOWN  chief -> worker   ack and exit
+
+Commands are strictly serial per worker (at most one outstanding), each
+stamped with a monotonically increasing ``seq`` echoed by the reply and
+verified against the slab headers — a stale or torn payload raises
+instead of being consumed.  Replies are small (floats, RNG state dicts);
+**tensor payloads never cross the pipe**: the weight broadcast and the
+gradient return travel through preallocated per-worker
+:class:`~repro.distributed.shm.TensorSlab` pairs (flat float64 views per
+parameter, ``(seq, episode, round, len)`` header — no per-round pickling
+of Tensors).
+
+Determinism contract
+--------------------
+The chief keeps the **authoritative RNG mirror** for every employee:
+each successful (or drained) task reply returns the worker's post-task
+``bit_generator.state`` and the chief stores it; every SYNC ships the
+mirror state back.  Fault-free runs are therefore bitwise-identical to
+the serial and thread backends (same seed derivation, same consumption
+order), checkpoints capture exact employee RNG states, and a respawned
+worker resumes from the last known-good state — exactly like a restarted
+thread employee, whose injected crash also fires *before* any RNG
+consumption.
+
+Fault tolerance
+---------------
+The :class:`~repro.distributed.faults.FaultPlan` is forwarded to each
+worker, which drives its own :class:`FaultInjector` for stragglers and
+crashes (``before_task``); injected crashes come back as ``"crash"``
+replies and map onto the trainer's existing ``_note_crash`` path.
+Corruption and checkpoint faults stay chief-side (unchanged code paths).
+Real worker death (SIGKILL, OOM, hard bug) surfaces as pipe EOF and
+raises :class:`WorkerDied`; the chief records a crash, respawns the
+worker against the *same* slabs and re-seeds it from the mirror.
+
+Lifecycle
+---------
+The pool is a context manager; :meth:`shutdown` (also registered via
+``atexit``) terminates workers and unlinks every slab, so no
+``/dev/shm`` segments leak after normal exit, KeyboardInterrupt or an
+injected worker crash.  Workers are ``fork``-started: the factories the
+trainer already uses are closures over the scenario, which ``fork``
+inherits for free (a ``spawn`` backend would need every factory to be
+picklable).  Worker entrypoints receive *explicit* seeds and configs —
+never module globals — which reprolint rule RPL011 enforces.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..agents.policy import GradientPack
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import record_span
+from ..obs.trace import reset_after_fork as _trace_reset_after_fork
+from .faults import EXPLORE_ROUND, FaultInjector, FaultPlan, InjectedCrash
+from .shm import TensorSlab, slab_name
+
+_LOG = get_logger(__name__)
+
+__all__ = ["ProcessEmployeePool", "WorkerDied", "WorkerSpec"]
+
+# Command opcodes (chief -> worker).
+OP_SYNC = "sync"
+OP_EXPLORE = "explore"
+OP_MINIBATCH = "minibatch"
+OP_SHUTDOWN = "shutdown"
+
+# Reply statuses (worker -> chief).
+_OK = "ok"
+_CRASH = "crash"  # injected (deterministic) crash; worker stays alive
+_ERROR = "error"  # genuine exception; traceback re-raised chief-side
+
+
+class WorkerDied(RuntimeError):
+    """The worker process died for real (pipe EOF / SIGKILL / OOM)."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs, passed *explicitly* (RPL011).
+
+    A forked worker inherits the chief's entire module state — module
+    RNGs, singletons, half-open resources.  Reading any of it post-fork
+    is a determinism and correctness hazard, so the entrypoint receives
+    this frozen spec instead: its own factories, its exact RNG state, the
+    (immutable) fault plan and the slab names/layout.
+    """
+
+    index: int
+    agent_factory: Callable[[int], object]
+    env_factory: Callable[[int], object]
+    initial_rng_state: dict
+    plan: Optional[FaultPlan]
+    weights_slab: str
+    grads_slab: str
+    shapes: Tuple[Tuple[int, ...], ...]
+    num_policy_params: int
+
+
+def _employee_worker_main(spec: WorkerSpec, conn) -> None:
+    """Worker-process entrypoint: serve the command protocol until EOF.
+
+    Every input is taken from ``spec`` / the pipe / the slabs; nothing is
+    read from inherited module globals (see :class:`WorkerSpec`).
+    """
+    _trace_reset_after_fork()
+    agent = spec.agent_factory(spec.index)
+    env = spec.env_factory(spec.index)
+    rng = np.random.default_rng(0)
+    rng.bit_generator.state = spec.initial_rng_state
+    injector = FaultInjector(spec.plan) if spec.plan is not None else None
+    params = list(agent.policy_parameters()) + list(agent.curiosity_parameters())
+    weights = TensorSlab.attach(spec.weights_slab, spec.shapes)
+    grads = TensorSlab.attach(spec.grads_slab, spec.shapes)
+    rollout = None
+    try:
+        while True:
+            try:
+                op, seq, payload = conn.recv()
+            except (EOFError, OSError):
+                break  # chief is gone; exit quietly
+            if op == OP_SHUTDOWN:
+                conn.send((_OK, seq, None))
+                break
+            try:
+                if op == OP_SYNC:
+                    arrays = weights.read(expected_seq=seq, copy=False)
+                    for param, array in zip(params, arrays):
+                        param.data[...] = array
+                    state = payload.get("rng_state")
+                    if state is not None:
+                        rng.bit_generator.state = state
+                    conn.send((_OK, seq, None))
+                elif op == OP_EXPLORE:
+                    episode = payload["episode"]
+                    start = time.perf_counter()
+                    if injector is not None:
+                        injector.before_task(spec.index, episode, EXPLORE_ROUND)
+                    rollout, result = agent.collect_episode(env, rng)
+                    conn.send(
+                        (
+                            _OK,
+                            seq,
+                            {
+                                "result": result,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": time.perf_counter() - start,
+                            },
+                        )
+                    )
+                elif op == OP_MINIBATCH:
+                    episode = payload["episode"]
+                    round_index = payload["round"]
+                    start = time.perf_counter()
+                    if injector is not None:
+                        injector.before_task(spec.index, episode, round_index)
+                    if rollout is None:
+                        raise RuntimeError(
+                            f"worker {spec.index}: MINIBATCH before a "
+                            f"successful EXPLORE"
+                        )
+                    batch = next(
+                        iter(rollout.minibatches(payload["batch_size"], rng, epochs=1))
+                    )
+                    pack = agent.compute_gradients(batch)
+                    grads.write(
+                        list(pack.policy) + list(pack.curiosity),
+                        seq=seq,
+                        episode=episode,
+                        round_index=round_index,
+                    )
+                    conn.send(
+                        (
+                            _OK,
+                            seq,
+                            {
+                                "stats": pack.stats,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": time.perf_counter() - start,
+                            },
+                        )
+                    )
+                else:
+                    raise RuntimeError(f"unknown opcode {op!r}")
+            except InjectedCrash:
+                # Deterministic injected crash: fired in before_task, so
+                # the RNG is untouched; the worker itself stays healthy.
+                conn.send((_CRASH, seq, {"rng_state": rng.bit_generator.state}))
+            except Exception:
+                conn.send((_ERROR, seq, traceback.format_exc()))
+    finally:
+        weights.close()
+        grads.close()
+        conn.close()
+
+
+class _WorkerHandle:
+    """Chief-side bookkeeping for one worker process."""
+
+    __slots__ = ("process", "conn", "weights", "grads", "seq", "in_flight")
+
+    def __init__(self, process, conn, weights: TensorSlab, grads: TensorSlab):
+        self.process = process
+        self.conn = conn
+        self.weights = weights
+        self.grads = grads
+        self.seq = 0
+        #: (seq, op, episode, round_index) of the outstanding command.
+        self.in_flight: Optional[Tuple[int, str, int, int]] = None
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+class ProcessEmployeePool:
+    """M employee worker processes plus their shared-memory transport.
+
+    Parameters
+    ----------
+    agent_factory, env_factory:
+        The trainer's per-employee factories (called *inside* the worker
+        after fork, so each process builds its own local model).
+    num_employees:
+        Pool size ``M``.
+    shapes:
+        Parameter shapes — policy parameters first, curiosity parameters
+        after — shared by the weight and gradient slabs.
+    num_policy_params:
+        How many leading entries of ``shapes`` are policy parameters.
+    initial_rng_states:
+        Per-employee ``bit_generator.state`` dicts seeding the workers
+        (the chief's authoritative mirrors).
+    plan:
+        Optional fault plan forwarded verbatim to every worker.
+    """
+
+    def __init__(
+        self,
+        agent_factory: Callable[[int], object],
+        env_factory: Callable[[int], object],
+        num_employees: int,
+        shapes: Sequence[Tuple[int, ...]],
+        num_policy_params: int,
+        initial_rng_states: Sequence[dict],
+        plan: Optional[FaultPlan] = None,
+    ):
+        if num_employees < 1:
+            raise ValueError(f"need at least one employee, got {num_employees}")
+        if len(initial_rng_states) != num_employees:
+            raise ValueError(
+                f"{len(initial_rng_states)} RNG states for "
+                f"{num_employees} employees"
+            )
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError as error:  # pragma: no cover - platform-specific
+            raise RuntimeError(
+                "the process backend requires the 'fork' start method "
+                "(the trainer's factories are closures over the scenario); "
+                "use backend='thread' on platforms without fork"
+            ) from error
+        self.num_employees = num_employees
+        self.shapes = tuple(tuple(int(d) for d in shape) for shape in shapes)
+        self.num_policy_params = int(num_policy_params)
+        self._plan = plan
+        self._agent_factory = agent_factory
+        self._env_factory = env_factory
+        self._closed = False
+        registry = get_registry()
+        self._ipc_bytes = registry.counter(
+            "repro_ipc_bytes_total",
+            "Bytes moved through the shared-memory tensor slabs",
+            labelnames=("direction",),
+        )
+        self._ipc_wait = registry.histogram(
+            "repro_ipc_wait_seconds",
+            "Chief wait time on worker pipe replies",
+            labelnames=("phase",),
+        )
+        self._workers: List[_WorkerHandle] = []
+        for index in range(num_employees):
+            weights = TensorSlab.create(slab_name(index, "w"), self.shapes)
+            grads = TensorSlab.create(slab_name(index, "g"), self.shapes)
+            handle = self._spawn(index, weights, grads, initial_rng_states[index])
+            self._workers.append(handle)
+        atexit.register(self._atexit_shutdown)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(
+        self, index: int, weights: TensorSlab, grads: TensorSlab, rng_state: dict
+    ) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        spec = WorkerSpec(
+            index=index,
+            agent_factory=self._agent_factory,
+            env_factory=self._env_factory,
+            initial_rng_state=rng_state,
+            plan=self._plan,
+            weights_slab=weights.name,
+            grads_slab=grads.name,
+            shapes=self.shapes,
+            num_policy_params=self.num_policy_params,
+        )
+        process = self._ctx.Process(
+            target=_employee_worker_main,
+            args=(spec, child_conn),
+            name=f"repro-employee-{index}",
+            daemon=True,
+        )
+        process.start()
+        # Close our copy of the child end: the chief must observe EOF the
+        # instant the worker dies, not hold the pipe open against itself.
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn, weights, grads)
+
+    def pid(self, index: int) -> int:
+        """The worker's OS pid (fault tests kill it for real)."""
+        return self._workers[index].process.pid
+
+    def slab_names(self) -> List[str]:
+        """Names of every live segment (leak tests scan for these)."""
+        names: List[str] = []
+        for handle in self._workers:
+            names.extend([handle.weights.name, handle.grads.name])
+        return names
+
+    def alive(self, index: int) -> bool:
+        return self._workers[index].process.is_alive()
+
+    def revive(
+        self, index: int, arrays: Sequence[np.ndarray], rng_state: dict, episode: int
+    ) -> None:
+        """Respawn a dead worker against the same slabs and re-seed it.
+
+        The worker is re-seeded from the chief's RNG mirror (its last
+        known-good state) and re-synced with the current global
+        parameters, so a respawn is observationally identical to a
+        restarted thread employee.
+        """
+        handle = self._workers[index]
+        handle.in_flight = None
+        try:
+            handle.conn.close()
+        except OSError:
+            _LOG.warning("closing pipe of dead employee worker %d failed", index)
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+        fresh = self._spawn(index, handle.weights, handle.grads, rng_state)
+        self._workers[index] = fresh
+        self._sync_one(fresh, arrays, rng_state, episode)
+        _LOG.warning("employee worker %d respawned (pid %d)", index, fresh.process.pid)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def _sync_one(
+        self,
+        handle: _WorkerHandle,
+        arrays: Sequence[np.ndarray],
+        rng_state: Optional[dict],
+        episode: int,
+    ) -> int:
+        seq = handle.next_seq()
+        nbytes = handle.weights.write(arrays, seq=seq, episode=episode)
+        self._ipc_bytes.labels(direction="broadcast").inc(nbytes)
+        handle.conn.send((OP_SYNC, seq, {"rng_state": rng_state}))
+        handle.in_flight = (seq, OP_SYNC, episode, EXPLORE_ROUND)
+        return seq
+
+    def sync(
+        self,
+        arrays: Sequence[np.ndarray],
+        rng_states: Sequence[Optional[dict]],
+        episode: int,
+    ) -> List[int]:
+        """Broadcast weights (and RNG mirrors) to every worker; barrier.
+
+        The slab write + SYNC goes out to all workers first, then the
+        acks are collected, so the broadcast overlaps across workers.
+        Returns the indices of workers that were found dead and respawned
+        (the trainer records those as crashes).
+        """
+        respawned: List[int] = []
+        for handle, state in zip(self._workers, rng_states):
+            self._sync_one(handle, arrays, state, episode)
+        for index, (handle, state) in enumerate(zip(self._workers, rng_states)):
+            try:
+                self._await_reply(index, None, phase="sync")
+            except WorkerDied:
+                self.revive(index, arrays, state or {}, episode)
+                respawned.append(index)
+        return respawned
+
+    def submit(
+        self,
+        index: int,
+        op: str,
+        episode: int,
+        round_index: int = EXPLORE_ROUND,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Send one EXPLORE/MINIBATCH command (non-blocking)."""
+        handle = self._workers[index]
+        if handle.in_flight is not None:
+            raise RuntimeError(
+                f"worker {index} already has command {handle.in_flight} in flight"
+            )
+        seq = handle.next_seq()
+        if op == OP_EXPLORE:
+            payload: Dict[str, object] = {"episode": episode}
+        elif op == OP_MINIBATCH:
+            payload = {"episode": episode, "round": round_index, "batch_size": batch_size}
+        else:
+            raise ValueError(f"submit cannot send opcode {op!r}")
+        handle.conn.send((op, seq, payload))
+        handle.in_flight = (seq, op, episode, round_index)
+
+    def has_in_flight(self, index: int) -> bool:
+        return self._workers[index].in_flight is not None
+
+    def _await_reply(
+        self, index: int, timeout: Optional[float], phase: str
+    ) -> Tuple[str, object, Tuple[int, str, int, int]]:
+        """Block (with optional timeout) for the outstanding reply.
+
+        Raises ``FuturesTimeoutError`` (command left in flight) or
+        :class:`WorkerDied` (in-flight command discarded).  Protocol
+        errors — a genuine worker exception or a seq mismatch — raise
+        ``RuntimeError``.
+        """
+        handle = self._workers[index]
+        pending = handle.in_flight
+        if pending is None:
+            raise RuntimeError(f"worker {index} has no command in flight")
+        wait_start = time.perf_counter()
+        try:
+            ready = handle.conn.poll(timeout)
+            if ready:
+                status, seq, payload = handle.conn.recv()
+        except (EOFError, OSError, ConnectionResetError) as error:
+            self._ipc_wait.labels(phase=phase).observe(time.perf_counter() - wait_start)
+            handle.in_flight = None
+            raise WorkerDied(
+                f"employee worker {index} (pid {handle.process.pid}) died "
+                f"during {phase}"
+            ) from error
+        self._ipc_wait.labels(phase=phase).observe(time.perf_counter() - wait_start)
+        if not ready:
+            # NOTE: ``FuturesTimeoutError`` aliases the builtin
+            # ``TimeoutError`` (an ``OSError``) on 3.11+, so it must be
+            # raised *outside* the pipe-death translation above.
+            raise FuturesTimeoutError(
+                f"worker {index} exceeded {timeout}s during {phase}"
+            )
+        if seq != pending[0]:
+            handle.in_flight = None
+            raise RuntimeError(
+                f"worker {index} protocol violation: reply seq {seq} for "
+                f"in-flight {pending}"
+            )
+        handle.in_flight = None
+        if status == _ERROR:
+            raise RuntimeError(
+                f"employee worker {index} raised:\n{payload}"
+            )
+        return status, payload, pending
+
+    def wait(
+        self, index: int, timeout: Optional[float], phase: str
+    ) -> Tuple[object, dict]:
+        """Collect one EXPLORE/MINIBATCH result.
+
+        Returns ``(outcome, rng_state)`` where ``outcome`` is the
+        :class:`EpisodeResult` (explore) or assembled
+        :class:`~repro.agents.policy.GradientPack` (minibatch).  Raises
+        ``FuturesTimeoutError`` / :class:`InjectedCrash` /
+        :class:`WorkerDied` exactly like the thread backend's futures, so
+        the trainer's retry/quorum machinery applies unchanged.
+        """
+        status, payload, (seq, op, episode, round_index) = self._await_reply(
+            index, timeout, phase
+        )
+        if status == _CRASH:
+            # Mirrors the thread backend: before_task fired, RNG untouched.
+            raise InjectedCrash(
+                f"injected crash: employee {index}, episode {episode}, "
+                f"round {round_index}"
+            )
+        rng_state = payload["rng_state"]
+        record_span(
+            f"employee.{phase}",
+            payload["dur"],
+            employee=index,
+            episode=episode,
+            round=round_index,
+        )
+        if op == OP_MINIBATCH:
+            handle = self._workers[index]
+            arrays = handle.grads.read(expected_seq=seq, copy=True)
+            self._ipc_bytes.labels(direction="gather").inc(handle.grads.nbytes)
+            pack = GradientPack(
+                policy=arrays[: self.num_policy_params],
+                curiosity=arrays[self.num_policy_params :],
+                stats=payload["stats"],
+            )
+            return pack, rng_state
+        return payload["result"], rng_state
+
+    def drain(self, indices: Iterable[int]) -> List[Tuple[int, dict]]:
+        """Absorb abandoned in-flight commands at a phase boundary.
+
+        A worker whose retries were exhausted may still be computing; the
+        chief must consume that (discarded) reply before the next slab
+        write or command, and must fold the worker's post-task RNG state
+        into the mirror — matching the thread backend, where an abandoned
+        straggler also consumes its employee's RNG before the phase ends.
+        Returns ``(index, rng_state)`` pairs for the trainer to apply.
+        """
+        drained: List[Tuple[int, dict]] = []
+        for index in sorted(set(indices)):
+            handle = self._workers[index]
+            if handle.in_flight is None:
+                continue
+            try:
+                status, payload, __ = self._await_reply(index, None, phase="drain")
+            except WorkerDied:
+                continue  # revived lazily by the next sync
+            if status == _OK and isinstance(payload, dict) and "rng_state" in payload:
+                drained.append((index, payload["rng_state"]))
+            elif status == _CRASH and isinstance(payload, dict):
+                drained.append((index, payload["rng_state"]))
+        return drained
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker and unlink every slab (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self._atexit_shutdown)
+        for index, handle in enumerate(self._workers):
+            if handle.process.is_alive() and handle.in_flight is None:
+                try:
+                    handle.conn.send((OP_SHUTDOWN, handle.next_seq(), None))
+                except (BrokenPipeError, OSError):
+                    _LOG.warning("worker %d pipe already closed at shutdown", index)
+        for handle in self._workers:
+            handle.process.join(timeout=timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=timeout)
+            try:
+                handle.conn.close()
+            except OSError:
+                continue
+        for handle in self._workers:
+            handle.weights.unlink()
+            handle.grads.unlink()
+
+    def _atexit_shutdown(self) -> None:
+        """Last-resort cleanup on interpreter exit (incl. KeyboardInterrupt)."""
+        try:
+            self.shutdown(timeout=1.0)
+        except Exception:
+            _LOG.warning("process pool atexit shutdown failed", exc_info=True)
+
+    def __enter__(self) -> "ProcessEmployeePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -15,11 +15,18 @@ Every episode proceeds exactly as the pseudocode prescribes:
 
 The paper argues for this *synchronous* design over asynchronous A3C-style
 updates to avoid policy-lag.  The semantics are sequential-equivalent, so
-this module offers two drivers with identical results given a seed:
+this module offers three drivers with bitwise-identical results given a
+seed (``TrainConfig.backend``):
 
-* ``mode="sequential"`` — deterministic, single thread (default for tests);
-* ``mode="thread"`` — employees run in a thread pool (numpy releases the
-  GIL inside matmuls, so exploration and gradient computation overlap).
+* ``backend="serial"`` (``mode="sequential"``) — deterministic, single
+  thread (default for tests);
+* ``backend="thread"`` — employees run in a thread pool (numpy releases
+  the GIL inside matmuls, so exploration and gradient computation
+  overlap — but the Python autograd dispatch itself stays serialized);
+* ``backend="process"`` — each employee lives in its own worker process
+  (:mod:`repro.distributed.procpool`), with weight broadcast and gradient
+  return through shared-memory slabs; the only driver that occupies
+  multiple cores.
 
 Fault tolerance
 ---------------
@@ -71,8 +78,9 @@ from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import event as trace_event
 from ..obs.trace import span as trace_span
-from .faults import EXPLORE_ROUND, FaultInjector, InjectedCrash
+from .faults import EXPLORE_ROUND, FaultError, FaultInjector, InjectedCrash
 from .gradient_buffer import GradientBuffer, GradientRejected
+from .procpool import OP_EXPLORE, OP_MINIBATCH, ProcessEmployeePool, WorkerDied
 
 _LOG = get_logger(__name__)
 
@@ -100,7 +108,16 @@ class TrainConfig:
     k_updates:
         ``K`` — chief update rounds per episode (Algorithm 1, line 17).
     mode:
-        ``"sequential"`` or ``"thread"``.
+        Legacy spelling of :attr:`backend`: ``"sequential"``,
+        ``"thread"`` or ``"process"`` (normalized in ``__post_init__``
+        so ``mode`` and ``backend`` always agree).
+    backend:
+        Employee execution backend — ``"serial"`` (single thread, the
+        default), ``"thread"`` (thread pool; GIL-bound) or ``"process"``
+        (one worker process per employee with shared-memory tensor
+        transport; see :mod:`repro.distributed.procpool`).  ``None``
+        derives the backend from ``mode``.  All three produce
+        bitwise-identical histories and checkpoints for a given seed.
     eval_every:
         Evaluate the global policy greedily every this many episodes
         (0 disables evaluation).
@@ -139,6 +156,15 @@ class TrainConfig:
     max_retries: int = 1
     retry_backoff: float = 0.0
     quarantine_max_norm: float = 0.0
+    backend: Optional[str] = None
+
+    #: mode spelling -> canonical backend name.
+    _MODE_TO_BACKEND = {
+        "sequential": "serial",
+        "serial": "serial",
+        "thread": "thread",
+        "process": "process",
+    }
 
     def __post_init__(self) -> None:
         if self.num_employees < 1:
@@ -147,8 +173,27 @@ class TrainConfig:
             raise ValueError(f"episodes must be >= 1, got {self.episodes}")
         if self.k_updates < 1:
             raise ValueError(f"k_updates must be >= 1, got {self.k_updates}")
-        if self.mode not in ("sequential", "thread"):
-            raise ValueError(f"mode must be 'sequential' or 'thread', got {self.mode!r}")
+        if self.mode not in self._MODE_TO_BACKEND:
+            raise ValueError(
+                f"mode must be 'sequential', 'thread' or 'process', "
+                f"got {self.mode!r}"
+            )
+        backend = (
+            self.backend
+            if self.backend is not None
+            else self._MODE_TO_BACKEND[self.mode]
+        )
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"backend must be 'serial', 'thread' or 'process', "
+                f"got {self.backend!r}"
+            )
+        # Normalize so mode and backend always agree (and a
+        # dataclasses.replace() round-trip stays consistent).
+        object.__setattr__(self, "backend", backend)
+        object.__setattr__(
+            self, "mode", "sequential" if backend == "serial" else backend
+        )
         if self.eval_every < 0:
             raise ValueError(f"eval_every cannot be negative, got {self.eval_every}")
         if not (0.0 < self.quorum_fraction <= 1.0):
@@ -496,6 +541,26 @@ class _Employee:
         return self.agent.compute_gradients(batch)  # reprolint: disable=RPL005
 
 
+class _EmployeeMirror:
+    """Chief-side stand-in for an employee living in a worker process.
+
+    The real agent/env/rollout live across the fork; the chief keeps only
+    the **authoritative RNG mirror** (updated from every worker reply, fed
+    back on every SYNC and on respawn).  Exposing ``rng`` and a no-op
+    ``sync`` keeps the checkpoint machinery
+    (:func:`repro.distributed.checkpoint.save_checkpoint` /
+    ``load_checkpoint``) byte-compatible across backends: the saved
+    employee RNG states are exactly the worker states, and a restore
+    reaches the workers through the next episode's weight broadcast.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    def sync(self, global_agent) -> None:
+        """No-op: process workers sync via the shared-memory broadcast."""
+
+
 class ChiefEmployeeTrainer:
     """The chief: owns the global agent, optimizers and the training loop.
 
@@ -538,14 +603,23 @@ class ChiefEmployeeTrainer:
 
         master = np.random.SeedSequence(self.config.seed)
         child_seeds = master.spawn(self.config.num_employees + 1)
-        self.employees = [
-            _Employee(
-                agent=agent_factory(i),
-                env=env_factory(i),
-                rng=np.random.default_rng(child_seeds[i]),
-            )
-            for i in range(self.config.num_employees)
-        ]
+        if self.config.backend == "process":
+            # Agents/envs are built *inside* the worker processes by the
+            # same factories; the chief keeps only the RNG mirrors.  The
+            # seed derivation is identical to the in-process backends.
+            self.employees = [
+                _EmployeeMirror(rng=np.random.default_rng(child_seeds[i]))
+                for i in range(self.config.num_employees)
+            ]
+        else:
+            self.employees = [
+                _Employee(
+                    agent=agent_factory(i),
+                    env=env_factory(i),
+                    rng=np.random.default_rng(child_seeds[i]),
+                )
+                for i in range(self.config.num_employees)
+            ]
         self._eval_rng = np.random.default_rng(child_seeds[-1])
         self._episodes_done = 0
         self._pending_restart: Set[int] = set()
@@ -573,8 +647,27 @@ class ChiefEmployeeTrainer:
             max_norm=self.config.quarantine_max_norm,
         )
         self._pool: Optional[ThreadPoolExecutor] = None
-        if self.config.mode == "thread":
+        self._proc_pool: Optional[ProcessEmployeePool] = None
+        #: Global parameters in slab order: policy first, curiosity after.
+        self._param_tensors = list(policy_params) + list(curiosity_params)
+        if self.config.backend == "thread":
             self._pool = ThreadPoolExecutor(max_workers=self.config.num_employees)
+        elif self.config.backend == "process":
+            self._proc_pool = ProcessEmployeePool(
+                agent_factory,
+                env_factory,
+                self.config.num_employees,
+                shapes=[tuple(p.data.shape) for p in self._param_tensors],
+                num_policy_params=len(policy_params),
+                initial_rng_states=[
+                    e.rng.bit_generator.state for e in self.employees
+                ],
+                plan=(
+                    self.fault_injector.plan
+                    if self.fault_injector is not None
+                    else None
+                ),
+            )
         self._metrics = _trainer_metrics()
 
     # ------------------------------------------------------------------
@@ -637,25 +730,34 @@ class ChiefEmployeeTrainer:
         episode: int,
         round_index: int,
         phase: str = "task",
+        batch_size: Optional[int] = None,
     ) -> Tuple[Dict[int, object], Set[int]]:
         """Run one barrier phase over ``candidates`` with retry + timeout.
 
         Returns ``(results, failed)`` where ``results`` maps employee index
         to the task's return value and ``failed`` holds employees that
-        exhausted every retry.  Only injected crashes and straggler
-        timeouts are absorbed; genuine exceptions propagate unchanged.
+        exhausted every retry.  Only injected crashes, straggler timeouts
+        and (process backend) real worker deaths are absorbed; genuine
+        exceptions propagate unchanged.  ``fn`` drives the in-process
+        backends; the process backend dispatches on ``phase`` and
+        ``batch_size`` instead (the employee objects live across a fork).
         """
         config = self.config
         results: Dict[int, object] = {}
         pending = list(candidates)
         carried: Dict[int, object] = {}  # still-running futures of stragglers
+        lost: Set[int] = set()  # dead workers that cannot retry this phase
         attempt = 0
         phase_start = time.perf_counter()
         while pending and attempt <= config.max_retries:
             if attempt and config.retry_backoff > 0:
                 time.sleep(config.retry_backoff * (2 ** (attempt - 1)))
             failures: List[int] = []
-            if self._pool is not None:
+            if self._proc_pool is not None:
+                failures = self._run_phase_process(
+                    pending, results, lost, episode, round_index, phase, batch_size
+                )
+            elif self._pool is not None:
                 futures = {
                     index: carried.pop(index)
                     if index in carried
@@ -702,10 +804,106 @@ class ChiefEmployeeTrainer:
                         results[index] = outcome
             pending = failures
             attempt += 1
+        # Phase-exit drain: an abandoned straggler task may still be
+        # running; it must never leak into (and interleave with) the next
+        # phase's work on the same employee.
+        if self._proc_pool is not None:
+            for index, state in self._proc_pool.drain(range(config.num_employees)):
+                # Fold the abandoned task's RNG consumption into the
+                # mirror — matching the thread backend, where the
+                # abandoned task mutates its employee's generator.
+                self.employees[index].rng.bit_generator.state = state
+        elif carried:
+            self._drain_carried(carried, phase)
         self._metrics["phase_seconds"].labels(phase=phase).observe(
             time.perf_counter() - phase_start
         )
-        return results, set(pending)
+        return results, set(pending) | lost
+
+    def _run_phase_process(
+        self,
+        pending: Sequence[int],
+        results: Dict[int, object],
+        lost: Set[int],
+        episode: int,
+        round_index: int,
+        phase: str,
+        batch_size: Optional[int],
+    ) -> List[int]:
+        """One attempt of a barrier phase against the process pool.
+
+        Mirrors the thread branch of :meth:`_run_phase`: commands go out
+        to every pending worker first, results are collected in index
+        order, and the pool's exceptions map onto the same bookkeeping —
+        ``FuturesTimeoutError`` -> timeout (command stays in flight, the
+        retry waits for the same task), ``InjectedCrash`` -> crash (fired
+        worker-side in ``before_task``, RNG mirror untouched),
+        :class:`WorkerDied` -> crash + immediate respawn from the mirror.
+        A worker that died during a gradient round lost its rollout and
+        is marked ``lost`` (failed without retry) for this phase.
+        """
+        pool = self._proc_pool
+        config = self.config
+        op = OP_EXPLORE if phase == "explore" else OP_MINIBATCH
+        failures: List[int] = []
+        for index in pending:
+            if not pool.has_in_flight(index):
+                pool.submit(index, op, episode, round_index, batch_size=batch_size)
+        timeout = config.employee_timeout if config.employee_timeout > 0 else None
+        wait_start = time.perf_counter()
+        for index in sorted(pending):
+            try:
+                outcome, rng_state = pool.wait(index, timeout, phase)
+            except FuturesTimeoutError:
+                self._note_timeout(index, episode, round_index, phase)
+                failures.append(index)
+            except InjectedCrash:
+                self._note_crash(index, episode, round_index, phase)
+                failures.append(index)
+            except WorkerDied:
+                self._note_crash(index, episode, round_index, phase)
+                pool.revive(
+                    index,
+                    [p.data for p in self._param_tensors],
+                    self.employees[index].rng.bit_generator.state,
+                    episode,
+                )
+                if op == OP_EXPLORE:
+                    failures.append(index)  # the respawn can retry exploration
+                else:
+                    lost.add(index)  # the fresh process has no rollout
+            else:
+                results[index] = outcome
+                self.employees[index].rng.bit_generator.state = rng_state
+        self._metrics["barrier_wait"].labels(phase=phase).observe(
+            time.perf_counter() - wait_start
+        )
+        return failures
+
+    def _drain_carried(self, carried: Dict[int, object], phase: str) -> None:
+        """Cancel or finish abandoned straggler futures at phase exit.
+
+        Without this, a future whose retries were exhausted kept running
+        in the thread pool and could interleave with the next phase's
+        work on the same employee (its task holds the employee lock, but
+        the *ordering* of RNG consumption against the next phase was
+        nondeterministic).  Queued futures are cancelled; running ones
+        are waited out and their late results discarded.
+        """
+        for index in sorted(carried):
+            future = carried[index]
+            if future.cancel():
+                continue
+            try:
+                future.result()
+            except FaultError:
+                continue  # late injected crash: already accounted
+            except Exception:
+                _LOG.exception(
+                    "abandoned %s task of employee %d failed while draining",
+                    phase,
+                    index,
+                )
 
     def _note_quarantine(
         self, index: int, episode: int, round_index: int, kind: str
@@ -730,6 +928,26 @@ class ChiefEmployeeTrainer:
             episode,
             round_index,
         )
+
+    def _sync_employees(self, episode: int) -> None:
+        """Broadcast the global parameters (Algorithm 1's sync), any backend.
+
+        The process backend also ships each employee's RNG mirror and may
+        discover dead workers here; those are respawned immediately and
+        recorded as a crash + restart (the respawn *is* the restart).
+        """
+        if self._proc_pool is not None:
+            arrays = [p.data for p in self._param_tensors]
+            states = [e.rng.bit_generator.state for e in self.employees]
+            respawned = self._proc_pool.sync(arrays, states, episode)
+            for index in respawned:
+                self._note_crash(index, episode, EXPLORE_ROUND, "sync")
+                self.health.employee(index).restarts += 1
+                self._metrics["restarts"].labels(employee=index).inc()
+                trace_event("fault.restart", employee=index, episode=episode)
+        else:
+            for employee in self.employees:
+                employee.sync(self.global_agent)
 
     def _require_quorum(self, count: int, what: str, episode: int) -> None:
         required = self.config.quorum_size
@@ -808,8 +1026,7 @@ class ChiefEmployeeTrainer:
             )
         self._pending_restart.clear()
         with trace_span("phase.sync", episode=episode):
-            for employee in self.employees:
-                employee.sync(self.global_agent)
+            self._sync_employees(episode)
 
         # Exploration phase (parallel in thread mode).
         with trace_span("phase.explore", episode=episode):
@@ -835,6 +1052,7 @@ class ChiefEmployeeTrainer:
                     episode,
                     round_index,
                     phase="gradients",
+                    batch_size=batch_size,
                 )
             if round_failed:
                 failed |= round_failed
@@ -864,8 +1082,7 @@ class ChiefEmployeeTrainer:
             self._apply_policy_gradients(episode)
             self._apply_curiosity_gradients(episode)
             with trace_span("phase.sync", episode=episode, round=round_index):
-                for employee in self.employees:
-                    employee.sync(self.global_agent)
+                self._sync_employees(episode)
 
         # Failure bookkeeping: contributors reset their streak, everyone
         # else extends it and is restarted at the next episode boundary.
@@ -941,10 +1158,13 @@ class ChiefEmployeeTrainer:
         return history
 
     def close(self) -> None:
-        """Shut down the thread pool (no-op for the sequential driver)."""
+        """Shut down worker pools and slabs (no-op for the serial driver)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown()
+            self._proc_pool = None
 
     def __enter__(self) -> "ChiefEmployeeTrainer":
         return self

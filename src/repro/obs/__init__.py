@@ -47,7 +47,9 @@ from .trace import (
     event,
     get_tracer,
     read_trace,
+    record_span,
     render_trace_summary,
+    reset_after_fork,
     span,
     summarize_trace,
     trace_env_enabled,
@@ -64,6 +66,8 @@ __all__ = [
     "TRACE_FILENAME",
     "span",
     "event",
+    "record_span",
+    "reset_after_fork",
     "get_tracer",
     "trace_env_enabled",
     "trace_path_for",

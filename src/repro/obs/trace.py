@@ -51,6 +51,8 @@ __all__ = [
     "Tracer",
     "span",
     "event",
+    "record_span",
+    "reset_after_fork",
     "get_tracer",
     "trace_env_enabled",
     "trace_path_for",
@@ -300,6 +302,54 @@ def event(name: str, **attrs) -> None:
     tracer = _ACTIVE
     if tracer is not None:
         tracer.event(name, **attrs)
+
+
+def record_span(name: str, duration: float, **attrs) -> None:
+    """Record an already-measured span (no-op when tracing is off).
+
+    The process backend's workers measure their explore/minibatch tasks
+    with ``perf_counter`` and ship only ``(name, duration)`` back over the
+    pipe; the chief merges them into *its* trace with this helper.  The
+    record is identical to a :class:`Span` record — same schema, parented
+    under the chief's current span stack — with ``ts`` back-dated by
+    ``duration`` so timelines remain roughly ordered.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    stack = tracer._stack()
+    tracer._emit(
+        {
+            "schema": TRACE_SCHEMA_VERSION,
+            "type": "span",
+            "name": name,
+            "ts": time.time() - duration,
+            "dur": float(duration),
+            "id": next(tracer._ids),
+            "parent": stack[-1] if stack else None,
+            "attrs": attrs,
+        }
+    )
+
+
+def reset_after_fork() -> None:
+    """Detach any inherited tracer in a freshly forked worker process.
+
+    A ``fork``-started worker inherits the chief's installed tracer —
+    including its *open JSONL handle*, whose writes from two processes
+    would interleave arbitrarily (the tracer lock is per-process after
+    fork, so it provides no cross-process exclusion).  Workers therefore
+    call this first: the active tracer is cleared and the inherited
+    handle reference dropped **without closing it** (the underlying file
+    descriptor is shared with the chief, and every record was flushed at
+    emit time, so there is nothing buffered to lose).
+    """
+    global _ACTIVE
+    tracer = _ACTIVE
+    _ACTIVE = None
+    if tracer is not None:
+        tracer._installed = False
+        tracer._handle = None
 
 
 # ----------------------------------------------------------------------

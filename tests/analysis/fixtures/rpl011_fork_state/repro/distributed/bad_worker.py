@@ -1,0 +1,16 @@
+"""Known-bad fixture: fork-unsafe module state in a worker entrypoint.
+
+Exactly three RPL011 findings: a ``global`` statement, an unseeded
+``default_rng()``, and a read of mutable module-level state.
+"""
+
+import numpy as np
+
+_episode_cache = {}  # mutable module state: a fork-time snapshot in children
+
+
+def _bad_worker_main(conn):
+    global _episode_cache  # finding 1: global statement post-fork
+    rng = np.random.default_rng()  # finding 2: OS-entropy seed differs per fork
+    _episode_cache["rng"] = rng  # finding 3: reads module-level mutable state
+    conn.send(rng.random())

@@ -32,12 +32,18 @@ FIXTURE_EXPECTATIONS = {
     os.path.join("rpl008_module_seed", "test_module_seed.py"): ("RPL008", 2),
     "rpl009_bare_print.py": ("RPL009", 2),
     os.path.join("rpl010_index_alloc", "repro", "nn", "hot_ops.py"): ("RPL010", 4),
+    os.path.join(
+        "rpl011_fork_state", "repro", "distributed", "bad_worker.py"
+    ): ("RPL011", 3),
 }
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
-        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)] + ["RPL010"]
+    def test_all_rules_registered(self):
+        assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)] + [
+            "RPL010",
+            "RPL011",
+        ]
 
     def test_rule_table_rows(self):
         rows = rule_table()
@@ -191,6 +197,46 @@ class TestPathScoping:
             "    np.add.at(full, index, grad)  # reprolint: disable=RPL010\n"
         )
         assert lint_source(source, "src/repro/nn/tensor.py") == []
+
+    def test_rpl011_only_patrols_distributed_worker_entrypoints(self):
+        source = (
+            "import numpy as np\n"
+            "_state = {}\n"
+            "def helper():\n"  # not an entrypoint: name + no target= ref
+            "    return _state\n"
+        )
+        assert lint_source(source, "src/repro/distributed/util.py") == []
+        worker = source.replace("def helper", "def helper_worker_main")
+        assert [
+            f.code for f in lint_source(worker, "src/repro/distributed/util.py")
+        ] == ["RPL011"]
+        # Outside repro/distributed/ the rule stays silent entirely.
+        assert lint_source(worker, "src/repro/env/util.py") == []
+
+    def test_rpl011_detects_process_target_entrypoints(self):
+        source = (
+            "import multiprocessing as mp\n"
+            "_plan = []\n"
+            "def run(conn):\n"
+            "    conn.send(list(_plan))\n"
+            "def spawn():\n"
+            "    return mp.get_context('fork').Process(target=run, args=(None,))\n"
+        )
+        findings = lint_source(source, "src/repro/distributed/pool.py")
+        assert [f.code for f in findings] == ["RPL011"]
+        assert "_plan" in findings[0].message
+
+    def test_rpl011_explicit_spec_worker_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "SLAB_HEADER = 4\n"  # ALL_CAPS constants stay readable
+            "def employee_worker_main(spec, conn):\n"
+            "    rng = np.random.default_rng(spec.seed)\n"
+            "    local = {}\n"
+            "    local['n'] = SLAB_HEADER\n"
+            "    conn.send(rng.random())\n"
+        )
+        assert lint_source(source, "src/repro/distributed/pool.py") == []
 
     def test_rpl008_only_fires_in_test_files(self):
         source = "import numpy as np\nnp.random.seed(0)\n"

@@ -200,6 +200,46 @@ class TestStragglers:
         # Episode 0's exploration definitely ran without employee 0.
         assert trainer.health.employee(0).restarts >= 1
 
+    def test_abandoned_straggler_drained_at_phase_exit(self, config, ppo):
+        """Regression: ``_run_phase`` used to leak the future of a
+        timed-out straggler whose retries were exhausted — the task kept
+        running in the pool and could interleave with the next phase's
+        work on the same employee.  The phase must not return while an
+        abandoned task is still executing."""
+        import threading
+        import time
+
+        trainer = make_trainer(
+            config,
+            ppo,
+            mode="thread",
+            employee_timeout=0.2,
+            max_retries=0,
+            quorum_fraction=0.3,
+        )
+        started = threading.Event()
+        finished = threading.Event()
+
+        def task(employee):
+            if employee is trainer.employees[0]:
+                started.set()
+                time.sleep(0.6)
+                finished.set()
+            return "ok"
+
+        results, failed = trainer._run_phase(
+            task, range(3), episode=0, round_index=-1, phase="explore"
+        )
+        try:
+            assert failed == {0}
+            assert sorted(results) == [1, 2]
+            assert trainer.health.employee(0).timeouts == 1
+            # The drained straggler either never ran (cancelled while
+            # queued) or ran to completion before _run_phase returned.
+            assert finished.is_set() or not started.is_set()
+        finally:
+            trainer.close()
+
     def test_straggle_timeout_sequential_discards_result(self, config, ppo):
         injector = FaultInjector(
             FaultPlan(events=(StragglerFault(employee=1, episode=0, delay=0.3),))

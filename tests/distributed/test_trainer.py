@@ -31,13 +31,37 @@ class TestTrainConfig:
             ("num_employees", 0),
             ("episodes", 0),
             ("k_updates", 0),
-            ("mode", "process"),
+            ("mode", "bogus"),
+            ("backend", "bogus"),
             ("eval_every", -1),
         ],
     )
     def test_validation(self, field, value):
         with pytest.raises(ValueError):
             TrainConfig(**{field: value})
+
+    @pytest.mark.parametrize(
+        "kwargs,backend,mode",
+        [
+            ({}, "serial", "sequential"),
+            ({"mode": "sequential"}, "serial", "sequential"),
+            ({"mode": "serial"}, "serial", "sequential"),
+            ({"mode": "thread"}, "thread", "thread"),
+            ({"mode": "process"}, "process", "process"),
+            ({"backend": "serial"}, "serial", "sequential"),
+            ({"backend": "thread"}, "thread", "thread"),
+            ({"backend": "process"}, "process", "process"),
+        ],
+    )
+    def test_backend_mode_normalization(self, kwargs, backend, mode):
+        config = TrainConfig(**kwargs)
+        assert config.backend == backend
+        assert config.mode == mode
+        # dataclasses.replace must round-trip the normalized pair.
+        import dataclasses
+
+        again = dataclasses.replace(config, episodes=7)
+        assert (again.backend, again.mode) == (backend, mode)
 
 
 class TestTrainingLoop:

@@ -11,18 +11,22 @@ from repro.env import smoke_config
 from repro.obs import MetricsRegistry, get_profiler, get_tracer, set_registry
 
 
-def seeded_cews_run(checkpoint_path):
+def seeded_cews_run(checkpoint_path, backend=None):
     """One deterministic 2-episode CEWS training run.
 
     Returns ``(curves, checkpoint_arrays)`` where ``curves`` are the
     per-episode float series of the history and ``checkpoint_arrays`` is
     the full content of the saved checkpoint (parameters, Adam moments,
     RNG states, manifest+checksum) — the bitwise fingerprint of the run.
+    ``backend`` picks the employee driver (serial/thread/process); the
+    fingerprint must not depend on it.
     """
     trainer = build_trainer(
         "cews",
         smoke_config(seed=5, horizon=10, num_pois=15),
-        train=TrainConfig(num_employees=2, episodes=2, k_updates=1, seed=0),
+        train=TrainConfig(
+            num_employees=2, episodes=2, k_updates=1, seed=0, backend=backend
+        ),
         ppo=PPOConfig(batch_size=10, epochs=1),
     )
     history = trainer.train()

@@ -59,6 +59,59 @@ class TestTracingIsBitwiseInvisible:
         assert tracer.records_emitted > 0
 
 
+class TestBackendsBitwiseUnderInstrumentation:
+    """PR 5 acceptance gate: the seeded smoke run is bitwise-identical
+    across the serial / thread / process employee backends, both plain
+    and under the full instrumentation stack (sanitizer + tracer +
+    profiler)."""
+
+    def test_backends_identical_plain(self, tmp_path):
+        runs = {
+            backend: seeded_cews_run(tmp_path / f"{backend}.npz", backend=backend)
+            for backend in ("serial", "thread", "process")
+        }
+        assert_runs_bitwise_equal(runs["serial"], runs["thread"])
+        assert_runs_bitwise_equal(runs["serial"], runs["process"])
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_identical_fully_instrumented(self, tmp_path, backend):
+        from repro.analysis import Sanitizer
+        from repro.obs import OpProfiler
+
+        baseline = seeded_cews_run(tmp_path / "plain.npz")
+        tracer = Tracer(trace_path_for(str(tmp_path / backend))).install()
+        profiler = OpProfiler().enable()
+        try:
+            with Sanitizer():
+                run = seeded_cews_run(
+                    tmp_path / f"{backend}.npz", backend=backend
+                )
+        finally:
+            profiler.disable()
+            tracer.uninstall()
+        assert_runs_bitwise_equal(baseline, run)
+        assert tracer.records_emitted > 0
+
+    def test_process_backend_ipc_observability(self, tmp_path, registry):
+        """Worker explore/minibatch spans land in the chief trace and the
+        slab transport publishes byte/wait metrics."""
+        path = trace_path_for(str(tmp_path))
+        with Tracer(path):
+            seeded_cews_run(tmp_path / "run.npz", backend="process")
+        from repro.obs import read_trace
+
+        summary = summarize_trace(read_trace(path))
+        names = set(summary["by_name"])
+        assert {"employee.explore", "employee.gradients"} <= names
+
+        snapshot = registry.snapshot()
+        ipc_bytes = snapshot["repro_ipc_bytes_total"]["series"]
+        assert any("broadcast" in key for key in ipc_bytes)
+        assert any("gather" in key for key in ipc_bytes)
+        assert all(value > 0 for value in ipc_bytes.values())
+        assert "repro_ipc_wait_seconds" in snapshot
+
+
 class TestTraceCoversTheTrainingStack:
     def test_span_names_span_all_layers(self, tmp_path, registry):
         path = trace_path_for(str(tmp_path))

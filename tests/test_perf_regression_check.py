@@ -66,14 +66,49 @@ def test_unshared_benchmarks_are_informational(tmp_path, checker, capsys):
     cur = write_current(tmp_path / "cur.json", {"test_a": 1e-3, "test_new": 9.0})
     assert checker.main([str(cur), "--baseline", str(base)]) == 0
     out = capsys.readouterr().out
-    assert "test_new" in out and "informational" in out
+    assert "test_new" in out and "new (no baseline)" in out
     assert "test_gone" in out and "not measured" in out
 
 
-def test_no_shared_benchmarks_is_an_error(tmp_path, checker):
+def test_all_new_benchmarks_pass(tmp_path, checker, capsys):
+    """A run that only contains benchmarks absent from the baseline —
+    the first run of a freshly added bench file — must not fail."""
     base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
-    cur = write_current(tmp_path / "cur.json", {"test_b": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_b": 1e-3, "test_c": 2e-3})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "new (no baseline)" in out
+    assert "--update" in out
+
+
+def test_empty_run_is_an_error(tmp_path, checker, capsys):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {})
     assert checker.main([str(cur), "--baseline", str(base)]) == 1
+    assert "no benchmarks" in capsys.readouterr().err
+
+
+def test_regression_message_points_at_update(tmp_path, checker, capsys):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    cur = write_current(tmp_path / "cur.json", {"test_a": 1.6e-3})
+    assert checker.main([str(cur), "--baseline", str(base)]) == 1
+    assert "--update" in capsys.readouterr().err
+
+
+def test_update_refreshes_and_adds_entries(tmp_path, checker):
+    base = write_baseline(tmp_path / "base.json", {"test_a": 1e-3})
+    # Give the existing entry an extra field that --update must preserve.
+    payload = json.loads(base.read_text())
+    payload["benchmarks"]["test_a"]["rounds"] = 100
+    base.write_text(json.dumps(payload))
+    cur = write_current(tmp_path / "cur.json", {"test_a": 2e-3, "test_new": 5e-3})
+    assert checker.main([str(cur), "--baseline", str(base), "--update"]) == 0
+    updated = json.loads(base.read_text())["benchmarks"]
+    assert updated["test_a"]["mean_s"] == 2e-3
+    assert updated["test_a"]["rounds"] == 100
+    assert updated["test_new"] == {"mean_s": 5e-3}
+    # The refreshed baseline now gates the same run cleanly.
+    assert checker.main([str(cur), "--baseline", str(base)]) == 0
 
 
 def test_committed_baseline_parses_and_covers_the_micro_suite(checker):
