@@ -4,6 +4,10 @@ Usage::
 
     python -m repro train --method cews --scale smoke --episodes 50 \\
         --checkpoint runs/cews.npz --history runs/cews.csv
+    python -m repro train --backend socket --listen 0.0.0.0:5555 \\
+        --remote-workers 2           # chief for a multi-host fleet
+    python -m repro worker --connect chief-host:5555 --token <token> \\
+        --index 6                    # serve one employee over TCP
     python -m repro evaluate --method cews --scale smoke \\
         --checkpoint runs/cews.npz --episodes 5
     python -m repro report          # stitch results/*.txt into REPORT.md
@@ -129,6 +133,14 @@ class _Observability:
             print(self.sanitizer.summary())
 
 
+def _parse_hostport(value: str):
+    """``host:port`` -> ``(host, port)`` (bare ``:port`` binds all interfaces)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {value!r}")
+    return (host or "0.0.0.0", int(port))
+
+
 def _build_trainer(args, episodes=None):
     import dataclasses
 
@@ -152,9 +164,13 @@ def _build_trainer(args, episodes=None):
             "employee_timeout",
             "max_retries",
             "quarantine_max_norm",
+            "wire_dtype",
+            "remote_workers",
         )
         if getattr(args, name, None) is not None
     }
+    if getattr(args, "listen", None) is not None:
+        overrides["listen"] = _parse_hostport(args.listen)
     if overrides:
         train = dataclasses.replace(train, **overrides)
     trainer = build_trainer(
@@ -190,6 +206,19 @@ def _run_train(args, save_checkpoint, resume_or_start) -> int:
         f"training {args.method} on {config.grid}x{config.grid} "
         f"(P={config.num_pois}, W={config.num_workers}) for {episodes} episodes"
     )
+    if trainer.config.backend == "socket":
+        transport = trainer._proc_pool.transport
+        host, port = transport.address
+        print(f"transport: listening on {host}:{port} (token {transport.token})")
+        if trainer.config.remote_workers:
+            first = trainer.config.num_employees - trainer.config.remote_workers
+            for index in range(first, trainer.config.num_employees):
+                print(
+                    f"  start employee {index} with: python -m repro worker "
+                    f"--connect {host}:{port} --token {transport.token} "
+                    f"--index {index} --method {args.method} "
+                    f"--scale {args.scale} --seed {args.seed}"
+                )
     on_end = None
     if getattr(args, "dashboard", None):
         from .obs import Dashboard
@@ -278,6 +307,36 @@ def _run_evaluate(args, load_checkpoint, evaluate_agent, get_scale) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    from .distributed.factories import build_worker_factories
+    from .distributed.remote import run_remote_worker
+    from .distributed.transport import ChannelClosed
+    from .experiments.scales import get_scale
+    from .experiments.training import make_ppo_config
+
+    scale = get_scale(args.scale)
+    config = scale.scenario()
+    agent_factory, env_factory = build_worker_factories(
+        args.method, config, ppo=make_ppo_config(scale), seed=args.seed
+    )
+    host, port = _parse_hostport(args.connect)
+    print(f"employee {args.index}: dialing chief at {host}:{port}")
+    try:
+        run_remote_worker(
+            index=args.index,
+            address=(host, port),
+            token=args.token,
+            agent_factory=agent_factory,
+            env_factory=env_factory,
+            connect_timeout=args.connect_timeout,
+        )
+    except ChannelClosed as error:
+        print(f"employee {args.index}: {error}")
+        return 1
+    print(f"employee {args.index}: session over; exiting")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .experiments.export import write_report
 
@@ -347,21 +406,46 @@ def _configure_train(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--history", default=None, help="save CSV logs here")
     parser.add_argument(
         "--mode",
-        choices=("sequential", "thread", "process"),
+        choices=("sequential", "thread", "process", "socket"),
         default="sequential",
         help="legacy spelling of --backend (kept for compatibility)",
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "socket"),
         default=None,
         help=(
             "employee execution backend: serial (one thread, default), "
             "thread (thread pool; GIL-bound), process (one worker process "
-            "per employee with shared-memory tensor transport). "
-            "Overrides --mode; results are bitwise-identical across all "
-            "three for a given seed."
+            "per employee with shared-memory tensor transport), socket "
+            "(worker processes over framed TCP with heartbeats/reconnect; "
+            "workers may also dial in from other hosts, see the `worker` "
+            "subcommand). Overrides --mode; results are bitwise-identical "
+            "across all backends for a given seed (float64 wire encoding)."
         ),
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="socket backend: chief listen address (default 127.0.0.1:0 = "
+        "loopback, OS-assigned port; the chosen port is logged)",
+    )
+    parser.add_argument(
+        "--wire-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help="socket backend: tensor wire encoding. float64 (default) "
+        "round-trips exact bytes and keeps the cross-backend bitwise "
+        "guarantee; float32 halves wire bytes at ~2^-24 relative error",
+    )
+    parser.add_argument(
+        "--remote-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="socket backend: the N highest employee indices are external "
+        "workers started via `python -m repro worker` instead of forked",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -415,6 +499,43 @@ def _configure_train(parser: argparse.ArgumentParser) -> None:
         help="render the ASCII live dashboard every N episodes (default 1)",
     )
     parser.set_defaults(func=cmd_train)
+
+
+def _configure_worker(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--method", choices=("cews", "dppo", "edics"), default="cews"
+    )
+    parser.add_argument("--scale", choices=("smoke", "short", "paper"), default="smoke")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="must match the chief's --seed (scenario + agent derivation)",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the chief's socket-transport listen address",
+    )
+    parser.add_argument(
+        "--token",
+        required=True,
+        help="the pool token printed by the chief at startup",
+    )
+    parser.add_argument(
+        "--index",
+        type=int,
+        required=True,
+        help="employee index to serve (one of the chief's --remote-workers slots)",
+    )
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep redialing an unreachable chief",
+    )
+    parser.set_defaults(func=cmd_worker)
 
 
 def _configure_evaluate(parser: argparse.ArgumentParser) -> None:
@@ -473,6 +594,7 @@ def _configure_profile(parser: argparse.ArgumentParser) -> None:
 #: here so ``--help`` enumerates them all consistently.
 COMMANDS = (
     ("train", "train one method with the chief-employee loop", _configure_train),
+    ("worker", "serve one employee over TCP for a socket-backend chief", _configure_worker),
     ("evaluate", "evaluate a trained checkpoint (mean kappa/xi/rho)", _configure_evaluate),
     ("report", "stitch results/*.txt into results/REPORT.md", _configure_report),
     ("lint", "run the reprolint static-analysis gate", _configure_lint),

@@ -41,6 +41,11 @@ RPL011    no-fork-unsafe-state    ``repro.distributed`` worker entrypoints run
                                   explicitly: no ``global`` statements, no
                                   reads of mutable module-level state, no
                                   unseeded ``default_rng()``
+RPL012    no-raw-socket-io        socket construction and ``send``/``recv``
+                                  calls only inside
+                                  ``repro.distributed.transport`` — anywhere
+                                  else they bypass framing, CRC checks,
+                                  heartbeats and chaos injection
 ========  ======================  ==============================================
 """
 
@@ -582,6 +587,10 @@ _WALL_CLOCK_CALLS = {
 _RPL006_WHITELIST = {
     "repro/distributed/faults.py": _WALL_CLOCK_CALLS,
     "repro/distributed/trainer.py": {"time.sleep"},
+    # The socket transport is wall-clock machinery by nature (heartbeat
+    # cadence, retransmission timers, reconnect backoff); none of it
+    # touches training RNG streams, which the bitwise gate proves.
+    "repro/distributed/transport/": _WALL_CLOCK_CALLS,
     # Tracing records wall-clock span timestamps by design; spans never feed
     # back into the training computation, so determinism is unaffected.
     "repro/obs/": {"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns"},
@@ -961,3 +970,88 @@ def check_fork_unsafe_state(context: ModuleContext) -> Iterator[Finding]:
                     f"`{node.id}`: a forked child sees a fork-time snapshot "
                     f"— receive it through the entrypoint's arguments",
                 )
+
+
+# ----------------------------------------------------------------------
+# RPL012 — no raw socket I/O outside the transport package
+# ----------------------------------------------------------------------
+# The socket transport (PR 6) frames every byte on the wire: length
+# prefix, CRC32, seq stamps, heartbeat accounting, fault injection.  A
+# bare ``sock.send``/``sock.recv`` anywhere else bypasses all of it —
+# unchecksummed bytes, invisible to chaos tests, outside the reconnect
+# machinery.  Modules that import ``socket`` may resolve names
+# (``gethostname``/``getaddrinfo``), but constructing connections or
+# moving bytes belongs to ``repro/distributed/transport/`` alone.
+_RPL012_EXEMPT = ("repro/distributed/transport/",)
+_RPL012_IO_METHODS = {
+    "send",
+    "sendall",
+    "sendto",
+    "sendmsg",
+    "recv",
+    "recv_into",
+    "recvfrom",
+    "recvfrom_into",
+    "recvmsg",
+    "makefile",
+}
+_RPL012_CONSTRUCTORS = {
+    "socket.socket",
+    "socket.socketpair",
+    "socket.create_connection",
+    "socket.create_server",
+}
+
+
+def _rpl012_imports_socket(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "socket" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.module.split(".")[0] == "socket":
+                return True
+    return False
+
+
+@rule(
+    "RPL012",
+    "no-raw-socket-io",
+    "socket construction and send/recv calls are confined to "
+    "repro.distributed.transport — everywhere else they bypass framing, "
+    "CRC checks, heartbeat accounting and chaos injection",
+)
+def check_raw_socket_io(context: ModuleContext) -> Iterator[Finding]:
+    if context.is_test or context.path_matches(_RPL012_EXEMPT):
+        return
+    if not _rpl012_imports_socket(context.tree):
+        # Without the import there is no socket object to do raw I/O on;
+        # this also keeps pipe ``conn.send``/``conn.recv`` (procpool) and
+        # generator ``.send`` out of scope.
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted in _RPL012_CONSTRUCTORS:
+            yield _finding(
+                context,
+                "RPL012",
+                node,
+                f"`{dotted}(...)` outside repro/distributed/transport/: "
+                f"open connections through the Transport interface so "
+                f"framing, heartbeats and chaos injection apply",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RPL012_IO_METHODS
+        ):
+            yield _finding(
+                context,
+                "RPL012",
+                node,
+                f"raw socket I/O `.{node.func.attr}(...)` outside "
+                f"repro/distributed/transport/: bytes moved here skip "
+                f"length-prefix framing and CRC verification — use a "
+                f"ChiefChannel/WorkerEndpoint instead",
+            )

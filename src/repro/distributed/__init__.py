@@ -5,7 +5,11 @@ correction) it is contrasted against in Section V-A.
 Fault tolerance (crash/straggler recovery, gradient quarantine,
 crash-safe checkpointing and deterministic fault injection) lives in
 :mod:`.faults`, :mod:`.gradient_buffer`, :mod:`.checkpoint` and the
-trainer's resilient barrier."""
+trainer's resilient barrier.  The chief↔employee data path is
+pluggable (:mod:`.transport`): shared-memory pipes on one host
+(``LocalTransport``) or framed TCP with heartbeats, reconnects and
+seeded network chaos (``SocketTransport``); :mod:`.remote` serves an
+employee from another process or host (``python -m repro worker``)."""
 
 from .async_trainer import AsyncActorLearner, AsyncConfig, AsyncHistory, AsyncLog
 from .checkpoint import (
@@ -15,7 +19,13 @@ from .checkpoint import (
     save_checkpoint,
     verify_checkpoint,
 )
-from .factories import TRAINABLE_METHODS, build_agent, build_async_trainer, build_trainer
+from .factories import (
+    TRAINABLE_METHODS,
+    build_agent,
+    build_async_trainer,
+    build_trainer,
+    build_worker_factories,
+)
 from .faults import (
     CheckpointFault,
     CorruptionFault,
@@ -29,7 +39,22 @@ from .faults import (
 )
 from .gradient_buffer import GradientBuffer, GradientRejected
 from .procpool import ProcessEmployeePool, WorkerDied, WorkerSpec
+from .remote import run_remote_worker
 from .shm import SHM_PREFIX, SlabLayout, SlabStale, TensorSlab
+from .transport import (
+    ChannelClosed,
+    CorruptFrameFault,
+    DelayFrameFault,
+    DropFrameFault,
+    DuplicateFrameFault,
+    LocalTransport,
+    NetworkFaultInjector,
+    NetworkFaultPlan,
+    PartitionFault,
+    SocketTransport,
+    Transport,
+    TransportError,
+)
 from .trainer import (
     ChiefEmployeeTrainer,
     EmployeeHealth,
@@ -80,4 +105,18 @@ __all__ = [
     "SlabLayout",
     "SlabStale",
     "SHM_PREFIX",
+    "Transport",
+    "TransportError",
+    "ChannelClosed",
+    "LocalTransport",
+    "SocketTransport",
+    "NetworkFaultInjector",
+    "NetworkFaultPlan",
+    "DropFrameFault",
+    "DelayFrameFault",
+    "DuplicateFrameFault",
+    "CorruptFrameFault",
+    "PartitionFault",
+    "build_worker_factories",
+    "run_remote_worker",
 ]

@@ -153,6 +153,7 @@ def save_checkpoint(
             if fault_injector is not None:
                 fault_injector.on_checkpoint_write(tmp_path)
             os.replace(tmp_path, path)  # atomic on POSIX
+            _fsync_dir(os.path.dirname(path))
     except BaseException:
         # Leave no stray temp file behind on any failure path; the
         # previous checkpoint at ``path`` stays valid either way.
@@ -163,6 +164,28 @@ def save_checkpoint(
                 pass
         raise
     return path
+
+
+def _fsync_dir(directory: str) -> None:
+    """Make a rename durable: fsync the *directory* holding the entry.
+
+    ``os.replace`` is atomic but not durable — after a crash the
+    directory may still hold the old entry unless the directory inode
+    itself was fsynced.  Platforms whose directories cannot be opened or
+    fsynced (Windows) are skipped.
+    """
+    if not directory:
+        directory = "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
 
 
 def _resolve_load_path(path: PathLike) -> str:
@@ -341,6 +364,7 @@ class CheckpointManager:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_pointer, self.latest_pointer)
+        _fsync_dir(self.directory)
         self._prune()
         return path
 

@@ -114,6 +114,41 @@ def build_agent(
     return agent
 
 
+def build_worker_factories(
+    method: str,
+    config: ScenarioConfig,
+    ppo: Optional[PPOConfig] = None,
+    seed: int = 0,
+    **agent_kwargs,
+):
+    """``(agent_factory, env_factory)`` matching :func:`build_trainer`.
+
+    An external worker (``python -m repro worker``) must build the same
+    per-employee agents and environments the chief's forked workers
+    would: the same deterministic scenario from ``config`` and the same
+    ``seed + 1000 + index`` agent seeding.  Launch it with the same
+    ``--method/--scale/--seed`` as the chief and the factories line up.
+    """
+    scenario = generate_scenario(config)
+    probe = build_agent(method, config, scenario=scenario, ppo=ppo, seed=seed, **agent_kwargs)
+    reward_mode = getattr(probe, "reward_mode", "dense")
+
+    def agent_factory(index: int):
+        return build_agent(
+            method,
+            config,
+            scenario=scenario,
+            ppo=ppo,
+            seed=seed + 1000 + index,
+            **agent_kwargs,
+        )
+
+    def env_factory(index: int) -> CrowdsensingEnv:
+        return CrowdsensingEnv(config, reward_mode=reward_mode, scenario=scenario)
+
+    return agent_factory, env_factory
+
+
 def build_trainer(
     method: str,
     config: ScenarioConfig,
@@ -121,6 +156,7 @@ def build_trainer(
     ppo: Optional[PPOConfig] = None,
     seed: int = 0,
     fault_injector: Optional[FaultInjector] = None,
+    net_fault_injector=None,
     **agent_kwargs,
 ) -> ChiefEmployeeTrainer:
     """Build a ready-to-run chief–employee trainer for ``method``.
@@ -128,8 +164,9 @@ def build_trainer(
     The global agent and every employee share one generated scenario (the
     same map); each employee gets its own environment instance over it.
     ``fault_injector`` (tests / chaos drills) threads a deterministic
-    fault schedule into the trainer's barrier.  Extra keyword arguments
-    are forwarded to :func:`build_agent`.
+    fault schedule into the trainer's barrier; ``net_fault_injector``
+    does the same for frames at the socket-transport layer.  Extra
+    keyword arguments are forwarded to :func:`build_agent`.
     """
     train = train if train is not None else TrainConfig()
     scenario = generate_scenario(config)
@@ -160,6 +197,7 @@ def build_trainer(
         config=train,
         eval_env=eval_env,
         fault_injector=fault_injector,
+        net_fault_injector=net_fault_injector,
     )
 
 

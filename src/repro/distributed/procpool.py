@@ -15,26 +15,33 @@ own **worker process**, so M employees genuinely occupy M cores.
 
 Protocol
 --------
-Each worker is driven over a duplex pipe by a four-command protocol::
+Each worker is driven by a four-command protocol::
 
-    SYNC      chief -> worker   read weights slab (seq-stamped), optionally
-                                re-seed the worker RNG; ack'd
+    SYNC      chief -> worker   read the seq-stamped weight broadcast,
+                                optionally re-seed the worker RNG; ack'd
     EXPLORE   chief -> worker   roll one episode into the local buffer;
                                 reply carries the EpisodeResult + RNG state
     MINIBATCH chief -> worker   sample one minibatch, compute gradients,
-                                write them to the gradients slab; reply
-                                carries PPOStats + RNG state
+                                ship them back; reply carries PPOStats +
+                                RNG state
     SHUTDOWN  chief -> worker   ack and exit
 
 Commands are strictly serial per worker (at most one outstanding), each
 stamped with a monotonically increasing ``seq`` echoed by the reply and
-verified against the slab headers — a stale or torn payload raises
-instead of being consumed.  Replies are small (floats, RNG state dicts);
-**tensor payloads never cross the pipe**: the weight broadcast and the
-gradient return travel through preallocated per-worker
-:class:`~repro.distributed.shm.TensorSlab` pairs (flat float64 views per
-parameter, ``(seq, episode, round, len)`` header — no per-round pickling
-of Tensors).
+verified against the tensor payload stamps — a stale or torn payload
+raises instead of being consumed.
+
+The *medium* those commands travel over is pluggable: the pool drives a
+:class:`~repro.distributed.transport.Transport`, one
+:class:`~repro.distributed.transport.ChiefChannel` per worker.  The
+default :class:`~repro.distributed.transport.LocalTransport` is the
+PR 5 data path unchanged — commands over a duplex pipe, tensors through
+preallocated per-worker :class:`~repro.distributed.shm.TensorSlab`
+pairs.  The :class:`~repro.distributed.transport.SocketTransport` speaks
+the same protocol over framed TCP (heartbeats, reconnect, retransmit)
+and can cross host boundaries; ``remote_indices`` marks employees whose
+worker process is started *externally* (``python -m repro worker``)
+instead of forked here.
 
 Determinism contract
 --------------------
@@ -43,10 +50,11 @@ each successful (or drained) task reply returns the worker's post-task
 ``bit_generator.state`` and the chief stores it; every SYNC ships the
 mirror state back.  Fault-free runs are therefore bitwise-identical to
 the serial and thread backends (same seed derivation, same consumption
-order), checkpoints capture exact employee RNG states, and a respawned
-worker resumes from the last known-good state — exactly like a restarted
-thread employee, whose injected crash also fires *before* any RNG
-consumption.
+order) — for *any* transport whose wire dtype is float64: commands are
+serial, replies are collected in index order, and duplicate delivery is
+suppressed worker-side so a command consumes worker RNG at most once.
+Checkpoints capture exact employee RNG states, and a respawned worker
+resumes from the last known-good state.
 
 Fault tolerance
 ---------------
@@ -55,14 +63,17 @@ worker, which drives its own :class:`FaultInjector` for stragglers and
 crashes (``before_task``); injected crashes come back as ``"crash"``
 replies and map onto the trainer's existing ``_note_crash`` path.
 Corruption and checkpoint faults stay chief-side (unchanged code paths).
-Real worker death (SIGKILL, OOM, hard bug) surfaces as pipe EOF and
-raises :class:`WorkerDied`; the chief records a crash, respawns the
-worker against the *same* slabs and re-seeds it from the mirror.
+Real worker death — pipe EOF, socket reset, heartbeat silence — surfaces
+as :class:`~repro.distributed.transport.ChannelClosed` from the channel
+and is translated to :class:`WorkerDied` here; the chief records a
+crash, invalidates everything the dead worker could still touch
+(fresh slabs / bumped generation via ``reset_for_revive``), respawns the
+worker and re-seeds it from the mirror.
 
 Lifecycle
 ---------
 The pool is a context manager; :meth:`shutdown` (also registered via
-``atexit``) terminates workers and unlinks every slab, so no
+``atexit``) terminates workers and closes the transport, so no
 ``/dev/shm`` segments leak after normal exit, KeyboardInterrupt or an
 injected worker crash.  Workers are ``fork``-started: the factories the
 trainer already uses are closures over the scenario, which ``fork``
@@ -89,11 +100,21 @@ from ..obs.metrics import get_registry
 from ..obs.trace import record_span
 from ..obs.trace import reset_after_fork as _trace_reset_after_fork
 from .faults import EXPLORE_ROUND, FaultInjector, FaultPlan, InjectedCrash
-from .shm import TensorSlab, slab_name
+from .transport import (
+    ChannelClosed,
+    ChiefChannel,
+    EndpointSpec,
+    LocalTransport,
+    NetworkFaultInjector,
+    SocketTransport,
+    Transport,
+    WorkerEndpoint,
+    build_worker_endpoint,
+)
 
 _LOG = get_logger(__name__)
 
-__all__ = ["ProcessEmployeePool", "WorkerDied", "WorkerSpec"]
+__all__ = ["ProcessEmployeePool", "WorkerDied", "WorkerSpec", "serve_employee"]
 
 # Command opcodes (chief -> worker).
 OP_SYNC = "sync"
@@ -108,7 +129,7 @@ _ERROR = "error"  # genuine exception; traceback re-raised chief-side
 
 
 class WorkerDied(RuntimeError):
-    """The worker process died for real (pipe EOF / SIGKILL / OOM)."""
+    """The worker process died for real (EOF / SIGKILL / heartbeat loss)."""
 
 
 @dataclass(frozen=True)
@@ -119,7 +140,7 @@ class WorkerSpec:
     RNGs, singletons, half-open resources.  Reading any of it post-fork
     is a determinism and correctness hazard, so the entrypoint receives
     this frozen spec instead: its own factories, its exact RNG state, the
-    (immutable) fault plan and the slab names/layout.
+    (immutable) fault plan and the transport endpoint recipe.
     """
 
     index: int
@@ -127,62 +148,57 @@ class WorkerSpec:
     env_factory: Callable[[int], object]
     initial_rng_state: dict
     plan: Optional[FaultPlan]
-    weights_slab: str
-    grads_slab: str
+    endpoint: EndpointSpec
     shapes: Tuple[Tuple[int, ...], ...]
     num_policy_params: int
 
 
-def _employee_worker_main(spec: WorkerSpec, conn) -> None:
-    """Worker-process entrypoint: serve the command protocol until EOF.
+def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
+    """Serve the command protocol over ``endpoint`` until EOF/SHUTDOWN.
 
-    Every input is taken from ``spec`` / the pipe / the slabs; nothing is
-    read from inherited module globals (see :class:`WorkerSpec`).
+    Shared by the forked entrypoint and ``python -m repro worker``
+    (external socket workers).  Every input comes from ``spec`` or the
+    endpoint; nothing is read from module globals.
     """
-    _trace_reset_after_fork()
     agent = spec.agent_factory(spec.index)
     env = spec.env_factory(spec.index)
     rng = np.random.default_rng(0)
     rng.bit_generator.state = spec.initial_rng_state
     injector = FaultInjector(spec.plan) if spec.plan is not None else None
     params = list(agent.policy_parameters()) + list(agent.curiosity_parameters())
-    weights = TensorSlab.attach(spec.weights_slab, spec.shapes)
-    grads = TensorSlab.attach(spec.grads_slab, spec.shapes)
     rollout = None
     try:
         while True:
-            try:
-                op, seq, payload = conn.recv()
-            except (EOFError, OSError):
+            command = endpoint.recv_command()
+            if command is None:
                 break  # chief is gone; exit quietly
+            op, seq, payload = command
             if op == OP_SHUTDOWN:
-                conn.send((_OK, seq, None))
+                endpoint.send_reply(_OK, seq, None)
                 break
             try:
                 if op == OP_SYNC:
-                    arrays = weights.read(expected_seq=seq, copy=False)
+                    arrays = endpoint.read_weights(seq)
                     for param, array in zip(params, arrays):
                         param.data[...] = array
                     state = payload.get("rng_state")
                     if state is not None:
                         rng.bit_generator.state = state
-                    conn.send((_OK, seq, None))
+                    endpoint.send_reply(_OK, seq, None)
                 elif op == OP_EXPLORE:
                     episode = payload["episode"]
                     start = time.perf_counter()
                     if injector is not None:
                         injector.before_task(spec.index, episode, EXPLORE_ROUND)
                     rollout, result = agent.collect_episode(env, rng)
-                    conn.send(
-                        (
-                            _OK,
-                            seq,
-                            {
-                                "result": result,
-                                "rng_state": rng.bit_generator.state,
-                                "dur": time.perf_counter() - start,
-                            },
-                        )
+                    endpoint.send_reply(
+                        _OK,
+                        seq,
+                        {
+                            "result": result,
+                            "rng_state": rng.bit_generator.state,
+                            "dur": time.perf_counter() - start,
+                        },
                     )
                 elif op == OP_MINIBATCH:
                     episode = payload["episode"]
@@ -199,47 +215,48 @@ def _employee_worker_main(spec: WorkerSpec, conn) -> None:
                         iter(rollout.minibatches(payload["batch_size"], rng, epochs=1))
                     )
                     pack = agent.compute_gradients(batch)
-                    grads.write(
+                    endpoint.send_gradients(
                         list(pack.policy) + list(pack.curiosity),
                         seq=seq,
                         episode=episode,
                         round_index=round_index,
                     )
-                    conn.send(
-                        (
-                            _OK,
-                            seq,
-                            {
-                                "stats": pack.stats,
-                                "rng_state": rng.bit_generator.state,
-                                "dur": time.perf_counter() - start,
-                            },
-                        )
+                    endpoint.send_reply(
+                        _OK,
+                        seq,
+                        {
+                            "stats": pack.stats,
+                            "rng_state": rng.bit_generator.state,
+                            "dur": time.perf_counter() - start,
+                        },
                     )
                 else:
                     raise RuntimeError(f"unknown opcode {op!r}")
             except InjectedCrash:
                 # Deterministic injected crash: fired in before_task, so
                 # the RNG is untouched; the worker itself stays healthy.
-                conn.send((_CRASH, seq, {"rng_state": rng.bit_generator.state}))
+                endpoint.send_reply(_CRASH, seq, {"rng_state": rng.bit_generator.state})
             except Exception:
-                conn.send((_ERROR, seq, traceback.format_exc()))
+                endpoint.send_reply(_ERROR, seq, traceback.format_exc())
     finally:
-        weights.close()
-        grads.close()
-        conn.close()
+        endpoint.close()
+
+
+def _employee_worker_main(spec: WorkerSpec, conn) -> None:
+    """Forked worker-process entrypoint (see :class:`WorkerSpec`)."""
+    _trace_reset_after_fork()
+    endpoint = build_worker_endpoint(spec.endpoint, conn)
+    serve_employee(spec, endpoint)
 
 
 class _WorkerHandle:
     """Chief-side bookkeeping for one worker process."""
 
-    __slots__ = ("process", "conn", "weights", "grads", "seq", "in_flight")
+    __slots__ = ("process", "channel", "seq", "in_flight")
 
-    def __init__(self, process, conn, weights: TensorSlab, grads: TensorSlab):
+    def __init__(self, process, channel: ChiefChannel):
         self.process = process
-        self.conn = conn
-        self.weights = weights
-        self.grads = grads
+        self.channel = channel
         self.seq = 0
         #: (seq, op, episode, round_index) of the outstanding command.
         self.in_flight: Optional[Tuple[int, str, int, int]] = None
@@ -250,7 +267,7 @@ class _WorkerHandle:
 
 
 class ProcessEmployeePool:
-    """M employee worker processes plus their shared-memory transport.
+    """M employee worker processes plus their transport.
 
     Parameters
     ----------
@@ -261,7 +278,7 @@ class ProcessEmployeePool:
         Pool size ``M``.
     shapes:
         Parameter shapes — policy parameters first, curiosity parameters
-        after — shared by the weight and gradient slabs.
+        after — shared by the weight and gradient payloads.
     num_policy_params:
         How many leading entries of ``shapes`` are policy parameters.
     initial_rng_states:
@@ -269,6 +286,16 @@ class ProcessEmployeePool:
         (the chief's authoritative mirrors).
     plan:
         Optional fault plan forwarded verbatim to every worker.
+    transport:
+        ``"local"`` (pipes + shared memory, the default) or ``"socket"``
+        (framed TCP with heartbeats/reconnect).
+    transport_options:
+        Keyword arguments for the :class:`SocketTransport` constructor
+        (listen address, wire dtype, heartbeat cadence, chaos injector).
+    remote_indices:
+        Employee indices whose worker is started externally
+        (``python -m repro worker``) rather than forked — socket
+        transport only.
     """
 
     def __init__(
@@ -280,6 +307,9 @@ class ProcessEmployeePool:
         num_policy_params: int,
         initial_rng_states: Sequence[dict],
         plan: Optional[FaultPlan] = None,
+        transport: str = "local",
+        transport_options: Optional[Dict[str, object]] = None,
+        remote_indices: Sequence[int] = (),
     ):
         if num_employees < 1:
             raise ValueError(f"need at least one employee, got {num_employees}")
@@ -303,22 +333,39 @@ class ProcessEmployeePool:
         self._agent_factory = agent_factory
         self._env_factory = env_factory
         self._closed = False
+        self._remote = frozenset(int(i) for i in remote_indices)
+        if self._remote and transport != "socket":
+            raise ValueError("remote_indices requires transport='socket'")
+        if any(i < 0 or i >= num_employees for i in self._remote):
+            raise ValueError(
+                f"remote_indices {sorted(self._remote)} out of range for "
+                f"{num_employees} employees"
+            )
+        if transport == "local":
+            self._transport: Transport = LocalTransport(self.shapes, ctx=self._ctx)
+        elif transport == "socket":
+            self._transport = SocketTransport(
+                self.shapes, **(transport_options or {})
+            )
+        else:
+            raise ValueError(
+                f"transport must be 'local' or 'socket', got {transport!r}"
+            )
         registry = get_registry()
         self._ipc_bytes = registry.counter(
             "repro_ipc_bytes_total",
-            "Bytes moved through the shared-memory tensor slabs",
+            "Tensor payload bytes moved between chief and workers",
             labelnames=("direction",),
         )
         self._ipc_wait = registry.histogram(
             "repro_ipc_wait_seconds",
-            "Chief wait time on worker pipe replies",
+            "Chief wait time on worker replies",
             labelnames=("phase",),
         )
         self._workers: List[_WorkerHandle] = []
         for index in range(num_employees):
-            weights = TensorSlab.create(slab_name(index, "w"), self.shapes)
-            grads = TensorSlab.create(slab_name(index, "g"), self.shapes)
-            handle = self._spawn(index, weights, grads, initial_rng_states[index])
+            channel = self._transport.create_channel(index)
+            handle = self._spawn(index, channel, initial_rng_states[index])
             self._workers.append(handle)
         atexit.register(self._atexit_shutdown)
 
@@ -326,69 +373,107 @@ class ProcessEmployeePool:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _spawn(
-        self, index: int, weights: TensorSlab, grads: TensorSlab, rng_state: dict
+        self, index: int, channel: ChiefChannel, rng_state: dict
     ) -> _WorkerHandle:
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        spawn_handle = channel.arm()
         spec = WorkerSpec(
             index=index,
             agent_factory=self._agent_factory,
             env_factory=self._env_factory,
             initial_rng_state=rng_state,
             plan=self._plan,
-            weights_slab=weights.name,
-            grads_slab=grads.name,
+            endpoint=channel.endpoint_spec(),
             shapes=self.shapes,
             num_policy_params=self.num_policy_params,
         )
+        if isinstance(self._transport, SocketTransport):
+            # External workers (and reconnect debugging) bootstrap from
+            # the WELCOME payload instead of a forked spec.
+            self._transport.set_welcome_extra(
+                index,
+                {
+                    "shapes": self.shapes,
+                    "num_policy_params": self.num_policy_params,
+                    "rng_state": rng_state,
+                    "plan": self._plan,
+                },
+            )
+        if index in self._remote:
+            _LOG.warning(
+                "employee %d is remote: waiting for `repro worker --connect "
+                "%s:%d --index %d` to dial in",
+                index,
+                *self._transport.address,
+                index,
+            )
+            return _WorkerHandle(None, channel)
         process = self._ctx.Process(
             target=_employee_worker_main,
-            args=(spec, child_conn),
+            args=(spec, spawn_handle),
             name=f"repro-employee-{index}",
             daemon=True,
         )
         process.start()
-        # Close our copy of the child end: the chief must observe EOF the
-        # instant the worker dies, not hold the pipe open against itself.
-        child_conn.close()
-        return _WorkerHandle(process, parent_conn, weights, grads)
+        channel.post_spawn(spawn_handle)
+        return _WorkerHandle(process, channel)
 
     def pid(self, index: int) -> int:
-        """The worker's OS pid (fault tests kill it for real)."""
-        return self._workers[index].process.pid
+        """The worker's OS pid (fault tests kill it for real); -1 if remote."""
+        process = self._workers[index].process
+        return process.pid if process is not None else -1
 
     def slab_names(self) -> List[str]:
         """Names of every live segment (leak tests scan for these)."""
         names: List[str] = []
         for handle in self._workers:
-            names.extend([handle.weights.name, handle.grads.name])
+            names.extend(handle.channel.slab_names())
         return names
 
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
     def alive(self, index: int) -> bool:
-        return self._workers[index].process.is_alive()
+        process = self._workers[index].process
+        if process is not None:
+            return process.is_alive()
+        connected = getattr(self._workers[index].channel, "connected", None)
+        return bool(connected()) if connected is not None else False
 
     def revive(
         self, index: int, arrays: Sequence[np.ndarray], rng_state: dict, episode: int
     ) -> None:
-        """Respawn a dead worker against the same slabs and re-seed it.
+        """Respawn a dead worker and re-seed it from the chief's mirrors.
 
-        The worker is re-seeded from the chief's RNG mirror (its last
-        known-good state) and re-synced with the current global
-        parameters, so a respawn is observationally identical to a
-        restarted thread employee.
+        ``reset_for_revive`` first invalidates everything the old worker
+        could still touch: the local transport allocates fresh slabs and
+        eagerly unlinks the stale pair (a wedged predecessor must never
+        scribble into its replacement's shared memory, and ``/dev/shm``
+        stays flat across revive cycles), the socket transport bumps the
+        generation so a stale reconnect is refused.  The fresh worker is
+        then re-synced with the current global parameters and the last
+        known-good RNG state, so a respawn is observationally identical
+        to a restarted thread employee.
         """
         handle = self._workers[index]
         handle.in_flight = None
-        try:
-            handle.conn.close()
-        except OSError:
-            _LOG.warning("closing pipe of dead employee worker %d failed", index)
-        if handle.process.is_alive():
-            handle.process.terminate()
-        handle.process.join(timeout=5.0)
-        fresh = self._spawn(index, handle.weights, handle.grads, rng_state)
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5.0)
+        handle.channel.reset_for_revive()
+        fresh = self._spawn(index, handle.channel, rng_state)
         self._workers[index] = fresh
-        self._sync_one(fresh, arrays, rng_state, episode)
-        _LOG.warning("employee worker %d respawned (pid %d)", index, fresh.process.pid)
+        if index in self._remote:
+            return  # nothing to sync until the operator restarts the worker
+        try:
+            self._sync_one(fresh, arrays, rng_state, episode)
+            self._await_reply(index, None, phase="revive")
+        except WorkerDied:
+            # Even the fresh worker is unreachable (e.g. the partition is
+            # still open).  Leave it; the next sync() retries the revive.
+            _LOG.warning("employee %d unreachable after respawn", index)
+        _LOG.warning("employee worker %d respawned (pid %d)", index, self.pid(index))
 
     # ------------------------------------------------------------------
     # Commands
@@ -401,10 +486,23 @@ class ProcessEmployeePool:
         episode: int,
     ) -> int:
         seq = handle.next_seq()
-        nbytes = handle.weights.write(arrays, seq=seq, episode=episode)
-        self._ipc_bytes.labels(direction="broadcast").inc(nbytes)
-        handle.conn.send((OP_SYNC, seq, {"rng_state": rng_state}))
         handle.in_flight = (seq, OP_SYNC, episode, EXPLORE_ROUND)
+        try:
+            nbytes = handle.channel.send_weights(arrays, seq=seq, episode=episode)
+            self._ipc_bytes.labels(direction="broadcast").inc(nbytes)
+            handle.channel.send_command(
+                OP_SYNC,
+                seq,
+                {"rng_state": rng_state},
+                episode=episode,
+                round_index=EXPLORE_ROUND,
+            )
+        except ChannelClosed:
+            # Dead at send time: the ack collection will raise WorkerDied
+            # and the caller revives — same path as dead-at-reply.
+            _LOG.warning(
+                "employee %d unreachable while sending SYNC", handle.channel.index
+            )
         return seq
 
     def sync(
@@ -415,7 +513,7 @@ class ProcessEmployeePool:
     ) -> List[int]:
         """Broadcast weights (and RNG mirrors) to every worker; barrier.
 
-        The slab write + SYNC goes out to all workers first, then the
+        The payload write + SYNC goes out to all workers first, then the
         acks are collected, so the broadcast overlaps across workers.
         Returns the indices of workers that were found dead and respawned
         (the trainer records those as crashes).
@@ -452,8 +550,15 @@ class ProcessEmployeePool:
             payload = {"episode": episode, "round": round_index, "batch_size": batch_size}
         else:
             raise ValueError(f"submit cannot send opcode {op!r}")
-        handle.conn.send((op, seq, payload))
         handle.in_flight = (seq, op, episode, round_index)
+        try:
+            handle.channel.send_command(
+                op, seq, payload, episode=episode, round_index=round_index
+            )
+        except ChannelClosed:
+            # Dead at send time: wait() will raise WorkerDied for this
+            # command and the trainer's revive path takes over.
+            _LOG.warning("employee %d unreachable while sending %s", index, op)
 
     def has_in_flight(self, index: int) -> bool:
         return self._workers[index].in_flight is not None
@@ -474,24 +579,22 @@ class ProcessEmployeePool:
             raise RuntimeError(f"worker {index} has no command in flight")
         wait_start = time.perf_counter()
         try:
-            ready = handle.conn.poll(timeout)
-            if ready:
-                status, seq, payload = handle.conn.recv()
-        except (EOFError, OSError, ConnectionResetError) as error:
+            reply = handle.channel.recv_reply(timeout)
+        except ChannelClosed as error:
             self._ipc_wait.labels(phase=phase).observe(time.perf_counter() - wait_start)
             handle.in_flight = None
             raise WorkerDied(
-                f"employee worker {index} (pid {handle.process.pid}) died "
-                f"during {phase}"
+                f"employee worker {index} died during {phase}: {error}"
             ) from error
         self._ipc_wait.labels(phase=phase).observe(time.perf_counter() - wait_start)
-        if not ready:
+        if reply is None:
             # NOTE: ``FuturesTimeoutError`` aliases the builtin
             # ``TimeoutError`` (an ``OSError``) on 3.11+, so it must be
-            # raised *outside* the pipe-death translation above.
+            # raised *outside* the channel-death translation above.
             raise FuturesTimeoutError(
                 f"worker {index} exceeded {timeout}s during {phase}"
             )
+        status, seq, payload = reply
         if seq != pending[0]:
             handle.in_flight = None
             raise RuntimeError(
@@ -536,8 +639,14 @@ class ProcessEmployeePool:
         )
         if op == OP_MINIBATCH:
             handle = self._workers[index]
-            arrays = handle.grads.read(expected_seq=seq, copy=True)
-            self._ipc_bytes.labels(direction="gather").inc(handle.grads.nbytes)
+            try:
+                arrays, nbytes = handle.channel.read_gradients(seq)
+            except ChannelClosed as error:
+                raise WorkerDied(
+                    f"employee worker {index} lost its gradient payload "
+                    f"during {phase}: {error}"
+                ) from error
+            self._ipc_bytes.labels(direction="gather").inc(nbytes)
             pack = GradientPack(
                 policy=arrays[: self.num_policy_params],
                 curiosity=arrays[self.num_policy_params :],
@@ -550,7 +659,7 @@ class ProcessEmployeePool:
         """Absorb abandoned in-flight commands at a phase boundary.
 
         A worker whose retries were exhausted may still be computing; the
-        chief must consume that (discarded) reply before the next slab
+        chief must consume that (discarded) reply before the next payload
         write or command, and must fold the worker's post-task RNG state
         into the mirror — matching the thread backend, where an abandoned
         straggler also consumes its employee's RNG before the phase ends.
@@ -575,29 +684,29 @@ class ProcessEmployeePool:
     # Shutdown
     # ------------------------------------------------------------------
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop every worker and unlink every slab (idempotent)."""
+        """Stop every worker and release the transport (idempotent)."""
         if self._closed:
             return
         self._closed = True
         atexit.unregister(self._atexit_shutdown)
         for index, handle in enumerate(self._workers):
-            if handle.process.is_alive() and handle.in_flight is None:
+            if self.alive(index) and handle.in_flight is None:
                 try:
-                    handle.conn.send((OP_SHUTDOWN, handle.next_seq(), None))
-                except (BrokenPipeError, OSError):
-                    _LOG.warning("worker %d pipe already closed at shutdown", index)
+                    handle.channel.send_command(
+                        OP_SHUTDOWN, handle.next_seq(), None
+                    )
+                except ChannelClosed:
+                    _LOG.warning("worker %d already unreachable at shutdown", index)
         for handle in self._workers:
+            if handle.process is None:
+                continue
             handle.process.join(timeout=timeout)
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=timeout)
-            try:
-                handle.conn.close()
-            except OSError:
-                continue
         for handle in self._workers:
-            handle.weights.unlink()
-            handle.grads.unlink()
+            handle.channel.close()
+        self._transport.close()
 
     def _atexit_shutdown(self) -> None:
         """Last-resort cleanup on interpreter exit (incl. KeyboardInterrupt)."""

@@ -15,7 +15,7 @@ Every episode proceeds exactly as the pseudocode prescribes:
 
 The paper argues for this *synchronous* design over asynchronous A3C-style
 updates to avoid policy-lag.  The semantics are sequential-equivalent, so
-this module offers three drivers with bitwise-identical results given a
+this module offers four drivers with bitwise-identical results given a
 seed (``TrainConfig.backend``):
 
 * ``backend="serial"`` (``mode="sequential"``) — deterministic, single
@@ -25,8 +25,11 @@ seed (``TrainConfig.backend``):
   overlap — but the Python autograd dispatch itself stays serialized);
 * ``backend="process"`` — each employee lives in its own worker process
   (:mod:`repro.distributed.procpool`), with weight broadcast and gradient
-  return through shared-memory slabs; the only driver that occupies
-  multiple cores.
+  return through shared-memory slabs; occupies multiple cores;
+* ``backend="socket"`` — the same pool over framed TCP
+  (:mod:`repro.distributed.transport`), with heartbeats, reconnect and
+  command retransmission; workers may be forked locally or dialed in
+  from other hosts (``python -m repro worker``).
 
 Fault tolerance
 ---------------
@@ -157,6 +160,19 @@ class TrainConfig:
     retry_backoff: float = 0.0
     quarantine_max_norm: float = 0.0
     backend: Optional[str] = None
+    #: Socket backend only: chief listen address ``(host, port)`` (port 0
+    #: picks a free one), tensor wire encoding (``"float64"`` is the
+    #: bitwise-exact default; ``"float32"`` halves wire bytes at the cost
+    #: of the cross-backend equivalence guarantee), worker heartbeat
+    #: cadence, silence threshold after which a worker is declared dead,
+    #: and how many of the highest employee indices are *external*
+    #: workers (started via ``python -m repro worker``) rather than
+    #: forked locally.
+    listen: Tuple[str, int] = ("127.0.0.1", 0)
+    wire_dtype: str = "float64"
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 10.0
+    remote_workers: int = 0
 
     #: mode spelling -> canonical backend name.
     _MODE_TO_BACKEND = {
@@ -164,6 +180,7 @@ class TrainConfig:
         "serial": "serial",
         "thread": "thread",
         "process": "process",
+        "socket": "socket",
     }
 
     def __post_init__(self) -> None:
@@ -175,7 +192,7 @@ class TrainConfig:
             raise ValueError(f"k_updates must be >= 1, got {self.k_updates}")
         if self.mode not in self._MODE_TO_BACKEND:
             raise ValueError(
-                f"mode must be 'sequential', 'thread' or 'process', "
+                f"mode must be 'sequential', 'thread', 'process' or 'socket', "
                 f"got {self.mode!r}"
             )
         backend = (
@@ -183,9 +200,9 @@ class TrainConfig:
             if self.backend is not None
             else self._MODE_TO_BACKEND[self.mode]
         )
-        if backend not in ("serial", "thread", "process"):
+        if backend not in ("serial", "thread", "process", "socket"):
             raise ValueError(
-                f"backend must be 'serial', 'thread' or 'process', "
+                f"backend must be 'serial', 'thread', 'process' or 'socket', "
                 f"got {self.backend!r}"
             )
         # Normalize so mode and backend always agree (and a
@@ -215,6 +232,26 @@ class TrainConfig:
                 f"quarantine_max_norm cannot be negative, "
                 f"got {self.quarantine_max_norm}"
             )
+        if self.wire_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"wire_dtype must be 'float64' or 'float32', got {self.wire_dtype!r}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({self.heartbeat_interval})"
+            )
+        if not (0 <= self.remote_workers <= self.num_employees):
+            raise ValueError(
+                f"remote_workers must be in [0, num_employees], "
+                f"got {self.remote_workers}"
+            )
+        if self.remote_workers and backend != "socket":
+            raise ValueError("remote_workers requires backend='socket'")
 
     @property
     def quorum_size(self) -> int:
@@ -584,6 +621,11 @@ class ChiefEmployeeTrainer:
         Optional :class:`~repro.distributed.faults.FaultInjector` driving
         deterministic crash/straggler/corruption events (tests and chaos
         drills); ``None`` leaves every fault path dormant.
+    net_fault_injector:
+        Optional
+        :class:`~repro.distributed.transport.NetworkFaultInjector`
+        dropping/delaying/corrupting frames at the socket-transport layer
+        (chaos tests); ignored by the in-process backends.
     """
 
     def __init__(
@@ -594,16 +636,18 @@ class ChiefEmployeeTrainer:
         config: Optional[TrainConfig] = None,
         eval_env: Optional[CrowdsensingEnv] = None,
         fault_injector: Optional[FaultInjector] = None,
+        net_fault_injector=None,
     ):
         self.config = config if config is not None else TrainConfig()
         self.global_agent = global_agent
         self.eval_env = eval_env
         self.fault_injector = fault_injector
+        self.net_fault_injector = net_fault_injector
         self.health = TrainerHealth()
 
         master = np.random.SeedSequence(self.config.seed)
         child_seeds = master.spawn(self.config.num_employees + 1)
-        if self.config.backend == "process":
+        if self.config.backend in ("process", "socket"):
             # Agents/envs are built *inside* the worker processes by the
             # same factories; the chief keeps only the RNG mirrors.  The
             # seed derivation is identical to the in-process backends.
@@ -652,7 +696,21 @@ class ChiefEmployeeTrainer:
         self._param_tensors = list(policy_params) + list(curiosity_params)
         if self.config.backend == "thread":
             self._pool = ThreadPoolExecutor(max_workers=self.config.num_employees)
-        elif self.config.backend == "process":
+        elif self.config.backend in ("process", "socket"):
+            transport_options: Dict[str, object] = {}
+            remote_indices: Sequence[int] = ()
+            if self.config.backend == "socket":
+                transport_options = {
+                    "listen": tuple(self.config.listen),
+                    "wire_dtype": self.config.wire_dtype,
+                    "heartbeat_interval": self.config.heartbeat_interval,
+                    "heartbeat_timeout": self.config.heartbeat_timeout,
+                    "injector": self.net_fault_injector,
+                }
+                remote_indices = range(
+                    self.config.num_employees - self.config.remote_workers,
+                    self.config.num_employees,
+                )
             self._proc_pool = ProcessEmployeePool(
                 agent_factory,
                 env_factory,
@@ -667,6 +725,9 @@ class ChiefEmployeeTrainer:
                     if self.fault_injector is not None
                     else None
                 ),
+                transport="local" if self.config.backend == "process" else "socket",
+                transport_options=transport_options,
+                remote_indices=remote_indices,
             )
         self._metrics = _trainer_metrics()
 

@@ -1,0 +1,393 @@
+"""Seeded, deterministic network-fault injection at the frame level.
+
+The PR 1 fault harness (:mod:`repro.distributed.faults`) models *task*
+failures — crashes, stragglers, corrupt gradients.  Networks fail
+differently: frames vanish, arrive twice, arrive late, arrive damaged,
+or a host partitions and nothing arrives at all.  This module extends
+the same plan/injector idiom to the frame boundary of the socket
+transport:
+
+* :class:`NetworkFaultPlan` — an immutable schedule of frame-level
+  events, hand-written for targeted tests or generated from a seed via
+  :meth:`NetworkFaultPlan.random` for chaos matrices;
+* :class:`NetworkFaultInjector` — consulted by the chief's
+  :class:`~repro.distributed.transport.socket_transport.SocketChiefChannel`
+  on every outbound frame (:meth:`on_send`) and every parsed inbound
+  frame (:meth:`on_recv`).  Each event fires at most ``times`` times and
+  everything fired is recorded for post-mortem assertions.
+
+Chaos is injected **chief-side only**, at the frame boundary: outbound
+frames can be dropped, duplicated, delayed or bit-flipped before they
+reach the kernel; inbound frames can be dropped, delayed, or treated as
+CRC casualties after parsing.  A :class:`PartitionFault` opens a
+wall-clock window during which *every* frame to and from one employee is
+dropped — the triggering command included — which is exactly what a
+mid-round network partition looks like to the chief: silence, then
+heartbeat loss, then the degraded-quorum path.
+
+Matching uses ``None`` as a wildcard for ``op`` / ``episode`` /
+``round``, so ``DropFrameFault(employee=1, op="minibatch",
+episode=None, round=None)`` drops every MINIBATCH command to employee 1
+while ``times`` permits.  With an empty plan every hook is a no-op and
+the socket path stays bitwise-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CorruptFrameFault",
+    "DelayFrameFault",
+    "DropFrameFault",
+    "DuplicateFrameFault",
+    "NetworkFaultInjector",
+    "NetworkFaultPlan",
+    "PartitionFault",
+]
+
+#: Frame selectors exposed to plans: command opcodes plus worker->chief kinds.
+FRAME_OPS = (
+    "sync",
+    "explore",
+    "minibatch",
+    "shutdown",
+    "tensors",
+    "reply",
+    "heartbeat",
+)
+
+
+def _check_direction(direction: str) -> None:
+    if direction not in ("send", "recv"):
+        raise ValueError(f"direction must be 'send' or 'recv', got {direction!r}")
+
+
+@dataclass(frozen=True)
+class DropFrameFault:
+    """Silently discard a matching frame (``direction`` is chief-relative)."""
+
+    employee: int
+    op: Optional[str] = None
+    episode: Optional[int] = None
+    round: Optional[int] = None
+    direction: str = "send"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        _check_direction(self.direction)
+
+
+@dataclass(frozen=True)
+class DelayFrameFault:
+    """Hold a matching frame for ``delay`` seconds before delivery."""
+
+    employee: int
+    delay: float
+    op: Optional[str] = None
+    episode: Optional[int] = None
+    round: Optional[int] = None
+    direction: str = "send"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        _check_direction(self.direction)
+
+
+@dataclass(frozen=True)
+class DuplicateFrameFault:
+    """Deliver a matching outbound frame twice (dup-suppression test)."""
+
+    employee: int
+    op: Optional[str] = None
+    episode: Optional[int] = None
+    round: Optional[int] = None
+    times: int = 1
+
+
+@dataclass(frozen=True)
+class CorruptFrameFault:
+    """Flip bits in a matching frame.
+
+    Outbound frames are genuinely bit-flipped on the wire (the worker's
+    CRC check rejects them and the stream is torn down + redialled);
+    inbound frames are rejected at the chief's parse boundary, the
+    observable equivalent of a CRC failure.
+    """
+
+    employee: int
+    op: Optional[str] = None
+    episode: Optional[int] = None
+    round: Optional[int] = None
+    direction: str = "send"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        _check_direction(self.direction)
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Drop *everything* to/from one employee for ``duration`` seconds.
+
+    The window opens when a command matching ``op``/``episode``/``round``
+    is sent (the triggering command is itself dropped) — modelling a
+    partition that lands mid-round, after the chief committed to the
+    phase.
+    """
+
+    employee: int
+    duration: float
+    op: Optional[str] = None
+    episode: Optional[int] = None
+    round: Optional[int] = None
+    times: int = 1
+
+
+NetworkFaultSpec = object  # any of the dataclasses above
+
+
+@dataclass(frozen=True)
+class NetworkFaultPlan:
+    """An immutable, fully deterministic schedule of frame-level events."""
+
+    events: Tuple[NetworkFaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        allowed = (
+            DropFrameFault,
+            DelayFrameFault,
+            DuplicateFrameFault,
+            CorruptFrameFault,
+            PartitionFault,
+        )
+        for event in self.events:
+            if not isinstance(event, allowed):
+                raise TypeError(f"unknown network fault spec {event!r}")
+            if event.op is not None and event.op not in FRAME_OPS:
+                raise ValueError(
+                    f"op must be one of {FRAME_OPS} or None, got {event.op!r}"
+                )
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def of_type(self, kind) -> List[NetworkFaultSpec]:
+        return [e for e in self.events if isinstance(e, kind)]
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_employees: int,
+        episodes: int,
+        k_updates: int = 1,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.05,
+        partition_rate: float = 0.0,
+        partition_duration: float = 0.2,
+    ) -> "NetworkFaultPlan":
+        """A seed-deterministic chaos matrix.
+
+        Each (employee, episode, command-op, round) cell independently
+        draws drop/duplicate/corrupt/delay events, and each
+        (employee, episode) cell draws at most one partition window.
+        The same seed always yields the same plan.
+        """
+        rng = np.random.default_rng(seed)
+        events: List[NetworkFaultSpec] = []
+        cells: List[Tuple[str, Optional[int]]] = [("sync", None), ("explore", None)]
+        cells += [("minibatch", round_index) for round_index in range(k_updates)]
+        for episode in range(episodes):
+            for employee in range(num_employees):
+                for op, round_index in cells:
+                    if drop_rate and rng.random() < drop_rate:
+                        events.append(
+                            DropFrameFault(
+                                employee, op=op, episode=episode, round=round_index
+                            )
+                        )
+                    if duplicate_rate and rng.random() < duplicate_rate:
+                        events.append(
+                            DuplicateFrameFault(
+                                employee, op=op, episode=episode, round=round_index
+                            )
+                        )
+                    if corrupt_rate and rng.random() < corrupt_rate:
+                        events.append(
+                            CorruptFrameFault(
+                                employee, op=op, episode=episode, round=round_index
+                            )
+                        )
+                    if delay_rate and rng.random() < delay_rate:
+                        events.append(
+                            DelayFrameFault(
+                                employee,
+                                delay=delay,
+                                op=op,
+                                episode=episode,
+                                round=round_index,
+                            )
+                        )
+                if partition_rate and rng.random() < partition_rate:
+                    events.append(
+                        PartitionFault(
+                            employee,
+                            duration=partition_duration,
+                            episode=episode,
+                        )
+                    )
+        return cls(events=tuple(events))
+
+
+class NetworkFaultInjector:
+    """Runtime driver of a :class:`NetworkFaultPlan` (thread-safe).
+
+    The socket channel calls :meth:`on_send` with every outbound frame
+    batch and :meth:`on_recv` for every parsed inbound frame.  Fired
+    events land in :attr:`fired` as ``(spec, context)`` tuples.
+    """
+
+    def __init__(self, plan: Optional[NetworkFaultPlan] = None, sleep=time.sleep):
+        self.plan = plan if plan is not None else NetworkFaultPlan()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fire_counts: Dict[int, int] = {}
+        #: employee -> partition-window end (time.monotonic seconds).
+        self._partitions: Dict[int, float] = {}
+        self.fired: List[Tuple[NetworkFaultSpec, str]] = []
+
+    # -- internals ------------------------------------------------------
+    def _should_fire(self, event) -> bool:
+        key = id(event)
+        with self._lock:
+            count = self._fire_counts.get(key, 0)
+            if count >= getattr(event, "times", 1):
+                return False
+            self._fire_counts[key] = count + 1
+            return True
+
+    def _record(self, event, context: str) -> None:
+        with self._lock:
+            self.fired.append((event, context))
+
+    def fired_of(self, kind) -> List[NetworkFaultSpec]:
+        with self._lock:
+            return [event for event, __ in self.fired if isinstance(event, kind)]
+
+    @staticmethod
+    def _matches(event, employee: int, op: str, episode: int, round_index: int) -> bool:
+        if event.employee != employee:
+            return False
+        if event.op is not None and event.op != op:
+            return False
+        if event.episode is not None and event.episode != episode:
+            return False
+        if event.round is not None and event.round != round_index:
+            return False
+        return True
+
+    def partitioned(self, employee: int) -> bool:
+        """True while ``employee`` is inside an open partition window."""
+        with self._lock:
+            until = self._partitions.get(employee)
+            if until is None:
+                return False
+            if time.monotonic() >= until:
+                del self._partitions[employee]
+                return False
+            return True
+
+    # -- channel hooks --------------------------------------------------
+    def on_send(
+        self,
+        employee: int,
+        op: str,
+        episode: int,
+        round_index: int,
+        frames: Sequence[bytes],
+    ) -> List[bytes]:
+        """Filter/mutate an outbound frame batch; may sleep (delay faults)."""
+        for event in self.plan.events:
+            if (
+                isinstance(event, PartitionFault)
+                and self._matches(event, employee, op, episode, round_index)
+                and self._should_fire(event)
+            ):
+                with self._lock:
+                    self._partitions[employee] = time.monotonic() + event.duration
+                self._record(
+                    event,
+                    f"partition e{employee} {op} ep{episode} r{round_index} "
+                    f"for {event.duration}s",
+                )
+        if self.partitioned(employee):
+            return []
+        out = list(frames)
+        for event in self.plan.events:
+            if not self._matches(event, employee, op, episode, round_index):
+                continue
+            if isinstance(event, DelayFrameFault) and event.direction == "send":
+                if self._should_fire(event):
+                    self._record(event, f"delay-send e{employee} {op} ep{episode}")
+                    self._sleep(event.delay)
+            elif isinstance(event, DropFrameFault) and event.direction == "send":
+                if out and self._should_fire(event):
+                    self._record(event, f"drop-send e{employee} {op} ep{episode}")
+                    out = []
+            elif isinstance(event, DuplicateFrameFault):
+                if out and self._should_fire(event):
+                    self._record(event, f"duplicate e{employee} {op} ep{episode}")
+                    out = out + out
+            elif isinstance(event, CorruptFrameFault) and event.direction == "send":
+                if out and self._should_fire(event):
+                    self._record(event, f"corrupt-send e{employee} {op} ep{episode}")
+                    out = [self._flip(frame) for frame in out]
+        return out
+
+    def on_recv(
+        self, employee: int, kind: str, episode: int, round_index: int
+    ) -> str:
+        """Disposition for one parsed inbound frame.
+
+        Returns ``"deliver"``, ``"drop"`` (silent loss) or ``"corrupt"``
+        (the channel must treat the frame as a CRC casualty).  Delay
+        faults sleep here before delivery.
+        """
+        if self.partitioned(employee):
+            return "drop"
+        action = "deliver"
+        for event in self.plan.events:
+            if not self._matches(event, employee, kind, episode, round_index):
+                continue
+            if isinstance(event, DelayFrameFault) and event.direction == "recv":
+                if self._should_fire(event):
+                    self._record(event, f"delay-recv e{employee} {kind} ep{episode}")
+                    self._sleep(event.delay)
+            elif isinstance(event, DropFrameFault) and event.direction == "recv":
+                if self._should_fire(event):
+                    self._record(event, f"drop-recv e{employee} {kind} ep{episode}")
+                    action = "drop"
+            elif isinstance(event, CorruptFrameFault) and event.direction == "recv":
+                if self._should_fire(event):
+                    self._record(event, f"corrupt-recv e{employee} {kind} ep{episode}")
+                    action = "corrupt"
+        return action
+
+    @staticmethod
+    def _flip(frame: bytes) -> bytes:
+        """Flip one payload bit so the peer's CRC check must reject it."""
+        if not frame:
+            return frame
+        mutated = bytearray(frame)
+        mutated[-1] ^= 0x01
+        return bytes(mutated)

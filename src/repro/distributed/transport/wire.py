@@ -1,0 +1,149 @@
+"""Tensor wire encoding for TENSORS frames.
+
+Both ends of a channel know the parameter layout (the same
+``shapes`` list the :class:`~repro.distributed.shm.TensorSlab` uses),
+so a tensor message never ships shapes — only a small fixed header and
+the concatenated array payloads in layout order::
+
+    offset  size  field
+    ------  ----  ---------------------------------------------
+    0       8     seq (big-endian signed)   — slab-stamp equivalent
+    8       8     episode (big-endian signed)
+    16      8     round (big-endian signed)
+    24      1     wire-dtype code (0 = float64, 1 = float32)
+    25      7     reserved (zero)
+    32      n     array payloads, contiguous, layout order
+
+Wire dtype
+----------
+``float64`` is the default and the only encoding compatible with the
+repo's bitwise-equivalence contract: every weight broadcast and gradient
+return round-trips the exact bytes NumPy holds in memory.  ``float32``
+is an explicit opt-in that halves wire bytes at the cost of precision:
+for any finite ``x`` within float32 range, the round-trip
+``float64(float32(x))`` satisfies ``|x - rt(x)| <= 2**-24 * |x|`` (half
+an ulp of the 24-bit significand; values beyond ~3.4e38 overflow to
+inf).  That bound is asserted by the codec property tests — narrowed
+transports are for bandwidth-starved deployments, never for runs whose
+results must be comparable across backends.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .framing import FrameError
+
+__all__ = [
+    "TENSOR_HEADER",
+    "TensorMessage",
+    "WIRE_DTYPES",
+    "decode_tensors",
+    "encode_tensors",
+    "payload_nbytes",
+]
+
+TENSOR_HEADER = struct.Struct(">qqqB7x")
+
+#: Supported wire encodings, name -> (code, numpy dtype).
+WIRE_DTYPES = {
+    "float64": (0, np.dtype(np.float64)),
+    "float32": (1, np.dtype(np.float32)),
+}
+_CODE_TO_DTYPE = {code: dtype for code, dtype in WIRE_DTYPES.values()}
+
+
+def _resolve(wire_dtype: str) -> Tuple[int, np.dtype]:
+    try:
+        return WIRE_DTYPES[wire_dtype]
+    except KeyError:
+        raise ValueError(
+            f"wire_dtype must be one of {sorted(WIRE_DTYPES)}, got {wire_dtype!r}"
+        ) from None
+
+
+def payload_nbytes(shapes: Sequence[Tuple[int, ...]], wire_dtype: str = "float64") -> int:
+    """Payload size (header included) of one tensor message for ``shapes``."""
+    __, dtype = _resolve(wire_dtype)
+    elems = sum(int(np.prod(shape, dtype=np.int64)) for shape in shapes)
+    return TENSOR_HEADER.size + elems * dtype.itemsize
+
+
+@dataclass(frozen=True)
+class TensorMessage:
+    """A decoded TENSORS payload: stamped metadata plus float64 arrays."""
+
+    seq: int
+    episode: int
+    round: int
+    wire_dtype: str
+    arrays: Tuple[np.ndarray, ...]
+    nbytes: int
+
+
+def encode_tensors(
+    arrays: Sequence[np.ndarray],
+    seq: int,
+    episode: int = -1,
+    round_index: int = -1,
+    wire_dtype: str = "float64",
+) -> bytes:
+    """Serialize ``arrays`` into one TENSORS payload.
+
+    The caller's arrays are float64 (the trainer's native dtype);
+    ``wire_dtype="float32"`` narrows them on the way out.
+    """
+    code, dtype = _resolve(wire_dtype)
+    chunks = [TENSOR_HEADER.pack(int(seq), int(episode), int(round_index), code)]
+    for array in arrays:
+        # The float32 path deliberately narrows for wire bandwidth
+        # (explicit opt-in; the receiver widens back, bound tested).
+        data = np.ascontiguousarray(array, dtype=dtype)
+        chunks.append(data.tobytes())
+    return b"".join(chunks)
+
+
+def decode_tensors(
+    payload: bytes, shapes: Sequence[Tuple[int, ...]]
+) -> TensorMessage:
+    """Parse one TENSORS payload into float64 arrays shaped as ``shapes``.
+
+    Raises :class:`FrameError` when the payload does not match the layout
+    both sides agreed on — a length mismatch means the peers disagree
+    about the model architecture and nothing downstream can be trusted.
+    """
+    if len(payload) < TENSOR_HEADER.size:
+        raise FrameError(
+            f"tensor payload of {len(payload)} bytes is shorter than the "
+            f"{TENSOR_HEADER.size}-byte header"
+        )
+    seq, episode, round_index, code = TENSOR_HEADER.unpack_from(payload)
+    dtype = _CODE_TO_DTYPE.get(code)
+    if dtype is None:
+        raise FrameError(f"unknown wire-dtype code {code}")
+    wire_name = "float64" if dtype.itemsize == 8 else "float32"
+    expected = payload_nbytes(shapes, wire_name)
+    if len(payload) != expected:
+        raise FrameError(
+            f"tensor payload is {len(payload)} bytes but the agreed layout "
+            f"needs {expected} ({len(shapes)} arrays, {wire_name} wire)"
+        )
+    arrays: List[np.ndarray] = []
+    offset = TENSOR_HEADER.size
+    for shape in shapes:
+        elems = int(np.prod(shape, dtype=np.int64))
+        flat = np.frombuffer(payload, dtype=dtype, count=elems, offset=offset)
+        arrays.append(flat.astype(np.float64).reshape(shape))
+        offset += elems * dtype.itemsize
+    return TensorMessage(
+        seq=int(seq),
+        episode=int(episode),
+        round=int(round_index),
+        wire_dtype=wire_name,
+        arrays=tuple(arrays),
+        nbytes=len(payload),
+    )

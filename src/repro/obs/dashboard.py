@@ -8,7 +8,11 @@ plus the process-local metrics registry:
 * a one-line extrinsic-reward :func:`~repro.utils.ascii_plot.sparkline`;
 * the latest episode's scalars (reward, intrinsic, κ, ξ, ρ, losses);
 * per-phase wall time drawn from the ``repro_phase_seconds`` histogram
-  the instrumented trainer keeps hot in the registry.
+  the instrumented trainer keeps hot in the registry;
+* a fleet table (socket backend only) from the ``repro_fleet_connected``
+  / ``repro_fleet_generation`` / ``repro_transport_heartbeat_age_seconds``
+  gauges the :class:`~repro.distributed.transport.SocketTransport`
+  maintains per employee.
 
 The dashboard only *reads* — episode logs and registry snapshots — and
 writes to its stream; it never touches the model, the env or the RNGs,
@@ -19,6 +23,7 @@ the CLI caller would not apply here, hence no ``print``).
 
 from __future__ import annotations
 
+import re
 import sys
 from typing import IO, List, Optional
 
@@ -26,6 +31,10 @@ from ..utils.ascii_plot import ascii_line_chart, sparkline
 from .metrics import MetricsRegistry, get_registry
 
 __all__ = ["Dashboard"]
+
+#: Extracts the employee index from a labelled series name like
+#: ``repro_fleet_connected{employee="2"}``.
+_EMPLOYEE_LABEL = re.compile(r'employee="([^"]*)"')
 
 
 class Dashboard:
@@ -91,6 +100,40 @@ class Dashboard:
             )
         return lines
 
+    def _gauge_by_employee(self, name: str) -> dict:
+        """``employee label -> value`` for one transport gauge."""
+        gauge = self.registry.get(name)
+        if gauge is None:
+            return {}
+        series = gauge.snapshot().get("series", {})
+        out = {}
+        for labelled, value in series.items():
+            match = _EMPLOYEE_LABEL.search(labelled)
+            if match is not None:
+                out[match.group(1)] = value
+        return out
+
+    def _fleet_lines(self) -> List[str]:
+        connected = self._gauge_by_employee("repro_fleet_connected")
+        if not connected:
+            return []
+        generation = self._gauge_by_employee("repro_fleet_generation")
+        heartbeat = self._gauge_by_employee(
+            "repro_transport_heartbeat_age_seconds"
+        )
+        lines = ["fleet:"]
+        for name in sorted(connected, key=lambda k: (len(k), k)):
+            up = float(connected[name]) >= 1.0
+            gen = generation.get(name)
+            age = heartbeat.get(name)
+            gen_text = f"gen {int(gen):>3d}" if gen is not None else "gen   ?"
+            age_text = f"hb {float(age):6.2f}s ago" if age is not None else "hb      —"
+            lines.append(
+                f"  employee {name:<4s} {'up  ' if up else 'DOWN'}  "
+                f"{gen_text}  {age_text}"
+            )
+        return lines
+
     def render(self) -> str:
         """The full dashboard snapshot as one string."""
         if not self._logs:
@@ -132,4 +175,5 @@ class Dashboard:
                 )
             )
         parts.extend(self._phase_lines())
+        parts.extend(self._fleet_lines())
         return "\n".join(parts)

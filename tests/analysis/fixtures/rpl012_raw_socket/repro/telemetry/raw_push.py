@@ -1,0 +1,14 @@
+"""Known-bad fixture: raw socket I/O outside the transport package.
+
+Every connection the repo opens must go through
+``repro.distributed.transport`` so framing, CRC verification, heartbeat
+accounting and chaos injection apply; this module bypasses all of it.
+"""
+
+import socket
+
+
+def push_metrics(host, port, blob):
+    sock = socket.create_connection((host, port))  # RPL012: raw construction
+    sock.sendall(blob)  # RPL012: unframed bytes
+    return sock.recv(4096)  # RPL012: unchecked read

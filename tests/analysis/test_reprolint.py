@@ -35,6 +35,9 @@ FIXTURE_EXPECTATIONS = {
     os.path.join(
         "rpl011_fork_state", "repro", "distributed", "bad_worker.py"
     ): ("RPL011", 3),
+    os.path.join(
+        "rpl012_raw_socket", "repro", "telemetry", "raw_push.py"
+    ): ("RPL012", 3),
 }
 
 
@@ -43,6 +46,7 @@ class TestRegistry:
         assert sorted(RULES) == [f"RPL00{i}" for i in range(1, 10)] + [
             "RPL010",
             "RPL011",
+            "RPL012",
         ]
 
     def test_rule_table_rows(self):
@@ -189,6 +193,28 @@ class TestPathScoping:
             "RPL010",
         ]
         assert lint_source(plan, "src/repro/nn/functional.py") == []
+
+    def test_rpl012_raw_io_allowed_only_in_transport(self):
+        source = (
+            "import socket\n"
+            "sock = socket.create_connection(('h', 1))\n"
+            "sock.sendall(b'x')\n"
+        )
+        assert (
+            lint_source(
+                source, "src/repro/distributed/transport/socket_transport.py"
+            )
+            == []
+        )
+        assert [
+            f.code for f in lint_source(source, "src/repro/obs/push.py")
+        ] == ["RPL012", "RPL012"]
+
+    def test_rpl012_pipe_send_without_socket_import_is_fine(self):
+        # procpool's multiprocessing pipes share the .send/.recv method
+        # names; without a socket import the rule stays out of the way.
+        source = "def f(conn):\n    conn.send((1, 2))\n    return conn.recv()\n"
+        assert lint_source(source, "src/repro/distributed/procpool.py") == []
 
     def test_rpl010_suppressible_at_call_site(self):
         source = (

@@ -191,6 +191,62 @@ class TestAtomicityAndChecksum:
             load_checkpoint(trainer, path)
         trainer.close()
 
+    def test_save_fsyncs_the_directory_entry(
+        self, config, ppo, tmp_path, monkeypatch
+    ):
+        """``os.replace`` is atomic but not durable: the rename itself
+        lives in the directory inode, which must be fsynced or a crash
+        can resurrect the old entry.  Assert os.fsync really runs on a
+        descriptor of the checkpoint's directory (and on the data file)."""
+        import stat
+
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            info = os.fstat(fd)
+            synced.append((stat.S_ISDIR(info.st_mode), info.st_ino))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        trainer.close()
+
+        directory_inode = os.stat(tmp_path).st_ino
+        assert (True, directory_inode) in synced, (
+            "the checkpoint's directory fd was never fsynced"
+        )
+        assert any(not is_dir for is_dir, __ in synced)  # data file too
+
+    def test_manager_save_fsyncs_pointer_directory(
+        self, config, ppo, tmp_path, monkeypatch
+    ):
+        """The rolling manager's ``latest`` pointer swap gets the same
+        durability treatment as the archives themselves."""
+        import stat
+
+        synced_dir_inodes = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            info = os.fstat(fd)
+            if stat.S_ISDIR(info.st_mode):
+                synced_dir_inodes.append(info.st_ino)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        trainer = make_trainer(config, ppo)
+        trainer.train(1)
+        manager = CheckpointManager(tmp_path / "ckpts", keep_last=2)
+        manager.save(trainer)
+        trainer.close()
+
+        directory_inode = os.stat(tmp_path / "ckpts").st_ino
+        # Once after the archive rename, once after the pointer rename.
+        assert synced_dir_inodes.count(directory_inode) >= 2
+
     def test_truncated_archive_detected(self, config, ppo, tmp_path):
         trainer = make_trainer(config, ppo)
         trainer.train(1)

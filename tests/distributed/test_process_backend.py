@@ -348,6 +348,26 @@ class TestProcessShmLifecycle:
         trainer.close()
         assert own_shm_segments() == []
 
+    def test_shm_flat_across_revive_cycles(self, config, ppo):
+        """Regression: ``revive`` must eagerly unlink the stale slab pair
+        when it allocates replacements — the ``/dev/shm`` segment count
+        stays exactly flat across N revive cycles, then drops to zero."""
+        trainer = make_trainer(config, ppo, backend="process", episodes=1)
+        pool = trainer._proc_pool
+        arrays = [p.data for p in trainer._param_tensors]
+        assert len(own_shm_segments()) == 6
+        for cycle in range(4):
+            state = trainer.employees[1].rng.bit_generator.state
+            pool.revive(1, arrays, state, episode=0)
+            segments = own_shm_segments()
+            assert len(segments) == 6, (
+                f"revive cycle {cycle} leaked: {segments}"
+            )
+        history = trainer.train()
+        trainer.close()
+        assert len(history.logs) == 1
+        assert own_shm_segments() == []
+
     def test_close_idempotent(self, config, ppo):
         trainer = make_trainer(config, ppo, backend="process", episodes=1)
         trainer.train()

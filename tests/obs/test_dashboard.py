@@ -68,6 +68,38 @@ class TestDashboard:
         assert "explore" in out
         assert "gradients" in out
 
+    def test_fleet_table_from_transport_gauges(self):
+        registry = MetricsRegistry()
+        connected = registry.gauge(
+            "repro_fleet_connected", "connection state", labelnames=("employee",)
+        )
+        generation = registry.gauge(
+            "repro_fleet_generation", "generation", labelnames=("employee",)
+        )
+        heartbeat = registry.gauge(
+            "repro_transport_heartbeat_age_seconds",
+            "heartbeat age",
+            labelnames=("employee",),
+        )
+        connected.labels(employee=0).set(1)
+        connected.labels(employee=1).set(0)
+        generation.labels(employee=0).set(0)
+        generation.labels(employee=1).set(2)
+        heartbeat.labels(employee=0).set(0.12)
+        dash = Dashboard(registry=registry)
+        dash._logs.append(fake_log(0))
+        out = dash.render()
+        assert "fleet:" in out
+        assert "employee 0" in out and "up" in out
+        assert "employee 1" in out and "DOWN" in out
+        assert "gen   2" in out
+        assert "hb   0.12s ago" in out
+
+    def test_no_fleet_table_without_socket_transport(self):
+        dash = Dashboard(registry=MetricsRegistry())
+        dash._logs.append(fake_log(0))
+        assert "fleet:" not in dash.render()
+
     def test_writes_go_to_stream_not_stdout(self, capsys):
         stream = io.StringIO()
         dash = Dashboard(stream=stream, registry=MetricsRegistry())

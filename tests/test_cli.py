@@ -96,8 +96,62 @@ class TestTrainCommand:
             main(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for command in ("train", "evaluate", "report", "lint", "trace", "profile"):
+        for command in (
+            "train", "worker", "evaluate", "report", "lint", "trace", "profile",
+        ):
             assert command in out
+
+
+class TestSocketTransportCli:
+    def test_train_over_loopback_socket(self, tmp_path, capsys):
+        checkpoint = tmp_path / "socket.npz"
+        code = main(
+            [
+                "train", "--method", "cews", "--scale", "smoke",
+                "--episodes", "1", "--backend", "socket",
+                "--listen", "127.0.0.1:0", "--checkpoint", str(checkpoint),
+            ]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+        out = capsys.readouterr().out
+        assert "transport: listening on 127.0.0.1:" in out
+        assert "token" in out
+
+    def test_remote_workers_prints_launch_hints(self, capsys):
+        code = main(
+            [
+                "train", "--method", "cews", "--scale", "smoke",
+                "--episodes", "1", "--backend", "socket",
+                "--remote-workers", "0", "--wire-dtype", "float64",
+            ]
+        )
+        assert code == 0
+
+    def test_malformed_listen_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train", "--method", "cews", "--scale", "smoke",
+                    "--episodes", "1", "--backend", "socket",
+                    "--listen", "no-port-here",
+                ]
+            )
+
+    def test_worker_requires_connect_token_index(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker"])
+        assert excinfo.value.code == 2
+
+    def test_worker_unreachable_chief_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "worker", "--connect", "127.0.0.1:1", "--token", "t",
+                "--index", "0", "--connect-timeout", "0.2",
+            ]
+        )
+        assert code == 1
+        assert "unreachable" in capsys.readouterr().out
 
 
 class TestObservabilityCommands:
