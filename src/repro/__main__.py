@@ -68,6 +68,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="profile per-op autograd wall time/FLOPs and print the "
         "hot-spot table at the end (also enabled by REPRO_PROFILE=1)",
     )
+    parser.add_argument(
+        "--lockwatch",
+        action="store_true",
+        help="run under the lock-order sanitizer (SAN004 order-inversion / "
+        "SAN005 long-hold findings; also enabled by REPRO_LOCKWATCH=1)",
+    )
 
 
 def _maybe_sanitizer(args):
@@ -76,6 +82,19 @@ def _maybe_sanitizer(args):
 
     if getattr(args, "sanitize", False) or sanitizer_mod.env_enabled():
         return sanitizer_mod.Sanitizer().enable()
+    return None
+
+
+def _maybe_lockwatch(args):
+    """An enabled LockWatch when requested by flag or env var, else None.
+
+    Enabled *before* the trainer is constructed so every lock the run
+    allocates goes through the patched factories.
+    """
+    from .analysis import lockwatch as lockwatch_mod
+
+    if getattr(args, "lockwatch", False) or lockwatch_mod.env_enabled():
+        return lockwatch_mod.LockWatch(mode="record").enable()
     return None
 
 
@@ -110,11 +129,16 @@ class _Observability:
 
     def __init__(self, args):
         self._args = args
+        self.lockwatch = None
         self.sanitizer = None
         self.tracer = None
         self.profiler = None
 
     def __enter__(self) -> "_Observability":
+        # Lockwatch first: the trainer's locks are allocated when the
+        # command body constructs it, and only factories patched before
+        # that point produce watched locks.
+        self.lockwatch = _maybe_lockwatch(self._args)
         self.sanitizer = _maybe_sanitizer(self._args)
         self.tracer = _maybe_tracer(self._args)
         self.profiler = _maybe_profiler(self._args)
@@ -131,6 +155,11 @@ class _Observability:
         if self.sanitizer is not None:
             self.sanitizer.disable()
             print(self.sanitizer.summary())
+        if self.lockwatch is not None:
+            self.lockwatch.disable()
+            print(self.lockwatch.summary())
+            for finding in self.lockwatch.findings:
+                print(finding.render())
 
 
 def _parse_hostport(value: str):

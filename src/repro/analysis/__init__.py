@@ -6,14 +6,22 @@ lock discipline) *enforced* instead of conventional:
 
 * **reprolint** (:mod:`repro.analysis.rules` / :mod:`.engine` /
   :mod:`.reporters` / :mod:`.cli`) — an AST linter with per-rule codes
-  (RPL001…RPL010), ``# reprolint: disable=RPLxxx`` suppressions, and
-  text/JSON reporters.  Run it with ``python -m repro lint``.
-* **runtime sanitizer** (:mod:`repro.analysis.sanitizer`) — NaN/Inf and
+  (RPL001…RPL012 per-file; RPL013…RPL016 whole-program, over the
+  cross-module call graph of :mod:`.callgraph` via ``--program``),
+  ``# reprolint: disable=RPLxxx`` suppressions, text/JSON/SARIF
+  reporters and a content-addressed incremental cache (:mod:`.cache`).
+  Run it with ``python -m repro lint``.
+* **runtime sanitizers** — :mod:`repro.analysis.sanitizer` (NaN/Inf and
   dtype checks at every autograd op boundary with op+module provenance,
-  plus a backward-graph leak detector.  Toggled by ``--sanitize`` on the
-  CLI or ``REPRO_SANITIZE=1``; zero overhead when off.
+  plus a backward-graph leak detector; ``--sanitize`` /
+  ``REPRO_SANITIZE=1``) and :mod:`repro.analysis.lockwatch` (lock-order
+  inversion SAN004 and contended-long-hold SAN005 with acquisition-stack
+  provenance; ``--lockwatch`` / ``REPRO_LOCKWATCH=1``).  Both are
+  patch-on-enable with zero overhead when off.
 """
 
+from .cache import DEFAULT_CACHE_DIR, LintCache, content_sha
+from .callgraph import ProgramIndex, build_program_index, module_name_for_path
 from .engine import (
     DEFAULT_EXCLUDED_DIRS,
     iter_python_files,
@@ -23,7 +31,20 @@ from .engine import (
     parse_suppressions,
 )
 from .findings import Finding
-from .reporters import render_json, render_text, summarize
+from .lockwatch import (
+    LockWatch,
+    LockWatchError,
+    LockWatchFinding,
+)
+from .program import (
+    PROGRAM_RULES,
+    ProgramContext,
+    ProgramRule,
+    analyze_files,
+    analyze_program,
+    program_rule_table,
+)
+from .reporters import render_json, render_sarif, render_text, summarize
 from .rules import RULES, ModuleContext, Rule, rule_table
 from .sanitizer import (
     Sanitizer,
@@ -48,11 +69,30 @@ __all__ = [
     "DEFAULT_EXCLUDED_DIRS",
     "render_text",
     "render_json",
+    "render_sarif",
     "summarize",
+    # whole-program analysis
+    "PROGRAM_RULES",
+    "ProgramContext",
+    "ProgramRule",
+    "ProgramIndex",
+    "analyze_files",
+    "analyze_program",
+    "build_program_index",
+    "module_name_for_path",
+    "program_rule_table",
+    # cache
+    "LintCache",
+    "DEFAULT_CACHE_DIR",
+    "content_sha",
     # sanitizer
     "Sanitizer",
     "SanitizerError",
     "SanitizerFinding",
     "env_enabled",
     "is_enabled",
+    # lockwatch
+    "LockWatch",
+    "LockWatchError",
+    "LockWatchFinding",
 ]

@@ -1,0 +1,187 @@
+"""Incremental lint cache keyed on content SHA-256.
+
+Two kinds of entries under ``.reprolint-cache/``:
+
+* **per-file** — findings of the per-file rules for one file, keyed on
+  ``sha256(path, content, rule codes)``.  Sound because per-file rules
+  see nothing but the file itself.
+
+Both key kinds are additionally salted with a digest of the analysis
+package's own source, so editing a rule (not just an analyzed file)
+invalidates the whole cache automatically.
+* **program** — findings of the whole-program pass, keyed on the digest
+  of *every* ``(path, content sha)`` pair in the analyzed closure plus
+  the program rule codes.  Any edit anywhere in the import graph
+  changes the digest, so interprocedural results can never go stale —
+  at the price of a full re-run on any change (the rules genuinely need
+  the whole index, so partial replay would be unsound anyway).
+
+Entries are tiny JSON files named by their key; stale keys are simply
+never read again (``prune`` trims the directory opportunistically).
+``--no-cache`` on the CLI bypasses all of this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["LintCache", "content_sha"]
+
+DEFAULT_CACHE_DIR = ".reprolint-cache"
+
+# Bump to invalidate every entry when semantics change *outside* the
+# analysis package (e.g. the Finding schema).
+_CACHE_VERSION = "1"
+
+_MAX_ENTRIES = 4096
+
+_analyzer_salt_memo: Optional[str] = None
+
+
+def _analyzer_salt() -> str:
+    """Digest of the analyzer's own source files.
+
+    A rule edit (a new whitelist entry, a changed matcher) changes the
+    findings without changing any *analyzed* file, so analyzed content
+    alone is not a sound cache key.  Hashing the analysis package itself
+    turns every analyzer change into a whole-cache invalidation.
+    """
+    global _analyzer_salt_memo
+    if _analyzer_salt_memo is None:
+        digest = hashlib.sha256()
+        pkg_dir = os.path.dirname(os.path.abspath(__file__))
+        for name in sorted(os.listdir(pkg_dir)):
+            if not name.endswith(".py"):
+                continue
+            try:
+                with open(os.path.join(pkg_dir, name), "rb") as handle:
+                    digest.update(name.encode("utf-8"))
+                    digest.update(b"\0")
+                    digest.update(handle.read())
+                    digest.update(b"\0")
+            except OSError:
+                # An unreadable analyzer file degrades to a different
+                # (colder) salt, never to a stale hit.
+                digest.update(name.encode("utf-8"))
+                digest.update(b"\0unreadable\0")
+        _analyzer_salt_memo = digest.hexdigest()
+    return _analyzer_salt_memo
+
+
+def content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _finding_from_dict(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        code=str(payload.get("code", "")),
+        rule=str(payload.get("rule", "")),
+        path=str(payload.get("path", "")),
+        line=int(payload.get("line", 0)),
+        col=int(payload.get("col", 0)),
+        message=str(payload.get("message", "")),
+    )
+
+
+class LintCache:
+    """Content-addressed findings store for the lint engines."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def file_key(path: str, source: str, codes: Sequence[str]) -> str:
+        digest = hashlib.sha256()
+        digest.update(_CACHE_VERSION.encode())
+        digest.update(_analyzer_salt().encode())
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(content_sha(source).encode())
+        digest.update(b"\0")
+        digest.update(",".join(sorted(codes)).encode())
+        return "file-" + digest.hexdigest()
+
+    @staticmethod
+    def program_key(
+        files: Iterable[Tuple[str, str]], codes: Sequence[str]
+    ) -> str:
+        """Digest over the whole import closure: any dependency edit
+        anywhere produces a new key."""
+        digest = hashlib.sha256()
+        digest.update(_CACHE_VERSION.encode())
+        digest.update(_analyzer_salt().encode())
+        for path, source in sorted(files):
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(content_sha(source).encode())
+            digest.update(b"\0")
+        digest.update(",".join(sorted(codes)).encode())
+        return "program-" + digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".json")
+
+    def get(self, key: str) -> Optional[List[Finding]]:
+        try:
+            with open(self._entry_path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("version") != _CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [_finding_from_dict(item) for item in payload.get("findings", [])]
+
+    def put(self, key: str, findings: Sequence[Finding]) -> None:
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            tmp = self._entry_path(key) + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "version": _CACHE_VERSION,
+                        "findings": [f.to_dict() for f in findings],
+                    },
+                    handle,
+                )
+            os.replace(tmp, self._entry_path(key))
+        except OSError:
+            # A read-only checkout degrades to cold runs, not errors.
+            pass
+
+    def prune(self, keep: int = _MAX_ENTRIES) -> int:
+        """Drop oldest entries beyond ``keep``; returns how many."""
+        try:
+            entries = [
+                os.path.join(self.root, name)
+                for name in os.listdir(self.root)
+                if name.endswith(".json")
+            ]
+        except OSError:
+            return 0
+        if len(entries) <= keep:
+            return 0
+        entries.sort(key=lambda p: os.path.getmtime(p))
+        dropped = 0
+        for path in entries[: len(entries) - keep]:
+            try:
+                os.remove(path)
+                dropped += 1
+            except OSError:
+                pass
+        return dropped

@@ -1,0 +1,667 @@
+"""Cross-module symbol table and conservative call graph (stdlib ``ast``).
+
+This is the substrate for the whole-program rules in
+:mod:`repro.analysis.program`: it parses every module once, resolves
+imports (``import a.b``, ``as`` aliases, ``from x import y as z``, star
+and relative imports), builds the class hierarchy, and then resolves
+call sites into a call graph.
+
+Resolution is deliberately **conservative-incomplete**: an edge is only
+added when the callee can be pinned to a concrete in-program function —
+``self.``/``cls.`` dispatch (plus every subclass override, so virtual
+dispatch over-approximates), locals typed by construction or annotation,
+attribute types recorded from ``__init__`` assignments/annotations, and
+module-qualified names.  Calls through untyped parameters or computed
+expressions produce *no* edge rather than a wildcard match; the rules
+built on top treat a missing edge as "unknown", never as "safe because
+unseen".  See DESIGN § 6g for the tradeoff discussion.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProgramIndex",
+    "build_program_index",
+    "module_name_for_path",
+]
+
+# Lock-ish factories recognised for attribute/global lock typing.  The
+# value is the lock *kind*: Condition wraps an RLock, so both reenter.
+LOCK_FACTORIES = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+    "multiprocessing.Lock": "Lock",
+    "multiprocessing.RLock": "RLock",
+}
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name by walking up the ``__init__.py`` chain.
+
+    ``src/repro/distributed/trainer.py`` -> ``repro.distributed.trainer``;
+    a file outside any package keeps its bare stem.
+    """
+    path = os.path.normpath(path)
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [stem] if stem != "__init__" else []
+    while directory and os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        parts.insert(0, pkg)
+    return ".".join(parts) if parts else stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # module-relative, e.g. "f" or "Cls.m"
+    module: str  # dotted module name
+    node: ast.AST  # FunctionDef / AsyncFunctionDef
+    cls: Optional[str] = None  # owning class name (module-relative)
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def fqn(self) -> str:
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved in-program bases."""
+
+    name: str  # module-relative name
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)  # FQNs of in-program bases
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    # self.<attr> types recorded from __init__ assignments/annotations;
+    # values are class FQNs.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    # self.<attr> = threading.Lock()/RLock()/Condition() sites: attr -> kind
+    attr_locks: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def fqn(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its import environment."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> dotted target
+    star_imports: List[str] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)  # x = f  (module level)
+    module_locks: Dict[str, str] = field(default_factory=dict)  # global lock: name -> kind
+    module_globals: Set[str] = field(default_factory=set)  # module-level assigned names
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge origin."""
+
+    callee: str  # FQN of the resolved in-program function
+    lineno: int
+    via: str = ""  # what the source spelled, for diagnostics
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` attribute chain to a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Extract ``Cls`` from ``Cls`` / ``"Cls"`` / ``Optional[Cls]`` annotations."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        head = _dotted(node.value)
+        if head and head.rsplit(".", 1)[-1] in ("Optional", "Union"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple):
+                elts = [e for e in inner.elts if not _is_none(e)]
+                if len(elts) == 1:
+                    return _annotation_name(elts[0])
+                return None
+            return _annotation_name(inner)
+        return None
+    return _dotted(node)
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class ProgramIndex:
+    """The whole-program symbol table + call graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.subclasses: Dict[str, List[str]] = {}
+        self.edges: Dict[str, List[CallSite]] = {}
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, dotted: str, _depth: int = 0) -> Optional[str]:
+        """Resolve a (possibly dotted) name used in ``module`` to an FQN.
+
+        Returns the FQN of an in-program module, class, or function, or
+        None for builtins/external libraries/unresolvable names.
+        """
+        if _depth > 16:  # alias cycle guard
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        # Locally-defined symbol?
+        for local in (info.functions, info.classes):
+            if dotted in local:
+                return f"{module}.{dotted}"
+        if head in info.classes and rest:
+            # Nested attr on a class (e.g. ClassName.method)
+            return self._canonical(f"{module}.{dotted}")
+        if head in info.aliases:
+            target = info.aliases[head]
+            resolved = self.resolve(module, target, _depth + 1)
+            if resolved is None:
+                return None
+            return self._canonical(f"{resolved}.{rest}" if rest else resolved)
+        if head in info.imports:
+            target = info.imports[head]
+            full = f"{target}.{rest}" if rest else target
+            return self._canonical(full)
+        for star in info.star_imports:
+            star_mod = self.modules.get(star)
+            if star_mod is None:
+                continue
+            if head in star_mod.functions or head in star_mod.classes:
+                return self._canonical(f"{star}.{dotted}")
+            if head in star_mod.aliases:
+                return self.resolve(star, dotted, _depth + 1)
+        # A fully-qualified spelling of an in-program symbol.
+        return self._canonical(dotted) if dotted != head or head in self.modules else None
+
+    def _canonical(self, fqn: str) -> Optional[str]:
+        """Map a dotted path onto an indexed module/class/function FQN."""
+        if fqn in self.functions or fqn in self.classes or fqn in self.modules:
+            return fqn
+        # Longest module prefix, then navigate the remainder.
+        parts = fqn.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = ".".join(parts[:cut])
+            info = self.modules.get(mod)
+            if info is None:
+                continue
+            rest = ".".join(parts[cut:])
+            if rest in info.functions or rest in info.classes:
+                return f"{mod}.{rest}"
+            head, _, tail = rest.partition(".")
+            if head in info.aliases:
+                resolved = self.resolve(mod, rest)
+                if resolved:
+                    return resolved
+            if head in info.imports and tail:
+                # Symbol re-exported through a package __init__.
+                return self._canonical(f"{info.imports[head]}.{tail}")
+            if head in info.imports and not tail:
+                return self._canonical(info.imports[head])
+            if rest in info.module_globals:
+                # Module-level data (locks, seeds, registries) is a
+                # legitimate resolution target for the flow rules.  Must
+                # come after the alias checks: ``handler = helper`` puts
+                # the name in both tables and the callable wins.
+                return f"{mod}.{rest}"
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Class hierarchy helpers
+    # ------------------------------------------------------------------
+    def mro_method(self, class_fqn: str, method: str) -> Optional[FunctionInfo]:
+        """Find ``method`` on the class or its in-program bases (DFS)."""
+        seen: Set[str] = set()
+        stack = [class_fqn]
+        while stack:
+            fqn = stack.pop(0)
+            if fqn in seen:
+                continue
+            seen.add(fqn)
+            cls = self.classes.get(fqn)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            stack.extend(cls.bases)
+        return None
+
+    def dispatch_targets(self, class_fqn: str, method: str) -> List[FunctionInfo]:
+        """Conservative virtual dispatch: the MRO hit plus every subclass
+        override, so a call through a base-typed receiver reaches all
+        in-program implementations."""
+        targets: List[FunctionInfo] = []
+        base = self.mro_method(class_fqn, method)
+        if base is not None:
+            targets.append(base)
+        stack = list(self.subclasses.get(class_fqn, ()))
+        seen: Set[str] = set()
+        while stack:
+            sub = stack.pop()
+            if sub in seen:
+                continue
+            seen.add(sub)
+            cls = self.classes.get(sub)
+            if cls is not None and method in cls.methods:
+                targets.append(cls.methods[method])
+            stack.extend(self.subclasses.get(sub, ()))
+        unique: Dict[str, FunctionInfo] = {t.fqn: t for t in targets}
+        return list(unique.values())
+
+    def attr_lock_owners(self, attr: str) -> List[ClassInfo]:
+        """Every class declaring ``self.<attr> = Lock()``-style state."""
+        return [
+            cls
+            for cls in self.classes.values()
+            if attr in cls.attr_locks
+        ]
+
+    def callees(self, fqn: str) -> List[CallSite]:
+        return self.edges.get(fqn, [])
+
+    def reachable(self, roots: Iterable[str]) -> Dict[str, Tuple[str, ...]]:
+        """BFS closure over call edges: FQN -> shortest call path from a root."""
+        paths: Dict[str, Tuple[str, ...]] = {}
+        queue: List[str] = []
+        for root in roots:
+            if root in self.functions and root not in paths:
+                paths[root] = (root,)
+                queue.append(root)
+        while queue:
+            fqn = queue.pop(0)
+            for site in self.edges.get(fqn, ()):
+                if site.callee not in paths:
+                    paths[site.callee] = paths[fqn] + (site.callee,)
+                    queue.append(site.callee)
+        return paths
+
+
+# ----------------------------------------------------------------------
+# Index construction
+# ----------------------------------------------------------------------
+
+
+def build_program_index(
+    files: Sequence[Tuple[str, str]],
+) -> ProgramIndex:
+    """Build the index from ``(path, source)`` pairs.
+
+    Files that fail to parse are skipped here — the per-file engine
+    already reports RPL000 for them.
+    """
+    index = ProgramIndex()
+    for path, source in files:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        name = module_name_for_path(path)
+        info = ModuleInfo(name=name, path=path, source=source, tree=tree)
+        _collect_imports(info)
+        _collect_symbols(info)
+        index.modules[name] = info
+    for info in index.modules.values():
+        for fn in info.functions.values():
+            index.functions[fn.fqn] = fn
+        for cls in info.classes.values():
+            index.classes[cls.fqn] = cls
+            for method in cls.methods.values():
+                index.functions[method.fqn] = method
+    _resolve_bases(index)
+    _collect_attr_types(index)
+    _build_edges(index)
+    return index
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    package = info.name.rsplit(".", 1)[0] if "." in info.name else ""
+    if info.path.endswith("__init__.py"):
+        package = info.name
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds ``a``; dotted uses resolve
+                    # through _canonical's longest-prefix walk.
+                    top = alias.name.partition(".")[0]
+                    info.imports.setdefault(top, top)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".") if package else []
+                if node.level > 1:
+                    parts = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    if base:
+                        info.star_imports.append(base)
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _decorator_names(node) -> Tuple[str, ...]:
+    names = []
+    for dec in getattr(node, "decorator_list", ()):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = _dotted(target)
+        if dotted:
+            names.append(dotted)
+    return tuple(names)
+
+
+def _collect_symbols(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=node.name,
+                module=info.name,
+                node=node,
+                decorators=_decorator_names(node),
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(name=node.name, module=info.name, node=node)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        qualname=f"{node.name}.{item.name}",
+                        module=info.name,
+                        node=item,
+                        cls=node.name,
+                        decorators=_decorator_names(item),
+                    )
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            info.module_globals.add(target.id)
+            value = node.value
+            if isinstance(value, ast.Name):
+                info.aliases[target.id] = value.id
+            elif isinstance(value, ast.Attribute):
+                dotted = _dotted(value)
+                if dotted:
+                    info.aliases[target.id] = dotted
+            elif isinstance(value, ast.Call):
+                kind = _lock_kind(info, value)
+                if kind:
+                    info.module_locks[target.id] = kind
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            info.module_globals.add(node.target.id)
+
+
+def _lock_kind(info: ModuleInfo, call: ast.Call) -> Optional[str]:
+    """Is this call a ``Lock()``/``RLock()``/``Condition()`` construction?"""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    target = info.imports.get(head)
+    full = f"{target}.{rest}" if (target and rest) else (target or dotted)
+    if full in LOCK_FACTORIES:
+        return LOCK_FACTORIES[full]
+    return LOCK_FACTORIES.get(dotted)
+
+
+def _resolve_bases(index: ProgramIndex) -> None:
+    for info in index.modules.values():
+        for cls in info.classes.values():
+            for base in cls.node.bases:
+                dotted = _dotted(base)
+                if dotted is None:
+                    continue
+                resolved = index.resolve(info.name, dotted)
+                if resolved in index.classes:
+                    cls.bases.append(resolved)
+                    index.subclasses.setdefault(resolved, []).append(cls.fqn)
+
+
+def _collect_attr_types(index: ProgramIndex) -> None:
+    """Record ``self.<attr>`` types/locks from ``__init__`` bodies.
+
+    Three sources, in priority order: explicit annotation, construction
+    (``self.x = Cls(...)`` / lock factory), and parameter passthrough
+    (``self.x = x`` where ``x`` is an annotated ``__init__`` parameter).
+    """
+    for cls in index.classes.values():
+        init = cls.methods.get("__init__")
+        if init is None:
+            continue
+        info = index.modules[cls.module]
+        param_types = _param_types(index, info, init.node)
+        for node in ast.walk(init.node):
+            target = None
+            value = None
+            annotation = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                target, value, annotation = node.target, node.value, node.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            if isinstance(value, ast.Call):
+                kind = _lock_kind(info, value)
+                if kind:
+                    cls.attr_locks[attr] = kind
+                    continue
+                dotted = _dotted(value.func)
+                resolved = index.resolve(info.name, dotted) if dotted else None
+                if resolved in index.classes:
+                    cls.attr_types.setdefault(attr, resolved)
+            ann_name = _annotation_name(annotation)
+            if ann_name:
+                resolved = index.resolve(info.name, ann_name)
+                if resolved in index.classes:
+                    cls.attr_types[attr] = resolved
+                    continue
+            if isinstance(value, ast.Name) and value.id in param_types:
+                cls.attr_types.setdefault(attr, param_types[value.id])
+
+
+def _param_types(
+    index: ProgramIndex, info: ModuleInfo, node
+) -> Dict[str, str]:
+    """Annotated parameter names -> in-program class FQNs."""
+    types: Dict[str, str] = {}
+    args = node.args
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        name = _annotation_name(arg.annotation)
+        if name is None:
+            continue
+        resolved = index.resolve(info.name, name)
+        if resolved in index.classes:
+            types[arg.arg] = resolved
+    return types
+
+
+# ----------------------------------------------------------------------
+# Call-edge construction
+# ----------------------------------------------------------------------
+
+
+class _FunctionScope:
+    """Per-function local environment for receiver typing."""
+
+    def __init__(self, index: ProgramIndex, info: ModuleInfo, fn: FunctionInfo):
+        self.index = index
+        self.info = info
+        self.fn = fn
+        self.local_types: Dict[str, str] = {}  # var -> class FQN
+        self.local_funcs: Dict[str, str] = {}  # var -> function FQN
+        self._prescan()
+
+    def _prescan(self) -> None:
+        index, info = self.index, self.info
+        self.local_types.update(_param_types(index, info, self.fn.node))
+        if self.fn.cls is not None:
+            self.local_types["self"] = f"{info.name}.{self.fn.cls}"
+            self.local_types["cls"] = f"{info.name}.{self.fn.cls}"
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(value, ast.Call):
+                    dotted = _dotted(value.func)
+                    resolved = index.resolve(info.name, dotted) if dotted else None
+                    if resolved in index.classes:
+                        self.local_types.setdefault(target.id, resolved)
+                elif isinstance(value, (ast.Name, ast.Attribute)):
+                    dotted = _dotted(value)
+                    resolved = index.resolve(info.name, dotted) if dotted else None
+                    if resolved in index.functions:
+                        self.local_funcs[target.id] = resolved
+                    elif resolved in index.classes:
+                        # Class aliased into a local: calls construct it.
+                        self.local_funcs.setdefault(target.id, resolved)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                name = _annotation_name(node.annotation)
+                resolved = index.resolve(info.name, name) if name else None
+                if resolved in index.classes:
+                    self.local_types[node.target.id] = resolved
+
+    def type_of(self, node: ast.AST) -> Optional[str]:
+        """Class FQN of an expression, where inferable."""
+        if isinstance(node, ast.Name):
+            return self.local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.type_of(node.value)
+            if base is not None:
+                cls = self.index.classes.get(base)
+                while cls is not None:
+                    if node.attr in cls.attr_types:
+                        return cls.attr_types[node.attr]
+                    cls = (
+                        self.index.classes.get(cls.bases[0]) if cls.bases else None
+                    )
+            return None
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            resolved = (
+                self.index.resolve(self.info.name, dotted) if dotted else None
+            )
+            if resolved in self.index.classes:
+                return resolved
+        return None
+
+    def resolve_call(self, call: ast.Call) -> List[FunctionInfo]:
+        """All in-program functions this call may invoke (conservative)."""
+        index, info = self.index, self.info
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.local_funcs:
+                return self._expand(self.local_funcs[name])
+            resolved = index.resolve(info.name, name)
+            return self._expand(resolved) if resolved else []
+        if isinstance(func, ast.Attribute):
+            receiver_type = self.type_of(func.value)
+            if receiver_type is not None:
+                if isinstance(func.value, ast.Name) and func.value.id in (
+                    "self",
+                    "cls",
+                ):
+                    # Exact class known: MRO hit + subclass overrides
+                    # (a base method may run against a subclass self).
+                    return index.dispatch_targets(receiver_type, func.attr)
+                return index.dispatch_targets(receiver_type, func.attr)
+            dotted = _dotted(func)
+            if dotted:
+                resolved = index.resolve(info.name, dotted)
+                if resolved:
+                    return self._expand(resolved)
+            return []
+        return []
+
+    def _expand(self, fqn: Optional[str]) -> List[FunctionInfo]:
+        if fqn is None:
+            return []
+        if fqn in self.index.functions:
+            return [self.index.functions[fqn]]
+        if fqn in self.index.classes:
+            init = self.index.mro_method(fqn, "__init__")
+            return [init] if init is not None else []
+        return []
+
+
+def _build_edges(index: ProgramIndex) -> None:
+    for fn in list(index.functions.values()):
+        info = index.modules[fn.module]
+        scope = _FunctionScope(index, info, fn)
+        sites: List[CallSite] = []
+        seen: Set[Tuple[str, int]] = set()
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for target in scope.resolve_call(node):
+                key = (target.fqn, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                sites.append(
+                    CallSite(
+                        callee=target.fqn,
+                        lineno=node.lineno,
+                        via=_dotted(node.func) or "<expr>",
+                    )
+                )
+        if sites:
+            index.edges[fn.fqn] = sites

@@ -115,11 +115,21 @@ def lint_file(
     path: str,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    cache=None,
 ) -> List[Finding]:
-    """Lint one file on disk."""
+    """Lint one file on disk (optionally through a
+    :class:`~repro.analysis.cache.LintCache`)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path, select=select, ignore=ignore)
+    if cache is not None:
+        key = cache.file_key(path, source, _selected_rules(select, ignore))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    findings = lint_source(source, path, select=select, ignore=ignore)
+    if cache is not None:
+        cache.put(key, findings)
+    return findings
 
 
 def iter_python_files(
@@ -149,10 +159,11 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     excluded_dirs: Sequence[str] = DEFAULT_EXCLUDED_DIRS,
+    cache=None,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; returns sorted findings."""
     findings: List[Finding] = []
     for path in iter_python_files(paths, excluded_dirs=excluded_dirs):
-        findings.extend(lint_file(path, select=select, ignore=ignore))
+        findings.extend(lint_file(path, select=select, ignore=ignore, cache=cache))
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,554 @@
+"""Interprocedural lock analysis: RPL013 (order cycles) and RPL016
+(blocking calls under a lock).
+
+Lock identity is *per declaration site*: a lock is ``(owner, attr)``
+where the owner is the class whose ``__init__`` constructs it (or the
+module, for module-level locks).  Two instances of the same field are
+one node — that over-approximates (sequentially taking two employees'
+locks looks like a self-edge) but is what makes cross-module ordering
+checkable at all; reentrant kinds (RLock, Condition) drop self-edges.
+
+The analysis runs in three passes over the call graph:
+
+1. per-function **event scan** — every lock acquisition, resolved call,
+   and known-blocking call, each annotated with the stack of locks held
+   at that point (``with`` nesting plus ``acquire()``/``release()``
+   pairing inside a block);
+2. **fixpoint closures** — ``may_acquire[f]`` (locks any call into ``f``
+   may take, with the acquisition path) and ``may_block[f]``;
+3. **edge/report pass** — held-lock x nested-acquisition pairs become
+   edges in the global lock graph (RPL013 reports every cycle, with the
+   full acquisition path for each edge) and held-lock x blocking-call
+   pairs become RPL016 findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import FunctionInfo, ProgramIndex, _FunctionScope, _dotted
+from .findings import Finding
+from .program import ProgramContext, program_rule
+
+__all__ = ["LockId", "collect_lock_events", "lock_graph"]
+
+# Reentrant kinds may be re-acquired by the holding thread.
+_REENTRANT = ("RLock", "Condition")
+
+# Dotted call targets that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep",
+    "select.select": "select.select",
+}
+
+# Method names that block regardless of receiver: socket reads/writes
+# and pipe reads.  ``.wait`` is deliberately absent — ``Condition.wait``
+# *releases* the lock it is called under.
+_BLOCKING_ATTRS = {
+    "recv": "socket/pipe recv",
+    "recv_into": "socket recv_into",
+    "recvfrom": "socket recvfrom",
+    "accept": "socket accept",
+    "sendall": "socket sendall",
+    "poll": "pipe poll",
+}
+
+# ``.poll()`` is also a common zero-timeout idiom on registries and
+# futures; only treat it as blocking when called with a non-zero arg.
+_TIMEOUT_GATED_ATTRS = {"poll"}
+
+
+@dataclass(frozen=True)
+class LockId:
+    """One declared lock: (owning class or module FQN, attribute, kind)."""
+
+    owner: str
+    attr: str
+    kind: str  # "Lock" | "RLock" | "Condition"
+
+    def render(self) -> str:
+        return f"{self.owner}.{self.attr} ({self.kind})"
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind in _REENTRANT
+
+
+@dataclass(frozen=True)
+class _Event:
+    """One scan event inside a function body."""
+
+    kind: str  # "acquire" | "call" | "block"
+    lineno: int
+    held: Tuple[Tuple[LockId, int], ...]  # (lock, acquired-at-line) stack
+    lock: Optional[LockId] = None  # for "acquire"
+    callee: str = ""  # for "call" (FQN)
+    desc: str = ""  # for "block"
+
+
+def _resolve_lock(scope: _FunctionScope, expr: ast.AST) -> Optional[LockId]:
+    """Map a ``with X`` / ``X.acquire()`` receiver to a LockId, or None."""
+    index = scope.index
+    if isinstance(expr, ast.Attribute):
+        rtype = scope.type_of(expr.value)
+        if rtype is not None:
+            seen: Set[str] = set()
+            stack = [rtype]
+            while stack:
+                fqn = stack.pop(0)
+                if fqn in seen:
+                    continue
+                seen.add(fqn)
+                cls = index.classes.get(fqn)
+                if cls is None:
+                    continue
+                if expr.attr in cls.attr_locks:
+                    return LockId(cls.fqn, expr.attr, cls.attr_locks[expr.attr])
+                stack.extend(cls.bases)
+        owners = index.attr_lock_owners(expr.attr)
+        if len(owners) == 1:
+            owner = owners[0]
+            return LockId(owner.fqn, expr.attr, owner.attr_locks[expr.attr])
+        return None
+    if isinstance(expr, ast.Name):
+        info = scope.info
+        if expr.id in info.module_locks:
+            return LockId(info.name, expr.id, info.module_locks[expr.id])
+        resolved = index.resolve(info.name, expr.id)
+        if resolved and "." in resolved:
+            mod, _, name = resolved.rpartition(".")
+            other = index.modules.get(mod)
+            if other is not None and name in other.module_locks:
+                return LockId(mod, name, other.module_locks[name])
+    return None
+
+
+def _blocking_desc(
+    scope: _FunctionScope, call: ast.Call
+) -> Optional[str]:
+    """Describe the call if it is a known-blocking primitive."""
+    dotted = _dotted(call.func)
+    if dotted:
+        resolved = None
+        head, _, rest = dotted.partition(".")
+        target = scope.info.imports.get(head)
+        if target:
+            resolved = f"{target}.{rest}" if rest else target
+        for candidate in (resolved, dotted):
+            if candidate in _BLOCKING_DOTTED:
+                return _BLOCKING_DOTTED[candidate]
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _BLOCKING_ATTRS:
+            if attr in _TIMEOUT_GATED_ATTRS:
+                if not call.args and not call.keywords:
+                    return None
+                first = call.args[0] if call.args else None
+                if isinstance(first, ast.Constant) and first.value in (0, 0.0):
+                    return None
+            return _BLOCKING_ATTRS[attr]
+    return None
+
+
+def _iter_calls(node: ast.AST):
+    """Call nodes in an expression/statement, skipping deferred bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+class _Scanner:
+    """Builds the event list for one function."""
+
+    def __init__(self, scope: _FunctionScope):
+        self.scope = scope
+        self.events: List[_Event] = []
+        self.held: List[Tuple[LockId, int]] = []
+
+    def run(self) -> List[_Event]:
+        self._scan_block(self.scope.fn.node.body)
+        return self.events
+
+    # -- event emission -------------------------------------------------
+    def _snapshot(self) -> Tuple[Tuple[LockId, int], ...]:
+        return tuple(self.held)
+
+    def _emit_acquire(self, lock: LockId, lineno: int) -> None:
+        self.events.append(
+            _Event("acquire", lineno, self._snapshot(), lock=lock)
+        )
+
+    def _scan_expr(self, node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        for call in _iter_calls(node):
+            desc = _blocking_desc(self.scope, call)
+            if desc is not None:
+                self.events.append(
+                    _Event("block", call.lineno, self._snapshot(), desc=desc)
+                )
+            for target in self.scope.resolve_call(call):
+                self.events.append(
+                    _Event(
+                        "call",
+                        call.lineno,
+                        self._snapshot(),
+                        callee=target.fqn,
+                    )
+                )
+
+    # -- block walking --------------------------------------------------
+    def _scan_block(self, stmts: Sequence[ast.stmt]) -> None:
+        extra = 0  # acquire()-style locks pushed inside this block
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                pushed = 0
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr)
+                    lock = _resolve_lock(self.scope, item.context_expr)
+                    if lock is not None:
+                        self._emit_acquire(lock, stmt.lineno)
+                        self.held.append((lock, stmt.lineno))
+                        pushed += 1
+                self._scan_block(stmt.body)
+                for _ in range(pushed):
+                    self.held.pop()
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            elif isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test)
+                self._scan_block(stmt.body)
+                self._scan_block(stmt.orelse)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter)
+                self._scan_block(stmt.body)
+                self._scan_block(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test)
+                self._scan_block(stmt.body)
+                self._scan_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                self._scan_block(stmt.body)
+                for handler in stmt.handlers:
+                    self._scan_block(handler.body)
+                self._scan_block(stmt.orelse)
+                self._scan_block(stmt.finalbody)
+            else:
+                acquired = self._explicit_acquire(stmt)
+                if acquired is not None:
+                    extra += 1
+                    continue
+                if self._explicit_release(stmt) and extra:
+                    self.held.pop()
+                    extra -= 1
+                    continue
+                self._scan_expr(stmt)
+        for _ in range(extra):
+            self.held.pop()
+
+    def _explicit_acquire(self, stmt: ast.stmt) -> Optional[LockId]:
+        """``x.acquire()`` as a standalone statement: held to the matching
+        ``release()`` in this block, else to block end."""
+        call = self._method_stmt(stmt, "acquire")
+        if call is None:
+            return None
+        lock = _resolve_lock(self.scope, call.func.value)
+        if lock is None:
+            self._scan_expr(stmt)
+            return None
+        self._emit_acquire(lock, stmt.lineno)
+        self.held.append((lock, stmt.lineno))
+        return lock
+
+    def _explicit_release(self, stmt: ast.stmt) -> bool:
+        call = self._method_stmt(stmt, "release")
+        if call is None:
+            return False
+        return _resolve_lock(self.scope, call.func.value) is not None
+
+    @staticmethod
+    def _method_stmt(stmt: ast.stmt, name: str) -> Optional[ast.Call]:
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr == name
+        ):
+            return stmt.value
+        return None
+
+
+def collect_lock_events(index: ProgramIndex) -> Dict[str, List[_Event]]:
+    """Event scan for every function in the program."""
+    events: Dict[str, List[_Event]] = {}
+    for fn in index.functions.values():
+        scope = _FunctionScope(index, index.modules[fn.module], fn)
+        events[fn.fqn] = _Scanner(scope).run()
+    return events
+
+
+def _step(index: ProgramIndex, fqn: str, lineno: int, verb: str) -> str:
+    fn = index.functions[fqn]
+    path = index.modules[fn.module].path
+    return f"{path}:{lineno} [{fqn.rsplit('.', 2)[-1]}] {verb}"
+
+
+_MAX_FIXPOINT_ROUNDS = 64
+
+
+def _closure(
+    index: ProgramIndex,
+    events: Dict[str, List[_Event]],
+    seed,
+) -> Dict[str, Dict[object, Tuple[str, ...]]]:
+    """Generic path-carrying fixpoint over the call graph.
+
+    ``seed(fqn, event)`` yields ``(key, path_tuple)`` facts produced
+    directly by the event; facts then propagate caller-ward through
+    resolved call edges, each hop prepending the call-site step.
+    """
+    facts: Dict[str, Dict[object, Tuple[str, ...]]] = {
+        fqn: {} for fqn in events
+    }
+    for fqn, evs in events.items():
+        for ev in evs:
+            for key, path in seed(fqn, ev):
+                facts[fqn].setdefault(key, path)
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for fqn, evs in events.items():
+            mine = facts[fqn]
+            for ev in evs:
+                if ev.kind != "call" or ev.callee not in facts:
+                    continue
+                hop = _step(
+                    index, fqn, ev.lineno, f"calls {ev.callee.rsplit('.', 1)[-1]}"
+                )
+                for key, path in facts[ev.callee].items():
+                    if key not in mine:
+                        mine[key] = (hop,) + path
+                        changed = True
+        if not changed:
+            break
+    return facts
+
+
+def lock_graph(index: ProgramIndex):
+    """Build the global lock-acquisition graph.
+
+    Returns ``(edges, rpl016, self_deadlocks)`` where ``edges`` maps
+    ``(LockId, LockId)`` to the first acquisition path seen, ``rpl016``
+    is a list of ``(module_path, lineno, held LockId, desc, path)`` and
+    ``self_deadlocks`` a list of ``(module_path, lineno, LockId, path)``.
+    """
+    events = collect_lock_events(index)
+
+    def seed_acquire(fqn: str, ev: _Event):
+        if ev.kind == "acquire":
+            yield ev.lock, (_step(index, fqn, ev.lineno, f"acquires {ev.lock.render()}"),)
+
+    def seed_block(fqn: str, ev: _Event):
+        if ev.kind == "block":
+            yield ev.desc, (_step(index, fqn, ev.lineno, f"blocks in {ev.desc}"),)
+
+    may_acquire = _closure(index, events, seed_acquire)
+    may_block = _closure(index, events, seed_block)
+
+    edges: Dict[Tuple[LockId, LockId], Tuple[str, ...]] = {}
+    rpl016: List[Tuple[str, int, LockId, str, Tuple[str, ...]]] = []
+    self_deadlocks: List[Tuple[str, int, LockId, Tuple[str, ...]]] = []
+
+    def add_edge(
+        outer: LockId,
+        inner: LockId,
+        path: Tuple[str, ...],
+        fqn: str,
+        lineno: int,
+    ) -> None:
+        if outer == inner:
+            if not outer.reentrant:
+                module_path = index.modules[index.functions[fqn].module].path
+                self_deadlocks.append((module_path, lineno, outer, path))
+            return
+        edges.setdefault((outer, inner), path)
+
+    for fqn, evs in events.items():
+        module_path = index.modules[index.functions[fqn].module].path
+        for ev in evs:
+            if not ev.held:
+                continue
+            if ev.kind == "acquire":
+                for outer, at in ev.held:
+                    path = (
+                        _step(index, fqn, at, f"acquires {outer.render()}"),
+                        _step(index, fqn, ev.lineno, f"acquires {ev.lock.render()}"),
+                    )
+                    add_edge(outer, ev.lock, path, fqn, ev.lineno)
+            elif ev.kind == "block":
+                for outer, at in ev.held:
+                    rpl016.append(
+                        (
+                            module_path,
+                            ev.lineno,
+                            outer,
+                            ev.desc,
+                            (
+                                _step(index, fqn, at, f"acquires {outer.render()}"),
+                                _step(index, fqn, ev.lineno, f"blocks in {ev.desc}"),
+                            ),
+                        )
+                    )
+            elif ev.kind == "call" and ev.callee in may_acquire:
+                hop = _step(
+                    index, fqn, ev.lineno, f"calls {ev.callee.rsplit('.', 1)[-1]}"
+                )
+                for outer, at in ev.held:
+                    prefix = (
+                        _step(index, fqn, at, f"acquires {outer.render()}"),
+                        hop,
+                    )
+                    for inner, path in may_acquire[ev.callee].items():
+                        add_edge(outer, inner, prefix + path, fqn, ev.lineno)
+                    for desc, path in may_block[ev.callee].items():
+                        rpl016.append(
+                            (module_path, ev.lineno, outer, desc, prefix + path)
+                        )
+    return edges, rpl016, self_deadlocks
+
+
+def _find_cycles(
+    edges: Dict[Tuple[LockId, LockId], Tuple[str, ...]]
+) -> List[List[LockId]]:
+    """Elementary cycles in the lock graph (each reported once)."""
+    adjacency: Dict[LockId, List[LockId]] = {}
+    for outer, inner in edges:
+        adjacency.setdefault(outer, []).append(inner)
+        adjacency.setdefault(inner, [])
+    cycles: List[List[LockId]] = []
+    seen: Set[Tuple[LockId, ...]] = set()
+
+    def dfs(start: LockId, node: LockId, path: List[LockId]) -> None:
+        for nxt in adjacency[node]:
+            if nxt == start and len(path) > 1:
+                best = min(range(len(path)), key=lambda i: path[i].render())
+                canon = tuple(path[best:] + path[:best])
+                if canon not in seen:
+                    seen.add(canon)
+                    cycles.append(list(canon))
+            elif nxt not in path and nxt.render() > start.render():
+                # Only explore nodes "above" the start to canonicalize.
+                path.append(nxt)
+                dfs(start, nxt, path)
+                path.pop()
+
+    for node in sorted(adjacency, key=LockId.render):
+        dfs(node, node, [node])
+    return cycles
+
+
+def _anchor(path: Tuple[str, ...]) -> Tuple[str, int]:
+    """(file, line) of a rendered acquisition step."""
+    head = path[0]
+    location = head.split(" ", 1)[0]
+    file_part, _, line_part = location.rpartition(":")
+    try:
+        return file_part, int(line_part)
+    except ValueError:
+        return location, 0
+
+
+def _cached_lock_graph(context: ProgramContext):
+    """RPL013 and RPL016 share one graph build per program pass."""
+    cached = getattr(context, "_lock_graph", None)
+    if cached is None:
+        cached = lock_graph(context.index)
+        context._lock_graph = cached
+    return cached
+
+
+@program_rule(
+    "RPL013",
+    "lock-order-cycle",
+    "cross-module lock acquisition cycles (potential deadlocks)",
+)
+def rpl013_lock_order_cycle(context: ProgramContext) -> List[Finding]:
+    edges, _, self_deadlocks = _cached_lock_graph(context)
+    findings: List[Finding] = []
+    for module_path, lineno, lock, path in self_deadlocks:
+        findings.append(
+            Finding(
+                code="RPL013",
+                rule="lock-order-cycle",
+                path=module_path,
+                line=lineno,
+                message=(
+                    f"non-reentrant {lock.render()} may be re-acquired while "
+                    f"held (self-deadlock): " + " -> ".join(path)
+                ),
+            )
+        )
+    for cycle in _find_cycles(edges):
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        paths = []
+        for outer, inner in pairs:
+            path = edges[(outer, inner)]
+            paths.append(
+                f"{outer.render()} -> {inner.render()} via: " + " | ".join(path)
+            )
+        anchor_file, anchor_line = _anchor(edges[pairs[0]])
+        order = " -> ".join(lock.render() for lock in cycle + [cycle[0]])
+        findings.append(
+            Finding(
+                code="RPL013",
+                rule="lock-order-cycle",
+                path=anchor_file,
+                line=anchor_line,
+                message=(
+                    f"lock-order cycle {order}; acquisition paths: "
+                    + " ;; ".join(paths)
+                ),
+            )
+        )
+    return findings
+
+
+@program_rule(
+    "RPL016",
+    "blocking-call-under-lock",
+    "socket/pipe/sleep blocking primitives invoked while holding a lock",
+)
+def rpl016_blocking_under_lock(context: ProgramContext) -> List[Finding]:
+    _, blockers, _ = _cached_lock_graph(context)
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, LockId, str]] = set()
+    for module_path, lineno, lock, desc, path in blockers:
+        key = (module_path, lineno, lock, desc)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(
+            Finding(
+                code="RPL016",
+                rule="blocking-call-under-lock",
+                path=module_path,
+                line=lineno,
+                message=(
+                    f"{desc} while holding {lock.render()} can stall every "
+                    f"thread contending for it (heartbeat/pump paths "
+                    f"included): " + " -> ".join(path)
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,165 @@
+"""Whole-program analysis driver: RPL013–RPL016 over the call graph.
+
+Where :mod:`repro.analysis.engine` runs per-file rules over one module
+at a time, this driver parses *every* module into one
+:class:`~repro.analysis.callgraph.ProgramIndex` and runs interprocedural
+rules that need the cross-module view:
+
+* **RPL013** lock-order-cycle — global lock-acquisition graph, cycles
+  reported with full acquisition paths (:mod:`repro.analysis.lockflow`);
+* **RPL014** rng-provenance — every RNG in distributed code traced back
+  to a sanctioned root (:mod:`repro.analysis.rngflow`);
+* **RPL015** fork-reachability — RPL011 extended to the transitive
+  closure of the worker entrypoints (:mod:`repro.analysis.rngflow`);
+* **RPL016** blocking-call-under-lock — socket/pipe/sleep blocking while
+  holding a lock (:mod:`repro.analysis.lockflow`).
+
+Suppressions use the same ``# reprolint: disable=RPLxxx`` comments as
+the per-file engine, applied against the file the finding points into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .callgraph import ProgramIndex, build_program_index
+from .engine import DEFAULT_EXCLUDED_DIRS, iter_python_files, parse_suppressions
+from .findings import Finding
+
+__all__ = [
+    "PROGRAM_RULES",
+    "ProgramContext",
+    "ProgramRule",
+    "analyze_files",
+    "analyze_program",
+    "program_rule",
+    "program_rule_table",
+]
+
+
+class ProgramContext:
+    """Everything a whole-program rule gets to look at."""
+
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+
+    def path_of(self, module: str) -> str:
+        info = self.index.modules.get(module)
+        return info.path if info is not None else ""
+
+    def is_test_module(self, module: str) -> bool:
+        path = self.path_of(module).replace("\\", "/")
+        name = path.rsplit("/", 1)[-1]
+        if "fixtures" in path.split("/"):
+            # Fixture corpora simulate product code and must stay in
+            # scope even though they live under tests/.
+            return False
+        return (
+            "/tests/" in path
+            or path.startswith("tests/")
+            or name.startswith("test_")
+            or name.endswith("_test.py")
+        )
+
+
+@dataclass(frozen=True)
+class ProgramRule:
+    """One registered whole-program rule."""
+
+    code: str
+    name: str
+    description: str
+    check: Callable[[ProgramContext], List[Finding]]
+
+    def run(self, context: ProgramContext) -> List[Finding]:
+        return list(self.check(context))
+
+
+PROGRAM_RULES: Dict[str, ProgramRule] = {}
+
+
+def program_rule(code: str, name: str, description: str):
+    """Register a whole-program rule (same idiom as ``@rule`` in rules.py)."""
+
+    def decorate(func: Callable[[ProgramContext], List[Finding]]):
+        if code in PROGRAM_RULES:
+            raise ValueError(f"duplicate program rule code {code}")
+        PROGRAM_RULES[code] = ProgramRule(
+            code=code, name=name, description=description, check=func
+        )
+        return func
+
+    return decorate
+
+
+def program_rule_table() -> List[Tuple[str, str, str]]:
+    """(code, name, description) rows for ``--list-rules``."""
+    return [
+        (rule.code, rule.name, rule.description)
+        for rule in sorted(PROGRAM_RULES.values(), key=lambda r: r.code)
+    ]
+
+
+def _selected(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[str]:
+    codes = sorted(PROGRAM_RULES)
+    if select is not None:
+        wanted = {c.upper() for c in select}
+        codes = [c for c in codes if c in wanted]
+    if ignore is not None:
+        dropped = {c.upper() for c in ignore}
+        codes = [c for c in codes if c not in dropped]
+    return codes
+
+
+def analyze_files(
+    files: Sequence[Tuple[str, str]],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the program rules over ``(path, source)`` pairs.
+
+    Unknown codes in ``select``/``ignore`` are *not* an error here — the
+    CLI validates against the combined per-file + program registries and
+    each engine simply skips codes it does not own.
+    """
+    codes = _selected(select, ignore)
+    if not codes:
+        return []
+    index = build_program_index(files)
+    context = ProgramContext(index)
+    suppressions = {
+        info.path: parse_suppressions(info.source)
+        for info in index.modules.values()
+    }
+    findings: List[Finding] = []
+    for code in codes:
+        for finding in PROGRAM_RULES[code].run(context):
+            if finding.code in suppressions.get(finding.path, {}).get(
+                finding.line, ()
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def analyze_program(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    excluded_dirs: Sequence[str] = DEFAULT_EXCLUDED_DIRS,
+) -> List[Finding]:
+    """Discover files under ``paths`` and run the whole-program pass."""
+    files: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths, excluded_dirs=excluded_dirs):
+        with open(path, "r", encoding="utf-8") as handle:
+            files.append((path, handle.read()))
+    return analyze_files(files, select=select, ignore=ignore)
+
+
+# Importing the rule modules registers RPL013–RPL016.
+from . import lockflow as _lockflow  # noqa: E402,F401
+from . import rngflow as _rngflow  # noqa: E402,F401

@@ -1,0 +1,491 @@
+"""RNG provenance (RPL014) and fork-reachability (RPL015) rules.
+
+**RPL014** — every ``np.random.default_rng`` / ``Generator`` construction
+in distributed code must derive its seed from a sanctioned root: a
+function parameter (which includes ``self`` — the chief's mirrors and
+``WorkerSpec`` fields arrive that way) or a ``SeedSequence`` chain rooted
+in one.  A constant seed is allowed only for the *seed-then-restore*
+idiom (``rng = default_rng(0); rng.bit_generator.state = <param>``, how
+``serve_employee`` adopts the chief's authoritative state); anything
+seeded from a module global, or left unseeded, is an unsanctioned origin
+that can desynchronise the bitwise-equivalence contract.  Restoring
+``bit_generator.state`` from a constant or module global is flagged for
+the same reason.
+
+**RPL015** — RPL011 checked the worker entrypoint function itself; this
+rule extends the checks over everything *transitively reachable* from
+``_employee_worker_main`` / ``run_remote_worker`` in the call graph:
+
+* no ``global`` rebinding or writes through in-program module attributes
+  (forked state must flow through ``WorkerSpec``, not module globals);
+* no acquisition of module-level locks (a lock inherited through
+  ``fork`` may be held forever by a thread that does not exist in the
+  child);
+* no thread spawns before the fork-side re-init call (functions named
+  ``*reset_after_fork*`` *are* the sanctioned re-init and are exempt
+  from the write checks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import (
+    FunctionInfo,
+    ProgramIndex,
+    _FunctionScope,
+    _dotted,
+)
+from .findings import Finding
+from .lockflow import _resolve_lock
+from .program import ProgramContext, program_rule
+
+__all__ = ["fork_reachable", "seed_taint"]
+
+# Modules whose functions are in RPL014 scope (plus anything the worker
+# entrypoints reach).
+_DISTRIBUTED_PREFIXES = ("repro.distributed",)
+
+# Worker entrypoints: the roots of the fork-reachable closure.
+_ENTRYPOINT_NAMES = ("_employee_worker_main", "run_remote_worker")
+
+# Functions that ARE the sanctioned fork-side re-initialisation.
+_REINIT_MARKER = "reset_after_fork"
+
+# Taint lattice values for seed expressions.
+PARAM = "param"  # derived from a parameter/self/closure of params
+CONST = "const"  # a pure literal
+GLOBAL = "global"  # touches a module-level variable
+UNSEEDED = "unseeded"
+
+
+def _rng_call_kind(scope: _FunctionScope, call: ast.Call) -> Optional[str]:
+    """"default_rng" / "Generator" when the call constructs an RNG."""
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail == "default_rng":
+        return "default_rng"
+    if tail == "Generator" and (
+        "random" in dotted or dotted == "Generator"
+    ):
+        return "Generator"
+    return None
+
+
+def seed_taint(
+    scope: _FunctionScope,
+    expr: Optional[ast.AST],
+    local_taint: Dict[str, Set[str]],
+) -> Set[str]:
+    """Taint categories of a seed expression.
+
+    Leaves: parameters/locals derived from them -> PARAM, literals ->
+    CONST, module-level names -> GLOBAL.  A call's result carries the
+    union of its receiver-root and argument taints (``spec.x``,
+    ``master.spawn(n)``, ``payload["rng_state"]`` all stay PARAM when
+    their roots are parameters).
+    """
+    if expr is None:
+        return {UNSEEDED}
+    taints: Set[str] = set()
+    for leaf in ast.walk(expr):
+        if isinstance(leaf, ast.Name) and isinstance(leaf.ctx, ast.Load):
+            name = leaf.id
+            if name in local_taint:
+                taints |= local_taint[name]
+            elif name in scope.info.imports or name in scope.info.functions:
+                continue  # imported module / function reference, not state
+            elif name in scope.info.module_globals:
+                if name.isupper() or name.startswith("_" ) and name[1:].isupper():
+                    continue  # module constants are as good as literals
+                taints.add(GLOBAL)
+            # Unknown bare names (builtins, comprehension internals
+            # already seeded into local_taint) contribute nothing.
+    if taints:
+        return taints
+    # No name contributed: a pure literal is CONST (the seed-then-restore
+    # gate applies); an opaque expression (e.g. a call on builtins) is
+    # treated as sanctioned rather than risk false positives.
+    literal = not any(
+        isinstance(n, (ast.Name, ast.Call)) for n in ast.walk(expr)
+    )
+    return {CONST} if literal else {PARAM}
+
+
+def _function_taint(scope: _FunctionScope) -> Dict[str, Set[str]]:
+    """Forward pass binding local names to taint sets."""
+    local: Dict[str, Set[str]] = {}
+    args = scope.fn.node.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        local[arg.arg] = {PARAM}
+
+    def bind_target(target: ast.AST, taint: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            local[target.id] = set(taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt, taint)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value, taint)
+
+    # Two passes absorb simple use-before-def ordering in loops.
+    for _ in range(2):
+        for node in ast.walk(scope.fn.node):
+            if isinstance(node, ast.Assign):
+                taint = seed_taint(scope, node.value, local)
+                for target in node.targets:
+                    bind_target(target, taint)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                bind_target(
+                    node.target, seed_taint(scope, node.value, local)
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                bind_target(node.target, seed_taint(scope, node.iter, local))
+            elif isinstance(node, ast.comprehension):
+                bind_target(node.target, seed_taint(scope, node.iter, local))
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                bind_target(
+                    node.optional_vars,
+                    seed_taint(scope, node.context_expr, local),
+                )
+    return local
+
+
+def _state_restores(fn_node: ast.AST) -> List[Tuple[str, ast.AST, int]]:
+    """``<var>.bit_generator.state = <expr>`` assignments in a function."""
+    restores: List[Tuple[str, ast.AST, int]] = []
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "state"
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "bit_generator"
+        ):
+            root = target.value.value
+            name = root.id if isinstance(root, ast.Name) else (_dotted(root) or "")
+            restores.append((name, node.value, node.lineno))
+    return restores
+
+
+def _in_rpl014_scope(
+    context: ProgramContext, fn: FunctionInfo, reachable: Set[str]
+) -> bool:
+    if context.is_test_module(fn.module):
+        return False
+    if fn.fqn in reachable:
+        return True
+    return fn.module.startswith(_DISTRIBUTED_PREFIXES)
+
+
+@program_rule(
+    "RPL014",
+    "rng-provenance",
+    "distributed-code RNGs must derive from chief mirrors / WorkerSpec seeds",
+)
+def rpl014_rng_provenance(context: ProgramContext) -> List[Finding]:
+    index = context.index
+    reachable = set(fork_reachable(index))
+    findings: List[Finding] = []
+    for fn in index.functions.values():
+        if not _in_rpl014_scope(context, fn, reachable):
+            continue
+        info = index.modules[fn.module]
+        scope = _FunctionScope(index, info, fn)
+        local_taint = _function_taint(scope)
+        restores = _state_restores(fn.node)
+        # Map rng-typed locals to their seeding call for the
+        # seed-then-restore idiom.
+        const_seeded: Dict[str, int] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                kind = _rng_call_kind(scope, node.value)
+                if kind and len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    const_seeded[node.targets[0].id] = node.value.lineno
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _rng_call_kind(scope, node)
+            if kind is None:
+                continue
+            seed_expr = node.args[0] if node.args else None
+            if seed_expr is None and node.keywords:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "bit_generator"):
+                        seed_expr = kw.value
+                        break
+            taints = seed_taint(scope, seed_expr, local_taint)
+            if GLOBAL in taints:
+                findings.append(
+                    Finding(
+                        code="RPL014",
+                        rule="rng-provenance",
+                        path=info.path,
+                        line=node.lineno,
+                        message=(
+                            f"`{kind}` seeded from a module-level variable: "
+                            "worker RNGs must derive from the chief's "
+                            "mirrors, WorkerSpec seeds, or parameters"
+                        ),
+                    )
+                )
+                continue
+            if UNSEEDED in taints:
+                findings.append(
+                    Finding(
+                        code="RPL014",
+                        rule="rng-provenance",
+                        path=info.path,
+                        line=node.lineno,
+                        message=(
+                            f"unseeded `{kind}` in distributed code draws "
+                            "OS entropy and breaks bitwise reproducibility"
+                        ),
+                    )
+                )
+                continue
+            if taints == {CONST}:
+                # Allowed only as seed-then-restore: the bound name must
+                # have its bit_generator.state restored from a
+                # parameter-derived value in this function.
+                bound = None
+                for name, lineno in const_seeded.items():
+                    if lineno == node.lineno:
+                        bound = name
+                        break
+                restored = any(
+                    name == bound
+                    and seed_taint(scope, value, local_taint) <= {PARAM}
+                    for name, value, _ in restores
+                )
+                if not restored:
+                    findings.append(
+                        Finding(
+                            code="RPL014",
+                            rule="rng-provenance",
+                            path=info.path,
+                            line=node.lineno,
+                            message=(
+                                f"constant-seeded `{kind}` without a "
+                                "parameter-derived bit_generator.state "
+                                "restore: a fixed seed in distributed code "
+                                "silently decouples from the chief mirrors"
+                            ),
+                        )
+                    )
+        for name, value, lineno in restores:
+            taints = seed_taint(scope, value, local_taint)
+            if GLOBAL in taints or taints == {CONST}:
+                origin = (
+                    "a module-level variable" if GLOBAL in taints else "a constant"
+                )
+                findings.append(
+                    Finding(
+                        code="RPL014",
+                        rule="rng-provenance",
+                        path=info.path,
+                        line=lineno,
+                        message=(
+                            f"bit_generator.state restored from {origin}; "
+                            "authoritative RNG state must flow in through "
+                            "parameters (chief mirrors / WorkerSpec)"
+                        ),
+                    )
+                )
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPL015 — fork-reachability
+# ----------------------------------------------------------------------
+
+
+def fork_reachable(index: ProgramIndex) -> Dict[str, Tuple[str, ...]]:
+    """FQN -> call path for everything the worker entrypoints reach."""
+    roots = [
+        fqn
+        for fqn, fn in index.functions.items()
+        if fn.name in _ENTRYPOINT_NAMES
+    ]
+    return index.reachable(roots)
+
+
+def _is_reinit(fqn: str) -> bool:
+    return _REINIT_MARKER in fqn.rsplit(".", 1)[-1]
+
+
+def _module_attr_writes(
+    scope: _FunctionScope,
+) -> List[Tuple[int, str]]:
+    """Writes through an imported in-program module: ``mod.attr = x``."""
+    writes: List[Tuple[int, str]] = []
+    for node in ast.walk(scope.fn.node):
+        targets: Sequence[ast.AST] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = (node.target,)
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            dotted = _dotted(target.value)
+            if dotted is None:
+                continue
+            head = dotted.partition(".")[0]
+            resolved = scope.info.imports.get(head)
+            if resolved and resolved in scope.index.modules:
+                writes.append((node.lineno, f"{dotted}.{target.attr}"))
+    return writes
+
+
+@program_rule(
+    "RPL015",
+    "fork-reachability",
+    "fork-side invariants over the worker entrypoints' transitive closure",
+)
+def rpl015_fork_reachability(context: ProgramContext) -> List[Finding]:
+    index = context.index
+    reachable = fork_reachable(index)
+    findings: List[Finding] = []
+    for fqn, call_path in sorted(reachable.items()):
+        fn = index.functions[fqn]
+        if _is_reinit(fqn):
+            continue
+        info = index.modules[fn.module]
+        scope = _FunctionScope(index, info, fn)
+        via = " -> ".join(p.rsplit(".", 1)[-1] for p in call_path)
+        # (a) ``global`` rebinding in fork-reachable code.
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                findings.append(
+                    Finding(
+                        code="RPL015",
+                        rule="fork-reachability",
+                        path=info.path,
+                        line=node.lineno,
+                        message=(
+                            f"`global {', '.join(node.names)}` in fork-"
+                            f"reachable code (via {via}): forked workers "
+                            "must receive state through WorkerSpec, not "
+                            "rebind module globals"
+                        ),
+                    )
+                )
+        # (b) writes through in-program module attributes.
+        for lineno, target in _module_attr_writes(scope):
+            findings.append(
+                Finding(
+                    code="RPL015",
+                    rule="fork-reachability",
+                    path=info.path,
+                    line=lineno,
+                    message=(
+                        f"write to module attribute `{target}` in fork-"
+                        f"reachable code (via {via}): mutable module state "
+                        "diverges between chief and forked workers"
+                    ),
+                )
+            )
+        # (c) module-level lock acquisition (inherited across fork).
+        for node in ast.walk(fn.node):
+            expr: Optional[ast.AST] = None
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    lock = _resolve_lock(scope, item.context_expr)
+                    if lock is not None and lock.owner in index.modules:
+                        findings.append(
+                            Finding(
+                                code="RPL015",
+                                rule="fork-reachability",
+                                path=info.path,
+                                line=node.lineno,
+                                message=(
+                                    f"module-level lock `{lock.render()}` "
+                                    f"acquired in fork-reachable code (via "
+                                    f"{via}): a lock inherited through fork "
+                                    "may be held by a thread that no longer "
+                                    "exists"
+                                ),
+                            )
+                        )
+    # (d) thread spawns before the fork-side re-init: walk each
+    # entrypoint's body in order; calls before the first *reset_after_
+    # fork* call must not (transitively) construct threads.
+    for fqn in sorted(reachable):
+        fn = index.functions[fqn]
+        # Only *fork* entrypoints need a re-init-before-threads check;
+        # run_remote_worker starts in a fresh process with nothing
+        # inherited, so its endpoint may spawn its heartbeat immediately.
+        if not fn.name.endswith("_worker_main"):
+            continue
+        info = index.modules[fn.module]
+        scope = _FunctionScope(index, info, fn)
+        pre_reinit: List[str] = []
+        reinit_seen = False
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            targets = scope.resolve_call(node)
+            if any(_is_reinit(t.fqn) for t in targets):
+                reinit_seen = True
+                reinit_line = node.lineno
+                break
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if reinit_seen and node.lineno >= reinit_line:
+                continue
+            spawn_line = _spawns_thread(index, scope, node, depth=3)
+            if spawn_line is not None:
+                findings.append(
+                    Finding(
+                        code="RPL015",
+                        rule="fork-reachability",
+                        path=info.path,
+                        line=node.lineno,
+                        message=(
+                            "thread spawned before the fork-side re-init "
+                            f"(reset_after_fork) in `{fn.name}`: inherited "
+                            "lock/trace state is still live at this point"
+                        ),
+                    )
+                )
+    unique = {f.sort_key(): f for f in findings}
+    return sorted(unique.values(), key=Finding.sort_key)
+
+
+def _spawns_thread(
+    index: ProgramIndex, scope: _FunctionScope, call: ast.Call, depth: int
+) -> Optional[int]:
+    """Does this call (transitively, to ``depth``) construct a Thread?"""
+    dotted = _dotted(call.func)
+    if dotted:
+        head, _, rest = dotted.partition(".")
+        target = scope.info.imports.get(head)
+        full = f"{target}.{rest}" if (target and rest) else (target or dotted)
+        if full == "threading.Thread" or dotted == "threading.Thread":
+            return call.lineno
+    if depth <= 0:
+        return None
+    for callee in scope.resolve_call(call):
+        sub_scope = _FunctionScope(index, index.modules[callee.module], callee)
+        for node in ast.walk(callee.node):
+            if isinstance(node, ast.Call):
+                hit = _spawns_thread(index, sub_scope, node, depth - 1)
+                if hit is not None:
+                    return hit
+    return None

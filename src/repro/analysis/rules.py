@@ -29,8 +29,9 @@ RPL006    no-wall-clock           no ``time.sleep``/wall-clock in deterministic
 RPL007    no-swallowed-exception  no bare ``except:`` / silent ``except: pass``
 RPL008    no-module-seed          test files seed via fixtures, not at import
 RPL009    no-bare-print           library code reports via ``repro.obs`` logging
-                                  / metrics, not ``print()`` (CLI + reporting
-                                  entry points whitelisted)
+                                  / metrics, not ``print()`` (CLI, reporting
+                                  entry points, examples/ and benchmarks/
+                                  whitelisted — stdout is their interface)
 RPL010    no-percall-index-alloc  ``repro.nn`` hot ops must not build index
                                   arrays (``np.arange``/``np.repeat``/
                                   ``np.tile``) or scatter with ``np.add.at``
@@ -47,6 +48,13 @@ RPL012    no-raw-socket-io        socket construction and ``send``/``recv``
                                   else they bypass framing, CRC checks,
                                   heartbeats and chaos injection
 ========  ======================  ==============================================
+
+Whole-program rules (RPL013 lock-order-cycle, RPL014 rng-provenance,
+RPL015 fork-reachability, RPL016 blocking-call-under-lock) live in
+:mod:`repro.analysis.lockflow` / :mod:`repro.analysis.rngflow` and run
+over the cross-module call graph via ``python -m repro lint --program``;
+their runtime counterparts SAN004/SAN005 are
+:mod:`repro.analysis.lockwatch`.
 """
 
 from __future__ import annotations
@@ -594,6 +602,9 @@ _RPL006_WHITELIST = {
     # Tracing records wall-clock span timestamps by design; spans never feed
     # back into the training computation, so determinism is unaffected.
     "repro/obs/": {"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns"},
+    # The lock-order sanitizer measures hold durations (SAN005) with the
+    # monotonic clock; its bookkeeping never touches numeric state.
+    "repro/analysis/lockwatch.py": {"time.monotonic", "time.monotonic_ns"},
 }
 
 
@@ -719,6 +730,10 @@ _RPL009_WHITELIST = (
     "__main__.py",
     "repro/analysis/cli.py",
     "repro/analysis/reporters.py",
+    # Example scripts and benchmark drivers are terminal programs: their
+    # printed tables/summaries ARE the interface, exactly like the CLI.
+    "examples/",
+    "benchmarks/",
 )
 
 

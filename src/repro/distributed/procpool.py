@@ -98,6 +98,7 @@ from ..agents.policy import GradientPack
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
 from ..obs.trace import record_span
+from ..analysis.lockwatch import reset_after_fork as _lockwatch_reset_after_fork
 from ..obs.trace import reset_after_fork as _trace_reset_after_fork
 from .faults import EXPLORE_ROUND, FaultInjector, FaultPlan, InjectedCrash
 from .transport import (
@@ -245,6 +246,7 @@ def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
 def _employee_worker_main(spec: WorkerSpec, conn) -> None:
     """Forked worker-process entrypoint (see :class:`WorkerSpec`)."""
     _trace_reset_after_fork()
+    _lockwatch_reset_after_fork()
     endpoint = build_worker_endpoint(spec.endpoint, conn)
     serve_employee(spec, endpoint)
 

@@ -63,11 +63,11 @@ Deterministic fault injection (for tests and chaos drills) is wired via
 from __future__ import annotations
 
 import math
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from threading import Lock
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -558,8 +558,11 @@ class _Employee:
         self.rollout = None
         # Serializes this employee's work so an abandoned (timed-out) task
         # can never race a retry or the next episode's sync on the shared
-        # agent / env / rng state.
-        self.lock = Lock()
+        # agent / env / rng state.  Allocated through the module attribute
+        # (not a from-import) so `repro.analysis.lockwatch` can instrument
+        # it: the factory is resolved at construction time, after a
+        # lockwatch enable() has patched it.
+        self.lock = threading.Lock()
 
     def sync(self, global_agent) -> None:
         with self.lock:

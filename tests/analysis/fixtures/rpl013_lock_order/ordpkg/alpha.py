@@ -1,0 +1,9 @@
+"""Thread 1's path: takes lock_a, then lock_b while still holding it."""
+
+from .locks import lock_a, lock_b
+
+
+def forward(payload):
+    with lock_a:
+        with lock_b:
+            return payload

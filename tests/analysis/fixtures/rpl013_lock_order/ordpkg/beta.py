@@ -1,0 +1,9 @@
+"""Thread 2's path: takes lock_b first, then lock_a — the inversion."""
+
+from .locks import lock_a, lock_b
+
+
+def backward(payload):
+    with lock_b:
+        with lock_a:
+            return payload

@@ -1,0 +1,6 @@
+"""Known-bad fixture: the two locks the sibling modules fight over."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()

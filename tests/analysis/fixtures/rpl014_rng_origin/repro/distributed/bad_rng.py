@@ -1,0 +1,33 @@
+"""Known-bad fixture: every unsanctioned RNG origin RPL014 patrols.
+
+The package chain makes this module ``repro.distributed.bad_rng`` so it
+falls inside the rule's distributed-code scope.
+"""
+
+import numpy as np
+
+base_seed = 1234  # lowercase module global: not a sanctioned seed root
+
+
+def make_global_rng():
+    # 1: seeded from a module-level variable.
+    return np.random.default_rng(base_seed)
+
+
+def make_unseeded_rng():
+    # 2: unseeded — draws OS entropy.
+    return np.random.default_rng()
+
+
+def make_fixed_rng():
+    # 3: constant seed with no parameter-derived state restore.
+    rng = np.random.default_rng(42)
+    return rng
+
+
+def adopt_baked_state(spec):
+    # The construction itself is fine (parameter-derived seed) ...
+    rng = np.random.default_rng(spec.seed)
+    # 4: ... but restoring bit_generator.state from a constant is not.
+    rng.bit_generator.state = {"state": 7}
+    return rng

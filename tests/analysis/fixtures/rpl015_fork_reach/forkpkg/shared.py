@@ -1,0 +1,3 @@
+"""Sibling module whose attribute the bad worker scribbles on."""
+
+last_seed = None

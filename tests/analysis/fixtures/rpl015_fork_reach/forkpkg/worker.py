@@ -1,0 +1,32 @@
+"""Known-bad fixture: fork-side invariants broken in the transitive
+closure of a worker entrypoint (not just the entrypoint body itself).
+"""
+
+import threading
+
+from . import shared
+
+_mod_lock = threading.Lock()
+_counter = 0
+
+
+def _employee_worker_main(spec, conn):
+    # 1: thread spawned before any fork-side re-init call.
+    pump = threading.Thread(target=_guarded, args=(conn,))
+    pump.start()
+    _bump()
+    _guarded(conn)
+
+
+def _bump():
+    # 2: `global` rebinding in fork-reachable code.
+    global _counter
+    _counter += 1
+    # 3: write through an in-program module attribute.
+    shared.last_seed = _counter
+
+
+def _guarded(conn):
+    # 4: module-level lock acquisition — inherited across fork.
+    with _mod_lock:
+        conn.send(1)

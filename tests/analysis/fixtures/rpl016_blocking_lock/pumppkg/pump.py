@@ -1,0 +1,30 @@
+"""Known-bad fixture: blocking primitives invoked while holding a lock,
+both directly and through a callee (the interprocedural case).
+"""
+
+import threading
+import time
+
+
+class FramePump:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._conn = conn
+
+    def read_frame(self):
+        with self._lock:
+            # 1: pipe/socket recv under the lock.
+            header = self._conn.recv(4)
+            # 2: sleep under the lock.
+            time.sleep(0.01)
+            return header
+
+    def drain(self):
+        with self._lock:
+            # 3: the callee blocks in poll(timeout) — found through the
+            # may_block closure, not a direct scan of this body.
+            self._wait_for_data()
+
+    def _wait_for_data(self):
+        while not self._conn.poll(1.0):
+            pass

@@ -1,0 +1,181 @@
+"""Call-graph builder tests on adversarial import/dispatch shapes.
+
+Each test builds a tiny in-memory program and asserts the *exact* set of
+resolved edges — the substrate the RPL013–016 rules stand on.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import build_program_index, module_name_for_path
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def edges_of(index, fqn):
+    """Sorted unique callee FQNs resolved out of one function."""
+    return sorted({site.callee for site in index.edges.get(fqn, ())})
+
+
+UTIL = """
+def timed(fn):
+    return fn
+
+@timed
+def helper():
+    return 1
+
+def extra():
+    return 2
+
+handler = helper
+"""
+
+
+def build_main(body):
+    return build_program_index(
+        [("proj/util.py", UTIL), ("proj/main.py", body)]
+    )
+
+
+class TestImportShapes:
+    def test_from_import_with_alias(self):
+        index = build_main(
+            "from util import helper as h\n"
+            "def caller():\n"
+            "    return h()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.helper"]
+
+    def test_star_import(self):
+        index = build_main(
+            "from util import *\n"
+            "def caller():\n"
+            "    return extra()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.extra"]
+
+    def test_module_qualified_call(self):
+        index = build_main(
+            "import util\n"
+            "def caller():\n"
+            "    return util.helper()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.helper"]
+
+    def test_module_import_alias(self):
+        index = build_main(
+            "import util as u\n"
+            "def caller():\n"
+            "    return u.extra()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.extra"]
+
+
+class TestFunctionAliases:
+    def test_module_level_assignment(self):
+        """``handler = helper`` resolves through the alias table even when
+        reached as a module attribute."""
+        index = build_main(
+            "import util\n"
+            "def caller():\n"
+            "    return util.handler()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.helper"]
+
+    def test_function_assigned_to_local_variable(self):
+        index = build_main(
+            "from util import helper as h\n"
+            "def caller():\n"
+            "    fn = h\n"
+            "    return fn()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.helper"]
+
+    def test_decorated_function_still_resolves(self):
+        """``@timed`` does not hide ``helper`` from the index."""
+        index = build_main(
+            "from util import helper\n"
+            "def caller():\n"
+            "    return helper()\n"
+        )
+        assert edges_of(index, "main.caller") == ["util.helper"]
+        assert index.functions["util.helper"].decorators == ("timed",)
+
+
+DISPATCH = """
+class Base:
+    def run(self):
+        return self.step()
+
+    def step(self):
+        return 0
+
+
+class Child(Base):
+    def step(self):
+        return 1
+
+
+class GrandChild(Child):
+    pass
+
+
+def on_base():
+    b = Base()
+    return b.run()
+
+
+def on_child():
+    c = Child()
+    return c.step()
+"""
+
+
+class TestDispatch:
+    @pytest.fixture()
+    def index(self):
+        return build_program_index([("proj/main.py", DISPATCH)])
+
+    def test_self_call_fans_out_to_overrides(self, index):
+        """``self.step()`` inside Base.run may land on any override: a
+        base method runs against subclass selves too."""
+        assert edges_of(index, "main.Base.run") == [
+            "main.Base.step",
+            "main.Child.step",
+        ]
+
+    def test_constructor_typed_local(self, index):
+        assert edges_of(index, "main.on_base") == ["main.Base.run"]
+
+    def test_child_method_resolves_to_override(self, index):
+        assert edges_of(index, "main.on_child") == ["main.Child.step"]
+
+    def test_inherited_method_resolves_through_mro(self, index):
+        """GrandChild inherits step from Child via the in-program MRO."""
+        target = index.mro_method("main.GrandChild", "step")
+        assert target is not None and target.fqn == "main.Child.step"
+
+
+class TestReachability:
+    def test_bfs_paths_cross_modules(self):
+        index = build_main(
+            "from util import helper\n"
+            "def outer():\n"
+            "    return inner()\n"
+            "def inner():\n"
+            "    return helper()\n"
+        )
+        paths = index.reachable(["main.outer"])
+        assert set(paths) == {"main.outer", "main.inner", "util.helper"}
+        assert paths["util.helper"] == ("main.outer", "main.inner", "util.helper")
+
+
+class TestModuleNaming:
+    def test_real_tree_walks_init_chain(self):
+        path = os.path.join(REPO_ROOT, "src", "repro", "distributed", "trainer.py")
+        assert module_name_for_path(path) == "repro.distributed.trainer"
+
+    def test_bare_file_keeps_stem(self):
+        assert module_name_for_path("somewhere/loose.py") == "loose"

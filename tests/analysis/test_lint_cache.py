@@ -1,0 +1,177 @@
+"""Tests of the incremental lint cache and the lint CLI wiring.
+
+The cache is content-addressed: per-file entries key on one file's
+content, the program entry keys on the digest of the *whole* closure so
+an edit to any import-graph dependency invalidates the interprocedural
+findings (conservative superset of true dependency tracking).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import LintCache, lint_file
+from repro.analysis import cache as cache_mod
+from repro.analysis.cli import main as lint_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+RED_FIXTURE = os.path.join(FIXTURES, "rpl001_global_rng.py")
+
+
+class TestFileCache:
+    def test_second_lint_is_a_hit_with_identical_findings(self, tmp_path):
+        cache = LintCache(str(tmp_path / "cache"))
+        cold = lint_file(RED_FIXTURE, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        warm = lint_file(RED_FIXTURE, cache=cache)
+        assert cache.hits == 1
+        assert warm == cold
+
+    def test_content_change_invalidates(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("import numpy as np\nnp.random.seed(0)\n")
+        cache = LintCache(str(tmp_path / "cache"))
+        first = lint_file(str(target), cache=cache)
+        assert [f.code for f in first] == ["RPL001"]
+        target.write_text("x = 1\n")
+        second = lint_file(str(target), cache=cache)
+        assert second == []
+        assert cache.misses == 2
+
+    def test_key_depends_on_rule_selection(self):
+        key_all = LintCache.file_key("a.py", "x = 1\n", ["RPL001", "RPL004"])
+        key_one = LintCache.file_key("a.py", "x = 1\n", ["RPL001"])
+        assert key_all != key_one
+        # Order of codes must not matter.
+        assert key_all == LintCache.file_key("a.py", "x = 1\n", ["RPL004", "RPL001"])
+
+    def test_program_key_changes_when_any_dependency_changes(self):
+        files = [("pkg/a.py", "x = 1\n"), ("pkg/b.py", "y = 2\n")]
+        base = LintCache.program_key(files, ["RPL013"])
+        # Editing either file — even one the finding does not point into —
+        # produces a new key: the whole closure is the dependency set.
+        edited_b = [("pkg/a.py", "x = 1\n"), ("pkg/b.py", "y = 3\n")]
+        assert LintCache.program_key(edited_b, ["RPL013"]) != base
+        # Same content, same key, regardless of iteration order.
+        assert LintCache.program_key(list(reversed(files)), ["RPL013"]) == base
+
+    def test_analyzer_edit_invalidates_every_key(self, monkeypatch):
+        """Editing a *rule* changes findings without changing any analyzed
+        file, so the keys must also cover the analyzer's own source.
+        (Regression: an RPL006 whitelist extension left stale findings
+        for the unchanged target file in a warm cache.)"""
+        file_before = LintCache.file_key("a.py", "x = 1\n", ["RPL001"])
+        program_before = LintCache.program_key([("a.py", "x = 1\n")], ["RPL013"])
+        monkeypatch.setattr(
+            cache_mod, "_analyzer_salt_memo", "different-analyzer-source"
+        )
+        assert LintCache.file_key("a.py", "x = 1\n", ["RPL001"]) != file_before
+        assert (
+            LintCache.program_key([("a.py", "x = 1\n")], ["RPL013"])
+            != program_before
+        )
+
+    def test_read_only_cache_degrades_silently(self, tmp_path):
+        blocked = tmp_path / "file"  # a *file*, so makedirs/open must fail
+        blocked.write_text("")
+        cache = LintCache(str(blocked))
+        findings = lint_file(RED_FIXTURE, cache=cache)
+        assert [f.code for f in findings] == ["RPL001"] * 3
+
+    def test_prune_keeps_newest(self, tmp_path):
+        cache = LintCache(str(tmp_path / "cache"))
+        for i in range(6):
+            cache.put(f"file-{i:02d}", [])
+        assert cache.prune(keep=4) == 2
+        remaining = os.listdir(cache.root)
+        assert len(remaining) == 4
+
+
+class TestCli:
+    def _run(self, argv, capsys):
+        code = lint_main(argv)
+        return code, capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        code, out = self._run([str(target), "--no-cache"], capsys)
+        assert code == 0
+        assert "no findings" in out
+
+    def test_red_fixture_exits_one(self, capsys):
+        code, out = self._run([RED_FIXTURE, "--no-cache"], capsys)
+        assert code == 1
+        assert "RPL001" in out
+
+    def test_unknown_code_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        code, out = self._run([str(target), "--select", "RPL999"], capsys)
+        assert code == 2
+
+    def test_program_codes_accepted_by_select(self, tmp_path, capsys):
+        """RPL013–016 validate against the combined registry."""
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        code, __ = self._run(
+            [str(target), "--no-cache", "--program", "--select", "RPL013"], capsys
+        )
+        assert code == 0
+
+    def test_program_flag_runs_interprocedural_rules(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import threading\n"
+            "import time\n"
+            "guard = threading.Lock()\n"
+            "def pump():\n"
+            "    with guard:\n"
+            "        time.sleep(1)\n"
+        )
+        no_program, __ = self._run(
+            [str(target), "--no-cache", "--select", "RPL016"], capsys
+        )
+        assert no_program == 0  # per-file engine does not own RPL016
+        with_program, out = self._run(
+            [str(target), "--no-cache", "--program", "--select", "RPL016"], capsys
+        )
+        assert with_program == 1
+        assert "RPL016" in out
+
+    def test_cache_warm_run_hits(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        argv = [RED_FIXTURE, "--program", "--cache-dir", str(cache_dir)]
+        code_cold, __ = self._run(argv, capsys)
+        entries_after_cold = set(os.listdir(cache_dir))
+        assert entries_after_cold  # per-file + program entries written
+        code_warm, __ = self._run(argv, capsys)
+        assert code_cold == code_warm == 1
+        assert set(os.listdir(cache_dir)) == entries_after_cold
+
+    def test_no_cache_leaves_no_directory(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._run(
+            [RED_FIXTURE, "--no-cache", "--cache-dir", str(cache_dir)], capsys
+        )
+        assert not cache_dir.exists()
+
+    def test_list_rules_covers_both_registries(self, capsys):
+        code, out = self._run(["--list-rules"], capsys)
+        assert code == 0
+        for rule_code in ("RPL001", "RPL012", "RPL013", "RPL016"):
+            assert rule_code in out
+
+    def test_json_format_round_trips(self, capsys):
+        code, out = self._run([RED_FIXTURE, "--no-cache", "--format", "json"], capsys)
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["summary"] == {"RPL001": 3}
+
+    def test_sarif_flag_is_format_shorthand(self, capsys):
+        __, via_flag = self._run([RED_FIXTURE, "--no-cache", "--sarif"], capsys)
+        __, via_format = self._run(
+            [RED_FIXTURE, "--no-cache", "--format", "sarif"], capsys
+        )
+        assert json.loads(via_flag) == json.loads(via_format)

@@ -1,0 +1,269 @@
+"""Whole-program rule tests: registry, fixture corpus, regressions.
+
+The known-bad fixture packages live under ``tests/analysis/fixtures``;
+each trips exactly its own rule with a known count, and the RPL013 pair
+is the static half of the lock-order regression (the runtime half lives
+in ``test_lockwatch.py``).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    PROGRAM_RULES,
+    analyze_files,
+    analyze_program,
+    program_rule_table,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+# fixture package -> (rule code, expected finding count)
+PROGRAM_FIXTURE_EXPECTATIONS = {
+    "rpl013_lock_order": ("RPL013", 1),
+    "rpl014_rng_origin": ("RPL014", 4),
+    "rpl015_fork_reach": ("RPL015", 4),
+    "rpl016_blocking_lock": ("RPL016", 3),
+}
+
+
+def analyze_fixture(name, **kwargs):
+    return analyze_program(
+        [os.path.join(FIXTURES, name)],
+        excluded_dirs=("__pycache__",),
+        **kwargs,
+    )
+
+
+class TestRegistry:
+    def test_program_rules_registered(self):
+        assert sorted(PROGRAM_RULES) == ["RPL013", "RPL014", "RPL015", "RPL016"]
+
+    def test_rule_table_rows(self):
+        rows = program_rule_table()
+        assert [code for code, __, __ in rows] == sorted(PROGRAM_RULES)
+        for __, name, description in rows:
+            assert name and description
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize(
+        "package,expected", sorted(PROGRAM_FIXTURE_EXPECTATIONS.items())
+    )
+    def test_fixture_trips_its_rule_exactly(self, package, expected):
+        code, count = expected
+        findings = analyze_fixture(package, select=[code])
+        assert [f.code for f in findings] == [code] * count
+        for finding in findings:
+            assert finding.line > 0
+            assert finding.rule == PROGRAM_RULES[code].name
+
+    def test_fixture_corpus_is_red_as_a_tree(self):
+        dirs = [os.path.join(FIXTURES, name) for name in PROGRAM_FIXTURE_EXPECTATIONS]
+        findings = analyze_program(dirs, excluded_dirs=("__pycache__",))
+        assert {f.code for f in findings} == set(PROGRAM_RULES)
+
+
+class TestLockOrderRegression:
+    """Satellite: the A(lock1→lock2) / B(lock2→lock1) module pair."""
+
+    def test_cycle_reports_both_acquisition_paths(self):
+        findings = analyze_fixture("rpl013_lock_order", select=["RPL013"])
+        assert len(findings) == 1
+        message = findings[0].message
+        assert "lock-order cycle" in message
+        # Both named locks appear in the rendered cycle ...
+        assert "ordpkg.locks.lock_a (Lock)" in message
+        assert "ordpkg.locks.lock_b (Lock)" in message
+        # ... and BOTH edges carry their acquisition path: one rooted in
+        # alpha.py (a→b), one rooted in beta.py (b→a), ';;'-separated.
+        paths = message.split("acquisition paths: ", 1)[1].split(" ;; ")
+        assert len(paths) == 2
+        assert any("alpha.py" in p for p in paths)
+        assert any("beta.py" in p for p in paths)
+        # The finding anchors at a real acquisition site.
+        assert findings[0].path.endswith("alpha.py")
+        assert findings[0].line > 0
+
+    def test_single_order_is_clean(self):
+        """Same locks, both modules agreeing on a→b: no cycle."""
+        locks = "import threading\nlock_a = threading.Lock()\nlock_b = threading.Lock()\n"
+        user = (
+            "from locks import lock_a, lock_b\n"
+            "def f():\n"
+            "    with lock_a:\n"
+            "        with lock_b:\n"
+            "            pass\n"
+        )
+        findings = analyze_files(
+            [("proj/locks.py", locks), ("proj/user.py", user), ("proj/also.py", user)],
+            select=["RPL013"],
+        )
+        assert findings == []
+
+
+class TestInterproceduralEdges:
+    def test_rpl013_sees_lock_held_across_a_call(self):
+        """The cycle only exists through a callee's acquisition."""
+        source_a = (
+            "import threading\n"
+            "lock_a = threading.Lock()\n"
+            "lock_b = threading.Lock()\n"
+            "def outer():\n"
+            "    with lock_a:\n"
+            "        middle()\n"
+            "def middle():\n"
+            "    inner()\n"
+            "def inner():\n"
+            "    with lock_b:\n"
+            "        pass\n"
+            "def reversed_order():\n"
+            "    with lock_b:\n"
+            "        with lock_a:\n"
+            "            pass\n"
+        )
+        findings = analyze_files([("proj/mod.py", source_a)], select=["RPL013"])
+        assert [f.code for f in findings] == ["RPL013"]
+        # The acquisition path spells out the call chain.
+        assert "calls middle" in findings[0].message
+        assert "calls inner" in findings[0].message
+
+    def test_rpl016_blocking_reached_through_callee(self):
+        source = (
+            "import threading\n"
+            "import time\n"
+            "guard = threading.Lock()\n"
+            "def pump():\n"
+            "    with guard:\n"
+            "        backoff()\n"
+            "def backoff():\n"
+            "    time.sleep(1)\n"
+        )
+        findings = analyze_files([("proj/mod.py", source)], select=["RPL016"])
+        assert [f.code for f in findings] == ["RPL016"]
+        assert "time.sleep" in findings[0].message
+        assert "calls backoff" in findings[0].message
+
+
+class TestSuppressions:
+    def test_program_findings_honour_disable_comments(self):
+        source = (
+            "import threading\n"
+            "import time\n"
+            "guard = threading.Lock()\n"
+            "def pump():\n"
+            "    with guard:\n"
+            "        time.sleep(1)  # reprolint: disable=RPL016\n"
+        )
+        assert analyze_files([("proj/mod.py", source)], select=["RPL016"]) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = (
+            "import threading\n"
+            "import time\n"
+            "guard = threading.Lock()\n"
+            "def pump():\n"
+            "    with guard:\n"
+            "        time.sleep(1)  # reprolint: disable=RPL013\n"
+        )
+        findings = analyze_files([("proj/mod.py", source)], select=["RPL016"])
+        assert [f.code for f in findings] == ["RPL016"]
+
+
+class TestRngProvenance:
+    def _analyze(self, body):
+        # A real in-tree directory gives the module a repro.distributed
+        # name (module naming walks the on-disk __init__.py chain).
+        path = os.path.join(REPO_ROOT, "src", "repro", "distributed", "fake_rng.py")
+        return analyze_files([(path, body)], select=["RPL014"])
+
+    def test_param_derived_seed_is_sanctioned(self):
+        body = (
+            "import numpy as np\n"
+            "def worker(spec):\n"
+            "    return np.random.default_rng(spec.seed)\n"
+        )
+        assert self._analyze(body) == []
+
+    def test_seed_then_restore_idiom_is_sanctioned(self):
+        body = (
+            "import numpy as np\n"
+            "def adopt(state):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    rng.bit_generator.state = state\n"
+            "    return rng\n"
+        )
+        assert self._analyze(body) == []
+
+    def test_seed_sequence_chain_is_sanctioned(self):
+        body = (
+            "import numpy as np\n"
+            "def spawn(seed, n):\n"
+            "    seq = np.random.SeedSequence(seed)\n"
+            "    return [np.random.default_rng(s) for s in seq.spawn(n)]\n"
+        )
+        assert self._analyze(body) == []
+
+    def test_module_global_seed_is_flagged(self):
+        body = (
+            "import numpy as np\n"
+            "shared_seed = 3\n"
+            "def worker():\n"
+            "    return np.random.default_rng(shared_seed)\n"
+        )
+        findings = self._analyze(body)
+        assert [f.code for f in findings] == ["RPL014"]
+        assert "module-level variable" in findings[0].message
+
+    def test_upper_case_module_constant_is_sanctioned(self):
+        body = (
+            "import numpy as np\n"
+            "BASE_SEED = 3\n"
+            "def worker(offset):\n"
+            "    return np.random.default_rng(BASE_SEED + offset)\n"
+        )
+        assert self._analyze(body) == []
+
+    def test_out_of_scope_module_is_ignored(self):
+        body = (
+            "import numpy as np\n"
+            "def helper():\n"
+            "    return np.random.default_rng()\n"
+        )
+        path = os.path.join(REPO_ROOT, "src", "repro", "env", "fake_rng.py")
+        assert analyze_files([(path, body)], select=["RPL014"]) == []
+
+
+class TestForkReachability:
+    def test_reinit_named_functions_are_exempt(self):
+        source = (
+            "registry = {}\n"
+            "def _employee_worker_main(spec, conn):\n"
+            "    my_reset_after_fork()\n"
+            "def my_reset_after_fork():\n"
+            "    global registry\n"
+            "    registry = {}\n"
+        )
+        assert analyze_files([("proj/w.py", source)], select=["RPL015"]) == []
+
+    def test_thread_after_reinit_is_sanctioned(self):
+        source = (
+            "import threading\n"
+            "def _employee_worker_main(spec, conn):\n"
+            "    my_reset_after_fork()\n"
+            "    t = threading.Thread(target=print)\n"
+            "    t.start()\n"
+            "def my_reset_after_fork():\n"
+            "    pass\n"
+        )
+        assert analyze_files([("proj/w.py", source)], select=["RPL015"]) == []
+
+
+class TestRealTreeIsClean:
+    """The acceptance gate: the whole-program pass on src/ finds nothing
+    (every true positive fixed or suppressed with a written reason)."""
+
+    def test_src_program_pass_is_clean(self):
+        assert analyze_program([os.path.join(REPO_ROOT, "src")]) == []
