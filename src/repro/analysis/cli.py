@@ -6,6 +6,7 @@ Exit codes: 0 (clean), 1 (findings), 2 (usage/IO error).
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Sequence
 
 from .cache import DEFAULT_CACHE_DIR, LintCache
@@ -181,6 +182,13 @@ def run(args: argparse.Namespace) -> int:
     except (FileNotFoundError, ValueError) as error:
         print(f"reprolint: error: {error}")
         return 2
+    if cache is not None:
+        # Stderr so json/sarif stdout stays parseable; CI asserts the
+        # warm run misses zero keys (cache *behavior*, not wall time).
+        print(
+            f"reprolint: cache {cache.hits} hit(s), {cache.misses} miss(es)",
+            file=sys.stderr,
+        )
     if output == "json":
         print(render_json(findings))
     elif output == "sarif":

@@ -144,8 +144,17 @@ class _WatchedLock:
         watch = self._watch
         if not watch.watching:
             return self._inner.acquire(blocking, timeout)
-        watch._before_acquire(self)
-        got = self._inner.acquire(blocking, timeout)
+        if not blocking:
+            # Try-locks never wait, so they must not mark contention
+            # (SAN005 is about holds that starve *blocked* threads).
+            got = self._inner.acquire(blocking, timeout)
+        else:
+            got = self._inner.acquire(False)
+            if not got:
+                # We are genuinely about to block: only now does the
+                # current holder count as contended.
+                watch._before_acquire(self)
+                got = self._inner.acquire(True, timeout)
         if got:
             try:
                 watch._after_acquire(self)
@@ -200,7 +209,29 @@ class _WatchedLock:
             self._inner.acquire()
         watch = self._watch
         if watch.watching:
-            watch._after_acquire(self, depth=state if isinstance(state, int) else 1)
+            # RLock._release_save returns (count, owner); restore the
+            # full reentrant depth or releases desynchronize the held-set.
+            if isinstance(state, tuple) and state and isinstance(state[0], int):
+                depth = state[0]
+            elif isinstance(state, int):
+                depth = state
+            else:
+                depth = 1
+            watch._after_acquire(self, depth=depth)
+
+    def _at_fork_reinit(self):
+        # threading._after_fork re-initializes every lock embedded in a
+        # surviving Thread/Event/Condition; without this the child dies
+        # with "Exception ignored in: _after_fork" and inherited locks
+        # stay in their forked (possibly held) state.
+        self._inner._at_fork_reinit()
+        # The child is single-threaded at this point, so purging the
+        # parent's hold records needs no _raw guard (which may itself
+        # have been held at fork time).
+        for holds in self._watch._held.values():
+            for i in range(len(holds) - 1, -1, -1):
+                if holds[i].uid == self._uid:
+                    del holds[i]
 
     def __repr__(self):
         return f"<watched {self._kind} uid={self._uid} {self._inner!r}>"
@@ -326,6 +357,7 @@ class LockWatch:
     # Acquire / release hooks (called from the proxies)
     # ------------------------------------------------------------------
     def _before_acquire(self, proxy: _WatchedLock) -> None:
+        """Called only when the acquiring thread is about to block."""
         tid = threading.get_ident()
         with self._raw:
             # Contention: someone else currently holds this lock.
@@ -435,10 +467,12 @@ class LockWatch:
         with self._raw:
             self.stats["releases"] += 1
             holds = self._held.get(tid, [])
+            found = False
             for i in range(len(holds) - 1, -1, -1):
                 hold = holds[i]
                 if hold.uid != proxy._uid:
                     continue
+                found = True
                 if proxy._kind == "RLock" and hold.depth > 1:
                     hold.depth -= 1
                     return
@@ -457,6 +491,21 @@ class LockWatch:
                     )
                 del holds[i]
                 break
+            if not found:
+                # Cross-thread release (the plain-Lock signaling idiom:
+                # acquired in one thread, released in another).  Drop the
+                # acquirer's record — leaving it would attribute every
+                # later acquisition by that thread to a phantom hold,
+                # fabricating order edges — without SAN005 evaluation:
+                # a handoff's duration is not a hold.
+                for other_holds in self._held.values():
+                    for i in range(len(other_holds) - 1, -1, -1):
+                        if other_holds[i].uid == proxy._uid:
+                            del other_holds[i]
+                            found = True
+                            break
+                    if found:
+                        break
         if finding is not None:
             self._emit(finding)
 

@@ -7,6 +7,9 @@ under lockwatch is bitwise-identical to an unwatched one, reports zero
 findings, and a post-disable run is bitwise-identical again.
 """
 
+import os
+import subprocess
+import sys
 import threading
 import time
 
@@ -162,6 +165,33 @@ class TestReentrancyAndConditions:
                 assert watch._held[tid][0].depth == 2
         assert watch._held[threading.get_ident()] == []
 
+    def test_condition_wait_on_reentrant_rlock_restores_depth(self, watch):
+        """RLock._release_save returns (count, owner); wait() must restore
+        the full reentrant depth or later releases desynchronize the
+        held-set."""
+        rlock = threading.RLock()
+        condition = threading.Condition(rlock)
+        ready = []
+
+        def producer():
+            time.sleep(0.05)
+            with condition:
+                ready.append(True)
+                condition.notify_all()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        with rlock:  # depth 1
+            with condition:  # depth 2 (same underlying RLock)
+                while not ready:
+                    condition.wait(timeout=5.0)
+                tid = threading.get_ident()
+                assert len(watch._held[tid]) == 1
+                assert watch._held[tid][0].depth == 2
+        thread.join()
+        assert watch._held[threading.get_ident()] == []
+        assert watch.findings == []
+
     def test_condition_wait_notify_through_proxy(self, watch):
         condition = threading.Condition()
         ready = []
@@ -220,8 +250,124 @@ class TestLongHold:
         finally:
             w.disable()
 
+    def test_failed_trylock_does_not_mark_contention(self):
+        """acquire(blocking=False) never waits, so a hold it bounced off
+        must not count as contended (no SAN005)."""
+        w = LockWatch(mode="record", hold_threshold=0.05)
+        w.enable()
+        try:
+            lock = threading.Lock()
+
+            def hog():
+                with lock:
+                    time.sleep(0.2)
+
+            thread = threading.Thread(target=hog)
+            thread.start()
+            time.sleep(0.05)  # let the hog take the lock first
+            assert lock.acquire(blocking=False) is False
+            thread.join()
+            assert w.findings == []
+        finally:
+            w.disable()
+
+
+class TestCrossThreadRelease:
+    def test_release_in_other_thread_drops_acquirer_record(self, watch):
+        """The plain-Lock signaling idiom (acquire here, release there)
+        must not leave a phantom hold that fabricates order edges."""
+        lock, other = threading.Lock(), threading.Lock()
+        lock.acquire()
+        releaser = threading.Thread(target=lock.release)
+        releaser.start()
+        releaser.join()
+        for holds in watch._held.values():
+            assert holds == []
+        # Without the record dropped, this acquisition would register a
+        # stale lock -> other edge ...
+        with other:
+            pass
+
+        def reverse():
+            with other:
+                with lock:
+                    pass
+
+        thread = threading.Thread(target=reverse)
+        thread.start()
+        thread.join()
+        # ... and the reverse nesting would report a false SAN004.
+        assert watch.findings == []
+
+
+# A thread created under the watch embeds a watched lock in its _started
+# Event; the forked child's threading._after_fork calls _at_fork_reinit
+# on it.  Runs in a fresh interpreter (not under pytest, whose
+# unraisablehook would swallow the child's "Exception ignored" output).
+_FORK_REINIT_SCRIPT = """
+import multiprocessing
+import os
+import sys
+import threading
+
+from repro.analysis import lockwatch
+
+lockwatch.enable()
+thread = threading.Thread(target=lambda: None)
+thread.start()
+thread.join()
+
+def child():
+    # threading._after_fork already re-inited the inherited watched
+    # locks; prove fresh threading machinery works on top.
+    lockwatch.reset_after_fork()
+    event = threading.Event()
+    worker = threading.Thread(target=event.set)
+    worker.start()
+    worker.join()
+    os._exit(0 if event.is_set() else 1)
+
+proc = multiprocessing.get_context("fork").Process(target=child)
+proc.start()
+proc.join(timeout=30)
+lockwatch.disable()
+sys.exit(proc.exitcode)
+"""
+
 
 class TestForkReset:
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="requires fork")
+    def test_forked_child_reinits_watched_locks_cleanly(self):
+        """Regression: _WatchedLock without _at_fork_reinit made
+        threading._after_fork die with "Exception ignored" in every
+        forked child, leaving inherited Event/Condition locks un-reinit
+        and threading's bookkeeping stale."""
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [sys.executable, "-c", _FORK_REINIT_SCRIPT],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Exception ignored" not in result.stderr, result.stderr
+        assert "_after_fork" not in result.stderr, result.stderr
+
+    def test_at_fork_reinit_purges_hold_records(self, watch):
+        """_at_fork_reinit (child-side, single-threaded) re-inits the
+        inner lock and drops any hold record the parent left behind."""
+        lock = threading.Lock()
+        lock.acquire()  # simulate forking while held
+        lock._at_fork_reinit()
+        assert not lock.locked()
+        for holds in watch._held.values():
+            assert all(hold.uid != lock._uid for hold in holds)
+
     def test_reset_clears_inherited_bookkeeping(self, watch):
         lock_a, lock_b = threading.Lock(), threading.Lock()
         with lock_a:
