@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Observability overhead: the price of the full fleet telemetry stack.
+
+What the CI ``obs-fleet`` job runs (and what produced the committed
+``BENCH_8.json``)::
+
+    python benchmarks/bench_obs_overhead.py --json obs.json
+    python benchmarks/check_perf_regression.py --obs obs.json
+
+Each layer runs the same seeded 2-employee / 2-episode CEWS smoke run on
+the process backend and reports mean wall time over ``--repeats``:
+
+* ``plain``         — federation off, nothing installed (the baseline);
+* ``trace``         — chief tracer installed, so workers ship spans
+                      piggy-backed on every reply;
+* ``federation``    — metric deltas folded under worker/host labels;
+* ``server_scrape`` — federation plus a live HTTP endpoint being
+                      scraped concurrently for the whole run;
+* ``full``          — tracer + federation + server + flight recorder.
+
+The acceptance gate is ``full_over_plain <= 1.5``: fleet telemetry may
+cost at most half again the plain run at smoke scale, where fixed
+per-reply costs are maximally visible (real runs amortize them over far
+more per-episode compute).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.agents import PPOConfig  # noqa: E402
+from repro.distributed import TrainConfig, build_trainer  # noqa: E402
+from repro.env import smoke_config  # noqa: E402
+from repro.obs import MetricsRegistry, Tracer, set_registry, trace_path_for  # noqa: E402
+from repro.obs.flight import FlightRecorder  # noqa: E402
+from repro.obs.server import ObsServer  # noqa: E402
+
+LAYERS = ("plain", "trace", "federation", "server_scrape", "full")
+
+
+def one_run(seed: int, federate: bool) -> float:
+    trainer = build_trainer(
+        "cews",
+        smoke_config(seed=5, horizon=10, num_pois=15),
+        train=TrainConfig(
+            num_employees=2,
+            episodes=2,
+            k_updates=1,
+            seed=seed,
+            backend="process",
+            federate=federate,
+        ),
+        ppo=PPOConfig(batch_size=10, epochs=1),
+    )
+    start = time.perf_counter()
+    trainer.train()
+    wall = time.perf_counter() - start
+    trainer.close()
+    return wall
+
+
+class _Scraper:
+    """Hit /metrics in a tight-ish loop while the run is in flight."""
+
+    def __init__(self, address: str):
+        self._url = address + "/metrics"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self.scrapes = 0
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                with urllib.request.urlopen(self._url, timeout=2.0) as response:
+                    response.read()
+                self.scrapes += 1
+            except OSError:
+                pass
+            self._stop.wait(0.05)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_layer(layer: str, seed: int, workdir: Path) -> float:
+    """One timed run with exactly this layer's instrumentation installed."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        if layer == "plain":
+            return one_run(seed, federate=False)
+        if layer == "trace":
+            with Tracer(trace_path_for(str(workdir / "trace"))):
+                return one_run(seed, federate=False)
+        if layer == "federation":
+            return one_run(seed, federate=True)
+        if layer == "server_scrape":
+            with ObsServer(port=0, registry=registry) as server:
+                with _Scraper(server.address):
+                    return one_run(seed, federate=True)
+        if layer == "full":
+            recorder = FlightRecorder(directory=str(workdir / "flight")).install()
+            try:
+                with Tracer(trace_path_for(str(workdir / "full"))):
+                    with ObsServer(port=0, registry=registry) as server:
+                        with _Scraper(server.address):
+                            return one_run(seed, federate=True)
+            finally:
+                recorder.uninstall()
+        raise ValueError(f"unknown layer {layer!r}")
+    finally:
+        set_registry(previous)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=Path, default=None, help="write results here")
+    args = parser.parse_args(argv)
+
+    layers = {}
+    for layer in LAYERS:
+        walls = []
+        for repeat in range(args.repeats):
+            with tempfile.TemporaryDirectory() as tmp:
+                walls.append(run_layer(layer, args.seed, Path(tmp)))
+        mean = sum(walls) / len(walls)
+        layers[layer] = {"mean_s": mean, "runs_s": walls}
+        print(f"{layer:>13s}: {mean * 1e3:8.1f}ms mean over {args.repeats} run(s)")
+
+    plain = layers["plain"]["mean_s"]
+    overhead_pct = {
+        name: (cell["mean_s"] / plain - 1.0) * 100.0
+        for name, cell in layers.items()
+        if name != "plain"
+    }
+    full_over_plain = layers["full"]["mean_s"] / plain
+    for name, pct in overhead_pct.items():
+        print(f"{name:>13s}: {pct:+6.1f}% over plain")
+    print(f"full/plain ratio: {full_over_plain:.3f}")
+
+    results = {
+        "schema": 1,
+        "machine": {
+            "cores": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "obs_overhead": {
+            "layers": layers,
+            "overhead_pct": overhead_pct,
+            "full_over_plain": full_over_plain,
+        },
+    }
+    if args.json is not None:
+        args.json.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

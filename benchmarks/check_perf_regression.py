@@ -24,6 +24,13 @@ benchmarks are added, existing ``mean_s`` entries are refreshed, extra
 per-benchmark fields are preserved); do that only alongside a change
 whose slowdown is understood and accepted.  The baseline also records
 the pre-PR-4 means so the optimization trajectory stays auditable.
+
+``--obs`` switches to the observability-overhead gate: the positional
+argument is then a ``bench_obs_overhead.py --json`` dump and the check
+fails when its ``full_over_plain`` ratio exceeds the threshold — i.e.
+when the full fleet telemetry stack (tracer + federation + HTTP server
++ flight recorder) costs more than ``threshold``x the uninstrumented
+run at smoke scale.
 """
 
 from __future__ import annotations
@@ -66,9 +73,41 @@ def update_baseline(path: Path, current: dict) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+def check_obs_overhead(path: Path, threshold: float) -> int:
+    """Gate the fleet-telemetry overhead measured by bench_obs_overhead.py."""
+    payload = json.loads(path.read_text())
+    overhead = payload.get("obs_overhead")
+    if not isinstance(overhead, dict) or "full_over_plain" not in overhead:
+        raise SystemExit(f"{path}: not a bench_obs_overhead.py dump")
+    layers = overhead.get("layers", {})
+    width = max((len(name) for name in layers), default=4)
+    print(f"obs overhead check vs plain (threshold {threshold:g}x)")
+    plain = float(layers.get("plain", {}).get("mean_s", 0.0)) or None
+    for name, cell in layers.items():
+        mean = float(cell["mean_s"])
+        ratio = f"  x{mean / plain:5.2f}" if plain else ""
+        print(f"  {name:<{width}}  {mean * 1e3:8.1f}ms{ratio}")
+    ratio = float(overhead["full_over_plain"])
+    if ratio > threshold:
+        print(
+            f"obs overhead check: full stack is x{ratio:.2f} the plain run, "
+            f"over the {threshold:g}x budget — profile the obs hot path "
+            "before shipping (span emission, delta collection, fold).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"obs overhead check: full/plain x{ratio:.2f} within {threshold:g}x")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="treat the positional argument as a bench_obs_overhead.py dump "
+        "and gate its full_over_plain ratio against the threshold",
+    )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE,
         help=f"committed baseline (default: {DEFAULT_BASELINE.name})",
@@ -83,6 +122,9 @@ def main(argv=None) -> int:
         "(use only alongside an understood, accepted slowdown)",
     )
     args = parser.parse_args(argv)
+
+    if args.obs:
+        return check_obs_overhead(args.current, args.threshold)
 
     baseline = load_baseline(args.baseline)
     current = load_current(args.current)

@@ -24,7 +24,16 @@ Observability toggles:
   ``DIR/trace.jsonl``;
 * ``--profile`` wraps the run in the per-op autograd profiler and prints
   the hot-spot table at the end (also ``REPRO_PROFILE=1``);
-* ``--dashboard N`` renders the ASCII live dashboard every N episodes.
+* ``--dashboard N`` renders the ASCII live dashboard every N episodes;
+* ``--obs-port N`` (or ``REPRO_OBS_PORT``) serves ``/metrics``,
+  ``/metrics.json``, ``/trace/summary`` and ``/healthz`` over HTTP for
+  the duration of the run (``python -m repro obs serve`` for ad hoc use);
+* ``--flight-dir DIR`` (or ``REPRO_FLIGHT_DIR``) arms the crash flight
+  recorder: recent spans + metric snapshots are dumped as a post-mortem
+  bundle on worker death/quarantine (``python -m repro obs dump`` /
+  ``obs validate`` to trigger/check one by hand);
+* ``--no-federate`` turns off worker->chief metrics federation (metric
+  deltas piggy-backed on replies, folded under worker/host labels).
 
 All of these only *read* clocks and values, so toggling them never
 changes training results.  Figure/table regeneration lives under
@@ -74,6 +83,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run under the lock-order sanitizer (SAN004 order-inversion / "
         "SAN005 long-hold findings; also enabled by REPRO_LOCKWATCH=1)",
     )
+    parser.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /metrics.json, /trace/summary and /healthz "
+        "on 127.0.0.1:PORT for the duration of the run (0 = OS-assigned; "
+        "also enabled by REPRO_OBS_PORT)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="arm the crash flight recorder: dump recent spans + metric "
+        "snapshots to DIR as a post-mortem bundle on crash/quarantine "
+        "(also enabled by REPRO_FLIGHT_DIR)",
+    )
+    parser.add_argument(
+        "--no-federate",
+        action="store_true",
+        help="disable worker->chief metrics federation (per-worker metric "
+        "deltas folded into the chief registry under worker/host labels)",
+    )
 
 
 def _maybe_sanitizer(args):
@@ -119,6 +151,37 @@ def _maybe_profiler(args):
     return None
 
 
+def _maybe_flight(args):
+    """An installed FlightRecorder when requested by flag or env, else None."""
+    from .obs import flight as flight_mod
+
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir is None:
+        flight_dir = os.environ.get("REPRO_FLIGHT_DIR") or None
+    if flight_dir is None:
+        return None
+    return flight_mod.FlightRecorder(directory=flight_dir).install()
+
+
+def _maybe_server(args):
+    """A started ObsServer when requested by flag or env var, else None."""
+    from .obs import server as server_mod
+
+    port = getattr(args, "obs_port", None)
+    if port is None:
+        raw = os.environ.get("REPRO_OBS_PORT")
+        if raw:
+            try:
+                port = int(raw)
+            except ValueError:
+                raise SystemExit(f"REPRO_OBS_PORT must be an integer, got {raw!r}")
+    if port is None:
+        return None
+    server = server_mod.ObsServer(port=port).start()
+    print(server.summary())
+    return server
+
+
 class _Observability:
     """Enable/disable the requested observability layers around a command.
 
@@ -133,18 +196,30 @@ class _Observability:
         self.sanitizer = None
         self.tracer = None
         self.profiler = None
+        self.flight = None
+        self.server = None
 
     def __enter__(self) -> "_Observability":
         # Lockwatch first: the trainer's locks are allocated when the
         # command body constructs it, and only factories patched before
-        # that point produce watched locks.
+        # that point produce watched locks.  The flight recorder taps the
+        # tracer's sink chain, so it installs after the tracer; the HTTP
+        # server goes last so every layer it reports on is already live.
         self.lockwatch = _maybe_lockwatch(self._args)
         self.sanitizer = _maybe_sanitizer(self._args)
         self.tracer = _maybe_tracer(self._args)
         self.profiler = _maybe_profiler(self._args)
+        self.flight = _maybe_flight(self._args)
+        self.server = _maybe_server(self._args)
         return self
 
     def __exit__(self, *exc) -> None:
+        if self.server is not None:
+            print(self.server.summary())
+            self.server.stop()
+        if self.flight is not None:
+            self.flight.uninstall()
+            print(self.flight.summary())
         if self.profiler is not None:
             self.profiler.disable()
             print(self.profiler.render_table())
@@ -200,6 +275,8 @@ def _build_trainer(args, episodes=None):
     }
     if getattr(args, "listen", None) is not None:
         overrides["listen"] = _parse_hostport(args.listen)
+    if getattr(args, "no_federate", False):
+        overrides["federate"] = False
     if overrides:
         train = dataclasses.replace(train, **overrides)
     trainer = build_trainer(
@@ -396,12 +473,57 @@ def cmd_trace(args) -> int:
         for record in records:
             print(json.dumps(record, sort_keys=True))
         return 0
-    summary = trace_mod.summarize_trace(records)
+    # Chief-side synthetic employee.* spans are placeholders for workers
+    # whose real spans arrived by a later reply; drop the shadowed ones so
+    # the summary never double-counts a phase.
+    summary = trace_mod.summarize_trace(trace_mod.dedupe_synthetic(records))
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(trace_mod.render_trace_summary(summary))
     return 0
+
+
+def cmd_obs(args) -> int:
+    import json
+    import threading
+
+    from .obs import flight as flight_mod
+    from .obs import server as server_mod
+
+    if args.obs_action == "serve":
+        with server_mod.ObsServer(port=args.port, host=args.host) as server:
+            print(server.summary())
+            print("serving until Ctrl-C ...")
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                print("stopping")
+        return 0
+    if args.obs_action == "dump":
+        recorder = flight_mod.get_flight_recorder()
+        if recorder is None:
+            # No recorder armed in this process: build a detached one so
+            # the dump still captures the current metric snapshot.
+            recorder = flight_mod.FlightRecorder(directory=args.flight_dir)
+        path = recorder.dump(args.reason)
+        print(f"flight bundle -> {path}")
+        return 0
+    # validate
+    status = 0
+    for path in args.paths:
+        try:
+            bundle = flight_mod.validate_bundle(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"{path}: INVALID ({error})")
+            status = 1
+        else:
+            print(
+                f"{path}: ok (reason={bundle['reason']!r}, "
+                f"{len(bundle['spans'])} spans, "
+                f"{len(bundle['metrics'])} metric snapshots)"
+            )
+    return status
 
 
 def cmd_profile(args) -> int:
@@ -604,6 +726,37 @@ def _configure_trace(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(func=cmd_trace)
 
 
+def _configure_obs(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="obs_action", required=True)
+    serve = sub.add_parser(
+        "serve",
+        help="serve /metrics, /metrics.json, /trace/summary and /healthz "
+        "until Ctrl-C",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port (default 0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    dump = sub.add_parser(
+        "dump", help="write a flight-recorder bundle for this process now"
+    )
+    dump.add_argument(
+        "--flight-dir",
+        default="runs/flight",
+        help="bundle directory when no recorder is armed (default runs/flight)",
+    )
+    dump.add_argument(
+        "--reason", default="manual", help="reason recorded in the bundle"
+    )
+    validate = sub.add_parser(
+        "validate", help="validate flight-recorder bundle files"
+    )
+    validate.add_argument("paths", nargs="+", help="bundle JSON files to check")
+    parser.set_defaults(func=cmd_obs)
+
+
 def _configure_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--method", choices=("cews", "dppo", "edics"), default="cews"
@@ -628,6 +781,7 @@ COMMANDS = (
     ("report", "stitch results/*.txt into results/REPORT.md", _configure_report),
     ("lint", "run the reprolint static-analysis gate", _configure_lint),
     ("trace", "summarize or dump a JSONL trace file", _configure_trace),
+    ("obs", "serve the fleet HTTP endpoint / manage flight bundles", _configure_obs),
     ("profile", "run a short training under the per-op autograd profiler", _configure_profile),
 )
 

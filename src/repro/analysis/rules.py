@@ -47,6 +47,9 @@ RPL012    no-raw-socket-io        socket construction and ``send``/``recv``
                                   ``repro.distributed.transport`` — anywhere
                                   else they bypass framing, CRC checks,
                                   heartbeats and chaos injection
+RPL017    no-naked-span           ``Tracer.span(...)`` builds a context
+                                  manager: a bare call statement records
+                                  nothing — it must be entered via ``with``
 ========  ======================  ==============================================
 
 Whole-program rules (RPL013 lock-order-cycle, RPL014 rng-provenance,
@@ -1069,4 +1072,63 @@ def check_raw_socket_io(context: ModuleContext) -> Iterator[Finding]:
                 f"repro/distributed/transport/: bytes moved here skip "
                 f"length-prefix framing and CRC verification — use a "
                 f"ChiefChannel/WorkerEndpoint instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL017 — no naked span
+# ----------------------------------------------------------------------
+# ``Tracer.span(...)`` (and the module-level ``span(...)`` helper) build
+# a context manager; nothing is timed or recorded until ``__enter__``
+# runs.  A bare ``tracer.span("phase")`` statement therefore compiles,
+# runs, and records *nothing* — the archetypal "instrumented but dark"
+# bug.  Returning or assigning the manager is fine (the caller enters
+# it); only expression statements are flagged.
+def _rpl017_span_aliases(tree: ast.Module) -> Set[str]:
+    """Local names bound to an obs/trace ``span`` import (honors ``as``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if "obs" in node.module or "trace" in node.module:
+                for alias in node.names:
+                    if alias.name == "span":
+                        aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@rule(
+    "RPL017",
+    "no-naked-span",
+    "Tracer.span(...) as a bare statement records nothing — the span only "
+    "opens and closes when the returned context manager is entered, so it "
+    "must be used under `with`",
+)
+def check_naked_span(context: ModuleContext) -> Iterator[Finding]:
+    aliases = _rpl017_span_aliases(context.tree)
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        naked = False
+        if isinstance(func, ast.Name):
+            naked = func.id in aliases
+        elif isinstance(func, ast.Attribute) and func.attr == "span":
+            receiver = func.value
+            dotted = _dotted(receiver)
+            if dotted is not None:
+                # `tracer.span(...)`, `self._tracer.span(...)`, …
+                naked = dotted.lower().endswith("tracer")
+            elif isinstance(receiver, ast.Call):
+                callee = _dotted(receiver.func)
+                naked = (
+                    callee is not None
+                    and callee.split(".")[-1] == "get_tracer"
+                )
+        if naked:
+            yield _finding(
+                context,
+                "RPL017",
+                node,
+                "naked span: the call builds a context manager and records "
+                "nothing until entered — wrap it in `with ...:`",
             )

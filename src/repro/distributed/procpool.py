@@ -85,7 +85,10 @@ never module globals — which reprolint rule RPL011 enforces.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import multiprocessing
+import os
+import platform
 import time
 import traceback
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -95,9 +98,18 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..agents.policy import GradientPack
+from ..obs.federation import WorkerTelemetry, fold_into
+from ..obs.flight import reset_after_fork as _flight_reset_after_fork
 from ..obs.log import get_logger
 from ..obs.metrics import get_registry
-from ..obs.trace import record_span
+from ..obs.trace import (
+    Tracer,
+    current_context,
+    fold_worker_records,
+    get_tracer,
+    record_span,
+    wall_clock,
+)
 from ..analysis.lockwatch import reset_after_fork as _lockwatch_reset_after_fork
 from ..obs.trace import reset_after_fork as _trace_reset_after_fork
 from .faults import EXPLORE_ROUND, FaultInjector, FaultPlan, InjectedCrash
@@ -152,6 +164,61 @@ class WorkerSpec:
     endpoint: EndpointSpec
     shapes: Tuple[Tuple[int, ...], ...]
     num_policy_params: int
+    #: Ship metric deltas back piggy-backed on replies (PR 8 federation).
+    federate: bool = False
+
+
+def _ensure_worker_tracer(
+    tracer: Optional[Tracer], ctx: object
+) -> Optional[Tracer]:
+    """Lazily build the worker-side tracer on the first traced command.
+
+    ``ctx`` is the chief's propagated ``{"trace_id", "parent"}`` context
+    (absent while chief-side tracing is off, and ignored by old peers).
+    The tracer is memory-only — spans ship back piggy-backed on replies
+    via :meth:`Tracer.drain_ring`, never through a worker-side file — and
+    adopts the chief's ``trace_id`` so the fleet shares one trace.
+    """
+    if tracer is not None or not isinstance(ctx, dict):
+        return tracer
+    trace_id = ctx.get("trace_id")
+    fresh = Tracer(path=None, trace_id=str(trace_id) if trace_id else None)
+    if get_tracer() is None:
+        # Install so nested module-level span()/event() calls inside the
+        # agent/env land in this ring too (forked workers cleared the
+        # inherited chief tracer in reset_after_fork).
+        fresh.install()
+    return fresh
+
+
+def _task_span(
+    tracer: Optional[Tracer], name: str, index: int, episode: int, round_index: int
+):
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(name, employee=index, episode=episode, round=round_index)
+
+
+def _attach_telemetry(
+    reply: Dict[str, object],
+    tracer: Optional[Tracer],
+    telemetry: Optional[WorkerTelemetry],
+    host: str,
+    pid: int,
+) -> Dict[str, object]:
+    """Piggy-back clock/identity, drained spans and metric deltas on a reply."""
+    reply["clock"] = wall_clock()
+    reply["host"] = host
+    reply["pid"] = pid
+    if tracer is not None:
+        spans = tracer.drain_ring()
+        if spans:
+            reply["spans"] = spans
+    if telemetry is not None:
+        delta = telemetry.collect()
+        if delta is not None:
+            reply["metrics"] = delta
+    return reply
 
 
 def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
@@ -168,6 +235,10 @@ def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
     injector = FaultInjector(spec.plan) if spec.plan is not None else None
     params = list(agent.policy_parameters()) + list(agent.curiosity_parameters())
     rollout = None
+    host = platform.node()
+    pid = os.getpid()
+    telemetry = WorkerTelemetry() if spec.federate else None
+    tracer: Optional[Tracer] = None
     try:
         while True:
             command = endpoint.recv_command()
@@ -188,22 +259,38 @@ def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
                     endpoint.send_reply(_OK, seq, None)
                 elif op == OP_EXPLORE:
                     episode = payload["episode"]
+                    tracer = _ensure_worker_tracer(tracer, payload.get("ctx"))
                     start = time.perf_counter()
                     if injector is not None:
                         injector.before_task(spec.index, episode, EXPLORE_ROUND)
-                    rollout, result = agent.collect_episode(env, rng)
+                    with _task_span(
+                        tracer, "employee.explore", spec.index, episode, EXPLORE_ROUND
+                    ):
+                        rollout, result = agent.collect_episode(env, rng)
+                    dur = time.perf_counter() - start
+                    if telemetry is not None:
+                        telemetry.note_command(op)
+                        telemetry.observe_phase("explore", dur)
+                        telemetry.note_episode(result)
                     endpoint.send_reply(
                         _OK,
                         seq,
-                        {
-                            "result": result,
-                            "rng_state": rng.bit_generator.state,
-                            "dur": time.perf_counter() - start,
-                        },
+                        _attach_telemetry(
+                            {
+                                "result": result,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": dur,
+                            },
+                            tracer,
+                            telemetry,
+                            host,
+                            pid,
+                        ),
                     )
                 elif op == OP_MINIBATCH:
                     episode = payload["episode"]
                     round_index = payload["round"]
+                    tracer = _ensure_worker_tracer(tracer, payload.get("ctx"))
                     start = time.perf_counter()
                     if injector is not None:
                         injector.before_task(spec.index, episode, round_index)
@@ -212,34 +299,58 @@ def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
                             f"worker {spec.index}: MINIBATCH before a "
                             f"successful EXPLORE"
                         )
-                    batch = next(
-                        iter(rollout.minibatches(payload["batch_size"], rng, epochs=1))
-                    )
-                    pack = agent.compute_gradients(batch)
+                    with _task_span(
+                        tracer, "employee.gradients", spec.index, episode, round_index
+                    ):
+                        batch = next(
+                            iter(
+                                rollout.minibatches(
+                                    payload["batch_size"], rng, epochs=1
+                                )
+                            )
+                        )
+                        pack = agent.compute_gradients(batch)
                     endpoint.send_gradients(
                         list(pack.policy) + list(pack.curiosity),
                         seq=seq,
                         episode=episode,
                         round_index=round_index,
                     )
+                    dur = time.perf_counter() - start
+                    if telemetry is not None:
+                        telemetry.note_command(op)
+                        telemetry.observe_phase("gradients", dur)
+                        telemetry.note_stats(pack.stats)
                     endpoint.send_reply(
                         _OK,
                         seq,
-                        {
-                            "stats": pack.stats,
-                            "rng_state": rng.bit_generator.state,
-                            "dur": time.perf_counter() - start,
-                        },
+                        _attach_telemetry(
+                            {
+                                "stats": pack.stats,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": dur,
+                            },
+                            tracer,
+                            telemetry,
+                            host,
+                            pid,
+                        ),
                     )
                 else:
                     raise RuntimeError(f"unknown opcode {op!r}")
             except InjectedCrash:
                 # Deterministic injected crash: fired in before_task, so
                 # the RNG is untouched; the worker itself stays healthy.
-                endpoint.send_reply(_CRASH, seq, {"rng_state": rng.bit_generator.state})
+                endpoint.send_reply(
+                    _CRASH,
+                    seq,
+                    {"rng_state": rng.bit_generator.state, "clock": wall_clock()},
+                )
             except Exception:
                 endpoint.send_reply(_ERROR, seq, traceback.format_exc())
     finally:
+        if tracer is not None and tracer.installed:
+            tracer.uninstall()
         endpoint.close()
 
 
@@ -247,6 +358,7 @@ def _employee_worker_main(spec: WorkerSpec, conn) -> None:
     """Forked worker-process entrypoint (see :class:`WorkerSpec`)."""
     _trace_reset_after_fork()
     _lockwatch_reset_after_fork()
+    _flight_reset_after_fork()
     endpoint = build_worker_endpoint(spec.endpoint, conn)
     serve_employee(spec, endpoint)
 
@@ -254,7 +366,7 @@ def _employee_worker_main(spec: WorkerSpec, conn) -> None:
 class _WorkerHandle:
     """Chief-side bookkeeping for one worker process."""
 
-    __slots__ = ("process", "channel", "seq", "in_flight")
+    __slots__ = ("process", "channel", "seq", "in_flight", "ctx_parent")
 
     def __init__(self, process, channel: ChiefChannel):
         self.process = process
@@ -262,6 +374,9 @@ class _WorkerHandle:
         self.seq = 0
         #: (seq, op, episode, round_index) of the outstanding command.
         self.in_flight: Optional[Tuple[int, str, int, int]] = None
+        #: Chief span id the outstanding command was issued under (the
+        #: fold target for worker-propagated spans).
+        self.ctx_parent: Optional[int] = None
 
     def next_seq(self) -> int:
         self.seq += 1
@@ -298,6 +413,10 @@ class ProcessEmployeePool:
         Employee indices whose worker is started externally
         (``python -m repro worker``) rather than forked — socket
         transport only.
+    federate:
+        Run a :class:`~repro.obs.federation.WorkerTelemetry` inside each
+        worker and fold the shipped metric deltas into the chief's
+        registry under ``worker``/``host`` labels.
     """
 
     def __init__(
@@ -312,6 +431,7 @@ class ProcessEmployeePool:
         transport: str = "local",
         transport_options: Optional[Dict[str, object]] = None,
         remote_indices: Sequence[int] = (),
+        federate: bool = False,
     ):
         if num_employees < 1:
             raise ValueError(f"need at least one employee, got {num_employees}")
@@ -334,6 +454,9 @@ class ProcessEmployeePool:
         self._plan = plan
         self._agent_factory = agent_factory
         self._env_factory = env_factory
+        self._federate = bool(federate)
+        #: Last explore latency per employee (feeds the straggler gauge).
+        self.explore_durations: Dict[int, float] = {}
         self._closed = False
         self._remote = frozenset(int(i) for i in remote_indices)
         if self._remote and transport != "socket":
@@ -387,6 +510,7 @@ class ProcessEmployeePool:
             endpoint=channel.endpoint_spec(),
             shapes=self.shapes,
             num_policy_params=self.num_policy_params,
+            federate=self._federate,
         )
         if isinstance(self._transport, SocketTransport):
             # External workers (and reconnect debugging) bootstrap from
@@ -398,6 +522,7 @@ class ProcessEmployeePool:
                     "num_policy_params": self.num_policy_params,
                     "rng_state": rng_state,
                     "plan": self._plan,
+                    "federate": self._federate,
                 },
             )
         if index in self._remote:
@@ -552,6 +677,11 @@ class ProcessEmployeePool:
             payload = {"episode": episode, "round": round_index, "batch_size": batch_size}
         else:
             raise ValueError(f"submit cannot send opcode {op!r}")
+        ctx = current_context()
+        handle.ctx_parent = ctx.get("parent") if ctx is not None else None
+        if ctx is not None:
+            # Optional trace context: old workers never look at this key.
+            payload["ctx"] = ctx
         handle.in_flight = (seq, op, episode, round_index)
         try:
             handle.channel.send_command(
@@ -597,6 +727,12 @@ class ProcessEmployeePool:
                 f"worker {index} exceeded {timeout}s during {phase}"
             )
         status, seq, payload = reply
+        if isinstance(payload, dict):
+            peer_clock = payload.get("clock")
+            if peer_clock is not None:
+                # Refresh the chief-minus-worker skew estimate per pump;
+                # applied when worker spans are folded, never to raw data.
+                handle.channel.clock_offset = wall_clock() - float(peer_clock)
         if seq != pending[0]:
             handle.in_flight = None
             raise RuntimeError(
@@ -609,6 +745,38 @@ class ProcessEmployeePool:
                 f"employee worker {index} raised:\n{payload}"
             )
         return status, payload, pending
+
+    def _fold_reply_telemetry(
+        self, index: int, handle: _WorkerHandle, payload: Dict[str, object]
+    ) -> bool:
+        """Fold piggy-backed spans/metric deltas from one reply.
+
+        Returns True when worker-propagated spans were merged (the caller
+        then skips its synthetic re-emission).
+        """
+        folded_spans = False
+        spans = payload.get("spans")
+        if spans:
+            folded_spans = (
+                fold_worker_records(
+                    spans,
+                    parent=handle.ctx_parent,
+                    offset=handle.channel.clock_offset,
+                    worker=index,
+                    host=payload.get("host") or None,
+                    pid=payload.get("pid"),
+                )
+                > 0
+            )
+        delta = payload.get("metrics")
+        if delta:
+            fold_into(
+                get_registry(),
+                delta,
+                worker=index,
+                host=payload.get("host", ""),
+            )
+        return folded_spans
 
     def wait(
         self, index: int, timeout: Optional[float], phase: str
@@ -632,15 +800,22 @@ class ProcessEmployeePool:
                 f"round {round_index}"
             )
         rng_state = payload["rng_state"]
-        record_span(
-            f"employee.{phase}",
-            payload["dur"],
-            employee=index,
-            episode=episode,
-            round=round_index,
-        )
+        handle = self._workers[index]
+        if not self._fold_reply_telemetry(index, handle, payload):
+            # No worker-propagated spans (tracing-only run, old worker):
+            # re-emit the shipped duration chief-side, marked synthetic so
+            # a later merge with genuine worker spans never double-counts.
+            record_span(
+                f"employee.{phase}",
+                payload["dur"],
+                employee=index,
+                episode=episode,
+                round=round_index,
+                synthetic=True,
+            )
+        if op == OP_EXPLORE:
+            self.explore_durations[index] = float(payload["dur"])
         if op == OP_MINIBATCH:
-            handle = self._workers[index]
             try:
                 arrays, nbytes = handle.channel.read_gradients(seq)
             except ChannelClosed as error:
@@ -676,6 +851,10 @@ class ProcessEmployeePool:
                 status, payload, __ = self._await_reply(index, None, phase="drain")
             except WorkerDied:
                 continue  # revived lazily by the next sync
+            if isinstance(payload, dict):
+                # Abandoned work still reports: its spans and metric
+                # deltas are folded so the fleet view never loses them.
+                self._fold_reply_telemetry(index, handle, payload)
             if status == _OK and isinstance(payload, dict) and "rng_state" in payload:
                 drained.append((index, payload["rng_state"]))
             elif status == _CRASH and isinstance(payload, dict):

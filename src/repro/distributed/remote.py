@@ -59,5 +59,6 @@ def run_remote_worker(
         endpoint=spec,
         shapes=tuple(tuple(int(d) for d in s) for s in welcome["shapes"]),
         num_policy_params=int(welcome["num_policy_params"]),
+        federate=bool(welcome.get("federate", False)),
     )
     serve_employee(worker_spec, endpoint)

@@ -77,6 +77,8 @@ from ..agents.base import EpisodeResult
 from ..agents.policy import GradientPack
 from ..env.env import CrowdsensingEnv
 from ..env.metrics import Metrics
+from ..obs.federation import update_employee_lag
+from ..obs.flight import auto_dump
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import event as trace_event
@@ -173,6 +175,13 @@ class TrainConfig:
     heartbeat_interval: float = 0.5
     heartbeat_timeout: float = 10.0
     remote_workers: int = 0
+    #: Metrics federation: process/socket workers ship metric deltas
+    #: piggy-backed on replies and the chief folds them into the main
+    #: registry under ``worker``/``host`` labels, plus the
+    #: ``repro_employee_lag_seconds`` straggler gauge.  Pure bookkeeping
+    #: on values that already exist — disabling it (``--no-federate``)
+    #: changes no training result, matching the obs bitwise contract.
+    federate: bool = True
 
     #: mode spelling -> canonical backend name.
     _MODE_TO_BACKEND = {
@@ -535,6 +544,10 @@ def _trainer_metrics(registry: Optional[MetricsRegistry] = None) -> Dict[str, ob
             "repro_phase_seconds",
             "Wall time of one barrier phase (explore or one gradient round)",
             labelnames=("phase",),
+            # Federation folds worker-side phase timings into this same
+            # metric under fleet labels; chief-side observations leave the
+            # extras empty so the plain rendering is unchanged.
+            extra_labelnames=("worker", "host"),
         ),
         "barrier_wait": registry.histogram(
             "repro_barrier_wait_seconds",
@@ -670,6 +683,10 @@ class ChiefEmployeeTrainer:
         self._eval_rng = np.random.default_rng(child_seeds[-1])
         self._episodes_done = 0
         self._pending_restart: Set[int] = set()
+        #: Last explore-phase wall time per employee (in-process backends;
+        #: the process pool keeps its own ``explore_durations``).  Feeds
+        #: the ``repro_employee_lag_seconds`` straggler gauge.
+        self._explore_durations: Dict[int, float] = {}
         #: The most recent episode's log (for on_episode_end consumers
         #: such as the ASCII dashboard).
         self.last_episode_log: Optional[EpisodeLog] = None
@@ -731,6 +748,7 @@ class ChiefEmployeeTrainer:
                 transport="local" if self.config.backend == "process" else "socket",
                 transport_options=transport_options,
                 remote_indices=remote_indices,
+                federate=self.config.federate,
             )
         self._metrics = _trainer_metrics()
 
@@ -750,10 +768,22 @@ class ChiefEmployeeTrainer:
         with employee.lock:
             if self.fault_injector is not None:
                 self.fault_injector.before_task(index, episode, round_index)
-            with trace_span(
-                f"employee.{phase}", employee=index, episode=episode, round=round_index
-            ):
-                return fn(employee)
+            start = time.perf_counter()
+            try:
+                with trace_span(
+                    f"employee.{phase}",
+                    employee=index,
+                    episode=episode,
+                    round=round_index,
+                ):
+                    return fn(employee)
+            finally:
+                if phase == "explore":
+                    # Benign to race under the thread pool: each index is
+                    # written by at most one live task per phase.
+                    self._explore_durations[index] = (
+                        time.perf_counter() - start
+                    )
 
     def _note_crash(self, index: int, episode: int, round_index: int, phase: str) -> None:
         self.health.employee(index).crashes += 1
@@ -761,6 +791,7 @@ class ChiefEmployeeTrainer:
         trace_event(
             "fault.crash", employee=index, episode=episode, round=round_index, phase=phase
         )
+        auto_dump("crash", employee=index, episode=episode, phase=phase)
         _LOG.warning(
             "employee %d crashed during %s (episode %d, round %d)",
             index,
@@ -985,6 +1016,7 @@ class ChiefEmployeeTrainer:
             round=round_index,
             kind=kind,
         )
+        auto_dump("quarantine", employee=index, episode=episode, kind=kind)
         _LOG.warning(
             "quarantined %s gradient from employee %d (episode %d, round %d)",
             kind,
@@ -1093,6 +1125,9 @@ class ChiefEmployeeTrainer:
             self._sync_employees(episode)
 
         # Exploration phase (parallel in thread mode).
+        self._explore_durations.clear()
+        if self._proc_pool is not None:
+            self._proc_pool.explore_durations.clear()
         with trace_span("phase.explore", episode=episode):
             explore_results, failed = self._run_phase(
                 lambda e: e.explore(),
@@ -1101,6 +1136,20 @@ class ChiefEmployeeTrainer:
                 EXPLORE_ROUND,
                 phase="explore",
             )
+        if self.config.federate:
+            durations = (
+                self._proc_pool.explore_durations
+                if self._proc_pool is not None
+                else self._explore_durations
+            )
+            stragglers = update_employee_lag(durations)
+            for index in stragglers:
+                trace_event(
+                    "fleet.straggler",
+                    employee=index,
+                    episode=episode,
+                    dur=durations[index],
+                )
         active = sorted(explore_results)
         self._require_quorum(len(active), "exploration", episode)
         results: List[EpisodeResult] = [explore_results[i] for i in active]

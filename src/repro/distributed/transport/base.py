@@ -93,6 +93,14 @@ class ChiefChannel(abc.ABC):
 
     index: int
 
+    #: Estimated chief-minus-worker wall-clock offset in seconds.  Seeded
+    #: from the HELLO handshake where the transport has one (sockets) and
+    #: refreshed by the pool from the ``clock`` stamp on every reply, so
+    #: worker span timestamps can be skew-corrected *at merge time* —
+    #: raw worker records are never rewritten.  Plain attribute, benign
+    #: to race: readers only ever see an older estimate.
+    clock_offset: float = 0.0
+
     # -- lifecycle -----------------------------------------------------
     @abc.abstractmethod
     def arm(self) -> object:

@@ -241,6 +241,12 @@ class SocketChiefChannel(ChiefChannel):
         caller sends the refusal and closes the socket.
         """
         generation = int(hello.get("generation", ANY_GENERATION))
+        peer_clock = hello.get("clock")
+        if peer_clock is not None:
+            # Seed the chief-minus-worker skew estimate from the HELLO
+            # stamp; replies refresh it every pump.  Written outside the
+            # condition on purpose — a plain float, benign to race.
+            self.clock_offset = time.time() - float(peer_clock)
         with self._cond:
             if self._closed:
                 return None
@@ -862,6 +868,9 @@ class SocketWorkerEndpoint(WorkerEndpoint):
             "token": spec.token,
             "generation": spec.generation,
             "peer": socket.gethostname(),
+            # Wall-clock stamp: the chief seeds its clock-skew estimate
+            # from this (old chiefs simply ignore the extra key).
+            "clock": time.time(),
         }
         sock.sendall(
             encode_frame(

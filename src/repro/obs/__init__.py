@@ -20,11 +20,39 @@ Three pillars, one package:
   hot-spot table.  Zero overhead and bitwise-identical results when
   off.
 
+Fleet observability (PR 8) adds three more modules under the same
+bitwise install/uninstall contract:
+
+* **federation** (:mod:`repro.obs.federation`) — worker registries ship
+  metric *deltas* piggy-backed on replies; the chief folds them into the
+  main registry under ``worker``/``host`` labels and maintains the
+  ``repro_employee_lag_seconds`` straggler gauge.
+* **server** (:mod:`repro.obs.server`) — a stdlib ``http.server``
+  daemon-thread endpoint (``--obs-port`` / ``repro obs serve``) exposing
+  ``/metrics``, ``/metrics.json``, ``/trace/summary`` and ``/healthz``.
+* **flight recorder** (:mod:`repro.obs.flight`) — a bounded ring of
+  recent spans + metric snapshots dumped as a post-mortem bundle
+  (``repro obs dump``, plus automatic dumps on crash/quarantine paths).
+
 Plus :func:`get_logger`/:func:`configure_logging` (stdlib ``logging``
 integration) and the ASCII live :class:`Dashboard` (``--dashboard``).
 """
 
 from .dashboard import Dashboard
+from .federation import (
+    FEDERATION_SCHEMA_VERSION,
+    WorkerTelemetry,
+    collect_delta,
+    fold_into,
+    update_employee_lag,
+)
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    auto_dump,
+    get_flight_recorder,
+    validate_bundle,
+)
 from .log import JsonFormatter, ROOT_LOGGER_NAME, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -36,6 +64,7 @@ from .metrics import (
     set_registry,
 )
 from .profiler import OpProfiler, OpStats, get_profiler, profile_env_enabled
+from .server import PROMETHEUS_CONTENT_TYPE, ObsServer
 from .trace import (
     TRACE_FILENAME,
     TRACE_SCHEMA_VERSION,
@@ -43,17 +72,24 @@ from .trace import (
     SpanNode,
     TraceError,
     Tracer,
+    add_sink,
     build_span_tree,
+    current_context,
+    dedupe_synthetic,
     event,
+    fold_worker_records,
     get_tracer,
+    merge_traces,
     read_trace,
     record_span,
+    remove_sink,
     render_trace_summary,
     reset_after_fork,
     span,
     summarize_trace,
     trace_env_enabled,
     trace_path_for,
+    wall_clock,
 )
 
 __all__ = [
@@ -75,6 +111,13 @@ __all__ = [
     "build_span_tree",
     "summarize_trace",
     "render_trace_summary",
+    "wall_clock",
+    "current_context",
+    "add_sink",
+    "remove_sink",
+    "fold_worker_records",
+    "dedupe_synthetic",
+    "merge_traces",
     # metrics
     "Counter",
     "Gauge",
@@ -83,6 +126,21 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "get_registry",
     "set_registry",
+    # federation
+    "FEDERATION_SCHEMA_VERSION",
+    "WorkerTelemetry",
+    "collect_delta",
+    "fold_into",
+    "update_employee_lag",
+    # server
+    "ObsServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    # flight recorder
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "auto_dump",
+    "validate_bundle",
     # profiler
     "OpProfiler",
     "OpStats",

@@ -12,7 +12,9 @@ plus the process-local metrics registry:
 * a fleet table (socket backend only) from the ``repro_fleet_connected``
   / ``repro_fleet_generation`` / ``repro_transport_heartbeat_age_seconds``
   gauges the :class:`~repro.distributed.transport.SocketTransport`
-  maintains per employee.
+  maintains per employee, plus the metrics federation's
+  ``repro_employee_lag_seconds`` straggler gauge (last explore latency
+  minus the fleet median).
 
 The dashboard only *reads* — episode logs and registry snapshots — and
 writes to its stream; it never touches the model, the env or the RNGs,
@@ -121,6 +123,7 @@ class Dashboard:
         heartbeat = self._gauge_by_employee(
             "repro_transport_heartbeat_age_seconds"
         )
+        lag = self._gauge_by_employee("repro_employee_lag_seconds")
         lines = ["fleet:"]
         for name in sorted(connected, key=lambda k: (len(k), k)):
             up = float(connected[name]) >= 1.0
@@ -128,9 +131,13 @@ class Dashboard:
             age = heartbeat.get(name)
             gen_text = f"gen {int(gen):>3d}" if gen is not None else "gen   ?"
             age_text = f"hb {float(age):6.2f}s ago" if age is not None else "hb      —"
+            # Federation straggler gauge: last explore latency minus the
+            # fleet median (positive = slower than the median employee).
+            delta = lag.get(name)
+            lag_text = f"lag {float(delta):+7.3f}s" if delta is not None else "lag       —"
             lines.append(
                 f"  employee {name:<4s} {'up  ' if up else 'DOWN'}  "
-                f"{gen_text}  {age_text}"
+                f"{gen_text}  {age_text}  {lag_text}"
             )
         return lines
 

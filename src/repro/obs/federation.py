@@ -1,0 +1,318 @@
+"""Metrics federation: worker-side deltas folded into the chief registry.
+
+Every employee process owns a private :class:`~repro.obs.metrics.MetricsRegistry`
+wrapped in a :class:`WorkerTelemetry`.  At reply time the worker calls
+:meth:`WorkerTelemetry.collect`, which diffs the registry against the
+last collected baseline and ships only the *delta* (counter increments,
+gauge updates, histogram bucket-count deltas) piggy-backed on the reply
+payload — a few hundred bytes, no extra round trip, and safe to drop
+(losing a delta under-counts but never double-counts).
+
+The chief folds deltas with :func:`fold_into`: each worker metric is
+re-registered in the main registry with ``extra_labelnames=("worker",
+"host")`` so ``repro_phase_seconds`` and the curiosity/PPO series become
+per-employee, per-host time series, while the chief's own unlabelled
+observations render byte-identically to the pre-federation format (empty
+extra labels are skipped at exposition time).
+
+Federation is pure bookkeeping: it reads durations and training stats
+that already exist, never touches an RNG, and is disabled end to end by
+``TrainConfig(federate=False)`` / ``--no-federate`` — the bitwise
+install/uninstall contract of the obs layer applies unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry, get_registry
+
+__all__ = [
+    "FEDERATION_SCHEMA_VERSION",
+    "WorkerTelemetry",
+    "collect_delta",
+    "fold_into",
+    "update_employee_lag",
+]
+
+_LOG = logging.getLogger("repro.obs.federation")
+
+#: Version stamp on every shipped delta; bump on breaking layout changes.
+FEDERATION_SCHEMA_VERSION = 1
+
+#: Labels appended to every folded worker series.
+FLEET_LABELS = ("worker", "host")
+
+#: PPO statistic fields exported as worker gauges.
+_STAT_FIELDS = (
+    "policy_loss",
+    "value_loss",
+    "entropy",
+    "clip_fraction",
+    "approx_kl",
+)
+
+
+class WorkerTelemetry:
+    """An employee's private registry plus delta bookkeeping.
+
+    The worker serve loop calls the ``note_*``/``observe_phase`` hooks as
+    work completes and :meth:`collect` when building each reply.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._phase = self.registry.histogram(
+            "repro_phase_seconds",
+            "Wall time of one barrier phase (explore or one gradient round)",
+            labelnames=("phase",),
+        )
+        self._commands = self.registry.counter(
+            "repro_worker_commands_total",
+            "Commands served by this employee process",
+            labelnames=("op",),
+        )
+        self._episodes = self.registry.counter(
+            "repro_worker_episodes_total",
+            "Episodes collected by this employee process",
+        )
+        self._intrinsic = self.registry.gauge(
+            "repro_worker_intrinsic_reward",
+            "Intrinsic (curiosity) reward of the last collected episode",
+        )
+        self._extrinsic = self.registry.gauge(
+            "repro_worker_extrinsic_reward",
+            "Extrinsic reward of the last collected episode",
+        )
+        self._stats = {
+            name: self.registry.gauge(
+                f"repro_worker_{name}",
+                f"PPO {name.replace('_', ' ')} of the last gradient round",
+            )
+            for name in _STAT_FIELDS
+        }
+        self._baseline: Dict[str, Dict[Tuple[str, ...], object]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called from the worker serve loop)
+    # ------------------------------------------------------------------
+    def observe_phase(self, phase: str, duration: float) -> None:
+        self._phase.labels(phase=phase).observe(float(duration))
+
+    def note_command(self, op: str) -> None:
+        self._commands.labels(op=str(op)).inc()
+
+    def note_episode(self, result) -> None:
+        self._episodes.inc()
+        self._intrinsic.set(float(getattr(result, "intrinsic_reward", 0.0)))
+        self._extrinsic.set(float(getattr(result, "extrinsic_reward", 0.0)))
+
+    def note_stats(self, stats) -> None:
+        for name, gauge in self._stats.items():
+            value = getattr(stats, name, None)
+            if value is not None:
+                gauge.set(float(value))
+
+    # ------------------------------------------------------------------
+    def collect(self) -> Optional[Dict[str, object]]:
+        """The delta since the previous collect, or ``None`` if quiet."""
+        delta = collect_delta(self.registry, self._baseline)
+        return delta
+
+
+def _diff_scalar(
+    current: Mapping[Tuple[str, ...], float],
+    base: Mapping[Tuple[str, ...], object],
+    kind: str,
+) -> Dict[Tuple[str, ...], float]:
+    out: Dict[Tuple[str, ...], float] = {}
+    for key, value in current.items():
+        previous = base.get(key)
+        if kind == "counter":
+            inc = value - (float(previous) if previous is not None else 0.0)
+            if inc != 0.0:
+                out[key] = inc
+        else:  # gauge ships its current value whenever it changed
+            if previous is None or float(previous) != value:
+                out[key] = value
+    return out
+
+
+def _diff_histogram(
+    current: Mapping[Tuple[str, ...], Dict[str, object]],
+    base: Mapping[Tuple[str, ...], object],
+) -> Dict[Tuple[str, ...], Dict[str, object]]:
+    out: Dict[Tuple[str, ...], Dict[str, object]] = {}
+    for key, state in current.items():
+        previous = base.get(key)
+        if previous is None:
+            previous = {"counts": [0] * len(state["counts"]), "sum": 0.0, "count": 0}
+        counts = [
+            int(now) - int(then)
+            for now, then in zip(state["counts"], previous["counts"])
+        ]
+        count = int(state["count"]) - int(previous["count"])
+        if count > 0 or any(counts):
+            out[key] = {
+                "counts": counts,
+                "sum": float(state["sum"]) - float(previous["sum"]),
+                "count": count,
+            }
+    return out
+
+
+def collect_delta(
+    registry: MetricsRegistry,
+    baseline: Dict[str, Dict[Tuple[str, ...], object]],
+) -> Optional[Dict[str, object]]:
+    """Diff ``registry`` against ``baseline`` (updated in place).
+
+    Returns ``{"schema": 1, "metrics": {name: {kind, help, labelnames,
+    buckets?, series: {key: payload}}}}`` or ``None`` when nothing
+    changed.  Payloads are counter increments, current gauge values, or
+    histogram ``{counts, sum, count}`` deltas.
+    """
+    raw = registry.raw_series()
+    metrics: Dict[str, object] = {}
+    for name, spec in raw.items():
+        kind = spec["kind"]
+        base = baseline.get(name, {})
+        if kind == "histogram":
+            series = _diff_histogram(spec["series"], base)
+        else:
+            series = _diff_scalar(spec["series"], base, kind)
+        baseline[name] = spec["series"]
+        if not series:
+            continue
+        entry: Dict[str, object] = {
+            "kind": kind,
+            "help": spec["help"],
+            "labelnames": tuple(spec["labelnames"]),
+            "series": series,
+        }
+        if "buckets" in spec:
+            entry["buckets"] = tuple(spec["buckets"])
+        metrics[name] = entry
+    if not metrics:
+        return None
+    return {"schema": FEDERATION_SCHEMA_VERSION, "metrics": metrics}
+
+
+def _check_foldable(metric, labelnames: Tuple[str, ...]) -> None:
+    """Reject a fold target whose label layout cannot carry fleet labels.
+
+    ``_get_or_create`` returns an existing metric ignoring the requested
+    labels, so a name the chief registered *without* the fleet extras
+    would silently truncate the worker/host values at render time —
+    raise instead so :func:`fold_into` logs and skips the metric.
+    """
+    if tuple(metric.labelnames) != labelnames or not (
+        set(FLEET_LABELS) <= set(metric.extra_labelnames)
+    ):
+        raise ValueError(
+            f"label layout {metric.labelnames}/{metric.extra_labelnames} "
+            f"cannot carry a worker series labelled {labelnames}"
+        )
+
+
+def fold_into(
+    registry: MetricsRegistry,
+    delta: Mapping[str, object],
+    *,
+    worker: object,
+    host: object = "",
+) -> int:
+    """Fold one shipped worker delta into ``registry``.
+
+    Every folded series gains ``worker``/``host`` extra labels.  A
+    malformed or incompatible metric (kind collision with a chief
+    metric, bucket mismatch) is logged and skipped — federation must
+    never take down the training loop.  Returns the number of series
+    folded.
+    """
+    if not isinstance(delta, Mapping) or delta.get("schema") != FEDERATION_SCHEMA_VERSION:
+        _LOG.warning("dropping federation delta with unknown schema: %r", delta)
+        return 0
+    suffix = (str(worker), str(host))
+    folded = 0
+    for name, spec in sorted(delta.get("metrics", {}).items()):
+        try:
+            kind = spec["kind"]
+            labelnames = tuple(spec.get("labelnames", ()))
+            help_text = str(spec.get("help", ""))
+            if kind == "counter":
+                metric = registry.counter(
+                    name, help_text, labelnames=labelnames,
+                    extra_labelnames=FLEET_LABELS,
+                )
+                _check_foldable(metric, labelnames)
+                for key, amount in spec["series"].items():
+                    metric._inc(tuple(key) + suffix, float(amount))
+                    folded += 1
+            elif kind == "gauge":
+                metric = registry.gauge(
+                    name, help_text, labelnames=labelnames,
+                    extra_labelnames=FLEET_LABELS,
+                )
+                _check_foldable(metric, labelnames)
+                for key, value in spec["series"].items():
+                    metric._set(tuple(key) + suffix, float(value))
+                    folded += 1
+            elif kind == "histogram":
+                metric = registry.histogram(
+                    name, help_text, labelnames=labelnames,
+                    buckets=tuple(spec.get("buckets", DEFAULT_BUCKETS)),
+                    extra_labelnames=FLEET_LABELS,
+                )
+                _check_foldable(metric, labelnames)
+                for key, state in spec["series"].items():
+                    metric._fold(
+                        tuple(key) + suffix,
+                        state["counts"],
+                        state["sum"],
+                        state["count"],
+                    )
+                    folded += 1
+            else:
+                _LOG.warning("unknown federated metric kind %r for %s", kind, name)
+        except (KeyError, TypeError, ValueError) as error:
+            # e.g. the chief registered the same name without fleet labels,
+            # or a bucket layout changed across versions.
+            _LOG.warning("cannot fold federated metric %s: %s", name, error)
+    return folded
+
+
+def update_employee_lag(
+    durations: Mapping[int, float],
+    registry: Optional[MetricsRegistry] = None,
+    k: float = 2.0,
+) -> List[int]:
+    """Refresh ``repro_employee_lag_seconds`` and flag stragglers.
+
+    ``durations`` maps employee index to its last explore latency.  The
+    gauge records each employee's latency minus the fleet median (so a
+    healthy fleet hovers around zero); employees slower than
+    ``k * median`` are returned as stragglers for the dashboard.
+    """
+    if registry is None:
+        registry = get_registry()
+    gauge = registry.gauge(
+        "repro_employee_lag_seconds",
+        "Last explore latency minus the fleet median (stragglers > k*median)",
+        labelnames=("employee",),
+    )
+    if not durations:
+        return []
+    values = sorted(float(v) for v in durations.values())
+    mid = len(values) // 2
+    if len(values) % 2:
+        median = values[mid]
+    else:
+        median = (values[mid - 1] + values[mid]) / 2.0
+    stragglers: List[int] = []
+    for index, duration in sorted(durations.items()):
+        gauge.labels(employee=index).set(float(duration) - median)
+        if median > 0.0 and float(duration) > k * median:
+            stragglers.append(int(index))
+    return stragglers

@@ -1,0 +1,224 @@
+"""Crash flight recorder: a bounded ring of recent telemetry per process.
+
+A :class:`FlightRecorder` taps the tracer's sink hook for every emitted
+span/event and keeps the most recent ``max_spans`` in memory alongside
+the last ``max_snapshots`` metric snapshots.  On demand — ``repro obs
+dump``, or automatically from the WorkerDied/quarantine/crash paths via
+:func:`auto_dump` — it writes a self-contained post-mortem **bundle**:
+
+.. code-block:: json
+
+    {"schema": 1, "reason": "crash", "ts": ..., "pid": ..., "host": ...,
+     "spans": [...], "metrics": [...], "extra": {...}}
+
+``spans`` are verbatim trace records (same schema as ``trace.jsonl``),
+``metrics`` are registry snapshots (newest last), ``extra`` carries the
+dump site's context (employee index, episode, ...).  Bundles validate
+with :func:`validate_bundle`, so CI's injected-SIGKILL leg can assert a
+usable diagnosis artifact survived the fault.
+
+Like every obs layer the recorder is read-only bookkeeping under the
+bitwise contract: installing it registers a trace sink and touches no
+RNG; :func:`auto_dump` is a no-op while no recorder is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import platform
+import threading
+from collections import deque
+from typing import Dict, Optional, Union
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import add_sink, remove_sink, wall_clock
+
+__all__ = [
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "auto_dump",
+    "validate_bundle",
+    "reset_after_fork",
+]
+
+_LOG = logging.getLogger("repro.obs.flight")
+
+#: Version stamp on every bundle; bump on breaking layout changes.
+FLIGHT_SCHEMA_VERSION = 1
+
+_BUNDLE_FIELDS = ("schema", "reason", "ts", "pid", "host", "spans", "metrics", "extra")
+
+
+class FlightRecorder:
+    """Buffer recent spans + metric snapshots; dump post-mortem bundles.
+
+    Parameters
+    ----------
+    directory:
+        Where bundles land (created on first dump).
+    max_spans:
+        Trace records retained (oldest evicted first).
+    max_snapshots:
+        Registry snapshots retained by :meth:`note_metrics`.
+    """
+
+    def __init__(
+        self,
+        directory: str = os.path.join("runs", "flight"),
+        max_spans: int = 2048,
+        max_snapshots: int = 8,
+    ):
+        if max_spans < 1 or max_snapshots < 1:
+            raise ValueError(
+                f"bounds must be >= 1, got {max_spans}/{max_snapshots}"
+            )
+        self.directory = os.fspath(directory)
+        self._spans: "deque[Dict[str, object]]" = deque(maxlen=max_spans)
+        self._snapshots: "deque[Dict[str, object]]" = deque(maxlen=max_snapshots)
+        self._lock = threading.Lock()
+        self._installed = False
+        self._dumps = 0
+
+    # ------------------------------------------------------------------
+    def _on_record(self, record: Dict[str, object]) -> None:
+        if record.get("type") == "header":
+            return
+        with self._lock:
+            self._spans.append(record)
+
+    def note_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Append a registry snapshot to the bounded snapshot ring."""
+        if registry is None:
+            registry = get_registry()
+        snapshot = {"ts": wall_clock(), "metrics": registry.snapshot()}
+        with self._lock:
+            self._snapshots.append(snapshot)
+
+    # ------------------------------------------------------------------
+    def install(self) -> "FlightRecorder":
+        """Register as the process-wide recorder and tap the trace sink."""
+        global _ACTIVE
+        if self._installed:
+            return self
+        if _ACTIVE is not None:
+            raise RuntimeError("another FlightRecorder is already installed")
+        add_sink(self._on_record)
+        self._installed = True
+        _ACTIVE = self
+        return self
+
+    def uninstall(self) -> "FlightRecorder":
+        global _ACTIVE
+        if not self._installed:
+            return self
+        self._installed = False
+        if _ACTIVE is self:
+            _ACTIVE = None
+        remove_sink(self._on_record)
+        return self
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    def dump(self, reason: str, **extra) -> str:
+        """Write one bundle (plus a fresh metrics snapshot) and return its path."""
+        self.note_metrics()
+        with self._lock:
+            self._dumps += 1
+            bundle = {
+                "schema": FLIGHT_SCHEMA_VERSION,
+                "reason": str(reason),
+                "ts": wall_clock(),
+                "pid": os.getpid(),
+                "host": platform.node(),
+                "spans": list(self._spans),
+                "metrics": list(self._snapshots),
+                "extra": dict(extra),
+            }
+            count = self._dumps
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory, f"flight-{os.getpid()}-{count:03d}.json"
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def summary(self) -> str:
+        """One-line CLI summary."""
+        with self._lock:
+            spans, dumps = len(self._spans), self._dumps
+        return (
+            f"flight recorder: {spans} span(s) buffered, "
+            f"{dumps} bundle(s) -> {self.directory}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level singleton (mirrors the tracer's install contract)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FlightRecorder] = None
+
+
+def get_flight_recorder() -> Optional[FlightRecorder]:
+    """The installed recorder, if any."""
+    return _ACTIVE
+
+
+def auto_dump(reason: str, **extra) -> Optional[str]:
+    """Dump a bundle from a fault path (no-op while no recorder is installed)."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return None
+    try:
+        return recorder.dump(reason, **extra)
+    except OSError as error:
+        # A full disk must not turn a survivable worker fault into a
+        # chief crash; the bundle is best-effort by design.
+        _LOG.warning("flight recorder dump failed: %s", error)
+        return None
+
+
+def reset_after_fork() -> None:
+    """Drop any inherited recorder in a freshly forked worker process."""
+    global _ACTIVE
+    recorder = _ACTIVE
+    _ACTIVE = None
+    if recorder is not None:
+        recorder._installed = False
+
+
+def validate_bundle(bundle: Union[str, Dict[str, object]]) -> Dict[str, object]:
+    """Validate a bundle (path or parsed dict); returns it or raises ``ValueError``."""
+    if isinstance(bundle, str):
+        with open(bundle, "r", encoding="utf-8") as handle:
+            bundle = json.load(handle)
+    if not isinstance(bundle, dict):
+        raise ValueError("flight bundle must be a JSON object")
+    missing = [key for key in _BUNDLE_FIELDS if key not in bundle]
+    if missing:
+        raise ValueError(f"flight bundle missing field(s) {missing}")
+    if bundle["schema"] != FLIGHT_SCHEMA_VERSION:
+        raise ValueError(
+            f"flight bundle schema {bundle['schema']!r} != {FLIGHT_SCHEMA_VERSION}"
+        )
+    if not isinstance(bundle["spans"], list) or not isinstance(
+        bundle["metrics"], list
+    ):
+        raise ValueError("flight bundle spans/metrics must be lists")
+    for index, record in enumerate(bundle["spans"]):
+        if not isinstance(record, dict) or "name" not in record or "ts" not in record:
+            raise ValueError(f"flight bundle span {index} is malformed")
+    return bundle

@@ -70,40 +70,75 @@ def _format_value(value: float) -> str:
 
 
 class _Metric:
-    """Shared machinery of the three metric kinds."""
+    """Shared machinery of the three metric kinds.
+
+    ``labelnames`` are *required* on every :meth:`labels` call.
+    ``extra_labelnames`` are the federation labels (``worker``/``host``):
+    optional, defaulting to the empty string, and **omitted from
+    rendering when empty** — so a metric grown extra labels for folded
+    worker series exposes its chief-side series byte-identically to a
+    metric that never had them.  Both tuples are immutable after
+    construction (reads happen lock-free on the hot path).
+    """
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        extra_labelnames: Sequence[str] = (),
+    ):
         self.name = _check_name(name)
         self.help = help
         self.labelnames = tuple(labelnames)
-        for label in self.labelnames:
+        self.extra_labelnames = tuple(extra_labelnames)
+        for label in self.labelnames + self.extra_labelnames:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name {label!r}")
+        overlap = set(self.labelnames) & set(self.extra_labelnames)
+        if overlap:
+            raise ValueError(
+                f"{name}: extra labels {sorted(overlap)} duplicate labelnames"
+            )
         self._lock = threading.Lock()
         self._series: Dict[LabelValues, object] = {}
 
     def _key(self, labels: Dict[str, object]) -> LabelValues:
-        if set(labels) != set(self.labelnames):
+        required = set(self.labelnames)
+        extras = set(self.extra_labelnames)
+        provided = set(labels)
+        if not (required <= provided and provided <= required | extras):
             raise ValueError(
                 f"{self.name}: expected labels {self.labelnames}, "
                 f"got {tuple(sorted(labels))}"
             )
-        return tuple(str(labels[name]) for name in self.labelnames)
+        return tuple(str(labels[name]) for name in self.labelnames) + tuple(
+            str(labels.get(name, "")) for name in self.extra_labelnames
+        )
 
     def labels(self, **labels) -> "_Metric":
         """A bound child carrying fixed label values."""
         key = self._key(labels)
         return _Bound(self, key)
 
-    def _labelled_name(self, key: LabelValues, suffix: str = "") -> str:
-        if not self.labelnames:
-            return f"{self.name}{suffix}"
-        pairs = ",".join(
+    def _pairs(self, key: LabelValues, trailing: Sequence[Tuple[str, str]] = ()) -> str:
+        """Rendered ``label="value"`` pairs; empty extras are skipped."""
+        names = self.labelnames + self.extra_labelnames
+        required = len(self.labelnames)
+        parts = [
             f'{label}="{_escape(value)}"'
-            for label, value in zip(self.labelnames, key)
-        )
+            for index, (label, value) in enumerate(zip(names, key))
+            if index < required or value != ""
+        ]
+        parts.extend(f'{label}="{_escape(value)}"' for label, value in trailing)
+        return ",".join(parts)
+
+    def _labelled_name(self, key: LabelValues, suffix: str = "") -> str:
+        pairs = self._pairs(key)
+        if not pairs:
+            return f"{self.name}{suffix}"
         return f"{self.name}{suffix}{{{pairs}}}"
 
     # Overridden by subclasses -----------------------------------------
@@ -192,6 +227,11 @@ class Counter(_Metric):
                 )
         return lines
 
+    def raw_series(self) -> Dict[LabelValues, float]:
+        """Raw per-key values keyed by label tuples (federation deltas)."""
+        with self._lock:
+            return {key: float(value) for key, value in self._series.items()}
+
 
 class Gauge(Counter):
     """A value that can go up and down."""
@@ -234,8 +274,14 @@ class Histogram(_Metric):
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        extra_labelnames: Sequence[str] = (),
     ):
-        super().__init__(name, help=help, labelnames=labelnames)
+        super().__init__(
+            name,
+            help=help,
+            labelnames=labelnames,
+            extra_labelnames=extra_labelnames,
+        )
         bounds = tuple(float(b) for b in buckets)
         if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
             raise ValueError(f"buckets must be non-empty and increasing: {buckets}")
@@ -288,25 +334,47 @@ class Histogram(_Metric):
                 cumulative = 0
                 for bound, count in zip(self.buckets, state.counts):
                     cumulative += count
-                    label_key = key + (_format_value(bound),)
-                    pairs = ",".join(
-                        f'{label}="{_escape(value)}"'
-                        for label, value in zip(
-                            self.labelnames + ("le",), label_key
-                        )
-                    )
+                    pairs = self._pairs(key, trailing=(("le", _format_value(bound)),))
                     lines.append(f"{self.name}_bucket{{{pairs}}} {cumulative}")
-                inf_key = key + ("+Inf",)
-                pairs = ",".join(
-                    f'{label}="{_escape(value)}"'
-                    for label, value in zip(self.labelnames + ("le",), inf_key)
-                )
+                pairs = self._pairs(key, trailing=(("le", "+Inf"),))
                 lines.append(f"{self.name}_bucket{{{pairs}}} {state.count}")
                 lines.append(
                     f"{self._labelled_name(key, '_sum')} {_format_value(state.sum)}"
                 )
                 lines.append(f"{self._labelled_name(key, '_count')} {state.count}")
         return lines
+
+    def raw_series(self) -> Dict[LabelValues, Dict[str, object]]:
+        """Raw per-key state (bucket counts, sum, count) for federation."""
+        with self._lock:
+            return {
+                key: {
+                    "counts": list(state.counts),
+                    "sum": float(state.sum),
+                    "count": int(state.count),
+                }
+                for key, state in self._series.items()
+            }
+
+    def _fold(
+        self, key: LabelValues, counts: Sequence[int], total: float, count: int
+    ) -> None:
+        """Add a shipped bucket-count delta into one series (federation)."""
+        counts = [int(c) for c in counts]
+        if len(counts) != len(self.buckets):
+            raise ValueError(
+                f"{self.name}: cannot fold {len(counts)} bucket(s) into "
+                f"{len(self.buckets)}"
+            )
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = self._default()
+                self._series[key] = state
+            for index, delta in enumerate(counts):
+                state.counts[index] += delta
+            state.sum += float(total)
+            state.count += int(count)
 
 
 class MetricsRegistry:
@@ -330,12 +398,34 @@ class MetricsRegistry:
             return metric
 
     def counter(
-        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        extra_labelnames: Sequence[str] = (),
     ) -> Counter:
-        return self._get_or_create(Counter, name, help=help, labelnames=labelnames)
+        return self._get_or_create(
+            Counter,
+            name,
+            help=help,
+            labelnames=labelnames,
+            extra_labelnames=extra_labelnames,
+        )
 
-    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
-        return self._get_or_create(Gauge, name, help=help, labelnames=labelnames)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        extra_labelnames: Sequence[str] = (),
+    ) -> Gauge:
+        return self._get_or_create(
+            Gauge,
+            name,
+            help=help,
+            labelnames=labelnames,
+            extra_labelnames=extra_labelnames,
+        )
 
     def histogram(
         self,
@@ -343,9 +433,15 @@ class MetricsRegistry:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        extra_labelnames: Sequence[str] = (),
     ) -> Histogram:
         return self._get_or_create(
-            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+            Histogram,
+            name,
+            help=help,
+            labelnames=labelnames,
+            buckets=buckets,
+            extra_labelnames=extra_labelnames,
         )
 
     def get(self, name: str) -> Optional[_Metric]:
@@ -361,6 +457,23 @@ class MetricsRegistry:
         with self._lock:
             metrics = list(self._metrics.items())
         return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def raw_series(self) -> Dict[str, Dict[str, object]]:
+        """Raw label-tuple-keyed series for every metric (federation)."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out: Dict[str, Dict[str, object]] = {}
+        for name, metric in sorted(metrics):
+            spec: Dict[str, object] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": metric.labelnames,
+                "series": metric.raw_series(),
+            }
+            if isinstance(metric, Histogram):
+                spec["buckets"] = metric.buckets
+            out[name] = spec
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,166 @@
+"""A stdlib HTTP exposition endpoint for the obs layer.
+
+:class:`ObsServer` runs a ``http.server.ThreadingHTTPServer`` on a
+daemon thread (``repro obs serve`` or ``python -m repro train
+--obs-port``) and exposes:
+
+=================  ====================================================
+``/metrics``       Prometheus text exposition format 0.0.4
+``/metrics.json``  the registry snapshot as JSON
+``/trace/summary`` ``summarize_trace`` of the active tracer's ring
+``/healthz``       200 when every connected employee is live, else 503
+=================  ====================================================
+
+The server only *reads* registry snapshots and the tracer ring — it
+observes the run, it cannot perturb it, so scraping mid-train preserves
+bitwise-identical results.  Fleet liveness in ``/healthz`` derives from
+the socket transport's ``repro_fleet_connected`` gauge; runs without a
+socket transport report ``ok`` with an empty fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+from .trace import dedupe_synthetic, get_tracer, summarize_trace
+
+__all__ = ["ObsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+#: The content type Prometheus scrapers negotiate for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_EMPLOYEE_RE = re.compile(r'employee="([^"]*)"')
+
+
+def _fleet_health(registry: MetricsRegistry) -> Tuple[bool, Dict[str, object]]:
+    """(healthy, report) from the transport's connection gauge."""
+    gauge = registry.get("repro_fleet_connected")
+    down: List[str] = []
+    fleet = 0
+    if gauge is not None:
+        for series, value in gauge.snapshot()["series"].items():
+            fleet += 1
+            if not value:
+                match = _EMPLOYEE_RE.search(series)
+                down.append(match.group(1) if match else series)
+    healthy = not down
+    return healthy, {
+        "status": "ok" if healthy else "degraded",
+        "fleet": fleet,
+        "down": sorted(down),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one obs request; the server instance carries the registry."""
+
+    server_version = "repro-obs/1"
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        registry = self.server.obs_registry  # type: ignore[attr-defined]
+        if registry is None:
+            registry = get_registry()
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._send(200, PROMETHEUS_CONTENT_TYPE, registry.render_prometheus())
+        elif path == "/metrics.json":
+            self._send(200, "application/json", registry.to_json())
+        elif path == "/trace/summary":
+            tracer = get_tracer()
+            records = list(tracer.ring) if tracer is not None else []
+            summary = summarize_trace(dedupe_synthetic(records))
+            self._send(200, "application/json", json.dumps(summary, sort_keys=True))
+        elif path == "/healthz":
+            healthy, report = _fleet_health(registry)
+            self._send(
+                200 if healthy else 503,
+                "application/json",
+                json.dumps(report, sort_keys=True),
+            )
+        else:
+            self._send(404, "application/json", json.dumps({"error": "not found"}))
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence the default stderr access log (CLI output stays clean)."""
+        return None
+
+
+class ObsServer:
+    """The daemon-thread HTTP endpoint; start/stop or use as a context."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self._requested = (host, int(port))
+        self._registry = registry
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer(self._requested, _Handler)
+        httpd.daemon_threads = True
+        httpd.obs_registry = self._registry  # type: ignore[attr-defined]
+        thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._httpd = httpd
+        self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = None
+        self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    close = stop
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` auto-assignment)."""
+        if self._httpd is None:
+            return self._requested[1]
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._requested[0]}:{self.port}"
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def summary(self) -> str:
+        """One-line CLI summary."""
+        return f"obs server: {self.address}/metrics"

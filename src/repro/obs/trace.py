@@ -33,12 +33,13 @@ from __future__ import annotations
 import io
 import itertools
 import json
+import logging
 import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..utils.tables import format_table
 
@@ -60,7 +61,16 @@ __all__ = [
     "build_span_tree",
     "summarize_trace",
     "render_trace_summary",
+    "wall_clock",
+    "current_context",
+    "add_sink",
+    "remove_sink",
+    "fold_worker_records",
+    "dedupe_synthetic",
+    "merge_traces",
 ]
+
+_LOG = logging.getLogger("repro.obs.trace")
 
 #: Version stamp written into every record; bump on breaking layout changes.
 TRACE_SCHEMA_VERSION = 1
@@ -158,13 +168,24 @@ class Tracer:
         install).  ``None`` keeps records in memory only.
     ring_size:
         Entries retained by the in-memory ring buffer.
+    trace_id:
+        Fleet-wide run identifier propagated to workers.  ``None`` (the
+        default) derives one from the pid and the wall clock at
+        :meth:`install` time; worker-side tracers receive the chief's id
+        through the command context instead.
     """
 
-    def __init__(self, path: Optional[str] = None, ring_size: int = 4096):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        ring_size: int = 4096,
+        trace_id: Optional[str] = None,
+    ):
         if ring_size < 1:
             raise ValueError(f"ring_size must be >= 1, got {ring_size}")
         self.path = os.fspath(path) if path is not None else None
         self.ring: "deque[Dict[str, object]]" = deque(maxlen=ring_size)
+        self.trace_id = trace_id
         self._lock = threading.Lock()
         self._handle: Optional[io.TextIOBase] = None
         self._ids = itertools.count(1)
@@ -189,6 +210,27 @@ class Tracer:
                 # at most one torn trailing line, never interleaved records.
                 self._handle.write(json.dumps(record, sort_keys=True) + "\n")
                 self._handle.flush()
+        # Sinks (e.g. the flight recorder) run outside the lock so a slow
+        # sink never serializes unrelated emitters; a broken sink is
+        # detached rather than poisoning every subsequent record.
+        for sink in list(_SINKS):
+            try:
+                sink(record)
+            except Exception:
+                _LOG.warning("trace sink %r raised; removing it", sink, exc_info=True)
+                remove_sink(sink)
+
+    def drain_ring(self) -> List[Dict[str, object]]:
+        """Pop and return every buffered span/event record (headers dropped).
+
+        Worker processes call this at reply time to piggy-back their
+        freshly recorded spans on the result payload; draining (rather
+        than copying) keeps each reply's batch disjoint.
+        """
+        with self._lock:
+            records = [r for r in self.ring if r.get("type") != "header"]
+            self.ring.clear()
+        return records
 
     # ------------------------------------------------------------------
     # Recording API
@@ -218,7 +260,6 @@ class Tracer:
     # ------------------------------------------------------------------
     def install(self) -> "Tracer":
         """Make this the process-wide active tracer; opens the trace file."""
-        global _ACTIVE
         if self._installed:
             return self
         if _ACTIVE is not None:
@@ -230,6 +271,8 @@ class Tracer:
             handle = open(self.path, "a", encoding="utf-8")
             with self._lock:
                 self._handle = handle
+        if self.trace_id is None:
+            self.trace_id = f"{os.getpid():x}-{int(time.time() * 1e6):x}"
         self._emit(
             {
                 "schema": TRACE_SCHEMA_VERSION,
@@ -239,21 +282,20 @@ class Tracer:
                 "dur": 0.0,
                 "id": 0,
                 "parent": None,
-                "attrs": {"pid": os.getpid()},
+                "attrs": {"pid": os.getpid(), "trace_id": self.trace_id},
             }
         )
         self._installed = True
-        _ACTIVE = self
+        _bind_active_reset_after_fork(self)
         return self
 
     def uninstall(self) -> "Tracer":
         """Detach and close the trace file (records stay in the ring)."""
-        global _ACTIVE
         if not self._installed:
             return self
         self._installed = False
         if _ACTIVE is self:
-            _ACTIVE = None
+            _bind_active_reset_after_fork(None)
         with self._lock:
             if self._handle is not None:
                 self._handle.close()
@@ -282,6 +324,20 @@ class Tracer:
 # Module-level helpers (the instrumentation surface)
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[Tracer] = None
+
+
+def _bind_active_reset_after_fork(tracer: Optional[Tracer]) -> None:
+    """(Re)bind the process-local tracer singleton.
+
+    The only place ``_ACTIVE`` is rebound.  Named into the RPL015
+    ``reset_after_fork`` re-init family on purpose: installing a tracer
+    inside a freshly forked worker *is* fork-side re-initialization of
+    per-process trace state (the worker adopts its own tracer after
+    :func:`reset_after_fork` dropped the inherited one), not chief state
+    leaking through the fork.
+    """
+    global _ACTIVE
+    _ACTIVE = tracer
 
 
 def get_tracer() -> Optional[Tracer]:
@@ -350,6 +406,191 @@ def reset_after_fork() -> None:
     if tracer is not None:
         tracer._installed = False
         tracer._handle = None
+    # Inherited sinks (e.g. the chief's flight recorder) would otherwise
+    # keep buffering into the parent's rings inside the worker.
+    del _SINKS[:]
+
+
+# ----------------------------------------------------------------------
+# Fleet helpers: wall clock, trace context, sinks
+# ----------------------------------------------------------------------
+_SINKS: List[Callable[[Dict[str, object]], None]] = []
+
+
+def wall_clock() -> float:
+    """The wall clock (``time.time()``), exposed for non-obs modules.
+
+    RPL006 confines raw wall-clock reads to the obs/transport layers;
+    modules on the hot training path (e.g. ``procpool``) stamp reply
+    clocks through this helper so the discipline stays greppable.
+    """
+    return time.time()
+
+
+def current_context() -> Optional[Dict[str, object]]:
+    """The (trace_id, parent span id) context to propagate to a worker.
+
+    ``None`` while tracing is off — the command payload then omits the
+    context field entirely, which old peers never look at.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    stack = tracer._stack()
+    return {
+        "trace_id": tracer.trace_id,
+        "parent": stack[-1] if stack else None,
+    }
+
+
+def add_sink(sink: Callable[[Dict[str, object]], None]) -> None:
+    """Register a callable invoked with every emitted record (any tracer)."""
+    if sink not in _SINKS:
+        _SINKS.append(sink)
+
+
+def remove_sink(sink: Callable[[Dict[str, object]], None]) -> None:
+    """Unregister a sink added by :func:`add_sink` (missing sinks are fine)."""
+    try:
+        _SINKS.remove(sink)
+    except ValueError:
+        _LOG.debug("remove_sink: %r was not registered", sink)
+
+
+def fold_worker_records(
+    records: Sequence[Dict[str, object]],
+    *,
+    parent: Optional[int] = None,
+    offset: float = 0.0,
+    **labels,
+) -> int:
+    """Merge worker-emitted records into the chief's active tracer.
+
+    Worker span ids live in the worker's own id space; each record is
+    re-issued a chief-side id (preserving relative order, so parents keep
+    smaller ids than their children), worker-local roots are re-parented
+    under ``parent`` (the chief span that issued the command), ``offset``
+    — the chief-minus-worker clock estimate — is added to every
+    timestamp, and ``labels`` (host/worker/pid) are folded into attrs.
+    The raw worker records are never mutated, so per-worker files and
+    rings stay unmodified primary sources.  Returns the number of records
+    folded (0 while tracing is off).
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return 0
+    clean = [
+        record
+        for record in records
+        if isinstance(record, dict) and record.get("type") in ("span", "event")
+    ]
+    mapping: Dict[int, int] = {}
+    for record in sorted(clean, key=lambda r: int(r.get("id", 0))):
+        mapping[int(record.get("id", 0))] = next(tracer._ids)
+    folded = 0
+    for record in clean:
+        attrs = dict(record.get("attrs") or {})
+        for key, value in labels.items():
+            if value is not None:
+                attrs[key] = value
+        raw_parent = record.get("parent")
+        new_parent = mapping.get(int(raw_parent)) if raw_parent is not None else None
+        tracer._emit(
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "type": str(record["type"]),
+                "name": str(record["name"]),
+                "ts": float(record["ts"]) + float(offset),
+                "dur": float(record.get("dur", 0.0)),
+                "id": mapping[int(record["id"])],
+                "parent": parent if new_parent is None else new_parent,
+                "attrs": attrs,
+            }
+        )
+        folded += 1
+    return folded
+
+
+def _synthetic_key(record: Dict[str, object]) -> Tuple[object, object, object, object]:
+    attrs = record.get("attrs") or {}
+    return (
+        record.get("name"),
+        attrs.get("employee"),
+        attrs.get("episode"),
+        attrs.get("round"),
+    )
+
+
+def dedupe_synthetic(
+    records: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Drop chief re-emitted ``synthetic`` spans shadowed by worker spans.
+
+    Before trace propagation the chief re-emitted each worker task as an
+    ``employee.*`` span from the shipped duration; those re-emissions are
+    now marked ``attrs.synthetic`` and are dropped whenever a genuine
+    worker-propagated span for the same (name, employee, episode, round)
+    is present, so mixed traces never double-count a task.  Unshadowed
+    synthetic spans (old workers, tracing-only runs) are kept.
+    """
+    real = set()
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        attrs = record.get("attrs") or {}
+        if not attrs.get("synthetic") and attrs.get("employee") is not None:
+            real.add(_synthetic_key(record))
+    kept: List[Dict[str, object]] = []
+    for record in records:
+        attrs = record.get("attrs") or {}
+        if attrs.get("synthetic") and _synthetic_key(record) in real:
+            continue
+        kept.append(record)
+    return kept
+
+
+def merge_traces(streams: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Merge per-process trace record streams into one corrected stream.
+
+    Each stream is ``{"records": [...], "offset": chief_minus_worker,
+    "labels": {...}}``.  Ids are re-issued from one shared counter
+    (order-preserving per stream), ``offset`` is added to every
+    timestamp, labels land in attrs, headers are dropped, and parents
+    torn away by a truncated file degrade to roots.  The merged stream is
+    sorted by corrected ``(ts, id)``.
+    """
+    ids = itertools.count(1)
+    merged: List[Dict[str, object]] = []
+    for stream in streams:
+        records = stream.get("records") or []
+        offset = float(stream.get("offset", 0.0))
+        labels = dict(stream.get("labels") or {})
+        clean = [r for r in records if r.get("type") in ("span", "event")]
+        mapping: Dict[int, int] = {}
+        for record in sorted(clean, key=lambda r: int(r["id"])):
+            mapping[int(record["id"])] = next(ids)
+        for record in clean:
+            attrs = dict(record.get("attrs") or {})
+            attrs.update(labels)
+            raw_parent = record.get("parent")
+            merged.append(
+                {
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "type": str(record["type"]),
+                    "name": str(record["name"]),
+                    "ts": float(record["ts"]) + offset,
+                    "dur": float(record.get("dur", 0.0)),
+                    "id": mapping[int(record["id"])],
+                    "parent": (
+                        mapping.get(int(raw_parent))
+                        if raw_parent is not None
+                        else None
+                    ),
+                    "attrs": attrs,
+                }
+            )
+    merged.sort(key=lambda record: (record["ts"], record["id"]))
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -474,10 +715,14 @@ def summarize_trace(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
     Returns a plain dict so callers can render or JSON-dump it:
     ``{"spans": n, "events": n, "by_name": {...}, "by_employee": {...},
-    "event_counts": {...}}``.
+    "by_host_worker": {...}, "event_counts": {...}}``.  The
+    ``by_host_worker`` table covers only spans carrying the fleet
+    ``worker`` label injected by :func:`fold_worker_records` /
+    :func:`merge_traces` — i.e. genuinely worker-emitted spans.
     """
     by_name: Dict[str, _Agg] = {}
     by_employee: Dict[Tuple[str, int], _Agg] = {}
+    by_host_worker: Dict[Tuple[str, str, str], _Agg] = {}
     event_counts: Dict[str, int] = {}
     spans = events = 0
     for record in records:
@@ -490,6 +735,11 @@ def summarize_trace(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
             if employee is not None:
                 key = (name, int(employee))
                 by_employee.setdefault(key, _Agg()).add(duration)
+            worker = record["attrs"].get("worker")
+            if worker is not None:
+                host = str(record["attrs"].get("host") or "local")
+                fleet_key = (host, str(worker), name)
+                by_host_worker.setdefault(fleet_key, _Agg()).add(duration)
         elif record["type"] == "event":
             events += 1
             event_counts[name] = event_counts.get(name, 0) + 1
@@ -513,6 +763,15 @@ def summarize_trace(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 "max": agg.max,
             }
             for (name, employee), agg in sorted(by_employee.items())
+        },
+        "by_host_worker": {
+            f"{name}[{host}/{worker}]": {
+                "count": agg.count,
+                "total": agg.total,
+                "mean": agg.mean,
+                "max": agg.max,
+            }
+            for (host, worker, name), agg in sorted(by_host_worker.items())
         },
         "event_counts": dict(sorted(event_counts.items())),
     }
@@ -552,6 +811,21 @@ def render_trace_summary(summary: Dict[str, object]) -> str:
                 ["span[employee]", "count", "total s", "mean s"],
                 rows,
                 title="per-employee timings",
+                precision=4,
+            )
+        )
+    by_host_worker = summary.get("by_host_worker") or {}
+    if by_host_worker:
+        rows = [
+            [name, agg["count"], agg["total"], agg["mean"]]
+            for name, agg in sorted(by_host_worker.items())
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["span[host/worker]", "count", "total s", "mean s"],
+                rows,
+                title="per-host/per-worker timings",
                 precision=4,
             )
         )

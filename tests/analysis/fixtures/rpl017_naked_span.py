@@ -1,0 +1,12 @@
+"""Known-bad fixture for RPL017: span context managers never entered."""
+
+from repro.obs.trace import get_tracer, span
+
+
+def dark_phase(tracer, episode):
+    span("phase.explore", episode=episode)  # naked: nothing is recorded
+    tracer.span("employee.explore", employee=0)  # naked: manager dropped
+    get_tracer().span("phase.sync")  # naked: manager dropped
+    with span("phase.gradients", episode=episode):  # fine: entered
+        pass
+    return tracer.span("deferred")  # fine: the caller enters it

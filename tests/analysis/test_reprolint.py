@@ -40,6 +40,7 @@ FIXTURE_EXPECTATIONS = {
     os.path.join(
         "rpl012_raw_socket", "repro", "telemetry", "raw_push.py"
     ): ("RPL012", 3),
+    "rpl017_naked_span.py": ("RPL017", 3),
 }
 
 
@@ -49,6 +50,7 @@ class TestRegistry:
             "RPL010",
             "RPL011",
             "RPL012",
+            "RPL017",
         ]
 
     def test_rule_table_rows(self):
@@ -281,6 +283,23 @@ class TestPathScoping:
             "    conn.send(rng.random())\n"
         )
         assert lint_source(source, "src/repro/distributed/pool.py") == []
+
+    def test_rpl017_flags_naked_spans_only(self):
+        source = (
+            "from repro.obs.trace import span as trace_span\n"
+            "def f(tracer):\n"
+            "    trace_span('phase')\n"
+            "    with trace_span('ok'):\n"
+            "        pass\n"
+            "    return tracer.span('deferred')\n"
+        )
+        assert [f.code for f in lint_source(source, "src/repro/foo.py")] == [
+            "RPL017"
+        ]
+        # Unrelated `.span` receivers (a regex match, say) stay in scope
+        # only when the receiver looks like a tracer.
+        other = "def g(match):\n    match.span(1)\n"
+        assert lint_source(other, "src/repro/foo.py") == []
 
     def test_rpl008_only_fires_in_test_files(self):
         source = "import numpy as np\nnp.random.seed(0)\n"

@@ -11,7 +11,7 @@ from repro.env import smoke_config
 from repro.obs import MetricsRegistry, get_profiler, get_tracer, set_registry
 
 
-def seeded_cews_run(checkpoint_path, backend=None):
+def seeded_cews_run(checkpoint_path, backend=None, **train_overrides):
     """One deterministic 2-episode CEWS training run.
 
     Returns ``(curves, checkpoint_arrays)`` where ``curves`` are the
@@ -25,7 +25,12 @@ def seeded_cews_run(checkpoint_path, backend=None):
         "cews",
         smoke_config(seed=5, horizon=10, num_pois=15),
         train=TrainConfig(
-            num_employees=2, episodes=2, k_updates=1, seed=0, backend=backend
+            num_employees=2,
+            episodes=2,
+            k_updates=1,
+            seed=0,
+            backend=backend,
+            **train_overrides,
         ),
         ppo=PPOConfig(batch_size=10, epochs=1),
     )

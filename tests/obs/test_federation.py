@@ -1,0 +1,175 @@
+"""Metrics federation: worker deltas, chief folding, straggler lag."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.federation import (
+    FEDERATION_SCHEMA_VERSION,
+    WorkerTelemetry,
+    collect_delta,
+    fold_into,
+    update_employee_lag,
+)
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class _Stats:
+    policy_loss = 0.5
+    value_loss = 0.25
+    entropy = 1.5
+    clip_fraction = 0.1
+    approx_kl = 0.01
+
+
+class _Result:
+    intrinsic_reward = 0.75
+    extrinsic_reward = -2.0
+
+
+class TestWorkerTelemetry:
+    def test_first_collect_ships_everything_observed(self):
+        telemetry = WorkerTelemetry()
+        telemetry.note_command("EXPLORE")
+        telemetry.observe_phase("explore", 0.2)
+        telemetry.note_episode(_Result())
+        delta = telemetry.collect()
+        assert delta["schema"] == FEDERATION_SCHEMA_VERSION
+        metrics = delta["metrics"]
+        assert metrics["repro_worker_commands_total"]["series"][("EXPLORE",)] == 1.0
+        assert metrics["repro_worker_episodes_total"]["series"][()] == 1.0
+        assert metrics["repro_worker_intrinsic_reward"]["series"][()] == 0.75
+        phase = metrics["repro_phase_seconds"]
+        assert phase["kind"] == "histogram"
+        assert phase["series"][("explore",)]["count"] == 1
+
+    def test_quiet_interval_collects_none(self):
+        telemetry = WorkerTelemetry()
+        telemetry.note_command("SYNC")
+        assert telemetry.collect() is not None
+        assert telemetry.collect() is None
+
+    def test_counter_delta_is_increment_not_total(self):
+        telemetry = WorkerTelemetry()
+        telemetry.note_command("MINIBATCH")
+        telemetry.collect()
+        telemetry.note_command("MINIBATCH")
+        telemetry.note_command("MINIBATCH")
+        delta = telemetry.collect()
+        series = delta["metrics"]["repro_worker_commands_total"]["series"]
+        assert series[("MINIBATCH",)] == 2.0
+
+    def test_gauge_ships_only_on_change(self):
+        telemetry = WorkerTelemetry()
+        telemetry.note_stats(_Stats())
+        delta = telemetry.collect()
+        assert delta["metrics"]["repro_worker_policy_loss"]["series"][()] == 0.5
+        telemetry.note_stats(_Stats())  # same values: no delta
+        assert telemetry.collect() is None
+
+    def test_histogram_delta_contains_bucket_counts(self):
+        telemetry = WorkerTelemetry()
+        telemetry.observe_phase("gradients", 0.003)
+        telemetry.collect()
+        telemetry.observe_phase("gradients", 0.004)
+        delta = telemetry.collect()
+        state = delta["metrics"]["repro_phase_seconds"]["series"][("gradients",)]
+        assert state["count"] == 1
+        assert sum(state["counts"]) >= 1
+        assert state["sum"] == pytest.approx(0.004)
+
+
+class TestFoldInto:
+    def _delta(self):
+        telemetry = WorkerTelemetry()
+        telemetry.note_command("EXPLORE")
+        telemetry.observe_phase("explore", 0.2)
+        telemetry.note_episode(_Result())
+        return telemetry.collect()
+
+    def test_folded_series_carry_worker_and_host_labels(self):
+        chief = MetricsRegistry()
+        folded = fold_into(chief, self._delta(), worker=3, host="nodeA")
+        assert folded > 0
+        text = chief.render_prometheus()
+        assert (
+            'repro_worker_commands_total{op="EXPLORE",worker="3",host="nodeA"} 1'
+            in text
+        )
+        assert 'phase="explore",worker="3",host="nodeA"' in text
+
+    def test_two_workers_fold_into_distinct_series(self):
+        chief = MetricsRegistry()
+        fold_into(chief, self._delta(), worker=0, host="h")
+        fold_into(chief, self._delta(), worker=1, host="h")
+        text = chief.render_prometheus()
+        assert 'worker="0",host="h"' in text
+        assert 'worker="1",host="h"' in text
+
+    def test_repeated_counter_folds_accumulate(self):
+        chief = MetricsRegistry()
+        fold_into(chief, self._delta(), worker=0)
+        fold_into(chief, self._delta(), worker=0)
+        snapshot = chief.get("repro_worker_commands_total").snapshot()
+        (value,) = [
+            v for k, v in snapshot["series"].items() if 'worker="0"' in k
+        ]
+        assert value == 2.0
+
+    def test_unknown_schema_dropped(self):
+        chief = MetricsRegistry()
+        assert fold_into(chief, {"schema": 99, "metrics": {}}, worker=0) == 0
+        assert fold_into(chief, None, worker=0) == 0
+
+    def test_label_layout_collision_skipped_not_fatal(self, caplog):
+        chief = MetricsRegistry()
+        # Chief already owns the name without fleet extras: folding must
+        # skip it (never truncate worker/host) but fold the rest.
+        chief.counter("repro_worker_commands_total", "", labelnames=("op",))
+        with caplog.at_level("WARNING", logger="repro.obs.federation"):
+            folded = fold_into(chief, self._delta(), worker=0, host="h")
+        assert folded > 0
+        assert any("cannot fold" in r.message for r in caplog.records)
+        text = chief.render_prometheus()
+        assert 'repro_worker_episodes_total{worker="0",host="h"} 1' in text
+        collided = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_worker_commands_total")
+            and 'worker="0"' in line
+        ]
+        assert collided == []
+
+    def test_chief_unlabelled_rendering_unchanged_by_extras(self):
+        chief = MetricsRegistry()
+        own = chief.counter(
+            "repro_worker_episodes_total", "x", extra_labelnames=("worker", "host")
+        )
+        own.inc()
+        assert "repro_worker_episodes_total 1" in chief.render_prometheus()
+
+
+class TestEmployeeLag:
+    def test_gauge_records_delta_to_median(self):
+        registry = MetricsRegistry()
+        stragglers = update_employee_lag(
+            {0: 1.0, 1: 1.0, 2: 5.0}, registry=registry
+        )
+        assert stragglers == [2]
+        snapshot = registry.get("repro_employee_lag_seconds").snapshot()
+        series = snapshot["series"]
+        assert series['repro_employee_lag_seconds{employee="2"}'] == 4.0
+        assert series['repro_employee_lag_seconds{employee="0"}'] == 0.0
+
+    def test_empty_and_uniform_fleets_have_no_stragglers(self):
+        registry = MetricsRegistry()
+        assert update_employee_lag({}, registry=registry) == []
+        assert update_employee_lag({0: 0.5, 1: 0.5}, registry=registry) == []
+
+    def test_threshold_scales_with_k(self):
+        registry = MetricsRegistry()
+        durations = {0: 1.0, 1: 1.0, 2: 2.5}
+        assert update_employee_lag(durations, registry=registry, k=2.0) == [2]
+        assert update_employee_lag(durations, registry=registry, k=3.0) == []

@@ -1,0 +1,123 @@
+"""Fleet observability end to end on the real employee backends.
+
+The PR 8 acceptance gates exercised here:
+
+* trace context propagates to process/socket workers, which emit their
+  own ``employee.*`` spans carrying ``worker``/``host`` labels — and the
+  chief's synthetic stand-ins never double-count once the real span
+  arrives;
+* metrics federation exposes per-worker labelled series (including the
+  ``repro_employee_lag_seconds`` straggler gauge) in the chief registry;
+* the whole stack — tracing + federation — leaves the seeded run
+  bitwise-identical to an uninstrumented one, and so does disabling
+  federation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, read_trace, summarize_trace, trace_path_for
+from repro.obs.trace import dedupe_synthetic, render_trace_summary
+
+from .conftest import assert_runs_bitwise_equal, seeded_cews_run
+
+pytestmark = pytest.mark.obs
+
+#: 2 employees x 2 episodes: each explores exactly once per episode.
+EXPECTED_EXPLORES = 4
+
+
+def _fleet_run(tmp_path, backend, name="fleet"):
+    """A seeded run with tracing + federation on; returns (run, records)."""
+    path = trace_path_for(str(tmp_path / name))
+    with Tracer(path):
+        run = seeded_cews_run(tmp_path / f"{name}.npz", backend=backend)
+    return run, dedupe_synthetic(read_trace(path))
+
+
+def _explore_spans(records):
+    return [
+        record
+        for record in records
+        if record["type"] == "span" and record["name"] == "employee.explore"
+    ]
+
+
+class TestProcessFleet:
+    def test_workers_emit_their_own_spans(self, tmp_path, registry):
+        _, records = _fleet_run(tmp_path, "process")
+        explore = _explore_spans(records)
+        assert len(explore) == EXPECTED_EXPLORES
+        for record in explore:
+            attrs = record["attrs"]
+            assert not attrs.get("synthetic"), "real spans, not chief stand-ins"
+            assert "worker" in attrs and "host" in attrs
+        workers = {record["attrs"]["worker"] for record in explore}
+        assert workers == {0, 1}
+
+    def test_summary_has_per_host_worker_table(self, tmp_path, registry):
+        _, records = _fleet_run(tmp_path, "process")
+        summary = summarize_trace(records)
+        hosted = [
+            key
+            for key in summary["by_host_worker"]
+            if key.startswith("employee.explore[")
+        ]
+        assert len(hosted) >= 2  # one row per employee
+        assert "per-host/per-worker timings" in render_trace_summary(summary)
+
+    def test_federation_exposes_per_worker_series_and_lag(
+        self, tmp_path, registry
+    ):
+        _fleet_run(tmp_path, "process")
+        text = registry.render_prometheus()
+        per_worker = {
+            line.split("{")[0]
+            for line in text.splitlines()
+            if 'worker="' in line and not line.startswith("#")
+        }
+        assert len(per_worker) >= 3
+        assert any(name.startswith("repro_worker_") for name in per_worker)
+        lag = registry.get("repro_employee_lag_seconds").snapshot()["series"]
+        assert 'repro_employee_lag_seconds{employee="0"}' in lag
+        assert 'repro_employee_lag_seconds{employee="1"}' in lag
+
+    def test_full_fleet_obs_is_bitwise_invisible(self, tmp_path, registry):
+        baseline = seeded_cews_run(tmp_path / "plain.npz")
+        run, records = _fleet_run(tmp_path, "process")
+        assert_runs_bitwise_equal(baseline, run)
+        assert records, "instrumented run must actually have traced"
+
+    def test_disabling_federation_is_also_bitwise_invisible(
+        self, tmp_path, registry
+    ):
+        run = seeded_cews_run(
+            tmp_path / "nofed.npz", backend="process", federate=False
+        )
+        # Snapshot before the (federating) baseline run shares the registry.
+        text = registry.render_prometheus()
+        assert 'worker="' not in text
+        assert "repro_employee_lag_seconds" not in text
+        baseline = seeded_cews_run(tmp_path / "plain.npz")
+        assert_runs_bitwise_equal(baseline, run)
+
+
+@pytest.mark.transport
+class TestSocketFleet:
+    def test_socket_fleet_spans_federation_and_bitwise(
+        self, tmp_path, registry
+    ):
+        baseline = seeded_cews_run(tmp_path / "plain.npz")
+        run, records = _fleet_run(tmp_path, "socket")
+        assert_runs_bitwise_equal(baseline, run)
+
+        explore = _explore_spans(records)
+        assert len(explore) == EXPECTED_EXPLORES
+        assert {record["attrs"]["worker"] for record in explore} == {0, 1}
+        assert all(record["attrs"].get("host") for record in explore)
+
+        text = registry.render_prometheus()
+        assert 'worker="0"' in text and 'worker="1"' in text
+        lag = registry.get("repro_employee_lag_seconds").snapshot()["series"]
+        assert len(lag) == 2

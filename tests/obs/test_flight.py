@@ -1,0 +1,155 @@
+"""The crash flight recorder: ring bounds, bundles, validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    auto_dump,
+    get_flight_recorder,
+    validate_bundle,
+)
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture
+def recorder(tmp_path):
+    rec = FlightRecorder(directory=str(tmp_path / "flight")).install()
+    yield rec
+    rec.uninstall()
+
+
+class TestRecording:
+    def test_sink_captures_spans_from_the_tracer(self, recorder):
+        tracer = Tracer(path=None).install()
+        try:
+            with tracer.span("employee.explore", employee=0):
+                pass
+            tracer.event("fault.crash", employee=0)
+        finally:
+            tracer.uninstall()
+        path = recorder.dump("test")
+        bundle = validate_bundle(path)
+        names = [record["name"] for record in bundle["spans"]]
+        assert "employee.explore" in names
+        assert "fault.crash" in names
+
+    def test_header_records_not_buffered(self, recorder):
+        tracer = Tracer(path=None).install()
+        tracer.uninstall()
+        bundle = validate_bundle(recorder.dump("test"))
+        assert all(r["name"] != "trace" for r in bundle["spans"])
+
+    def test_span_ring_is_bounded(self, tmp_path):
+        rec = FlightRecorder(directory=str(tmp_path), max_spans=4).install()
+        try:
+            tracer = Tracer(path=None).install()
+            try:
+                for index in range(10):
+                    with tracer.span("s", i=index):
+                        pass
+            finally:
+                tracer.uninstall()
+            bundle = validate_bundle(rec.dump("test"))
+        finally:
+            rec.uninstall()
+        assert len(bundle["spans"]) == 4
+        assert [r["attrs"]["i"] for r in bundle["spans"]] == [6, 7, 8, 9]
+
+    def test_bad_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(directory=str(tmp_path), max_spans=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(directory=str(tmp_path), max_snapshots=0)
+
+    def test_second_install_rejected(self, recorder, tmp_path):
+        other = FlightRecorder(directory=str(tmp_path / "other"))
+        with pytest.raises(RuntimeError, match="already installed"):
+            other.install()
+
+
+class TestBundles:
+    def test_dump_includes_metrics_snapshot(self, recorder):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            registry.counter("repro_crashes_seen_total", "").inc(2)
+            bundle = validate_bundle(recorder.dump("crash", employee=1, episode=3))
+        finally:
+            set_registry(previous)
+        assert bundle["reason"] == "crash"
+        assert bundle["extra"] == {"employee": 1, "episode": 3}
+        assert bundle["schema"] == FLIGHT_SCHEMA_VERSION
+        newest = bundle["metrics"][-1]["metrics"]
+        assert newest["repro_crashes_seen_total"]["series"][
+            "repro_crashes_seen_total"
+        ] == 2.0
+
+    def test_dumps_get_distinct_paths(self, recorder):
+        first = recorder.dump("a")
+        second = recorder.dump("b")
+        assert first != second
+        assert os.path.exists(first) and os.path.exists(second)
+
+    def test_auto_dump_uses_installed_recorder(self, recorder):
+        path = auto_dump("quarantine", employee=2)
+        assert path is not None
+        assert validate_bundle(path)["extra"]["employee"] == 2
+
+    def test_auto_dump_is_noop_without_recorder(self):
+        assert get_flight_recorder() is None
+        assert auto_dump("crash") is None
+
+
+class TestValidation:
+    def test_tampered_bundle_rejected(self, recorder):
+        path = recorder.dump("test")
+        with open(path, "r", encoding="utf-8") as handle:
+            bundle = json.load(handle)
+        del bundle["spans"]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle)
+        with pytest.raises(ValueError, match="missing field"):
+            validate_bundle(path)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bundle(
+                {
+                    "schema": 99,
+                    "reason": "x",
+                    "ts": 0,
+                    "pid": 1,
+                    "host": "h",
+                    "spans": [],
+                    "metrics": [],
+                    "extra": {},
+                }
+            )
+
+    def test_malformed_span_rejected(self):
+        with pytest.raises(ValueError, match="span 0"):
+            validate_bundle(
+                {
+                    "schema": FLIGHT_SCHEMA_VERSION,
+                    "reason": "x",
+                    "ts": 0,
+                    "pid": 1,
+                    "host": "h",
+                    "spans": [{"nope": 1}],
+                    "metrics": [],
+                    "extra": {},
+                }
+            )
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_bundle([1, 2, 3])

@@ -1,0 +1,140 @@
+"""The HTTP exposition endpoint: routes, formats, fleet health."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObsServer
+from repro.obs.trace import Tracer
+
+pytestmark = pytest.mark.obs
+
+
+def _get(server, path):
+    url = f"{server.address}{path}"
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+@pytest.fixture
+def fresh():
+    registry = MetricsRegistry()
+    with ObsServer(port=0, registry=registry) as server:
+        yield server, registry
+
+
+class TestRoutes:
+    def test_metrics_prometheus_format_and_content_type(self, fresh):
+        server, registry = fresh
+        registry.counter("repro_test_total", "help text").inc(3)
+        status, ctype, body = _get(server, "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE repro_test_total counter" in text
+        assert "repro_test_total 3" in text
+
+    def test_metrics_json_round_trips(self, fresh):
+        server, registry = fresh
+        registry.gauge("repro_test_gauge", "").set(1.5)
+        status, ctype, body = _get(server, "/metrics.json")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["repro_test_gauge"]["series"]["repro_test_gauge"] == 1.5
+
+    def test_trace_summary_reads_active_tracer_ring(self, fresh):
+        server, _ = fresh
+        tracer = Tracer(path=None).install()
+        try:
+            with tracer.span("phase.explore", episode=0):
+                pass
+            status, __, body = _get(server, "/trace/summary")
+        finally:
+            tracer.uninstall()
+        assert status == 200
+        summary = json.loads(body)
+        assert summary["by_name"]["phase.explore"]["count"] == 1
+
+    def test_trace_summary_without_tracer_is_empty(self, fresh):
+        server, _ = fresh
+        status, __, body = _get(server, "/trace/summary")
+        assert status == 200
+        assert json.loads(body)["spans"] == 0
+
+    def test_unknown_path_is_404(self, fresh):
+        server, _ = fresh
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestHealthz:
+    def test_ok_with_no_fleet(self, fresh):
+        server, _ = fresh
+        status, __, body = _get(server, "/healthz")
+        assert status == 200
+        report = json.loads(body)
+        assert report == {"status": "ok", "fleet": 0, "down": []}
+
+    def test_ok_with_all_employees_connected(self, fresh):
+        server, registry = fresh
+        gauge = registry.gauge(
+            "repro_fleet_connected", "", labelnames=("employee",)
+        )
+        gauge.labels(employee=0).set(1)
+        gauge.labels(employee=1).set(1)
+        status, __, body = _get(server, "/healthz")
+        assert status == 200
+        assert json.loads(body)["fleet"] == 2
+
+    def test_degraded_when_an_employee_is_down(self, fresh):
+        server, registry = fresh
+        gauge = registry.gauge(
+            "repro_fleet_connected", "", labelnames=("employee",)
+        )
+        gauge.labels(employee=0).set(1)
+        gauge.labels(employee=1).set(0)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/healthz")
+        assert excinfo.value.code == 503
+        report = json.loads(excinfo.value.read())
+        assert report["status"] == "degraded"
+        assert report["down"] == ["1"]
+
+
+class TestLifecycle:
+    def test_port_zero_resolves_to_bound_port(self):
+        server = ObsServer(port=0, registry=MetricsRegistry()).start()
+        try:
+            assert server.running
+            assert server.port > 0
+            assert str(server.port) in server.address
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_stop_is_idempotent_and_start_restarts(self):
+        server = ObsServer(port=0, registry=MetricsRegistry())
+        server.start()
+        server.stop()
+        server.stop()
+        server.start()
+        try:
+            status, __, ___ = _get(server, "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+
+    def test_scrape_during_writes_never_errors(self, fresh):
+        server, registry = fresh
+        counter = registry.counter("repro_busy_total", "")
+        for _ in range(20):
+            counter.inc()
+            status, __, ___ = _get(server, "/metrics")
+            assert status == 200

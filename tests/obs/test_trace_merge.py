@@ -1,0 +1,247 @@
+"""Cross-process trace merging: folding, dedupe, skew-corrected merge.
+
+The Hypothesis property at the bottom is the satellite's contract: for
+arbitrary per-worker span forests, arbitrary per-worker clock skew, a
+torn trailing line in any worker file, and an arbitrary stream
+interleaving, ``merge_traces`` with per-stream skew offsets yields a
+valid span tree — unique ids, resolvable parents, and every child span
+nested inside its parent's corrected time interval.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    dedupe_synthetic,
+    fold_worker_records,
+    merge_traces,
+    read_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _span(id, name="s", ts=0.0, dur=1.0, parent=None, **attrs):
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "type": "span",
+        "name": name,
+        "ts": float(ts),
+        "dur": float(dur),
+        "id": int(id),
+        "parent": parent,
+        "attrs": attrs,
+    }
+
+
+class TestFoldWorkerRecords:
+    def test_noop_without_tracer(self):
+        assert fold_worker_records([_span(1)], worker=0) == 0
+
+    def test_ids_remapped_and_roots_reparented(self):
+        tracer = Tracer(path=None).install()
+        try:
+            with tracer.span("phase.explore") as outer:
+                count = fold_worker_records(
+                    [_span(1, name="root"), _span(2, name="child", parent=1)],
+                    parent=outer.span_id,
+                    worker=0,
+                )
+            assert count == 2
+            by_name = {r["name"]: r for r in tracer.ring if r["type"] == "span"}
+            root, child = by_name["root"], by_name["child"]
+            assert root["parent"] == outer.span_id
+            assert child["parent"] == root["id"]
+            assert root["id"] != 1  # re-issued in the chief's id space
+        finally:
+            tracer.uninstall()
+
+    def test_offset_applied_and_raw_records_untouched(self):
+        tracer = Tracer(path=None).install()
+        raw = [_span(1, ts=100.0)]
+        try:
+            fold_worker_records(raw, offset=2.5, worker=0)
+            (folded,) = [r for r in tracer.ring if r["type"] == "span"]
+            assert folded["ts"] == 102.5
+            assert raw[0]["ts"] == 100.0  # merge-time correction only
+        finally:
+            tracer.uninstall()
+
+    def test_labels_folded_into_attrs_none_skipped(self):
+        tracer = Tracer(path=None).install()
+        try:
+            fold_worker_records(
+                [_span(1, employee=3)], worker=1, host="vm", pid=None
+            )
+            (folded,) = [r for r in tracer.ring if r["type"] == "span"]
+            assert folded["attrs"]["worker"] == 1
+            assert folded["attrs"]["host"] == "vm"
+            assert folded["attrs"]["employee"] == 3
+            assert "pid" not in folded["attrs"]
+        finally:
+            tracer.uninstall()
+
+    def test_headers_filtered_out(self):
+        tracer = Tracer(path=None).install()
+        try:
+            header = dict(_span(1), type="header", name="trace")
+            assert fold_worker_records([header], worker=0) == 0
+        finally:
+            tracer.uninstall()
+
+
+class TestDedupeSynthetic:
+    def test_shadowed_synthetic_dropped(self):
+        synthetic = _span(
+            1, name="employee.explore", employee=0, episode=0, round=-1, synthetic=True
+        )
+        real = _span(
+            2, name="employee.explore", employee=0, episode=0, round=-1, worker=0
+        )
+        kept = dedupe_synthetic([synthetic, real])
+        assert kept == [real]
+
+    def test_unshadowed_synthetic_kept(self):
+        synthetic = _span(
+            1, name="employee.explore", employee=0, episode=0, round=-1, synthetic=True
+        )
+        other = _span(
+            2, name="employee.explore", employee=1, episode=0, round=-1, worker=1
+        )
+        kept = dedupe_synthetic([synthetic, other])
+        assert synthetic in kept and other in kept
+
+    def test_events_pass_through(self):
+        event = dict(_span(1, name="fault.crash"), type="event")
+        assert dedupe_synthetic([event]) == [event]
+
+
+class TestMergeTraces:
+    def test_offsets_and_labels_applied_sorted_by_time(self):
+        merged = merge_traces(
+            [
+                {
+                    "records": [_span(1, name="b", ts=10.0)],
+                    "offset": 5.0,
+                    "labels": {"worker": 1},
+                },
+                {
+                    "records": [_span(1, name="a", ts=2.0)],
+                    "offset": 0.0,
+                    "labels": {"worker": 0},
+                },
+            ]
+        )
+        assert [r["name"] for r in merged] == ["a", "b"]
+        assert merged[1]["ts"] == 15.0
+        assert merged[0]["attrs"]["worker"] == 0
+        ids = [r["id"] for r in merged]
+        assert len(set(ids)) == len(ids)
+
+    def test_torn_parent_degrades_to_root(self):
+        merged = merge_traces(
+            [{"records": [_span(2, parent=99)], "offset": 0.0, "labels": {}}]
+        )
+        assert merged[0]["parent"] is None
+
+
+# ----------------------------------------------------------------------
+# The property: arbitrary forests + skew + torn tails merge to a valid tree
+# ----------------------------------------------------------------------
+_FOREST = st.recursive(
+    st.just(()), lambda children: st.tuples(children, children), max_leaves=8
+)
+
+
+def _linearize(forest, clock, ids, skew, records):
+    """Pre-order ids / post-order emission, like the real tracer."""
+
+    def walk(node, parent):
+        span_id = next(ids)
+        start = next(clock)
+        for child in node:
+            walk(child, span_id)
+        end = next(clock)
+        records.append(
+            _span(
+                span_id,
+                name=f"n{span_id}",
+                ts=start - skew,  # the worker's skewed wall clock
+                dur=end - start,
+                parent=parent,
+            )
+        )
+
+    for tree in forest:
+        walk(tree, None)
+
+
+@given(
+    forests=st.lists(
+        st.lists(_FOREST, min_size=1, max_size=4), min_size=1, max_size=3
+    ),
+    skews=st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=3, max_size=3
+    ),
+    torn_worker=st.integers(min_value=0, max_value=2),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_property_valid_tree_after_skew_and_torn_tail(
+    tmp_path_factory, forests, skews, torn_worker, order_seed
+):
+    import itertools
+
+    tmp_path = tmp_path_factory.mktemp("traces")
+    clock = itertools.count(1)
+    streams = []
+    for worker, forest in enumerate(forests):
+        skew = skews[worker % len(skews)]
+        ids = itertools.count(1)
+        records = []
+        _linearize(forest, clock, ids, skew, records)
+        path = tmp_path / f"worker-{worker}.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        if worker == torn_worker % len(forests) and records:
+            # Tear the trailing line mid-record, as a crash would.
+            raw = path.read_bytes()
+            path.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+        loaded = read_trace(str(path))
+        streams.append(
+            {
+                "records": loaded,
+                "offset": float(skew),
+                "labels": {"worker": worker},
+            }
+        )
+    order_seed.shuffle(streams)
+    merged = merge_traces(streams)
+
+    ids = [record["id"] for record in merged]
+    assert len(set(ids)) == len(ids), "merged ids must be unique"
+    by_id = {record["id"]: record for record in merged}
+    for record in merged:
+        parent_id = record["parent"]
+        if parent_id is None:
+            continue
+        assert parent_id in by_id, "parents resolve or degrade to roots"
+        parent = by_id[parent_id]
+        assert parent["attrs"]["worker"] == record["attrs"]["worker"]
+        # Skew-corrected nesting: the child's interval sits inside its
+        # parent's (timestamps are integers off one global clock, so the
+        # containment is exact once each stream's offset is applied).
+        assert parent["ts"] <= record["ts"]
+        assert record["ts"] + record["dur"] <= parent["ts"] + parent["dur"]
+    # Corrected timestamps are back on the single true clock: the merge
+    # is globally sorted regardless of per-worker skew or interleaving.
+    times = [record["ts"] for record in merged]
+    assert times == sorted(times)
