@@ -27,7 +27,10 @@ import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+try:
+    import repro  # noqa: F401
+except ImportError:  # direct ``python benchmarks/bench_scaling.py`` run
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.agents import PPOConfig  # noqa: E402
 from repro.distributed import TrainConfig, build_trainer  # noqa: E402

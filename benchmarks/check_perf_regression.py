@@ -31,6 +31,15 @@ fails when its ``full_over_plain`` ratio exceeds the threshold — i.e.
 when the full fleet telemetry stack (tracer + federation + HTTP server
 + flight recorder) costs more than ``threshold``x the uninstrumented
 run at smoke scale.
+
+``--minibatch`` switches to the execution-plan gate: the positional
+argument is then a ``bench_minibatch_scaling.py --json`` dump and the
+check fails when the planned update (arena + fusion) is not at least
+2x faster than the *recorded PR-4 tape mean* in ``BENCH_4.json``,
+modulo the same noise ``threshold`` every other gate gets.  The shard
+fan-out cells are reported but never gated — they are honest
+measurements of whatever core count ran them (``machine.cores`` in the
+dump); BENCH_9.json records the reference numbers.
 """
 
 from __future__ import annotations
@@ -100,6 +109,60 @@ def check_obs_overhead(path: Path, threshold: float) -> int:
     return 0
 
 
+#: The taped PPO minibatch update as recorded before the executor landed;
+#: the tentpole contract is "planned update >= 2x faster than this".
+TAPE_BASELINE_BENCH = "test_ppo_minibatch_loss_and_backward"
+
+
+def check_minibatch(path: Path, baseline_path: Path, threshold: float) -> int:
+    """Gate the execution-plan speedup measured by bench_minibatch_scaling.py."""
+    payload = json.loads(path.read_text())
+    micro = payload.get("micro")
+    if not isinstance(micro, dict) or "plan" not in micro:
+        raise SystemExit(f"{path}: not a bench_minibatch_scaling.py dump")
+    baseline = load_baseline(baseline_path)
+    if TAPE_BASELINE_BENCH not in baseline:
+        raise SystemExit(
+            f"{baseline_path}: missing {TAPE_BASELINE_BENCH} (pass the "
+            "BENCH_4-style baseline that records the pre-executor tape mean)"
+        )
+    cell = baseline[TAPE_BASELINE_BENCH]
+    # pre_pr9_mean_s is the frozen pre-executor tape mean; mean_s keeps
+    # moving as the baseline is regenerated, and must not move this goalpost.
+    tape_base = float(cell.get("pre_pr9_mean_s", cell["mean_s"]))
+    width = max(len(name) for name in micro)
+    print(f"minibatch plan check vs {baseline_path.name} (threshold {threshold:g}x)")
+    for name, cell in sorted(micro.items()):
+        mean = float(cell["mean_s"])
+        print(
+            f"  {name:<{width}}  {mean * 1e3:8.3f}ms"
+            f"  x{tape_base / mean:5.2f} vs recorded tape"
+        )
+    cores = payload.get("machine", {}).get("cores")
+    for shards, cell in sorted(payload.get("shard_scaling", {}).items()):
+        print(
+            f"  shard {shards}-way on {cores} core(s)  "
+            f"{float(cell['mean_s']) * 1e3:8.3f}ms"
+            f"  x{float(cell['speedup_vs_1shard']):5.2f} vs 1-way (not gated)"
+        )
+    plan_mean = float(micro["plan"]["mean_s"])
+    # The 2x contract, with the usual noise allowance for slower runners.
+    if plan_mean * 2.0 > tape_base * threshold:
+        print(
+            f"minibatch plan check: planned update {plan_mean * 1e3:.3f}ms is "
+            f"only x{tape_base / plan_mean:.2f} the recorded tape mean "
+            f"({tape_base * 1e3:.3f}ms) — below the 2x contract (threshold-"
+            f"adjusted); the fast path has rotted or fell back to the tape.",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"minibatch plan check: planned update is x{tape_base / plan_mean:.2f} "
+        f"the recorded tape mean (2x contract holds)"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
@@ -107,6 +170,11 @@ def main(argv=None) -> int:
         "--obs", action="store_true",
         help="treat the positional argument as a bench_obs_overhead.py dump "
         "and gate its full_over_plain ratio against the threshold",
+    )
+    parser.add_argument(
+        "--minibatch", action="store_true",
+        help="treat the positional argument as a bench_minibatch_scaling.py "
+        "dump and gate the planned update's 2x-vs-recorded-tape contract",
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE,
@@ -125,6 +193,8 @@ def main(argv=None) -> int:
 
     if args.obs:
         return check_obs_overhead(args.current, args.threshold)
+    if args.minibatch:
+        return check_minibatch(args.current, args.baseline, args.threshold)
 
     baseline = load_baseline(args.baseline)
     current = load_current(args.current)

@@ -13,7 +13,16 @@ cached under ``results/`` — figures sharing a sweep (6/7/8) train once.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
+
+# Make ``repro`` importable under a plain ``pytest benchmarks
+# --benchmark-only`` with no PYTHONPATH set.  conftest.py loads before any
+# benchmark module is collected, so this single bootstrap covers every
+# module in the directory — individual benchmarks must NOT repeat it.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
 import numpy as np
 import pytest

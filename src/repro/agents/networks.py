@@ -174,6 +174,7 @@ class CNNActorCritic(nn.Module):
         states: np.ndarray,
         move_mask: Optional[np.ndarray] = None,
         worker_features: Optional[np.ndarray] = None,
+        mask_penalty: Optional[np.ndarray] = None,
     ) -> PolicyOutput:
         """Run the network on raw state arrays.
 
@@ -187,6 +188,12 @@ class CNNActorCritic(nn.Module):
         worker_features:
             Optional (B, W, worker_feature_dim) per-worker features; zeros
             when omitted (the heads then rely on the CNN alone).
+        mask_penalty:
+            Optional precomputed ``np.where(move_mask, 0.0, MASKED_LOGIT)``
+            float array.  The PPO update passes the penalty as a plain
+            input so execution-plan capture sees a resolvable leaf
+            instead of a per-call temporary; supplying both ``move_mask``
+            and ``mask_penalty`` is an error.
         """
         states = np.asarray(states, dtype=np.float64)
         if states.ndim == 3:
@@ -214,7 +221,11 @@ class CNNActorCritic(nn.Module):
         move_logits = self.move_head(head_input).reshape(
             batch, self.num_workers, NUM_MOVES
         )
-        if move_mask is not None:
+        if mask_penalty is not None:
+            if move_mask is not None:
+                raise ValueError("pass either move_mask or mask_penalty, not both")
+            move_logits = move_logits + nn.Tensor(mask_penalty)
+        elif move_mask is not None:
             move_mask = np.asarray(move_mask, dtype=bool)
             if move_mask.ndim == 2:
                 move_mask = move_mask[None]

@@ -26,7 +26,7 @@ from ..env.state import STATE_CHANNELS
 from ..obs.trace import span as trace_span
 from .base import EpisodeResult
 from .networks import CNNActorCritic
-from .ppo import PPOConfig, PPOStats, ppo_loss
+from .ppo import PPOConfig, PPOStats, make_ppo_planner, ppo_loss, ppo_step
 from .rollout import RolloutBuffer, Transition
 
 __all__ = ["PPOWorkerAgent", "GradientPack"]
@@ -86,6 +86,19 @@ class PPOWorkerAgent:
             layer_norm=layer_norm,
         )
         self._needs_states = not isinstance(self.curiosity, NullCuriosity)
+        # Lazily-built execution planner for the PPO update program.  It
+        # holds compiled closures over the live network parameters, so it
+        # is rebuilt (not pickled) on the far side of a process boundary.
+        self._planner: Optional[nn.Planner] = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_planner"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._planner = None
 
     # ------------------------------------------------------------------
     # Acting
@@ -233,17 +246,27 @@ class PPOWorkerAgent:
     # ------------------------------------------------------------------
     # Exploitation phase (Algorithm 1, lines 16-23)
     # ------------------------------------------------------------------
-    def compute_gradients(self, batch) -> GradientPack:
+    def compute_gradients(self, batch, *, normalize_advantages: bool = True) -> GradientPack:
         """Compute PPO and curiosity gradients for one minibatch.
 
         The agent's parameters are *not* updated — gradients are returned
         for the chief (or a local optimizer) to apply.
+        ``normalize_advantages=False`` is the sharded-update entry point:
+        the chief has already normalized advantages over the full
+        minibatch (see :mod:`repro.agents.sharding`).
         """
         for param in self.network.parameters():
             param.grad = None
+        if self._planner is None:
+            self._planner = make_ppo_planner(self.network, self.ppo)
         with trace_span("ppo.update"):
-            loss, stats = ppo_loss(self.network, batch, self.ppo)
-            loss.backward()
+            stats = ppo_step(
+                self.network,
+                batch,
+                self.ppo,
+                planner=self._planner,
+                normalize_advantages=normalize_advantages,
+            )
         policy_grads = [
             np.zeros_like(p.data) if p.grad is None else p.grad.copy()
             for p in self.network.parameters()

@@ -14,10 +14,10 @@ import numpy as np
 
 from .. import nn
 from ..obs.trace import span as trace_span
-from .networks import CNNActorCritic
+from .networks import MASKED_LOGIT, CNNActorCritic
 from .rollout import MiniBatch
 
-__all__ = ["PPOConfig", "PPOStats", "ppo_loss"]
+__all__ = ["PPOConfig", "PPOStats", "make_ppo_planner", "ppo_loss", "ppo_step"]
 
 
 @dataclass(frozen=True)
@@ -103,60 +103,153 @@ class PPOStats:
     approx_kl: float
 
 
+def _ppo_arrays(
+    batch: MiniBatch,
+    config: PPOConfig,
+    normalize_advantages: bool = True,
+) -> dict:
+    """Plain-array prologue of the PPO update (no tape ops).
+
+    Produces the input dict for the taped/planned program; every value is
+    an ``np.ndarray`` with a call-stable dtype so the execution planner
+    can key plans on the shape signature alone.  ``normalize_advantages``
+    is ANDed with the config flag — the sharded update path normalizes
+    over the *full* minibatch on the chief and ships pre-normalized
+    advantages, so shard workers pass ``False`` here.
+    """
+    advantages = batch.advantages.copy()
+    if config.normalize_advantages and normalize_advantages and len(advantages) > 1:
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+    move_mask = np.asarray(batch.move_masks, dtype=bool)
+    return {
+        "states": np.asarray(batch.states, dtype=np.float64),
+        "worker_features": np.asarray(batch.worker_features, dtype=np.float64),
+        "mask_penalty": np.where(move_mask, 0.0, MASKED_LOGIT),
+        "moves": np.asarray(batch.moves, dtype=np.int64),
+        "charges": np.asarray(batch.charges, dtype=np.float64),
+        "log_probs": np.asarray(batch.log_probs, dtype=np.float64),
+        "advantages": np.asarray(advantages, dtype=np.float64),
+        "returns": np.asarray(batch.returns, dtype=np.float64),
+    }
+
+
+def _ppo_program(network: CNNActorCritic, config: PPOConfig):
+    """The taped body of the PPO update as an executor-compatible program.
+
+    Returns a callable mapping the `_ppo_arrays` dict to named loss
+    tensors.  This is the exact op sequence `ppo_loss` always built;
+    factoring it this way lets :class:`repro.nn.Planner` capture it once
+    per shape signature and replay it as a flat execution plan.
+    """
+
+    def program(inputs: dict) -> dict:
+        with trace_span("ppo.forward", batch=len(inputs["returns"])):
+            output = network.forward(
+                inputs["states"],
+                worker_features=inputs["worker_features"],
+                mask_penalty=inputs["mask_penalty"],
+            )
+
+        new_log_prob = output.log_prob(inputs["moves"], inputs["charges"])
+        log_ratio = new_log_prob - nn.Tensor(inputs["log_probs"])
+        ratio = log_ratio.exp()
+
+        adv = nn.Tensor(inputs["advantages"])
+        unclipped = ratio * adv
+        clipped = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon) * adv
+        policy_objective = unclipped.minimum(clipped).mean()
+        policy_loss = -policy_objective
+
+        value_error = output.value - nn.Tensor(inputs["returns"])
+        value_loss = (value_error * value_error).mean()
+
+        entropy = output.entropy().mean()
+
+        loss = (
+            policy_loss
+            + config.value_coef * value_loss
+            - config.entropy_coef * entropy
+        )
+        return {
+            "loss": loss,
+            "policy_loss": policy_loss,
+            "value_loss": value_loss,
+            "entropy": entropy,
+            "ratio": ratio,
+            "log_ratio": log_ratio,
+        }
+
+    return program
+
+
+def _ppo_stats(outs: dict, config: PPOConfig) -> PPOStats:
+    """Detached-diagnostics epilogue over the program's output arrays."""
+    with np.errstate(over="ignore"):
+        ratio_data = outs["ratio"]
+    clip_fraction = float(
+        np.mean(np.abs(ratio_data - 1.0) > config.clip_epsilon)
+    )
+    approx_kl = float(np.mean(-outs["log_ratio"]))
+    return PPOStats(
+        policy_loss=float(outs["policy_loss"]),
+        value_loss=float(outs["value_loss"]),
+        entropy=float(outs["entropy"]),
+        clip_fraction=clip_fraction,
+        approx_kl=approx_kl,
+    )
+
+
+def make_ppo_planner(
+    network: CNNActorCritic,
+    config: PPOConfig,
+    arena: bool | None = None,
+    fuse: bool | None = None,
+) -> nn.Planner:
+    """An execution planner over this network's PPO update program.
+
+    ``arena``/``fuse`` override the planner's env-derived defaults; the
+    ablation benchmark uses them to measure each layer in isolation.
+    """
+    return nn.Planner(
+        _ppo_program(network, config), loss="loss", name="ppo", arena=arena, fuse=fuse
+    )
+
+
 def ppo_loss(
     network: CNNActorCritic,
     batch: MiniBatch,
     config: PPOConfig,
 ) -> tuple[nn.Tensor, PPOStats]:
-    """Combined PPO loss for one minibatch.
+    """Combined PPO loss for one minibatch (always on the tape).
 
     Returns the scalar loss tensor (ready for ``backward()``) and detached
     diagnostics.
     """
-    with trace_span("ppo.forward", batch=len(batch.returns)):
-        output = network.forward(
-            batch.states,
-            move_mask=batch.move_masks,
-            worker_features=batch.worker_features,
-        )
+    arrays = _ppo_arrays(batch, config)
+    outputs = _ppo_program(network, config)(arrays)
+    stats = _ppo_stats({name: t.data for name, t in outputs.items()}, config)
+    return outputs["loss"], stats
 
-    advantages = batch.advantages.copy()
-    if config.normalize_advantages and len(advantages) > 1:
-        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
 
-    new_log_prob = output.log_prob(batch.moves, batch.charges)
-    log_ratio = new_log_prob - nn.Tensor(batch.log_probs)
-    ratio = log_ratio.exp()
+def ppo_step(
+    network: CNNActorCritic,
+    batch: MiniBatch,
+    config: PPOConfig,
+    planner: nn.Planner | None = None,
+    normalize_advantages: bool = True,
+) -> PPOStats:
+    """One full PPO loss evaluation plus backward pass.
 
-    adv = nn.Tensor(advantages)
-    unclipped = ratio * adv
-    clipped = ratio.clip(1.0 - config.clip_epsilon, 1.0 + config.clip_epsilon) * adv
-    policy_objective = unclipped.minimum(clipped).mean()
-    policy_loss = -policy_objective
-
-    value_error = output.value - nn.Tensor(batch.returns)
-    value_loss = (value_error * value_error).mean()
-
-    entropy = output.entropy().mean()
-
-    loss = (
-        policy_loss
-        + config.value_coef * value_loss
-        - config.entropy_coef * entropy
-    )
-
-    with np.errstate(over="ignore"):
-        ratio_data = ratio.data
-    clip_fraction = float(
-        np.mean(np.abs(ratio_data - 1.0) > config.clip_epsilon)
-    )
-    approx_kl = float(np.mean(-log_ratio.data))
-
-    stats = PPOStats(
-        policy_loss=float(policy_loss.item()),
-        value_loss=float(value_loss.item()),
-        entropy=float(entropy.item()),
-        clip_fraction=clip_fraction,
-        approx_kl=approx_kl,
-    )
-    return loss, stats
+    Leaf gradients are accumulated into ``param.grad`` exactly as
+    ``ppo_loss(...)[0].backward()`` would.  With a ``planner`` the update
+    runs as a validated execution plan when the fast path is allowed
+    (bit-identical by construction, tape otherwise).
+    """
+    arrays = _ppo_arrays(batch, config, normalize_advantages=normalize_advantages)
+    if planner is not None:
+        outs = planner.step(arrays)
+    else:
+        outputs = _ppo_program(network, config)(arrays)
+        outputs["loss"].backward()
+        outs = {name: t.data for name, t in outputs.items()}
+    return _ppo_stats(outs, config)

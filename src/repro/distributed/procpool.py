@@ -24,6 +24,16 @@ Each worker is driven by a four-command protocol::
     MINIBATCH chief -> worker   sample one minibatch, compute gradients,
                                 ship them back; reply carries PPOStats +
                                 RNG state
+    SAMPLE    chief -> worker   sample one minibatch exactly as MINIBATCH
+                                would (same RNG consumption) but ship the
+                                *batch* back instead of computing; the
+                                chief shards it (sharded update mode)
+    SHARD     chief -> worker   compute gradients for a chief-supplied
+                                minibatch shard (``normalize_advantages``
+                                already applied full-batch chief-side);
+                                consumes no worker RNG and skips fault
+                                injection — any worker can compute any
+                                shard (see :mod:`repro.agents.sharding`)
     SHUTDOWN  chief -> worker   ack and exit
 
 Commands are strictly serial per worker (at most one outstanding), each
@@ -133,6 +143,8 @@ __all__ = ["ProcessEmployeePool", "WorkerDied", "WorkerSpec", "serve_employee"]
 OP_SYNC = "sync"
 OP_EXPLORE = "explore"
 OP_MINIBATCH = "minibatch"
+OP_SAMPLE = "sample"
+OP_SHARD = "shard"
 OP_SHUTDOWN = "shutdown"
 
 # Reply statuses (worker -> chief).
@@ -310,6 +322,92 @@ def serve_employee(spec: WorkerSpec, endpoint: WorkerEndpoint) -> None:
                             )
                         )
                         pack = agent.compute_gradients(batch)
+                    endpoint.send_gradients(
+                        list(pack.policy) + list(pack.curiosity),
+                        seq=seq,
+                        episode=episode,
+                        round_index=round_index,
+                    )
+                    dur = time.perf_counter() - start
+                    if telemetry is not None:
+                        telemetry.note_command(op)
+                        telemetry.observe_phase("gradients", dur)
+                        telemetry.note_stats(pack.stats)
+                    endpoint.send_reply(
+                        _OK,
+                        seq,
+                        _attach_telemetry(
+                            {
+                                "stats": pack.stats,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": dur,
+                            },
+                            tracer,
+                            telemetry,
+                            host,
+                            pid,
+                        ),
+                    )
+                elif op == OP_SAMPLE:
+                    episode = payload["episode"]
+                    round_index = payload["round"]
+                    tracer = _ensure_worker_tracer(tracer, payload.get("ctx"))
+                    start = time.perf_counter()
+                    if injector is not None:
+                        injector.before_task(spec.index, episode, round_index)
+                    if rollout is None:
+                        raise RuntimeError(
+                            f"worker {spec.index}: SAMPLE before a "
+                            f"successful EXPLORE"
+                        )
+                    with _task_span(
+                        tracer, "employee.sample", spec.index, episode, round_index
+                    ):
+                        # Byte-for-byte the MINIBATCH sampling step: the
+                        # same generator draw, so the RNG mirror advances
+                        # identically whether the round is sharded or not.
+                        batch = next(
+                            iter(
+                                rollout.minibatches(
+                                    payload["batch_size"], rng, epochs=1
+                                )
+                            )
+                        )
+                    dur = time.perf_counter() - start
+                    if telemetry is not None:
+                        telemetry.note_command(op)
+                        telemetry.observe_phase("gradients", dur)
+                    endpoint.send_reply(
+                        _OK,
+                        seq,
+                        _attach_telemetry(
+                            {
+                                "batch": batch,
+                                "rng_state": rng.bit_generator.state,
+                                "dur": dur,
+                            },
+                            tracer,
+                            telemetry,
+                            host,
+                            pid,
+                        ),
+                    )
+                elif op == OP_SHARD:
+                    episode = payload["episode"]
+                    round_index = payload["round"]
+                    tracer = _ensure_worker_tracer(tracer, payload.get("ctx"))
+                    start = time.perf_counter()
+                    # No injector.before_task here: shard compute consumes
+                    # no RNG and may be re-dispatched to any worker, so
+                    # the deterministic fault surface stays at the SAMPLE
+                    # step (symmetric with the in-process backends, where
+                    # the injector fires once per employee per round).
+                    with _task_span(
+                        tracer, "employee.shard", spec.index, episode, round_index
+                    ):
+                        pack = agent.compute_gradients(
+                            payload["shard"], normalize_advantages=False
+                        )
                     endpoint.send_gradients(
                         list(pack.policy) + list(pack.curiosity),
                         seq=seq,
@@ -663,8 +761,9 @@ class ProcessEmployeePool:
         episode: int,
         round_index: int = EXPLORE_ROUND,
         batch_size: Optional[int] = None,
+        shard=None,
     ) -> None:
-        """Send one EXPLORE/MINIBATCH command (non-blocking)."""
+        """Send one EXPLORE/MINIBATCH/SAMPLE/SHARD command (non-blocking)."""
         handle = self._workers[index]
         if handle.in_flight is not None:
             raise RuntimeError(
@@ -673,8 +772,10 @@ class ProcessEmployeePool:
         seq = handle.next_seq()
         if op == OP_EXPLORE:
             payload: Dict[str, object] = {"episode": episode}
-        elif op == OP_MINIBATCH:
+        elif op in (OP_MINIBATCH, OP_SAMPLE):
             payload = {"episode": episode, "round": round_index, "batch_size": batch_size}
+        elif op == OP_SHARD:
+            payload = {"episode": episode, "round": round_index, "shard": shard}
         else:
             raise ValueError(f"submit cannot send opcode {op!r}")
         ctx = current_context()
@@ -781,11 +882,12 @@ class ProcessEmployeePool:
     def wait(
         self, index: int, timeout: Optional[float], phase: str
     ) -> Tuple[object, dict]:
-        """Collect one EXPLORE/MINIBATCH result.
+        """Collect one EXPLORE/MINIBATCH/SAMPLE/SHARD result.
 
         Returns ``(outcome, rng_state)`` where ``outcome`` is the
-        :class:`EpisodeResult` (explore) or assembled
-        :class:`~repro.agents.policy.GradientPack` (minibatch).  Raises
+        :class:`EpisodeResult` (explore), assembled
+        :class:`~repro.agents.policy.GradientPack` (minibatch / shard) or
+        sampled :class:`~repro.agents.rollout.MiniBatch` (sample).  Raises
         ``FuturesTimeoutError`` / :class:`InjectedCrash` /
         :class:`WorkerDied` exactly like the thread backend's futures, so
         the trainer's retry/quorum machinery applies unchanged.
@@ -815,7 +917,9 @@ class ProcessEmployeePool:
             )
         if op == OP_EXPLORE:
             self.explore_durations[index] = float(payload["dur"])
-        if op == OP_MINIBATCH:
+        if op == OP_SAMPLE:
+            return payload["batch"], rng_state
+        if op in (OP_MINIBATCH, OP_SHARD):
             try:
                 arrays, nbytes = handle.channel.read_gradients(seq)
             except ChannelClosed as error:

@@ -10,7 +10,21 @@ optimizers (:mod:`repro.nn.optim`), policy distributions
 
 from . import functional
 from . import init
+from .arena import (
+    Arena,
+    alloc_stats,
+    is_arena_backed,
+    note_alloc,
+    reset_alloc_stats,
+)
 from .distributions import Bernoulli, Categorical
+from .executor import (
+    ExecutionPlan,
+    Planner,
+    PlanUnsupported,
+    fast_path_allowed,
+    register_stable_array,
+)
 from .modules import (
     ChannelLayerNorm,
     Dropout,
@@ -92,4 +106,14 @@ __all__ = [
     "save_module",
     "load_module",
     "load_state_dict_file",
+    "Arena",
+    "alloc_stats",
+    "is_arena_backed",
+    "note_alloc",
+    "reset_alloc_stats",
+    "ExecutionPlan",
+    "Planner",
+    "PlanUnsupported",
+    "fast_path_allowed",
+    "register_stable_array",
 ]

@@ -1,0 +1,141 @@
+"""Episode-scoped arena allocator for execution-plan replay buffers.
+
+After the first iteration of a training step the tape's shapes and
+dtypes are static (PR 4's ``_KernelPlan`` memoization is built on the
+same observation), so the per-step intermediates do not need fresh
+``np.ndarray`` allocations: an :class:`Arena` preallocates one buffer
+("slab") per plan value slot and the execution plan
+(:mod:`repro.nn.executor`) serves kernel outputs from those slabs via
+``out=`` where the underlying numpy ufunc supports it.
+
+Rules that keep this safe under the bitwise-equivalence contract:
+
+* **Dedicated slabs.**  Every value slot owns its buffer; a kernel only
+  ever writes its *own* output slab, so no replay-internal aliasing is
+  possible and ``np.add(a, b, out=slab)`` is bit-identical to
+  ``a + b``.
+* **Generation counter.**  :meth:`Arena.begin` bumps ``generation`` at
+  the start of every replay.  Arena-backed arrays are only valid until
+  the next ``begin()``; consumers that need a value past the step
+  (history floats, checkpoints, observability snapshots) must copy it
+  out — :func:`is_arena_backed` lets tests and the RPL018 lint rule's
+  runtime cousin check that nothing escapes by alias.
+* **Escape analysis at plan build time.**  The executor never serves
+  escaping outputs from the arena in the first place: parameter
+  gradients are freshly ``zeros_like``-allocated exactly as the tape's
+  ``Tensor._accumulate`` does, and scalar results are copied to Python
+  floats by the caller.
+
+The module also keeps process-global allocation counters per op name —
+bytes requested vs. bytes actually served from arena slabs — which
+``repro profile`` surfaces in the hot-spot table so the arena hit rate
+is measurable instead of folklore.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Arena",
+    "alloc_stats",
+    "is_arena_backed",
+    "note_alloc",
+    "reset_alloc_stats",
+]
+
+#: op name -> [bytes_requested, bytes_served_from_arena]
+_ALLOC_COUNTS: Dict[str, List[int]] = {}
+
+#: Every live arena (weak: a dropped planner must not pin its slabs'
+#: identity bookkeeping forever).
+_ARENAS: "weakref.WeakSet[Arena]" = weakref.WeakSet()
+
+
+def note_alloc(op: str, nbytes: int, served: bool) -> None:
+    """Count one plan-slot allocation for ``op``.
+
+    ``served=True`` means the bytes came out of an arena slab (no fresh
+    allocation happened); ``False`` means the kernel had to allocate —
+    either because its numpy spelling has no ``out=`` form or because
+    the value escapes the step.  Lost updates under thread races are
+    acceptable: these are diagnostics, not accounting.
+    """
+    cell = _ALLOC_COUNTS.get(op)
+    if cell is None:
+        cell = _ALLOC_COUNTS[op] = [0, 0]
+    cell[0] += nbytes
+    if served:
+        cell[1] += nbytes
+
+
+def alloc_stats() -> Dict[str, Tuple[int, int]]:
+    """Snapshot of per-op ``(bytes_requested, bytes_served)`` counters."""
+    return {op: (cell[0], cell[1]) for op, cell in _ALLOC_COUNTS.items()}
+
+
+def reset_alloc_stats() -> None:
+    """Zero the per-op allocation counters (tests and profiler resets)."""
+    _ALLOC_COUNTS.clear()
+
+
+def is_arena_backed(array: np.ndarray) -> bool:
+    """Whether ``array`` is (a view of) a live arena slab.
+
+    The check is identity-based: slabs live as long as their arena, so
+    ``id`` comparisons cannot alias recycled objects while the arena is
+    alive.  Used by escape tests; hot paths never call this.
+    """
+    base = array.base if array.base is not None else array
+    for arena in _ARENAS:
+        if id(array) in arena._slab_ids or id(base) in arena._slab_ids:
+            return True
+    return False
+
+
+class Arena:
+    """Preallocated per-slot replay buffers with a replay generation.
+
+    One arena belongs to one execution plan; slots are reserved while
+    the plan is compiled (shapes are known from the captured tape) and
+    the plan calls :meth:`begin` once per replay.
+    """
+
+    __slots__ = ("generation", "_slabs", "_slab_ids", "__weakref__")
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self._slabs: List[np.ndarray] = []
+        self._slab_ids: set = set()
+        _ARENAS.add(self)
+
+    def reserve(self, shape: Tuple[int, ...], dtype) -> int:
+        """Preallocate one buffer; returns its arena slot index."""
+        buf = np.empty(shape, dtype=dtype)
+        self._slabs.append(buf)
+        self._slab_ids.add(id(buf))
+        return len(self._slabs) - 1
+
+    def buffer(self, slot: int) -> np.ndarray:
+        """The preallocated buffer for ``slot`` (stable identity)."""
+        return self._slabs[slot]
+
+    def begin(self) -> int:
+        """Start a replay: bump and return the generation counter.
+
+        Any arena-backed array obtained before this call is now stale;
+        escape discipline (copy-out) is what makes that a non-event.
+        """
+        self.generation += 1
+        return self.generation
+
+    @property
+    def nbytes(self) -> int:
+        """Total preallocated bytes across all slots."""
+        return sum(buf.nbytes for buf in self._slabs)
+
+    def __len__(self) -> int:
+        return len(self._slabs)

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from .executor import register_stable_array
 from .tensor import Tensor
 
 __all__ = ["Categorical", "Bernoulli"]
@@ -31,7 +32,9 @@ def _plan_rows(n: int) -> np.ndarray:
     if rows is None:
         if len(_ROW_INDEX_CACHE) >= _ROW_INDEX_CACHE_MAX:
             _ROW_INDEX_CACHE.clear()
-        rows = np.arange(n)
+        # Registered stable so execution plans may bake the array by
+        # reference: it is immutable and keyed only by the batch length.
+        rows = register_stable_array(np.arange(n))
         _ROW_INDEX_CACHE[n] = rows
     return rows
 
@@ -122,6 +125,10 @@ class Bernoulli:
 
     def entropy(self) -> Tensor:
         """Shannon entropy per element, differentiable w.r.t. logits."""
-        p = self.probs()
+        # p is treated as a constant (same formula the tape always used);
+        # spelling it as a detached sigmoid node keeps the array's
+        # provenance visible to execution-plan capture.  ``sigmoid``
+        # computes 1/(1+exp(-z)) — bit-identical to ``self.probs()``.
         z = self.logits
-        return F.softplus(z) - z * Tensor(p)
+        p = z.sigmoid().detach()
+        return F.softplus(z) - z * p

@@ -53,11 +53,11 @@ class _KernelPlan:
       not just *value*-faithful: numpy's mixed slice/advanced indexing
       materializes the advanced dims first, so the legacy ``cols`` was a
       non-contiguous ``(N, R, P)`` view over an ``(R, P, N)`` buffer —
-      and ``np.einsum``'s inner-loop specialization (hence its
-      floating-point accumulation order) depends on the operand strides.
-      ``gather`` therefore copies into an ``(R, P, N)`` base and returns
-      the same ``moveaxis`` view, so the downstream einsums are
-      bit-for-bit unchanged;
+      and a contraction kernel's inner-loop specialization (hence its
+      floating-point accumulation order) can depend on the operand
+      strides.  ``gather`` therefore copies into an ``(R, P, N)`` base
+      and returns the same ``moveaxis`` view, so the downstream
+      contractions see one frozen operand layout;
     * :meth:`scatter_add` — col2im as ``K²`` strided-slice ``+=`` ops,
       one per kernel offset, iterated in ``(ki, kj)`` row-major order.
       ``np.add.at`` accumulates duplicate targets in index order, which
@@ -150,6 +150,37 @@ def _plan_for(
     return plan
 
 
+def _conv_forward_contract(
+    w_flat: np.ndarray, cols: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Forward contraction ``(O, R) x (N, R, P) -> (N, O, P)``.
+
+    These three contraction kernels are the frozen floating-point
+    identity of ``conv2d``: the execution-plan replay
+    (:mod:`repro.nn.executor`) calls the same functions on the same
+    operand layouts, which is what keeps the fast path bit-identical to
+    the tape.  ``matmul``/``tensordot`` route through BLAS; the legacy
+    ``einsum`` spellings ran the contractions in numpy's own inner loop
+    at roughly half the throughput (this re-freeze changed the low-order
+    bits once, version-to-version — run-vs-run equivalence across
+    backends, instruments and fast/slow paths is unaffected because
+    every path shares these kernels).
+    """
+    return np.matmul(w_flat, cols, out=out)
+
+
+def _conv_grad_weight(grad_flat: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Weight-gradient contraction ``(N, O, P) x (N, R, P) -> (O, R)``."""
+    return np.tensordot(grad_flat, cols, axes=([0, 2], [0, 2]))
+
+
+def _conv_grad_cols(
+    w_flat: np.ndarray, grad_flat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Column-gradient contraction ``(R, O) x (N, O, P) -> (N, R, P)``."""
+    return np.matmul(w_flat.T, grad_flat, out=out)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -186,7 +217,7 @@ def conv2d(
     cols = plan.gather(x_data)
     w_flat = weight.data.reshape(out_channels, -1)
 
-    out_data = np.einsum("ok,nkp->nop", w_flat, cols)
+    out_data = _conv_forward_contract(w_flat, cols)
     out_data = out_data.reshape(batch, out_channels, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1, 1)
@@ -196,8 +227,8 @@ def conv2d(
     def backward(grad: np.ndarray):
         # grad: (N, O, out_h, out_w) -> (N, O, P)
         grad_flat = grad.reshape(batch, out_channels, -1)
-        grad_w = np.einsum("nop,nkp->ok", grad_flat, cols).reshape(weight.shape)
-        grad_cols = np.einsum("ok,nop->nkp", w_flat, grad_flat)
+        grad_w = _conv_grad_weight(grad_flat, cols).reshape(weight.shape)
+        grad_cols = _conv_grad_cols(w_flat, grad_flat)
         # col2im via order-preserving strided adds (see _KernelPlan).
         grad_x = plan.scatter_add(grad_cols, x_data)
         if bias is None:
@@ -360,6 +391,9 @@ def channel_layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-
         g_flat = ((g_fm + contrib_s1) + g_c) + contrib_s2
         return (g_flat.reshape(x.shape), g_weight, g_bias)
 
+    # eps is not a closure freevar of ``backward``; the execution plan
+    # needs it to rebuild the forward kernel.
+    backward._plan_consts = (eps,)
     return Tensor._make(data, (x, weight, bias), backward)
 
 

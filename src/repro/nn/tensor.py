@@ -500,6 +500,9 @@ class Tensor:
         def backward(grad: np.ndarray):
             return (grad * mask,)
 
+        # The bounds are not closure freevars of ``backward``; the
+        # execution plan needs them to rebuild the forward kernel.
+        backward._plan_consts = (low, high)
         return Tensor._make(data, (self,), backward)
 
     def maximum(self, other: ArrayLike) -> "Tensor":

@@ -1,0 +1,182 @@
+"""Unit gates for the intra-minibatch sharding math (DESIGN § 6i).
+
+The contract: shard boundaries and the gradient recombination depend
+only on ``(B, S)`` — never on which worker computed which shard or in
+what order replies arrived — and the 1-way "sharded" update is bitwise
+the unsharded update.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.agents import CEWSAgent, PPOConfig
+from repro.agents.policy import GradientPack
+from repro.agents.ppo import PPOStats, _ppo_arrays
+from repro.agents.sharding import (
+    combine_shard_packs,
+    combine_shard_stats,
+    compute_sharded_update,
+    normalize_minibatch,
+    shard_sizes,
+    split_minibatch,
+)
+from repro.env import CrowdsensingEnv, smoke_config
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = smoke_config(seed=3, horizon=40)
+    agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
+    env = CrowdsensingEnv(config, reward_mode="sparse", scenario=agent.scenario)
+    buffer, __ = agent.collect_episode(env, np.random.default_rng(0))
+    batch = next(iter(buffer.minibatches(16, np.random.default_rng(0))))
+    return agent, batch
+
+
+def make_pack(rng, scale=1.0):
+    return GradientPack(
+        policy=[rng.standard_normal((3, 2)) * scale, rng.standard_normal(4) * scale],
+        curiosity=[rng.standard_normal(5) * scale],
+        stats=PPOStats(
+            policy_loss=float(rng.normal()),
+            value_loss=float(rng.normal()),
+            entropy=float(rng.normal()),
+            clip_fraction=float(rng.uniform()),
+            approx_kl=float(rng.normal()),
+        ),
+    )
+
+
+class TestShardSizes:
+    def test_uneven_split_front_loads_remainder(self):
+        assert shard_sizes(10, 4) == [3, 3, 2, 2]
+        assert shard_sizes(16, 2) == [8, 8]
+        assert shard_sizes(7, 3) == [3, 2, 2]
+
+    def test_clamped_to_total_so_no_shard_is_empty(self):
+        assert shard_sizes(2, 4) == [1, 1]
+        assert shard_sizes(1, 8) == [1]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            shard_sizes(0, 2)
+        with pytest.raises(ValueError):
+            shard_sizes(8, 0)
+
+
+class TestSplitMinibatch:
+    def test_contiguous_rows_reassemble_exactly(self, workload):
+        __, batch = workload
+        shards = split_minibatch(batch, 3)
+        assert [len(s) for s in shards] == shard_sizes(len(batch), 3)
+        for field in dataclasses.fields(batch):
+            rebuilt = np.concatenate(
+                [getattr(shard, field.name) for shard in shards]
+            )
+            original = getattr(batch, field.name)
+            assert rebuilt.dtype == original.dtype, field.name
+            assert np.array_equal(rebuilt, original), field.name
+
+
+class TestCombine:
+    def test_tree_reduce_bracketing_is_fixed(self):
+        """4 shards fold as (0+1)+(2+3) — checked against the explicit
+        bracketing, which differs in bits from left-to-right summation
+        for generic floats."""
+        rng = np.random.default_rng(0)
+        packs = [make_pack(rng) for _ in range(4)]
+        sizes = [4, 4, 4, 4]
+        combined = combine_shard_packs(packs, sizes)
+        w = [n / 16.0 for n in sizes]
+        scaled = [
+            [g * w[k] for g in packs[k].policy] for k in range(4)
+        ]
+        expected = [
+            (a + b) + (c + d)
+            for a, b, c, d in zip(scaled[0], scaled[1], scaled[2], scaled[3])
+        ]
+        for got, want in zip(combined.policy, expected):
+            assert got.tobytes() == want.tobytes()
+
+    def test_combine_is_a_pure_function_of_shard_order(self):
+        """Same packs, same bytes — and swapped shard order gives the
+        *intended different* result (order is part of the contract, so a
+        backend delivering replies out of shard order must re-sort)."""
+        rng = np.random.default_rng(1)
+        packs = [make_pack(rng) for _ in range(3)]
+        sizes = [6, 5, 5]
+        once = combine_shard_packs(packs, sizes)
+        again = combine_shard_packs(packs, sizes)
+        for a, b in zip(once.policy + once.curiosity, again.policy + again.curiosity):
+            assert a.tobytes() == b.tobytes()
+        swapped = combine_shard_packs(packs[::-1], sizes[::-1])
+        assert any(
+            a.tobytes() != b.tobytes()
+            for a, b in zip(once.policy, swapped.policy)
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            combine_shard_packs([make_pack(rng)], [4, 4])
+
+    def test_combine_stats_row_weighted(self):
+        stats = [
+            PPOStats(1.0, 2.0, 3.0, 0.5, 0.1),
+            PPOStats(3.0, 6.0, 9.0, 1.0, 0.3),
+        ]
+        combined = combine_shard_stats(stats, [3, 1])
+        assert combined.policy_loss == pytest.approx(1.5)
+        assert combined.value_loss == pytest.approx(3.0)
+        assert combined.entropy == pytest.approx(4.5)
+        assert combined.clip_fraction == pytest.approx(0.625)
+        assert combined.approx_kl == pytest.approx(0.15)
+
+
+class TestNormalizeMinibatch:
+    def test_matches_ppo_arrays_expression(self, workload):
+        agent, batch = workload
+        normalized = normalize_minibatch(batch, agent.ppo)
+        want = _ppo_arrays(batch, agent.ppo)["advantages"]
+        assert normalized.advantages.tobytes() == want.tobytes()
+        # Every other field rides along untouched.
+        assert normalized.states is batch.states
+
+    def test_normalization_off_is_a_passthrough_copy(self, workload):
+        agent, batch = workload
+        config = dataclasses.replace(agent.ppo, normalize_advantages=False)
+        normalized = normalize_minibatch(batch, config)
+        assert normalized.advantages.tobytes() == batch.advantages.tobytes()
+
+
+class TestShardedUpdate:
+    def test_one_way_shard_is_bitwise_the_unsharded_update(self, workload):
+        agent, batch = workload
+        direct = agent.compute_gradients(batch)
+        sharded = compute_sharded_update(agent, batch, 1)
+        for got, want in zip(
+            sharded.policy + sharded.curiosity, direct.policy + direct.curiosity
+        ):
+            assert got.tobytes() == want.tobytes()
+        assert sharded.stats == direct.stats
+
+    def test_sharded_update_is_deterministic(self, workload):
+        agent, batch = workload
+        once = compute_sharded_update(agent, batch, 4)
+        again = compute_sharded_update(agent, batch, 4)
+        for a, b in zip(once.policy + once.curiosity, again.policy + again.curiosity):
+            assert a.tobytes() == b.tobytes()
+        assert once.stats == again.stats
+
+    def test_sharded_differs_from_unsharded_as_documented(self, workload):
+        """Float addition is not associative: S>1 legitimately produces
+        different bits, which is why shard_minibatch is opt-in."""
+        agent, batch = workload
+        direct = agent.compute_gradients(batch)
+        sharded = compute_sharded_update(agent, batch, 4)
+        assert any(
+            a.tobytes() != b.tobytes()
+            for a, b in zip(sharded.policy, direct.policy)
+        )

@@ -1,0 +1,36 @@
+"""Fixture: arena slab references escaping the replay (RPL018 x4)."""
+
+import numpy as np
+
+
+class SlabCache:
+    def __init__(self, arena):
+        self._arena = arena
+        self._stash = None
+
+    def grab(self, slot):
+        # Escape 1: returning the slab hands out memory the next
+        # Arena.begin() invalidates.
+        return self._arena.buffer(slot)
+
+    def stash(self, slot):
+        # Escape 2: attribute storage outlives the replay.
+        self._stash = self._arena.buffer(slot)
+
+    def grab_aliased(self, slot):
+        buf = self._arena.buffer(slot)
+        # Escape 3: returning through a local alias is the same escape.
+        return buf
+
+    def stream(self, slots):
+        for slot in slots:
+            # Escape 4: yielded references cross replay boundaries.
+            yield self._arena.buffer(slot)
+
+    def safe_copy(self, slot):
+        # Fine: a copy is a fresh allocation, not a slab alias.
+        return self._arena.buffer(slot).copy()
+
+    def safe_local_use(self, slot):
+        buf = self._arena.buffer(slot)
+        return float(np.sum(buf))

@@ -1,0 +1,221 @@
+"""Sharded-minibatch training gates (PR 9 tentpole, layer c).
+
+``TrainConfig.shard_minibatch = S`` splits every employee's minibatch
+into S row shards and recombines gradients with a fixed-order tree
+reduce.  The contract under test:
+
+* the sharded run is **bitwise identical across all four backends**
+  (serial / thread / process / socket) — history floats AND checkpoint
+  bytes — though legitimately different from the unsharded run (float
+  addition is not associative; the mode is opt-in);
+* the full instrumentation stack (sanitizer + tracer + profiler +
+  lockwatch) is bitwise invisible on the sharded path, exactly as on
+  the plain path (the instruments force the executor's tape
+  re-dispatch, which must not change a single byte);
+* hard worker death mid-sharded-round books like PR 5's crash
+  bookkeeping: SIGKILL during the round's sample step matches the
+  thread backend's injected crash byte-for-byte.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.agents import PPOConfig
+from repro.distributed import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    StragglerFault,
+    TrainConfig,
+    build_trainer,
+    save_checkpoint,
+)
+from repro.env import smoke_config
+
+BACKENDS = ("serial", "thread", "process", "socket")
+
+
+@pytest.fixture
+def config():
+    return smoke_config(seed=5, horizon=10, num_pois=15)
+
+
+@pytest.fixture
+def ppo():
+    return PPOConfig(batch_size=10, epochs=1, learning_rate=1e-3)
+
+
+def make_trainer(config, ppo, injector=None, **train_overrides):
+    defaults = dict(
+        num_employees=3, episodes=2, k_updates=2, seed=0, shard_minibatch=2
+    )
+    defaults.update(train_overrides)
+    return build_trainer(
+        "cews",
+        config,
+        train=TrainConfig(**defaults),
+        ppo=ppo,
+        fault_injector=injector,
+    )
+
+
+def curves(history):
+    return (
+        history.curve("kappa"),
+        history.curve("policy_loss"),
+        history.curve("extrinsic_reward"),
+    )
+
+
+def run_and_fingerprint(config, ppo, path, **overrides):
+    trainer = make_trainer(config, ppo, **overrides)
+    history = trainer.train()
+    save_checkpoint(trainer, str(path))
+    trainer.close()
+    with np.load(str(path)) as archive:
+        arrays = {key: archive[key].copy() for key in archive.files}
+    return curves(history), arrays
+
+
+def assert_fingerprints_equal(first, second, tag=""):
+    curves_a, arrays_a = first
+    curves_b, arrays_b = second
+    assert curves_a == curves_b, tag
+    assert sorted(arrays_a) == sorted(arrays_b), tag
+    for key in arrays_a:
+        assert arrays_a[key].dtype == arrays_b[key].dtype, (tag, key)
+        assert np.array_equal(arrays_a[key], arrays_b[key]), (tag, key)
+
+
+class TestShardedBitwiseAcrossBackends:
+    def test_all_four_backends_identical(self, config, ppo, tmp_path):
+        fingerprints = {
+            backend: run_and_fingerprint(
+                config, ppo, tmp_path / f"{backend}.npz", backend=backend
+            )
+            for backend in BACKENDS
+        }
+        for backend in BACKENDS[1:]:
+            assert_fingerprints_equal(
+                fingerprints["serial"], fingerprints[backend], backend
+            )
+
+    def test_four_way_shard_also_agrees(self, config, ppo, tmp_path):
+        """S > worker count exercises the wave scheduler (each worker
+        computes several shards per round)."""
+        serial = run_and_fingerprint(
+            config, ppo, tmp_path / "s.npz", backend="serial", shard_minibatch=4
+        )
+        process = run_and_fingerprint(
+            config, ppo, tmp_path / "p.npz", backend="process", shard_minibatch=4
+        )
+        assert_fingerprints_equal(serial, process, "4-way")
+
+    def test_sharded_differs_from_unsharded_as_documented(
+        self, config, ppo, tmp_path
+    ):
+        sharded = run_and_fingerprint(config, ppo, tmp_path / "sh.npz")
+        plain = run_and_fingerprint(
+            config, ppo, tmp_path / "un.npz", shard_minibatch=1
+        )
+        param_keys = [k for k in sharded[1] if k.startswith("agent.")]
+        assert param_keys
+        assert any(
+            not np.array_equal(sharded[1][key], plain[1][key])
+            for key in param_keys
+        )
+
+
+class TestShardedInstrumentationInvisible:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_full_stack_is_bitwise_invisible(self, config, ppo, tmp_path, backend):
+        """Sanitizer + tracer + profiler + lockwatch over a sharded run:
+        every instrument forces the executor's tape re-dispatch, and the
+        run stays byte-identical to the uninstrumented one."""
+        from repro.analysis import Sanitizer, lockwatch
+        from repro.obs import OpProfiler, Tracer, trace_path_for
+
+        baseline = run_and_fingerprint(config, ppo, tmp_path / "plain.npz")
+
+        tracer = Tracer(trace_path_for(str(tmp_path / backend))).install()
+        profiler = OpProfiler().enable()
+        lockwatch.enable()
+        try:
+            with Sanitizer():
+                instrumented = run_and_fingerprint(
+                    config, ppo, tmp_path / f"{backend}.npz", backend=backend
+                )
+        finally:
+            lockwatch.disable()
+            profiler.disable()
+            tracer.uninstall()
+        assert_fingerprints_equal(baseline, instrumented, backend)
+        assert tracer.records_emitted > 0
+
+
+@pytest.mark.faults
+class TestKillMidShardedMinibatch:
+    def test_sigkill_mid_sharded_round_matches_thread_crash(self, config, ppo):
+        """SIGKILL a worker parked at the sharded round's sample step.
+        The chief books a crash, revives the worker, drops it from the
+        round's shard compute pool, and the degraded episode matches the
+        thread backend's injected-crash run byte-for-byte (PR 5's crash
+        bookkeeping, extended to the sharded path)."""
+        injector = FaultInjector(
+            FaultPlan(
+                events=(CrashFault(employee=1, episode=0, round=0, times=1),)
+            )
+        )
+        reference = make_trainer(
+            config,
+            ppo,
+            injector=injector,
+            backend="thread",
+            quorum_fraction=0.5,
+            max_retries=0,
+        )
+        ref_history = reference.train()
+        reference.close()
+
+        # Process run: park employee 1 in before_task of the round-0
+        # sample (RNG untouched), then SIGKILL it there.
+        injector = FaultInjector(
+            FaultPlan(
+                events=(
+                    StragglerFault(
+                        employee=1, episode=0, round=0, delay=60.0, times=1
+                    ),
+                )
+            )
+        )
+        trainer = make_trainer(
+            config,
+            ppo,
+            injector=injector,
+            backend="process",
+            quorum_fraction=0.5,
+            max_retries=0,
+        )
+        victim = trainer._proc_pool.pid(1)
+
+        def kill_when_parked():
+            time.sleep(1.0)  # explore is over; the worker sleeps in before_task
+            os.kill(victim, signal.SIGKILL)
+
+        killer = threading.Thread(target=kill_when_parked, daemon=True)
+        killer.start()
+        history = trainer.train()
+        killer.join()
+        respawned = trainer._proc_pool.pid(1)
+        trainer.close()
+
+        assert respawned != victim  # the worker really was respawned
+        assert curves(history) == curves(ref_history)
+        assert trainer.health.summary() == reference.health.summary()
+        assert trainer.health.employee(1).crashes == 1
+        assert trainer.health.employee(1).restarts == 1

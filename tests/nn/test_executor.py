@@ -1,0 +1,231 @@
+"""Execution-plan gates: fast path ≡ slow path, byte for byte.
+
+The PR 9 executor promises that replaying a compiled plan (arena
+buffers + fused elementwise chains) is *bitwise* indistinguishable from
+walking the autograd tape, and that the fast path silently steps aside
+— re-dispatching through the patchable tape — the moment any instrument
+(sanitizer, tracer, profiler) is installed.  These tests pin both
+halves, plus the escape rules: nothing a caller can reach from
+``Planner.step`` may alias arena storage.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.agents import CEWSAgent, PPOConfig
+from repro.agents.ppo import make_ppo_planner, ppo_step
+from repro.env import CrowdsensingEnv, smoke_config
+from repro.nn import Planner, alloc_stats, fast_path_allowed, is_arena_backed
+from repro.nn import reset_alloc_stats
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """The CEWS PPO minibatch workload (the hot path the plan exists for)."""
+    config = smoke_config(seed=3, horizon=40)
+    agent = CEWSAgent(config, ppo=PPOConfig(batch_size=16, epochs=1), seed=0)
+    env = CrowdsensingEnv(config, reward_mode="sparse", scenario=agent.scenario)
+    buffer, __ = agent.collect_episode(env, np.random.default_rng(0))
+    batch = next(iter(buffer.minibatches(16, np.random.default_rng(0))))
+    return agent, batch
+
+
+def grads_of(network):
+    return [p.grad.copy() for p in network.parameters()]
+
+
+def tape_reference(agent, batch):
+    agent.network.zero_grad()
+    stats = ppo_step(agent.network, batch, agent.ppo)
+    return stats, grads_of(agent.network)
+
+
+class TestPlanEqualsTape:
+    def test_planned_update_matches_tape_bitwise(self, workload):
+        agent, batch = workload
+        ref_stats, ref_grads = tape_reference(agent, batch)
+
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        for step in range(3):  # build + validate, then two pure replays
+            agent.network.zero_grad()
+            stats = ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "plan", (step, planner.last_reason)
+            assert stats == ref_stats
+            for got, want in zip(grads_of(agent.network), ref_grads):
+                assert got.tobytes() == want.tobytes()
+
+    def test_cews_workload_never_falls_back(self, workload):
+        """Every op the CEWS PPO update emits has a plan kernel: after the
+        one build, repeated steps are all plan replays (the no-fallback
+        acceptance gate — an unsupported op would silently eat the 2x)."""
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        for __ in range(5):
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        assert planner.stats["built"] == 1
+        assert planner.stats["plan_runs"] == 5
+        assert planner.stats["tape_runs"] == 0
+        assert planner.stats["unsupported"] == 0
+        assert planner.stats["validation_failed"] == 0
+
+    def test_ablations_also_match_tape(self, workload):
+        """Arena-off and fusion-off plans hold the same byte contract."""
+        agent, batch = workload
+        __, ref_grads = tape_reference(agent, batch)
+        for arena, fuse in ((False, True), (True, False), (False, False)):
+            planner = make_ppo_planner(agent.network, agent.ppo, arena=arena, fuse=fuse)
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "plan", (arena, fuse, planner.last_reason)
+            for got, want in zip(grads_of(agent.network), ref_grads):
+                assert got.tobytes() == want.tobytes()
+
+    def test_unpickled_batch_builds_a_plan(self, workload):
+        """Process-worker shard payloads arrive unpickled, so every input
+        array is a view of a pickle buffer; the plan must still resolve
+        them (buffer-identity seeding) instead of rejecting the program."""
+        agent, batch = workload
+        __, ref_grads = tape_reference(agent, batch)
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        agent.network.zero_grad()
+        ppo_step(
+            agent.network, pickle.loads(pickle.dumps(batch)), agent.ppo,
+            planner=planner,
+        )
+        assert planner.last_path == "plan", planner.last_reason
+        assert planner.stats["unsupported"] == 0
+        for got, want in zip(grads_of(agent.network), ref_grads):
+            assert got.tobytes() == want.tobytes()
+
+    def test_new_shape_signature_builds_second_plan(self, workload):
+        agent, __ = workload
+        config = smoke_config(seed=3, horizon=40)
+        env = CrowdsensingEnv(config, reward_mode="sparse", scenario=agent.scenario)
+        buffer, __ = agent.collect_episode(env, np.random.default_rng(1))
+        small = next(iter(buffer.minibatches(8, np.random.default_rng(0))))
+        large = next(iter(buffer.minibatches(16, np.random.default_rng(0))))
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        for batch in (small, large, small, large):
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "plan", planner.last_reason
+        assert planner.stats["built"] == 2
+        assert planner.stats["plan_runs"] == 4
+
+
+class TestInstrumentsForceTheTape:
+    """Any observer must keep seeing every op: installed instruments flip
+    ``fast_path_allowed`` and the planner re-dispatches through the tape
+    — then returns to plan replay the moment the instrument leaves."""
+
+    def test_profiler_forces_tape_then_plan_resumes(self, workload):
+        from repro.obs import OpProfiler
+
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        assert planner.last_path == "plan"
+
+        profiler = OpProfiler().enable()
+        try:
+            ok, reason = fast_path_allowed()
+            # The profiler patches Tensor.backward, so the pristine-surface
+            # check trips before the explicit profiler-activity check.
+            assert not ok and ("profiler" in reason or "patched" in reason)
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "tape"
+        finally:
+            profiler.disable()
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        assert planner.last_path == "plan"
+
+    def test_tracer_forces_tape(self, workload, tmp_path):
+        from repro.obs import Tracer, trace_path_for
+
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        tracer = Tracer(trace_path_for(str(tmp_path / "t"))).install()
+        try:
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "tape"
+            assert planner.last_reason == "tracer installed"
+        finally:
+            tracer.uninstall()
+
+    def test_sanitizer_forces_tape(self, workload):
+        from repro.analysis import Sanitizer
+
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        with Sanitizer():
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+            assert planner.last_path == "tape"
+
+    def test_env_escape_hatch_forces_tape(self, workload, monkeypatch):
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        monkeypatch.setenv("REPRO_NO_PLANS", "1")
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        assert planner.last_path == "tape"
+        assert planner.last_reason == "REPRO_NO_PLANS"
+
+    def test_no_grad_forces_tape_path_refusal(self):
+        with nn.no_grad():
+            ok, reason = fast_path_allowed()
+        assert not ok and reason == "grad disabled"
+
+
+class TestArenaEscapeSafety:
+    """Everything ``Planner.step`` hands out must be caller-owned memory:
+    outputs and parameter gradients are copied out of (or never placed
+    in) the arena, so nothing observable is invalidated by the next
+    step's slab reuse (the RPL018 contract, enforced dynamically)."""
+
+    def test_outputs_and_grads_never_arena_backed(self, workload):
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        for __ in range(2):
+            agent.network.zero_grad()
+            ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        assert planner.last_path == "plan"
+        for param in agent.network.parameters():
+            assert not is_arena_backed(param.grad)
+            assert not is_arena_backed(param.data)
+
+    def test_repeated_replays_do_not_corrupt_results(self, workload):
+        """If an escaped alias existed, the next replay would overwrite
+        it; byte-stable grads across interleaved replays prove none do."""
+        agent, batch = workload
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        first = grads_of(agent.network)
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        for held, again in zip(first, grads_of(agent.network)):
+            assert held.tobytes() == again.tobytes()
+
+    def test_alloc_stats_record_arena_hits(self, workload):
+        agent, batch = workload
+        reset_alloc_stats()
+        planner = make_ppo_planner(agent.network, agent.ppo)
+        agent.network.zero_grad()
+        ppo_step(agent.network, batch, agent.ppo, planner=planner)
+        stats = alloc_stats()
+        assert stats, "plan build must record per-op allocation counts"
+        requested = sum(cell[0] for cell in stats.values())
+        served = sum(cell[1] for cell in stats.values())
+        assert 0 < served <= requested
+        reset_alloc_stats()
+        assert alloc_stats() == {}
