@@ -163,6 +163,95 @@ def check_minibatch(path: Path, baseline_path: Path, threshold: float) -> int:
     return 0
 
 
+def check_serve(path: Path, threshold: float) -> int:
+    """Gate the serving-path contracts measured by bench_serve.py.
+
+    Two machine-relative contracts (meaningful on any box):
+
+    * micro-batching sustains >= 2x the RPS of the singles-forced server
+      at the highest offered concurrency, and
+    * the forward-only execution plan beats the tape on the stacked
+      policy forward.
+
+    Both get the usual noise ``threshold`` allowance for slow shared
+    runners.  Cache and worker-scaling cells are reported, never gated —
+    they are honest measurements of the workload mix and core count that
+    ran them.
+    """
+    payload = json.loads(path.read_text())
+    serve = payload.get("serve")
+    micro = payload.get("micro")
+    if not isinstance(serve, dict) or not isinstance(micro, dict):
+        raise SystemExit(f"{path}: not a bench_serve.py dump")
+
+    failures = 0
+    print(f"serve check (threshold {threshold:g}x)")
+    for concurrency, cell in sorted(
+        serve.get("sweep", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(
+            f"  load c={concurrency:>2}  {float(cell['rps']):8.1f} rps"
+            f"  p50 {float(cell['p50_ms']):6.2f}ms"
+            f"  p99 {float(cell['p99_ms']):6.2f}ms"
+        )
+
+    batched = float(serve["batched"]["rps"])
+    unbatched = float(serve["unbatched"]["rps"])
+    concurrency = serve["batched"]["concurrency"]
+    ratio = batched / unbatched
+    # The 2x contract, with the usual noise allowance for slower runners.
+    if batched * threshold < unbatched * 2.0:
+        print(
+            f"serve check: batched server sustains only x{ratio:.2f} the "
+            f"unbatched RPS at concurrency {concurrency} ({batched:.1f} vs "
+            f"{unbatched:.1f}) — below the 2x contract (threshold-adjusted); "
+            "micro-batching has stopped coalescing or the stacked forward "
+            "has rotted.",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print(
+            f"serve check: batched x{ratio:.2f} unbatched at concurrency "
+            f"{concurrency} (2x contract holds)"
+        )
+
+    plan = float(micro["plan_forward"]["mean_s"])
+    tape = float(micro["tape_forward"]["mean_s"])
+    if plan > tape * threshold:
+        print(
+            f"serve check: planned policy forward {plan * 1e3:.3f}ms is "
+            f"slower than the tape {tape * 1e3:.3f}ms (threshold-adjusted) — "
+            "the forward-only fast path has rotted or fell back to the tape.",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print(
+            f"serve check: planned forward x{tape / plan:.2f} the tape "
+            f"({plan * 1e3:.3f}ms vs {tape * 1e3:.3f}ms)"
+        )
+
+    cache = payload.get("cache", {})
+    if "speedup_cache_on" in cache:
+        print(
+            f"  cache on/off x{float(cache['speedup_cache_on']):.2f} "
+            "(not gated)"
+        )
+    cores = payload.get("machine", {}).get("cores")
+    for name, cell in sorted(payload.get("worker_scaling", {}).items()):
+        extra = (
+            f"  x{float(cell['speedup_vs_inline']):5.2f} vs inline"
+            if "speedup_vs_inline" in cell
+            else ""
+        )
+        print(
+            f"  workers {name} on {cores} core(s)  "
+            f"{float(cell['mean_s']) * 1e3:8.3f}ms{extra} (not gated)"
+        )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="fresh --benchmark-json output")
@@ -175,6 +264,12 @@ def main(argv=None) -> int:
         "--minibatch", action="store_true",
         help="treat the positional argument as a bench_minibatch_scaling.py "
         "dump and gate the planned update's 2x-vs-recorded-tape contract",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="treat the positional argument as a bench_serve.py dump and "
+        "gate the batched-vs-unbatched 2x RPS contract plus the "
+        "forward-plan-beats-tape micro",
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE,
@@ -195,6 +290,8 @@ def main(argv=None) -> int:
         return check_obs_overhead(args.current, args.threshold)
     if args.minibatch:
         return check_minibatch(args.current, args.baseline, args.threshold)
+    if args.serve:
+        return check_serve(args.current, args.threshold)
 
     baseline = load_baseline(args.baseline)
     current = load_current(args.current)

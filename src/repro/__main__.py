@@ -526,6 +526,60 @@ def cmd_obs(args) -> int:
     return status
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from .serve import InferenceServer, InlinePool, ServeWorkerPool
+    from .serve.engine import load_network_state
+
+    path = args.checkpoint
+    if os.path.isdir(path):
+        from .distributed.checkpoint import CheckpointManager
+
+        resolved = CheckpointManager(path).latest()
+        if resolved is None:
+            print(f"no checkpoint found under {path}")
+            return 1
+        path = resolved
+    state = load_network_state(path)
+    use_plans = not args.no_plan
+    if args.workers > 0:
+        pool = ServeWorkerPool(
+            state, num_workers=args.workers, generation=1, use_plans=use_plans
+        )
+    else:
+        pool = InlinePool(state, generation=1, use_plans=use_plans)
+    server = InferenceServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        http_port=None if args.no_http else args.http_port,
+        http_host=args.host,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending,
+        cache_size=args.cache_size,
+    )
+
+    async def run() -> None:
+        await server.start()
+        print(f"serving {path} (generation {server.generation})")
+        print(f"  tcp://{args.host}:{server.port}")
+        if server.http_address:
+            print(f"  http://{server.http_address}  (/infer /metrics /-/reload)")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopping")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from .obs import OpProfiler
 
@@ -757,6 +811,31 @@ def _configure_obs(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(func=cmd_obs)
 
 
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        required=True,
+        help="checkpoint .npz, or a CheckpointManager directory (serves latest)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7355, help="framed-TCP port (0 = auto)")
+    parser.add_argument("--http-port", type=int, default=7356, help="JSON/HTTP port (0 = auto)")
+    parser.add_argument("--no-http", action="store_true", help="disable the HTTP front door")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="inference worker processes (0 = inline, no forks)",
+    )
+    parser.add_argument("--max-batch", type=int, default=8, help="micro-batch row bound")
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="longest a request waits to be coalesced",
+    )
+    parser.add_argument("--cache-size", type=int, default=1024, help="action-cache entries (0 disables)")
+    parser.add_argument("--max-pending", type=int, default=64, help="admission bound before 503 load-shed")
+    parser.add_argument("--no-plan", action="store_true", help="serve from the tape (no forward plans)")
+    parser.set_defaults(func=cmd_serve)
+
+
 def _configure_profile(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--method", choices=("cews", "dppo", "edics"), default="cews"
@@ -782,6 +861,7 @@ COMMANDS = (
     ("lint", "run the reprolint static-analysis gate", _configure_lint),
     ("trace", "summarize or dump a JSONL trace file", _configure_trace),
     ("obs", "serve the fleet HTTP endpoint / manage flight bundles", _configure_obs),
+    ("serve", "serve a trained checkpoint as a batched inference service", _configure_serve),
     ("profile", "run a short training under the per-op autograd profiler", _configure_profile),
 )
 

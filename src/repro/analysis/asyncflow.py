@@ -1,0 +1,229 @@
+"""RPL019: no blocking calls on the event loop in serving code.
+
+The inference server (:mod:`repro.serve`) is a single asyncio event
+loop; one blocking call inside any ``async def`` stalls every connected
+client at once — batches stop coalescing, heartbeats stop answering, and
+p99 latency inherits the blocked call's duration.  The fix is always the
+same: off-load to an executor (``loop.run_in_executor(...)``), which
+passes the blocking callable *as an argument* and therefore never
+appears as a call edge here.
+
+The rule is scoped to modules with ``serve`` as a path component and
+reports, for every ``async def`` in scope:
+
+* **direct** blocking primitives — ``time.sleep``, sync socket/pipe
+  ``recv``/``accept``/``sendall``, ``subprocess.run``-family, blocking
+  ``queue.get()`` waits (the un-offloaded slab/pipe idiom), and
+* **transitive** ones — a blocking primitive reached through any chain
+  of resolved *synchronous* callees (a sync helper runs inline on the
+  loop; calling an async helper is its own finding in that helper).
+
+``await``-ed calls are exempt from the primitive vocabulary — awaiting
+is precisely the non-blocking way to wait (``reader.read`` on an asyncio
+stream shares a name with ``socket.recv``'s blocking cousin) — but their
+synchronous callees are still walked: ``await helper()`` runs ``helper``
+on the loop up to its first suspension point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import ProgramIndex, _FunctionScope, _dotted
+from .findings import Finding
+from .lockflow import _blocking_desc, _step
+from .program import ProgramContext, program_rule
+
+__all__ = ["collect_async_events", "event_loop_blockers"]
+
+# Beyond the lockflow socket/sleep vocabulary: process spawns that wait
+# for the child, and connection setup.
+_SUBPROCESS_DOTTED = {
+    "subprocess.run": "subprocess.run",
+    "subprocess.call": "subprocess.call",
+    "subprocess.check_call": "subprocess.check_call",
+    "subprocess.check_output": "subprocess.check_output",
+    "socket.create_connection": "socket.create_connection",
+}
+
+
+def _async_blocking_desc(scope: _FunctionScope, call: ast.Call) -> Optional[str]:
+    """Describe ``call`` if it blocks the calling thread."""
+    desc = _blocking_desc(scope, call)
+    if desc is not None:
+        return desc
+    dotted = _dotted(call.func)
+    if dotted:
+        resolved = None
+        head, _, rest = dotted.partition(".")
+        target = scope.info.imports.get(head)
+        if target:
+            resolved = f"{target}.{rest}" if rest else target
+        for candidate in (resolved, dotted):
+            if candidate in _SUBPROCESS_DOTTED:
+                return _SUBPROCESS_DOTTED[candidate]
+    if isinstance(call.func, ast.Attribute) and call.func.attr == "get":
+        # Zero-positional-arg ``.get()`` is the queue/pipe wait idiom
+        # (``free.get()``, ``q.get(timeout=...)``); ``dict.get`` always
+        # takes a positional key, so it never matches.
+        if not call.args:
+            names = {kw.arg for kw in call.keywords}
+            if not call.keywords or names & {"timeout", "block"}:
+                return "blocking queue get"
+    return None
+
+
+@dataclass(frozen=True)
+class _AsyncEvent:
+    kind: str  # "block" | "call"
+    lineno: int
+    desc: str = ""  # for "block"
+    callee: str = ""  # for "call" (FQN of a resolved *sync* function)
+
+
+def _scan(scope: _FunctionScope) -> List[_AsyncEvent]:
+    """Blocking primitives and sync call edges in one function body."""
+    awaited: Set[int] = set()
+    calls: List[ast.Call] = []
+    stack: List[ast.AST] = list(scope.fn.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue  # deferred bodies run elsewhere (and are indexed)
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            awaited.add(id(node.value))
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    events: List[_AsyncEvent] = []
+    for call in calls:
+        if id(call) not in awaited:
+            desc = _async_blocking_desc(scope, call)
+            if desc is not None:
+                events.append(_AsyncEvent("block", call.lineno, desc=desc))
+        for target in scope.resolve_call(call):
+            if isinstance(target.node, ast.AsyncFunctionDef):
+                # An async callee suspends instead of blocking; anything
+                # blocking *inside* it is that function's own finding.
+                continue
+            events.append(_AsyncEvent("call", call.lineno, callee=target.fqn))
+    events.sort(key=lambda ev: ev.lineno)
+    return events
+
+
+def collect_async_events(index: ProgramIndex) -> Dict[str, List[_AsyncEvent]]:
+    return {
+        fn.fqn: _scan(_FunctionScope(index, index.modules[fn.module], fn))
+        for fn in index.functions.values()
+    }
+
+
+def event_loop_blockers(
+    index: ProgramIndex,
+) -> Dict[str, List[Tuple[int, str, Tuple[str, ...]]]]:
+    """``async-def FQN -> [(lineno, desc, path)]`` over the whole program.
+
+    Facts seed at direct blocking primitives and propagate caller-ward
+    through resolved synchronous call edges (path-carrying fixpoint, the
+    lockflow idiom); the returned map is restricted to ``async def``
+    functions — sync functions merely transport facts.
+    """
+    events = collect_async_events(index)
+    facts: Dict[str, Dict[str, Tuple[str, ...]]] = {fqn: {} for fqn in events}
+    for fqn, evs in events.items():
+        for ev in evs:
+            if ev.kind == "block":
+                facts[fqn].setdefault(
+                    ev.desc,
+                    (_step(index, fqn, ev.lineno, f"blocks in {ev.desc}"),),
+                )
+    for _ in range(64):
+        changed = False
+        for fqn, evs in events.items():
+            mine = facts[fqn]
+            for ev in evs:
+                if ev.kind != "call" or ev.callee not in facts:
+                    continue
+                hop = _step(
+                    index, fqn, ev.lineno,
+                    f"calls {ev.callee.rsplit('.', 1)[-1]}",
+                )
+                for desc, path in facts[ev.callee].items():
+                    if desc not in mine:
+                        mine[desc] = (hop,) + path
+                        changed = True
+        if not changed:
+            break
+
+    blockers: Dict[str, List[Tuple[int, str, Tuple[str, ...]]]] = {}
+    for fqn, evs in events.items():
+        fn = index.functions[fqn]
+        if not isinstance(fn.node, ast.AsyncFunctionDef):
+            continue
+        found: List[Tuple[int, str, Tuple[str, ...]]] = []
+        for ev in evs:
+            if ev.kind == "block":
+                found.append(
+                    (
+                        ev.lineno,
+                        ev.desc,
+                        (_step(index, fqn, ev.lineno, f"blocks in {ev.desc}"),),
+                    )
+                )
+            elif ev.kind == "call":
+                for desc, path in facts.get(ev.callee, {}).items():
+                    hop = _step(
+                        index, fqn, ev.lineno,
+                        f"calls {ev.callee.rsplit('.', 1)[-1]}",
+                    )
+                    found.append((ev.lineno, desc, (hop,) + path))
+        if found:
+            blockers[fqn] = found
+    return blockers
+
+
+def _in_scope(context: ProgramContext, module: str) -> bool:
+    if context.is_test_module(module):
+        return False
+    path = context.path_of(module).replace("\\", "/")
+    return "serve" in path.split("/")
+
+
+@program_rule(
+    "RPL019",
+    "no-event-loop-blocking",
+    "blocking calls (sleep/socket/pipe/subprocess/queue) inside async def "
+    "bodies in serving code",
+)
+def rpl019_no_event_loop_blocking(context: ProgramContext) -> List[Finding]:
+    index = context.index
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for fqn, blocks in sorted(event_loop_blockers(index).items()):
+        fn = index.functions[fqn]
+        if not _in_scope(context, fn.module):
+            continue
+        module_path = index.modules[fn.module].path
+        for lineno, desc, path in blocks:
+            key = (module_path, lineno, desc)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    code="RPL019",
+                    rule="no-event-loop-blocking",
+                    path=module_path,
+                    line=lineno,
+                    message=(
+                        f"async def {fqn.rsplit('.', 1)[-1]} blocks the event "
+                        f"loop in {desc} (off-load via run_in_executor): "
+                        + " -> ".join(path)
+                    ),
+                )
+            )
+    return findings

@@ -160,6 +160,7 @@ def analyze_program(
     return analyze_files(files, select=select, ignore=ignore)
 
 
-# Importing the rule modules registers RPL013–RPL016.
+# Importing the rule modules registers RPL013–RPL016 and RPL019.
 from . import lockflow as _lockflow  # noqa: E402,F401
 from . import rngflow as _rngflow  # noqa: E402,F401
+from . import asyncflow as _asyncflow  # noqa: E402,F401

@@ -614,6 +614,10 @@ _RPL006_WHITELIST = {
     # The lock-order sanitizer measures hold durations (SAN005) with the
     # monotonic clock; its bookkeeping never touches numeric state.
     "repro/analysis/lockwatch.py": {"time.monotonic", "time.monotonic_ns"},
+    # The inference server measures request latency with the monotonic
+    # clock and its sync client sleeps for 503 retry backoff; served
+    # actions stay bitwise-identical to offline act_full regardless.
+    "repro/serve/server.py": {"time.monotonic", "time.sleep"},
 }
 
 

@@ -20,6 +20,7 @@ from .arena import (
 from .distributions import Bernoulli, Categorical
 from .executor import (
     ExecutionPlan,
+    ForwardPlanner,
     Planner,
     PlanUnsupported,
     fast_path_allowed,
@@ -112,6 +113,7 @@ __all__ = [
     "note_alloc",
     "reset_alloc_stats",
     "ExecutionPlan",
+    "ForwardPlanner",
     "Planner",
     "PlanUnsupported",
     "fast_path_allowed",

@@ -1,0 +1,45 @@
+"""Policy-inference serving: the trained scheduler as a network service.
+
+``repro serve`` loads a :class:`~repro.distributed.checkpoint.CheckpointManager`
+checkpoint and answers "fleet state → joint actions" over the framed-TCP
+codec (plus a JSON/HTTP front door).  The layer stack, bottom up:
+
+==========================  ============================================
+:mod:`repro.serve.engine`   bitwise-exact batched forward + sampling
+:mod:`repro.serve.pool`     fork workers, zero-copy slab weight broadcast
+:mod:`repro.serve.cache`    generation-aware LRU of served actions
+:mod:`repro.serve.batcher`  max-batch/max-delay coalescing + admission
+:mod:`repro.serve.server`   asyncio TCP + HTTP front doors, hot reload
+:mod:`repro.serve.protocol` request/result wire + JSON encodings
+==========================  ============================================
+
+The invariant everything above the engine inherits: a served action is
+bitwise-identical to offline
+:meth:`~repro.agents.policy.PPOWorkerAgent.act_full` on the same state,
+whatever batch it was coalesced into, whether it was a cache hit, and
+across hot-reload boundaries (old-generation answers are tagged).
+"""
+
+from .batcher import MicroBatcher
+from .cache import ActionCache
+from .engine import PolicyEngine, load_network_state, network_from_state
+from .pool import InlinePool, ServeWorkerPool, WorkerCrashed
+from .protocol import InferRequest, InferResult, Overloaded, RequestError
+from .server import InferenceServer, ServeClient
+
+__all__ = [
+    "ActionCache",
+    "InferenceServer",
+    "InferRequest",
+    "InferResult",
+    "InlinePool",
+    "MicroBatcher",
+    "Overloaded",
+    "PolicyEngine",
+    "RequestError",
+    "ServeClient",
+    "ServeWorkerPool",
+    "WorkerCrashed",
+    "load_network_state",
+    "network_from_state",
+]

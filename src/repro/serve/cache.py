@@ -1,0 +1,142 @@
+"""Generation-aware LRU cache for served joint actions.
+
+Keys are SHA-256 digests of the encoded request
+(:func:`repro.serve.protocol.request_digest`).  A digest lookup alone is
+not proof of identity — the cache stores the request's full key material
+next to the result and byte-compares it on every hit, so even an
+engineered digest collision degrades to a miss instead of serving a
+wrong action.
+
+Entries are stamped with the checkpoint generation that produced them.
+Bumping the cache's generation (hot reload) invalidates every older
+entry lazily: stale entries are dropped on lookup rather than eagerly
+swept, keeping reload O(1) on the serving path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from .protocol import InferRequest, InferResult, request_digest
+
+__all__ = ["ActionCache"]
+
+
+class ActionCache:
+    """A bounded, thread-safe LRU of ``digest -> InferResult``."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        # digest -> (key_material, result, generation)
+        self._entries: "OrderedDict[bytes, Tuple[Tuple, InferResult, int]]" = (
+            OrderedDict()
+        )
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.collisions = 0
+        self.invalidations = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def bump_generation(self, generation: Optional[int] = None) -> int:
+        """Advance the live generation, logically invalidating old entries."""
+        with self._lock:
+            if generation is None:
+                self._generation += 1
+            else:
+                generation = int(generation)
+                if generation < self._generation:
+                    raise ValueError(
+                        f"generation must not go backwards "
+                        f"({generation} < {self._generation})"
+                    )
+                self._generation = generation
+            return self._generation
+
+    def get(self, request: InferRequest) -> Optional[InferResult]:
+        """Return the cached result for ``request``, or ``None``.
+
+        Hits are re-tagged ``cached=True`` with the entry's original
+        generation preserved, so callers can still see which weights
+        produced the action.
+        """
+        digest = request_digest(request)
+        material = request.key_material()
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_material, result, generation = entry
+            if generation != self._generation:
+                # Stale weights: drop lazily and treat as a miss.
+                del self._entries[digest]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            if stored_material != material:
+                # Digest collision — never serve someone else's action.
+                self.collisions += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self.hits += 1
+            return InferResult(
+                moves=result.moves,
+                charges=result.charges,
+                log_prob=result.log_prob,
+                value=result.value,
+                generation=result.generation,
+                cached=True,
+                batch_size=result.batch_size,
+            )
+
+    def put(self, request: InferRequest, result: InferResult) -> None:
+        """Insert ``request -> result`` if it was computed by the live weights."""
+        digest = request_digest(request)
+        material = request.key_material()
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if result.generation != self._generation:
+                # Computed by a checkpoint that has since been replaced
+                # (in-flight batch finishing on old weights) — caching it
+                # would resurrect stale actions.
+                self.invalidations += 1
+                return
+            self._entries[digest] = (material, result, result.generation)
+            self._entries.move_to_end(digest)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "generation": self._generation,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "collisions": self.collisions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,294 @@
+"""Wire protocol for the inference service.
+
+Requests and responses ride the PR 6 framed-TCP codec unchanged: every
+message is one ``T_CONTROL`` frame whose pickled payload is the usual
+``(kind, seq, payload)`` control tuple.  ``seq`` is the client-chosen
+request id, echoed verbatim on the response so a pipelining client can
+match answers to questions regardless of completion order (coalesced
+batches finish together; cache hits finish early).
+
+Message kinds::
+
+    infer   client -> server   {state, move_mask, worker_features, greedy, seed}
+    result  server -> client   {moves, charges, log_prob, value,
+                                generation, cached, batch_size}
+    reject  server -> client   {code: 503, error, queue_depth, retry_after}
+    error   server -> client   {code: 400, error}
+    info    client -> server   {}
+    served  server -> client   {generation, workers, max_batch, ...}
+
+The JSON front door (:mod:`repro.serve.server`) converts the same
+request/result shapes to and from nested lists; Python's ``repr``-based
+float serialization round-trips IEEE-754 doubles exactly, so the bitwise
+response contract survives the JSON hop too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..distributed.transport.framing import (
+    T_CONTROL,
+    decode_control,
+    encode_control,
+    encode_frame,
+)
+from ..env.actions import NUM_MOVES
+
+__all__ = [
+    "InferRequest",
+    "InferResult",
+    "Overloaded",
+    "RequestError",
+    "decode_message",
+    "encode_error",
+    "encode_info",
+    "encode_infer",
+    "encode_reject",
+    "encode_result",
+    "encode_served",
+    "request_digest",
+    "request_from_json",
+    "request_to_json",
+    "result_from_payload",
+    "result_to_json",
+]
+
+K_INFER = "infer"
+K_RESULT = "result"
+K_REJECT = "reject"
+K_ERROR = "error"
+K_INFO = "info"
+K_SERVED = "served"
+
+
+class RequestError(ValueError):
+    """A structurally invalid inference request (answered with 400)."""
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected the request (answered with 503)."""
+
+    def __init__(self, queue_depth: int, retry_after: float):
+        super().__init__(
+            f"server overloaded ({queue_depth} request(s) pending); "
+            f"retry after {retry_after:.3f}s"
+        )
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class InferRequest:
+    """One fleet state asking for one joint action.
+
+    ``greedy`` requests the argmax action; otherwise ``seed`` (required)
+    seeds a fresh ``np.random.default_rng`` so the sampled action is
+    bitwise-reproducible offline with the same seed.
+    """
+
+    state: np.ndarray  # (C, G, G) float64
+    move_mask: np.ndarray  # (W, NUM_MOVES) bool
+    worker_features: np.ndarray  # (W, 3) float64
+    greedy: bool = True
+    seed: Optional[int] = None
+
+    def validate(self) -> "InferRequest":
+        if self.state.ndim != 3 or self.state.shape[1] != self.state.shape[2]:
+            raise RequestError(
+                f"state must be (C, G, G), got shape {self.state.shape}"
+            )
+        workers = self.move_mask.shape[0] if self.move_mask.ndim == 2 else -1
+        if self.move_mask.shape != (workers, NUM_MOVES):
+            raise RequestError(
+                f"move_mask must be (W, {NUM_MOVES}), got {self.move_mask.shape}"
+            )
+        if self.worker_features.shape != (workers, 3):
+            raise RequestError(
+                f"worker_features must be ({workers}, 3), "
+                f"got {self.worker_features.shape}"
+            )
+        if not self.greedy and self.seed is None:
+            raise RequestError("sampled requests must carry a seed")
+        return self
+
+    def key_material(self) -> Tuple:
+        """The full, collision-safe identity of this request."""
+        return (
+            self.state.shape,
+            self.state.tobytes(),
+            self.move_mask.tobytes(),
+            self.worker_features.tobytes(),
+            bool(self.greedy),
+            None if self.seed is None else int(self.seed),
+        )
+
+
+@dataclass(frozen=True)
+class InferResult:
+    """The joint action for one request, tagged with its provenance."""
+
+    moves: np.ndarray  # (W,) int64
+    charges: np.ndarray  # (W,) int64
+    log_prob: float
+    value: float
+    generation: int  # checkpoint generation that served the forward
+    cached: bool = False
+    batch_size: int = 1
+
+
+def _as_request(payload: Dict) -> InferRequest:
+    try:
+        seed = payload.get("seed")
+        return InferRequest(
+            state=np.ascontiguousarray(payload["state"], dtype=np.float64),
+            move_mask=np.ascontiguousarray(payload["move_mask"], dtype=bool),
+            worker_features=np.ascontiguousarray(
+                payload["worker_features"], dtype=np.float64
+            ),
+            greedy=bool(payload.get("greedy", True)),
+            seed=None if seed is None else int(seed),
+        ).validate()
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, RequestError):
+            raise
+        raise RequestError(f"malformed infer payload: {error}")
+
+
+def request_digest(request: InferRequest) -> bytes:
+    """SHA-256 digest of the encoded request (the cache key).
+
+    The digest covers the raw array bytes *and* their shapes (two
+    different geometries must never collide trivially) plus the
+    greedy/seed mode — a sampled request can never hit a greedy entry.
+    """
+    h = hashlib.sha256(b"repro-serve-v1")
+    h.update(repr(request.state.shape).encode())
+    h.update(request.state.tobytes())
+    h.update(repr(request.move_mask.shape).encode())
+    h.update(request.move_mask.tobytes())
+    h.update(request.worker_features.tobytes())
+    h.update(b"G" if request.greedy else b"S%d" % (request.seed or 0))
+    return h.digest()
+
+
+# ----------------------------------------------------------------------
+# Frame encoding (one control frame per message)
+# ----------------------------------------------------------------------
+def _control_frame(kind: str, seq: int, payload: Dict) -> bytes:
+    return encode_frame(T_CONTROL, encode_control(kind, seq, payload))
+
+
+def encode_infer(request: InferRequest, seq: int) -> bytes:
+    return _control_frame(
+        K_INFER,
+        seq,
+        {
+            "state": request.state,
+            "move_mask": request.move_mask,
+            "worker_features": request.worker_features,
+            "greedy": request.greedy,
+            "seed": request.seed,
+        },
+    )
+
+
+def encode_result(result: InferResult, seq: int) -> bytes:
+    return _control_frame(
+        K_RESULT,
+        seq,
+        {
+            "moves": result.moves,
+            "charges": result.charges,
+            "log_prob": result.log_prob,
+            "value": result.value,
+            "generation": result.generation,
+            "cached": result.cached,
+            "batch_size": result.batch_size,
+        },
+    )
+
+
+def encode_reject(seq: int, queue_depth: int, retry_after: float) -> bytes:
+    return _control_frame(
+        K_REJECT,
+        seq,
+        {
+            "code": 503,
+            "error": "overloaded",
+            "queue_depth": int(queue_depth),
+            "retry_after": float(retry_after),
+        },
+    )
+
+
+def encode_error(seq: int, message: str) -> bytes:
+    return _control_frame(K_ERROR, seq, {"code": 400, "error": str(message)})
+
+
+def encode_info(seq: int) -> bytes:
+    return _control_frame(K_INFO, seq, {})
+
+
+def encode_served(seq: int, info: Dict) -> bytes:
+    return _control_frame(K_SERVED, seq, dict(info))
+
+
+def decode_message(frame_payload: bytes) -> Tuple[str, int, object]:
+    """Decode one control frame payload into ``(kind, seq, payload)``.
+
+    ``infer`` payloads come back as a validated :class:`InferRequest`;
+    every other kind keeps its plain dict payload.
+    """
+    kind, seq, payload = decode_control(frame_payload)
+    if kind == K_INFER:
+        return kind, seq, _as_request(payload)
+    return kind, seq, payload
+
+
+def result_from_payload(payload: Dict) -> InferResult:
+    return InferResult(
+        moves=np.asarray(payload["moves"], dtype=np.int64),
+        charges=np.asarray(payload["charges"], dtype=np.int64),
+        log_prob=float(payload["log_prob"]),
+        value=float(payload["value"]),
+        generation=int(payload["generation"]),
+        cached=bool(payload.get("cached", False)),
+        batch_size=int(payload.get("batch_size", 1)),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON front-door conversions
+# ----------------------------------------------------------------------
+def request_from_json(body: Dict) -> InferRequest:
+    """Build a request from a decoded JSON body (nested lists)."""
+    if not isinstance(body, dict):
+        raise RequestError("JSON body must be an object")
+    return _as_request(body)
+
+
+def request_to_json(request: InferRequest) -> Dict:
+    return {
+        "state": request.state.tolist(),
+        "move_mask": request.move_mask.tolist(),
+        "worker_features": request.worker_features.tolist(),
+        "greedy": request.greedy,
+        "seed": request.seed,
+    }
+
+
+def result_to_json(result: InferResult) -> Dict:
+    return {
+        "moves": result.moves.tolist(),
+        "charges": result.charges.tolist(),
+        "log_prob": result.log_prob,
+        "value": result.value,
+        "generation": result.generation,
+        "cached": result.cached,
+        "batch_size": result.batch_size,
+    }

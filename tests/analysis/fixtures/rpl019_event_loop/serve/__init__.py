@@ -1,0 +1,1 @@
+"""RPL019 fixture: async handlers that block the event loop."""

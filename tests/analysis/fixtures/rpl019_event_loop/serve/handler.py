@@ -1,0 +1,38 @@
+"""Known-bad serving handlers: blocking calls on the asyncio event loop.
+
+Five distinct violations, one per line flagged below; the ``_clean``
+handlers at the bottom show the sanctioned shapes (awaited coroutine
+APIs, executor off-load) and must stay silent.
+"""
+
+import subprocess
+import time
+
+
+def read_exact(conn):
+    # Sync helper: fine on a worker thread, poisonous inline on the loop.
+    return conn.recv(4096)
+
+
+async def handle_request(conn, jobs):
+    payload = conn.recv(4096)  # RPL019: sync socket read on the loop
+    time.sleep(0.005)  # RPL019: sleeps the whole server
+    job = jobs.get()  # RPL019: blocking queue wait
+    return payload, job
+
+
+async def handle_shellout(request):
+    return subprocess.run(["echo", request])  # RPL019: waits for the child
+
+
+async def handle_transitive(conn):
+    return read_exact(conn)  # RPL019: blocking recv via sync helper
+
+
+async def handle_clean(reader, loop, pool):
+    data = await reader.read(4096)  # awaited asyncio API: non-blocking
+    return await loop.run_in_executor(pool, read_exact, data)  # off-loaded
+
+
+async def handle_clean_lookup(cache, key):
+    return cache.get(key, None)  # positional-arg .get is a dict lookup

@@ -26,6 +26,7 @@ PROGRAM_FIXTURE_EXPECTATIONS = {
     "rpl014_rng_origin": ("RPL014", 4),
     "rpl015_fork_reach": ("RPL015", 4),
     "rpl016_blocking_lock": ("RPL016", 3),
+    "rpl019_event_loop": ("RPL019", 5),
 }
 
 
@@ -39,7 +40,13 @@ def analyze_fixture(name, **kwargs):
 
 class TestRegistry:
     def test_program_rules_registered(self):
-        assert sorted(PROGRAM_RULES) == ["RPL013", "RPL014", "RPL015", "RPL016"]
+        assert sorted(PROGRAM_RULES) == [
+            "RPL013",
+            "RPL014",
+            "RPL015",
+            "RPL016",
+            "RPL019",
+        ]
 
     def test_rule_table_rows(self):
         rows = program_rule_table()
@@ -259,6 +266,64 @@ class TestForkReachability:
             "    pass\n"
         )
         assert analyze_files([("proj/w.py", source)], select=["RPL015"]) == []
+
+
+class TestEventLoopBlocking:
+    """RPL019: blocking calls inside async def bodies in serving code."""
+
+    def test_transitive_finding_spells_out_the_call_chain(self):
+        findings = analyze_fixture("rpl019_event_loop", select=["RPL019"])
+        transitive = [f for f in findings if "handle_transitive" in f.message]
+        assert len(transitive) == 1
+        assert "calls read_exact" in transitive[0].message
+        assert "socket/pipe recv" in transitive[0].message
+
+    def test_awaited_and_offloaded_calls_are_exempt(self):
+        source = (
+            "import time\n"
+            "async def clean(reader, loop, pool):\n"
+            "    data = await reader.read(64)\n"
+            "    return await loop.run_in_executor(pool, time.sleep, 1)\n"
+        )
+        assert analyze_files([("proj/serve/h.py", source)], select=["RPL019"]) == []
+
+    def test_sync_functions_are_not_reported_directly(self):
+        source = (
+            "def pump(conn):\n"
+            "    return conn.recv(64)\n"
+        )
+        assert analyze_files([("proj/serve/h.py", source)], select=["RPL019"]) == []
+
+    def test_out_of_scope_async_code_is_ignored(self):
+        source = (
+            "import time\n"
+            "async def slow():\n"
+            "    time.sleep(1)\n"
+        )
+        assert analyze_files([("proj/train/h.py", source)], select=["RPL019"]) == []
+
+    def test_in_scope_async_sleep_is_flagged(self):
+        source = (
+            "import time\n"
+            "async def slow():\n"
+            "    time.sleep(1)\n"
+        )
+        findings = analyze_files([("proj/serve/h.py", source)], select=["RPL019"])
+        assert [f.code for f in findings] == ["RPL019"]
+        assert "time.sleep" in findings[0].message
+        assert "run_in_executor" in findings[0].message
+
+    def test_async_callee_is_its_own_finding_not_the_callers(self):
+        source = (
+            "import time\n"
+            "async def inner():\n"
+            "    time.sleep(1)\n"
+            "async def outer():\n"
+            "    await inner()\n"
+        )
+        findings = analyze_files([("proj/serve/h.py", source)], select=["RPL019"])
+        assert len(findings) == 1
+        assert "async def inner" in findings[0].message
 
 
 class TestRealTreeIsClean:

@@ -1,0 +1,125 @@
+"""ForwardPlanner gates: forward-only plans under no_grad, byte for byte.
+
+The serving extension of the PR 9 executor: a :class:`nn.ForwardPlanner`
+compiles forward-only programs (no loss, no backward schedule) and — the
+point — its fast path stays allowed under :class:`nn.no_grad`, which is
+exactly the mode policy inference runs in.  Replay must be bitwise-equal
+to the tape, reflect in-place ``load_state_dict`` weight swaps (the hot
+reload path), and step aside for instruments like any other plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import fast_path_allowed
+from repro.nn.functional import relu
+
+
+@pytest.fixture
+def mlp():
+    rng = np.random.default_rng(0)
+    layers = [nn.Linear(6, 16, rng=rng), nn.Linear(16, 4, rng=rng)]
+
+    def program(inputs):
+        x = nn.Tensor(inputs["x"])
+        h = relu(layers[0](x))
+        out = layers[1](h)
+        return {"out": out}
+
+    return layers, program
+
+
+def tape_out(program, inputs):
+    with nn.no_grad():
+        return {name: t.data for name, t in program(inputs).items()}
+
+
+class TestForwardPlanReplay:
+    def test_no_grad_allows_forward_only_fast_path(self):
+        with nn.no_grad():
+            assert not fast_path_allowed()[0]
+            ok, reason = fast_path_allowed(forward_only=True)
+        assert ok, reason
+
+    def test_replay_matches_tape_bitwise(self, mlp):
+        __, program = mlp
+        planner = nn.ForwardPlanner(program, name="test")
+        inputs = {"x": np.random.default_rng(1).normal(size=(3, 6))}
+        reference = tape_out(program, inputs)
+        with nn.no_grad():
+            first = planner.step(inputs)  # build + validate
+            second = planner.step(inputs)  # pure replay
+        assert planner.last_path == "plan"
+        assert planner.stats["plan_runs"] >= 1
+        assert planner.stats["validation_failed"] == 0
+        for name in reference:
+            assert first[name].tobytes() == reference[name].tobytes()
+            assert second[name].tobytes() == reference[name].tobytes()
+
+    def test_outputs_are_caller_owned(self, mlp):
+        """Replay outputs must not alias plan-internal storage."""
+        __, program = mlp
+        planner = nn.ForwardPlanner(program, name="test")
+        inputs = {"x": np.random.default_rng(1).normal(size=(2, 6))}
+        with nn.no_grad():
+            planner.step(inputs)
+            first = planner.step(inputs)["out"].copy()
+            second = planner.step(inputs)["out"]
+        assert first.tobytes() == second.tobytes()
+
+    def test_replay_sees_in_place_weight_swap(self, mlp):
+        """The hot-reload contract: load_state_dict writes through the
+        parameter arrays the plan's slots reference."""
+        layers, program = mlp
+        planner = nn.ForwardPlanner(program, name="test")
+        inputs = {"x": np.random.default_rng(1).normal(size=(2, 6))}
+        with nn.no_grad():
+            planner.step(inputs)
+            planner.step(inputs)
+        assert planner.last_path == "plan"
+
+        for layer in layers:
+            state = {k: v + 0.25 for k, v in layer.state_dict().items()}
+            layer.load_state_dict(state)
+        reference = tape_out(program, inputs)
+        with nn.no_grad():
+            replay = planner.step(inputs)
+        assert planner.last_path == "plan"  # same signature, same plan
+        assert replay["out"].tobytes() == reference["out"].tobytes()
+
+    def test_new_signature_builds_second_plan(self, mlp):
+        __, program = mlp
+        planner = nn.ForwardPlanner(program, name="test")
+        with nn.no_grad():
+            planner.step({"x": np.zeros((2, 6))})
+            planner.step({"x": np.zeros((5, 6))})
+        assert planner.stats["built"] == 2
+
+    def test_plan_cache_cap_falls_back_to_tape(self, mlp):
+        __, program = mlp
+        planner = nn.ForwardPlanner(program, name="test", max_plans=2)
+        with nn.no_grad():
+            for rows in (1, 2, 3, 4):
+                planner.step({"x": np.zeros((rows, 6))})
+        assert planner.stats["built"] == 2
+        assert planner.stats["tape_runs"] >= 2
+        assert planner.last_reason == "plan cache full"
+
+    def test_env_escape_hatch_forces_tape(self, mlp, monkeypatch):
+        __, program = mlp
+        monkeypatch.setenv("REPRO_NO_PLANS", "1")
+        planner = nn.ForwardPlanner(program, name="test")
+        with nn.no_grad():
+            planner.step({"x": np.zeros((2, 6))})
+        assert planner.last_path == "tape"
+        assert planner.last_reason == "REPRO_NO_PLANS"
+
+    def test_grad_mode_also_replays(self, mlp):
+        """forward_only lifts the no_grad refusal without requiring it."""
+        __, program = mlp
+        planner = nn.ForwardPlanner(program, name="test")
+        inputs = {"x": np.random.default_rng(2).normal(size=(2, 6))}
+        planner.step(inputs)
+        planner.step(inputs)
+        assert planner.last_path == "plan"

@@ -1,0 +1,91 @@
+"""Shared fixtures for the serving tests.
+
+Ground truth everywhere is offline
+:meth:`~repro.agents.policy.PPOWorkerAgent.act_full` — the serving
+contract is *bitwise* identity with it, so fixtures hand tests matched
+(request, expected) pairs captured from a live environment rollout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.agents.policy import PPOWorkerAgent
+from repro.env import CrowdsensingEnv
+from repro.serve import InferRequest
+
+
+@pytest.fixture
+def agent(tiny_config) -> PPOWorkerAgent:
+    return PPOWorkerAgent(tiny_config, seed=5)
+
+
+@pytest.fixture
+def network_state(agent):
+    return agent.network.state_dict()
+
+
+class Expected:
+    """Offline act_full output for one captured request."""
+
+    def __init__(self, moves, charges, log_prob, value):
+        self.moves = moves
+        self.charges = charges
+        self.log_prob = log_prob
+        self.value = value
+
+
+def capture_cases(
+    env: CrowdsensingEnv,
+    agent: PPOWorkerAgent,
+    steps: int,
+    seeds: Optional[List[Optional[int]]] = None,
+) -> List[Tuple[InferRequest, Expected]]:
+    """Roll ``env`` under the greedy policy, capturing one case per step.
+
+    ``seeds[i]`` selects the sampling mode of case ``i``: ``None`` means
+    greedy, an int means seeded sampling (the request carries the seed
+    and the offline expectation uses a fresh ``default_rng(seed)``, the
+    same construction the server mirrors).
+    """
+    seeds = seeds if seeds is not None else [None] * steps
+    env.reset()
+    cases: List[Tuple[InferRequest, Expected]] = []
+    for seed in seeds[:steps]:
+        state = env._state()
+        move_mask = env.valid_moves()
+        worker_features = agent.worker_features_of(env)
+        greedy = seed is None
+        rng = np.random.default_rng(0 if greedy else seed)
+        action, log_prob, value, __, __ = agent.act_full(
+            env, rng, greedy=greedy, state=state
+        )
+        request = InferRequest(
+            state=np.ascontiguousarray(state, dtype=np.float64),
+            move_mask=np.ascontiguousarray(move_mask, dtype=bool),
+            worker_features=np.ascontiguousarray(worker_features, dtype=np.float64),
+            greedy=greedy,
+            seed=None if greedy else seed,
+        ).validate()
+        cases.append(
+            (request, Expected(action.move, action.charge, log_prob, value))
+        )
+        # Advance along the *greedy* trajectory so every case sees a
+        # distinct state regardless of its own sampling mode.
+        greedy_action, __, __, __, __ = agent.act_full(
+            env, np.random.default_rng(0), greedy=True, state=state
+        )
+        env.step(greedy_action)
+    return cases
+
+
+def assert_bitwise(result, expected) -> None:
+    """Served result == offline act_full, bit for bit."""
+    assert result.moves.dtype == expected.moves.dtype
+    assert np.array_equal(result.moves, expected.moves)
+    assert np.array_equal(result.charges, expected.charges)
+    assert result.log_prob == expected.log_prob  # exact, not approx
+    assert result.value == expected.value

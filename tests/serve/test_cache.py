@@ -1,0 +1,214 @@
+"""Satellite 2: ActionCache correctness.
+
+Digest keying, collision-safe byte comparison, bitwise hit payloads,
+LRU eviction, and generation-bump invalidation (the hot-reload safety
+half of the cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ActionCache, InferRequest, InferResult
+from repro.serve.protocol import request_digest
+from repro.agents.networks import NUM_MOVES
+
+
+def make_request(fill: float = 0.0, greedy: bool = True, seed=None, grid: int = 5):
+    state = np.full((3, grid, grid), fill, dtype=np.float64)
+    move_mask = np.ones((2, NUM_MOVES), dtype=bool)
+    features = np.full((2, 3), 0.5, dtype=np.float64)
+    return InferRequest(
+        state=state,
+        move_mask=move_mask,
+        worker_features=features,
+        greedy=greedy,
+        seed=seed,
+    ).validate()
+
+
+def make_result(tag: int, generation: int = 0) -> InferResult:
+    return InferResult(
+        moves=np.array([tag, tag + 1], dtype=np.int64),
+        charges=np.array([0, 1], dtype=np.int64),
+        log_prob=-float(tag) - 0.25,
+        value=float(tag) * 0.5,
+        generation=generation,
+        cached=False,
+        batch_size=3,
+    )
+
+
+class TestDigestKeying:
+    def test_identical_requests_share_a_digest(self):
+        assert request_digest(make_request(0.5)) == request_digest(make_request(0.5))
+
+    def test_any_array_bit_changes_the_digest(self):
+        base = make_request(0.5)
+        flipped = make_request(0.5)
+        flipped.state[0, 0, 0] = np.nextafter(0.5, 1.0)
+        assert request_digest(base) != request_digest(flipped)
+
+    def test_sampling_mode_is_part_of_the_key(self):
+        greedy = make_request(0.5, greedy=True)
+        sampled = make_request(0.5, greedy=False, seed=0)
+        other_seed = make_request(0.5, greedy=False, seed=1)
+        digests = {
+            request_digest(greedy),
+            request_digest(sampled),
+            request_digest(other_seed),
+        }
+        assert len(digests) == 3
+
+    def test_shape_is_hashed_not_just_bytes(self):
+        """Identical byte streams under different geometry: distinct keys."""
+        a = make_request(0.0, grid=4)  # state (3, 4, 4): 48 zero floats
+        b = make_request(0.0, grid=2)
+        wide = InferRequest(  # state (12, 2, 2): the same 48 zero floats
+            state=np.zeros((12, 2, 2), dtype=np.float64),
+            move_mask=b.move_mask,
+            worker_features=b.worker_features,
+            greedy=True,
+            seed=None,
+        ).validate()
+        assert a.state.tobytes() == wide.state.tobytes()
+        assert request_digest(a) != request_digest(wide)
+
+
+class TestHitSemantics:
+    def test_hit_is_bitwise_and_tagged_cached(self):
+        cache = ActionCache(capacity=4)
+        request, result = make_request(1.0), make_result(3)
+        cache.put(request, result)
+        hit = cache.get(request)
+        assert hit is not None
+        assert hit.cached is True
+        assert hit.generation == result.generation
+        assert hit.moves.tobytes() == result.moves.tobytes()
+        assert hit.charges.tobytes() == result.charges.tobytes()
+        assert hit.log_prob == result.log_prob
+        assert hit.value == result.value
+        assert cache.stats()["hits"] == 1
+
+    def test_miss_on_unknown_request(self):
+        cache = ActionCache(capacity=4)
+        assert cache.get(make_request(2.0)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = ActionCache(capacity=0)
+        cache.put(make_request(1.0), make_result(1))
+        assert cache.get(make_request(1.0)) is None
+        assert len(cache) == 0
+
+
+class TestCollisionSafety:
+    def test_forged_digest_collision_degrades_to_miss(self, monkeypatch):
+        """Two different requests forced onto one digest: the byte
+        comparison of the stored key material refuses the false hit."""
+        from repro.serve import cache as cache_module
+
+        monkeypatch.setattr(
+            cache_module, "request_digest", lambda request: b"\x00" * 32
+        )
+        cache = ActionCache(capacity=4)
+        first, second = make_request(1.0), make_request(2.0)
+        cache.put(first, make_result(1))
+        assert cache.get(second) is None  # collides, refused
+        assert cache.stats()["collisions"] == 1
+        hit = cache.get(first)  # the rightful owner still hits
+        assert hit is not None and hit.moves[0] == 1
+
+
+class TestEviction:
+    def test_lru_evicts_oldest_first(self):
+        cache = ActionCache(capacity=2)
+        a, b, c = make_request(1.0), make_request(2.0), make_request(3.0)
+        cache.put(a, make_result(1))
+        cache.put(b, make_result(2))
+        assert cache.get(a) is not None  # refresh a; b is now oldest
+        cache.put(c, make_result(3))
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(b) is None
+        assert cache.get(a) is not None
+        assert cache.get(c) is not None
+
+    def test_reinserting_same_key_does_not_grow(self):
+        cache = ActionCache(capacity=2)
+        request = make_request(1.0)
+        for __ in range(5):
+            cache.put(request, make_result(1))
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] == 0
+
+
+class TestGenerationInvalidation:
+    def test_bump_invalidates_old_entries_lazily(self):
+        cache = ActionCache(capacity=4)
+        request = make_request(1.0)
+        cache.put(request, make_result(1, generation=0))
+        assert cache.bump_generation() == 1
+        assert cache.get(request) is None
+        assert cache.stats()["invalidations"] == 1
+        assert len(cache) == 0  # dropped on lookup
+
+    def test_stale_result_is_refused_at_put(self):
+        """An in-flight batch finishing on pre-reload weights must not
+        resurrect old actions into the post-reload cache."""
+        cache = ActionCache(capacity=4)
+        cache.bump_generation(3)
+        cache.put(make_request(1.0), make_result(1, generation=2))
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_current_generation_round_trips_after_bump(self):
+        cache = ActionCache(capacity=4)
+        cache.bump_generation(5)
+        request = make_request(1.0)
+        cache.put(request, make_result(4, generation=5))
+        hit = cache.get(request)
+        assert hit is not None and hit.generation == 5
+
+    def test_generation_cannot_go_backwards(self):
+        cache = ActionCache(capacity=4)
+        cache.bump_generation(7)
+        with pytest.raises(ValueError):
+            cache.bump_generation(6)
+
+    def test_explicit_bump_to_same_generation_is_allowed(self):
+        cache = ActionCache(capacity=4)
+        cache.bump_generation(7)
+        assert cache.bump_generation(7) == 7
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_traffic_keeps_invariants(self):
+        import threading
+
+        cache = ActionCache(capacity=8)
+        requests = [make_request(float(i)) for i in range(16)]
+        errors = []
+
+        def pump(offset):
+            try:
+                for i in range(200):
+                    request = requests[(i + offset) % len(requests)]
+                    hit = cache.get(request)
+                    if hit is None:
+                        cache.put(
+                            request,
+                            make_result((i + offset) % len(requests)),
+                        )
+                    else:
+                        assert hit.cached is True
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=pump, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 800

@@ -1,0 +1,105 @@
+"""Satellite 1: the batch-dimension parity gate.
+
+The load-bearing numerical fact of the whole serving stack: a request's
+answer must not depend on which micro-batch it was coalesced into.  The
+engine stacks the conv trunk but row-loops every Linear layer (BLAS
+matmul results vary with the row count M for small M), so a row of a
+B=6 forward is bitwise-identical to the same request alone — with and
+without forward-only execution plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import CrowdsensingEnv
+from repro.serve import PolicyEngine, RequestError
+
+from .conftest import assert_bitwise, capture_cases
+
+
+@pytest.fixture
+def cases(tiny_config, agent):
+    env = CrowdsensingEnv(tiny_config)
+    # Greedy and seeded-sampled requests interleaved in one batch.
+    return capture_cases(env, agent, 6, seeds=[None, 11, None, 7, 11, None])
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("use_plans", [False, True], ids=["tape", "plans"])
+    def test_stacked_rows_match_offline_act_full(
+        self, network_state, cases, use_plans
+    ):
+        engine = PolicyEngine(network_state, use_plans=use_plans)
+        results = engine.infer_batch([request for request, __ in cases])
+        assert len(results) == len(cases)
+        for result, (__, expected) in zip(results, cases):
+            assert_bitwise(result, expected)
+
+    @pytest.mark.parametrize("use_plans", [False, True], ids=["tape", "plans"])
+    def test_stacked_matches_per_row_singles(self, network_state, cases, use_plans):
+        engine = PolicyEngine(network_state, use_plans=use_plans)
+        stacked = engine.infer_batch([request for request, __ in cases])
+        for (request, __), batched in zip(cases, stacked):
+            [single] = engine.infer_batch([request])
+            assert np.array_equal(single.moves, batched.moves)
+            assert np.array_equal(single.charges, batched.charges)
+            assert single.log_prob == batched.log_prob
+            assert single.value == batched.value
+
+    def test_plan_path_actually_replays(self, network_state, cases):
+        engine = PolicyEngine(network_state, use_plans=True)
+        batch = [request for request, __ in cases]
+        engine.infer_batch(batch)  # build + validate
+        engine.infer_batch(batch)  # replay
+        stats = engine.stats()
+        assert stats["plan_runs"] >= 1
+        assert stats["validation_failed"] == 0
+
+    def test_plan_and_tape_agree_bitwise(self, network_state, cases):
+        planned = PolicyEngine(network_state, use_plans=True)
+        taped = PolicyEngine(network_state, use_plans=False)
+        batch = [request for request, __ in cases]
+        planned.infer_batch(batch)  # warm the plan cache
+        for a, b in zip(planned.infer_batch(batch), taped.infer_batch(batch)):
+            assert np.array_equal(a.moves, b.moves)
+            assert np.array_equal(a.charges, b.charges)
+            assert a.log_prob == b.log_prob
+            assert a.value == b.value
+
+    def test_every_batch_size_matches_singles(self, network_state, cases):
+        """Parity holds for every prefix length, not just one size."""
+        engine = PolicyEngine(network_state, use_plans=False)
+        batch = [request for request, __ in cases]
+        singles = [engine.infer_batch([request])[0] for request in batch]
+        for size in range(2, len(batch) + 1):
+            for result, single in zip(engine.infer_batch(batch[:size]), singles):
+                assert np.array_equal(result.moves, single.moves)
+                assert result.log_prob == single.log_prob
+                assert result.value == single.value
+
+
+class TestGeometryGuards:
+    def test_mismatched_state_shape_is_refused(self, network_state, cases):
+        engine = PolicyEngine(network_state)
+        request, __ = cases[0]
+        engine.infer_batch([request])  # pins the geometry
+        bad = InferRequestVariant(request, pad=1)
+        with pytest.raises(RequestError):
+            engine.infer_batch([bad])
+
+    def test_empty_batch_is_a_noop(self, network_state):
+        assert PolicyEngine(network_state).infer_batch([]) == []
+
+
+def InferRequestVariant(request, pad):
+    """Same request with a spatially padded state (wrong geometry)."""
+    from repro.serve import InferRequest
+
+    g = request.state.shape[1] + pad
+    return InferRequest(
+        state=np.zeros((request.state.shape[0], g, g)),
+        move_mask=request.move_mask,
+        worker_features=request.worker_features,
+        greedy=True,
+        seed=None,
+    )

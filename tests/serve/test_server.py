@@ -1,0 +1,325 @@
+"""End-to-end serving tests: TCP + HTTP front doors, micro-batching,
+backpressure, hot reload, metrics, and shutdown hygiene.
+
+Everything runs against an :class:`InlinePool` (in-process engine) so
+the suite stays fast; the fork-worker pool has its own test below that
+additionally checks shared-memory hygiene.
+"""
+
+import asyncio
+import glob
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.env import CrowdsensingEnv
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    InferenceServer,
+    InlinePool,
+    Overloaded,
+    ServeClient,
+    ServeWorkerPool,
+)
+
+from .conftest import assert_bitwise, capture_cases
+
+
+class ServerThread:
+    """An InferenceServer running on its own event loop thread."""
+
+    def __init__(self, pool, **kwargs):
+        kwargs.setdefault("registry", MetricsRegistry())
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("http_port", 0)
+        self._kwargs = kwargs
+        self._pool = pool
+        self._ready = threading.Event()
+        self.server = None
+        self.loop = None
+        self.error = None
+        self._thread = threading.Thread(target=self._main, daemon=True)
+
+    def _main(self):
+        try:
+            asyncio.run(self._amain())
+        except Exception as error:  # pragma: no cover
+            self.error = error
+            self._ready.set()
+
+    async def _amain(self):
+        self.server = InferenceServer(self._pool, **self._kwargs)
+        await self.server.start()
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "server failed to start"
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def __exit__(self, *exc):
+        if self.loop is not None:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server thread failed to exit"
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def http(self, path, body=None, timeout=30):
+        url = f"http://{self.server.http_address}{path}"
+        if body is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(body).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read().decode()
+
+
+@pytest.fixture
+def cases(tiny_config, agent):
+    env = CrowdsensingEnv(tiny_config)
+    return capture_cases(env, agent, 6, seeds=[None, 11, None, 7, 11, None])
+
+
+class TestTcpFrontDoor:
+    def test_concurrent_mixed_duplicates_are_bitwise(self, network_state, cases):
+        pool = InlinePool(network_state, generation=1)
+        with ServerThread(pool, max_batch=4, max_delay=0.005) as harness:
+            failures = []
+
+            def pump(thread_index):
+                try:
+                    with ServeClient("127.0.0.1", harness.port) as client:
+                        # Duplicate-heavy: every thread sends every case.
+                        for request, expected in cases:
+                            result = client.infer_request(request)
+                            assert_bitwise(result, expected)
+                            assert result.generation == 1
+                except Exception as error:
+                    failures.append((thread_index, error))
+
+            threads = [
+                threading.Thread(target=pump, args=(k,)) for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert failures == []
+            stats = harness.server.cache.stats()
+            assert stats["hits"] + stats["misses"] == 24
+            # Concurrent duplicates may all race past the cache (misses
+            # dispatch before any put lands); a sequential second pass
+            # over the same keys must hit every time.
+            with ServeClient("127.0.0.1", harness.port) as client:
+                for request, expected in cases:
+                    result = client.infer_request(request)
+                    assert result.cached is True
+                    assert_bitwise(result, expected)
+            assert harness.server.cache.stats()["hits"] >= stats["hits"] + 6
+
+    def test_cached_answers_are_bitwise_and_flagged(self, network_state, cases):
+        pool = InlinePool(network_state, generation=1)
+        request, expected = cases[0]
+        with ServerThread(pool) as harness:
+            with ServeClient("127.0.0.1", harness.port) as client:
+                first = client.infer_request(request)
+                second = client.infer_request(request)
+        assert first.cached is False
+        assert second.cached is True
+        assert_bitwise(first, expected)
+        assert_bitwise(second, expected)
+
+    def test_info_round_trip(self, network_state):
+        pool = InlinePool(network_state, generation=1)
+        with ServerThread(pool, max_batch=3) as harness:
+            with ServeClient("127.0.0.1", harness.port) as client:
+                info = client.info()
+        assert info["generation"] == 1
+        assert info["max_batch"] == 3
+
+
+class TestHttpFrontDoor:
+    def test_infer_healthz_info_and_metrics(self, network_state, cases):
+        from repro.serve.protocol import request_to_json
+
+        pool = InlinePool(network_state, generation=1)
+        request, expected = cases[0]
+        with ServerThread(pool) as harness:
+            status, body = harness.http("/infer", request_to_json(request))
+            assert status == 200
+            answer = json.loads(body)
+            assert np.array_equal(
+                np.asarray(answer["moves"], dtype=np.int64), expected.moves
+            )
+            assert answer["log_prob"] == expected.log_prob
+            assert answer["value"] == expected.value
+
+            status, body = harness.http("/healthz")
+            assert status == 200
+
+            status, body = harness.http("/info")
+            assert status == 200
+            assert json.loads(body)["generation"] == 1
+
+            status, metrics = harness.http("/metrics")
+            assert status == 200
+            for family in (
+                "repro_serve_requests_total",
+                "repro_serve_latency_seconds",
+                "repro_serve_batch_rows",
+                "repro_serve_cache_total",
+                "repro_serve_generation",
+            ):
+                assert family in metrics
+
+    def test_malformed_request_is_a_400(self, network_state):
+        pool = InlinePool(network_state, generation=1)
+        with ServerThread(pool) as harness:
+            import urllib.error
+
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                harness.http("/infer", {"state": [[1.0]]})
+            assert caught.value.code == 400
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_retry_after(self, network_state, cases):
+        pool = InlinePool(network_state, generation=1)
+        request, expected = cases[0]
+        with ServerThread(pool, max_pending=1, max_batch=1, max_delay=0.2) as harness:
+            server = harness.server
+            loop = harness.loop
+
+            async def flood():
+                tasks = [
+                    asyncio.ensure_future(server.answer(request))
+                    for __ in range(8)
+                ]
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+                outcomes = []
+                for outcome in results:
+                    if isinstance(outcome, Overloaded):
+                        assert outcome.retry_after > 0
+                        outcomes.append("rejected")
+                    elif isinstance(outcome, BaseException):
+                        raise outcome
+                    else:
+                        outcomes.append("accepted")
+                return outcomes
+
+            outcomes = asyncio.run_coroutine_threadsafe(flood(), loop).result(60)
+            assert "rejected" in outcomes
+            assert "accepted" in outcomes
+            # The rejects are visible to the client as retryable 503s.
+            with ServeClient(
+                "127.0.0.1", harness.port, max_retries=5
+            ) as client:
+                result = client.infer_request(request)
+            assert_bitwise(result, expected)
+
+
+class TestHotReload:
+    def test_reload_swaps_weights_and_invalidates_cache(
+        self, tiny_config, agent, cases
+    ):
+        from repro.agents.policy import PPOWorkerAgent
+
+        old_state = agent.network.state_dict()
+        new_agent = PPOWorkerAgent(tiny_config, seed=9)
+        new_state = new_agent.network.state_dict()
+
+        env = CrowdsensingEnv(tiny_config)
+        new_cases = capture_cases(env, new_agent, 3)
+
+        pool = InlinePool(old_state, generation=1)
+        request, old_expected = cases[0]
+        with ServerThread(pool) as harness:
+            with ServeClient("127.0.0.1", harness.port) as client:
+                before = client.infer_request(request)
+                assert before.generation == 1
+                assert_bitwise(before, old_expected)
+
+                future = asyncio.run_coroutine_threadsafe(
+                    harness.server.reload_state(new_state), harness.loop
+                )
+                assert future.result(60) == 2
+
+                # Same request, new weights: fresh compute (the old
+                # cache entry is generation-stale), new tag.
+                after = client.infer_request(request)
+                assert after.generation == 2
+                assert after.cached is False
+
+                # And the served actions now match the *new* network's
+                # offline act_full bitwise.
+                for new_request, new_expected in new_cases:
+                    result = client.infer_request(new_request)
+                    assert result.generation == 2
+                    assert_bitwise(result, new_expected)
+
+            assert harness.server.cache.stats()["generation"] == 2
+
+    def test_generation_must_advance(self, network_state):
+        pool = InlinePool(network_state, generation=1)
+        with pytest.raises(ValueError):
+            pool.reload(network_state, generation=1)
+
+
+class TestForkWorkerPool:
+    def test_fork_pool_parity_reload_and_shm_hygiene(
+        self, network_state, tiny_config, cases
+    ):
+        from repro.agents.policy import PPOWorkerAgent
+
+        before_shm = set(glob.glob("/dev/shm/*serve*"))
+        pool = ServeWorkerPool(network_state, num_workers=2, generation=1)
+        try:
+            assert pool.ping() == 2
+            results = pool.infer([request for request, __ in cases])
+            for result, (__, expected) in zip(results, cases):
+                assert_bitwise(result, expected)
+
+            # Zero-copy hot reload: every worker adopts the new slab.
+            new_state = PPOWorkerAgent(tiny_config, seed=9).network.state_dict()
+            pool.reload(new_state, generation=2)
+            reloaded = pool.infer([cases[0][0]])[0]
+            assert reloaded.generation == 2
+
+            assert pool.slab_names()  # the slab existed while serving
+        finally:
+            pool.shutdown()
+        # No leaked shared memory and no leaked worker processes.
+        assert set(glob.glob("/dev/shm/*serve*")) == before_shm
+        import os
+
+        for pid in pool.pids():
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+
+class TestShutdownHygiene:
+    def test_stop_is_clean_and_idempotent(self, network_state, cases):
+        pool = InlinePool(network_state, generation=1)
+        harness = ServerThread(pool)
+        with harness:
+            with ServeClient("127.0.0.1", harness.port) as client:
+                client.infer_request(cases[0][0])
+        # Context exit ran server.stop(); the TCP port must be closed.
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", harness.port).infer_request(cases[0][0])

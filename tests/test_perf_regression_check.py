@@ -127,3 +127,84 @@ def test_committed_baseline_parses_and_covers_the_micro_suite(checker):
     assert expected <= set(benches)
     for name in expected:
         assert benches[name]["mean_s"] > 0
+
+
+BENCH_SERVE = REPO_ROOT / "benchmarks" / "BENCH_10.json"
+
+
+def write_serve_dump(
+    path: Path,
+    batched_rps: float,
+    unbatched_rps: float,
+    plan_s: float = 1e-3,
+    tape_s: float = 2e-3,
+) -> Path:
+    payload = {
+        "schema": 1,
+        "machine": {"cores": 1},
+        "micro": {
+            "plan_forward": {"mean_s": plan_s},
+            "tape_forward": {"mean_s": tape_s},
+        },
+        "serve": {
+            "sweep": {
+                "8": {
+                    "concurrency": 8,
+                    "rps": batched_rps,
+                    "p50_ms": 1.0,
+                    "p99_ms": 2.0,
+                }
+            },
+            "batched": {
+                "concurrency": 8,
+                "rps": batched_rps,
+                "p50_ms": 1.0,
+                "p99_ms": 2.0,
+            },
+            "unbatched": {
+                "concurrency": 8,
+                "rps": unbatched_rps,
+                "p50_ms": 4.0,
+                "p99_ms": 8.0,
+            },
+        },
+        "cache": {"speedup_cache_on": 5.0},
+        "worker_scaling": {"inline": {"mean_s": 1e-3}},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestServeGate:
+    def test_contracts_holding_pass(self, tmp_path, checker, capsys):
+        dump = write_serve_dump(tmp_path / "serve.json", 2000.0, 900.0)
+        assert checker.main([str(dump), "--serve"]) == 0
+        out = capsys.readouterr().out
+        assert "2x contract holds" in out
+
+    def test_threshold_allows_noise_below_2x(self, tmp_path, checker):
+        # x1.9 batched/unbatched: within the 1.5x noise allowance of 2x.
+        dump = write_serve_dump(tmp_path / "serve.json", 1900.0, 1000.0)
+        assert checker.main([str(dump), "--serve"]) == 0
+
+    def test_batching_rot_fails(self, tmp_path, checker, capsys):
+        dump = write_serve_dump(tmp_path / "serve.json", 1000.0, 1000.0)
+        assert checker.main([str(dump), "--serve"]) == 1
+        assert "below the 2x contract" in capsys.readouterr().err
+
+    def test_plan_slower_than_tape_fails(self, tmp_path, checker, capsys):
+        dump = write_serve_dump(
+            tmp_path / "serve.json", 2500.0, 1000.0, plan_s=4e-3, tape_s=2e-3
+        )
+        assert checker.main([str(dump), "--serve"]) == 1
+        assert "forward-only fast path" in capsys.readouterr().err
+
+    def test_wrong_dump_shape_is_an_error(self, tmp_path, checker):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(SystemExit):
+            checker.main([str(bad), "--serve"])
+
+    def test_committed_serve_baseline_holds_its_own_contracts(self, checker):
+        """BENCH_10.json must itself pass the gate it documents."""
+        assert checker.main([str(BENCH_SERVE), "--serve"]) == 0
