@@ -24,12 +24,19 @@ from .batcher import MicroBatcher
 from .cache import ActionCache
 from .engine import PolicyEngine, load_network_state, network_from_state
 from .pool import InlinePool, ServeWorkerPool, WorkerCrashed
-from .protocol import InferRequest, InferResult, Overloaded, RequestError
+from .protocol import (
+    InferError,
+    InferRequest,
+    InferResult,
+    Overloaded,
+    RequestError,
+)
 from .server import InferenceServer, ServeClient
 
 __all__ = [
     "ActionCache",
     "InferenceServer",
+    "InferError",
     "InferRequest",
     "InferResult",
     "InlinePool",

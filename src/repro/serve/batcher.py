@@ -31,11 +31,11 @@ from __future__ import annotations
 import asyncio
 from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
 
-from .protocol import InferRequest, InferResult, Overloaded
+from .protocol import InferError, InferRequest, InferResult, Overloaded, RequestError
 
 __all__ = ["MicroBatcher"]
 
-Dispatch = Callable[[Sequence[InferRequest]], List[InferResult]]
+Dispatch = Callable[[Sequence[InferRequest]], List[object]]
 
 
 class MicroBatcher:
@@ -127,7 +127,12 @@ class MicroBatcher:
                 self._executor, self._dispatch, requests
             )
             for (__, future), result in zip(chunk, results):
-                if not future.done():
+                if future.done():
+                    continue
+                if isinstance(result, InferError):
+                    # A bad row fails alone; its chunk-mates got results.
+                    future.set_exception(RequestError(result.error))
+                else:
                     future.set_result(result)
         except Exception as error:
             for __, future in chunk:

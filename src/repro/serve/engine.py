@@ -47,7 +47,7 @@ from ..distributed.checkpoint import (
     _resolve_load_path,
 )
 from ..env.actions import NUM_MOVES
-from .protocol import InferRequest, InferResult, RequestError
+from .protocol import InferError, InferRequest, InferResult, RequestError
 
 __all__ = [
     "PolicyEngine",
@@ -284,13 +284,37 @@ class PolicyEngine:
                 f"checkpoint serves {net.num_workers}"
             )
 
-    def infer_batch(self, requests: Sequence[InferRequest]) -> List[InferResult]:
-        """Answer a coalesced batch; each row bitwise-equals ``act_full``."""
+    def infer_batch(self, requests: Sequence[InferRequest]) -> List[object]:
+        """Answer a coalesced batch; each row bitwise-equals ``act_full``.
+
+        Validation is per row: a stray-geometry request yields an
+        :class:`InferError` marker in its slot instead of failing the
+        whole batch — its co-batched neighbours (other clients' valid
+        requests) are forwarded and answered normally.
+        """
         if not requests:
             return []
-        self._ensure_network(requests[0])
-        for request in requests:
-            self._check_geometry(request)
+        outcomes: List[object] = [None] * len(requests)
+        good: List[int] = []
+        for i, request in enumerate(requests):
+            try:
+                # The network is built lazily from the first row whose
+                # geometry yields a valid grid; rows that can't build or
+                # match it fail alone.
+                self._ensure_network(request)
+                self._check_geometry(request)
+            except RequestError as error:
+                outcomes[i] = InferError(str(error))
+            else:
+                good.append(i)
+        if good:
+            results = self._infer_rows([requests[i] for i in good])
+            for i, result in zip(good, results):
+                outcomes[i] = result
+        return outcomes
+
+    def _infer_rows(self, requests: Sequence[InferRequest]) -> List[InferResult]:
+        """The stacked forward over geometry-validated rows."""
         states = np.stack([r.state for r in requests])
         penalty = np.stack(
             [np.where(r.move_mask, 0.0, MASKED_LOGIT) for r in requests]
@@ -351,6 +375,11 @@ class PolicyEngine:
                 f"generation must advance ({generation} <= {self.generation})"
             )
         if self.network is None:
+            # Callers (the pool worker's OP_RELOAD) may pass zero-copy
+            # slab views; with no network yet the arrays sit in
+            # _pending_state until the first request, by which time the
+            # parent may have rewritten the slab — copy them now.
+            state = {key: np.array(value) for key, value in state.items()}
             self._geometry = _state_geometry(state)
             self._pending_state = state
         else:

@@ -9,11 +9,15 @@ its network in place.  N workers see one write, not N pickled copies.
 
 Reload ordering gives the "in-flight batches finish on the old weights"
 guarantee structurally: a worker is leased out of a free queue for the
-duration of each batch, and :meth:`ServeWorkerPool.reload` leases every
-worker the same way before sending its reload command — a reload can
-only reach a worker *between* batches, never under one.  Workers read
-the slab with ``expected_seq == generation``, so a torn or stale slab
-raises :class:`SlabStale` instead of loading garbage weights.
+duration of each batch, and :meth:`ServeWorkerPool.reload` leases **all
+N workers and holds them** before sending any reload command — a reload
+can only reach a worker *between* batches, never under one, and the
+free-queue FIFO can never hand the same (already-reloaded) worker out
+twice while a busy one is skipped.  Workers read the slab with
+``expected_seq == generation``, so a torn or stale slab raises
+:class:`SlabStale` instead of loading garbage weights, and a repeated
+reload command for a worker's current generation is an idempotent no-op
+so a partially-failed reload can simply be retried.
 
 :class:`InlinePool` is the degenerate single-process variant (no slab,
 no forks) behind the same interface; the server treats both uniformly
@@ -25,6 +29,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import queue
+import threading
 import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -37,7 +42,7 @@ from ..obs.flight import reset_after_fork as _flight_reset_after_fork
 from ..obs.log import get_logger
 from ..obs.trace import reset_after_fork as _trace_reset_after_fork
 from .engine import PolicyEngine
-from .protocol import InferRequest, InferResult, RequestError
+from .protocol import InferRequest, RequestError
 
 _LOG = get_logger(__name__)
 
@@ -66,7 +71,8 @@ class InlinePool:
     def generation(self) -> int:
         return self._engine.generation
 
-    def infer(self, requests: Sequence[InferRequest]) -> List[InferResult]:
+    def infer(self, requests: Sequence[InferRequest]) -> List[object]:
+        """Per-row results; bad rows are InferError markers (see engine)."""
         return self._engine.infer_batch(requests)
 
     def reload(self, state: Dict[str, np.ndarray], generation: int) -> None:
@@ -125,8 +131,11 @@ def _serve_worker_main(spec: _WorkerSpec, conn) -> None:
                     conn.send((seq, "result", results))
                 elif op == OP_RELOAD:
                     generation = int(payload)
-                    arrays = slab.read(expected_seq=generation, copy=False)
-                    engine.reload(dict(zip(spec.keys, arrays)), generation)
+                    if generation != engine.generation:
+                        arrays = slab.read(expected_seq=generation, copy=False)
+                        engine.reload(dict(zip(spec.keys, arrays)), generation)
+                    # generation == current: idempotent no-op so the parent
+                    # can retry a reload that failed on some other worker.
                     conn.send((seq, "ok", engine.generation))
                 elif op == OP_PING:
                     conn.send((seq, "ok", engine.stats()))
@@ -201,6 +210,14 @@ class ServeWorkerPool:
         spec_state = dict(zip(keys, arrays))
         self._workers: List[_Handle] = []
         self._free: "queue.Queue[_Handle]" = queue.Queue()
+        # Pool-wide sweeps (reload/stats/ping) hold every handle at once;
+        # the lock keeps two sweeps from deadlocking over partial handle
+        # sets, and the gate pauses new infer leases so a sweep can't be
+        # starved by hot traffic re-snatching each released handle
+        # (queue.Queue does not reserve items for its longest waiter).
+        self._sweep_lock = threading.Lock()
+        self._gate = threading.Event()
+        self._gate.set()
         for index in range(num_workers):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             spec = _WorkerSpec(
@@ -229,12 +246,46 @@ class ServeWorkerPool:
     def _lease(self) -> _Handle:
         if self._closed:
             raise WorkerCrashed("serve worker pool is shut down")
+        self._gate.wait()
         return self._free.get()
 
     def _release(self, handle: _Handle) -> None:
         self._free.put(handle)
 
-    def infer(self, requests: Sequence[InferRequest]) -> List[InferResult]:
+    def _lease_all(self) -> List[_Handle]:
+        """Lease every worker and hold them (pool-wide sweeps).
+
+        Each handle sits in the free queue at most once, so draining it
+        ``size`` times while *holding* the leases yields each worker
+        exactly once — releasing between leases would let concurrent
+        infer traffic put a just-polled worker back in front of a busy
+        one, double-visiting the former and skipping the latter.
+
+        Closing the gate first bounds the sweep's wait to the in-flight
+        batches: leases already past the gate finish and release, new
+        ones block until :meth:`_release_all` reopens it.  Pair every
+        call with ``_release_all`` (it also releases ``_sweep_lock``).
+        """
+        self._sweep_lock.acquire()
+        self._gate.clear()
+        held: List[_Handle] = []
+        try:
+            if self._closed:
+                raise WorkerCrashed("serve worker pool is shut down")
+            for __ in range(self.size):
+                held.append(self._free.get())
+        except BaseException:
+            self._release_all(held)
+            raise
+        return held
+
+    def _release_all(self, held: List[_Handle]) -> None:
+        for handle in held:
+            self._release(handle)
+        self._gate.set()
+        self._sweep_lock.release()
+
+    def infer(self, requests: Sequence[InferRequest]) -> List[object]:
         """Run one batch on the next free worker (blocks; executor threads)."""
         handle = self._lease()
         try:
@@ -245,10 +296,16 @@ class ServeWorkerPool:
     def reload(self, state: Dict[str, np.ndarray], generation: int) -> None:
         """Broadcast new weights: one slab write, then a command per worker.
 
-        Leasing each worker out of the free queue serializes the reload
-        behind that worker's in-flight batch; workers not yet reloaded
-        keep answering on the old weights (and say so via their
-        generation tag).
+        All workers are leased (and held) before the first reload
+        command goes out: leasing serializes the reload behind each
+        worker's in-flight batch, and holding guarantees every worker is
+        visited exactly once — concurrent infer traffic can otherwise
+        recycle a just-reloaded worker through the free queue while a
+        busy one is never reloaded.  Batches dispatched before the sweep
+        finish on the old weights and say so via their generation tag.
+        If a worker fails mid-sweep the pool generation stays put and
+        the retry is safe: already-reloaded workers treat the repeated
+        generation as a no-op.
         """
         generation = int(generation)
         if generation <= self.generation:
@@ -259,13 +316,13 @@ class ServeWorkerPool:
             np.ascontiguousarray(state[k], dtype=np.float64) for k in self._keys
         ]
         self._slab.write(arrays, seq=generation)
-        for handle in list(self._workers):
-            leased = self._lease()
-            try:
-                leased.call(OP_RELOAD, generation)
-            finally:
-                self._release(leased)
-        self.generation = generation
+        held = self._lease_all()
+        try:
+            for handle in held:
+                handle.call(OP_RELOAD, generation)
+            self.generation = generation
+        finally:
+            self._release_all(held)
 
     def info(self) -> Dict[str, int]:
         handle = self._lease()
@@ -278,28 +335,29 @@ class ServeWorkerPool:
     def stats(self) -> Dict[str, int]:
         """Summed engine stats across workers (blocks; executor threads)."""
         totals: Dict[str, int] = {}
-        for __ in range(self.size):
-            handle = self._lease()
-            try:
+        held = self._lease_all()
+        try:
+            for handle in held:
                 stats = handle.call(OP_PING, None)
-            finally:
-                self._release(handle)
-            for key, value in stats.items():
-                totals[key] = totals.get(key, 0) + int(value)
+                for key, value in stats.items():
+                    totals[key] = totals.get(key, 0) + int(value)
+        finally:
+            self._release_all(held)
         return totals
 
     def ping(self) -> int:
         """Round-trip every worker; returns the number alive."""
         alive = 0
-        for __ in range(self.size):
-            handle = self._lease()
-            try:
-                handle.call(OP_PING, None)
-                alive += 1
-            except WorkerCrashed:
-                pass
-            finally:
-                self._release(handle)
+        held = self._lease_all()
+        try:
+            for handle in held:
+                try:
+                    handle.call(OP_PING, None)
+                    alive += 1
+                except WorkerCrashed:
+                    pass
+        finally:
+            self._release_all(held)
         return alive
 
     def slab_names(self) -> List[str]:

@@ -40,6 +40,7 @@ from ..distributed.transport.framing import (
 from ..env.actions import NUM_MOVES
 
 __all__ = [
+    "InferError",
     "InferRequest",
     "InferResult",
     "Overloaded",
@@ -114,6 +115,10 @@ class InferRequest:
             )
         if not self.greedy and self.seed is None:
             raise RequestError("sampled requests must carry a seed")
+        if self.seed is not None and self.seed < 0:
+            # np.random.default_rng refuses negative seeds; catch it here
+            # as a 400 instead of a mid-batch crash inside a worker.
+            raise RequestError(f"seed must be >= 0, got {self.seed}")
         return self
 
     def key_material(self) -> Tuple:
@@ -126,6 +131,20 @@ class InferRequest:
             bool(self.greedy),
             None if self.seed is None else int(self.seed),
         )
+
+
+@dataclass(frozen=True)
+class InferError:
+    """Per-row failure marker inside a batch's result list.
+
+    A coalesced batch must not fail wholesale because one co-batched
+    request is bad: the engine answers offending rows with this marker
+    (picklable, so it survives the worker pipe) and the batcher turns it
+    into a :class:`RequestError` on that row's future only — chunk-mates
+    still get their results.
+    """
+
+    error: str
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.env import CrowdsensingEnv
-from repro.serve import PolicyEngine, RequestError
+from repro.serve import InferError, PolicyEngine
 
 from .conftest import assert_bitwise, capture_cases
 
@@ -84,8 +84,30 @@ class TestGeometryGuards:
         request, __ = cases[0]
         engine.infer_batch([request])  # pins the geometry
         bad = InferRequestVariant(request, pad=1)
-        with pytest.raises(RequestError):
-            engine.infer_batch([bad])
+        [marker] = engine.infer_batch([bad])
+        assert isinstance(marker, InferError)
+
+    def test_bad_row_fails_alone_not_its_chunk_mates(self, network_state, cases):
+        """One stray-geometry row must not poison a coalesced batch."""
+        engine = PolicyEngine(network_state)
+        requests = [request for request, __ in cases]
+        bad = InferRequestVariant(requests[0], pad=1)
+        mixed = [requests[0], bad, requests[1]]
+        first, marker, second = engine.infer_batch(mixed)
+        assert isinstance(marker, InferError)
+        assert_bitwise(first, cases[0][1])
+        assert_bitwise(second, cases[1][1])
+        # The forwarded batch was the two good rows only.
+        assert first.batch_size == 2
+
+    def test_bad_first_row_does_not_block_network_build(self, network_state, cases):
+        """A stray first row must not pin (or poison) lazy network build."""
+        engine = PolicyEngine(network_state)
+        request, expected = cases[0]
+        bad = InferRequestVariant(request, pad=1)
+        marker, good = engine.infer_batch([bad, request])
+        assert isinstance(marker, InferError)
+        assert_bitwise(good, expected)
 
     def test_empty_batch_is_a_noop(self, network_state):
         assert PolicyEngine(network_state).infer_batch([]) == []

@@ -312,6 +312,103 @@ class TestForkWorkerPool:
             with pytest.raises(OSError):
                 os.kill(pid, 0)
 
+    def test_reload_under_concurrent_infer_load(
+        self, network_state, tiny_config, cases
+    ):
+        """Reload reaches every worker exactly once despite infer traffic.
+
+        The free queue is FIFO and shared with infer leases: a reload
+        that leases-and-releases per command can draw a just-reloaded
+        worker twice (its engine then refuses the repeated generation)
+        while a busy worker is never reloaded.  Holding all leases for
+        the sweep makes the generation flip atomic with respect to the
+        queue — no infer error, and every worker answers the new tag.
+        """
+        import time
+
+        from repro.agents.policy import PPOWorkerAgent
+
+        new_state = PPOWorkerAgent(tiny_config, seed=9).network.state_dict()
+        pool = ServeWorkerPool(network_state, num_workers=2, generation=1)
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            request = cases[0][0]
+            while not stop.is_set():
+                try:
+                    pool.infer([request])
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.05)  # let infer traffic churn the free queue
+            pool.reload(new_state, generation=2)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            assert pool.generation == 2
+            # Sequential infers round-robin the FIFO free queue, so
+            # 2 x size infers visit every worker: all must answer the
+            # new generation (none left behind on the old weights).
+            for __ in range(2 * pool.size):
+                assert pool.infer([cases[0][0]])[0].generation == 2
+        finally:
+            stop.set()
+            pool.shutdown()
+
+    def test_duplicate_reload_command_is_idempotent(
+        self, network_state, tiny_config
+    ):
+        """A retried reload command must be a worker-side no-op.
+
+        If a reload sweep fails partway, the pool generation stays put
+        and the caller retries with the same generation; workers that
+        already loaded it must answer ok instead of crashing on the
+        engine's generation-must-advance guard.
+        """
+        from repro.agents.policy import PPOWorkerAgent
+        from repro.serve.pool import OP_RELOAD
+
+        new_state = PPOWorkerAgent(tiny_config, seed=9).network.state_dict()
+        pool = ServeWorkerPool(network_state, num_workers=1, generation=1)
+        try:
+            arrays = [
+                np.ascontiguousarray(new_state[k], dtype=np.float64)
+                for k in pool._keys
+            ]
+            pool._slab.write(arrays, seq=2)
+            handle = pool._workers[0]
+            assert handle.call(OP_RELOAD, 2) == 2
+            assert handle.call(OP_RELOAD, 2) == 2  # repeat: no-op, no crash
+        finally:
+            pool.shutdown()
+
+
+class TestRequestValidation:
+    def test_negative_seed_is_a_request_error(self, cases):
+        """Rejected at decode time (400), not mid-batch inside a worker.
+
+        ``np.random.default_rng`` raises on negative seeds; unvalidated,
+        that surfaces as an internal error that fails the whole chunk.
+        """
+        from repro.serve import InferRequest, RequestError
+
+        request = cases[0][0]
+        with pytest.raises(RequestError, match="seed must be >= 0"):
+            InferRequest(
+                state=request.state,
+                move_mask=request.move_mask,
+                worker_features=request.worker_features,
+                greedy=False,
+                seed=-1,
+            ).validate()
+
 
 class TestShutdownHygiene:
     def test_stop_is_clean_and_idempotent(self, network_state, cases):
